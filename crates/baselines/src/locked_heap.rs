@@ -1,0 +1,165 @@
+//! A mutex-protected binary heap — the conventional comparator for the
+//! skip-list priority queue (the paper's §2 application).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use parking_lot::Mutex;
+
+/// A min-priority queue behind one global mutex.
+///
+/// FIFO among equal priorities, like the core crate's
+/// `PriorityQueue`, via an internal sequence number.
+///
+/// # Examples
+///
+/// ```
+/// use lf_baselines::LockedHeap;
+///
+/// let q = LockedHeap::new();
+/// q.push(2, "b");
+/// q.push(1, "a");
+/// assert_eq!(q.pop(), Some((1, "a")));
+/// assert_eq!(q.pop(), Some((2, "b")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct LockedHeap<P, T> {
+    inner: Mutex<HeapInner<P, T>>,
+}
+
+struct HeapInner<P, T> {
+    heap: BinaryHeap<Reverse<(P, u64, ValueCell<T>)>>,
+    seq: u64,
+}
+
+/// Wrapper that opts the payload out of the ordering.
+struct ValueCell<T>(T);
+
+impl<T> PartialEq for ValueCell<T> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<T> Eq for ValueCell<T> {}
+impl<T> PartialOrd for ValueCell<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for ValueCell<T> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<P, T> fmt::Debug for LockedHeap<P, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LockedHeap")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<P: Ord, T> Default for LockedHeap<P, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P, T> LockedHeap<P, T> {
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.inner.lock().heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<P: Ord, T> LockedHeap<P, T> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        LockedHeap {
+            inner: Mutex::new(HeapInner {
+                heap: BinaryHeap::new(),
+                seq: 0,
+            }),
+        }
+    }
+
+    /// Enqueue `item` with `priority` (lower pops first).
+    pub fn push(&self, priority: P, item: T) {
+        let mut inner = self.inner.lock();
+        let seq = inner.seq;
+        inner.seq += 1;
+        inner.heap.push(Reverse((priority, seq, ValueCell(item))));
+    }
+
+    /// Dequeue the minimum-priority item.
+    pub fn pop(&self) -> Option<(P, T)> {
+        self.inner
+            .lock()
+            .heap
+            .pop()
+            .map(|Reverse((p, _, ValueCell(t)))| (p, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn priority_and_fifo_order() {
+        let q = LockedHeap::new();
+        q.push(3, "c");
+        q.push(1, "a1");
+        q.push(1, "a2");
+        q.push(2, "b");
+        assert_eq!(q.pop(), Some((1, "a1")));
+        assert_eq!(q.pop(), Some((1, "a2")));
+        assert_eq!(q.pop(), Some((2, "b")));
+        assert_eq!(q.pop(), Some((3, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn concurrent_push_pop_accounting() {
+        let q = Arc::new(LockedHeap::new());
+        let popped = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for t in 0..2u64 {
+                let q = q.clone();
+                s.spawn(move || {
+                    for i in 0..500 {
+                        q.push((t * 500 + i) % 16, i);
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let q = q.clone();
+                let popped = popped.clone();
+                s.spawn(move || {
+                    let mut idle = 0;
+                    while idle < 500 {
+                        if q.pop().is_some() {
+                            popped.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                            idle = 0;
+                        } else {
+                            idle += 1;
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            popped.load(std::sync::atomic::Ordering::SeqCst) + q.len(),
+            1000
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Criterion: flag-bit ablation as wall clock — FR list vs the
+//! backlinks-without-flags variant on a tail-hotspot churn (the E8
+//! workload measured in time rather than steps).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use lf_bench::adapters::{BenchMap, MapHandle};
+use lf_baselines::NoFlagList;
+use lf_core::FrList;
+use lf_workloads::{KeyDist, Mix, OpKind, WorkloadIter};
+
+const BATCH: u64 = 1_000;
+
+fn batch<M: BenchMap>() -> impl FnMut() {
+    let map = M::create();
+    {
+        let h = map.bench_handle();
+        for k in (0..512).step_by(2) {
+            h.insert(k);
+        }
+    }
+    let mut w = WorkloadIter::new(
+        Mix::CHURN,
+        KeyDist::Tail {
+            space: 512,
+            width: 16,
+        },
+        13,
+    );
+    move || {
+        let h = map.bench_handle();
+        for _ in 0..BATCH {
+            let op = w.next_op();
+            let r = match op.kind {
+                OpKind::Insert => h.insert(op.key),
+                OpKind::Remove => h.remove(op.key),
+                OpKind::Search => h.search(op.key),
+            };
+            black_box(r);
+        }
+    }
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_flagbits");
+    g.sample_size(10);
+    let mut fr = batch::<FrList<u64, u64>>();
+    g.bench_function(BenchmarkId::new("fr-list", "tail-churn"), |b| b.iter(&mut fr));
+    let mut nf = batch::<NoFlagList<u64, u64>>();
+    g.bench_function(BenchmarkId::new("noflag-list", "tail-churn"), |b| {
+        b.iter(&mut nf)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion: multi-threaded churn wall time (4 threads), measured via
+//! `iter_custom` so each sample is one complete multi-thread run.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lf_bench::adapters::{BenchMap, MapHandle};
+use lf_baselines::{CoarseLockList, HarrisList, LockSkipList, RestartSkipList};
+use lf_core::{FrList, SkipList};
+use lf_workloads::{KeyDist, Mix, OpKind, WorkloadIter};
+
+const THREADS: usize = 4;
+const OPS_PER_THREAD: u64 = 2_000;
+
+fn timed_run<M: BenchMap>(space: u64, iters: u64) -> Duration {
+    let mut total = Duration::ZERO;
+    for round in 0..iters {
+        let map = M::create();
+        {
+            let h = map.bench_handle();
+            for k in (0..space).step_by(4) {
+                h.insert(k);
+            }
+        }
+        let barrier = std::sync::Barrier::new(THREADS + 1);
+        let mut start = None;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let map = &map;
+                let barrier = &barrier;
+                let seed = round * 131 + t as u64;
+                s.spawn(move || {
+                    let h = map.bench_handle();
+                    let mut w =
+                        WorkloadIter::new(Mix::CHURN, KeyDist::Uniform { space }, seed);
+                    barrier.wait();
+                    for _ in 0..OPS_PER_THREAD {
+                        let op = w.next_op();
+                        match op.kind {
+                            OpKind::Insert => h.insert(op.key),
+                            OpKind::Remove => h.remove(op.key),
+                            OpKind::Search => h.search(op.key),
+                        };
+                    }
+                });
+            }
+            start = Some(Instant::now());
+            barrier.wait();
+        });
+        total += start.expect("started").elapsed();
+    }
+    total
+}
+
+fn bench_concurrent(c: &mut Criterion) {
+    let mut g = c.benchmark_group("concurrent_churn_4t");
+    g.sample_size(10);
+
+    macro_rules! one {
+        ($ty:ty, $space:expr) => {{
+            g.bench_function(BenchmarkId::new(<$ty>::name(), $space), |b| {
+                b.iter_custom(|iters| timed_run::<$ty>($space, iters))
+            });
+        }};
+    }
+    one!(FrList<u64, u64>, 512u64);
+    one!(HarrisList<u64, u64>, 512u64);
+    one!(CoarseLockList<u64, u64>, 512u64);
+    one!(SkipList<u64, u64>, 8_192u64);
+    one!(RestartSkipList<u64, u64>, 8_192u64);
+    one!(LockSkipList<u64, u64>, 8_192u64);
+    g.finish();
+}
+
+criterion_group!(benches, bench_concurrent);
+criterion_main!(benches);

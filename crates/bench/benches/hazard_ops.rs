@@ -1,0 +1,66 @@
+//! Criterion: hazard-pointer substrate costs next to the epoch scheme —
+//! the protect/validate hop tax Michael's list pays per node versus the
+//! once-per-operation pin the FR structures pay.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::atomic::AtomicPtr;
+
+use lf_hazard::Domain;
+use lf_reclaim::Collector;
+
+fn bench_hazard(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hazard_ops");
+    g.sample_size(20);
+
+    g.bench_function("protect_validate", |b| {
+        let domain = Domain::new();
+        let h = domain.register();
+        let target = Box::into_raw(Box::new(7u64));
+        let src = AtomicPtr::new(target);
+        b.iter(|| {
+            black_box(h.protect(0, &src));
+        });
+        h.clear(0);
+        unsafe { drop(Box::from_raw(target)) };
+    });
+
+    g.bench_function("retire_with_scan_cadence", |b| {
+        let domain = Domain::new();
+        let h = domain.register();
+        b.iter(|| {
+            let p = Box::into_raw(Box::new(0u64));
+            unsafe { h.retire(p) };
+        });
+    });
+
+    // Side-by-side: the per-operation cost each scheme charges a
+    // traversal of 16 nodes (16 protects vs 1 pin).
+    g.bench_function("hazard_16_hops", |b| {
+        let domain = Domain::new();
+        let h = domain.register();
+        let target = Box::into_raw(Box::new(7u64));
+        let src = AtomicPtr::new(target);
+        b.iter(|| {
+            for _ in 0..16 {
+                black_box(h.protect(0, &src));
+            }
+            h.clear(0);
+        });
+        unsafe { drop(Box::from_raw(target)) };
+    });
+
+    g.bench_function("epoch_pin_per_op", |b| {
+        let collector = Collector::new();
+        let handle = collector.register();
+        b.iter(|| {
+            let _g = black_box(handle.pin());
+            // 16 hops under one pin cost nothing extra.
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_hazard);
+criterion_main!(benches);

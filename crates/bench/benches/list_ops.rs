@@ -1,0 +1,62 @@
+//! Criterion: single-threaded operation cost of every list, per size.
+//!
+//! Regenerates the E4 comparison as wall-clock numbers: batches of a
+//! fixed churn+search mix against each list implementation at two
+//! steady sizes. Complements the `experiments e4` table (which measures
+//! multi-threaded throughput).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use lf_bench::adapters::{BenchMap, MapHandle};
+use lf_baselines::{CoarseLockList, HarrisList, HohLockList, MichaelList, NoFlagList};
+use lf_core::FrList;
+use lf_workloads::{KeyDist, Mix, OpKind, WorkloadIter};
+
+const BATCH: u64 = 1_000;
+
+fn batch<M: BenchMap>(n: u64) -> impl FnMut() {
+    let map = M::create();
+    {
+        let h = map.bench_handle();
+        for k in (0..2 * n).step_by(2) {
+            h.insert(k);
+        }
+    }
+    let mut w = WorkloadIter::new(Mix::UPDATE_HEAVY, KeyDist::Uniform { space: 2 * n }, 7);
+    move || {
+        let h = map.bench_handle();
+        for _ in 0..BATCH {
+            let op = w.next_op();
+            let r = match op.kind {
+                OpKind::Insert => h.insert(op.key),
+                OpKind::Remove => h.remove(op.key),
+                OpKind::Search => h.search(op.key),
+            };
+            black_box(r);
+        }
+    }
+}
+
+fn bench_lists(c: &mut Criterion) {
+    let mut g = c.benchmark_group("list_ops");
+    g.sample_size(10);
+    for n in [128u64, 512] {
+        macro_rules! one {
+            ($ty:ty) => {{
+                let mut f = batch::<$ty>(n);
+                g.bench_function(BenchmarkId::new(<$ty>::name(), n), |b| b.iter(&mut f));
+            }};
+        }
+        one!(FrList<u64, u64>);
+        one!(HarrisList<u64, u64>);
+        one!(MichaelList<u64, u64>);
+        one!(NoFlagList<u64, u64>);
+        one!(CoarseLockList<u64, u64>);
+        one!(HohLockList<u64, u64>);
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lists);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Criterion: the skip-list priority queue (DeleteMin application, §2)
+//! against a mutex-protected binary heap — single-thread batches and a
+//! 4-thread producer/consumer run.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use lf_baselines::LockedHeap;
+use lf_core::PriorityQueue;
+
+const BATCH: u64 = 1_000;
+
+fn bench_pq(c: &mut Criterion) {
+    let mut g = c.benchmark_group("priority_queue_single_thread");
+    g.sample_size(10);
+
+    g.bench_function(BenchmarkId::new("skiplist-pq", "push-pop"), |b| {
+        let pq = PriorityQueue::new();
+        let h = pq.handle();
+        let mut x = 1u64;
+        b.iter(|| {
+            for _ in 0..BATCH {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                h.push((x >> 33) % 256, x);
+            }
+            for _ in 0..BATCH {
+                black_box(h.pop());
+            }
+        })
+    });
+
+    g.bench_function(BenchmarkId::new("locked-heap", "push-pop"), |b| {
+        let q = LockedHeap::new();
+        let mut x = 1u64;
+        b.iter(|| {
+            for _ in 0..BATCH {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                q.push((x >> 33) % 256, x);
+            }
+            for _ in 0..BATCH {
+                black_box(q.pop());
+            }
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("priority_queue_4_threads");
+    g.sample_size(10);
+
+    fn concurrent_skiplist_pq(iters: u64) -> Duration {
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let pq = PriorityQueue::new();
+            let start = Instant::now();
+            std::thread::scope(|s| {
+                for t in 0..2u64 {
+                    let pq = &pq;
+                    s.spawn(move || {
+                        let h = pq.handle();
+                        for i in 0..BATCH {
+                            h.push((t * BATCH + i) % 256, i);
+                        }
+                    });
+                }
+                for _ in 0..2 {
+                    let pq = &pq;
+                    s.spawn(move || {
+                        let h = pq.handle();
+                        let mut got = 0;
+                        while got < BATCH {
+                            if h.pop().is_some() {
+                                got += 1;
+                            } else {
+                                std::thread::yield_now();
+                            }
+                        }
+                    });
+                }
+            });
+            total += start.elapsed();
+        }
+        total
+    }
+
+    fn concurrent_locked_heap(iters: u64) -> Duration {
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let q = LockedHeap::new();
+            let start = Instant::now();
+            std::thread::scope(|s| {
+                for t in 0..2u64 {
+                    let q = &q;
+                    s.spawn(move || {
+                        for i in 0..BATCH {
+                            q.push((t * BATCH + i) % 256, i);
+                        }
+                    });
+                }
+                for _ in 0..2 {
+                    let q = &q;
+                    s.spawn(move || {
+                        let mut got = 0;
+                        while got < BATCH {
+                            if q.pop().is_some() {
+                                got += 1;
+                            } else {
+                                std::thread::yield_now();
+                            }
+                        }
+                    });
+                }
+            });
+            total += start.elapsed();
+        }
+        total
+    }
+
+    g.bench_function(BenchmarkId::new("skiplist-pq", "2prod-2cons"), |b| {
+        b.iter_custom(concurrent_skiplist_pq)
+    });
+    g.bench_function(BenchmarkId::new("locked-heap", "2prod-2cons"), |b| {
+        b.iter_custom(concurrent_locked_heap)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pq);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion: epoch-reclamation substrate costs — pin/unpin, deferred
+//! retirement, and collection cadence. These bound the constant-factor
+//! overhead every list/skip list operation pays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lf_reclaim::Collector;
+
+fn bench_reclaim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reclaim_ops");
+    g.sample_size(20);
+
+    g.bench_function("pin_unpin", |b| {
+        let collector = Collector::new();
+        let handle = collector.register();
+        b.iter(|| {
+            black_box(handle.pin());
+        })
+    });
+
+    g.bench_function("nested_pin", |b| {
+        let collector = Collector::new();
+        let handle = collector.register();
+        let _outer = handle.pin();
+        b.iter(|| {
+            black_box(handle.pin());
+        })
+    });
+
+    g.bench_function("defer_drop_box", |b| {
+        let collector = Collector::new();
+        let handle = collector.register();
+        b.iter(|| {
+            let guard = handle.pin();
+            let p = Box::into_raw(Box::new(0u64));
+            unsafe { guard.defer_drop_box(p) };
+        })
+    });
+
+    g.bench_function("flush_with_1k_garbage", |b| {
+        let collector = Collector::new();
+        let handle = collector.register();
+        b.iter(|| {
+            {
+                let guard = handle.pin();
+                for _ in 0..1_000 {
+                    let p = Box::into_raw(Box::new(0u64));
+                    unsafe { guard.defer_drop_box(p) };
+                }
+            }
+            for _ in 0..4 {
+                handle.flush();
+            }
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_reclaim);
+criterion_main!(benches);

@@ -1,0 +1,364 @@
+//! Uniform adapter over every dictionary implementation.
+
+use lf_baselines::{
+    CoarseLockList, HarrisList, HohLockList, LockSkipList, MichaelList, NoFlagList,
+    RestartSkipList,
+};
+use lf_core::{FrList, SkipList};
+
+/// A concurrent dictionary under benchmark: keys and values are `u64`.
+pub trait BenchMap: Send + Sync + 'static {
+    /// Per-thread operation handle.
+    type Handle<'a>: MapHandle
+    where
+        Self: 'a;
+
+    /// Create an empty instance.
+    fn create() -> Self;
+
+    /// Register the calling thread.
+    fn bench_handle(&self) -> Self::Handle<'_>;
+
+    /// Display name for tables.
+    fn name() -> &'static str;
+}
+
+/// Per-thread operations on a [`BenchMap`].
+pub trait MapHandle {
+    /// Insert `k → k`; `true` on success.
+    fn insert(&self, k: u64) -> bool;
+    /// Remove `k`; `true` if it was present.
+    fn remove(&self, k: u64) -> bool;
+    /// Whether `k` is present.
+    fn search(&self, k: u64) -> bool;
+}
+
+// ---- Fomitchev–Ruppert list ----
+
+impl BenchMap for FrList<u64, u64> {
+    type Handle<'a> = lf_core::ListHandle<'a, u64, u64>;
+
+    fn create() -> Self {
+        FrList::new()
+    }
+
+    fn bench_handle(&self) -> Self::Handle<'_> {
+        self.handle()
+    }
+
+    fn name() -> &'static str {
+        "fr-list"
+    }
+}
+
+impl MapHandle for lf_core::ListHandle<'_, u64, u64> {
+    fn insert(&self, k: u64) -> bool {
+        lf_core::ListHandle::insert(self, k, k).is_ok()
+    }
+
+    fn remove(&self, k: u64) -> bool {
+        lf_core::ListHandle::remove(self, &k).is_some()
+    }
+
+    fn search(&self, k: u64) -> bool {
+        lf_core::ListHandle::contains(self, &k)
+    }
+}
+
+// ---- Fomitchev–Ruppert skip list ----
+
+impl BenchMap for SkipList<u64, u64> {
+    type Handle<'a> = lf_core::SkipListHandle<'a, u64, u64>;
+
+    fn create() -> Self {
+        SkipList::new()
+    }
+
+    fn bench_handle(&self) -> Self::Handle<'_> {
+        self.handle()
+    }
+
+    fn name() -> &'static str {
+        "fr-skiplist"
+    }
+}
+
+impl MapHandle for lf_core::SkipListHandle<'_, u64, u64> {
+    fn insert(&self, k: u64) -> bool {
+        lf_core::SkipListHandle::insert(self, k, k).is_ok()
+    }
+
+    fn remove(&self, k: u64) -> bool {
+        lf_core::SkipListHandle::remove(self, &k).is_some()
+    }
+
+    fn search(&self, k: u64) -> bool {
+        lf_core::SkipListHandle::contains(self, &k)
+    }
+}
+
+// ---- Harris list ----
+
+impl BenchMap for HarrisList<u64, u64> {
+    type Handle<'a> = lf_baselines::HarrisHandle<'a, u64, u64>;
+
+    fn create() -> Self {
+        HarrisList::new()
+    }
+
+    fn bench_handle(&self) -> Self::Handle<'_> {
+        self.handle()
+    }
+
+    fn name() -> &'static str {
+        "harris-list"
+    }
+}
+
+impl MapHandle for lf_baselines::HarrisHandle<'_, u64, u64> {
+    fn insert(&self, k: u64) -> bool {
+        lf_baselines::HarrisHandle::insert(self, k, k)
+    }
+
+    fn remove(&self, k: u64) -> bool {
+        lf_baselines::HarrisHandle::remove(self, &k).is_some()
+    }
+
+    fn search(&self, k: u64) -> bool {
+        lf_baselines::HarrisHandle::contains(self, &k)
+    }
+}
+
+// ---- No-flag ablation list ----
+
+impl BenchMap for NoFlagList<u64, u64> {
+    type Handle<'a> = lf_baselines::NoFlagHandle<'a, u64, u64>;
+
+    fn create() -> Self {
+        NoFlagList::new()
+    }
+
+    fn bench_handle(&self) -> Self::Handle<'_> {
+        self.handle()
+    }
+
+    fn name() -> &'static str {
+        "noflag-list"
+    }
+}
+
+impl MapHandle for lf_baselines::NoFlagHandle<'_, u64, u64> {
+    fn insert(&self, k: u64) -> bool {
+        lf_baselines::NoFlagHandle::insert(self, k, k)
+    }
+
+    fn remove(&self, k: u64) -> bool {
+        lf_baselines::NoFlagHandle::remove(self, &k).is_some()
+    }
+
+    fn search(&self, k: u64) -> bool {
+        lf_baselines::NoFlagHandle::contains(self, &k)
+    }
+}
+
+// ---- Michael's hazard-pointer list ----
+
+impl BenchMap for MichaelList<u64, u64> {
+    type Handle<'a> = lf_baselines::MichaelHandle<'a, u64, u64>;
+
+    fn create() -> Self {
+        MichaelList::new()
+    }
+
+    fn bench_handle(&self) -> Self::Handle<'_> {
+        self.handle()
+    }
+
+    fn name() -> &'static str {
+        "michael-list"
+    }
+}
+
+impl MapHandle for lf_baselines::MichaelHandle<'_, u64, u64> {
+    fn insert(&self, k: u64) -> bool {
+        lf_baselines::MichaelHandle::insert(self, k, k)
+    }
+
+    fn remove(&self, k: u64) -> bool {
+        lf_baselines::MichaelHandle::remove(self, &k).is_some()
+    }
+
+    fn search(&self, k: u64) -> bool {
+        lf_baselines::MichaelHandle::contains(self, &k)
+    }
+}
+
+// ---- Lock-based structures: the handle is the structure itself ----
+
+impl BenchMap for CoarseLockList<u64, u64> {
+    type Handle<'a> = &'a CoarseLockList<u64, u64>;
+
+    fn create() -> Self {
+        CoarseLockList::new()
+    }
+
+    fn bench_handle(&self) -> Self::Handle<'_> {
+        self
+    }
+
+    fn name() -> &'static str {
+        "coarse-lock-list"
+    }
+}
+
+impl MapHandle for &CoarseLockList<u64, u64> {
+    fn insert(&self, k: u64) -> bool {
+        CoarseLockList::insert(self, k, k)
+    }
+
+    fn remove(&self, k: u64) -> bool {
+        CoarseLockList::remove(self, &k).is_some()
+    }
+
+    fn search(&self, k: u64) -> bool {
+        CoarseLockList::contains(self, &k)
+    }
+}
+
+impl BenchMap for HohLockList<u64, u64> {
+    type Handle<'a> = &'a HohLockList<u64, u64>;
+
+    fn create() -> Self {
+        HohLockList::new()
+    }
+
+    fn bench_handle(&self) -> Self::Handle<'_> {
+        self
+    }
+
+    fn name() -> &'static str {
+        "hoh-lock-list"
+    }
+}
+
+impl MapHandle for &HohLockList<u64, u64> {
+    fn insert(&self, k: u64) -> bool {
+        HohLockList::insert(self, k, k)
+    }
+
+    fn remove(&self, k: u64) -> bool {
+        HohLockList::remove(self, &k).is_some()
+    }
+
+    fn search(&self, k: u64) -> bool {
+        HohLockList::contains(self, &k)
+    }
+}
+
+impl BenchMap for LockSkipList<u64, u64> {
+    type Handle<'a> = &'a LockSkipList<u64, u64>;
+
+    fn create() -> Self {
+        LockSkipList::new()
+    }
+
+    fn bench_handle(&self) -> Self::Handle<'_> {
+        self
+    }
+
+    fn name() -> &'static str {
+        "lock-skiplist"
+    }
+}
+
+impl MapHandle for &LockSkipList<u64, u64> {
+    fn insert(&self, k: u64) -> bool {
+        LockSkipList::insert(self, k, k)
+    }
+
+    fn remove(&self, k: u64) -> bool {
+        LockSkipList::remove(self, &k).is_some()
+    }
+
+    fn search(&self, k: u64) -> bool {
+        LockSkipList::contains(self, &k)
+    }
+}
+
+// ---- Restart-based skip list ----
+
+impl BenchMap for RestartSkipList<u64, u64> {
+    type Handle<'a> = lf_baselines::RestartHandle<'a, u64, u64>;
+
+    fn create() -> Self {
+        RestartSkipList::new()
+    }
+
+    fn bench_handle(&self) -> Self::Handle<'_> {
+        self.handle()
+    }
+
+    fn name() -> &'static str {
+        "restart-skiplist"
+    }
+}
+
+impl MapHandle for lf_baselines::RestartHandle<'_, u64, u64> {
+    fn insert(&self, k: u64) -> bool {
+        lf_baselines::RestartHandle::insert(self, k, k)
+    }
+
+    fn remove(&self, k: u64) -> bool {
+        lf_baselines::RestartHandle::remove(self, &k).is_some()
+    }
+
+    fn search(&self, k: u64) -> bool {
+        lf_baselines::RestartHandle::contains(self, &k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<M: BenchMap>() {
+        let m = M::create();
+        let h = m.bench_handle();
+        assert!(h.insert(5));
+        assert!(!h.insert(5));
+        assert!(h.search(5));
+        assert!(h.remove(5));
+        assert!(!h.remove(5));
+        assert!(!h.search(5));
+    }
+
+    #[test]
+    fn all_adapters_roundtrip() {
+        exercise::<MichaelList<u64, u64>>();
+        exercise::<FrList<u64, u64>>();
+        exercise::<SkipList<u64, u64>>();
+        exercise::<HarrisList<u64, u64>>();
+        exercise::<NoFlagList<u64, u64>>();
+        exercise::<CoarseLockList<u64, u64>>();
+        exercise::<HohLockList<u64, u64>>();
+        exercise::<LockSkipList<u64, u64>>();
+        exercise::<RestartSkipList<u64, u64>>();
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            MichaelList::<u64, u64>::name(),
+            FrList::<u64, u64>::name(),
+            SkipList::<u64, u64>::name(),
+            HarrisList::<u64, u64>::name(),
+            NoFlagList::<u64, u64>::name(),
+            CoarseLockList::<u64, u64>::name(),
+            HohLockList::<u64, u64>::name(),
+            LockSkipList::<u64, u64>::name(),
+            RestartSkipList::<u64, u64>::name(),
+        ];
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+}

@@ -1,0 +1,30 @@
+//! Experiment runner: regenerates every table/claim of `DESIGN.md` §5.
+//!
+//! ```text
+//! experiments <id> [--full]
+//!     id: e1 | e2 | ... | e11 | all
+//!     --full: full problem sizes (default: quick sizes)
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = !args.iter().any(|a| a == "--full");
+    let id = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    println!(
+        "== lock-free lists & skip lists: experiment '{id}' ({} sizes) ==\n",
+        if quick { "quick" } else { "full" }
+    );
+    if lf_bench::experiments::dispatch(id, quick) {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("unknown experiment id '{id}' (use e1..e11 or all)");
+        ExitCode::FAILURE
+    }
+}

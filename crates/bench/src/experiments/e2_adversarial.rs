@@ -1,0 +1,199 @@
+//! E2 — the §3.1 adversarial execution, replayed deterministically.
+//!
+//! Setup: `n` keys in the list; one deleter process repeatedly deletes
+//! the last node; `q − 1` inserter processes try to insert new keys at
+//! the end of the list. In every round the adversary lets each
+//! inserter run **until it is about to execute its insertion C&S**,
+//! then runs the deletion of the current last node to completion, then
+//! resumes the inserters (whose C&S now fails).
+//!
+//! Paper claim: Harris's list does `Ω(q·n²)` total work (every failed
+//! inserter restarts from the head), i.e. `Ω(n̄·c̄)` per operation,
+//! while the Fomitchev–Ruppert list recovers through backlinks for
+//! `O(c)` extra steps per failure, keeping the average `O(n̄ + c̄)`.
+
+use std::sync::Arc;
+
+use lf_sched::sim::{SimFrList, SimHarrisList, SimMichaelList};
+use lf_sched::{Proc, Scheduler, StepKind};
+
+use crate::table::{fmt_f, Table};
+
+/// Abstraction over the two simulated lists.
+trait AdvList: Send + Sync + 'static {
+    fn create() -> Self;
+    fn insert(&self, k: i64, p: &Proc) -> bool;
+    fn delete(&self, k: i64, p: &Proc) -> bool;
+}
+
+impl AdvList for SimFrList {
+    fn create() -> Self {
+        SimFrList::new()
+    }
+    fn insert(&self, k: i64, p: &Proc) -> bool {
+        SimFrList::insert(self, k, p)
+    }
+    fn delete(&self, k: i64, p: &Proc) -> bool {
+        SimFrList::delete(self, k, p)
+    }
+}
+
+impl AdvList for SimHarrisList {
+    fn create() -> Self {
+        SimHarrisList::new()
+    }
+    fn insert(&self, k: i64, p: &Proc) -> bool {
+        SimHarrisList::insert(self, k, p)
+    }
+    fn delete(&self, k: i64, p: &Proc) -> bool {
+        SimHarrisList::delete(self, k, p)
+    }
+}
+
+impl AdvList for SimMichaelList {
+    fn create() -> Self {
+        SimMichaelList::new()
+    }
+    fn insert(&self, k: i64, p: &Proc) -> bool {
+        SimMichaelList::insert(self, k, p)
+    }
+    fn delete(&self, k: i64, p: &Proc) -> bool {
+        SimMichaelList::delete(self, k, p)
+    }
+}
+
+struct AdvOutcome {
+    total_steps: u64,
+    inserter_steps: u64,
+    ops: u64,
+}
+
+/// Run the adversarial schedule with `n` initial keys and `q` processes
+/// (`q − 1` inserters + 1 deleter role).
+fn run_adversary<L: AdvList>(n: usize, q: usize) -> AdvOutcome {
+    assert!(q >= 2);
+    let sched = Scheduler::new();
+    let list = Arc::new(L::create());
+
+    // Prefill keys 1..=n (not counted in the measured steps: snapshot
+    // total after this phase).
+    for k in 1..=n as i64 {
+        let l = list.clone();
+        let op = sched.spawn(move |p| l.insert(k, &p));
+        sched.run_to_completion(op.pid());
+        op.join();
+    }
+    let prefill_steps = sched.total_steps();
+
+    // Spawn the q-1 inserters; their keys sit beyond every prefilled key.
+    let mut inserters = Vec::new();
+    for i in 0..q - 1 {
+        let l = list.clone();
+        let key = (n as i64) * 1000 + i as i64 + 1;
+        inserters.push(sched.spawn(move |p| l.insert(key, &p)));
+    }
+
+    // Rounds: pause every inserter right before its insertion C&S, then
+    // delete the current last node to completion.
+    for round in 0..n {
+        for ins in &inserters {
+            if round > 0 {
+                // Execute the C&S the adversary doomed last round; the
+                // process then recovers (backlinks) or restarts (from
+                // the head) and walks to its next insertion attempt.
+                sched.grant(ins.pid(), 1);
+            }
+            let paused = sched.run_until_pending(ins.pid(), |k| k == StepKind::CasInsert);
+            assert!(paused, "inserter finished early (round {round})");
+        }
+        let last_key = (n - round) as i64;
+        let l = list.clone();
+        let del = sched.spawn(move |p| l.delete(last_key, &p));
+        sched.run_to_completion(del.pid());
+        assert!(del.join(), "adversary failed to delete key {last_key}");
+    }
+
+    // Let the inserters finish on the now-empty list.
+    let mut inserter_steps = 0;
+    for ins in inserters {
+        sched.run_to_completion(ins.pid());
+        inserter_steps += sched.steps(ins.pid());
+        assert!(ins.join(), "inserter ultimately failed");
+    }
+
+    AdvOutcome {
+        total_steps: sched.total_steps() - prefill_steps,
+        inserter_steps,
+        ops: (q - 1) as u64 + n as u64,
+    }
+}
+
+/// Print the comparison table.
+pub fn run(quick: bool) {
+    println!("E2: Section 3.1 adversarial schedule — Harris vs Fomitchev-Ruppert");
+    println!("    q-1 inserters paused before their C&S; deleter removes their");
+    println!("    predecessor each round. steps/op = total essential steps / ops.\n");
+
+    let ns: &[usize] = if quick { &[16, 32, 64] } else { &[16, 32, 64, 128, 256] };
+    let qs: &[usize] = if quick { &[2, 4] } else { &[2, 4, 8] };
+
+    let mut table = Table::new([
+        "n", "q", "harris ins", "michael ins", "fr ins", "harris/fr", "michael/fr",
+        "harris steps/op", "michael steps/op", "fr steps/op",
+    ]);
+    for &q in qs {
+        for &n in ns {
+            let h = run_adversary::<SimHarrisList>(n, q);
+            let m = run_adversary::<SimMichaelList>(n, q);
+            let f = run_adversary::<SimFrList>(n, q);
+            table.row([
+                n.to_string(),
+                q.to_string(),
+                h.inserter_steps.to_string(),
+                m.inserter_steps.to_string(),
+                f.inserter_steps.to_string(),
+                fmt_f(h.inserter_steps as f64 / f.inserter_steps.max(1) as f64),
+                fmt_f(m.inserter_steps as f64 / f.inserter_steps.max(1) as f64),
+                fmt_f(h.total_steps as f64 / h.ops as f64),
+                fmt_f(m.total_steps as f64 / m.ops as f64),
+                fmt_f(f.total_steps as f64 / f.ops as f64),
+            ]);
+        }
+    }
+    print!("{table}");
+    println!(
+        "\npaper claim: Harris- and Michael-style inserters re-search the whole \
+         list every round (quadratic growth in n); FR inserters recover via \
+         backlinks (linear). Both ratio columns should grow with n."
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separation_visible_at_small_sizes() {
+        let h = run_adversary::<SimHarrisList>(24, 3);
+        let f = run_adversary::<SimFrList>(24, 3);
+        assert!(
+            h.inserter_steps > 3 * f.inserter_steps,
+            "harris {} vs fr {}",
+            h.inserter_steps,
+            f.inserter_steps
+        );
+    }
+
+    #[test]
+    fn inserter_cost_grows_quadratically_for_harris_only() {
+        let h1 = run_adversary::<SimHarrisList>(16, 2);
+        let h2 = run_adversary::<SimHarrisList>(32, 2);
+        let f1 = run_adversary::<SimFrList>(16, 2);
+        let f2 = run_adversary::<SimFrList>(32, 2);
+        let h_growth = h2.inserter_steps as f64 / h1.inserter_steps as f64;
+        let f_growth = f2.inserter_steps as f64 / f1.inserter_steps as f64;
+        // Doubling n should ~4x Harris's inserter work but ~2x or less FR's.
+        assert!(h_growth > 3.0, "harris growth {h_growth}");
+        assert!(f_growth < 3.0, "fr growth {f_growth}");
+    }
+}

@@ -1,0 +1,52 @@
+//! E6 — skip list throughput: FR vs restart-based vs lock-based.
+//!
+//! The skip list comparison the paper's §2 frames qualitatively:
+//! backlink recovery (ours) vs Fraser/Harris-style restart-from-top vs
+//! a reader-writer-locked Pugh skip list.
+
+use lf_baselines::{LockSkipList, RestartSkipList};
+use lf_core::SkipList;
+use lf_workloads::{KeyDist, Mix};
+
+use crate::adapters::BenchMap;
+use crate::runner::{run_mixed, RunConfig};
+use crate::table::{fmt_f, Table};
+
+fn measure<M: BenchMap>(threads: usize, ops: u64, mix: Mix) -> f64 {
+    let cfg = RunConfig {
+        threads,
+        ops_per_thread: ops,
+        mix,
+        dist: KeyDist::Uniform { space: 8192 },
+        seed: 0xE6,
+        prefill: 2048,
+    };
+    run_mixed::<M>(&cfg).throughput() / 1.0e3
+}
+
+/// Print the throughput tables.
+pub fn run(quick: bool) {
+    println!("E6: skip list throughput (kops/s), key space 8192, prefill 2048\n");
+    let ops: u64 = if quick { 5_000 } else { 30_000 };
+    let threads: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+
+    for mix in [Mix::READ_HEAVY, Mix::UPDATE_HEAVY] {
+        let mut table = Table::new(["threads", "fr-skiplist", "restart-skiplist", "lock-skiplist"]);
+        for &t in threads {
+            table.row([
+                t.to_string(),
+                fmt_f(measure::<SkipList<u64, u64>>(t, ops, mix)),
+                fmt_f(measure::<RestartSkipList<u64, u64>>(t, ops, mix)),
+                fmt_f(measure::<LockSkipList<u64, u64>>(t, ops, mix)),
+            ]);
+        }
+        println!("mix {}:", mix.label());
+        print!("{table}");
+        println!();
+    }
+    println!(
+        "expected shape: both lock-free designs beat the global RwLock on\n\
+         update-heavy mixes as threads grow; FR avoids restart penalties\n\
+         under contention."
+    );
+}

@@ -1,0 +1,119 @@
+//! E7 — tower height distribution (paper §4, last paragraph).
+//!
+//! "The distribution of the heights of the full towers may be a little
+//! different from the heights distribution in a sequential skip list,
+//! because higher towers are more likely to be incomplete. However, we
+//! believe this would not affect the expected running time
+//! significantly."
+//!
+//! We build a skip list under concurrent churn, quiesce, and compare
+//! the observed height histogram with the ideal geometric(1/2).
+
+use std::sync::Arc;
+
+use lf_core::SkipList;
+use lf_workloads::{KeyDist, Mix, OpKind, WorkloadIter};
+
+use crate::table::{fmt_f, Table};
+
+/// Print the census table.
+pub fn run(quick: bool) {
+    println!("E7: tower height census vs geometric(1/2)\n");
+    let keys: u64 = if quick { 4_096 } else { 16_384 };
+    let churn_ops: u64 = if quick { 4_000 } else { 20_000 };
+
+    let sl = Arc::new(SkipList::<u64, u64>::new());
+
+    // Phase 1: concurrent bulk insert.
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let sl = sl.clone();
+            s.spawn(move || {
+                let h = sl.handle();
+                let per = keys / 4;
+                for i in 0..per {
+                    let _ = h.insert(t * per + i, i);
+                }
+            });
+        }
+    });
+
+    // Phase 2: concurrent churn (deletions interrupt constructions).
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let sl = sl.clone();
+            s.spawn(move || {
+                let h = sl.handle();
+                let mut w = WorkloadIter::new(
+                    Mix::CHURN,
+                    KeyDist::Uniform { space: keys },
+                    0xE7 + t,
+                );
+                for _ in 0..churn_ops {
+                    let op = w.next_op();
+                    match op.kind {
+                        OpKind::Insert => {
+                            let _ = h.insert(op.key, op.key);
+                        }
+                        OpKind::Remove => {
+                            let _ = h.remove(&op.key);
+                        }
+                        OpKind::Search => {
+                            let _ = h.contains(&op.key);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // Cleaning sweep: a search for every key physically deletes any
+    // marked node a stalled helper left behind, so the census sees a
+    // fully quiescent structure.
+    {
+        let h = sl.handle();
+        for k in 0..keys {
+            let _ = h.contains(&k);
+        }
+    }
+
+    // Quiesced census.
+    let heights = sl.tower_heights();
+    let total = heights.len() as f64;
+    let max_h = heights.iter().copied().max().unwrap_or(1);
+    let mut counts = vec![0u64; max_h + 1];
+    for h in &heights {
+        counts[*h] += 1;
+    }
+
+    let mut table = Table::new([
+        "height",
+        "towers",
+        "observed frac",
+        "geometric(1/2) frac",
+    ]);
+    for (h, &count) in counts.iter().enumerate().take(max_h.min(12) + 1).skip(1) {
+        let observed = count as f64 / total;
+        let expected = 0.5f64.powi(h as i32);
+        table.row([
+            h.to_string(),
+            count.to_string(),
+            fmt_f(observed),
+            fmt_f(expected),
+        ]);
+    }
+    print!("{table}");
+    let mean: f64 = heights.iter().map(|&h| h as f64).sum::<f64>() / total;
+    println!(
+        "\ntowers: {}  mean height: {} (geometric ideal 2.0)  max: {max_h}",
+        heights.len(),
+        fmt_f(mean),
+    );
+    sl.validate_quiescent();
+    println!(
+        "paper claim: full-tower heights approximately geometric; incomplete\n\
+         towers bounded by point contention (all gone at quiescence) — the\n\
+         structural validation above passing confirms no superfluous towers\n\
+         remain."
+    );
+}

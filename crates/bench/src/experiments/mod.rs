@@ -1,0 +1,46 @@
+//! One module per experiment of `DESIGN.md` §5.
+//!
+//! Each module exposes `run(quick: bool)` which prints its table(s) to
+//! stdout. `quick` shrinks problem sizes so `experiments all` finishes
+//! in minutes; the full sizes are what `EXPERIMENTS.md` records.
+
+pub mod e1_deletion_trace;
+pub mod e2_adversarial;
+pub mod e3_amortized;
+pub mod e4_list_throughput;
+pub mod e5_search_cost;
+pub mod e6_skiplist_throughput;
+pub mod e7_tower_census;
+pub mod e8_flag_ablation;
+pub mod e9_cas_breakdown;
+pub mod e10_additivity;
+pub mod e11_lock_freedom;
+
+/// Run one experiment by id (`"e1"` … `"e11"` or `"all"`).
+///
+/// Returns `false` if the id is unknown.
+pub fn dispatch(id: &str, quick: bool) -> bool {
+    match id {
+        "e1" => e1_deletion_trace::run(quick),
+        "e2" => e2_adversarial::run(quick),
+        "e3" => e3_amortized::run(quick),
+        "e4" => e4_list_throughput::run(quick),
+        "e5" => e5_search_cost::run(quick),
+        "e6" => e6_skiplist_throughput::run(quick),
+        "e7" => e7_tower_census::run(quick),
+        "e8" => e8_flag_ablation::run(quick),
+        "e9" => e9_cas_breakdown::run(quick),
+        "e10" => e10_additivity::run(quick),
+        "e11" => e11_lock_freedom::run(quick),
+        "all" => {
+            for id in [
+                "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+            ] {
+                assert!(dispatch(id, quick));
+                println!();
+            }
+        }
+        _ => return false,
+    }
+    true
+}

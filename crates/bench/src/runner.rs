@@ -1,0 +1,150 @@
+//! Multi-threaded workload runner with step-metric capture.
+
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use lf_workloads::{KeyDist, Mix, OpKind, WorkloadIter};
+
+use crate::adapters::{BenchMap, MapHandle};
+
+/// Parameters of one measured run.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Worker thread count.
+    pub threads: usize,
+    /// Operations per thread.
+    pub ops_per_thread: u64,
+    /// Operation mix.
+    pub mix: Mix,
+    /// Key distribution.
+    pub dist: KeyDist,
+    /// Base RNG seed (each thread derives its own).
+    pub seed: u64,
+    /// Keys inserted before the measured phase (every other key of the
+    /// space, up to this count) so the structure starts at steady size.
+    pub prefill: u64,
+}
+
+/// Outcome of one measured run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunResult {
+    /// Total completed operations.
+    pub ops: u64,
+    /// Wall-clock time of the measured phase.
+    pub elapsed: Duration,
+    /// Essential-step delta for the measured phase (all threads).
+    pub metrics: lf_metrics::Snapshot,
+}
+
+impl RunResult {
+    /// Operations per second.
+    pub fn throughput(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Essential steps per operation.
+    pub fn steps_per_op(&self) -> f64 {
+        self.metrics.essential_steps() as f64 / self.ops.max(1) as f64
+    }
+}
+
+/// Key space implied by a distribution.
+fn space_of(dist: &KeyDist) -> u64 {
+    match dist {
+        KeyDist::Uniform { space } => *space,
+        KeyDist::Zipfian { space, .. } => *space,
+        KeyDist::Tail { space, .. } => *space,
+        KeyDist::Sequential { space } => *space,
+    }
+}
+
+/// Run `cfg` against a fresh `M`, returning throughput and the
+/// essential-step delta attributable to the measured phase.
+pub fn run_mixed<M: BenchMap>(cfg: &RunConfig) -> RunResult {
+    let map = M::create();
+
+    // Prefill half the key space (even keys) so searches hit ~50%.
+    {
+        let h = map.bench_handle();
+        let space = space_of(&cfg.dist);
+        let mut inserted = 0;
+        let mut k = 0;
+        while inserted < cfg.prefill && k < space {
+            h.insert(k);
+            inserted += 1;
+            k += 2;
+        }
+    }
+    lf_metrics::flush_local();
+    let before = lf_metrics::snapshot();
+
+    let barrier = Barrier::new(cfg.threads + 1);
+    let mut start: Option<Instant> = None;
+
+    std::thread::scope(|s| {
+        for t in 0..cfg.threads {
+            let map = &map;
+            let barrier = &barrier;
+            let mix = cfg.mix;
+            let dist = cfg.dist.clone();
+            let seed = cfg
+                .seed
+                .wrapping_add(t as u64)
+                .wrapping_mul(0x2545F4914F6CDD1D);
+            let ops = cfg.ops_per_thread;
+            s.spawn(move || {
+                let h = map.bench_handle();
+                let mut w = WorkloadIter::new(mix, dist, seed);
+                barrier.wait();
+                for _ in 0..ops {
+                    let op = w.next_op();
+                    match op.kind {
+                        OpKind::Insert => h.insert(op.key),
+                        OpKind::Remove => h.remove(op.key),
+                        OpKind::Search => h.search(op.key),
+                    };
+                }
+                lf_metrics::flush_local();
+            });
+        }
+        // Start the clock before releasing the barrier: on a single
+        // CPU a worker can otherwise run to completion before this
+        // thread is rescheduled, shrinking the measured window to ~0.
+        start = Some(Instant::now());
+        barrier.wait();
+        // The scope joins all workers before returning.
+    });
+    let elapsed = start.expect("barrier released").elapsed();
+
+    let after = lf_metrics::snapshot();
+    RunResult {
+        ops: cfg.threads as u64 * cfg.ops_per_thread,
+        elapsed,
+        metrics: after - before,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lf_core::FrList;
+
+    #[test]
+    fn runner_counts_ops_and_steps() {
+        let cfg = RunConfig {
+            threads: 2,
+            ops_per_thread: 200,
+            mix: Mix::CHURN,
+            dist: KeyDist::Uniform { space: 64 },
+            seed: 42,
+            prefill: 16,
+        };
+        let res = run_mixed::<FrList<u64, u64>>(&cfg);
+        assert_eq!(res.ops, 400);
+        assert!(res.throughput() > 0.0);
+        // Every op records at least its own completion; steps/op must
+        // be positive on a churn workload.
+        assert!(res.steps_per_op() > 0.0, "{res:?}");
+        assert!(res.metrics.ops >= 400);
+    }
+}

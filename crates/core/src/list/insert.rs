@@ -1,0 +1,248 @@
+//! `Insert` (paper Fig. 5) and the deletion routines `Delete`,
+//! `TryFlag`, `HelpFlagged`, `TryMark` (paper Fig. 4/5).
+
+use std::ptr;
+use std::sync::atomic::Ordering;
+
+use lf_metrics::CasType;
+use lf_reclaim::Guard;
+use lf_tagged::{TagBits, TaggedPtr};
+
+use super::{Bound, FrList, Mode, Node};
+
+impl<K, V> FrList<K, V>
+where
+    K: Ord + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
+    /// Paper `Insert(k, e)` (Fig. 5).
+    ///
+    /// # Safety
+    ///
+    /// `guard` must pin this list's collector.
+    pub(crate) unsafe fn insert_impl(
+        &self,
+        key: K,
+        value: V,
+        guard: &Guard<'_>,
+    ) -> Result<(), (K, V)> {
+        // Line 1–3: locate the insertion point, reject duplicates.
+        let (mut prev, mut next) = self.search_from(&key, self.head, Mode::Le, guard);
+        if (*prev).key.as_key() == Some(&key) {
+            return Err((key, value));
+        }
+        // Line 4: create the node (ownership of key/value moves in; we
+        // recover them from the box if the insert ultimately fails).
+        let new_node = Node::alloc(Bound::Key(key), Some(value), ptr::null_mut());
+
+        // Lines 5–22.
+        loop {
+            let prev_succ = (*prev).succ();
+            if prev_succ.is_flagged() {
+                // Line 7–8: predecessor is flagged — help the deletion
+                // of its successor complete (which removes the flag).
+                self.help_flagged(prev, prev_succ.ptr(), guard);
+            } else {
+                // Line 10–11: attempt the insertion C&S (type 1).
+                (*new_node)
+                    .succ
+                    .store(TaggedPtr::unmarked(next), Ordering::SeqCst);
+                let res = (*prev).succ.compare_exchange(
+                    TaggedPtr::unmarked(next),
+                    TaggedPtr::unmarked(new_node),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                lf_metrics::record_cas(CasType::Insert, res.is_ok());
+                match res {
+                    Ok(_) => {
+                        // Line 12–13: success.
+                        self.len.fetch_add(1, Ordering::SeqCst);
+                        return Ok(());
+                    }
+                    Err(found) => {
+                        // Line 15–16: failure due to flagging — help.
+                        if found.is_flagged() {
+                            self.help_flagged(prev, found.ptr(), guard);
+                        }
+                        // Line 17–18: failure possibly due to marking —
+                        // walk backlinks to the first unmarked node.
+                        while (*prev).is_marked() {
+                            let back = (*prev).backlink();
+                            debug_assert!(!back.is_null(), "marked node lacks backlink");
+                            prev = back;
+                            lf_metrics::record_backlink();
+                        }
+                    }
+                }
+            }
+            // Line 19: re-search from the recovered position.
+            let key_ref = (*new_node).key.as_key().expect("new node has user key");
+            let (p, n) = self.search_from(key_ref, prev, Mode::Le, guard);
+            prev = p;
+            next = n;
+            // Line 20–22: a concurrent insert won the key.
+            if (*prev).key == (*new_node).key {
+                let boxed = Box::from_raw(new_node);
+                match (boxed.key, boxed.element) {
+                    (Bound::Key(k), Some(v)) => return Err((k, v)),
+                    _ => unreachable!("new node always carries key and element"),
+                }
+            }
+        }
+    }
+
+    /// Paper `Delete(k)` (Fig. 4). Returns the removed value.
+    ///
+    /// # Safety
+    ///
+    /// `guard` must pin this list's collector.
+    pub(crate) unsafe fn delete_impl(&self, k: &K, guard: &Guard<'_>) -> Option<V>
+    where
+        V: Clone,
+    {
+        // Line 1: SearchFrom(k − ε, head).
+        let (prev, del) = self.search_from(k, self.head, Mode::Lt, guard);
+        // Line 2–3: k is not in the list.
+        if (*del).key.as_key() != Some(k) {
+            return None;
+        }
+        // Line 4: first deletion step — flag the predecessor.
+        let (prev, result) = self.try_flag(prev, del, guard);
+        // Line 5–6: if we know the flagged predecessor, complete the
+        // marking and physical deletion (steps two and three).
+        if !prev.is_null() {
+            self.help_flagged(prev, del, guard);
+        }
+        // Line 7–8: another operation's deletion wins, or `del` vanished.
+        if !result {
+            return None;
+        }
+        // Line 9: success — this operation owns the deletion.
+        self.len.fetch_sub(1, Ordering::SeqCst);
+        Some(
+            (*del)
+                .element
+                .clone()
+                .expect("user node has element"),
+        )
+    }
+
+    /// Paper `TryFlag(prev_node, target_node)` (Fig. 5): repeatedly
+    /// attempt the type-2 (flagging) C&S on `target`'s predecessor.
+    ///
+    /// Returns `(pred, true)` if this call placed the flag, `(pred,
+    /// false)` if another operation's flag was found (that operation
+    /// will report success), or `(null, false)` if `target` was deleted.
+    ///
+    /// # Safety
+    ///
+    /// `prev` and `target` must be nodes of this list protected by
+    /// `guard`, with `prev` a last-known predecessor of `target`.
+    pub(crate) unsafe fn try_flag(
+        &self,
+        mut prev: *mut Node<K, V>,
+        target: *mut Node<K, V>,
+        guard: &Guard<'_>,
+    ) -> (*mut Node<K, V>, bool) {
+        let flagged = TaggedPtr::new(target, TagBits::Flagged);
+        loop {
+            // Line 2–3: predecessor already flagged by someone else.
+            if (*prev).succ() == flagged {
+                return (prev, false);
+            }
+            // Line 4: the flagging C&S.
+            let res = (*prev).succ.compare_exchange(
+                TaggedPtr::unmarked(target),
+                flagged,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+            lf_metrics::record_cas(CasType::Flag, res.is_ok());
+            match res {
+                // Line 5–6: we placed the flag.
+                Ok(_) => return (prev, true),
+                Err(found) => {
+                    // Line 7–8: concurrent operation flagged it first.
+                    if found == flagged {
+                        return (prev, false);
+                    }
+                    // Line 9–10: recover from marking via backlinks.
+                    while (*prev).is_marked() {
+                        let back = (*prev).backlink();
+                        debug_assert!(!back.is_null(), "marked node lacks backlink");
+                        prev = back;
+                        lf_metrics::record_backlink();
+                    }
+                    // Line 11–13: relocate target's predecessor.
+                    let key_ref = (*target).key.as_key().expect("delete target has user key");
+                    let (p, d) = self.search_from(key_ref, prev, Mode::Lt, guard);
+                    if d != target {
+                        // Target got deleted from the list.
+                        return (ptr::null_mut(), false);
+                    }
+                    prev = p;
+                }
+            }
+        }
+    }
+
+    /// Paper `HelpFlagged(prev_node, del_node)` (Fig. 4): performs
+    /// deletion steps two (backlink + mark) and three (physical delete)
+    /// for the deletion announced by `prev`'s flag.
+    ///
+    /// # Safety
+    ///
+    /// `prev`/`del` must be nodes of this list protected by `guard`;
+    /// `prev.succ` was observed flagged pointing at `del`.
+    pub(crate) unsafe fn help_flagged(
+        &self,
+        prev: *mut Node<K, V>,
+        del: *mut Node<K, V>,
+        guard: &Guard<'_>,
+    ) {
+        // Line 1: the backlink is set *before* the node can be marked,
+        // and every helper writes the same predecessor (the flag freezes
+        // the edge prev → del until physical deletion), so the backlink
+        // never changes once set (INV 4).
+        (*del).backlink.store(prev, Ordering::SeqCst);
+        // Line 2–3: second deletion step.
+        if !(*del).is_marked() {
+            self.try_mark(del, guard);
+        }
+        // Line 4: third deletion step.
+        self.help_marked(prev, del, guard);
+    }
+
+    /// Paper `TryMark(del_node)` (Fig. 4): loop the type-3 (marking)
+    /// C&S until `del` is marked (by us or anyone).
+    ///
+    /// # Safety
+    ///
+    /// `del` must be a node of this list protected by `guard`.
+    pub(crate) unsafe fn try_mark(&self, del: *mut Node<K, V>, guard: &Guard<'_>) {
+        loop {
+            // Line 2: read the right pointer.
+            let next = (*del).right();
+            // Line 3: attempt to mark.
+            let res = (*del).succ.compare_exchange(
+                TaggedPtr::unmarked(next),
+                TaggedPtr::new(next, TagBits::Marked),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+            lf_metrics::record_cas(CasType::Mark, res.is_ok());
+            // Line 4–5: failure due to flagging — help that deletion
+            // finish first (it will unflag `del`).
+            if let Err(found) = res {
+                if found.is_flagged() {
+                    self.help_flagged(del, found.ptr(), guard);
+                }
+            }
+            // Line 6: repeat until marked.
+            if (*del).is_marked() {
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Weakly-consistent iteration.
+
+use std::fmt;
+
+use lf_reclaim::Guard;
+
+use super::{Bound, ListHandle, Node};
+
+/// Iterator over a weakly-consistent snapshot of an
+/// [`FrList`](super::FrList), produced by [`ListHandle::iter`].
+///
+/// Pins the thread for its whole lifetime; drop it promptly in
+/// long-running threads so reclamation can advance.
+pub struct Iter<'h, 'l, K, V> {
+    _handle: &'h ListHandle<'l, K, V>,
+    _guard: Guard<'h>,
+    curr: *mut Node<K, V>,
+}
+
+impl<K, V> fmt::Debug for Iter<'_, '_, K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("list::Iter")
+    }
+}
+
+impl<'h, 'l, K, V> Iter<'h, 'l, K, V>
+where
+    K: Ord + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
+    pub(crate) fn new(handle: &'h ListHandle<'l, K, V>) -> Self {
+        let guard = handle.reclaim.pin();
+        Iter {
+            curr: handle.list.head,
+            _handle: handle,
+            _guard: guard,
+        }
+    }
+}
+
+impl<K, V> Iterator for Iter<'_, '_, K, V>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    type Item = (K, V);
+
+    fn next(&mut self) -> Option<(K, V)> {
+        // SAFETY: `curr` is head or a node reached through successor
+        // pointers while pinned; the guard keeps all of them alive.
+        // Marked nodes' successor fields are frozen, so traversing
+        // through a logically deleted region is well-defined.
+        unsafe {
+            loop {
+                let next = (*self.curr).right();
+                if next.is_null() {
+                    return None;
+                }
+                self.curr = next;
+                match &(*self.curr).key {
+                    Bound::PosInf => return None,
+                    Bound::NegInf => unreachable!("head is never a successor"),
+                    Bound::Key(k) => {
+                        if !(*self.curr).is_marked() {
+                            let v = (*self.curr)
+                                .element
+                                .clone()
+                                .expect("user node has element");
+                            return Some((k.clone(), v));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! The Fomitchev–Ruppert lock-free sorted singly-linked list (paper §3).
+//!
+//! A sorted dictionary over `(K, V)` pairs supporting concurrent
+//! `insert`, `remove`, `get`, and `contains` from any number of threads,
+//! with no locks anywhere: every update is a single-word C&S on a
+//! node's composite *successor field* `(right, mark, flag)`.
+//!
+//! Deletion follows the paper's three-step protocol (Fig. 2):
+//!
+//! 1. **flag** the predecessor's successor field (announces "deletion of
+//!    my successor is in progress" and freezes the field);
+//! 2. set the victim's **backlink** to the predecessor, then **mark**
+//!    the victim (freezing its successor field forever);
+//! 3. **physically delete**: swing the predecessor's field past the
+//!    victim, simultaneously removing the flag.
+//!
+//! When an operation's C&S fails because its reference point got marked,
+//! it follows backlinks leftwards to the first unmarked node and resumes
+//! from there — never from the head. Flags guarantee backlinks always
+//! point at nodes that were unmarked when the backlink was set, so
+//! chains of backlinks never grow rightwards; this is what gives the
+//! amortized `O(n(S) + c(S))` bound.
+
+mod insert;
+mod iter;
+mod node;
+mod search;
+mod set;
+
+pub(crate) use node::{Bound, Node};
+pub(crate) use search::key_before as search_key_before;
+pub use iter::Iter;
+pub use set::{ListSet, SetHandle};
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use lf_reclaim::{Collector, LocalHandle};
+
+/// Which comparison `SearchFrom` uses (paper: `SearchFrom` vs
+/// `SearchFrom2`, written `SearchFrom(k − ε)`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Mode {
+    /// Advance while `next.key <= k`; postcondition `n1.key <= k < n2.key`.
+    Le,
+    /// Advance while `next.key < k`; postcondition `n1.key < k <= n2.key`.
+    Lt,
+}
+
+/// A lock-free sorted linked-list dictionary (Fomitchev & Ruppert 2004).
+///
+/// Duplicate keys are rejected, as in the paper. For anything beyond a
+/// handful of elements prefer [`SkipList`](crate::SkipList), which uses
+/// this list's algorithms on every level; the flat list is the paper's
+/// §3 contribution and the right tool when `n` is small or when you
+/// need its worst-case amortized guarantees.
+///
+/// Each thread should obtain a [`ListHandle`] once via
+/// [`handle`](FrList::handle) and issue operations through it; the
+/// convenience methods on `FrList` itself register a fresh handle per
+/// call and are noticeably slower.
+///
+/// # Examples
+///
+/// ```
+/// use lf_core::FrList;
+///
+/// let list = FrList::new();
+/// let h = list.handle();
+/// assert!(h.insert(3, "three").is_ok());
+/// assert!(h.insert(3, "again").is_err()); // duplicate key
+/// assert_eq!(h.get(&3), Some("three"));
+/// assert_eq!(h.remove(&3), Some("three"));
+/// assert_eq!(h.get(&3), None);
+/// ```
+pub struct FrList<K, V> {
+    pub(crate) head: *mut Node<K, V>,
+    pub(crate) tail: *mut Node<K, V>,
+    pub(crate) collector: Collector,
+    pub(crate) len: AtomicUsize,
+}
+
+// SAFETY: all shared mutation goes through atomic successor fields and
+// backlinks; nodes are freed only via the epoch collector or in `Drop`
+// (unique access). `K`/`V` cross threads, hence the bounds.
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for FrList<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for FrList<K, V> {}
+
+impl<K, V> Default for FrList<K, V>
+where
+    K: Ord + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> fmt::Debug for FrList<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FrList")
+            .field("len", &self.len.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<K, V> FrList<K, V>
+where
+    K: Ord + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
+    /// Create an empty list (head and tail sentinels only).
+    pub fn new() -> Self {
+        let tail = Node::alloc(Bound::PosInf, None, std::ptr::null_mut());
+        let head = Node::alloc(Bound::NegInf, None, tail);
+        FrList {
+            head,
+            tail,
+            collector: Collector::new(),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Register the calling thread and return an operation handle.
+    pub fn handle(&self) -> ListHandle<'_, K, V> {
+        ListHandle {
+            list: self,
+            reclaim: self.collector.register(),
+        }
+    }
+
+    /// Insert through a temporary handle. See [`ListHandle::insert`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the rejected pair if `key` is already present.
+    pub fn insert(&self, key: K, value: V) -> Result<(), (K, V)> {
+        self.handle().insert(key, value)
+    }
+
+    /// Remove through a temporary handle. See [`ListHandle::remove`].
+    pub fn remove(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.handle().remove(key)
+    }
+
+    /// Lookup through a temporary handle. See [`ListHandle::get`].
+    pub fn get(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.handle().get(key)
+    }
+
+    /// Membership test through a temporary handle.
+    pub fn contains(&self, key: &K) -> bool {
+        self.handle().contains(key)
+    }
+}
+
+impl<K, V> FrList<K, V> {
+    /// Number of elements (exact when quiescent; during concurrent
+    /// updates it may transiently lag in-flight operations).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::SeqCst)
+    }
+
+    /// Check structural invariants on a **quiescent** list (no
+    /// concurrent operations): keys strictly sorted (INV 1), the chain
+    /// from head reaches the tail, no node is marked or flagged, and
+    /// the element count matches [`len`](Self::len).
+    ///
+    /// Intended for tests and debugging.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a description) if any invariant is violated.
+    pub fn validate_quiescent(&self)
+    where
+        K: Ord,
+    {
+        let mut count = 0usize;
+        unsafe {
+            let mut cur = self.head;
+            loop {
+                let succ = (*cur).succ.load(Ordering::SeqCst);
+                assert!(!succ.is_marked(), "quiescent list has a marked node");
+                assert!(!succ.is_flagged(), "quiescent list has a flagged node");
+                let next = succ.ptr();
+                if next.is_null() {
+                    assert_eq!(cur, self.tail, "chain ends before the tail sentinel");
+                    break;
+                }
+                assert!(
+                    (*cur).key < (*next).key,
+                    "keys not strictly sorted (INV 1)"
+                );
+                if (*next).key.as_key().is_some() {
+                    count += 1;
+                }
+                cur = next;
+            }
+        }
+        assert_eq!(count, self.len(), "len counter disagrees with chain");
+    }
+
+    /// Whether the list holds no elements (same caveat as [`len`](Self::len)).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K, V> Drop for FrList<K, V> {
+    fn drop(&mut self) {
+        // Unique access: free every node still linked from the head
+        // (regular and logically-deleted nodes). Physically deleted
+        // nodes are disjoint from this chain and are freed when
+        // `collector` drops right after.
+        let mut cur = self.head;
+        while !cur.is_null() {
+            let next = unsafe { (*cur).right() };
+            drop(unsafe { Box::from_raw(cur) });
+            cur = next;
+        }
+    }
+}
+
+/// A per-thread handle to an [`FrList`].
+///
+/// Owns the thread's registration with the list's epoch collector; every
+/// operation pins the thread for its duration. Not `Send`.
+pub struct ListHandle<'l, K, V> {
+    pub(crate) list: &'l FrList<K, V>,
+    pub(crate) reclaim: LocalHandle,
+}
+
+impl<K, V> fmt::Debug for ListHandle<'_, K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ListHandle")
+    }
+}
+
+impl<'l, K, V> ListHandle<'l, K, V>
+where
+    K: Ord + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
+    /// Insert `key → value`.
+    ///
+    /// Linearizes at the successful insertion C&S (paper §3.3).
+    ///
+    /// # Errors
+    ///
+    /// If `key` is already present, returns `Err((key, value))` handing
+    /// both back to the caller (the paper's `DUPLICATE_KEY`).
+    pub fn insert(&self, key: K, value: V) -> Result<(), (K, V)> {
+        let guard = self.reclaim.pin();
+        let res = unsafe { self.list.insert_impl(key, value, &guard) };
+        lf_metrics::record_op();
+        res
+    }
+
+    /// Remove `key`, returning its value.
+    ///
+    /// A successful removal linearizes when the node becomes marked; an
+    /// unsuccessful one per the paper's §3.3 case analysis.
+    pub fn remove(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        let guard = self.reclaim.pin();
+        let res = unsafe { self.list.delete_impl(key, &guard) };
+        lf_metrics::record_op();
+        res
+    }
+
+    /// Look up `key`, returning a clone of its value.
+    pub fn get(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        let guard = self.reclaim.pin();
+        let res = unsafe {
+            self.list
+                .search_impl(key, &guard)
+                .map(|n| (*n).element.clone().expect("user node has element"))
+        };
+        lf_metrics::record_op();
+        res
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &K) -> bool {
+        let guard = self.reclaim.pin();
+        let res = unsafe { self.list.search_impl(key, &guard).is_some() };
+        lf_metrics::record_op();
+        res
+    }
+
+    /// Iterate over a weakly-consistent snapshot of the list, cloning
+    /// each `(key, value)` pair that is present (unmarked) when visited.
+    ///
+    /// Concurrent updates may or may not be reflected; every pair
+    /// yielded was present at some moment during the iteration.
+    pub fn iter(&self) -> Iter<'_, 'l, K, V>
+    where
+        K: Clone,
+        V: Clone,
+    {
+        Iter::new(self)
+    }
+
+    /// The smallest key and its value, if any (weakly consistent).
+    pub fn first(&self) -> Option<(K, V)>
+    where
+        K: Clone,
+        V: Clone,
+    {
+        self.iter().next()
+    }
+
+    /// Remove and return an entry that was the smallest at some moment
+    /// during the call (lock-free DeleteMin; see
+    /// [`SkipList::pop_first`](crate::SkipList) — prefer the skip list
+    /// when `n` is large).
+    pub fn pop_first(&self) -> Option<(K, V)>
+    where
+        K: Clone,
+        V: Clone,
+    {
+        loop {
+            let (k, _) = self.first()?;
+            if let Some(v) = self.remove(&k) {
+                return Some((k, v));
+            }
+        }
+    }
+
+    /// Return `key`'s value, inserting `value` first if absent. On a
+    /// race the returned value is the winning insert's.
+    pub fn get_or_insert(&self, key: K, value: V) -> V
+    where
+        K: Clone,
+        V: Clone,
+    {
+        loop {
+            if let Some(existing) = self.get(&key) {
+                return existing;
+            }
+            match self.insert(key.clone(), value.clone()) {
+                Ok(()) => return value,
+                // Lost the race to a concurrent insert: re-read.
+                Err(_) => continue,
+            }
+        }
+    }
+
+    /// The list this handle operates on.
+    pub fn list(&self) -> &'l FrList<K, V> {
+        self.list
+    }
+
+    /// Opportunistically advance reclamation (frees retired nodes whose
+    /// grace period elapsed). Called automatically at a fixed cadence.
+    pub fn flush_reclamation(&self) {
+        self.reclaim.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests;
+
+impl<K, V> FromIterator<(K, V)> for FrList<K, V>
+where
+    K: Ord + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
+    /// Build a list from pairs; later duplicates are dropped.
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let list = FrList::new();
+        {
+            let h = list.handle();
+            for (k, v) in iter {
+                let _ = h.insert(k, v);
+            }
+        }
+        list
+    }
+}
+
+impl<K, V> Extend<(K, V)> for FrList<K, V>
+where
+    K: Ord + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
+    /// Insert pairs; duplicates of existing keys are dropped.
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        let h = self.handle();
+        for (k, v) in iter {
+            let _ = h.insert(k, v);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! List node layout: key, element, successor field, backlink.
+
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+use lf_tagged::{AtomicTaggedPtr, TaggedPtr};
+
+/// A key extended with the sentinels `-∞` and `+∞` held by the head and
+/// tail dummy nodes. The derived ordering places `NegInf < Key(_) <
+/// PosInf`, which is exactly the paper's convention.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Bound<K> {
+    /// `-∞`: the head node's key.
+    NegInf,
+    /// A user key.
+    Key(K),
+    /// `+∞`: the tail node's key.
+    PosInf,
+}
+
+impl<K> Bound<K> {
+    /// The user key, if this is not a sentinel.
+    pub fn as_key(&self) -> Option<&K> {
+        match self {
+            Bound::Key(k) => Some(k),
+            _ => None,
+        }
+    }
+}
+
+/// One node of the lock-free linked list.
+///
+/// Field-for-field the paper's layout (§3.2): `key`, `element`,
+/// `backlink`, and the composite successor field `succ = (right, mark,
+/// flag)`. The two control bits live in the low bits of the `succ` word
+/// (see [`lf_tagged`]); `Node` is 8-byte aligned, so they are always
+/// free.
+#[repr(align(8))]
+pub(crate) struct Node<K, V> {
+    pub(crate) key: Bound<K>,
+    /// `None` only in the head/tail sentinels.
+    pub(crate) element: Option<V>,
+    /// The composite successor field, the only field updated by C&S.
+    pub(crate) succ: AtomicTaggedPtr<Node<K, V>>,
+    /// Set (to the flagged predecessor) immediately before the node is
+    /// marked; never changes afterwards (paper INV 4).
+    pub(crate) backlink: AtomicPtr<Node<K, V>>,
+}
+
+impl<K, V> Node<K, V> {
+    /// Heap-allocate a node with a clean successor pointing at `right`.
+    pub(crate) fn alloc(key: Bound<K>, element: Option<V>, right: *mut Node<K, V>) -> *mut Self {
+        Box::into_raw(Box::new(Node {
+            key,
+            element,
+            succ: AtomicTaggedPtr::new(TaggedPtr::unmarked(right)),
+            backlink: AtomicPtr::new(std::ptr::null_mut()),
+        }))
+    }
+
+    /// Load the successor field.
+    #[inline]
+    pub(crate) fn succ(&self) -> TaggedPtr<Node<K, V>> {
+        self.succ.load(Ordering::SeqCst)
+    }
+
+    /// The `right` pointer component of the successor field.
+    #[inline]
+    pub(crate) fn right(&self) -> *mut Node<K, V> {
+        self.succ().ptr()
+    }
+
+    /// Whether the node is marked (logically deleted).
+    #[inline]
+    pub(crate) fn is_marked(&self) -> bool {
+        self.succ().is_marked()
+    }
+
+    /// Load the backlink.
+    #[inline]
+    pub(crate) fn backlink(&self) -> *mut Node<K, V> {
+        self.backlink.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_ordering_matches_paper() {
+        assert!(Bound::NegInf < Bound::Key(0));
+        assert!(Bound::Key(i64::MAX) < Bound::PosInf);
+        assert!(Bound::<i64>::NegInf < Bound::PosInf);
+        assert_eq!(Bound::Key(5), Bound::Key(5));
+        assert!(Bound::Key(3) < Bound::Key(4));
+    }
+
+    #[test]
+    fn bound_as_key() {
+        assert_eq!(Bound::Key(7).as_key(), Some(&7));
+        assert_eq!(Bound::<u32>::NegInf.as_key(), None);
+        assert_eq!(Bound::<u32>::PosInf.as_key(), None);
+    }
+
+    #[test]
+    fn node_alloc_is_clean() {
+        let n = Node::<u32, ()>::alloc(Bound::Key(1), Some(()), std::ptr::null_mut());
+        unsafe {
+            assert!(!(*n).is_marked());
+            assert!((*n).succ().is_clean());
+            assert!((*n).backlink().is_null());
+            drop(Box::from_raw(n));
+        }
+    }
+
+    #[test]
+    fn node_alignment_leaves_tag_bits_free() {
+        let n = Node::<u8, u8>::alloc(Bound::Key(1), Some(2), std::ptr::null_mut());
+        assert_eq!(n as usize & 0b111, 0);
+        unsafe { drop(Box::from_raw(n)) };
+    }
+}

@@ -1,0 +1,132 @@
+//! `SearchFrom` and `HelpMarked` (paper Fig. 3).
+
+use std::sync::atomic::Ordering;
+
+use lf_metrics::CasType;
+use lf_reclaim::Guard;
+use lf_tagged::{TagBits, TaggedPtr};
+
+use super::{Bound, FrList, Mode, Node};
+
+/// `node_key OP k` where OP is `<=` (Le) or `<` (Lt), honouring the
+/// sentinel ordering `-∞ < every key < +∞`.
+#[inline]
+pub(crate) fn key_before<K: Ord>(node_key: &Bound<K>, k: &K, mode: Mode) -> bool {
+    match node_key {
+        Bound::NegInf => true,
+        Bound::PosInf => false,
+        Bound::Key(nk) => match mode {
+            Mode::Le => nk <= k,
+            Mode::Lt => nk < k,
+        },
+    }
+}
+
+impl<K, V> FrList<K, V>
+where
+    K: Ord + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
+    /// Paper `SearchFrom(k, curr_node)` (Fig. 3), plus the `SearchFrom2`
+    /// variant selected by [`Mode`].
+    ///
+    /// Starting from `curr`, finds consecutive nodes `(n1, n2)` with
+    /// `n1.key <= k < n2.key` (Le) or `n1.key < k <= n2.key` (Lt), such
+    /// that `n1.right == n2` held at some time during the call. Helps
+    /// physically delete any marked node it encounters whose predecessor
+    /// it holds (line 5).
+    ///
+    /// # Safety
+    ///
+    /// `curr` must be a node of this list protected by `guard` (i.e. it
+    /// was reachable at some point while the guard was live), with
+    /// `curr.key` satisfying the search precondition `curr.key <= k`.
+    pub(crate) unsafe fn search_from(
+        &self,
+        k: &K,
+        mut curr: *mut Node<K, V>,
+        mode: Mode,
+        guard: &Guard<'_>,
+    ) -> (*mut Node<K, V>, *mut Node<K, V>) {
+        let mut next = (*curr).right();
+        // Line 2: while next_node.key <= k (or < for SearchFrom2).
+        while key_before(&(*next).key, k, mode) {
+            // Lines 3–6: ensure either next is unmarked, or both curr
+            // and next are marked and curr was marked earlier (we are
+            // inside a deleted region and may traverse through it).
+            loop {
+                let next_succ = (*next).succ();
+                if !next_succ.is_marked() {
+                    break;
+                }
+                let curr_succ = (*curr).succ();
+                if curr_succ.is_marked() && curr_succ.ptr() == next {
+                    break;
+                }
+                // Line 4–5: if curr still points at the marked next,
+                // help complete its physical deletion.
+                if (*curr).right() == next {
+                    self.help_marked(curr, next, guard);
+                }
+                // Line 6: re-read curr's right pointer.
+                next = (*curr).right();
+                lf_metrics::record_next_update();
+            }
+            // Line 7–9: advance if next still precedes k.
+            if key_before(&(*next).key, k, mode) {
+                curr = next;
+                lf_metrics::record_curr_update();
+                next = (*curr).right();
+            }
+        }
+        (curr, next)
+    }
+
+    /// Paper `Search(k)` core: returns the node with key `k` if the
+    /// dictionary contains it.
+    ///
+    /// # Safety
+    ///
+    /// `guard` must pin this list's collector; the returned pointer is
+    /// valid while `guard` lives.
+    pub(crate) unsafe fn search_impl(&self, k: &K, guard: &Guard<'_>) -> Option<*mut Node<K, V>> {
+        let (curr, _next) = self.search_from(k, self.head, Mode::Le, guard);
+        ((*curr).key.as_key() == Some(k)).then_some(curr)
+    }
+
+    /// Paper `HelpMarked(prev_node, del_node)` (Fig. 3): the type-4
+    /// (physical deletion) C&S. On success, `del` has been unlinked and
+    /// is retired to the collector.
+    ///
+    /// # Safety
+    ///
+    /// `prev` and `del` must be nodes of this list protected by `guard`.
+    pub(crate) unsafe fn help_marked(
+        &self,
+        prev: *mut Node<K, V>,
+        del: *mut Node<K, V>,
+        guard: &Guard<'_>,
+    ) {
+        let next = (*del).right();
+        let res = (*prev).succ.compare_exchange(
+            TaggedPtr::new(del, TagBits::Flagged),
+            TaggedPtr::unmarked(next),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+        lf_metrics::record_cas(CasType::Unlink, res.is_ok());
+        if res.is_ok() {
+            // Exactly one unlink C&S succeeds per node (its predecessor
+            // is unique and flagged, and a physically deleted node can
+            // never be re-linked), so this retire happens exactly once.
+            self.retire(del, guard);
+        }
+    }
+
+    /// Queue a physically deleted node for destruction once all current
+    /// pins drain.
+    pub(crate) unsafe fn retire(&self, node: *mut Node<K, V>, guard: &Guard<'_>) {
+        let addr = node as usize;
+        guard.defer_unchecked(move || drop(Box::from_raw(addr as *mut Node<K, V>)));
+    }
+}

@@ -1,0 +1,118 @@
+//! Set façade over the list.
+
+use std::fmt;
+
+use super::{FrList, ListHandle};
+
+/// A lock-free sorted set of keys — [`FrList`] with unit values.
+///
+/// # Examples
+///
+/// ```
+/// use lf_core::ListSet;
+///
+/// let set = ListSet::new();
+/// assert!(set.insert(10));
+/// assert!(!set.insert(10));
+/// assert!(set.contains(&10));
+/// assert!(set.remove(&10));
+/// assert!(!set.remove(&10));
+/// ```
+pub struct ListSet<K> {
+    inner: FrList<K, ()>,
+}
+
+impl<K> fmt::Debug for ListSet<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ListSet").field("len", &self.inner.len()).finish()
+    }
+}
+
+impl<K> Default for ListSet<K>
+where
+    K: Ord + Send + Sync + 'static,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K> ListSet<K>
+where
+    K: Ord + Send + Sync + 'static,
+{
+    /// Create an empty set.
+    pub fn new() -> Self {
+        ListSet {
+            inner: FrList::new(),
+        }
+    }
+
+    /// Register the calling thread and return an operation handle.
+    pub fn handle(&self) -> SetHandle<'_, K> {
+        SetHandle {
+            inner: self.inner.handle(),
+        }
+    }
+
+    /// Insert `key`; returns `false` if it was already present.
+    pub fn insert(&self, key: K) -> bool {
+        self.inner.insert(key, ()).is_ok()
+    }
+
+    /// Remove `key`; returns whether it was present.
+    pub fn remove(&self, key: &K) -> bool {
+        self.inner.remove(key).is_some()
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.inner.contains(key)
+    }
+
+    /// Number of keys (exact when quiescent).
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the set is empty (same caveat as [`len`](Self::len)).
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// The underlying list.
+    pub fn as_list(&self) -> &FrList<K, ()> {
+        &self.inner
+    }
+}
+
+/// Per-thread handle to a [`ListSet`].
+pub struct SetHandle<'l, K> {
+    inner: ListHandle<'l, K, ()>,
+}
+
+impl<K> fmt::Debug for SetHandle<'_, K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SetHandle")
+    }
+}
+
+impl<K> SetHandle<'_, K>
+where
+    K: Ord + Send + Sync + 'static,
+{
+    /// Insert `key`; returns `false` if it was already present.
+    pub fn insert(&self, key: K) -> bool {
+        self.inner.insert(key, ()).is_ok()
+    }
+
+    /// Remove `key`; returns whether it was present.
+    pub fn remove(&self, key: &K) -> bool {
+        self.inner.remove(key).is_some()
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.inner.contains(key)
+    }
+}

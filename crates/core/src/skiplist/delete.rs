@@ -1,0 +1,73 @@
+//! `Delete_SL`: root-first deletion, then top-down dismantling (§4).
+
+use std::sync::atomic::Ordering;
+
+use lf_reclaim::Guard;
+
+use super::level::FlagStatus;
+use super::node::SkipNode;
+use super::{Mode, SkipList};
+
+impl<K, V> SkipList<K, V>
+where
+    K: Ord + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
+    /// `Delete_SL(k)`: delete the tower with key `k`.
+    ///
+    /// Deletes the root node first — linearizing the deletion when the
+    /// root is marked and making the whole tower *superfluous* — then
+    /// dismantles the upper levels top-down by searching for `k` down
+    /// to level 2 (the search physically deletes every superfluous node
+    /// it meets).
+    ///
+    /// # Safety
+    ///
+    /// `guard` must pin this list's collector.
+    pub(crate) unsafe fn delete_impl(&self, k: &K, guard: &Guard<'_>) -> Option<V>
+    where
+        V: Clone,
+    {
+        let (prev, del) = self.search_to_level(k, 1, Mode::Lt, guard);
+        if (*del).key_ref().as_key() != Some(k) {
+            return None;
+        }
+        if !self.delete_node(prev, del, guard) {
+            // Another operation owns this deletion (it reports the
+            // success), or the node vanished first.
+            return None;
+        }
+        self.len.fetch_sub(1, Ordering::SeqCst);
+        // The root is retired only when the whole tower's references
+        // drain, and we hold a guard — the element stays readable.
+        let value = (*del).element.clone().expect("root node has element");
+        // Dismantle the now-superfluous upper nodes from top to bottom.
+        if self.max_level > 2 {
+            let _ = self.search_to_level(k, 2, Mode::Le, guard);
+        }
+        Some(value)
+    }
+
+    /// Delete one node at its level: the linked-list `Delete` steps —
+    /// `TryFlag` the predecessor, then `HelpFlagged` (mark + unlink).
+    ///
+    /// Returns `true` iff this call placed the flag, i.e. owns the
+    /// deletion.
+    ///
+    /// # Safety
+    ///
+    /// `prev`/`del` are nodes of one level protected by `guard`, `prev`
+    /// a last-known predecessor of `del`.
+    pub(crate) unsafe fn delete_node(
+        &self,
+        prev: *mut SkipNode<K, V>,
+        del: *mut SkipNode<K, V>,
+        guard: &Guard<'_>,
+    ) -> bool {
+        let (prev, status, did_flag) = self.try_flag_node(prev, del, guard);
+        if status == FlagStatus::In {
+            self.help_flagged(prev, del, guard);
+        }
+        did_flag
+    }
+}

@@ -1,0 +1,219 @@
+//! `Insert_SL`: bottom-up tower construction (paper §4).
+
+use std::sync::atomic::Ordering;
+
+use lf_metrics::CasType;
+use lf_reclaim::Guard;
+use lf_tagged::TaggedPtr;
+use rand::Rng;
+
+use super::node::SkipNode;
+use super::{Bound, Mode, SkipList};
+
+/// Result of a single-level `InsertNode`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum LevelInsert {
+    /// The node was linked into the level.
+    Inserted,
+    /// A node with the same key occupies the level.
+    Duplicate,
+}
+
+impl<K, V> SkipList<K, V>
+where
+    K: Ord + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
+    /// Geometric tower height: grow with probability 1/2 per level,
+    /// capped at `max_level - 1` so the top level stays empty.
+    fn random_height(&self) -> usize {
+        let mut rng = rand::thread_rng();
+        let mut h = 1;
+        while h < self.max_level - 1 && rng.gen::<bool>() {
+            h += 1;
+        }
+        h
+    }
+
+    /// `Insert_SL(k, e)`: insert a tower for `key`, bottom-up.
+    ///
+    /// Linearizes when the root node is linked. If the root gets marked
+    /// (by a concurrent deletion) while upper levels are still being
+    /// built, construction stops — and if a node was just linked into
+    /// the now-superfluous tower, this operation deletes it again.
+    ///
+    /// # Safety
+    ///
+    /// `guard` must pin this list's collector.
+    pub(crate) unsafe fn insert_impl(
+        &self,
+        key: K,
+        value: V,
+        guard: &Guard<'_>,
+    ) -> Result<(), (K, V)> {
+        let (mut prev, mut next) = self.search_to_level(&key, 1, Mode::Le, guard);
+        if (*prev).key_ref().as_key() == Some(&key) {
+            return Err((key, value));
+        }
+        let height = self.random_height();
+        let root = SkipNode::alloc_root(key, value);
+        let mut new_node = root;
+        let mut cur_level = 1usize;
+
+        loop {
+            let result = self.insert_node(new_node, &mut prev, &mut next, guard);
+
+            if result == LevelInsert::Duplicate && cur_level == 1 {
+                // The root was never published; free it directly and
+                // hand the pair back.
+                let boxed = Box::from_raw(root);
+                match (boxed.key, boxed.element) {
+                    (Bound::Key(k), Some(v)) => return Err((k, v)),
+                    _ => unreachable!("root carries key and element"),
+                }
+            }
+
+            if result == LevelInsert::Inserted && cur_level == 1 {
+                // Linearization point of a successful insertion.
+                self.len.fetch_add(1, Ordering::SeqCst);
+            }
+
+            if (*root).is_marked() {
+                // The tower became superfluous while we were building.
+                match result {
+                    LevelInsert::Inserted if new_node != root => {
+                        // We just linked a node into a superfluous
+                        // tower: delete it again (all three steps). A
+                        // targeted delete can be deflected when another
+                        // interrupted construction left a same-key
+                        // superfluous node at this level (the Lt-mode
+                        // relocation search stops at the first of
+                        // them), so loop with Le-mode cleaning searches
+                        // — which delete every superfluous node on
+                        // their path — until our node is marked.
+                        self.delete_node(prev, new_node, guard);
+                        while !(*new_node).is_marked() {
+                            let key_ref =
+                                (*root).key.as_key().expect("root has user key");
+                            let _ =
+                                self.search_to_level(key_ref, cur_level, Mode::Le, guard);
+                        }
+                    }
+                    LevelInsert::Duplicate => {
+                        // `new_node` (an upper node) was never linked:
+                        // undo its tower accounting and free it.
+                        self.abandon_upper(root, new_node);
+                    }
+                    _ => {}
+                }
+                self.release_tower_ref(root, guard); // construction ref
+                return Ok(());
+            }
+
+            if result == LevelInsert::Duplicate {
+                // A leftover superfluous node with our key occupies this
+                // level; our searches delete superfluous towers, so
+                // retrying makes progress.
+                let key_ref = (*root).key.as_key().expect("root has user key");
+                let (p, n) = self.search_to_level(key_ref, cur_level, Mode::Le, guard);
+                prev = p;
+                next = n;
+                continue;
+            }
+
+            cur_level += 1;
+            if cur_level > height {
+                self.release_tower_ref(root, guard); // construction ref
+                return Ok(());
+            }
+
+            // Grow the tower: account for the new node before it can be
+            // linked (and thus unlinked) by anyone.
+            let upper = SkipNode::alloc_upper(new_node, root);
+            (*root).remaining.fetch_add(1, Ordering::SeqCst);
+            (*root).top.store(upper, Ordering::SeqCst);
+            new_node = upper;
+
+            let key_ref = (*root).key.as_key().expect("root has user key");
+            let (p, n) = self.search_to_level(key_ref, cur_level, Mode::Le, guard);
+            prev = p;
+            next = n;
+        }
+    }
+
+    /// Undo the accounting for a never-linked upper node and free it.
+    ///
+    /// # Safety
+    ///
+    /// Caller is the inserting thread (sole writer of `top`), still
+    /// holding the construction reference; `upper` was never linked.
+    unsafe fn abandon_upper(&self, root: *mut SkipNode<K, V>, upper: *mut SkipNode<K, V>) {
+        (*root).top.store((*upper).down, Ordering::SeqCst);
+        // Cannot hit zero: we still hold the construction reference.
+        let prev = (*root).remaining.fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(prev >= 2);
+        drop(Box::from_raw(upper));
+    }
+
+    /// `InsertNode`: the linked-list insertion loop (paper Fig. 5 lines
+    /// 5–22) on one level. `prev`/`next` are updated in place so the
+    /// caller can continue from the final position.
+    ///
+    /// # Safety
+    ///
+    /// `new_node` is unpublished and owned by the caller; `*prev` and
+    /// `*next` are nodes of one level protected by `guard` bracketing
+    /// `new_node`'s key.
+    pub(crate) unsafe fn insert_node(
+        &self,
+        new_node: *mut SkipNode<K, V>,
+        prev: &mut *mut SkipNode<K, V>,
+        next: &mut *mut SkipNode<K, V>,
+        guard: &Guard<'_>,
+    ) -> LevelInsert {
+        if (**prev).key_ref() == (*new_node).key_ref() {
+            return LevelInsert::Duplicate;
+        }
+        loop {
+            let prev_succ = (**prev).succ();
+            if prev_succ.is_flagged() {
+                self.help_flagged(*prev, prev_succ.ptr(), guard);
+            } else {
+                (*new_node)
+                    .succ
+                    .store(TaggedPtr::unmarked(*next), Ordering::SeqCst);
+                let res = (**prev).succ.compare_exchange(
+                    TaggedPtr::unmarked(*next),
+                    TaggedPtr::unmarked(new_node),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                lf_metrics::record_cas(CasType::Insert, res.is_ok());
+                match res {
+                    Ok(_) => return LevelInsert::Inserted,
+                    Err(found) => {
+                        if found.is_flagged() {
+                            self.help_flagged(*prev, found.ptr(), guard);
+                        }
+                        while (**prev).is_marked() {
+                            let back = (**prev).backlink();
+                            debug_assert!(!back.is_null(), "marked node lacks backlink");
+                            *prev = back;
+                            lf_metrics::record_backlink();
+                        }
+                    }
+                }
+            }
+            let key_ref = (*new_node)
+                .key_ref()
+                .as_key()
+                .expect("new node has user key");
+            let (p, n) = self.search_right(key_ref, *prev, Mode::Le, guard);
+            *prev = p;
+            *next = n;
+            if (**prev).key_ref() == (*new_node).key_ref() {
+                return LevelInsert::Duplicate;
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Weakly-consistent iteration over the bottom level.
+
+use std::fmt;
+
+use lf_reclaim::Guard;
+
+use super::node::SkipNode;
+use super::{Bound, SkipListHandle};
+
+/// Iterator over a weakly-consistent snapshot of a
+/// [`SkipList`](super::SkipList), produced by [`SkipListHandle::iter`].
+///
+/// Walks level 1 (the roots), yielding clones of pairs whose root is
+/// unmarked when visited. Pins the thread for its whole lifetime.
+pub struct SkipIter<'h, 'l, K, V> {
+    _handle: &'h SkipListHandle<'l, K, V>,
+    _guard: Guard<'h>,
+    curr: *mut SkipNode<K, V>,
+}
+
+impl<K, V> fmt::Debug for SkipIter<'_, '_, K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("skiplist::SkipIter")
+    }
+}
+
+impl<'h, 'l, K, V> SkipIter<'h, 'l, K, V>
+where
+    K: Ord + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
+    pub(crate) fn new(handle: &'h SkipListHandle<'l, K, V>) -> Self {
+        let guard = handle.reclaim.pin();
+        SkipIter {
+            curr: handle.list.heads[0],
+            _handle: handle,
+            _guard: guard,
+        }
+    }
+}
+
+impl<K, V> Iterator for SkipIter<'_, '_, K, V>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    type Item = (K, V);
+
+    fn next(&mut self) -> Option<(K, V)> {
+        // SAFETY: traversal under the pin; marked nodes' successor
+        // fields are frozen, so walking through them is well-defined.
+        unsafe {
+            loop {
+                let next = (*self.curr).right();
+                if next.is_null() {
+                    return None;
+                }
+                self.curr = next;
+                match &(*self.curr).key {
+                    Bound::PosInf => return None,
+                    Bound::NegInf => unreachable!("head is never a successor"),
+                    Bound::Key(k) => {
+                        if !(*self.curr).is_marked() {
+                            let v = (*self.curr)
+                                .element
+                                .clone()
+                                .expect("root node has element");
+                            return Some((k.clone(), v));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Per-level routines: each skip list level is an instance of the
+//! linked-list algorithms, with one addition — `SearchRight` physically
+//! deletes every node of a *superfluous* tower (root marked) that it
+//! encounters, performing all three deletion steps if necessary (§4).
+
+use std::sync::atomic::Ordering;
+
+use lf_metrics::CasType;
+use lf_reclaim::Guard;
+use lf_tagged::{TagBits, TaggedPtr};
+
+use super::node::SkipNode;
+use super::SkipList;
+use crate::list::Mode;
+use crate::list::search_key_before as key_before;
+
+/// Outcome of `TryFlagNode`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum FlagStatus {
+    /// The predecessor's successor field is `(target, 0, 1)` — the flag
+    /// is in place (placed by us iff the accompanying bool is true).
+    In,
+    /// `target` is no longer in this level's list.
+    Deleted,
+}
+
+impl<K, V> SkipList<K, V>
+where
+    K: Ord + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
+    /// `SearchRight(k, curr_node)` on one level, with mode selecting the
+    /// `<=`/`<` comparison exactly as in the list's `SearchFrom`.
+    ///
+    /// Finds consecutive nodes `(n1, n2)` on this level around `k`,
+    /// deleting every superfluous tower node encountered on the way.
+    ///
+    /// # Safety
+    ///
+    /// `curr` must be a node of this skip list protected by `guard`
+    /// satisfying the search precondition (`curr.key` before `k`).
+    pub(crate) unsafe fn search_right(
+        &self,
+        k: &K,
+        mut curr: *mut SkipNode<K, V>,
+        mode: Mode,
+        guard: &Guard<'_>,
+    ) -> (*mut SkipNode<K, V>, *mut SkipNode<K, V>) {
+        let mut next = (*curr).right();
+        while key_before((*next).key_ref(), k, mode) {
+            // Delete superfluous towers in our way (the search performs
+            // all three deletion steps itself when needed, so repeated
+            // traversals of long backlink chains cannot be forced).
+            while (*next).is_superfluous() {
+                let (new_curr, status, _) = self.try_flag_node(curr, next, guard);
+                curr = new_curr;
+                if status == FlagStatus::In {
+                    self.help_flagged(curr, next, guard);
+                }
+                next = (*curr).right();
+                lf_metrics::record_next_update();
+            }
+            if key_before((*next).key_ref(), k, mode) {
+                curr = next;
+                lf_metrics::record_curr_update();
+                next = (*curr).right();
+            }
+        }
+        (curr, next)
+    }
+
+    /// `TryFlagNode(prev_node, target_node)`: attempt the type-2
+    /// (flagging) C&S on `target`'s predecessor at this level,
+    /// relocating the predecessor through backlinks and re-searching as
+    /// needed. Returns the updated predecessor, whether the flag is in
+    /// place or the target vanished, and whether *this* call placed it.
+    ///
+    /// # Safety
+    ///
+    /// `prev` and `target` must be nodes of this level protected by
+    /// `guard`, `prev` a last-known predecessor of `target`.
+    pub(crate) unsafe fn try_flag_node(
+        &self,
+        mut prev: *mut SkipNode<K, V>,
+        target: *mut SkipNode<K, V>,
+        guard: &Guard<'_>,
+    ) -> (*mut SkipNode<K, V>, FlagStatus, bool) {
+        let flagged = TaggedPtr::new(target, TagBits::Flagged);
+        loop {
+            if (*prev).succ() == flagged {
+                return (prev, FlagStatus::In, false);
+            }
+            let res = (*prev).succ.compare_exchange(
+                TaggedPtr::unmarked(target),
+                flagged,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+            lf_metrics::record_cas(CasType::Flag, res.is_ok());
+            match res {
+                Ok(_) => return (prev, FlagStatus::In, true),
+                Err(found) => {
+                    if found == flagged {
+                        return (prev, FlagStatus::In, false);
+                    }
+                    while (*prev).is_marked() {
+                        let back = (*prev).backlink();
+                        debug_assert!(!back.is_null(), "marked node lacks backlink");
+                        prev = back;
+                        lf_metrics::record_backlink();
+                    }
+                    let key_ref = (*target).key_ref().as_key().expect("target has user key");
+                    let (p, d) = self.search_right(key_ref, prev, Mode::Lt, guard);
+                    if d != target {
+                        return (p, FlagStatus::Deleted, false);
+                    }
+                    prev = p;
+                }
+            }
+        }
+    }
+
+    /// `HelpFlagged`: deletion steps two (backlink + mark) and three
+    /// (physical unlink) for the deletion announced by `prev`'s flag.
+    ///
+    /// # Safety
+    ///
+    /// `prev`/`del` protected by `guard`; `prev.succ` was observed as
+    /// `(del, 0, 1)`.
+    pub(crate) unsafe fn help_flagged(
+        &self,
+        prev: *mut SkipNode<K, V>,
+        del: *mut SkipNode<K, V>,
+        guard: &Guard<'_>,
+    ) {
+        (*del).backlink.store(prev, Ordering::SeqCst);
+        if !(*del).is_marked() {
+            self.try_mark(del, guard);
+        }
+        self.help_marked(prev, del, guard);
+    }
+
+    /// `TryMark`: loop the type-3 (marking) C&S until `del` is marked.
+    ///
+    /// # Safety
+    ///
+    /// `del` protected by `guard`.
+    pub(crate) unsafe fn try_mark(&self, del: *mut SkipNode<K, V>, guard: &Guard<'_>) {
+        loop {
+            let next = (*del).right();
+            let res = (*del).succ.compare_exchange(
+                TaggedPtr::unmarked(next),
+                TaggedPtr::new(next, TagBits::Marked),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+            lf_metrics::record_cas(CasType::Mark, res.is_ok());
+            if let Err(found) = res {
+                if found.is_flagged() {
+                    self.help_flagged(del, found.ptr(), guard);
+                }
+            }
+            if (*del).is_marked() {
+                return;
+            }
+        }
+    }
+
+    /// `HelpMarked`: the type-4 (physical deletion) C&S. On success the
+    /// unlinked node's tower reference is released; the whole tower is
+    /// retired once its last node is unlinked.
+    ///
+    /// # Safety
+    ///
+    /// `prev`/`del` protected by `guard`.
+    pub(crate) unsafe fn help_marked(
+        &self,
+        prev: *mut SkipNode<K, V>,
+        del: *mut SkipNode<K, V>,
+        guard: &Guard<'_>,
+    ) {
+        let next = (*del).right();
+        let res = (*prev).succ.compare_exchange(
+            TaggedPtr::new(del, TagBits::Flagged),
+            TaggedPtr::unmarked(next),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+        lf_metrics::record_cas(CasType::Unlink, res.is_ok());
+        if res.is_ok() {
+            self.release_tower_ref((*del).tower_root, guard);
+        }
+    }
+
+    /// Release one reference on `root`'s tower; retire the entire tower
+    /// (root and every upper node, via the `top` chain) once the count
+    /// reaches zero.
+    ///
+    /// # Safety
+    ///
+    /// `root` must be a tower root protected by `guard`; each reference
+    /// (linked node or construction reference) is released exactly once.
+    pub(crate) unsafe fn release_tower_ref(&self, root: *mut SkipNode<K, V>, guard: &Guard<'_>) {
+        if (*root).remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last reference: every node of the tower is unlinked and
+            // construction has finished, so `top` is final and the whole
+            // tower is unreachable to new operations.
+            let mut cur = (*root).top.load(Ordering::SeqCst);
+            while !cur.is_null() {
+                let down = (*cur).down;
+                let addr = cur as usize;
+                guard.defer_unchecked(move || drop(Box::from_raw(addr as *mut SkipNode<K, V>)));
+                cur = down;
+            }
+        }
+    }
+}

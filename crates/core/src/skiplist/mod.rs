@@ -1,0 +1,562 @@
+//! The Fomitchev–Ruppert lock-free skip list (paper §4).
+//!
+//! Each key is represented by a *tower* of nodes whose bottom (*root*)
+//! node carries the element; the nodes at each level form a sorted
+//! linked list run by the §3 linked-list algorithms (backlinks + flag
+//! bits). Insertions build towers bottom-up and linearize when the root
+//! is linked; deletions mark the root first (making the tower
+//! *superfluous*) and then dismantle the upper levels top-down.
+//! Searches help by physically deleting every superfluous node they
+//! encounter, so no operation can be forced to re-traverse long
+//! backlink chains.
+
+mod delete;
+mod insert;
+mod iter;
+mod level;
+mod node;
+mod range;
+mod set;
+
+pub use iter::SkipIter;
+pub use range::RangeIter;
+pub use set::{SkipSet, SkipSetHandle};
+
+pub(crate) use node::SkipNode;
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use lf_reclaim::{Collector, Guard, LocalHandle};
+
+use crate::list::{Bound, Mode};
+
+/// Default number of levels (towers grow to at most one less, so the
+/// top level is always empty and descent can start there).
+pub const DEFAULT_MAX_LEVEL: usize = 32;
+
+/// A lock-free skip list dictionary (Fomitchev & Ruppert 2004, §4).
+///
+/// Expected `O(log n)` searches, insertions and deletions without any
+/// locks; linearizable; lock-free. Duplicate keys are rejected, as in
+/// the paper.
+///
+/// Obtain a per-thread [`SkipListHandle`] with
+/// [`handle`](SkipList::handle) and operate through it; the convenience
+/// methods on `SkipList` itself register a fresh handle per call.
+///
+/// # Examples
+///
+/// ```
+/// use lf_core::SkipList;
+///
+/// let map = SkipList::new();
+/// let h = map.handle();
+/// assert!(h.insert(1, "one").is_ok());
+/// assert!(h.insert(2, "two").is_ok());
+/// assert_eq!(h.get(&1), Some("one"));
+/// assert_eq!(h.remove(&2), Some("two"));
+/// assert_eq!(h.get(&2), None);
+/// ```
+pub struct SkipList<K, V> {
+    /// `heads[i]`/`tails[i]` are the sentinels of level `i + 1`.
+    pub(crate) heads: Vec<*mut SkipNode<K, V>>,
+    pub(crate) tails: Vec<*mut SkipNode<K, V>>,
+    pub(crate) collector: Collector,
+    pub(crate) len: AtomicUsize,
+    pub(crate) max_level: usize,
+}
+
+// SAFETY: as for `FrList` — all shared mutation is atomic, reclamation
+// is epoch-protected and tower-scoped.
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for SkipList<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for SkipList<K, V> {}
+
+impl<K, V> fmt::Debug for SkipList<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SkipList")
+            .field("len", &self.len.load(Ordering::Relaxed))
+            .field("max_level", &self.max_level)
+            .finish()
+    }
+}
+
+impl<K, V> Default for SkipList<K, V>
+where
+    K: Ord + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> SkipList<K, V>
+where
+    K: Ord + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
+    /// Create an empty skip list with [`DEFAULT_MAX_LEVEL`] levels.
+    pub fn new() -> Self {
+        Self::with_max_level(DEFAULT_MAX_LEVEL)
+    }
+
+    /// Create an empty skip list with `max_level` levels (towers grow
+    /// to at most `max_level - 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_level < 2`.
+    pub fn with_max_level(max_level: usize) -> Self {
+        assert!(max_level >= 2, "max_level must be at least 2");
+        let mut heads = Vec::with_capacity(max_level);
+        let mut tails = Vec::with_capacity(max_level);
+        let mut below: (*mut SkipNode<K, V>, *mut SkipNode<K, V>) =
+            (std::ptr::null_mut(), std::ptr::null_mut());
+        for _ in 0..max_level {
+            let tail = node::SkipNode::alloc_sentinel(Bound::PosInf, below.1);
+            let head = node::SkipNode::alloc_sentinel(Bound::NegInf, below.0);
+            unsafe {
+                (*head)
+                    .succ
+                    .store(lf_tagged::TaggedPtr::unmarked(tail), Ordering::SeqCst);
+            }
+            heads.push(head);
+            tails.push(tail);
+            below = (head, tail);
+        }
+        SkipList {
+            heads,
+            tails,
+            collector: Collector::new(),
+            len: AtomicUsize::new(0),
+            max_level,
+        }
+    }
+
+    /// Register the calling thread and return an operation handle.
+    pub fn handle(&self) -> SkipListHandle<'_, K, V> {
+        SkipListHandle {
+            list: self,
+            reclaim: self.collector.register(),
+        }
+    }
+
+    /// Insert through a temporary handle. See [`SkipListHandle::insert`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the rejected pair if `key` is already present.
+    pub fn insert(&self, key: K, value: V) -> Result<(), (K, V)> {
+        self.handle().insert(key, value)
+    }
+
+    /// Remove through a temporary handle. See [`SkipListHandle::remove`].
+    pub fn remove(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.handle().remove(key)
+    }
+
+    /// Lookup through a temporary handle. See [`SkipListHandle::get`].
+    pub fn get(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.handle().get(key)
+    }
+
+    /// Membership test through a temporary handle.
+    pub fn contains(&self, key: &K) -> bool {
+        self.handle().contains(key)
+    }
+
+    /// The level (1-based) at which descending searches start: the
+    /// lowest level from which every higher level is empty, but no
+    /// lower than `min_level`.
+    pub(crate) fn start_level(&self, min_level: usize) -> usize {
+        // Towers never reach `max_level`, so the top level is always
+        // empty and the scan can start just below it.
+        let mut level = self.max_level - 1;
+        while level > min_level {
+            if unsafe { (*self.heads[level - 1]).right() } != self.tails[level - 1] {
+                break;
+            }
+            level -= 1;
+        }
+        level
+    }
+
+    /// `SearchToLevel_SL(k, v)`: descend from the start level to level
+    /// `target_level`, returning the bracketing pair `(n1, n2)` on that
+    /// level (comparison per `mode`). Deletes superfluous nodes on the
+    /// way (via `SearchRight`).
+    ///
+    /// # Safety
+    ///
+    /// `guard` must pin this list's collector; `1 <= target_level <
+    /// max_level`.
+    pub(crate) unsafe fn search_to_level(
+        &self,
+        k: &K,
+        target_level: usize,
+        mode: Mode,
+        guard: &Guard<'_>,
+    ) -> (*mut SkipNode<K, V>, *mut SkipNode<K, V>) {
+        debug_assert!(target_level >= 1 && target_level < self.max_level);
+        let mut level = self.start_level(target_level);
+        let mut curr = self.heads[level - 1];
+        loop {
+            let (n1, n2) = self.search_right(k, curr, mode, guard);
+            if level == target_level {
+                return (n1, n2);
+            }
+            curr = (*n1).down;
+            debug_assert!(!curr.is_null(), "descending below level 1");
+            level -= 1;
+        }
+    }
+
+    /// `Search_SL(k)` core: the root node holding `k`, if present.
+    ///
+    /// # Safety
+    ///
+    /// `guard` must pin this list's collector; the returned pointer is
+    /// valid while `guard` lives.
+    pub(crate) unsafe fn search_impl(
+        &self,
+        k: &K,
+        guard: &Guard<'_>,
+    ) -> Option<*mut SkipNode<K, V>> {
+        let (curr, _) = self.search_to_level(k, 1, Mode::Le, guard);
+        ((*curr).key_ref().as_key() == Some(k)).then_some(curr)
+    }
+}
+
+impl<K, V> SkipList<K, V> {
+    /// Number of elements (exact when quiescent).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::SeqCst)
+    }
+
+    /// Whether the skip list holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured maximum number of levels.
+    pub fn max_level(&self) -> usize {
+        self.max_level
+    }
+
+    /// Heights of every tower in the skip list (**quiescent** use
+    /// only): walks level 1 and measures each root's `top` chain.
+    ///
+    /// Used by the tower-census experiment (E7) to compare the height
+    /// distribution against the ideal geometric(1/2).
+    pub fn tower_heights(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        unsafe {
+            let mut cur = (*self.heads[0]).right();
+            while cur != self.tails[0] {
+                let root = (*cur).tower_root;
+                let mut h = 0;
+                let mut t = (*root).top.load(Ordering::SeqCst);
+                while !t.is_null() {
+                    h += 1;
+                    t = (*t).down;
+                }
+                out.push(h);
+                cur = (*cur).right();
+            }
+        }
+        out
+    }
+
+    /// Check structural invariants on a **quiescent** skip list: every
+    /// level strictly sorted with no marks or flags, every node's
+    /// `down` chain reaching its tower root, no superfluous towers, and
+    /// the level-1 element count matching [`len`](Self::len).
+    ///
+    /// Intended for tests and debugging.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a description) if any invariant is violated.
+    pub fn validate_quiescent(&self)
+    where
+        K: Ord,
+    {
+        let mut count = 0usize;
+        unsafe {
+            for level in 0..self.max_level {
+                let mut cur = self.heads[level];
+                loop {
+                    let succ = (*cur).succ.load(Ordering::SeqCst);
+                    assert!(!succ.is_marked(), "marked node at level {}", level + 1);
+                    assert!(!succ.is_flagged(), "flagged node at level {}", level + 1);
+                    let next = succ.ptr();
+                    if next.is_null() {
+                        assert_eq!(cur, self.tails[level], "level {} chain broken", level + 1);
+                        break;
+                    }
+                    assert!(
+                        (*cur).key_ref() < (*next).key_ref(),
+                        "keys not strictly sorted at level {}",
+                        level + 1
+                    );
+                    if (*next).key_ref().as_key().is_some() {
+                        if level == 0 {
+                            count += 1;
+                        }
+                        let root = (*next).tower_root;
+                        assert!(!(*root).is_marked(), "superfluous tower at quiescence");
+                        let mut d = next;
+                        while !(*d).down.is_null() {
+                            d = (*d).down;
+                        }
+                        assert_eq!(d, root, "down chain does not reach tower root");
+                    }
+                    cur = next;
+                }
+            }
+        }
+        assert_eq!(count, self.len(), "len counter disagrees with level 1");
+    }
+}
+
+impl<K, V> Drop for SkipList<K, V> {
+    fn drop(&mut self) {
+        // Unique access. Towers may be partially unlinked (some levels
+        // already removed, others still linked), so collect the full
+        // membership: every node linked on some level, expanded to its
+        // whole tower via the root's `top` chain. Towers whose last
+        // reference was already released are disjoint from this set and
+        // are freed by the collector below.
+        let mut seen = std::collections::HashSet::new();
+        for level in 0..self.max_level {
+            let mut cur = unsafe { (*self.heads[level]).right() };
+            while cur != self.tails[level] {
+                let root = unsafe { (*cur).tower_root };
+                if seen.insert(root) {
+                    let mut t = unsafe { (*root).top.load(Ordering::SeqCst) };
+                    while !t.is_null() {
+                        seen.insert(t);
+                        t = unsafe { (*t).down };
+                    }
+                }
+                seen.insert(cur);
+                cur = unsafe { (*cur).right() };
+            }
+        }
+        for node in seen {
+            drop(unsafe { Box::from_raw(node) });
+        }
+        for level in 0..self.max_level {
+            drop(unsafe { Box::from_raw(self.heads[level]) });
+            drop(unsafe { Box::from_raw(self.tails[level]) });
+        }
+    }
+}
+
+/// A per-thread handle to a [`SkipList`]. Not `Send`.
+pub struct SkipListHandle<'l, K, V> {
+    pub(crate) list: &'l SkipList<K, V>,
+    pub(crate) reclaim: LocalHandle,
+}
+
+impl<K, V> fmt::Debug for SkipListHandle<'_, K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SkipListHandle")
+    }
+}
+
+impl<'l, K, V> SkipListHandle<'l, K, V>
+where
+    K: Ord + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
+    /// Insert `key → value`. Linearizes when the tower's root node is
+    /// linked into level 1.
+    ///
+    /// # Errors
+    ///
+    /// If `key` is already present, returns `Err((key, value))`.
+    pub fn insert(&self, key: K, value: V) -> Result<(), (K, V)> {
+        let guard = self.reclaim.pin();
+        let res = unsafe { self.list.insert_impl(key, value, &guard) };
+        lf_metrics::record_op();
+        res
+    }
+
+    /// Remove `key`, returning its value. Linearizes when the root node
+    /// becomes marked.
+    pub fn remove(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        let guard = self.reclaim.pin();
+        let res = unsafe { self.list.delete_impl(key, &guard) };
+        lf_metrics::record_op();
+        res
+    }
+
+    /// Look up `key`, returning a clone of its value.
+    pub fn get(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        let guard = self.reclaim.pin();
+        let res = unsafe {
+            self.list
+                .search_impl(key, &guard)
+                .map(|n| (*n).element.clone().expect("root node has element"))
+        };
+        lf_metrics::record_op();
+        res
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &K) -> bool {
+        let guard = self.reclaim.pin();
+        let res = unsafe { self.list.search_impl(key, &guard).is_some() };
+        lf_metrics::record_op();
+        res
+    }
+
+    /// Iterate over a weakly-consistent snapshot (level-1 traversal),
+    /// cloning each `(key, value)` pair present when visited.
+    pub fn iter(&self) -> SkipIter<'_, 'l, K, V>
+    where
+        K: Clone,
+        V: Clone,
+    {
+        SkipIter::new(self)
+    }
+
+    /// Iterate over the keys in `range` (weakly consistent), positioned
+    /// with an expected-`O(log n)` descent rather than a full scan.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lf_core::SkipList;
+    ///
+    /// let map = SkipList::new();
+    /// let h = map.handle();
+    /// for k in 0..100u32 {
+    ///     h.insert(k, k).unwrap();
+    /// }
+    /// let window: Vec<u32> = h.range(10..15).map(|(k, _)| k).collect();
+    /// assert_eq!(window, vec![10, 11, 12, 13, 14]);
+    /// ```
+    pub fn range<R>(&self, range: R) -> RangeIter<'_, 'l, K, V>
+    where
+        K: Clone,
+        V: Clone,
+        R: std::ops::RangeBounds<K>,
+    {
+        RangeIter::new(
+            self,
+            range.start_bound().cloned(),
+            range.end_bound().cloned(),
+        )
+    }
+
+    /// The smallest key and its value, if any (weakly consistent).
+    pub fn first(&self) -> Option<(K, V)>
+    where
+        K: Clone,
+        V: Clone,
+    {
+        self.range(..).next()
+    }
+
+    /// Return `key`'s value, inserting `value` first if absent. On a
+    /// race the returned value is the winning insert's.
+    pub fn get_or_insert(&self, key: K, value: V) -> V
+    where
+        K: Clone,
+        V: Clone,
+    {
+        loop {
+            if let Some(existing) = self.get(&key) {
+                return existing;
+            }
+            match self.insert(key.clone(), value.clone()) {
+                Ok(()) => return value,
+                // Lost the race to a concurrent insert: re-read.
+                Err(_) => continue,
+            }
+        }
+    }
+
+    /// Remove and return an entry that was the smallest at some moment
+    /// during the call — the classic lock-free *DeleteMin* built from
+    /// the dictionary operations (the priority-queue application named
+    /// in the paper's §2).
+    ///
+    /// Under concurrency several callers never pop the same entry; a
+    /// caller retries if its candidate minimum is removed first, so the
+    /// operation is lock-free (each retry implies another pop
+    /// succeeded).
+    pub fn pop_first(&self) -> Option<(K, V)>
+    where
+        K: Clone,
+        V: Clone,
+    {
+        loop {
+            let (k, _) = self.first()?;
+            if let Some(v) = self.remove(&k) {
+                return Some((k, v));
+            }
+            // Someone else removed it; retry with the new minimum.
+        }
+    }
+
+    /// The skip list this handle operates on.
+    pub fn list(&self) -> &'l SkipList<K, V> {
+        self.list
+    }
+
+    /// Opportunistically advance reclamation.
+    pub fn flush_reclamation(&self) {
+        self.reclaim.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests;
+
+impl<K, V> FromIterator<(K, V)> for SkipList<K, V>
+where
+    K: Ord + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
+    /// Build a skip list from pairs; later duplicates are dropped.
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let sl = SkipList::new();
+        {
+            let h = sl.handle();
+            for (k, v) in iter {
+                let _ = h.insert(k, v);
+            }
+        }
+        sl
+    }
+}
+
+impl<K, V> Extend<(K, V)> for SkipList<K, V>
+where
+    K: Ord + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
+    /// Insert pairs; duplicates of existing keys are dropped.
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        let h = self.handle();
+        for (k, v) in iter {
+            let _ = h.insert(k, v);
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Skip list node layout: towers of per-level nodes (paper Fig. 6).
+
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+use lf_tagged::{AtomicTaggedPtr, TaggedPtr};
+
+pub(crate) use crate::list::Bound;
+
+/// One node of the lock-free skip list.
+///
+/// Unlike Pugh's array-of-forward-pointers layout, the paper represents
+/// each key as a *tower* of separate nodes, one per level, so that each
+/// level is literally an instance of the linked-list algorithms. Every
+/// node carries the linked-list fields (`key`, `succ`, `backlink`) plus:
+///
+/// * `down` — the node one level below (null for root nodes);
+/// * `tower_root` — the tower's level-1 node, consulted to detect
+///   *superfluous* towers (root marked);
+/// * `element` — the value, stored only in root nodes;
+/// * `remaining`/`top` — tower lifetime accounting (see below), only
+///   meaningful on root nodes.
+///
+/// # Tower lifetime
+///
+/// `down` and `tower_root` let a traversal reach *any* node of a tower
+/// from any other, so no node of a tower may be freed while any node of
+/// it is still reachable. `remaining` counts one reference per node
+/// linked into a level list plus one *construction reference* held by
+/// the inserter while it is still growing the tower. Each physical
+/// unlink (the type-4 C&S) releases one reference; when the count hits
+/// zero the releasing thread retires the whole tower by walking `top`'s
+/// `down` chain. `top` is written only by the single inserting thread
+/// and is final once the construction reference is dropped.
+#[repr(align(8))]
+pub(crate) struct SkipNode<K, V> {
+    pub(crate) key: Bound<K>,
+    /// `None` except in root nodes of user towers.
+    pub(crate) element: Option<V>,
+    /// The composite successor field within this node's level list.
+    pub(crate) succ: AtomicTaggedPtr<SkipNode<K, V>>,
+    /// Set before marking; points at the flagged predecessor (INV 4).
+    pub(crate) backlink: AtomicPtr<SkipNode<K, V>>,
+    /// The node one level below in the same tower (null for roots and
+    /// for level-1 sentinels). Immutable after creation.
+    pub(crate) down: *mut SkipNode<K, V>,
+    /// The tower's root node (self for roots and sentinels). Immutable.
+    pub(crate) tower_root: *mut SkipNode<K, V>,
+    /// Root only: outstanding references keeping the tower alive.
+    pub(crate) remaining: AtomicUsize,
+    /// Root only: highest node of the tower. Written only by the
+    /// inserting thread while it holds the construction reference.
+    pub(crate) top: AtomicPtr<SkipNode<K, V>>,
+}
+
+impl<K, V> SkipNode<K, V> {
+    /// Allocate a root node for a new tower.
+    ///
+    /// `remaining` starts at 2: one reference for the root being linked
+    /// into level 1 and one construction reference held by the inserter.
+    /// If the level-1 insertion reports a duplicate the root was never
+    /// published and is freed directly instead.
+    pub(crate) fn alloc_root(key: K, element: V) -> *mut Self {
+        let node = Box::into_raw(Box::new(SkipNode {
+            key: Bound::Key(key),
+            element: Some(element),
+            succ: AtomicTaggedPtr::new(TaggedPtr::null()),
+            backlink: AtomicPtr::new(std::ptr::null_mut()),
+            down: std::ptr::null_mut(),
+            tower_root: std::ptr::null_mut(),
+            remaining: AtomicUsize::new(2),
+            top: AtomicPtr::new(std::ptr::null_mut()),
+        }));
+        unsafe {
+            (*node).tower_root = node;
+            (*node).top.store(node, Ordering::SeqCst);
+        }
+        node
+    }
+
+    /// Allocate an upper-level node of an existing tower.
+    ///
+    /// Upper nodes do not store the key themselves — [`Self::key_ref`]
+    /// reads it through `tower_root` — so the stored `key` field is a
+    /// placeholder that is never consulted.
+    ///
+    /// The caller must bump the root's `remaining` and advance its `top`
+    /// before linking the node (and undo both if the link is abandoned).
+    pub(crate) fn alloc_upper(
+        down: *mut SkipNode<K, V>,
+        tower_root: *mut SkipNode<K, V>,
+    ) -> *mut Self {
+        Box::into_raw(Box::new(SkipNode {
+            key: Bound::NegInf,
+            element: None,
+            succ: AtomicTaggedPtr::new(TaggedPtr::null()),
+            backlink: AtomicPtr::new(std::ptr::null_mut()),
+            down,
+            tower_root,
+            remaining: AtomicUsize::new(0),
+            top: AtomicPtr::new(std::ptr::null_mut()),
+        }))
+    }
+
+    /// Allocate a head or tail sentinel node for one level.
+    ///
+    /// Sentinels are their own tower root, are never marked, and their
+    /// `remaining` is never released (they are freed by the skip list's
+    /// `Drop`).
+    pub(crate) fn alloc_sentinel(key: Bound<K>, down: *mut SkipNode<K, V>) -> *mut Self {
+        let node = Box::into_raw(Box::new(SkipNode {
+            key,
+            element: None,
+            succ: AtomicTaggedPtr::new(TaggedPtr::null()),
+            backlink: AtomicPtr::new(std::ptr::null_mut()),
+            down,
+            tower_root: std::ptr::null_mut(),
+            remaining: AtomicUsize::new(1),
+            top: AtomicPtr::new(std::ptr::null_mut()),
+        }));
+        unsafe {
+            (*node).tower_root = node;
+            (*node).top.store(node, Ordering::SeqCst);
+        }
+        node
+    }
+
+    /// The node's key, read through the tower root (every node of a
+    /// tower shares the root's key; sentinels and roots are their own
+    /// root).
+    ///
+    /// # Safety
+    ///
+    /// The node must be protected by a guard, so its tower (and hence
+    /// `tower_root`) is alive.
+    #[inline]
+    pub(crate) unsafe fn key_ref(&self) -> &Bound<K> {
+        &(*self.tower_root).key
+    }
+
+    /// Load the successor field.
+    #[inline]
+    pub(crate) fn succ(&self) -> TaggedPtr<SkipNode<K, V>> {
+        self.succ.load(Ordering::SeqCst)
+    }
+
+    /// The `right` pointer component of the successor field.
+    #[inline]
+    pub(crate) fn right(&self) -> *mut SkipNode<K, V> {
+        self.succ().ptr()
+    }
+
+    /// Whether this node is marked (logically deleted at its level).
+    #[inline]
+    pub(crate) fn is_marked(&self) -> bool {
+        self.succ().is_marked()
+    }
+
+    /// Whether this node's tower is superfluous (root marked).
+    ///
+    /// # Safety
+    ///
+    /// The node must be protected by a guard (its tower is then alive,
+    /// so `tower_root` is dereferenceable).
+    #[inline]
+    pub(crate) unsafe fn is_superfluous(&self) -> bool {
+        (*self.tower_root).is_marked()
+    }
+
+    /// Load the backlink.
+    #[inline]
+    pub(crate) fn backlink(&self) -> *mut SkipNode<K, V> {
+        self.backlink.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn root_invariants() {
+        let r = SkipNode::<u32, u32>::alloc_root(5, 50);
+        unsafe {
+            assert_eq!((*r).tower_root, r);
+            assert_eq!((*r).top.load(Ordering::SeqCst), r);
+            assert_eq!((*r).remaining.load(Ordering::SeqCst), 2);
+            assert!((*r).down.is_null());
+            assert_eq!((*r).element, Some(50));
+            assert!(!(*r).is_superfluous());
+            drop(Box::from_raw(r));
+        }
+    }
+
+    #[test]
+    fn upper_links_to_root_and_shares_key() {
+        let r = SkipNode::<u32, u32>::alloc_root(5, 50);
+        let u = SkipNode::alloc_upper(r, r);
+        unsafe {
+            assert_eq!((*u).down, r);
+            assert_eq!((*u).tower_root, r);
+            assert_eq!((*u).element, None);
+            assert_eq!((*u).key_ref(), &Bound::Key(5));
+            assert_eq!((*r).key_ref(), &Bound::Key(5));
+            drop(Box::from_raw(u));
+            drop(Box::from_raw(r));
+        }
+    }
+
+    #[test]
+    fn sentinel_is_own_root() {
+        let s = SkipNode::<u32, u32>::alloc_sentinel(Bound::PosInf, std::ptr::null_mut());
+        unsafe {
+            assert_eq!((*s).tower_root, s);
+            assert!(!(*s).is_superfluous());
+            drop(Box::from_raw(s));
+        }
+    }
+
+    #[test]
+    fn alignment_leaves_tag_bits_free() {
+        let r = SkipNode::<u8, u8>::alloc_root(1, 2);
+        assert_eq!(r as usize & 0b111, 0);
+        unsafe { drop(Box::from_raw(r)) };
+    }
+}

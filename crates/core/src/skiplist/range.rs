@@ -1,0 +1,110 @@
+//! Range iteration: weakly-consistent, `O(log n)` positioning.
+
+use std::fmt;
+use std::ops::Bound as RangeBound;
+
+use lf_reclaim::Guard;
+
+use super::node::SkipNode;
+use super::{Bound, Mode, SkipListHandle};
+
+/// Iterator over a key range of a [`SkipList`](super::SkipList),
+/// produced by [`SkipListHandle::range`].
+///
+/// Positions at the range start with a skip list descent (expected
+/// `O(log n)`), then walks level 1 cloning each pair whose root is
+/// unmarked when visited, until the end bound. Pins the thread for its
+/// whole lifetime.
+pub struct RangeIter<'h, 'l, K, V> {
+    _handle: &'h SkipListHandle<'l, K, V>,
+    _guard: Guard<'h>,
+    curr: *mut SkipNode<K, V>,
+    end: RangeBound<K>,
+}
+
+impl<K, V> fmt::Debug for RangeIter<'_, '_, K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("skiplist::RangeIter")
+    }
+}
+
+impl<'h, 'l, K, V> RangeIter<'h, 'l, K, V>
+where
+    K: Ord + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
+    pub(crate) fn new(
+        handle: &'h SkipListHandle<'l, K, V>,
+        start: RangeBound<K>,
+        end: RangeBound<K>,
+    ) -> Self {
+        let guard = handle.reclaim.pin();
+        // Position `curr` at the last node *before* the range, so the
+        // iterator's first advance lands on the first in-range root.
+        let curr = unsafe {
+            match &start {
+                RangeBound::Unbounded => handle.list.heads[0],
+                RangeBound::Included(k) => {
+                    let (n1, _) = handle.list.search_to_level(k, 1, Mode::Lt, &guard);
+                    n1
+                }
+                RangeBound::Excluded(k) => {
+                    let (n1, _) = handle.list.search_to_level(k, 1, Mode::Le, &guard);
+                    n1
+                }
+            }
+        };
+        RangeIter {
+            _handle: handle,
+            _guard: guard,
+            curr,
+            end,
+        }
+    }
+
+    fn within_end(&self, key: &K) -> bool {
+        match &self.end {
+            RangeBound::Unbounded => true,
+            RangeBound::Included(e) => key <= e,
+            RangeBound::Excluded(e) => key < e,
+        }
+    }
+}
+
+impl<K, V> Iterator for RangeIter<'_, '_, K, V>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    type Item = (K, V);
+
+    fn next(&mut self) -> Option<(K, V)> {
+        // SAFETY: traversal under the pin; marked nodes' successor
+        // fields are frozen.
+        unsafe {
+            loop {
+                let next = (*self.curr).right();
+                if next.is_null() {
+                    return None;
+                }
+                self.curr = next;
+                match (*self.curr).key_ref() {
+                    Bound::PosInf => return None,
+                    Bound::NegInf => unreachable!("head is never a successor"),
+                    Bound::Key(k) => {
+                        if !self.within_end(k) {
+                            return None;
+                        }
+                        if !(*self.curr).is_marked() {
+                            let v = (*self.curr)
+                                .element
+                                .clone()
+                                .expect("root node has element");
+                            return Some((k.clone(), v));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

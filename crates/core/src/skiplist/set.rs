@@ -1,0 +1,120 @@
+//! Set façade over the skip list.
+
+use std::fmt;
+
+use super::{SkipList, SkipListHandle};
+
+/// A lock-free sorted set of keys — [`SkipList`] with unit values.
+///
+/// # Examples
+///
+/// ```
+/// use lf_core::SkipSet;
+///
+/// let set = SkipSet::new();
+/// assert!(set.insert(10));
+/// assert!(!set.insert(10));
+/// assert!(set.contains(&10));
+/// assert!(set.remove(&10));
+/// assert!(!set.remove(&10));
+/// ```
+pub struct SkipSet<K> {
+    inner: SkipList<K, ()>,
+}
+
+impl<K> fmt::Debug for SkipSet<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SkipSet")
+            .field("len", &self.inner.len())
+            .finish()
+    }
+}
+
+impl<K> Default for SkipSet<K>
+where
+    K: Ord + Send + Sync + 'static,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K> SkipSet<K>
+where
+    K: Ord + Send + Sync + 'static,
+{
+    /// Create an empty set.
+    pub fn new() -> Self {
+        SkipSet {
+            inner: SkipList::new(),
+        }
+    }
+
+    /// Register the calling thread and return an operation handle.
+    pub fn handle(&self) -> SkipSetHandle<'_, K> {
+        SkipSetHandle {
+            inner: self.inner.handle(),
+        }
+    }
+
+    /// Insert `key`; returns `false` if it was already present.
+    pub fn insert(&self, key: K) -> bool {
+        self.inner.insert(key, ()).is_ok()
+    }
+
+    /// Remove `key`; returns whether it was present.
+    pub fn remove(&self, key: &K) -> bool {
+        self.inner.remove(key).is_some()
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.inner.contains(key)
+    }
+
+    /// Number of keys (exact when quiescent).
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the set is empty (same caveat as [`len`](Self::len)).
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// The underlying skip list.
+    pub fn as_skiplist(&self) -> &SkipList<K, ()> {
+        &self.inner
+    }
+}
+
+/// Per-thread handle to a [`SkipSet`].
+pub struct SkipSetHandle<'l, K> {
+    inner: SkipListHandle<'l, K, ()>,
+}
+
+impl<K> fmt::Debug for SkipSetHandle<'_, K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SkipSetHandle")
+    }
+}
+
+impl<K> SkipSetHandle<'_, K>
+where
+    K: Ord + Send + Sync + 'static,
+{
+    /// Insert `key`; returns `false` if it was already present.
+    pub fn insert(&self, key: K) -> bool {
+        self.inner.insert(key, ()).is_ok()
+    }
+
+    /// Remove `key`; returns whether it was present.
+    pub fn remove(&self, key: &K) -> bool {
+        self.inner.remove(key).is_some()
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.inner.contains(key)
+    }
+}

@@ -1,0 +1,445 @@
+#![warn(missing_docs)]
+
+//! Essential-step accounting.
+//!
+//! The amortized analysis in Fomitchev & Ruppert §3.4 counts exactly four
+//! kinds of *essential steps*:
+//!
+//! 1. **C&S attempts**, split by the four CAS types of Def. 4 —
+//!    insertion, flagging, marking, physical deletion — and by outcome;
+//! 2. **backlink traversals** (`TryFlag` line 10, `Insert` line 18);
+//! 3. **`next_node` pointer updates** (`SearchFrom` line 6);
+//! 4. **`curr_node` pointer updates** (`SearchFrom` line 8).
+//!
+//! "Counting these steps gives an accurate picture of the required time
+//! (up to a constant factor)". The instrumented list and skip list call
+//! the `record_*` functions here at each such step; experiment harnesses
+//! take [`snapshot`]s around measurement phases and difference them to
+//! validate the `O(n(S) + c(S))` bound empirically.
+//!
+//! Counters are thread-local plain `Cell`s (an increment is ~1 ns, so
+//! instrumentation does not distort throughput measurements) and are
+//! folded into a global aggregate when a thread exits or when
+//! [`flush_local`] is called explicitly. Harnesses must join worker
+//! threads (or have them call `flush_local`) before snapshotting.
+//!
+//! # Examples
+//!
+//! ```
+//! use lf_metrics as metrics;
+//!
+//! let before = metrics::snapshot();
+//! metrics::record_cas(metrics::CasType::Insert, true);
+//! metrics::record_curr_update();
+//! metrics::flush_local();
+//! let delta = metrics::snapshot() - before;
+//! assert_eq!(delta.cas_attempts(), 1);
+//! assert_eq!(delta.curr_updates, 1);
+//! assert_eq!(delta.essential_steps(), 2);
+//! ```
+
+use std::cell::Cell;
+use std::fmt;
+use std::ops::Sub;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The four CAS types of the paper's Def. 4.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CasType {
+    /// Type 1: inserting a new node (`Insert` line 11).
+    Insert = 0,
+    /// Type 2: flagging a predecessor (`TryFlag` line 4).
+    Flag = 1,
+    /// Type 3: marking a node (`TryMark` line 3).
+    Mark = 2,
+    /// Type 4: physical deletion / unflag (`HelpMarked` line 2).
+    Unlink = 3,
+}
+
+impl CasType {
+    /// All four types, in discriminant order.
+    pub const ALL: [CasType; 4] = [
+        CasType::Insert,
+        CasType::Flag,
+        CasType::Mark,
+        CasType::Unlink,
+    ];
+
+    /// Short lowercase label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            CasType::Insert => "insert",
+            CasType::Flag => "flag",
+            CasType::Mark => "mark",
+            CasType::Unlink => "unlink",
+        }
+    }
+}
+
+impl fmt::Display for CasType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[derive(Default)]
+struct LocalCounters {
+    cas_ok: [Cell<u64>; 4],
+    cas_fail: [Cell<u64>; 4],
+    backlink_traversals: Cell<u64>,
+    next_updates: Cell<u64>,
+    curr_updates: Cell<u64>,
+    ops: Cell<u64>,
+    dirty: Cell<bool>,
+}
+
+struct FlushOnExit(LocalCounters);
+
+impl Drop for FlushOnExit {
+    fn drop(&mut self) {
+        flush_into_global(&self.0);
+    }
+}
+
+thread_local! {
+    static LOCAL: FlushOnExit = FlushOnExit(LocalCounters::default());
+}
+
+#[derive(Default)]
+struct GlobalCounters {
+    cas_ok: [AtomicU64; 4],
+    cas_fail: [AtomicU64; 4],
+    backlink_traversals: AtomicU64,
+    next_updates: AtomicU64,
+    curr_updates: AtomicU64,
+    ops: AtomicU64,
+}
+
+static GLOBAL: GlobalCounters = GlobalCounters {
+    cas_ok: [
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+    ],
+    cas_fail: [
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+    ],
+    backlink_traversals: AtomicU64::new(0),
+    next_updates: AtomicU64::new(0),
+    curr_updates: AtomicU64::new(0),
+    ops: AtomicU64::new(0),
+};
+
+fn flush_into_global(local: &LocalCounters) {
+    if !local.dirty.replace(false) {
+        return;
+    }
+    for i in 0..4 {
+        GLOBAL.cas_ok[i].fetch_add(local.cas_ok[i].replace(0), Ordering::Relaxed);
+        GLOBAL.cas_fail[i].fetch_add(local.cas_fail[i].replace(0), Ordering::Relaxed);
+    }
+    GLOBAL
+        .backlink_traversals
+        .fetch_add(local.backlink_traversals.replace(0), Ordering::Relaxed);
+    GLOBAL
+        .next_updates
+        .fetch_add(local.next_updates.replace(0), Ordering::Relaxed);
+    GLOBAL
+        .curr_updates
+        .fetch_add(local.curr_updates.replace(0), Ordering::Relaxed);
+    GLOBAL.ops.fetch_add(local.ops.replace(0), Ordering::Relaxed);
+}
+
+#[inline]
+fn with_local(f: impl FnOnce(&LocalCounters)) {
+    // Accessing a thread-local during its own destruction panics;
+    // metrics are best-effort, so silently drop those increments.
+    let _ = LOCAL.try_with(|l| {
+        l.0.dirty.set(true);
+        f(&l.0);
+    });
+}
+
+/// Record one C&S attempt of the given type and outcome.
+#[inline]
+pub fn record_cas(ty: CasType, success: bool) {
+    with_local(|l| {
+        let slot = if success {
+            &l.cas_ok[ty as usize]
+        } else {
+            &l.cas_fail[ty as usize]
+        };
+        slot.set(slot.get() + 1);
+    });
+}
+
+/// Record one backlink pointer traversal.
+#[inline]
+pub fn record_backlink() {
+    with_local(|l| l.backlink_traversals.set(l.backlink_traversals.get() + 1));
+}
+
+/// Record one `next_node` pointer update (`SearchFrom` line 6).
+#[inline]
+pub fn record_next_update() {
+    with_local(|l| l.next_updates.set(l.next_updates.get() + 1));
+}
+
+/// Record one `curr_node` pointer update (`SearchFrom` line 8).
+#[inline]
+pub fn record_curr_update() {
+    with_local(|l| l.curr_updates.set(l.curr_updates.get() + 1));
+}
+
+/// Record one completed dictionary operation (for per-op averages).
+#[inline]
+pub fn record_op() {
+    with_local(|l| l.ops.set(l.ops.get() + 1));
+}
+
+/// Fold this thread's pending counts into the global aggregate.
+pub fn flush_local() {
+    let _ = LOCAL.try_with(|l| flush_into_global(&l.0));
+}
+
+/// Reset the global aggregate (and this thread's local counts) to zero.
+///
+/// Other threads' unflushed local counts are *not* cleared; reset while
+/// workers are quiescent.
+pub fn reset() {
+    let _ = LOCAL.try_with(|l| {
+        l.0.dirty.set(false);
+        for i in 0..4 {
+            l.0.cas_ok[i].set(0);
+            l.0.cas_fail[i].set(0);
+        }
+        l.0.backlink_traversals.set(0);
+        l.0.next_updates.set(0);
+        l.0.curr_updates.set(0);
+        l.0.ops.set(0);
+    });
+    for i in 0..4 {
+        GLOBAL.cas_ok[i].store(0, Ordering::Relaxed);
+        GLOBAL.cas_fail[i].store(0, Ordering::Relaxed);
+    }
+    GLOBAL.backlink_traversals.store(0, Ordering::Relaxed);
+    GLOBAL.next_updates.store(0, Ordering::Relaxed);
+    GLOBAL.curr_updates.store(0, Ordering::Relaxed);
+    GLOBAL.ops.store(0, Ordering::Relaxed);
+}
+
+/// A point-in-time copy of the global aggregate. Difference two
+/// snapshots (`after - before`) to measure a phase.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Snapshot {
+    /// Successful CAS count per [`CasType`].
+    pub cas_ok: [u64; 4],
+    /// Failed CAS count per [`CasType`].
+    pub cas_fail: [u64; 4],
+    /// Backlink pointer traversals.
+    pub backlink_traversals: u64,
+    /// `next_node` updates.
+    pub next_updates: u64,
+    /// `curr_node` updates.
+    pub curr_updates: u64,
+    /// Completed operations.
+    pub ops: u64,
+}
+
+impl Snapshot {
+    /// Total CAS attempts (all types, both outcomes).
+    pub fn cas_attempts(&self) -> u64 {
+        self.cas_ok.iter().sum::<u64>() + self.cas_fail.iter().sum::<u64>()
+    }
+
+    /// Total successful CAS.
+    pub fn cas_successes(&self) -> u64 {
+        self.cas_ok.iter().sum()
+    }
+
+    /// Total failed CAS.
+    pub fn cas_failures(&self) -> u64 {
+        self.cas_fail.iter().sum()
+    }
+
+    /// The paper's essential-step total: CAS attempts + backlink
+    /// traversals + `next_node` updates + `curr_node` updates.
+    pub fn essential_steps(&self) -> u64 {
+        self.cas_attempts() + self.backlink_traversals + self.next_updates + self.curr_updates
+    }
+
+    /// Essential steps per completed operation (0 if no ops recorded).
+    pub fn steps_per_op(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.essential_steps() as f64 / self.ops as f64
+        }
+    }
+}
+
+impl Sub for Snapshot {
+    type Output = Snapshot;
+
+    fn sub(self, rhs: Snapshot) -> Snapshot {
+        let mut out = Snapshot::default();
+        for i in 0..4 {
+            out.cas_ok[i] = self.cas_ok[i].wrapping_sub(rhs.cas_ok[i]);
+            out.cas_fail[i] = self.cas_fail[i].wrapping_sub(rhs.cas_fail[i]);
+        }
+        out.backlink_traversals = self
+            .backlink_traversals
+            .wrapping_sub(rhs.backlink_traversals);
+        out.next_updates = self.next_updates.wrapping_sub(rhs.next_updates);
+        out.curr_updates = self.curr_updates.wrapping_sub(rhs.curr_updates);
+        out.ops = self.ops.wrapping_sub(rhs.ops);
+        out
+    }
+}
+
+impl fmt::Display for Snapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "steps/op={:.2} (ops={}, essential={})",
+            self.steps_per_op(),
+            self.ops,
+            self.essential_steps()
+        )?;
+        for ty in CasType::ALL {
+            writeln!(
+                f,
+                "  cas[{}]: ok={} fail={}",
+                ty,
+                self.cas_ok[ty as usize],
+                self.cas_fail[ty as usize]
+            )?;
+        }
+        write!(
+            f,
+            "  backlinks={} next_updates={} curr_updates={}",
+            self.backlink_traversals, self.next_updates, self.curr_updates
+        )
+    }
+}
+
+/// Copy the current global aggregate.
+///
+/// Flushes the calling thread's local counts first; other threads must
+/// have exited or called [`flush_local`] for their counts to appear.
+pub fn snapshot() -> Snapshot {
+    flush_local();
+    let mut s = Snapshot::default();
+    for i in 0..4 {
+        s.cas_ok[i] = GLOBAL.cas_ok[i].load(Ordering::Relaxed);
+        s.cas_fail[i] = GLOBAL.cas_fail[i].load(Ordering::Relaxed);
+    }
+    s.backlink_traversals = GLOBAL.backlink_traversals.load(Ordering::Relaxed);
+    s.next_updates = GLOBAL.next_updates.load(Ordering::Relaxed);
+    s.curr_updates = GLOBAL.curr_updates.load(Ordering::Relaxed);
+    s.ops = GLOBAL.ops.load(Ordering::Relaxed);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tests share global state; run with a lock so `cargo test` threads
+    // don't interleave resets.
+    use std::sync::Mutex;
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn record_and_snapshot_roundtrip() {
+        let _g = TEST_LOCK.lock().unwrap();
+        let before = snapshot();
+        record_cas(CasType::Insert, true);
+        record_cas(CasType::Flag, false);
+        record_cas(CasType::Mark, true);
+        record_cas(CasType::Unlink, true);
+        record_backlink();
+        record_backlink();
+        record_next_update();
+        record_curr_update();
+        record_op();
+        let delta = snapshot() - before;
+        assert_eq!(delta.cas_ok, [1, 0, 1, 1]);
+        assert_eq!(delta.cas_fail, [0, 1, 0, 0]);
+        assert_eq!(delta.backlink_traversals, 2);
+        assert_eq!(delta.next_updates, 1);
+        assert_eq!(delta.curr_updates, 1);
+        assert_eq!(delta.ops, 1);
+        assert_eq!(delta.cas_attempts(), 4);
+        assert_eq!(delta.cas_successes(), 3);
+        assert_eq!(delta.cas_failures(), 1);
+        assert_eq!(delta.essential_steps(), 4 + 2 + 1 + 1);
+        assert_eq!(delta.steps_per_op(), 8.0);
+    }
+
+    #[test]
+    fn worker_threads_flush_on_exit() {
+        let _g = TEST_LOCK.lock().unwrap();
+        let before = snapshot();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        record_backlink();
+                    }
+                });
+            }
+        });
+        let delta = snapshot() - before;
+        assert_eq!(delta.backlink_traversals, 400);
+    }
+
+    #[test]
+    fn reset_zeroes_counts() {
+        let _g = TEST_LOCK.lock().unwrap();
+        record_op();
+        reset();
+        let s = snapshot();
+        assert_eq!(s.ops, 0);
+        assert_eq!(s.essential_steps(), 0);
+    }
+
+    #[test]
+    fn steps_per_op_zero_ops() {
+        assert_eq!(Snapshot::default().steps_per_op(), 0.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = Snapshot::default();
+        assert!(format!("{s}").contains("steps/op"));
+        assert_eq!(CasType::Unlink.to_string(), "unlink");
+    }
+
+    #[test]
+    fn explicit_flush_makes_counts_visible() {
+        let _g = TEST_LOCK.lock().unwrap();
+        let before = snapshot();
+        let t = std::thread::spawn(|| {
+            record_next_update();
+            flush_local();
+            // Keep the thread alive; flush already published the count.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        });
+        // Wait for the flush (bounded spin).
+        let mut delta = snapshot() - before;
+        for _ in 0..1000 {
+            if delta.next_updates == 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            delta = snapshot() - before;
+        }
+        assert_eq!(delta.next_updates, 1);
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,355 @@
+//! The global collector, participant registry, and per-thread handles.
+
+use std::cell::{Cell, UnsafeCell};
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::guard::Guard;
+use crate::{GRACE, PINS_PER_COLLECT};
+
+/// A queued destructor.
+pub(crate) type Deferred = Box<dyn FnOnce() + Send>;
+
+/// A batch of destructors stamped with the global epoch at retire time.
+struct Bag {
+    epoch: u64,
+    items: Vec<Deferred>,
+}
+
+impl Bag {
+    fn new(epoch: u64) -> Self {
+        Bag {
+            epoch,
+            items: Vec::new(),
+        }
+    }
+
+    fn fire(self) {
+        for f in self.items {
+            f();
+        }
+    }
+}
+
+/// Per-thread registry slot. Slots are allocated into an append-only
+/// lock-free list and recycled via the `in_use` flag, so registration
+/// after warm-up is wait-free and the list never shrinks (bounded by the
+/// peak number of simultaneously registered threads).
+struct Slot {
+    /// `epoch << 1 | active`. `active == 1` means a guard is live and the
+    /// stored epoch pins reclamation.
+    state: AtomicU64,
+    /// Recycling flag: a released slot can be claimed by a new handle.
+    in_use: AtomicBool,
+    /// Intrusive registry link.
+    next: AtomicPtr<Slot>,
+    /// Bags only touched by the owning thread (slot is exclusive while
+    /// `in_use`), hence `UnsafeCell` without a lock.
+    bags: UnsafeCell<Vec<Bag>>,
+}
+
+// SAFETY: `bags` is only accessed by the slot's unique owner while
+// `in_use` is held; all other fields are atomics.
+unsafe impl Send for Slot {}
+unsafe impl Sync for Slot {}
+
+impl Slot {
+    const INACTIVE: u64 = 0;
+
+    fn encode(epoch: u64) -> u64 {
+        (epoch << 1) | 1
+    }
+
+    /// Returns `Some(epoch)` if the slot is actively pinned.
+    fn pinned_epoch(&self) -> Option<u64> {
+        let s = self.state.load(Ordering::SeqCst);
+        (s & 1 == 1).then_some(s >> 1)
+    }
+}
+
+pub(crate) struct CollectorInner {
+    epoch: AtomicU64,
+    /// Head of the append-only slot list.
+    head: AtomicPtr<Slot>,
+    /// Garbage abandoned by unregistered threads. Only touched on the
+    /// rare unregister/collect paths, so a mutex is fine (it never blocks
+    /// data-structure operations).
+    orphans: Mutex<Vec<Bag>>,
+}
+
+/// The shared reclamation domain. Typically one per data structure (or
+/// one per group of structures whose nodes may be traversed together).
+pub struct Collector {
+    inner: Arc<CollectorInner>,
+}
+
+impl fmt::Debug for Collector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Collector")
+            .field("epoch", &self.inner.epoch.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Collector {
+    /// Create an empty reclamation domain at epoch 0.
+    pub fn new() -> Self {
+        Collector {
+            inner: Arc::new(CollectorInner {
+                epoch: AtomicU64::new(0),
+                head: AtomicPtr::new(std::ptr::null_mut()),
+                orphans: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Register the current thread, returning its handle.
+    ///
+    /// Reuses a released slot when one exists; otherwise pushes a fresh
+    /// slot onto the registry with a lock-free CAS loop.
+    pub fn register(&self) -> LocalHandle {
+        // Try to recycle a released slot.
+        let mut cur = self.inner.head.load(Ordering::SeqCst);
+        while !cur.is_null() {
+            let slot = unsafe { &*cur };
+            if !slot.in_use.load(Ordering::SeqCst)
+                && slot
+                    .in_use
+                    .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            {
+                return LocalHandle::new(self.inner.clone(), cur);
+            }
+            cur = slot.next.load(Ordering::SeqCst);
+        }
+
+        // Allocate and publish a new slot.
+        let slot = Box::into_raw(Box::new(Slot {
+            state: AtomicU64::new(Slot::INACTIVE),
+            in_use: AtomicBool::new(true),
+            next: AtomicPtr::new(std::ptr::null_mut()),
+            bags: UnsafeCell::new(Vec::new()),
+        }));
+        let mut head = self.inner.head.load(Ordering::SeqCst);
+        loop {
+            unsafe { &*slot }.next.store(head, Ordering::SeqCst);
+            match self.inner.head.compare_exchange(
+                head,
+                slot,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => break,
+                Err(h) => head = h,
+            }
+        }
+        LocalHandle::new(self.inner.clone(), slot)
+    }
+}
+
+impl Drop for CollectorInner {
+    fn drop(&mut self) {
+        // No handles remain (they hold `Arc<CollectorInner>`), so every
+        // queued destructor is safe to run and every slot can be freed.
+        for bag in self.orphans.get_mut().unwrap().drain(..) {
+            bag.fire();
+        }
+        let mut cur = *self.head.get_mut();
+        while !cur.is_null() {
+            let mut slot = unsafe { Box::from_raw(cur) };
+            cur = *slot.next.get_mut();
+            for bag in slot.bags.get_mut().drain(..) {
+                bag.fire();
+            }
+        }
+    }
+}
+
+impl CollectorInner {
+    /// Attempt to advance the global epoch. Succeeds iff every actively
+    /// pinned participant has observed the current epoch.
+    fn try_advance(&self) -> bool {
+        let epoch = self.epoch.load(Ordering::SeqCst);
+        let mut cur = self.head.load(Ordering::SeqCst);
+        while !cur.is_null() {
+            let slot = unsafe { &*cur };
+            if let Some(e) = slot.pinned_epoch() {
+                if e != epoch {
+                    return false;
+                }
+            }
+            cur = slot.next.load(Ordering::SeqCst);
+        }
+        self.epoch
+            .compare_exchange(epoch, epoch + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// Free every orphan bag old enough to be safe.
+    fn collect_orphans(&self) {
+        let epoch = self.epoch.load(Ordering::SeqCst);
+        let ready: Vec<Bag> = {
+            let mut orphans = self.orphans.lock().unwrap();
+            let mut ready = Vec::new();
+            orphans.retain_mut(|bag| {
+                if bag.epoch + GRACE <= epoch {
+                    ready.push(Bag {
+                        epoch: bag.epoch,
+                        items: std::mem::take(&mut bag.items),
+                    });
+                    false
+                } else {
+                    true
+                }
+            });
+            ready
+        };
+        for bag in ready {
+            bag.fire();
+        }
+    }
+}
+
+/// A per-thread participant in a [`Collector`].
+///
+/// Not `Send`: the handle owns a registry slot whose garbage bags are
+/// accessed without synchronization.
+pub struct LocalHandle {
+    collector: Arc<CollectorInner>,
+    slot: *mut Slot,
+    guard_depth: Cell<u32>,
+    pins_until_collect: Cell<u32>,
+    _not_send: PhantomData<*mut ()>,
+}
+
+impl fmt::Debug for LocalHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LocalHandle")
+            .field("guard_depth", &self.guard_depth.get())
+            .finish()
+    }
+}
+
+impl LocalHandle {
+    fn new(collector: Arc<CollectorInner>, slot: *mut Slot) -> Self {
+        LocalHandle {
+            collector,
+            slot,
+            guard_depth: Cell::new(0),
+            pins_until_collect: Cell::new(PINS_PER_COLLECT),
+            _not_send: PhantomData,
+        }
+    }
+
+    fn slot(&self) -> &Slot {
+        unsafe { &*self.slot }
+    }
+
+    /// Pin the current thread, protecting every pointer read from the
+    /// data structure until the returned [`Guard`] is dropped.
+    pub fn pin(&self) -> Guard<'_> {
+        let depth = self.guard_depth.get();
+        if depth == 0 {
+            let epoch = self.collector.epoch.load(Ordering::SeqCst);
+            self.slot()
+                .state
+                .store(Slot::encode(epoch), Ordering::SeqCst);
+            // `SeqCst` store orders the epoch announcement before any
+            // subsequent loads from the data structure.
+
+            let pins = self.pins_until_collect.get();
+            if pins == 0 {
+                self.pins_until_collect.set(PINS_PER_COLLECT);
+            } else {
+                self.pins_until_collect.set(pins - 1);
+            }
+        }
+        self.guard_depth.set(depth + 1);
+        Guard::new(self)
+    }
+
+    pub(crate) fn unpin(&self) {
+        let depth = self.guard_depth.get();
+        debug_assert!(depth > 0);
+        self.guard_depth.set(depth - 1);
+        if depth == 1 {
+            self.slot().state.store(Slot::INACTIVE, Ordering::SeqCst);
+            if self.pins_until_collect.get() == PINS_PER_COLLECT {
+                self.try_collect();
+            }
+        }
+    }
+
+    /// Queue a destructor in the current-epoch bag.
+    pub(crate) fn defer(&self, f: Deferred) {
+        let epoch = self.collector.epoch.load(Ordering::SeqCst);
+        // While pinned our own slot guarantees epoch can advance at most
+        // once before we unpin, so stamping with the *global* epoch is
+        // conservative enough for the `+ GRACE` rule.
+        let bags = unsafe { &mut *self.slot().bags.get() };
+        match bags.last_mut() {
+            Some(bag) if bag.epoch == epoch => bag.items.push(f),
+            _ => {
+                let mut bag = Bag::new(epoch);
+                bag.items.push(f);
+                bags.push(bag);
+            }
+        }
+    }
+
+    /// Try to advance the epoch and free any of this thread's garbage
+    /// (and any orphaned garbage) that is old enough.
+    ///
+    /// Must not be called while this thread holds a live pin with
+    /// outstanding references into the structure; it is automatically
+    /// invoked on unpin at a fixed cadence.
+    pub fn try_collect(&self) {
+        self.collector.try_advance();
+        let epoch = self.collector.epoch.load(Ordering::SeqCst);
+        let bags = unsafe { &mut *self.slot().bags.get() };
+        let mut i = 0;
+        while i < bags.len() {
+            if bags[i].epoch + GRACE <= epoch {
+                bags.remove(i).fire();
+            } else {
+                i += 1;
+            }
+        }
+        self.collector.collect_orphans();
+    }
+
+    /// Aggressively advance the epoch and collect; useful in tests and
+    /// at quiescent points.
+    pub fn flush(&self) {
+        self.collector.try_advance();
+        self.try_collect();
+    }
+
+    /// Number of destructors queued on this handle (diagnostics).
+    pub fn queued(&self) -> usize {
+        let bags = unsafe { &*self.slot().bags.get() };
+        bags.iter().map(|b| b.items.len()).sum()
+    }
+}
+
+impl Drop for LocalHandle {
+    fn drop(&mut self) {
+        debug_assert_eq!(self.guard_depth.get(), 0, "handle dropped while pinned");
+        // Hand remaining garbage to the collector and release the slot.
+        let bags = unsafe { &mut *self.slot().bags.get() };
+        if !bags.is_empty() {
+            let mut orphans = self.collector.orphans.lock().unwrap();
+            orphans.append(bags);
+        }
+        self.slot().state.store(Slot::INACTIVE, Ordering::SeqCst);
+        self.slot().in_use.store(false, Ordering::SeqCst);
+    }
+}

@@ -1,0 +1,63 @@
+//! RAII pin guard.
+
+use std::fmt;
+
+use crate::collector::LocalHandle;
+
+/// Proof that the current thread is pinned.
+///
+/// While a `Guard` is live, no object retired *after* the guard was
+/// created will be freed, so raw pointers loaded from a shared structure
+/// under this guard remain dereferenceable until the guard drops.
+///
+/// Guards nest: only the outermost pin/unpin pair touches the epoch slot.
+pub struct Guard<'a> {
+    handle: &'a LocalHandle,
+}
+
+impl fmt::Debug for Guard<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Guard { pinned }")
+    }
+}
+
+impl<'a> Guard<'a> {
+    pub(crate) fn new(handle: &'a LocalHandle) -> Self {
+        Guard { handle }
+    }
+
+    /// Queue `f` to run once every thread pinned at this moment has
+    /// unpinned.
+    ///
+    /// # Safety
+    ///
+    /// `f` typically frees memory; the caller must guarantee that the
+    /// object it frees has been made unreachable to *new* operations
+    /// (e.g. it was physically deleted from the list) and is retired at
+    /// most once.
+    pub unsafe fn defer_unchecked<F: FnOnce() + Send + 'static>(&self, f: F) {
+        self.handle.defer(Box::new(f));
+    }
+
+    /// Queue a `Box` allocated at `ptr` for destruction.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must have come from `Box::into_raw`, be unreachable to new
+    /// operations, and be retired at most once.
+    pub unsafe fn defer_drop_box<T: Send + 'static>(&self, ptr: *mut T) {
+        let addr = ptr as usize;
+        self.defer_unchecked(move || drop(Box::from_raw(addr as *mut T)));
+    }
+
+    /// The handle this guard pins.
+    pub fn handle(&self) -> &LocalHandle {
+        self.handle
+    }
+}
+
+impl Drop for Guard<'_> {
+    fn drop(&mut self) {
+        self.handle.unpin();
+    }
+}

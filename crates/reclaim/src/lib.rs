@@ -1,0 +1,325 @@
+#![warn(missing_docs)]
+
+//! Epoch-based memory reclamation.
+//!
+//! The PODC 2004 paper leaves memory management out of scope, suggesting
+//! Valois-style reference counting as one option. A production library
+//! must actually free physically deleted nodes, so this crate provides an
+//! **epoch-based reclaimer** (EBR), the scheme used by most modern
+//! lock-free collections. Like reference counting, EBR never frees a node
+//! that a concurrent traversal may still visit — which is the only
+//! property the paper's algorithms need — but it batches frees and keeps
+//! the hot path to a couple of atomic stores.
+//!
+//! # How it works
+//!
+//! A [`Collector`] holds a global epoch counter and a registry of
+//! participants. Each thread [`register`](Collector::register)s once,
+//! obtaining a [`LocalHandle`]; every data-structure operation
+//! [`pin`](LocalHandle::pin)s the thread, producing a [`Guard`]. While a
+//! guard is live the thread advertises the epoch it observed. Retired
+//! objects are queued in per-thread bags stamped with the epoch at retire
+//! time; a bag may be freed once the global epoch has advanced **two**
+//! steps past its stamp, which implies every thread pinned at retire time
+//! has since unpinned.
+//!
+//! The epoch can only fail to advance if some thread stays pinned —
+//! individual *operations* remain lock-free; only reclamation (not
+//! progress) can be delayed by a stalled thread.
+//!
+//! # Examples
+//!
+//! ```
+//! use lf_reclaim::Collector;
+//!
+//! let collector = Collector::new();
+//! let handle = collector.register();
+//!
+//! let p = Box::into_raw(Box::new(123u64));
+//! {
+//!     let guard = handle.pin();
+//!     // ... remove `p` from a shared structure, then:
+//!     unsafe { guard.defer_drop_box(p) };
+//! }
+//! handle.flush(); // optional: hurry reclamation along
+//! ```
+
+mod collector;
+mod guard;
+
+pub use collector::{Collector, LocalHandle};
+pub use guard::Guard;
+
+/// Number of epoch generations a retired object must wait before it can
+/// be freed. With stamp `e`, freeing is safe once the global epoch is at
+/// least `e + 2`.
+pub(crate) const GRACE: u64 = 2;
+
+/// Pins between automatic collection attempts on a handle.
+pub(crate) const PINS_PER_COLLECT: u32 = 64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// Drop-counting payload.
+    struct Counted(Arc<AtomicUsize>);
+    impl Drop for Counted {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn retire(guard: &Guard<'_>, drops: &Arc<AtomicUsize>) {
+        let p = Box::into_raw(Box::new(Counted(drops.clone())));
+        unsafe { guard.defer_drop_box(p) };
+    }
+
+    #[test]
+    fn deferred_not_dropped_while_pinned() {
+        let collector = Collector::new();
+        let handle = collector.register();
+        let drops = Arc::new(AtomicUsize::new(0));
+
+        let guard = handle.pin();
+        retire(&guard, &drops);
+        // Still pinned: epoch cannot advance twice, object must survive.
+        handle.try_collect();
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        drop(guard);
+
+        // Repeated flushes advance the epoch and eventually free it.
+        for _ in 0..8 {
+            handle.flush();
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn collector_drop_frees_everything() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let collector = Collector::new();
+            let handle = collector.register();
+            let guard = handle.pin();
+            for _ in 0..100 {
+                retire(&guard, &drops);
+            }
+            drop(guard);
+            drop(handle);
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn unregistered_thread_garbage_is_adopted() {
+        let collector = Collector::new();
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let handle = collector.register();
+            let guard = handle.pin();
+            retire(&guard, &drops);
+            drop(guard);
+            // Handle dropped with garbage still queued.
+        }
+        let keeper = collector.register();
+        for _ in 0..8 {
+            keeper.flush();
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn nested_pins_share_one_epoch_slot() {
+        let collector = Collector::new();
+        let handle = collector.register();
+        let g1 = handle.pin();
+        let g2 = handle.pin();
+        drop(g1);
+        // Still pinned through g2.
+        let drops = Arc::new(AtomicUsize::new(0));
+        retire(&g2, &drops);
+        handle.try_collect();
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        drop(g2);
+        for _ in 0..8 {
+            handle.flush();
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn stalled_thread_blocks_reclamation_but_not_others() {
+        let collector = Arc::new(Collector::new());
+        let drops = Arc::new(AtomicUsize::new(0));
+
+        let stalled = collector.register();
+        let stalled_guard = stalled.pin();
+
+        let worker = collector.register();
+        {
+            let g = worker.pin();
+            retire(&g, &drops);
+        }
+        for _ in 0..8 {
+            worker.flush();
+        }
+        // The stalled pin observed the epoch at retire time (or earlier),
+        // so the object must not be freed yet.
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+
+        drop(stalled_guard);
+        for _ in 0..8 {
+            worker.flush();
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn concurrent_churn_frees_everything_eventually() {
+        const THREADS: usize = 4;
+        const OPS: usize = 500;
+        let collector = Arc::new(Collector::new());
+        let drops = Arc::new(AtomicUsize::new(0));
+
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let collector = collector.clone();
+                let drops = drops.clone();
+                s.spawn(move || {
+                    let handle = collector.register();
+                    for _ in 0..OPS {
+                        let guard = handle.pin();
+                        retire(&guard, &drops);
+                    }
+                });
+            }
+        });
+
+        let keeper = collector.register();
+        for _ in 0..16 {
+            keeper.flush();
+        }
+        drop(keeper);
+        drop(collector);
+        assert_eq!(drops.load(Ordering::SeqCst), THREADS * OPS);
+    }
+
+    #[test]
+    fn many_handles_register_and_unregister() {
+        let collector = Collector::new();
+        for _ in 0..64 {
+            let h = collector.register();
+            let _g = h.pin();
+        }
+        // Slots must be recycled, not leaked without bound: register again
+        // and make sure basic operation still works.
+        let h = collector.register();
+        h.flush();
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    struct Counted(Arc<AtomicUsize>);
+    impl Drop for Counted {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn retire(guard: &Guard<'_>, drops: &Arc<AtomicUsize>) {
+        let p = Box::into_raw(Box::new(Counted(drops.clone())));
+        unsafe { guard.defer_drop_box(p) };
+    }
+
+    #[test]
+    fn collectors_are_independent_domains() {
+        let a = Collector::new();
+        let b = Collector::new();
+        let drops = Arc::new(AtomicUsize::new(0));
+
+        // Pin collector B forever; it must not delay A's reclamation.
+        let hb = b.register();
+        let _guard_b = hb.pin();
+
+        let ha = a.register();
+        {
+            let g = ha.pin();
+            retire(&g, &drops);
+        }
+        for _ in 0..8 {
+            ha.flush();
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn automatic_cadence_collects_without_explicit_flush() {
+        let collector = Collector::new();
+        let handle = collector.register();
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let g = handle.pin();
+            retire(&g, &drops);
+        }
+        // Never call flush/try_collect explicitly: repeated pin/unpin
+        // cycles must eventually free the object via the built-in
+        // cadence (epoch advances whenever no one is pinned).
+        for _ in 0..(PINS_PER_COLLECT * 4) {
+            drop(handle.pin());
+        }
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            1,
+            "cadence-driven collection never fired"
+        );
+    }
+
+    #[test]
+    fn queued_diagnostics_reflect_pending_garbage() {
+        let collector = Collector::new();
+        let handle = collector.register();
+        assert_eq!(handle.queued(), 0);
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let g = handle.pin();
+            retire(&g, &drops);
+            retire(&g, &drops);
+        }
+        assert!(handle.queued() >= 1);
+        for _ in 0..8 {
+            handle.flush();
+        }
+        assert_eq!(handle.queued(), 0);
+        assert_eq!(drops.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn guard_handle_accessor_allows_nested_pin() {
+        let collector = Collector::new();
+        let handle = collector.register();
+        let g1 = handle.pin();
+        // Re-pin through the guard's handle (as iterators do).
+        let g2 = g1.handle().pin();
+        drop(g2);
+        drop(g1);
+        handle.flush();
+    }
+
+    #[test]
+    fn debug_impls_nonempty() {
+        let collector = Collector::new();
+        assert!(format!("{collector:?}").contains("Collector"));
+        let handle = collector.register();
+        assert!(format!("{handle:?}").contains("LocalHandle"));
+        let guard = handle.pin();
+        assert!(format!("{guard:?}").contains("pinned"));
+    }
+}

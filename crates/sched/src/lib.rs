@@ -1,0 +1,418 @@
+#![warn(missing_docs)]
+
+//! Deterministic step-machine scheduler for adversarial executions.
+//!
+//! The paper's lower-bound arguments (§3.1) construct *specific
+//! interleavings*: "P_q marks a node right after P_1…P_{q−1} have
+//! located the correct insertion position, but before any of them
+//! perform a C&S". Real threads cannot be made to interleave that way
+//! reliably, so this crate provides a cooperative scheduler:
+//!
+//! * each simulated process runs on its own OS thread, but **before
+//!   every shared-memory step** it announces the step's [`StepKind`]
+//!   and blocks until the director grants it;
+//! * at most one process executes between grants, so the execution is
+//!   sequentially consistent and fully determined by the grant order;
+//! * the director inspects each process's *pending* step and can pause
+//!   it right before a C&S, run another process to completion, then
+//!   resume — exactly the adversary of the paper;
+//! * every granted step is counted per process and per kind, giving
+//!   the step totals the amortized analysis reasons about.
+//!
+//! The [`sim`] module re-implements the Fomitchev–Ruppert and Harris
+//! list algorithms over this scheduler (keys only, no reclamation);
+//! `lf-bench`'s experiment E2 uses them to regenerate the `Ω(n̄·c̄)`
+//! versus `O(n̄ + c̄)` separation deterministically. Halting a process
+//! forever (simply never granting it) doubles as failure injection for
+//! lock-freedom tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use lf_sched::{Scheduler, StepKind};
+//!
+//! let sched = Scheduler::new();
+//! let op = sched.spawn(|proc| {
+//!     proc.step(StepKind::Read);
+//!     proc.step(StepKind::CasInsert);
+//!     42
+//! });
+//! // Run until the process is about to CAS, then let it finish.
+//! let pid = op.pid();
+//! assert!(sched.run_until_pending(pid, |k| k == StepKind::CasInsert));
+//! sched.run_to_completion(pid);
+//! assert_eq!(op.join(), 42);
+//! assert_eq!(sched.steps(pid), 2);
+//! ```
+
+pub mod sim;
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Identifies a simulated process.
+pub type ProcId = usize;
+
+/// The kind of shared-memory step a process is about to take.
+///
+/// The C&S kinds mirror the paper's Def. 4 classification; `Read`,
+/// `Write`, `Traverse` and `Backlink` cover the non-C&S steps.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum StepKind {
+    /// Load of a shared field.
+    Read,
+    /// Store to a shared field (e.g. setting a backlink).
+    Write,
+    /// Advancing a traversal pointer to the next node.
+    Traverse,
+    /// Following a backlink pointer.
+    Backlink,
+    /// Type-1 C&S: insertion.
+    CasInsert,
+    /// Type-2 C&S: flagging.
+    CasFlag,
+    /// Type-3 C&S: marking.
+    CasMark,
+    /// Type-4 C&S: physical deletion.
+    CasUnlink,
+}
+
+impl StepKind {
+    /// Whether this is any C&S attempt.
+    pub fn is_cas(self) -> bool {
+        matches!(
+            self,
+            StepKind::CasInsert | StepKind::CasFlag | StepKind::CasMark | StepKind::CasUnlink
+        )
+    }
+}
+
+#[derive(Default)]
+struct ProcState {
+    pending: Option<StepKind>,
+    granted: usize,
+    finished: bool,
+    steps: u64,
+    by_kind: HashMap<StepKind, u64>,
+}
+
+#[derive(Default)]
+struct State {
+    procs: Vec<ProcState>,
+}
+
+struct SchedInner {
+    state: Mutex<State>,
+    /// Signalled whenever any process settles (announces a step or
+    /// finishes); the director waits here.
+    director_cv: Condvar,
+    /// One condvar per process, signalled when that process is granted
+    /// steps — avoids thundering-herd wakeups with hundreds of
+    /// suspended processes.
+    proc_cvs: Mutex<Vec<Arc<Condvar>>>,
+}
+
+impl SchedInner {
+    fn proc_cv(&self, pid: ProcId) -> Arc<Condvar> {
+        self.proc_cvs.lock().unwrap()[pid].clone()
+    }
+}
+
+/// The director's handle to the cooperative scheduler.
+pub struct Scheduler {
+    inner: Arc<SchedInner>,
+}
+
+impl fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.inner.state.lock().unwrap();
+        f.debug_struct("Scheduler")
+            .field("procs", &st.procs.len())
+            .finish()
+    }
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A running simulated operation; join it for the result.
+pub struct OpHandle<R> {
+    pid: ProcId,
+    thread: JoinHandle<R>,
+}
+
+impl<R> OpHandle<R> {
+    /// The process id driving this operation.
+    pub fn pid(&self) -> ProcId {
+        self.pid
+    }
+
+    /// Wait for the operation's thread to finish and take its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation thread panicked.
+    pub fn join(self) -> R {
+        self.thread.join().expect("simulated operation panicked")
+    }
+}
+
+/// A process's own handle: call [`Proc::step`] before every
+/// shared-memory access.
+pub struct Proc {
+    inner: Arc<SchedInner>,
+    pid: ProcId,
+}
+
+impl Proc {
+    /// The process id.
+    pub fn pid(&self) -> ProcId {
+        self.pid
+    }
+
+    /// Announce the next step and block until the director grants it.
+    pub fn step(&self, kind: StepKind) {
+        let cv = self.inner.proc_cv(self.pid);
+        let mut st = self.inner.state.lock().unwrap();
+        st.procs[self.pid].pending = Some(kind);
+        self.inner.director_cv.notify_all();
+        while st.procs[self.pid].granted == 0 {
+            st = cv.wait(st).unwrap();
+        }
+        let p = &mut st.procs[self.pid];
+        p.granted -= 1;
+        p.pending = None;
+        p.steps += 1;
+        *p.by_kind.entry(kind).or_insert(0) += 1;
+        self.inner.director_cv.notify_all();
+    }
+}
+
+impl Drop for Proc {
+    fn drop(&mut self) {
+        let mut st = self.inner.state.lock().unwrap();
+        st.procs[self.pid].finished = true;
+        self.inner.director_cv.notify_all();
+    }
+}
+
+/// What [`Scheduler::peek`] observed about a process.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Observation {
+    /// The process is blocked about to take this step.
+    Pending(StepKind),
+    /// The process's operation has completed.
+    Finished,
+}
+
+impl Scheduler {
+    /// Create a scheduler with no processes.
+    pub fn new() -> Self {
+        Scheduler {
+            inner: Arc::new(SchedInner {
+                state: Mutex::new(State::default()),
+                director_cv: Condvar::new(),
+                proc_cvs: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Spawn a simulated operation. Its thread immediately blocks at
+    /// its first [`Proc::step`] until granted.
+    pub fn spawn<R, F>(&self, f: F) -> OpHandle<R>
+    where
+        R: Send + 'static,
+        F: FnOnce(Proc) -> R + Send + 'static,
+    {
+        let pid = {
+            let mut st = self.inner.state.lock().unwrap();
+            st.procs.push(ProcState::default());
+            self.inner
+                .proc_cvs
+                .lock()
+                .unwrap()
+                .push(Arc::new(Condvar::new()));
+            st.procs.len() - 1
+        };
+        let proc = Proc {
+            inner: self.inner.clone(),
+            pid,
+        };
+        let thread = std::thread::spawn(move || f(proc));
+        OpHandle { pid, thread }
+    }
+
+    /// Wait until `pid` is blocked on a pending step or has finished.
+    pub fn peek(&self, pid: ProcId) -> Observation {
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            let p = &st.procs[pid];
+            // A process holding unconsumed grants (or between steps) is
+            // "running"; wait for it to settle at its next announce.
+            if p.finished {
+                return Observation::Finished;
+            }
+            if p.granted == 0 {
+                if let Some(kind) = p.pending {
+                    return Observation::Pending(kind);
+                }
+            }
+            st = self.inner.director_cv.wait(st).unwrap();
+        }
+    }
+
+    /// Grant `pid` permission to execute its next `n` steps.
+    pub fn grant(&self, pid: ProcId, n: usize) {
+        let cv = self.inner.proc_cv(pid);
+        let mut st = self.inner.state.lock().unwrap();
+        st.procs[pid].granted += n;
+        let _ = &mut st;
+        cv.notify_all();
+    }
+
+    /// Run `pid` until its *next pending* step satisfies `pred`
+    /// (without executing that step), or until the operation finishes.
+    /// Returns `true` if paused at a matching step, `false` if the
+    /// operation finished first.
+    pub fn run_until_pending(&self, pid: ProcId, pred: impl Fn(StepKind) -> bool) -> bool {
+        loop {
+            match self.peek(pid) {
+                Observation::Finished => return false,
+                Observation::Pending(kind) => {
+                    if pred(kind) {
+                        return true;
+                    }
+                    self.grant(pid, 1);
+                }
+            }
+        }
+    }
+
+    /// Grant steps until the operation finishes.
+    pub fn run_to_completion(&self, pid: ProcId) {
+        loop {
+            match self.peek(pid) {
+                Observation::Finished => return,
+                Observation::Pending(_) => self.grant(pid, 1),
+            }
+        }
+    }
+
+    /// Total steps executed by `pid`.
+    pub fn steps(&self, pid: ProcId) -> u64 {
+        self.inner.state.lock().unwrap().procs[pid].steps
+    }
+
+    /// Steps of one kind executed by `pid`.
+    pub fn steps_of(&self, pid: ProcId, kind: StepKind) -> u64 {
+        self.inner.state.lock().unwrap().procs[pid]
+            .by_kind
+            .get(&kind)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total steps across all processes.
+    pub fn total_steps(&self) -> u64 {
+        self.inner
+            .state
+            .lock()
+            .unwrap()
+            .procs
+            .iter()
+            .map(|p| p.steps)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_process_runs_to_completion() {
+        let sched = Scheduler::new();
+        let op = sched.spawn(|p| {
+            for _ in 0..10 {
+                p.step(StepKind::Read);
+            }
+            "done"
+        });
+        sched.run_to_completion(op.pid());
+        assert_eq!(op.join(), "done");
+        assert_eq!(sched.steps(0), 10);
+        assert_eq!(sched.steps_of(0, StepKind::Read), 10);
+    }
+
+    #[test]
+    fn pause_before_cas() {
+        let sched = Scheduler::new();
+        let op = sched.spawn(|p| {
+            p.step(StepKind::Read);
+            p.step(StepKind::Read);
+            p.step(StepKind::CasInsert);
+            p.step(StepKind::Read);
+        });
+        assert!(sched.run_until_pending(op.pid(), StepKind::is_cas));
+        // Exactly the two reads have executed.
+        assert_eq!(sched.steps(op.pid()), 2);
+        sched.run_to_completion(op.pid());
+        op.join();
+        assert_eq!(sched.steps(0), 4);
+    }
+
+    #[test]
+    fn interleaving_is_director_controlled() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let sched = Scheduler::new();
+        let shared = Arc::new(AtomicUsize::new(0));
+
+        let s1 = shared.clone();
+        let a = sched.spawn(move |p| {
+            p.step(StepKind::Write);
+            s1.store(1, Ordering::SeqCst);
+        });
+        let s2 = shared.clone();
+        let b = sched.spawn(move |p| {
+            p.step(StepKind::Write);
+            s2.store(2, Ordering::SeqCst);
+        });
+
+        // Direct B first, then A: final value must be 1.
+        sched.run_to_completion(b.pid());
+        sched.run_to_completion(a.pid());
+        a.join();
+        b.join();
+        assert_eq!(shared.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn halted_process_never_runs() {
+        let sched = Scheduler::new();
+        let stalled = sched.spawn(|p| {
+            p.step(StepKind::CasMark);
+        });
+        let worker = sched.spawn(|p| {
+            p.step(StepKind::Read);
+            7
+        });
+        // Never grant `stalled` anything.
+        sched.run_to_completion(worker.pid());
+        assert_eq!(worker.join(), 7);
+        assert_eq!(sched.steps(stalled.pid()), 0);
+        // Clean up the stalled thread so the test exits.
+        sched.run_to_completion(stalled.pid());
+        stalled.join();
+    }
+
+    #[test]
+    fn write_is_not_a_cas() {
+        assert!(!StepKind::Write.is_cas());
+        assert!(StepKind::CasFlag.is_cas());
+    }
+}

@@ -1,0 +1,350 @@
+//! Step-instrumented Fomitchev–Ruppert list (paper Figs. 3–5).
+
+use std::sync::atomic::Ordering;
+
+use lf_tagged::{TagBits, TaggedPtr};
+
+use super::{key_before, Arena, Mode, SimNode};
+use crate::{Proc, StepKind};
+
+/// The Fomitchev–Ruppert linked list over the deterministic scheduler.
+///
+/// Semantics match `lf_core::FrList` (keys only); every shared access
+/// is a scheduler step.
+pub struct SimFrList {
+    head: *mut SimNode,
+    arena: Arena,
+}
+
+unsafe impl Send for SimFrList {}
+unsafe impl Sync for SimFrList {}
+
+impl Default for SimFrList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimFrList {
+    /// Create an empty list (sentinel keys `i64::MIN` / `i64::MAX`).
+    pub fn new() -> Self {
+        let arena = Arena::new();
+        let tail = SimNode::alloc(i64::MAX, std::ptr::null_mut());
+        let head = SimNode::alloc(i64::MIN, tail);
+        arena.adopt(tail);
+        arena.adopt(head);
+        SimFrList { head, arena }
+    }
+
+    /// Keys currently in the list (unmarked nodes), for assertions.
+    /// Runs without a scheduler — call only while quiescent.
+    pub fn collect_keys(&self) -> Vec<i64> {
+        let mut out = Vec::new();
+        unsafe {
+            let mut cur = (*self.head).succ.load(Ordering::SeqCst).ptr();
+            while !cur.is_null() && (*cur).key != i64::MAX {
+                let succ = (*cur).succ.load(Ordering::SeqCst);
+                if !succ.is_marked() {
+                    out.push((*cur).key);
+                }
+                cur = succ.ptr();
+            }
+        }
+        out
+    }
+
+    /// Check the paper's §3.3 invariants INV 1–5 on the current state
+    /// (director use only, between grants — the list is quiescent).
+    ///
+    /// Walking the successor chain from the head covers exactly the
+    /// regular and logically deleted nodes (INV 2); along it we check:
+    ///
+    /// * INV 1 — keys strictly sorted;
+    /// * INV 3 — every logically deleted node's predecessor is flagged
+    ///   at it, and its successor is unmarked;
+    /// * INV 4 — every logically deleted node's backlink points at
+    ///   that predecessor;
+    /// * INV 5 — no successor field is both marked and flagged.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the violated invariant.
+    pub fn check_invariants(&self) {
+        unsafe {
+            let mut prev: *mut SimNode = std::ptr::null_mut();
+            let mut prev_succ = TaggedPtr::<SimNode>::null();
+            let mut cur = self.head;
+            loop {
+                let succ = (*cur).succ.load(Ordering::SeqCst);
+                assert!(
+                    !(succ.is_marked() && succ.is_flagged()),
+                    "INV5: node {} both marked and flagged",
+                    (*cur).key
+                );
+                if !prev.is_null() {
+                    assert!(
+                        (*prev).key < (*cur).key,
+                        "INV1: {} !< {}",
+                        (*prev).key,
+                        (*cur).key
+                    );
+                    // Logically deleted: marked and linked from an
+                    // unmarked (regular) node.
+                    if succ.is_marked() && !prev_succ.is_marked() {
+                        assert!(
+                            prev_succ.is_flagged(),
+                            "INV3: pred {} of logically deleted {} is not flagged",
+                            (*prev).key,
+                            (*cur).key
+                        );
+                        let next = succ.ptr();
+                        assert!(
+                            !(*next).succ.load(Ordering::SeqCst).is_marked()
+                                || (*next).key == i64::MAX,
+                            "INV3: successor {} of logically deleted {} is marked",
+                            (*next).key,
+                            (*cur).key
+                        );
+                        assert_eq!(
+                            (*cur).backlink.load(Ordering::SeqCst),
+                            prev,
+                            "INV4: backlink of logically deleted {} is not its predecessor {}",
+                            (*cur).key,
+                            (*prev).key
+                        );
+                    }
+                }
+                let next = succ.ptr();
+                if next.is_null() {
+                    assert_eq!((*cur).key, i64::MAX, "INV2: chain does not end at tail");
+                    break;
+                }
+                prev = cur;
+                prev_succ = succ;
+                cur = next;
+            }
+        }
+    }
+
+    /// Snapshot of every node still linked from the head: `(key, mark,
+    /// flag)` triples including sentinels, for trace output (director
+    /// use only, between grants).
+    pub fn dump(&self) -> Vec<(i64, bool, bool)> {
+        let mut out = Vec::new();
+        unsafe {
+            let mut cur = self.head;
+            while !cur.is_null() {
+                let succ = (*cur).succ.load(Ordering::SeqCst);
+                out.push(((*cur).key, succ.is_marked(), succ.is_flagged()));
+                cur = succ.ptr();
+            }
+        }
+        out
+    }
+
+    unsafe fn search_from(
+        &self,
+        k: i64,
+        mut curr: *mut SimNode,
+        mode: Mode,
+        proc: &Proc,
+    ) -> (*mut SimNode, *mut SimNode) {
+        proc.step(StepKind::Read);
+        let mut next = (*curr).succ.load(Ordering::SeqCst).ptr();
+        while key_before((*next).key, k, mode) {
+            loop {
+                proc.step(StepKind::Read);
+                let next_succ = (*next).succ.load(Ordering::SeqCst);
+                if !next_succ.is_marked() {
+                    break;
+                }
+                proc.step(StepKind::Read);
+                let curr_succ = (*curr).succ.load(Ordering::SeqCst);
+                if curr_succ.is_marked() && curr_succ.ptr() == next {
+                    break;
+                }
+                if curr_succ.ptr() == next {
+                    self.help_marked(curr, next, proc);
+                }
+                proc.step(StepKind::Read);
+                next = (*curr).succ.load(Ordering::SeqCst).ptr();
+            }
+            if key_before((*next).key, k, mode) {
+                proc.step(StepKind::Traverse);
+                curr = next;
+                proc.step(StepKind::Read);
+                next = (*curr).succ.load(Ordering::SeqCst).ptr();
+            }
+        }
+        (curr, next)
+    }
+
+    unsafe fn help_marked(&self, prev: *mut SimNode, del: *mut SimNode, proc: &Proc) {
+        proc.step(StepKind::Read);
+        let next = (*del).succ.load(Ordering::SeqCst).ptr();
+        proc.step(StepKind::CasUnlink);
+        let _ = (*prev).succ.compare_exchange(
+            TaggedPtr::new(del, TagBits::Flagged),
+            TaggedPtr::unmarked(next),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+    }
+
+    unsafe fn help_flagged(&self, prev: *mut SimNode, del: *mut SimNode, proc: &Proc) {
+        proc.step(StepKind::Write);
+        (*del).backlink.store(prev, Ordering::SeqCst);
+        proc.step(StepKind::Read);
+        if !(*del).succ.load(Ordering::SeqCst).is_marked() {
+            self.try_mark(del, proc);
+        }
+        self.help_marked(prev, del, proc);
+    }
+
+    unsafe fn try_mark(&self, del: *mut SimNode, proc: &Proc) {
+        loop {
+            proc.step(StepKind::Read);
+            let next = (*del).succ.load(Ordering::SeqCst).ptr();
+            proc.step(StepKind::CasMark);
+            let res = (*del).succ.compare_exchange(
+                TaggedPtr::unmarked(next),
+                TaggedPtr::new(next, TagBits::Marked),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+            if let Err(found) = res {
+                if found.is_flagged() {
+                    self.help_flagged(del, found.ptr(), proc);
+                }
+            }
+            proc.step(StepKind::Read);
+            if (*del).succ.load(Ordering::SeqCst).is_marked() {
+                return;
+            }
+        }
+    }
+
+    unsafe fn try_flag(
+        &self,
+        mut prev: *mut SimNode,
+        target: *mut SimNode,
+        proc: &Proc,
+    ) -> (*mut SimNode, bool) {
+        let flagged = TaggedPtr::new(target, TagBits::Flagged);
+        loop {
+            proc.step(StepKind::Read);
+            if (*prev).succ.load(Ordering::SeqCst) == flagged {
+                return (prev, false);
+            }
+            proc.step(StepKind::CasFlag);
+            let res = (*prev).succ.compare_exchange(
+                TaggedPtr::unmarked(target),
+                flagged,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+            match res {
+                Ok(_) => return (prev, true),
+                Err(found) => {
+                    if found == flagged {
+                        return (prev, false);
+                    }
+                    loop {
+                        proc.step(StepKind::Read);
+                        if !(*prev).succ.load(Ordering::SeqCst).is_marked() {
+                            break;
+                        }
+                        proc.step(StepKind::Backlink);
+                        prev = (*prev).backlink.load(Ordering::SeqCst);
+                    }
+                    let (p, d) = self.search_from((*target).key, prev, Mode::Lt, proc);
+                    if d != target {
+                        return (std::ptr::null_mut(), false);
+                    }
+                    prev = p;
+                }
+            }
+        }
+    }
+
+    /// Insert `key` (paper Fig. 5). Returns `false` on duplicate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is a sentinel value (`i64::MIN`/`i64::MAX`).
+    pub fn insert(&self, key: i64, proc: &Proc) -> bool {
+        assert!(key > i64::MIN && key < i64::MAX, "sentinel key");
+        unsafe {
+            let (mut prev, mut next) = self.search_from(key, self.head, Mode::Le, proc);
+            if (*prev).key == key {
+                return false;
+            }
+            let new_node = SimNode::alloc(key, std::ptr::null_mut());
+            self.arena.adopt(new_node);
+            loop {
+                proc.step(StepKind::Read);
+                let prev_succ = (*prev).succ.load(Ordering::SeqCst);
+                if prev_succ.is_flagged() {
+                    self.help_flagged(prev, prev_succ.ptr(), proc);
+                } else {
+                    (*new_node)
+                        .succ
+                        .store(TaggedPtr::unmarked(next), Ordering::SeqCst);
+                    proc.step(StepKind::CasInsert);
+                    let res = (*prev).succ.compare_exchange(
+                        TaggedPtr::unmarked(next),
+                        TaggedPtr::unmarked(new_node),
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    );
+                    match res {
+                        Ok(_) => return true,
+                        Err(found) => {
+                            if found.is_flagged() {
+                                self.help_flagged(prev, found.ptr(), proc);
+                            }
+                            loop {
+                                proc.step(StepKind::Read);
+                                if !(*prev).succ.load(Ordering::SeqCst).is_marked() {
+                                    break;
+                                }
+                                proc.step(StepKind::Backlink);
+                                prev = (*prev).backlink.load(Ordering::SeqCst);
+                            }
+                        }
+                    }
+                }
+                let (p, n) = self.search_from(key, prev, Mode::Le, proc);
+                prev = p;
+                next = n;
+                if (*prev).key == key {
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Delete `key` (paper Fig. 4). Returns whether this operation owns
+    /// the deletion.
+    pub fn delete(&self, key: i64, proc: &Proc) -> bool {
+        unsafe {
+            let (prev, del) = self.search_from(key, self.head, Mode::Lt, proc);
+            if (*del).key != key {
+                return false;
+            }
+            let (prev, result) = self.try_flag(prev, del, proc);
+            if !prev.is_null() {
+                self.help_flagged(prev, del, proc);
+            }
+            result
+        }
+    }
+
+    /// Whether `key` is present (paper Fig. 3 `Search`).
+    pub fn contains(&self, key: i64, proc: &Proc) -> bool {
+        unsafe {
+            let (curr, _) = self.search_from(key, self.head, Mode::Le, proc);
+            (*curr).key == key
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Step-instrumented Harris list (restart-from-head on C&S failure).
+
+use std::sync::atomic::Ordering;
+
+use lf_tagged::TaggedPtr;
+
+use super::{Arena, SimNode};
+use crate::{Proc, StepKind};
+
+/// Harris's linked list over the deterministic scheduler.
+///
+/// Mark-only deletion; every failed C&S restarts the operation's
+/// search **from the head** — the behaviour the §3.1 adversary
+/// exploits.
+pub struct SimHarrisList {
+    head: *mut SimNode,
+    arena: Arena,
+}
+
+unsafe impl Send for SimHarrisList {}
+unsafe impl Sync for SimHarrisList {}
+
+impl Default for SimHarrisList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimHarrisList {
+    /// Create an empty list (sentinel keys `i64::MIN` / `i64::MAX`).
+    pub fn new() -> Self {
+        let arena = Arena::new();
+        let tail = SimNode::alloc(i64::MAX, std::ptr::null_mut());
+        let head = SimNode::alloc(i64::MIN, tail);
+        arena.adopt(tail);
+        arena.adopt(head);
+        SimHarrisList { head, arena }
+    }
+
+    /// Keys currently in the list; quiescent use only.
+    pub fn collect_keys(&self) -> Vec<i64> {
+        let mut out = Vec::new();
+        unsafe {
+            let mut cur = (*self.head).succ.load(Ordering::SeqCst).ptr();
+            while !cur.is_null() && (*cur).key != i64::MAX {
+                let succ = (*cur).succ.load(Ordering::SeqCst);
+                if !succ.is_marked() {
+                    out.push((*cur).key);
+                }
+                cur = succ.ptr();
+            }
+        }
+        out
+    }
+
+    /// Harris `search`: `(left, right)` with `left.key < k <= right.key`.
+    unsafe fn search(&self, k: i64, proc: &Proc) -> (*mut SimNode, *mut SimNode) {
+        'retry: loop {
+            let mut left = self.head;
+            proc.step(StepKind::Read);
+            let mut left_succ = (*left).succ.load(Ordering::SeqCst);
+            let right;
+
+            let mut t = self.head;
+            let mut t_succ = left_succ;
+            loop {
+                if !t_succ.is_marked() {
+                    left = t;
+                    left_succ = t_succ;
+                }
+                t = t_succ.ptr();
+                if t.is_null() {
+                    continue 'retry;
+                }
+                proc.step(StepKind::Traverse);
+                proc.step(StepKind::Read);
+                t_succ = (*t).succ.load(Ordering::SeqCst);
+                if !(t_succ.is_marked() || (*t).key < k) {
+                    right = t;
+                    break;
+                }
+            }
+
+            if left_succ.ptr() == right {
+                proc.step(StepKind::Read);
+                if (*right).succ.load(Ordering::SeqCst).is_marked() {
+                    continue 'retry;
+                }
+                return (left, right);
+            }
+
+            proc.step(StepKind::CasUnlink);
+            let res = (*left).succ.compare_exchange(
+                left_succ,
+                TaggedPtr::unmarked(right),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+            if res.is_ok() {
+                proc.step(StepKind::Read);
+                if !(*right).succ.load(Ordering::SeqCst).is_marked() {
+                    return (left, right);
+                }
+            }
+            // Snip failed or right got marked: restart from the head.
+        }
+    }
+
+    /// Insert `key`; returns `false` on duplicate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is a sentinel value.
+    pub fn insert(&self, key: i64, proc: &Proc) -> bool {
+        assert!(key > i64::MIN && key < i64::MAX, "sentinel key");
+        unsafe {
+            let new_node = SimNode::alloc(key, std::ptr::null_mut());
+            self.arena.adopt(new_node);
+            loop {
+                let (left, right) = self.search(key, proc);
+                if (*right).key == key {
+                    return false;
+                }
+                (*new_node)
+                    .succ
+                    .store(TaggedPtr::unmarked(right), Ordering::SeqCst);
+                proc.step(StepKind::CasInsert);
+                let res = (*left).succ.compare_exchange(
+                    TaggedPtr::unmarked(right),
+                    TaggedPtr::unmarked(new_node),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                if res.is_ok() {
+                    return true;
+                }
+                // Failure: the next iteration restarts from the head.
+            }
+        }
+    }
+
+    /// Delete `key`; returns whether this operation performed it.
+    pub fn delete(&self, key: i64, proc: &Proc) -> bool {
+        unsafe {
+            loop {
+                let (_left, right) = self.search(key, proc);
+                if (*right).key != key {
+                    return false;
+                }
+                proc.step(StepKind::Read);
+                let right_succ = (*right).succ.load(Ordering::SeqCst);
+                if right_succ.is_marked() {
+                    // Another deleter claimed it; the next search will
+                    // no longer find it.
+                    continue;
+                }
+                proc.step(StepKind::CasMark);
+                let res = (*right).succ.compare_exchange(
+                    right_succ,
+                    right_succ.with_mark(),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                if res.is_ok() {
+                    // Physical deletion via one more search.
+                    let _ = self.search(key, proc);
+                    return true;
+                }
+                // Mark failed: restart from the head.
+            }
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: i64, proc: &Proc) -> bool {
+        unsafe {
+            let (_left, right) = self.search(key, proc);
+            (*right).key == key
+        }
+    }
+}

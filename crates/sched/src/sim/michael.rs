@@ -1,0 +1,211 @@
+//! Step-instrumented Michael list (single-node unlinks, restart from
+//! head on any C&S failure — the paper's \[8\]).
+//!
+//! Hazard-pointer publication is a memory-reclamation mechanism, not a
+//! step the amortized analysis counts, so the simulator models only the
+//! algorithmic steps; the real hazard-pointer implementation lives in
+//! `lf-baselines::MichaelList`.
+
+use std::sync::atomic::Ordering;
+
+use lf_tagged::TaggedPtr;
+
+use super::{Arena, SimNode};
+use crate::{Proc, StepKind};
+
+/// Michael's list over the deterministic scheduler.
+pub struct SimMichaelList {
+    head: *mut SimNode,
+    arena: Arena,
+}
+
+unsafe impl Send for SimMichaelList {}
+unsafe impl Sync for SimMichaelList {}
+
+impl Default for SimMichaelList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimMichaelList {
+    /// Create an empty list (sentinel keys `i64::MIN` / `i64::MAX`).
+    pub fn new() -> Self {
+        let arena = Arena::new();
+        let tail = SimNode::alloc(i64::MAX, std::ptr::null_mut());
+        let head = SimNode::alloc(i64::MIN, tail);
+        arena.adopt(tail);
+        arena.adopt(head);
+        SimMichaelList { head, arena }
+    }
+
+    /// Keys currently present; quiescent use only.
+    pub fn collect_keys(&self) -> Vec<i64> {
+        let mut out = Vec::new();
+        unsafe {
+            let mut cur = (*self.head).succ.load(Ordering::SeqCst).ptr();
+            while !cur.is_null() && (*cur).key != i64::MAX {
+                let succ = (*cur).succ.load(Ordering::SeqCst);
+                if !succ.is_marked() {
+                    out.push((*cur).key);
+                }
+                cur = succ.ptr();
+            }
+        }
+        out
+    }
+
+    /// Michael's `find`: returns (prev, cur, cur_succ) with `cur.key >=
+    /// k`, unlinking marked nodes one at a time; restarts from the head
+    /// on any failure.
+    unsafe fn find(
+        &self,
+        k: i64,
+        proc: &Proc,
+    ) -> (*mut SimNode, *mut SimNode, TaggedPtr<SimNode>) {
+        'retry: loop {
+            let mut prev = self.head;
+            proc.step(StepKind::Read);
+            let mut cur = (*prev).succ.load(Ordering::SeqCst).ptr();
+            loop {
+                proc.step(StepKind::Read);
+                let check = (*prev).succ.load(Ordering::SeqCst);
+                if check.ptr() != cur || check.is_marked() {
+                    continue 'retry;
+                }
+                proc.step(StepKind::Read);
+                let cur_succ = (*cur).succ.load(Ordering::SeqCst);
+                if cur_succ.is_marked() {
+                    proc.step(StepKind::CasUnlink);
+                    let res = (*prev).succ.compare_exchange(
+                        TaggedPtr::unmarked(cur),
+                        TaggedPtr::unmarked(cur_succ.ptr()),
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    );
+                    if res.is_err() {
+                        continue 'retry;
+                    }
+                    cur = cur_succ.ptr();
+                    continue;
+                }
+                if (*cur).key >= k {
+                    return (prev, cur, cur_succ);
+                }
+                proc.step(StepKind::Traverse);
+                prev = cur;
+                cur = cur_succ.ptr();
+            }
+        }
+    }
+
+    /// Insert `key`; returns `false` on duplicate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is a sentinel value.
+    pub fn insert(&self, key: i64, proc: &Proc) -> bool {
+        assert!(key > i64::MIN && key < i64::MAX, "sentinel key");
+        unsafe {
+            let new_node = SimNode::alloc(key, std::ptr::null_mut());
+            self.arena.adopt(new_node);
+            loop {
+                let (prev, cur, _) = self.find(key, proc);
+                if (*cur).key == key {
+                    return false;
+                }
+                (*new_node)
+                    .succ
+                    .store(TaggedPtr::unmarked(cur), Ordering::SeqCst);
+                proc.step(StepKind::CasInsert);
+                let res = (*prev).succ.compare_exchange(
+                    TaggedPtr::unmarked(cur),
+                    TaggedPtr::unmarked(new_node),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                if res.is_ok() {
+                    return true;
+                }
+                // Restart from the head.
+            }
+        }
+    }
+
+    /// Delete `key`; returns whether this operation performed it.
+    pub fn delete(&self, key: i64, proc: &Proc) -> bool {
+        unsafe {
+            loop {
+                let (prev, cur, cur_succ) = self.find(key, proc);
+                if (*cur).key != key {
+                    return false;
+                }
+                proc.step(StepKind::CasMark);
+                let res = (*cur).succ.compare_exchange(
+                    cur_succ,
+                    cur_succ.with_mark(),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                if res.is_err() {
+                    continue; // restart from the head
+                }
+                proc.step(StepKind::CasUnlink);
+                let _ = (*prev).succ.compare_exchange(
+                    TaggedPtr::unmarked(cur),
+                    TaggedPtr::unmarked(cur_succ.ptr()),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                return true;
+            }
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: i64, proc: &Proc) -> bool {
+        unsafe {
+            let (_, cur, _) = self.find(key, proc);
+            (*cur).key == key
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scheduler;
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_matches_btreeset() {
+        let sched = Scheduler::new();
+        let list = Arc::new(SimMichaelList::new());
+        let mut oracle = BTreeSet::new();
+        let mut x: u64 = 21;
+        for _ in 0..400 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let k = ((x >> 33) % 40) as i64;
+            let l = list.clone();
+            match x % 3 {
+                0 => {
+                    let op = sched.spawn(move |p| l.insert(k, &p));
+                    sched.run_to_completion(op.pid());
+                    assert_eq!(op.join(), oracle.insert(k));
+                }
+                1 => {
+                    let op = sched.spawn(move |p| l.delete(k, &p));
+                    sched.run_to_completion(op.pid());
+                    assert_eq!(op.join(), oracle.remove(&k));
+                }
+                _ => {
+                    let op = sched.spawn(move |p| l.contains(k, &p));
+                    sched.run_to_completion(op.pid());
+                    assert_eq!(op.join(), oracle.contains(&k));
+                }
+            }
+        }
+        assert_eq!(list.collect_keys(), oracle.into_iter().collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,289 @@
+//! Step-instrumented re-implementations of the Fomitchev–Ruppert and
+//! Harris list algorithms, driven by the [`Scheduler`](crate::Scheduler).
+//!
+//! Keys are `i64` with `i64::MIN`/`i64::MAX` reserved for the head and
+//! tail sentinels. Values are omitted (the experiments count steps, not
+//! payloads) and nodes are never freed until the list drops (the
+//! adversarial executions are bounded, and leaving unlinked nodes in
+//! place keeps every pointer dereferenceable without a reclamation
+//! scheme inside the simulator).
+//!
+//! Every shared-memory access is preceded by a [`crate::Proc::step`] call, so
+//! the director can pause an operation immediately before any C&S and
+//! the scheduler's per-kind counters recover exactly the essential-step
+//! totals of the paper's analysis.
+
+mod fr;
+mod harris;
+mod michael;
+mod noflag;
+mod skiplist;
+
+pub use fr::SimFrList;
+pub use harris::SimHarrisList;
+pub use michael::SimMichaelList;
+pub use noflag::SimNoFlagList;
+pub use skiplist::SimSkipList;
+
+use std::sync::atomic::AtomicPtr;
+use std::sync::Mutex;
+
+use lf_tagged::{AtomicTaggedPtr, TaggedPtr};
+
+/// A node shared by both simulated list implementations (Harris simply
+/// never uses `backlink` or the flag bit).
+#[repr(align(8))]
+pub(crate) struct SimNode {
+    pub(crate) key: i64,
+    pub(crate) succ: AtomicTaggedPtr<SimNode>,
+    pub(crate) backlink: AtomicPtr<SimNode>,
+}
+
+impl SimNode {
+    pub(crate) fn alloc(key: i64, right: *mut SimNode) -> *mut SimNode {
+        Box::into_raw(Box::new(SimNode {
+            key,
+            succ: AtomicTaggedPtr::new(TaggedPtr::unmarked(right)),
+            backlink: AtomicPtr::new(std::ptr::null_mut()),
+        }))
+    }
+}
+
+/// Owns every node ever allocated by a simulated list; frees them all
+/// at drop (no reclamation during the run).
+pub(crate) struct Arena {
+    nodes: Mutex<Vec<usize>>,
+}
+
+impl Arena {
+    pub(crate) fn new() -> Self {
+        Arena {
+            nodes: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn adopt(&self, node: *mut SimNode) {
+        self.nodes.lock().unwrap().push(node as usize);
+    }
+}
+
+impl Drop for Arena {
+    fn drop(&mut self) {
+        for &addr in self.nodes.lock().unwrap().iter() {
+            drop(unsafe { Box::from_raw(addr as *mut SimNode) });
+        }
+    }
+}
+
+/// Comparison mode, as in the core crate (`SearchFrom` vs `SearchFrom2`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// Advance while `next.key <= k`.
+    Le,
+    /// Advance while `next.key < k`.
+    Lt,
+}
+
+#[inline]
+pub(crate) fn key_before(node_key: i64, k: i64, mode: Mode) -> bool {
+    match mode {
+        Mode::Le => node_key <= k,
+        Mode::Lt => node_key < k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Scheduler, StepKind};
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+
+    fn run_fr_op<R: Send + 'static>(
+        sched: &Scheduler,
+        f: impl FnOnce(crate::Proc) -> R + Send + 'static,
+    ) -> R {
+        let op = sched.spawn(f);
+        sched.run_to_completion(op.pid());
+        op.join()
+    }
+
+    #[test]
+    fn fr_sequential_matches_btreeset() {
+        let sched = Scheduler::new();
+        let list = Arc::new(SimFrList::new());
+        let mut oracle = BTreeSet::new();
+        let mut x: u64 = 99;
+        for _ in 0..400 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let k = ((x >> 33) % 50) as i64;
+            match x % 3 {
+                0 => {
+                    let l = list.clone();
+                    let got = run_fr_op(&sched, move |p| l.insert(k, &p));
+                    assert_eq!(got, oracle.insert(k), "insert {k}");
+                }
+                1 => {
+                    let l = list.clone();
+                    let got = run_fr_op(&sched, move |p| l.delete(k, &p));
+                    assert_eq!(got, oracle.remove(&k), "delete {k}");
+                }
+                _ => {
+                    let l = list.clone();
+                    let got = run_fr_op(&sched, move |p| l.contains(k, &p));
+                    assert_eq!(got, oracle.contains(&k), "contains {k}");
+                }
+            }
+        }
+        assert_eq!(list.collect_keys(), oracle.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn harris_sequential_matches_btreeset() {
+        let sched = Scheduler::new();
+        let list = Arc::new(SimHarrisList::new());
+        let mut oracle = BTreeSet::new();
+        let mut x: u64 = 7;
+        for _ in 0..400 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let k = ((x >> 33) % 50) as i64;
+            match x % 3 {
+                0 => {
+                    let l = list.clone();
+                    let got = run_fr_op(&sched, move |p| l.insert(k, &p));
+                    assert_eq!(got, oracle.insert(k), "insert {k}");
+                }
+                1 => {
+                    let l = list.clone();
+                    let got = run_fr_op(&sched, move |p| l.delete(k, &p));
+                    assert_eq!(got, oracle.remove(&k), "delete {k}");
+                }
+                _ => {
+                    let l = list.clone();
+                    let got = run_fr_op(&sched, move |p| l.contains(k, &p));
+                    assert_eq!(got, oracle.contains(&k), "contains {k}");
+                }
+            }
+        }
+        assert_eq!(list.collect_keys(), oracle.into_iter().collect::<Vec<_>>());
+    }
+
+    /// Paper Fig. 2 / E1: an uncontended deletion performs exactly one
+    /// flagging, one marking, and one physical-deletion C&S, in order.
+    #[test]
+    fn fr_deletion_is_exactly_three_cas() {
+        let sched = Scheduler::new();
+        let list = Arc::new(SimFrList::new());
+        for k in [1, 2, 3] {
+            let l = list.clone();
+            run_fr_op(&sched, move |p| l.insert(k, &p));
+        }
+        let l = list.clone();
+        let op = sched.spawn(move |p| l.delete(2, &p));
+        let pid = op.pid();
+
+        // Observe the three C&S steps in protocol order.
+        assert!(sched.run_until_pending(pid, StepKind::is_cas));
+        assert_eq!(sched.peek(pid), crate::Observation::Pending(StepKind::CasFlag));
+        sched.grant(pid, 1);
+        assert!(sched.run_until_pending(pid, StepKind::is_cas));
+        assert_eq!(sched.peek(pid), crate::Observation::Pending(StepKind::CasMark));
+        sched.grant(pid, 1);
+        assert!(sched.run_until_pending(pid, StepKind::is_cas));
+        assert_eq!(
+            sched.peek(pid),
+            crate::Observation::Pending(StepKind::CasUnlink)
+        );
+        sched.run_to_completion(pid);
+        assert!(op.join());
+
+        assert_eq!(sched.steps_of(pid, StepKind::CasFlag), 1);
+        assert_eq!(sched.steps_of(pid, StepKind::CasMark), 1);
+        assert_eq!(sched.steps_of(pid, StepKind::CasUnlink), 1);
+        assert_eq!(list.collect_keys(), vec![1, 3]);
+    }
+
+    /// Lock-freedom under failure injection: a deleter halted right
+    /// after flagging cannot block an insert at the same spot — the
+    /// inserter helps the deletion complete.
+    #[test]
+    fn fr_helping_overcomes_halted_deleter() {
+        let sched = Scheduler::new();
+        let list = Arc::new(SimFrList::new());
+        for k in [10, 20] {
+            let l = list.clone();
+            run_fr_op(&sched, move |p| l.insert(k, &p));
+        }
+        // Deleter of 20 flags node 10, then halts forever.
+        let l = list.clone();
+        let deleter = sched.spawn(move |p| l.delete(20, &p));
+        assert!(sched.run_until_pending(deleter.pid(), |k| k == StepKind::CasFlag));
+        sched.grant(deleter.pid(), 1); // execute the flag C&S
+        assert!(sched.run_until_pending(deleter.pid(), |k| k == StepKind::CasMark));
+        // ... and never grant it again.
+
+        // Inserter of 15 must still complete (it helps delete 20).
+        let l = list.clone();
+        let inserter = sched.spawn(move |p| l.insert(15, &p));
+        sched.run_to_completion(inserter.pid());
+        assert!(inserter.join());
+        assert_eq!(list.collect_keys(), vec![10, 15]);
+
+        // Unblock the deleter thread for cleanup; its operation still
+        // reports success (the deletion it started was completed).
+        sched.run_to_completion(deleter.pid());
+        assert!(deleter.join());
+    }
+
+    /// A miniature §3.1 round: pause an inserter right before its C&S,
+    /// let the deleter remove its predecessor, then compare recovery.
+    #[test]
+    fn fr_recovers_cheaper_than_harris_after_interference() {
+        // --- FR ---
+        let sched = Scheduler::new();
+        let fr = Arc::new(SimFrList::new());
+        for k in 0..20 {
+            let l = fr.clone();
+            run_fr_op(&sched, move |p| l.insert(k, &p));
+        }
+        let l = fr.clone();
+        let ins = sched.spawn(move |p| l.insert(100, &p));
+        assert!(sched.run_until_pending(ins.pid(), |k| k == StepKind::CasInsert));
+        let before = sched.steps(ins.pid());
+        let l = fr.clone();
+        let del = sched.spawn(move |p| l.delete(19, &p));
+        sched.run_to_completion(del.pid());
+        assert!(del.join());
+        sched.run_to_completion(ins.pid());
+        let ins_pid = ins.pid();
+        assert!(ins.join());
+        let fr_recovery = sched.steps(ins_pid) - before;
+
+        // --- Harris ---
+        let sched = Scheduler::new();
+        let ha = Arc::new(SimHarrisList::new());
+        for k in 0..20 {
+            let l = ha.clone();
+            run_fr_op(&sched, move |p| l.insert(k, &p));
+        }
+        let l = ha.clone();
+        let ins = sched.spawn(move |p| l.insert(100, &p));
+        assert!(sched.run_until_pending(ins.pid(), |k| k == StepKind::CasInsert));
+        let before = sched.steps(ins.pid());
+        let l = ha.clone();
+        let del = sched.spawn(move |p| l.delete(19, &p));
+        sched.run_to_completion(del.pid());
+        assert!(del.join());
+        sched.run_to_completion(ins.pid());
+        let ins_pid = ins.pid();
+        assert!(ins.join());
+        let harris_recovery = sched.steps(ins_pid) - before;
+
+        // Harris restarts from the head (>= 20 traversal steps); FR
+        // recovers through one backlink.
+        assert!(
+            harris_recovery > 2 * fr_recovery,
+            "harris {harris_recovery} vs fr {fr_recovery}"
+        );
+    }
+}

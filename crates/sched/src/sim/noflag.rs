@@ -1,0 +1,257 @@
+//! Step-instrumented backlinks-without-flags list (the §3.1 ablation):
+//! two-step deletion (mark, unlink) with backlinks set to the last
+//! known — possibly already marked — predecessor.
+
+use std::sync::atomic::Ordering;
+
+use lf_tagged::TaggedPtr;
+
+use super::{key_before, Arena, Mode, SimNode};
+use crate::{Proc, StepKind};
+
+/// The no-flag ablation list over the deterministic scheduler.
+///
+/// Because nothing prevents a backlink from targeting a marked node,
+/// chains of backlinks grow rightwards under the right schedule — the
+/// pathology the paper's flag bits eliminate (experiment E8 constructs
+/// it deterministically).
+pub struct SimNoFlagList {
+    head: *mut SimNode,
+    arena: Arena,
+}
+
+unsafe impl Send for SimNoFlagList {}
+unsafe impl Sync for SimNoFlagList {}
+
+impl Default for SimNoFlagList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimNoFlagList {
+    /// Create an empty list (sentinel keys `i64::MIN` / `i64::MAX`).
+    pub fn new() -> Self {
+        let arena = Arena::new();
+        let tail = SimNode::alloc(i64::MAX, std::ptr::null_mut());
+        let head = SimNode::alloc(i64::MIN, tail);
+        arena.adopt(tail);
+        arena.adopt(head);
+        SimNoFlagList { head, arena }
+    }
+
+    /// Keys currently present (unmarked nodes); quiescent use only.
+    pub fn collect_keys(&self) -> Vec<i64> {
+        let mut out = Vec::new();
+        unsafe {
+            let mut cur = (*self.head).succ.load(Ordering::SeqCst).ptr();
+            while !cur.is_null() && (*cur).key != i64::MAX {
+                let succ = (*cur).succ.load(Ordering::SeqCst);
+                if !succ.is_marked() {
+                    out.push((*cur).key);
+                }
+                cur = succ.ptr();
+            }
+        }
+        out
+    }
+
+    /// Snapshot `(key, mark, flag)` of all linked nodes (director use).
+    pub fn dump(&self) -> Vec<(i64, bool, bool)> {
+        let mut out = Vec::new();
+        unsafe {
+            let mut cur = self.head;
+            while !cur.is_null() {
+                let succ = (*cur).succ.load(Ordering::SeqCst);
+                out.push(((*cur).key, succ.is_marked(), succ.is_flagged()));
+                cur = succ.ptr();
+            }
+        }
+        out
+    }
+
+    unsafe fn help_marked(&self, prev: *mut SimNode, del: *mut SimNode, proc: &Proc) {
+        proc.step(StepKind::Read);
+        let next = (*del).succ.load(Ordering::SeqCst).ptr();
+        proc.step(StepKind::CasUnlink);
+        let _ = (*prev).succ.compare_exchange(
+            TaggedPtr::unmarked(del),
+            TaggedPtr::unmarked(next),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+    }
+
+    unsafe fn search_from(
+        &self,
+        k: i64,
+        mut curr: *mut SimNode,
+        mode: Mode,
+        proc: &Proc,
+    ) -> (*mut SimNode, *mut SimNode) {
+        proc.step(StepKind::Read);
+        let mut next = (*curr).succ.load(Ordering::SeqCst).ptr();
+        while key_before((*next).key, k, mode) {
+            loop {
+                proc.step(StepKind::Read);
+                let next_succ = (*next).succ.load(Ordering::SeqCst);
+                if !next_succ.is_marked() {
+                    break;
+                }
+                proc.step(StepKind::Read);
+                let curr_succ = (*curr).succ.load(Ordering::SeqCst);
+                if curr_succ.is_marked() && curr_succ.ptr() == next {
+                    break;
+                }
+                if curr_succ.ptr() == next {
+                    self.help_marked(curr, next, proc);
+                }
+                proc.step(StepKind::Read);
+                next = (*curr).succ.load(Ordering::SeqCst).ptr();
+            }
+            if key_before((*next).key, k, mode) {
+                proc.step(StepKind::Traverse);
+                curr = next;
+                proc.step(StepKind::Read);
+                next = (*curr).succ.load(Ordering::SeqCst).ptr();
+            }
+        }
+        (curr, next)
+    }
+
+    unsafe fn recover(&self, mut prev: *mut SimNode, proc: &Proc) -> *mut SimNode {
+        loop {
+            proc.step(StepKind::Read);
+            if !(*prev).succ.load(Ordering::SeqCst).is_marked() {
+                return prev;
+            }
+            proc.step(StepKind::Backlink);
+            let back = (*prev).backlink.load(Ordering::SeqCst);
+            prev = if back.is_null() { self.head } else { back };
+        }
+    }
+
+    /// Insert `key`; returns `false` on duplicate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is a sentinel value.
+    pub fn insert(&self, key: i64, proc: &Proc) -> bool {
+        assert!(key > i64::MIN && key < i64::MAX, "sentinel key");
+        unsafe {
+            let (mut prev, mut next) = self.search_from(key, self.head, Mode::Le, proc);
+            if (*prev).key == key {
+                return false;
+            }
+            let new_node = SimNode::alloc(key, std::ptr::null_mut());
+            self.arena.adopt(new_node);
+            loop {
+                (*new_node)
+                    .succ
+                    .store(TaggedPtr::unmarked(next), Ordering::SeqCst);
+                proc.step(StepKind::CasInsert);
+                let res = (*prev).succ.compare_exchange(
+                    TaggedPtr::unmarked(next),
+                    TaggedPtr::unmarked(new_node),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                if res.is_ok() {
+                    return true;
+                }
+                prev = self.recover(prev, proc);
+                let (p, n) = self.search_from(key, prev, Mode::Le, proc);
+                prev = p;
+                next = n;
+                if (*prev).key == key {
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Delete `key`; returns whether this operation performed it.
+    pub fn delete(&self, key: i64, proc: &Proc) -> bool {
+        unsafe {
+            let (mut prev, del) = self.search_from(key, self.head, Mode::Lt, proc);
+            if (*del).key != key {
+                return false;
+            }
+            loop {
+                // Backlink to the last known predecessor — which may
+                // itself be marked (no flag to prevent it).
+                proc.step(StepKind::Write);
+                (*del).backlink.store(prev, Ordering::SeqCst);
+                proc.step(StepKind::Read);
+                let del_succ = (*del).succ.load(Ordering::SeqCst);
+                if del_succ.is_marked() {
+                    return false;
+                }
+                proc.step(StepKind::CasMark);
+                let res = (*del).succ.compare_exchange(
+                    del_succ,
+                    del_succ.with_mark(),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                if res.is_ok() {
+                    self.help_marked(prev, del, proc);
+                    return true;
+                }
+                prev = self.recover(prev, proc);
+                let (p, d) = self.search_from(key, prev, Mode::Lt, proc);
+                prev = p;
+                if d != del {
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: i64, proc: &Proc) -> bool {
+        unsafe {
+            let (curr, _) = self.search_from(key, self.head, Mode::Le, proc);
+            (*curr).key == key
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scheduler;
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_matches_btreeset() {
+        let sched = Scheduler::new();
+        let list = Arc::new(SimNoFlagList::new());
+        let mut oracle = BTreeSet::new();
+        let mut x: u64 = 3;
+        for _ in 0..400 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let k = ((x >> 33) % 40) as i64;
+            let l = list.clone();
+            match x % 3 {
+                0 => {
+                    let op = sched.spawn(move |p| l.insert(k, &p));
+                    sched.run_to_completion(op.pid());
+                    assert_eq!(op.join(), oracle.insert(k));
+                }
+                1 => {
+                    let op = sched.spawn(move |p| l.delete(k, &p));
+                    sched.run_to_completion(op.pid());
+                    assert_eq!(op.join(), oracle.remove(&k));
+                }
+                _ => {
+                    let op = sched.spawn(move |p| l.contains(k, &p));
+                    sched.run_to_completion(op.pid());
+                    assert_eq!(op.join(), oracle.contains(&k));
+                }
+            }
+        }
+        assert_eq!(list.collect_keys(), oracle.into_iter().collect::<Vec<_>>());
+    }
+}

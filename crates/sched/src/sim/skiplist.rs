@@ -1,0 +1,546 @@
+//! Step-instrumented Fomitchev–Ruppert skip list (paper §4).
+//!
+//! Mirrors `lf_core::SkipList`'s algorithms over the deterministic
+//! scheduler, with two simplifications that help scripting:
+//!
+//! * tower heights are **supplied by the caller** instead of drawn from
+//!   coin flips, so schedules are fully reproducible;
+//! * nodes are arena-owned and freed only when the list drops (no
+//!   reclamation inside the simulator), so no tower reference counts
+//!   are needed.
+//!
+//! This is the model-checking surface for the paper's hardest cases:
+//! deletions interrupting tower construction, superfluous-tower cleanup
+//! by searches, and the per-level INV 1–5 invariants.
+
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Mutex;
+
+use lf_tagged::{AtomicTaggedPtr, TagBits, TaggedPtr};
+
+use crate::{Proc, StepKind};
+
+use super::{key_before, Mode};
+
+const MAX_LEVEL: usize = 8;
+
+/// One skip list node (a member of some tower).
+#[repr(align(8))]
+struct Node {
+    key: i64,
+    succ: AtomicTaggedPtr<Node>,
+    backlink: AtomicPtr<Node>,
+    down: *mut Node,
+    tower_root: *mut Node,
+}
+
+impl Node {
+    fn alloc(key: i64, down: *mut Node) -> *mut Node {
+        let n = Box::into_raw(Box::new(Node {
+            key,
+            succ: AtomicTaggedPtr::new(TaggedPtr::null()),
+            backlink: AtomicPtr::new(std::ptr::null_mut()),
+            down,
+            tower_root: std::ptr::null_mut(),
+        }));
+        unsafe {
+            (*n).tower_root = if down.is_null() {
+                n
+            } else {
+                (*down).tower_root
+            };
+        }
+        n
+    }
+}
+
+/// Outcome of the per-level flagging attempt.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum FlagStatus {
+    In,
+    Deleted,
+}
+
+/// The simulated skip list.
+pub struct SimSkipList {
+    heads: Vec<*mut Node>,
+    tails: Vec<*mut Node>,
+    nodes: Mutex<Vec<usize>>,
+}
+
+unsafe impl Send for SimSkipList {}
+unsafe impl Sync for SimSkipList {}
+
+impl Default for SimSkipList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for SimSkipList {
+    fn drop(&mut self) {
+        for &addr in self.nodes.lock().unwrap().iter() {
+            drop(unsafe { Box::from_raw(addr as *mut Node) });
+        }
+        for level in 0..MAX_LEVEL {
+            drop(unsafe { Box::from_raw(self.heads[level]) });
+            drop(unsafe { Box::from_raw(self.tails[level]) });
+        }
+    }
+}
+
+impl SimSkipList {
+    /// Create an empty simulated skip list (8 levels; towers may use
+    /// heights `1..=7`).
+    pub fn new() -> Self {
+        let mut heads = Vec::new();
+        let mut tails = Vec::new();
+        let mut below: (*mut Node, *mut Node) = (std::ptr::null_mut(), std::ptr::null_mut());
+        for _ in 0..MAX_LEVEL {
+            let tail = Node::alloc(i64::MAX, below.1);
+            let head = Node::alloc(i64::MIN, below.0);
+            unsafe {
+                // Sentinels are their own roots.
+                (*tail).tower_root = tail;
+                (*head).tower_root = head;
+                (*head).succ.store(TaggedPtr::unmarked(tail), Ordering::SeqCst);
+            }
+            heads.push(head);
+            tails.push(tail);
+            below = (head, tail);
+        }
+        SimSkipList {
+            heads,
+            tails,
+            nodes: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn adopt(&self, node: *mut Node) {
+        self.nodes.lock().unwrap().push(node as usize);
+    }
+
+    unsafe fn key_of(n: *mut Node) -> i64 {
+        (*(*n).tower_root).key
+    }
+
+    unsafe fn is_superfluous(n: *mut Node) -> bool {
+        (*(*n).tower_root).succ.load(Ordering::SeqCst).is_marked()
+    }
+
+    fn start_level(&self, min_level: usize) -> usize {
+        let mut level = MAX_LEVEL - 1;
+        while level > min_level {
+            if unsafe { (*self.heads[level - 1]).succ.load(Ordering::SeqCst).ptr() }
+                != self.tails[level - 1]
+            {
+                break;
+            }
+            level -= 1;
+        }
+        level
+    }
+
+    unsafe fn search_right(
+        &self,
+        k: i64,
+        mut curr: *mut Node,
+        mode: Mode,
+        proc: &Proc,
+    ) -> (*mut Node, *mut Node) {
+        proc.step(StepKind::Read);
+        let mut next = (*curr).succ.load(Ordering::SeqCst).ptr();
+        while key_before(Self::key_of(next), k, mode) {
+            loop {
+                proc.step(StepKind::Read);
+                if !Self::is_superfluous(next) {
+                    break;
+                }
+                let (new_curr, status, _) = self.try_flag_node(curr, next, proc);
+                curr = new_curr;
+                if status == FlagStatus::In {
+                    self.help_flagged(curr, next, proc);
+                }
+                proc.step(StepKind::Read);
+                next = (*curr).succ.load(Ordering::SeqCst).ptr();
+            }
+            if key_before(Self::key_of(next), k, mode) {
+                proc.step(StepKind::Traverse);
+                curr = next;
+                proc.step(StepKind::Read);
+                next = (*curr).succ.load(Ordering::SeqCst).ptr();
+            }
+        }
+        (curr, next)
+    }
+
+    unsafe fn search_to_level(
+        &self,
+        k: i64,
+        target_level: usize,
+        mode: Mode,
+        proc: &Proc,
+    ) -> (*mut Node, *mut Node) {
+        let mut level = self.start_level(target_level);
+        let mut curr = self.heads[level - 1];
+        loop {
+            let (n1, n2) = self.search_right(k, curr, mode, proc);
+            if level == target_level {
+                return (n1, n2);
+            }
+            curr = (*n1).down;
+            level -= 1;
+        }
+    }
+
+    unsafe fn try_flag_node(
+        &self,
+        mut prev: *mut Node,
+        target: *mut Node,
+        proc: &Proc,
+    ) -> (*mut Node, FlagStatus, bool) {
+        let flagged = TaggedPtr::new(target, TagBits::Flagged);
+        loop {
+            proc.step(StepKind::Read);
+            if (*prev).succ.load(Ordering::SeqCst) == flagged {
+                return (prev, FlagStatus::In, false);
+            }
+            proc.step(StepKind::CasFlag);
+            let res = (*prev).succ.compare_exchange(
+                TaggedPtr::unmarked(target),
+                flagged,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+            match res {
+                Ok(_) => return (prev, FlagStatus::In, true),
+                Err(found) => {
+                    if found == flagged {
+                        return (prev, FlagStatus::In, false);
+                    }
+                    loop {
+                        proc.step(StepKind::Read);
+                        if !(*prev).succ.load(Ordering::SeqCst).is_marked() {
+                            break;
+                        }
+                        proc.step(StepKind::Backlink);
+                        prev = (*prev).backlink.load(Ordering::SeqCst);
+                    }
+                    let (p, d) = self.search_right(Self::key_of(target), prev, Mode::Lt, proc);
+                    if d != target {
+                        return (p, FlagStatus::Deleted, false);
+                    }
+                    prev = p;
+                }
+            }
+        }
+    }
+
+    unsafe fn help_flagged(&self, prev: *mut Node, del: *mut Node, proc: &Proc) {
+        proc.step(StepKind::Write);
+        (*del).backlink.store(prev, Ordering::SeqCst);
+        proc.step(StepKind::Read);
+        if !(*del).succ.load(Ordering::SeqCst).is_marked() {
+            self.try_mark(del, proc);
+        }
+        self.help_marked(prev, del, proc);
+    }
+
+    unsafe fn try_mark(&self, del: *mut Node, proc: &Proc) {
+        loop {
+            proc.step(StepKind::Read);
+            let next = (*del).succ.load(Ordering::SeqCst).ptr();
+            proc.step(StepKind::CasMark);
+            let res = (*del).succ.compare_exchange(
+                TaggedPtr::unmarked(next),
+                TaggedPtr::new(next, TagBits::Marked),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+            if let Err(found) = res {
+                if found.is_flagged() {
+                    self.help_flagged(del, found.ptr(), proc);
+                }
+            }
+            proc.step(StepKind::Read);
+            if (*del).succ.load(Ordering::SeqCst).is_marked() {
+                return;
+            }
+        }
+    }
+
+    unsafe fn help_marked(&self, prev: *mut Node, del: *mut Node, proc: &Proc) {
+        proc.step(StepKind::Read);
+        let next = (*del).succ.load(Ordering::SeqCst).ptr();
+        proc.step(StepKind::CasUnlink);
+        let _ = (*prev).succ.compare_exchange(
+            TaggedPtr::new(del, TagBits::Flagged),
+            TaggedPtr::unmarked(next),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+    }
+
+    unsafe fn insert_node(
+        &self,
+        new_node: *mut Node,
+        prev: &mut *mut Node,
+        next: &mut *mut Node,
+        proc: &Proc,
+    ) -> bool {
+        // Returns false on duplicate at this level.
+        if Self::key_of(*prev) == Self::key_of(new_node) {
+            return false;
+        }
+        loop {
+            proc.step(StepKind::Read);
+            let prev_succ = (**prev).succ.load(Ordering::SeqCst);
+            if prev_succ.is_flagged() {
+                self.help_flagged(*prev, prev_succ.ptr(), proc);
+            } else {
+                (*new_node)
+                    .succ
+                    .store(TaggedPtr::unmarked(*next), Ordering::SeqCst);
+                proc.step(StepKind::CasInsert);
+                let res = (**prev).succ.compare_exchange(
+                    TaggedPtr::unmarked(*next),
+                    TaggedPtr::unmarked(new_node),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                match res {
+                    Ok(_) => return true,
+                    Err(found) => {
+                        if found.is_flagged() {
+                            self.help_flagged(*prev, found.ptr(), proc);
+                        }
+                        loop {
+                            proc.step(StepKind::Read);
+                            if !(**prev).succ.load(Ordering::SeqCst).is_marked() {
+                                break;
+                            }
+                            proc.step(StepKind::Backlink);
+                            *prev = (**prev).backlink.load(Ordering::SeqCst);
+                        }
+                    }
+                }
+            }
+            let (p, n) = self.search_right(Self::key_of(new_node), *prev, Mode::Le, proc);
+            *prev = p;
+            *next = n;
+            if Self::key_of(*prev) == Self::key_of(new_node) {
+                return false;
+            }
+        }
+    }
+
+    unsafe fn delete_node(&self, prev: *mut Node, del: *mut Node, proc: &Proc) -> bool {
+        let (prev, status, did_flag) = self.try_flag_node(prev, del, proc);
+        if status == FlagStatus::In {
+            self.help_flagged(prev, del, proc);
+        }
+        did_flag
+    }
+
+    /// Insert a tower for `key` with the given `height` (deterministic;
+    /// `1 <= height < 8`). Returns `false` on duplicate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on sentinel keys or out-of-range heights.
+    pub fn insert(&self, key: i64, height: usize, proc: &Proc) -> bool {
+        assert!(key > i64::MIN && key < i64::MAX, "sentinel key");
+        assert!((1..MAX_LEVEL).contains(&height), "height out of range");
+        unsafe {
+            let (mut prev, mut next) = self.search_to_level(key, 1, Mode::Le, proc);
+            if Self::key_of(prev) == key {
+                return false;
+            }
+            let root = Node::alloc(key, std::ptr::null_mut());
+            self.adopt(root);
+            let mut new_node = root;
+            let mut cur_level = 1;
+            loop {
+                let inserted = self.insert_node(new_node, &mut prev, &mut next, proc);
+                if !inserted && cur_level == 1 {
+                    return false;
+                }
+                proc.step(StepKind::Read);
+                if (*root).succ.load(Ordering::SeqCst).is_marked() {
+                    // Interrupted construction: undo the node we just
+                    // linked into the now-superfluous tower.
+                    if inserted && new_node != root {
+                        self.delete_node(prev, new_node, proc);
+                        loop {
+                            proc.step(StepKind::Read);
+                            if (*new_node).succ.load(Ordering::SeqCst).is_marked() {
+                                break;
+                            }
+                            let _ = self.search_to_level(key, cur_level, Mode::Le, proc);
+                        }
+                    }
+                    return true;
+                }
+                if !inserted {
+                    // Superfluous leftover occupies this level; retry.
+                    let (p, n) = self.search_to_level(key, cur_level, Mode::Le, proc);
+                    prev = p;
+                    next = n;
+                    continue;
+                }
+                cur_level += 1;
+                if cur_level > height {
+                    return true;
+                }
+                let upper = Node::alloc(key, new_node);
+                self.adopt(upper);
+                new_node = upper;
+                let (p, n) = self.search_to_level(key, cur_level, Mode::Le, proc);
+                prev = p;
+                next = n;
+            }
+        }
+    }
+
+    /// Delete the tower with `key`. Returns whether this operation owns
+    /// the deletion.
+    pub fn delete(&self, key: i64, proc: &Proc) -> bool {
+        unsafe {
+            let (prev, del) = self.search_to_level(key, 1, Mode::Lt, proc);
+            if Self::key_of(del) != key {
+                return false;
+            }
+            if !self.delete_node(prev, del, proc) {
+                return false;
+            }
+            let _ = self.search_to_level(key, 2, Mode::Le, proc);
+            true
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: i64, proc: &Proc) -> bool {
+        unsafe {
+            let (curr, _) = self.search_to_level(key, 1, Mode::Le, proc);
+            Self::key_of(curr) == key
+        }
+    }
+
+    /// Keys present at level 1 (quiescent use).
+    pub fn collect_keys(&self) -> Vec<i64> {
+        let mut out = Vec::new();
+        unsafe {
+            let mut cur = (*self.heads[0]).succ.load(Ordering::SeqCst).ptr();
+            while cur != self.tails[0] {
+                let succ = (*cur).succ.load(Ordering::SeqCst);
+                if !succ.is_marked() {
+                    out.push((*cur).key);
+                }
+                cur = succ.ptr();
+            }
+        }
+        out
+    }
+
+    /// Heights of the towers linked at level 1, keyed (quiescent use):
+    /// counts how many levels still link each root's key.
+    pub fn linked_height_of(&self, key: i64) -> usize {
+        let mut h = 0;
+        unsafe {
+            for level in 0..MAX_LEVEL {
+                let mut cur = (*self.heads[level]).succ.load(Ordering::SeqCst).ptr();
+                let mut found = false;
+                while cur != self.tails[level] {
+                    if Self::key_of(cur) == key
+                        && !(*cur).succ.load(Ordering::SeqCst).is_marked()
+                    {
+                        found = true;
+                        break;
+                    }
+                    cur = (*cur).succ.load(Ordering::SeqCst).ptr();
+                }
+                if found {
+                    h = level + 1;
+                }
+            }
+        }
+        h
+    }
+
+    /// Check the §3.3 invariants on every level, plus the vertical
+    /// tower structure (director use, between grants).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the violated invariant.
+    pub fn check_invariants(&self) {
+        unsafe {
+            for level in 0..MAX_LEVEL {
+                let mut prev: *mut Node = std::ptr::null_mut();
+                let mut prev_succ = TaggedPtr::<Node>::null();
+                let mut cur = self.heads[level];
+                loop {
+                    let succ = (*cur).succ.load(Ordering::SeqCst);
+                    assert!(
+                        !(succ.is_marked() && succ.is_flagged()),
+                        "INV5 violated at level {}",
+                        level + 1
+                    );
+                    if !prev.is_null() {
+                        assert!(
+                            Self::key_of(prev) < Self::key_of(cur),
+                            "INV1 violated at level {}: {} !< {}",
+                            level + 1,
+                            Self::key_of(prev),
+                            Self::key_of(cur)
+                        );
+                        if succ.is_marked() && !prev_succ.is_marked() {
+                            assert!(
+                                prev_succ.is_flagged(),
+                                "INV3 violated at level {}: pred of {} unflagged",
+                                level + 1,
+                                Self::key_of(cur)
+                            );
+                            assert_eq!(
+                                (*cur).backlink.load(Ordering::SeqCst),
+                                prev,
+                                "INV4 violated at level {} for {}",
+                                level + 1,
+                                Self::key_of(cur)
+                            );
+                        }
+                    }
+                    let next = succ.ptr();
+                    if next.is_null() {
+                        assert_eq!(
+                            cur, self.tails[level],
+                            "INV2: level {} chain broken",
+                            level + 1
+                        );
+                        break;
+                    }
+                    prev = cur;
+                    prev_succ = succ;
+                    cur = next;
+                }
+                // Vertical structure: every non-sentinel node's down
+                // chain reaches its root.
+                let mut cur = (*self.heads[level]).succ.load(Ordering::SeqCst).ptr();
+                while cur != self.tails[level] {
+                    let mut d = cur;
+                    while !(*d).down.is_null() {
+                        d = (*d).down;
+                    }
+                    assert_eq!(
+                        d,
+                        (*cur).tower_root,
+                        "down chain of {} at level {} misses its root",
+                        Self::key_of(cur),
+                        level + 1
+                    );
+                    cur = (*cur).succ.load(Ordering::SeqCst).ptr();
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! Tagged atomic pointers for lock-free list algorithms.
+//!
+//! Fomitchev & Ruppert's algorithms (PODC 2004) operate on a composite
+//! *successor field* `(right, mark, flag)` — a pointer plus two control
+//! bits — updated atomically with a single-word compare-and-swap:
+//!
+//! * the **mark** bit means the node containing this field is logically
+//!   deleted and its successor pointer is frozen forever;
+//! * the **flag** bit means a deletion of the *successor* node is in
+//!   progress and the field must not change until the flag is removed.
+//!
+//! On modern 64-bit targets every heap allocation of the node types used
+//! by this workspace is at least 8-byte aligned, leaving the low three
+//! pointer bits free. This crate packs the mark bit into bit 0 and the
+//! flag bit into bit 1, exactly mirroring the paper's footnote 1.
+//!
+//! Two types are provided:
+//!
+//! * [`TaggedPtr<T>`] — an immutable snapshot of a successor field, a
+//!   plain `Copy` value you can destructure and rebuild;
+//! * [`AtomicTaggedPtr<T>`] — the shared field itself, supporting
+//!   `load`, `store`, and `compare_exchange` over whole snapshots.
+//!
+//! # Examples
+//!
+//! ```
+//! use lf_tagged::{AtomicTaggedPtr, TaggedPtr};
+//! use std::sync::atomic::Ordering;
+//!
+//! let node = Box::into_raw(Box::new(42u64));
+//! let succ = AtomicTaggedPtr::new(TaggedPtr::unmarked(node));
+//!
+//! // Flag the field (deletion of successor announced):
+//! let old = succ.load(Ordering::SeqCst);
+//! assert!(succ
+//!     .compare_exchange(old, old.with_flag(), Ordering::SeqCst, Ordering::SeqCst)
+//!     .is_ok());
+//! assert!(succ.load(Ordering::SeqCst).is_flagged());
+//!
+//! // A marked field can never also be flagged (INV 5):
+//! assert!(!succ.load(Ordering::SeqCst).is_marked());
+//! # unsafe { drop(Box::from_raw(node)) };
+//! ```
+
+mod ptr;
+
+pub use ptr::{AtomicTaggedPtr, TagBits, TaggedPtr, MARK_BIT, FLAG_BIT, TAG_MASK};

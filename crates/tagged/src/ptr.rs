@@ -1,0 +1,470 @@
+//! The tagged pointer representation and its atomic container.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Bit 0 of a tagged word: the node owning this successor field is
+/// logically deleted ("marked").
+pub const MARK_BIT: usize = 0b01;
+
+/// Bit 1 of a tagged word: a deletion of the successor node is in
+/// progress ("flagged"); the field is frozen until the flag is removed.
+pub const FLAG_BIT: usize = 0b10;
+
+/// Mask covering both tag bits.
+pub const TAG_MASK: usize = MARK_BIT | FLAG_BIT;
+
+/// The decoded control bits of a successor field.
+///
+/// Invariant 5 of the paper — a field is never simultaneously marked and
+/// flagged — is *not* enforced by this type (it is a property of the
+/// algorithms, checked by their tests), but the constructors used by the
+/// core crates only ever produce the three legal states.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum TagBits {
+    /// Neither marked nor flagged.
+    #[default]
+    Clean,
+    /// Marked: owner is logically deleted.
+    Marked,
+    /// Flagged: successor's deletion is underway.
+    Flagged,
+}
+
+impl TagBits {
+    /// Decode the two low bits of a word.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if both bits are set (illegal per INV 5).
+    #[inline]
+    pub fn from_bits(bits: usize) -> TagBits {
+        debug_assert_ne!(bits & TAG_MASK, TAG_MASK, "field both marked and flagged");
+        match bits & TAG_MASK {
+            0 => TagBits::Clean,
+            MARK_BIT => TagBits::Marked,
+            _ => TagBits::Flagged,
+        }
+    }
+
+    /// Encode back into the two low bits.
+    #[inline]
+    pub fn bits(self) -> usize {
+        match self {
+            TagBits::Clean => 0,
+            TagBits::Marked => MARK_BIT,
+            TagBits::Flagged => FLAG_BIT,
+        }
+    }
+}
+
+/// A snapshot of a successor field: a raw pointer plus mark/flag bits,
+/// packed into one machine word.
+///
+/// `TaggedPtr` is `Copy` and does no memory management; it is only a
+/// *view*. Dereferencing the contained pointer is the caller's unsafe
+/// responsibility and is always mediated by an epoch guard in the crates
+/// built on top of this one.
+pub struct TaggedPtr<T> {
+    raw: usize,
+    _marker: PhantomData<*mut T>,
+}
+
+impl<T> Clone for TaggedPtr<T> {
+    #[inline]
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for TaggedPtr<T> {}
+
+impl<T> PartialEq for TaggedPtr<T> {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.raw == other.raw
+    }
+}
+impl<T> Eq for TaggedPtr<T> {}
+
+impl<T> std::hash::Hash for TaggedPtr<T> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.raw.hash(state);
+    }
+}
+
+impl<T> fmt::Debug for TaggedPtr<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TaggedPtr")
+            .field("ptr", &(self.ptr()))
+            .field("mark", &self.is_marked())
+            .field("flag", &self.is_flagged())
+            .finish()
+    }
+}
+
+impl<T> Default for TaggedPtr<T> {
+    /// The null pointer with clean tags.
+    #[inline]
+    fn default() -> Self {
+        Self::null()
+    }
+}
+
+impl<T> TaggedPtr<T> {
+    /// Create a tagged pointer from parts.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `ptr` is not at least 4-byte aligned (the low two
+    /// bits must be free) or if both `mark` and `flag` are requested.
+    #[inline]
+    pub fn new(ptr: *mut T, tag: TagBits) -> Self {
+        let addr = ptr as usize;
+        debug_assert_eq!(addr & TAG_MASK, 0, "pointer not aligned for tagging");
+        TaggedPtr {
+            raw: addr | tag.bits(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// A clean (unmarked, unflagged) pointer.
+    #[inline]
+    pub fn unmarked(ptr: *mut T) -> Self {
+        Self::new(ptr, TagBits::Clean)
+    }
+
+    /// The null pointer with clean tags.
+    #[inline]
+    pub fn null() -> Self {
+        TaggedPtr {
+            raw: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Rebuild a snapshot from a raw word previously obtained with
+    /// [`TaggedPtr::into_usize`].
+    #[inline]
+    pub fn from_usize(raw: usize) -> Self {
+        TaggedPtr {
+            raw,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The packed word (pointer | tag bits).
+    #[inline]
+    pub fn into_usize(self) -> usize {
+        self.raw
+    }
+
+    /// The pointer with tag bits stripped.
+    #[inline]
+    pub fn ptr(self) -> *mut T {
+        (self.raw & !TAG_MASK) as *mut T
+    }
+
+    /// Whether the stripped pointer is null.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.ptr().is_null()
+    }
+
+    /// The decoded tag bits.
+    #[inline]
+    pub fn tag(self) -> TagBits {
+        TagBits::from_bits(self.raw)
+    }
+
+    /// Whether the mark bit is set.
+    #[inline]
+    pub fn is_marked(self) -> bool {
+        self.raw & MARK_BIT != 0
+    }
+
+    /// Whether the flag bit is set.
+    #[inline]
+    pub fn is_flagged(self) -> bool {
+        self.raw & FLAG_BIT != 0
+    }
+
+    /// Whether neither tag bit is set.
+    #[inline]
+    pub fn is_clean(self) -> bool {
+        self.raw & TAG_MASK == 0
+    }
+
+    /// This pointer with both tag bits cleared.
+    #[inline]
+    pub fn with_clean(self) -> Self {
+        TaggedPtr {
+            raw: self.raw & !TAG_MASK,
+            _marker: PhantomData,
+        }
+    }
+
+    /// This pointer with the mark bit set and the flag bit cleared.
+    #[inline]
+    pub fn with_mark(self) -> Self {
+        TaggedPtr {
+            raw: (self.raw & !TAG_MASK) | MARK_BIT,
+            _marker: PhantomData,
+        }
+    }
+
+    /// This pointer with the flag bit set and the mark bit cleared.
+    #[inline]
+    pub fn with_flag(self) -> Self {
+        TaggedPtr {
+            raw: (self.raw & !TAG_MASK) | FLAG_BIT,
+            _marker: PhantomData,
+        }
+    }
+
+    /// This word's pointer replaced, tags preserved.
+    #[inline]
+    pub fn with_ptr(self, ptr: *mut T) -> Self {
+        let addr = ptr as usize;
+        debug_assert_eq!(addr & TAG_MASK, 0, "pointer not aligned for tagging");
+        TaggedPtr {
+            raw: addr | (self.raw & TAG_MASK),
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// An atomic successor field: a [`TaggedPtr`] that several threads load,
+/// store, and CAS as one word.
+///
+/// The memory-ordering parameters mirror
+/// [`std::sync::atomic::AtomicUsize`]; the list algorithms in this
+/// workspace use `SeqCst` throughout for fidelity to the paper's
+/// sequentially-consistent model (the cost difference is negligible next
+/// to the CAS itself on x86).
+pub struct AtomicTaggedPtr<T> {
+    inner: AtomicUsize,
+    _marker: PhantomData<*mut T>,
+}
+
+// SAFETY: the container only stores a word; thread-safety of the pointed-to
+// data is the responsibility of the data structure using it (which shares
+// `T` across threads by design and requires `T: Send + Sync` itself).
+unsafe impl<T: Send + Sync> Send for AtomicTaggedPtr<T> {}
+unsafe impl<T: Send + Sync> Sync for AtomicTaggedPtr<T> {}
+
+impl<T> fmt::Debug for AtomicTaggedPtr<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("AtomicTaggedPtr")
+            .field(&self.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<T> Default for AtomicTaggedPtr<T> {
+    fn default() -> Self {
+        Self::new(TaggedPtr::null())
+    }
+}
+
+impl<T> AtomicTaggedPtr<T> {
+    /// Create a field holding `initial`.
+    #[inline]
+    pub fn new(initial: TaggedPtr<T>) -> Self {
+        AtomicTaggedPtr {
+            inner: AtomicUsize::new(initial.into_usize()),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Atomically load a snapshot.
+    #[inline]
+    pub fn load(&self, order: Ordering) -> TaggedPtr<T> {
+        TaggedPtr::from_usize(self.inner.load(order))
+    }
+
+    /// Atomically store a snapshot.
+    #[inline]
+    pub fn store(&self, value: TaggedPtr<T>, order: Ordering) {
+        self.inner.store(value.into_usize(), order);
+    }
+
+    /// Single-word compare-and-swap over the whole `(ptr, mark, flag)`
+    /// triple — the paper's `C&S` primitive.
+    ///
+    /// # Errors
+    ///
+    /// On failure returns the value actually found, so callers can decode
+    /// *why* they failed (redirected, marked, or flagged) and recover.
+    #[inline]
+    pub fn compare_exchange(
+        &self,
+        current: TaggedPtr<T>,
+        new: TaggedPtr<T>,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<TaggedPtr<T>, TaggedPtr<T>> {
+        self.inner
+            .compare_exchange(current.into_usize(), new.into_usize(), success, failure)
+            .map(TaggedPtr::from_usize)
+            .map_err(TaggedPtr::from_usize)
+    }
+
+    /// Consume the field and return the final snapshot (requires unique
+    /// access, no synchronization).
+    #[inline]
+    pub fn into_inner(self) -> TaggedPtr<T> {
+        TaggedPtr::from_usize(self.inner.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaked(v: u32) -> *mut u32 {
+        Box::into_raw(Box::new(v))
+    }
+
+    unsafe fn free(p: *mut u32) {
+        drop(Box::from_raw(p));
+    }
+
+    #[test]
+    fn null_is_clean() {
+        let p = TaggedPtr::<u32>::null();
+        assert!(p.is_null());
+        assert!(p.is_clean());
+        assert!(!p.is_marked());
+        assert!(!p.is_flagged());
+        assert_eq!(p.tag(), TagBits::Clean);
+    }
+
+    #[test]
+    fn default_is_null() {
+        assert_eq!(TaggedPtr::<u32>::default(), TaggedPtr::<u32>::null());
+    }
+
+    #[test]
+    fn tag_roundtrip_preserves_pointer() {
+        let raw = leaked(7);
+        let p = TaggedPtr::unmarked(raw);
+        assert_eq!(p.ptr(), raw);
+        assert_eq!(p.with_mark().ptr(), raw);
+        assert_eq!(p.with_flag().ptr(), raw);
+        assert_eq!(p.with_mark().with_clean().ptr(), raw);
+        unsafe { free(raw) };
+    }
+
+    #[test]
+    fn mark_and_flag_are_mutually_exclusive_transitions() {
+        let raw = leaked(1);
+        let p = TaggedPtr::unmarked(raw);
+        let marked = p.with_mark();
+        assert!(marked.is_marked() && !marked.is_flagged());
+        let flagged = marked.with_flag();
+        assert!(flagged.is_flagged() && !flagged.is_marked());
+        unsafe { free(raw) };
+    }
+
+    #[test]
+    fn tagbits_encode_decode() {
+        for tag in [TagBits::Clean, TagBits::Marked, TagBits::Flagged] {
+            assert_eq!(TagBits::from_bits(tag.bits()), tag);
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "marked and flagged")]
+    fn tagbits_reject_both_bits() {
+        let _ = TagBits::from_bits(TAG_MASK);
+    }
+
+    #[test]
+    fn with_ptr_preserves_tags() {
+        let a = leaked(1);
+        let b = leaked(2);
+        let p = TaggedPtr::unmarked(a).with_flag().with_ptr(b);
+        assert_eq!(p.ptr(), b);
+        assert!(p.is_flagged());
+        unsafe {
+            free(a);
+            free(b);
+        }
+    }
+
+    #[test]
+    fn usize_roundtrip() {
+        let raw = leaked(9);
+        let p = TaggedPtr::unmarked(raw).with_mark();
+        let q = TaggedPtr::<u32>::from_usize(p.into_usize());
+        assert_eq!(p, q);
+        unsafe { free(raw) };
+    }
+
+    #[test]
+    fn cas_success_and_failure_report_found_value() {
+        let a = leaked(1);
+        let b = leaked(2);
+        let field = AtomicTaggedPtr::new(TaggedPtr::unmarked(a));
+
+        let old = field.load(Ordering::SeqCst);
+        let flagged = old.with_flag();
+        assert_eq!(
+            field.compare_exchange(old, flagged, Ordering::SeqCst, Ordering::SeqCst),
+            Ok(old)
+        );
+
+        // Second identical CAS fails and reports the flagged value.
+        assert_eq!(
+            field.compare_exchange(
+                old,
+                TaggedPtr::unmarked(b),
+                Ordering::SeqCst,
+                Ordering::SeqCst
+            ),
+            Err(flagged)
+        );
+        unsafe {
+            free(a);
+            free(b);
+        }
+    }
+
+    #[test]
+    fn concurrent_cas_exactly_one_winner() {
+        use std::sync::atomic::AtomicUsize;
+        let field = AtomicTaggedPtr::new(TaggedPtr::<u32>::null());
+        let wins = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let old = TaggedPtr::null();
+                    if field
+                        .compare_exchange(old, old.with_flag(), Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                    {
+                        wins.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert_eq!(wins.load(Ordering::SeqCst), 1);
+        assert!(field.load(Ordering::SeqCst).is_flagged());
+    }
+
+    #[test]
+    fn into_inner_returns_last_value() {
+        let field = AtomicTaggedPtr::new(TaggedPtr::<u32>::null());
+        field.store(TaggedPtr::null().with_mark(), Ordering::SeqCst);
+        assert!(field.into_inner().is_marked());
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let field = AtomicTaggedPtr::new(TaggedPtr::<u32>::null());
+        assert!(!format!("{field:?}").is_empty());
+        assert!(!format!("{:?}", TaggedPtr::<u32>::null()).is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for tagged-pointer packing.
+
+use proptest::prelude::*;
+
+use lf_tagged::{AtomicTaggedPtr, TagBits, TaggedPtr, FLAG_BIT, MARK_BIT, TAG_MASK};
+
+fn arb_tag() -> impl Strategy<Value = TagBits> {
+    prop_oneof![
+        Just(TagBits::Clean),
+        Just(TagBits::Marked),
+        Just(TagBits::Flagged),
+    ]
+}
+
+proptest! {
+    /// Packing a pointer with any legal tag and unpacking returns both
+    /// unchanged, for arbitrary (aligned) addresses.
+    #[test]
+    fn pack_unpack_roundtrip(addr in 0usize..1 << 40, tag in arb_tag()) {
+        let ptr = (addr & !TAG_MASK) as *mut u64;
+        let t = TaggedPtr::new(ptr, tag);
+        prop_assert_eq!(t.ptr(), ptr);
+        prop_assert_eq!(t.tag(), tag);
+        prop_assert_eq!(t.is_marked(), tag == TagBits::Marked);
+        prop_assert_eq!(t.is_flagged(), tag == TagBits::Flagged);
+    }
+
+    /// `into_usize`/`from_usize` preserve every field.
+    #[test]
+    fn word_roundtrip(addr in 0usize..1 << 40, tag in arb_tag()) {
+        let ptr = (addr & !TAG_MASK) as *mut u64;
+        let t = TaggedPtr::new(ptr, tag);
+        let back = TaggedPtr::<u64>::from_usize(t.into_usize());
+        prop_assert_eq!(t, back);
+    }
+
+    /// Tag transitions never disturb the pointer, and the final state
+    /// reflects only the last transition.
+    #[test]
+    fn transition_sequences(
+        addr in 0usize..1 << 40,
+        ops in proptest::collection::vec(0u8..3, 1..20),
+    ) {
+        let ptr = (addr & !TAG_MASK) as *mut u64;
+        let mut t = TaggedPtr::unmarked(ptr);
+        #[allow(unused_assignments)]
+        let mut expected = TagBits::Clean;
+        for op in ops {
+            (t, expected) = match op {
+                0 => (t.with_clean(), TagBits::Clean),
+                1 => (t.with_mark(), TagBits::Marked),
+                _ => (t.with_flag(), TagBits::Flagged),
+            };
+            prop_assert_eq!(t.ptr(), ptr);
+            prop_assert_eq!(t.tag(), expected);
+            // INV 5: never both.
+            prop_assert!(!(t.is_marked() && t.is_flagged()));
+        }
+    }
+
+    /// CAS succeeds exactly when the full word (pointer + tags) matches.
+    #[test]
+    fn cas_matches_whole_word(
+        a in 0usize..1 << 40,
+        b in 0usize..1 << 40,
+        tag_now in arb_tag(),
+        tag_expect in arb_tag(),
+    ) {
+        use std::sync::atomic::Ordering;
+        let pa = (a & !TAG_MASK) as *mut u64;
+        let pb = (b & !TAG_MASK) as *mut u64;
+        let now = TaggedPtr::new(pa, tag_now);
+        let expect = TaggedPtr::new(pa, tag_expect);
+        let field = AtomicTaggedPtr::new(now);
+        let res = field.compare_exchange(
+            expect,
+            TaggedPtr::unmarked(pb),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+        if tag_now == tag_expect {
+            prop_assert!(res.is_ok());
+            prop_assert_eq!(field.load(Ordering::SeqCst).ptr(), pb);
+        } else {
+            prop_assert_eq!(res, Err(now));
+            prop_assert_eq!(field.load(Ordering::SeqCst), now);
+        }
+    }
+}
+
+#[test]
+fn bit_constants_are_disjoint_low_bits() {
+    assert_eq!(MARK_BIT & FLAG_BIT, 0);
+    assert_eq!(MARK_BIT | FLAG_BIT, TAG_MASK);
+    #[allow(clippy::assertions_on_constants)]
+    {
+        assert!(TAG_MASK < 8, "tags must fit in alignment slack");
+    }
+}

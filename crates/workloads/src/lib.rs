@@ -1,0 +1,162 @@
+#![warn(missing_docs)]
+
+//! Workload generators for the benchmark harness.
+//!
+//! Provides deterministic, seedable streams of dictionary operations:
+//! key distributions (uniform, zipfian, sequential-tail), operation
+//! mixes (read-heavy, update-heavy, custom), and the special patterns
+//! the paper's experiments need (end-of-list contention for E2-style
+//! scenarios, hot-key contention for E9).
+
+mod mix;
+mod zipf;
+
+pub use mix::{Mix, Op, OpKind, WorkloadIter};
+pub use zipf::Zipf;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// How keys are drawn.
+#[derive(Clone, Debug)]
+pub enum KeyDist {
+    /// Uniform over `0..space`.
+    Uniform {
+        /// Exclusive upper bound of the key space.
+        space: u64,
+    },
+    /// Zipfian over `0..space` with exponent `theta` (skewed: a few
+    /// keys receive most operations).
+    Zipfian {
+        /// Exclusive upper bound of the key space.
+        space: u64,
+        /// Skew exponent (`0.99` is the YCSB default).
+        theta: f64,
+    },
+    /// Keys concentrated at the top of the key space — an end-of-list
+    /// hotspot approximating the paper's §3.1 scenario with real
+    /// threads.
+    Tail {
+        /// Exclusive upper bound of the key space.
+        space: u64,
+        /// Number of hottest keys at the tail.
+        width: u64,
+    },
+    /// Round-robin over `0..space` — deterministic scans (each
+    /// generator instance keeps its own cursor).
+    Sequential {
+        /// Exclusive upper bound of the key space.
+        space: u64,
+    },
+}
+
+/// A seeded generator of keys from a [`KeyDist`].
+#[derive(Debug)]
+pub struct KeyGen {
+    dist: KeyDist,
+    rng: SmallRng,
+    zipf: Option<Zipf>,
+    cursor: u64,
+}
+
+impl KeyGen {
+    /// Create a generator with the given distribution and seed.
+    pub fn new(dist: KeyDist, seed: u64) -> Self {
+        let zipf = match &dist {
+            KeyDist::Zipfian { space, theta } => Some(Zipf::new(*space, *theta)),
+            _ => None,
+        };
+        KeyGen {
+            dist,
+            rng: SmallRng::seed_from_u64(seed),
+            zipf,
+            cursor: 0,
+        }
+    }
+
+    /// Draw the next key.
+    pub fn next_key(&mut self) -> u64 {
+        match &self.dist {
+            KeyDist::Uniform { space } => self.rng.gen_range(0..*space),
+            KeyDist::Zipfian { .. } => {
+                let z = self.zipf.as_ref().expect("zipf table built in new");
+                z.sample(&mut self.rng)
+            }
+            KeyDist::Tail { space, width } => {
+                let w = (*width).max(1).min(*space);
+                space - 1 - self.rng.gen_range(0..w)
+            }
+            KeyDist::Sequential { space } => {
+                let k = self.cursor % *space;
+                self.cursor = self.cursor.wrapping_add(1);
+                k
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_space() {
+        let mut g = KeyGen::new(KeyDist::Uniform { space: 10 }, 1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[g.next_key() as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn uniform_is_deterministic_per_seed() {
+        let mut a = KeyGen::new(KeyDist::Uniform { space: 1000 }, 7);
+        let mut b = KeyGen::new(KeyDist::Uniform { space: 1000 }, 7);
+        for _ in 0..100 {
+            assert_eq!(a.next_key(), b.next_key());
+        }
+    }
+
+    #[test]
+    fn tail_stays_in_window() {
+        let mut g = KeyGen::new(
+            KeyDist::Tail {
+                space: 100,
+                width: 5,
+            },
+            3,
+        );
+        for _ in 0..500 {
+            let k = g.next_key();
+            assert!((95..100).contains(&k), "key {k} outside tail window");
+        }
+    }
+
+    #[test]
+    fn sequential_round_robins() {
+        let mut g = KeyGen::new(KeyDist::Sequential { space: 4 }, 9);
+        let keys: Vec<u64> = (0..10).map(|_| g.next_key()).collect();
+        assert_eq!(keys, vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn zipf_skews_towards_small_ranks() {
+        let mut g = KeyGen::new(
+            KeyDist::Zipfian {
+                space: 1000,
+                theta: 0.99,
+            },
+            11,
+        );
+        let mut hot = 0;
+        const N: usize = 10_000;
+        for _ in 0..N {
+            if g.next_key() < 10 {
+                hot += 1;
+            }
+        }
+        // The 1% hottest keys should receive far more than 1% of draws.
+        assert!(hot > N / 20, "zipf not skewed: {hot}/{N} in top-10 keys");
+    }
+}

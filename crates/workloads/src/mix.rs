@@ -1,0 +1,195 @@
+//! Operation mixes: seeded streams of insert/remove/search operations.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{KeyDist, KeyGen};
+
+/// One dictionary operation kind.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OpKind {
+    /// Insert a key.
+    Insert,
+    /// Remove a key.
+    Remove,
+    /// Search for a key.
+    Search,
+}
+
+/// A concrete operation: kind plus key.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Op {
+    /// What to do.
+    pub kind: OpKind,
+    /// Which key to do it to.
+    pub key: u64,
+}
+
+/// Percentages of inserts, removes, and searches (must total 100).
+#[derive(Clone, Copy, Debug)]
+pub struct Mix {
+    /// Percent of operations that insert.
+    pub insert: u8,
+    /// Percent of operations that remove.
+    pub remove: u8,
+    /// Percent of operations that search.
+    pub search: u8,
+}
+
+impl Mix {
+    /// 10% insert / 10% remove / 80% search — the classic read-heavy
+    /// dictionary mix.
+    pub const READ_HEAVY: Mix = Mix {
+        insert: 10,
+        remove: 10,
+        search: 80,
+    };
+
+    /// 40% insert / 40% remove / 20% search — update-heavy.
+    pub const UPDATE_HEAVY: Mix = Mix {
+        insert: 40,
+        remove: 40,
+        search: 20,
+    };
+
+    /// 50% insert / 50% remove — pure churn, maximum structural
+    /// contention.
+    pub const CHURN: Mix = Mix {
+        insert: 50,
+        remove: 50,
+        search: 0,
+    };
+
+    /// 100% search — pure lookups (the E5 scaling workload).
+    pub const READ_ONLY: Mix = Mix {
+        insert: 0,
+        remove: 0,
+        search: 100,
+    };
+
+    /// Validate and build a custom mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the three percentages sum to 100.
+    pub fn new(insert: u8, remove: u8, search: u8) -> Mix {
+        assert_eq!(
+            insert as u16 + remove as u16 + search as u16,
+            100,
+            "mix must total 100%"
+        );
+        Mix {
+            insert,
+            remove,
+            search,
+        }
+    }
+
+    /// A short label like `i10/r10/s80` for table headers.
+    pub fn label(&self) -> String {
+        format!("i{}/r{}/s{}", self.insert, self.remove, self.search)
+    }
+}
+
+/// An infinite, seeded stream of operations.
+#[derive(Debug)]
+pub struct WorkloadIter {
+    mix: Mix,
+    keys: KeyGen,
+    rng: SmallRng,
+}
+
+impl WorkloadIter {
+    /// Build a stream with the given mix, key distribution, and seed.
+    /// Streams with the same arguments yield identical operations.
+    pub fn new(mix: Mix, dist: KeyDist, seed: u64) -> Self {
+        WorkloadIter {
+            mix,
+            keys: KeyGen::new(dist, seed.wrapping_mul(0x9E3779B97F4A7C15)),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next operation in the stream.
+    pub fn next_op(&mut self) -> Op {
+        let roll: u8 = self.rng.gen_range(0..100);
+        let kind = if roll < self.mix.insert {
+            OpKind::Insert
+        } else if roll < self.mix.insert + self.mix.remove {
+            OpKind::Remove
+        } else {
+            OpKind::Search
+        };
+        Op {
+            kind,
+            key: self.keys.next_key(),
+        }
+    }
+}
+
+impl Iterator for WorkloadIter {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        Some(self.next_op())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_proportions_roughly_hold() {
+        let mut w = WorkloadIter::new(Mix::READ_HEAVY, KeyDist::Uniform { space: 100 }, 1);
+        let mut counts = [0u32; 3];
+        const N: u32 = 10_000;
+        for _ in 0..N {
+            match w.next_op().kind {
+                OpKind::Insert => counts[0] += 1,
+                OpKind::Remove => counts[1] += 1,
+                OpKind::Search => counts[2] += 1,
+            }
+        }
+        assert!((800..1200).contains(&counts[0]), "{counts:?}");
+        assert!((800..1200).contains(&counts[1]), "{counts:?}");
+        assert!((7600..8400).contains(&counts[2]), "{counts:?}");
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a: Vec<Op> =
+            WorkloadIter::new(Mix::CHURN, KeyDist::Uniform { space: 64 }, 9)
+                .take(50)
+                .collect();
+        let b: Vec<Op> =
+            WorkloadIter::new(Mix::CHURN, KeyDist::Uniform { space: 64 }, 9)
+                .take(50)
+                .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: Vec<Op> =
+            WorkloadIter::new(Mix::CHURN, KeyDist::Uniform { space: 64 }, 1)
+                .take(50)
+                .collect();
+        let b: Vec<Op> =
+            WorkloadIter::new(Mix::CHURN, KeyDist::Uniform { space: 64 }, 2)
+                .take(50)
+                .collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "total 100")]
+    fn bad_mix_panics() {
+        let _ = Mix::new(50, 50, 50);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Mix::READ_HEAVY.label(), "i10/r10/s80");
+    }
+}

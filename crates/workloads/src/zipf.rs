@@ -1,0 +1,92 @@
+//! Zipfian sampling via inverse-CDF binary search over a precomputed
+//! prefix table (exact, no rejection; table built once per generator).
+
+use rand::Rng;
+
+/// A Zipfian distribution over ranks `0..n` with exponent `theta`:
+/// rank `i` has weight `1 / (i + 1)^theta`.
+#[derive(Debug)]
+pub struct Zipf {
+    /// Normalized cumulative weights; `cdf[i]` = P(rank <= i).
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the table for `n` ranks with exponent `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is not finite.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipf over empty support");
+        assert!(theta.is_finite(), "non-finite zipf exponent");
+        let n = usize::try_from(n).expect("key space fits in usize");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw a rank in `0..n`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        // First index with cdf >= u.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        idx.min(self.cdf.len() - 1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rank_zero_is_most_frequent() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut counts = [0u32; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let max = counts.iter().copied().max().unwrap();
+        assert_eq!(counts[0], max);
+        assert!(counts[0] > counts[50] * 5);
+    }
+
+    #[test]
+    fn samples_within_support() {
+        let z = Zipf::new(7, 0.5);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn theta_zero_is_uniformish() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8000..12000).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty support")]
+    fn zero_support_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Epochs vs hazard pointers under a stalled reader (paper §5 / [9]).
+//!
+//! The paper leaves memory management open; this workspace implements
+//! both schemes its related work names. Their failure modes differ:
+//!
+//! * **epochs** (`lf-reclaim`, used by the FR structures): one stalled
+//!   pinned thread blocks *all* reclamation — garbage grows without
+//!   bound until it unpins;
+//! * **hazard pointers** (`lf-hazard`, used by the Michael baseline):
+//!   a stalled thread protects at most its few hazard slots — all
+//!   other garbage is freed promptly.
+//!
+//! This example retires a stream of nodes while one reader stalls, and
+//! prints how much garbage each scheme is left holding.
+//!
+//! ```sh
+//! cargo run --release --example memory_budget
+//! ```
+
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use lockfree_lists::hazard::Domain;
+use lockfree_lists::reclaim::Collector;
+
+const RETIRES: usize = 10_000;
+
+struct Counted(Arc<AtomicUsize>);
+impl Drop for Counted {
+    fn drop(&mut self) {
+        self.0.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+fn main() {
+    // ---- epoch scheme with a stalled pin ---------------------------
+    let freed_epoch = {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let collector = Collector::new();
+        let stalled = collector.register();
+        let _stalled_pin = stalled.pin(); // never released during the run
+
+        let worker = collector.register();
+        for _ in 0..RETIRES {
+            let guard = worker.pin();
+            let p = Box::into_raw(Box::new(Counted(drops.clone())));
+            unsafe { guard.defer_drop_box(p) };
+        }
+        for _ in 0..8 {
+            worker.flush();
+        }
+        drops.load(Ordering::SeqCst)
+    };
+
+    // ---- hazard scheme with a stalled protection -------------------
+    let freed_hazard = {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let domain = Domain::new();
+
+        // The stalled reader protects exactly one node forever.
+        let stalled = domain.register();
+        let protected = Box::into_raw(Box::new(Counted(drops.clone())));
+        let src = AtomicPtr::new(protected);
+        let _ = stalled.protect(0, &src);
+
+        let worker = domain.register();
+        src.store(std::ptr::null_mut(), Ordering::SeqCst);
+        unsafe { worker.retire(protected) };
+        for _ in 0..RETIRES - 1 {
+            let p = Box::into_raw(Box::new(Counted(drops.clone())));
+            unsafe { worker.retire(p) };
+        }
+        worker.scan();
+        let freed = drops.load(Ordering::SeqCst);
+        stalled.clear(0); // allow cleanup before the domain drops
+        freed
+    };
+
+    println!("{RETIRES} nodes retired while one reader stalls:");
+    println!(
+        "  epochs         : {freed_epoch:>6} freed, {:>6} stuck behind the stalled pin",
+        RETIRES - freed_epoch
+    );
+    println!(
+        "  hazard pointers: {freed_hazard:>6} freed, {:>6} protected by the stalled slot",
+        RETIRES - freed_hazard
+    );
+    println!();
+    println!("epochs batch cheaply (one pin per operation) but a stalled pin");
+    println!("blocks all reclamation; hazard pointers pay a publish+validate");
+    println!("per node hop but bound stalled-reader garbage by the number of");
+    println!("hazard slots. The FR structures choose epochs because backlink");
+    println!("recovery may traverse nodes unlinked during the operation —");
+    println!("cheap under a pin, awkward to protect slot-by-slot.");
+
+    assert_eq!(freed_epoch, 0, "stalled pin should block all epoch frees");
+    assert_eq!(
+        freed_hazard,
+        RETIRES - 1,
+        "hazard scheme should free everything but the protected node"
+    );
+}

@@ -1,0 +1,55 @@
+//! Quickstart: the lock-free list and skip list as concurrent maps.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use lockfree_lists::{FrList, SkipList, SkipSet};
+
+fn main() {
+    // --- FrList: the paper's §3 linked list -------------------------
+    let list = FrList::new();
+    let h = list.handle();
+
+    h.insert(3, "three").unwrap();
+    h.insert(1, "one").unwrap();
+    h.insert(2, "two").unwrap();
+    assert_eq!(h.insert(2, "again").unwrap_err(), (2, "again")); // duplicates rejected
+
+    assert_eq!(h.get(&2), Some("two"));
+    assert_eq!(h.remove(&2), Some("two"));
+    assert!(!h.contains(&2));
+
+    let contents: Vec<(i32, &str)> = h.iter().collect();
+    println!("list after ops: {contents:?}");
+    assert_eq!(contents, vec![(1, "one"), (3, "three")]);
+
+    // --- SkipList: the paper's §4 dictionary, O(log n) expected -----
+    let map = Arc::new(SkipList::new());
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let map = Arc::clone(&map);
+            s.spawn(move || {
+                let h = map.handle();
+                for i in 0..1_000 {
+                    h.insert(t * 1_000 + i, i).unwrap();
+                }
+            });
+        }
+    });
+    assert_eq!(map.len(), 4_000);
+    println!("skip list holds {} entries after 4 concurrent writers", map.len());
+
+    let h = map.handle();
+    assert_eq!(h.get(&2_500), Some(500));
+
+    // --- SkipSet: set façade ----------------------------------------
+    let set = SkipSet::new();
+    assert!(set.insert("apple"));
+    assert!(set.insert("banana"));
+    assert!(!set.insert("apple"));
+    assert!(set.remove(&"banana"));
+    println!("set contains apple: {}", set.contains(&"apple"));
+}

@@ -1,0 +1,120 @@
+//! A lock-free task scheduler on the skip-list priority queue — the
+//! application domain named in the paper's related work (Lotan–Shavit,
+//! Sundell–Tsigas built concurrent priority queues from skip lists).
+//!
+//! Three producer threads enqueue jobs with mixed priorities while
+//! four worker threads continuously pop and "execute" the most urgent
+//! job. At the end every job must have run exactly once, and urgent
+//! jobs must (statistically) not languish behind bulk jobs.
+//!
+//! ```sh
+//! cargo run --release --example task_scheduler
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use lockfree_lists::PriorityQueue;
+
+const JOBS_PER_PRODUCER: u64 = 3_000;
+const PRODUCERS: u64 = 3;
+
+#[derive(Clone, Debug)]
+struct Job {
+    id: u64,
+    urgent: bool,
+}
+
+fn main() {
+    let queue: Arc<PriorityQueue<u8, Job>> = Arc::new(PriorityQueue::new());
+    let produced_all = Arc::new(AtomicBool::new(false));
+    let executed = Arc::new(AtomicU64::new(0));
+    let urgent_latency = Arc::new(Mutex::new(Vec::new()));
+    let done_ids = Arc::new(Mutex::new(std::collections::HashSet::new()));
+
+    std::thread::scope(|s| {
+        // Producers.
+        for p in 0..PRODUCERS {
+            let queue = queue.clone();
+            s.spawn(move || {
+                let h = queue.handle();
+                let mut x = p.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+                for i in 0..JOBS_PER_PRODUCER {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(7);
+                    let urgent = x % 10 == 0; // ~10% urgent
+                    let priority = if urgent { 0 } else { 1 + (x % 4) as u8 };
+                    h.push(
+                        priority,
+                        Job {
+                            id: p * JOBS_PER_PRODUCER + i,
+                            urgent,
+                        },
+                    );
+                }
+            });
+        }
+
+        // Workers.
+        for _ in 0..4 {
+            let queue = queue.clone();
+            let produced_all = produced_all.clone();
+            let executed = executed.clone();
+            let urgent_latency = urgent_latency.clone();
+            let done_ids = done_ids.clone();
+            s.spawn(move || {
+                let h = queue.handle();
+                loop {
+                    match h.pop() {
+                        Some((prio, job)) => {
+                            // "Execute": account for the job.
+                            let pos = executed.fetch_add(1, Ordering::SeqCst);
+                            if job.urgent {
+                                assert_eq!(prio, 0);
+                                urgent_latency.lock().unwrap().push(pos);
+                            }
+                            assert!(
+                                done_ids.lock().unwrap().insert(job.id),
+                                "job {} executed twice",
+                                job.id
+                            );
+                        }
+                        None => {
+                            if produced_all.load(Ordering::SeqCst) && queue.is_empty() {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            });
+        }
+
+        // Signal completion once every producer has finished: watch the
+        // executed+queued totals.
+        let total = PRODUCERS * JOBS_PER_PRODUCER;
+        while executed.load(Ordering::SeqCst) + queue.len() as u64 != total
+            || queue.is_empty() && executed.load(Ordering::SeqCst) != total
+        {
+            if executed.load(Ordering::SeqCst) == total {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        produced_all.store(true, Ordering::SeqCst);
+    });
+
+    let total = PRODUCERS * JOBS_PER_PRODUCER;
+    assert_eq!(executed.load(Ordering::SeqCst), total);
+    assert_eq!(done_ids.lock().unwrap().len() as u64, total);
+    println!("executed {total} jobs exactly once across 4 workers");
+
+    let lat = urgent_latency.lock().unwrap();
+    let avg_urgent_pos: f64 = lat.iter().map(|&p| p as f64).sum::<f64>() / lat.len() as f64;
+    println!(
+        "urgent jobs: {} ({}% of stream), mean completion position {:.0} of {total}",
+        lat.len(),
+        lat.len() as u64 * 100 / total,
+        avg_urgent_pos
+    );
+    println!("(urgent jobs jump the queue: their mean position is well below {})", total / 2);
+}

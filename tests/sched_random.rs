@@ -1,0 +1,262 @@
+//! Randomized interleaving exploration (mini model checking).
+//!
+//! The deterministic scheduler lets us drive a *random but
+//! reproducible* interleaving of several concurrent operations and
+//! check outcomes after every schedule. Seeds that fail can be
+//! replayed exactly.
+
+use std::sync::Arc;
+
+use lockfree_lists::sched::sim::{SimFrList, SimHarrisList, SimNoFlagList};
+use lockfree_lists::sched::{Observation, Scheduler};
+
+/// Drive all `pids` to completion, picking the next process to step
+/// with an LCG seeded by `seed`.
+fn random_drive(sched: &Scheduler, pids: &[usize], seed: u64) {
+    let mut x = seed | 1;
+    let mut live: Vec<usize> = pids.to_vec();
+    while !live.is_empty() {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let idx = ((x >> 33) as usize) % live.len();
+        let pid = live[idx];
+        match sched.peek(pid) {
+            Observation::Finished => {
+                live.swap_remove(idx);
+            }
+            Observation::Pending(_) => sched.grant(pid, 1),
+        }
+    }
+}
+
+/// Disjoint-key operations must all succeed under every interleaving.
+#[test]
+fn fr_disjoint_ops_always_succeed() {
+    for seed in 0..60u64 {
+        let sched = Scheduler::new();
+        let list = Arc::new(SimFrList::new());
+        for k in [10, 20, 30] {
+            let l = list.clone();
+            let op = sched.spawn(move |p| l.insert(k, &p));
+            sched.run_to_completion(op.pid());
+            assert!(op.join());
+        }
+        let l1 = list.clone();
+        let l2 = list.clone();
+        let l3 = list.clone();
+        let ops = vec![
+            sched.spawn(move |p| l1.insert(15, &p)),
+            sched.spawn(move |p| l2.delete(20, &p)),
+            sched.spawn(move |p| l3.insert(25, &p)),
+        ];
+        let pids: Vec<usize> = ops.iter().map(|o| o.pid()).collect();
+        random_drive(&sched, &pids, seed);
+        for op in ops {
+            assert!(op.join(), "op failed under seed {seed}");
+        }
+        assert_eq!(list.collect_keys(), vec![10, 15, 25, 30], "seed {seed}");
+    }
+}
+
+/// Racing inserts of one key: exactly one winner, every interleaving.
+#[test]
+fn fr_same_key_inserts_single_winner() {
+    for seed in 0..60u64 {
+        let sched = Scheduler::new();
+        let list = Arc::new(SimFrList::new());
+        let mut ops = Vec::new();
+        for _ in 0..3 {
+            let l = list.clone();
+            ops.push(sched.spawn(move |p| l.insert(42, &p)));
+        }
+        let pids: Vec<usize> = ops.iter().map(|o| o.pid()).collect();
+        random_drive(&sched, &pids, seed);
+        let wins = ops.into_iter().filter(|_| true).map(|o| o.join()).filter(|&w| w).count();
+        assert_eq!(wins, 1, "seed {seed}");
+        assert_eq!(list.collect_keys(), vec![42], "seed {seed}");
+    }
+}
+
+/// Racing deletes of one key: exactly one winner, every interleaving.
+#[test]
+fn fr_same_key_deletes_single_winner() {
+    for seed in 0..60u64 {
+        let sched = Scheduler::new();
+        let list = Arc::new(SimFrList::new());
+        for k in [41, 42, 43] {
+            let l = list.clone();
+            let op = sched.spawn(move |p| l.insert(k, &p));
+            sched.run_to_completion(op.pid());
+            assert!(op.join());
+        }
+        let mut ops = Vec::new();
+        for _ in 0..3 {
+            let l = list.clone();
+            ops.push(sched.spawn(move |p| l.delete(42, &p)));
+        }
+        let pids: Vec<usize> = ops.iter().map(|o| o.pid()).collect();
+        random_drive(&sched, &pids, seed);
+        let wins = ops.into_iter().map(|o| o.join()).filter(|&w| w).count();
+        assert_eq!(wins, 1, "seed {seed}");
+        assert_eq!(list.collect_keys(), vec![41, 43], "seed {seed}");
+    }
+}
+
+/// Insert racing delete of the same key: either order is legal, but
+/// the final state must match the op results.
+#[test]
+fn fr_insert_delete_race_consistent() {
+    for seed in 0..80u64 {
+        let sched = Scheduler::new();
+        let list = Arc::new(SimFrList::new());
+        {
+            let l = list.clone();
+            let op = sched.spawn(move |p| l.insert(7, &p));
+            sched.run_to_completion(op.pid());
+            assert!(op.join());
+        }
+        let l1 = list.clone();
+        let l2 = list.clone();
+        let ins = sched.spawn(move |p| l1.insert(8, &p));
+        let del = sched.spawn(move |p| l2.delete(7, &p));
+        let pids = vec![ins.pid(), del.pid()];
+        random_drive(&sched, &pids, seed);
+        assert!(ins.join(), "insert of fresh key must win (seed {seed})");
+        assert!(del.join(), "delete of present key must win (seed {seed})");
+        assert_eq!(list.collect_keys(), vec![8], "seed {seed}");
+    }
+}
+
+/// Adjacent-key operations (the flag/backlink hot path): inserting
+/// immediately after a node while it is deleted.
+#[test]
+fn fr_insert_after_deleted_pred_consistent() {
+    for seed in 0..100u64 {
+        let sched = Scheduler::new();
+        let list = Arc::new(SimFrList::new());
+        for k in [10, 20] {
+            let l = list.clone();
+            let op = sched.spawn(move |p| l.insert(k, &p));
+            sched.run_to_completion(op.pid());
+            assert!(op.join());
+        }
+        // Insert 15 (pred 10) while deleting 10 and 20 concurrently.
+        let l1 = list.clone();
+        let l2 = list.clone();
+        let l3 = list.clone();
+        let ins = sched.spawn(move |p| l1.insert(15, &p));
+        let d1 = sched.spawn(move |p| l2.delete(10, &p));
+        let d2 = sched.spawn(move |p| l3.delete(20, &p));
+        let pids = vec![ins.pid(), d1.pid(), d2.pid()];
+        random_drive(&sched, &pids, seed);
+        assert!(ins.join(), "seed {seed}");
+        assert!(d1.join(), "seed {seed}");
+        assert!(d2.join(), "seed {seed}");
+        assert_eq!(list.collect_keys(), vec![15], "seed {seed}");
+    }
+}
+
+/// The same battery against the Harris baseline (its correctness is a
+/// prerequisite for using it as a comparator).
+#[test]
+fn harris_random_interleavings_consistent() {
+    for seed in 0..60u64 {
+        let sched = Scheduler::new();
+        let list = Arc::new(SimHarrisList::new());
+        for k in [10, 20] {
+            let l = list.clone();
+            let op = sched.spawn(move |p| l.insert(k, &p));
+            sched.run_to_completion(op.pid());
+            assert!(op.join());
+        }
+        let l1 = list.clone();
+        let l2 = list.clone();
+        let l3 = list.clone();
+        let ins = sched.spawn(move |p| l1.insert(15, &p));
+        let d1 = sched.spawn(move |p| l2.delete(10, &p));
+        let d2 = sched.spawn(move |p| l3.delete(20, &p));
+        let pids = vec![ins.pid(), d1.pid(), d2.pid()];
+        random_drive(&sched, &pids, seed);
+        assert!(ins.join() && d1.join() && d2.join(), "seed {seed}");
+        assert_eq!(list.collect_keys(), vec![15], "seed {seed}");
+    }
+}
+
+/// And the no-flag ablation (used by E8) must also be correct — the
+/// ablation removes performance guarantees, not correctness.
+#[test]
+fn noflag_random_interleavings_consistent() {
+    for seed in 0..60u64 {
+        let sched = Scheduler::new();
+        let list = Arc::new(SimNoFlagList::new());
+        for k in [10, 20] {
+            let l = list.clone();
+            let op = sched.spawn(move |p| l.insert(k, &p));
+            sched.run_to_completion(op.pid());
+            assert!(op.join());
+        }
+        let l1 = list.clone();
+        let l2 = list.clone();
+        let l3 = list.clone();
+        let ins = sched.spawn(move |p| l1.insert(15, &p));
+        let d1 = sched.spawn(move |p| l2.delete(10, &p));
+        let d2 = sched.spawn(move |p| l3.delete(20, &p));
+        let pids = vec![ins.pid(), d1.pid(), d2.pid()];
+        random_drive(&sched, &pids, seed);
+        assert!(ins.join() && d1.join() && d2.join(), "seed {seed}");
+        assert_eq!(list.collect_keys(), vec![15], "seed {seed}");
+    }
+}
+
+/// Model-check the paper's §3.3 invariants: under many random
+/// interleavings of conflicting operations, INV 1–5 must hold after
+/// **every single shared-memory step**.
+#[test]
+fn fr_invariants_hold_after_every_step() {
+    for seed in 0..40u64 {
+        let sched = Scheduler::new();
+        let list = Arc::new(SimFrList::new());
+        for k in [10, 20, 30, 40] {
+            let l = list.clone();
+            let op = sched.spawn(move |p| l.insert(k, &p));
+            sched.run_to_completion(op.pid());
+            assert!(op.join());
+        }
+        // Conflicting mix: deletes of adjacent keys, inserts between
+        // them, a delete/insert collision on 25.
+        let l1 = list.clone();
+        let l2 = list.clone();
+        let l3 = list.clone();
+        let l4 = list.clone();
+        let l5 = list.clone();
+        let ops = vec![
+            sched.spawn(move |p| l1.delete(20, &p)),
+            sched.spawn(move |p| l2.delete(30, &p)),
+            sched.spawn(move |p| l3.insert(25, &p)),
+            sched.spawn(move |p| l4.insert(15, &p)),
+            sched.spawn(move |p| l5.delete(40, &p)),
+        ];
+        let mut live: Vec<usize> = ops.iter().map(|o| o.pid()).collect();
+        let mut x = seed | 1;
+        while !live.is_empty() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let idx = ((x >> 33) as usize) % live.len();
+            let pid = live[idx];
+            match sched.peek(pid) {
+                Observation::Finished => {
+                    live.swap_remove(idx);
+                }
+                Observation::Pending(_) => {
+                    sched.grant(pid, 1);
+                    // Let the step land, then validate the whole state.
+                    let _ = sched.peek(pid);
+                    list.check_invariants();
+                }
+            }
+        }
+        for op in ops {
+            assert!(op.join(), "an operation failed under seed {seed}");
+        }
+        list.check_invariants();
+        assert_eq!(list.collect_keys(), vec![10, 15, 25], "seed {seed}");
+    }
+}

@@ -1,0 +1,287 @@
+//! Deterministic exploration of the skip list's hardest interleavings
+//! (paper §4): interrupted tower constructions, superfluous-tower
+//! cleanup by searches, and per-step invariant validation.
+
+use std::sync::Arc;
+
+use lockfree_lists::sched::sim::SimSkipList;
+use lockfree_lists::sched::{Observation, Scheduler, StepKind};
+
+fn run_to_end<R>(sched: &Scheduler, op: lockfree_lists::sched::OpHandle<R>) -> R
+where
+    R: Send + 'static,
+{
+    sched.run_to_completion(op.pid());
+    op.join()
+}
+
+#[test]
+fn sequential_tower_operations() {
+    let sched = Scheduler::new();
+    let sl = Arc::new(SimSkipList::new());
+    for (k, h) in [(10, 3), (20, 1), (30, 5), (40, 2)] {
+        let s = sl.clone();
+        assert!(run_to_end(&sched, sched.spawn(move |p| s.insert(k, h, &p))));
+    }
+    sl.check_invariants();
+    assert_eq!(sl.collect_keys(), vec![10, 20, 30, 40]);
+    assert_eq!(sl.linked_height_of(10), 3);
+    assert_eq!(sl.linked_height_of(30), 5);
+
+    let s = sl.clone();
+    assert!(run_to_end(&sched, sched.spawn(move |p| s.delete(30, &p))));
+    sl.check_invariants();
+    assert_eq!(sl.collect_keys(), vec![10, 20, 40]);
+    // The whole tower is dismantled, not just the root.
+    assert_eq!(sl.linked_height_of(30), 0);
+
+    let s = sl.clone();
+    assert!(run_to_end(&sched, sched.spawn(move |p| s.contains(10, &p))));
+    let s = sl.clone();
+    assert!(!run_to_end(&sched, sched.spawn(move |p| s.contains(30, &p))));
+}
+
+/// Paper §4: "while a process P is constructing a tower Q, Q's root
+/// node can get marked by another process, and P can add a new node to
+/// Q before it notices the marking." Script exactly that and verify
+/// the insert undoes its orphan node so no superfluous debris remains.
+#[test]
+fn interrupted_construction_cleans_up() {
+    let sched = Scheduler::new();
+    let sl = Arc::new(SimSkipList::new());
+    for (k, h) in [(10, 2), (30, 2)] {
+        let s = sl.clone();
+        assert!(run_to_end(&sched, sched.spawn(move |p| s.insert(k, h, &p))));
+    }
+
+    // The inserter builds a tall tower for 20; pause it right before it
+    // links level 2 (its second insertion C&S).
+    let s = sl.clone();
+    let ins = sched.spawn(move |p| s.insert(20, 5, &p));
+    let mut cas_inserts = 0;
+    loop {
+        match sched.peek(ins.pid()) {
+            Observation::Pending(StepKind::CasInsert) => {
+                cas_inserts += 1;
+                if cas_inserts == 2 {
+                    break; // about to link level 2
+                }
+                sched.grant(ins.pid(), 1);
+            }
+            Observation::Pending(_) => sched.grant(ins.pid(), 1),
+            Observation::Finished => panic!("inserter finished before level 2"),
+        }
+    }
+
+    // A deleter removes key 20 — marking the root mid-construction.
+    let s = sl.clone();
+    assert!(run_to_end(&sched, sched.spawn(move |p| s.delete(20, &p))));
+    sl.check_invariants();
+    assert!(!sl.collect_keys().contains(&20));
+
+    // Resume the inserter: it links its level-2 node into a superfluous
+    // tower, must notice the marked root, and delete the node again.
+    sched.run_to_completion(ins.pid());
+    assert!(ins.join(), "interrupted insert still reports success");
+    sl.check_invariants();
+    assert_eq!(sl.collect_keys(), vec![10, 30]);
+    assert_eq!(sl.linked_height_of(20), 0, "superfluous debris left behind");
+}
+
+/// A search passing a superfluous tower must physically delete it (§4:
+/// searches help deletions so backlink chains cannot be re-traversed).
+#[test]
+fn search_cleans_superfluous_towers() {
+    let sched = Scheduler::new();
+    let sl = Arc::new(SimSkipList::new());
+    for (k, h) in [(10, 1), (20, 4), (30, 1)] {
+        let s = sl.clone();
+        assert!(run_to_end(&sched, sched.spawn(move |p| s.insert(k, h, &p))));
+    }
+
+    // Delete 20 but halt the deleter immediately after the root's mark
+    // lands (upper levels stay linked: a superfluous tower).
+    let s = sl.clone();
+    let del = sched.spawn(move |p| s.delete(20, &p));
+    let mut marks = 0;
+    loop {
+        match sched.peek(del.pid()) {
+            Observation::Pending(StepKind::CasMark) => {
+                sched.grant(del.pid(), 1);
+                marks += 1;
+                if marks == 1 {
+                    break; // root marked; leave the deleter stalled
+                }
+            }
+            Observation::Pending(_) => sched.grant(del.pid(), 1),
+            Observation::Finished => panic!("deleter finished early"),
+        }
+    }
+    assert!(sl.linked_height_of(20) >= 2, "upper levels should remain");
+
+    // An unrelated search for a larger key sweeps past the superfluous
+    // tower on its way down and must dismantle it.
+    let s = sl.clone();
+    assert!(run_to_end(&sched, sched.spawn(move |p| s.contains(30, &p))));
+    sl.check_invariants();
+    assert_eq!(sl.linked_height_of(20), 0, "search left superfluous nodes");
+
+    // Unstall the deleter; it still owns (and reports) the deletion.
+    sched.run_to_completion(del.pid());
+    assert!(del.join());
+    sl.check_invariants();
+    assert_eq!(sl.collect_keys(), vec![10, 30]);
+}
+
+/// Random interleavings of conflicting tower operations, validating
+/// all per-level invariants after every single step.
+#[test]
+fn skiplist_invariants_hold_after_every_step() {
+    for seed in 0..25u64 {
+        let sched = Scheduler::new();
+        let sl = Arc::new(SimSkipList::new());
+        for (k, h) in [(10, 2), (20, 3), (30, 1), (40, 4)] {
+            let s = sl.clone();
+            assert!(run_to_end(&sched, sched.spawn(move |p| s.insert(k, h, &p))));
+        }
+        let s1 = sl.clone();
+        let s2 = sl.clone();
+        let s3 = sl.clone();
+        let s4 = sl.clone();
+        let ops = vec![
+            sched.spawn(move |p| s1.delete(20, &p)),
+            sched.spawn(move |p| s2.insert(25, 3, &p)),
+            sched.spawn(move |p| s3.delete(40, &p)),
+            sched.spawn(move |p| s4.insert(15, 2, &p)),
+        ];
+        let mut live: Vec<usize> = ops.iter().map(|o| o.pid()).collect();
+        let mut x = seed | 1;
+        while !live.is_empty() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let idx = ((x >> 33) as usize) % live.len();
+            let pid = live[idx];
+            match sched.peek(pid) {
+                Observation::Finished => {
+                    live.swap_remove(idx);
+                }
+                Observation::Pending(_) => {
+                    sched.grant(pid, 1);
+                    let _ = sched.peek(pid);
+                    sl.check_invariants();
+                }
+            }
+        }
+        for op in ops {
+            assert!(op.join(), "operation failed under seed {seed}");
+        }
+        sl.check_invariants();
+        assert_eq!(sl.collect_keys(), vec![10, 15, 25, 30], "seed {seed}");
+    }
+}
+
+/// Duplicate-key races on towers: one winner, invariants preserved.
+#[test]
+fn skiplist_same_key_insert_race() {
+    for seed in 0..30u64 {
+        let sched = Scheduler::new();
+        let sl = Arc::new(SimSkipList::new());
+        let s1 = sl.clone();
+        let s2 = sl.clone();
+        let s3 = sl.clone();
+        let ops = vec![
+            sched.spawn(move |p| s1.insert(42, 3, &p)),
+            sched.spawn(move |p| s2.insert(42, 1, &p)),
+            sched.spawn(move |p| s3.insert(42, 5, &p)),
+        ];
+        let mut live: Vec<usize> = ops.iter().map(|o| o.pid()).collect();
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        while !live.is_empty() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let idx = ((x >> 33) as usize) % live.len();
+            let pid = live[idx];
+            match sched.peek(pid) {
+                Observation::Finished => {
+                    live.swap_remove(idx);
+                }
+                Observation::Pending(_) => sched.grant(pid, 1),
+            }
+        }
+        let wins = ops.into_iter().map(|o| o.join()).filter(|&w| w).count();
+        assert_eq!(wins, 1, "seed {seed}");
+        sl.check_invariants();
+        assert_eq!(sl.collect_keys(), vec![42], "seed {seed}");
+    }
+}
+
+/// Two deleters race on one tall tower: one winner, tower fully
+/// dismantled, under many interleavings.
+#[test]
+fn skiplist_delete_race_single_winner() {
+    for seed in 0..30u64 {
+        let sched = Scheduler::new();
+        let sl = Arc::new(SimSkipList::new());
+        for (k, h) in [(10, 1), (20, 5), (30, 2)] {
+            let s = sl.clone();
+            assert!(run_to_end(&sched, sched.spawn(move |p| s.insert(k, h, &p))));
+        }
+        let s1 = sl.clone();
+        let s2 = sl.clone();
+        let ops = vec![
+            sched.spawn(move |p| s1.delete(20, &p)),
+            sched.spawn(move |p| s2.delete(20, &p)),
+        ];
+        let mut live: Vec<usize> = ops.iter().map(|o| o.pid()).collect();
+        let mut x = seed.wrapping_mul(0xD1B54A32D192ED03) | 1;
+        while !live.is_empty() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(11);
+            let idx = ((x >> 33) as usize) % live.len();
+            let pid = live[idx];
+            match sched.peek(pid) {
+                Observation::Finished => {
+                    live.swap_remove(idx);
+                }
+                Observation::Pending(_) => sched.grant(pid, 1),
+            }
+        }
+        let wins = ops.into_iter().map(|o| o.join()).filter(|&w| w).count();
+        assert_eq!(wins, 1, "seed {seed}");
+        sl.check_invariants();
+        assert_eq!(sl.collect_keys(), vec![10, 30], "seed {seed}");
+        assert_eq!(sl.linked_height_of(20), 0, "tower debris, seed {seed}");
+    }
+}
+
+/// A search descends through a tall tower while a deleter dismantles
+/// it: the search must terminate with the correct answer for its own
+/// key and leave the invariants intact.
+#[test]
+fn skiplist_search_during_dismantle() {
+    for pause_after in 0..20u64 {
+        let sched = Scheduler::new();
+        let sl = Arc::new(SimSkipList::new());
+        for (k, h) in [(10, 6), (20, 6), (30, 1)] {
+            let s = sl.clone();
+            assert!(run_to_end(&sched, sched.spawn(move |p| s.insert(k, h, &p))));
+        }
+        // Searcher for 30 starts descending (its path passes tower 20),
+        // pauses after a few steps.
+        let s = sl.clone();
+        let searcher = sched.spawn(move |p| s.contains(30, &p));
+        for _ in 0..pause_after {
+            match sched.peek(searcher.pid()) {
+                Observation::Finished => break,
+                Observation::Pending(_) => sched.grant(searcher.pid(), 1),
+            }
+        }
+        // Deleter dismantles tower 20 completely.
+        let s = sl.clone();
+        let del = sched.spawn(move |p| s.delete(20, &p));
+        sched.run_to_completion(del.pid());
+        assert!(del.join());
+        // Searcher resumes and must still find 30.
+        sched.run_to_completion(searcher.pid());
+        assert!(searcher.join(), "search lost its key (pause {pause_after})");
+        sl.check_invariants();
+        assert_eq!(sl.collect_keys(), vec![10, 30]);
+    }
+}
