@@ -73,7 +73,17 @@ impl<K: Ord, V> CoarseLockList<K, V> {
     }
 
     /// Insert `key → value`; returns `false` on duplicate.
+    ///
+    /// Exactly one op is counted per call, at this boundary — the
+    /// multi-return body below stays free of metric bookkeeping.
     pub fn insert(&self, key: K, value: V) -> bool {
+        let op = lf_metrics::op_begin();
+        let r = self.insert_inner(key, value);
+        lf_metrics::op_end(op);
+        r
+    }
+
+    fn insert_inner(&self, key: K, value: V) -> bool {
         let mut inner = self.inner.lock();
         let mut slot = &mut inner.head;
         loop {
@@ -82,22 +92,25 @@ impl<K: Ord, V> CoarseLockList<K, V> {
                     lf_metrics::record_curr_update();
                     slot = &mut slot.as_mut().unwrap().next;
                 }
-                Some(node) if node.key == key => {
-                    lf_metrics::record_op();
-                    return false;
-                }
+                Some(node) if node.key == key => return false,
                 _ => break,
             }
         }
         let next = slot.take();
         *slot = Some(Box::new(Node { key, value, next }));
         inner.len += 1;
-        lf_metrics::record_op();
         true
     }
 
     /// Remove `key`, returning its value.
     pub fn remove(&self, key: &K) -> Option<V> {
+        let op = lf_metrics::op_begin();
+        let r = self.remove_inner(key);
+        lf_metrics::op_end(op);
+        r
+    }
+
+    fn remove_inner(&self, key: &K) -> Option<V> {
         let mut inner = self.inner.lock();
         let mut slot = &mut inner.head;
         loop {
@@ -110,13 +123,9 @@ impl<K: Ord, V> CoarseLockList<K, V> {
                     let removed = slot.take().unwrap();
                     *slot = removed.next;
                     inner.len -= 1;
-                    lf_metrics::record_op();
                     return Some(removed.value);
                 }
-                _ => {
-                    lf_metrics::record_op();
-                    return None;
-                }
+                _ => return None,
             }
         }
     }
@@ -126,39 +135,52 @@ impl<K: Ord, V> CoarseLockList<K, V> {
     where
         V: Clone,
     {
+        let op = lf_metrics::op_begin();
+        let r = self.get_inner(key);
+        lf_metrics::op_end(op);
+        r
+    }
+
+    fn get_inner(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
         let inner = self.inner.lock();
         let mut cur = inner.head.as_deref();
         while let Some(node) = cur {
             if node.key == *key {
-                lf_metrics::record_op();
                 return Some(node.value.clone());
             }
             if node.key > *key {
-                break;
+                return None;
             }
             lf_metrics::record_curr_update();
             cur = node.next.as_deref();
         }
-        lf_metrics::record_op();
         None
     }
 
     /// Whether `key` is present.
     pub fn contains(&self, key: &K) -> bool {
+        let op = lf_metrics::op_begin();
+        let r = self.contains_inner(key);
+        lf_metrics::op_end(op);
+        r
+    }
+
+    fn contains_inner(&self, key: &K) -> bool {
         let inner = self.inner.lock();
         let mut cur = inner.head.as_deref();
         while let Some(node) = cur {
             if node.key == *key {
-                lf_metrics::record_op();
                 return true;
             }
             if node.key > *key {
-                break;
+                return false;
             }
             lf_metrics::record_curr_update();
             cur = node.next.as_deref();
         }
-        lf_metrics::record_op();
         false
     }
 }

@@ -191,9 +191,7 @@ where
                         .is_ok()
                     {
                         let addr = cur as usize;
-                        guard.defer_unchecked(move || {
-                            drop(Box::from_raw(addr as *mut Node<K, V>))
-                        });
+                        guard.defer_unchecked(move || drop(Box::from_raw(addr as *mut Node<K, V>)));
                     }
                     cur = next;
                 }
@@ -302,8 +300,9 @@ where
     /// Insert `key → value`; returns `false` on duplicate.
     pub fn insert(&self, key: K, value: V) -> bool {
         let guard = self.reclaim.pin();
+        let op = lf_metrics::op_begin();
         let r = unsafe { self.list.insert_impl(key, value, &guard) };
-        lf_metrics::record_op();
+        lf_metrics::op_end(op);
         r
     }
 
@@ -313,8 +312,9 @@ where
         V: Clone,
     {
         let guard = self.reclaim.pin();
+        let op = lf_metrics::op_begin();
         let r = unsafe { self.list.delete_impl(key, &guard) };
-        lf_metrics::record_op();
+        lf_metrics::op_end(op);
         r
     }
 
@@ -324,20 +324,22 @@ where
         V: Clone,
     {
         let guard = self.reclaim.pin();
+        let op = lf_metrics::op_begin();
         let r = unsafe {
             self.list
                 .search_value(key, &guard)
                 .map(|n| (*n).element.clone().expect("user node has element"))
         };
-        lf_metrics::record_op();
+        lf_metrics::op_end(op);
         r
     }
 
     /// Whether `key` is present.
     pub fn contains(&self, key: &K) -> bool {
         let guard = self.reclaim.pin();
+        let op = lf_metrics::op_begin();
         let r = unsafe { self.list.search_value(key, &guard).is_some() };
-        lf_metrics::record_op();
+        lf_metrics::op_end(op);
         r
     }
 }

@@ -125,11 +125,20 @@ impl<K: Ord, V> HohLockList<K, V> {
     }
 
     /// Insert `key → value`; returns `false` on duplicate.
+    ///
+    /// Exactly one op is counted per call, at this boundary — the
+    /// multi-return body below stays free of metric bookkeeping.
     pub fn insert(&self, key: K, value: V) -> bool {
+        let op = lf_metrics::op_begin();
+        let r = self.insert_inner(key, value);
+        lf_metrics::op_end(op);
+        r
+    }
+
+    fn insert_inner(&self, key: K, value: V) -> bool {
         let (_pred, mut guard) = self.find(&key);
         let curr = guard.as_ref().unwrap().clone();
         if curr.key.as_key() == Some(&key) {
-            lf_metrics::record_op();
             return false;
         }
         let node = Arc::new(Node {
@@ -139,7 +148,6 @@ impl<K: Ord, V> HohLockList<K, V> {
         });
         *guard = Some(node);
         self.len.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-        lf_metrics::record_op();
         true
     }
 
@@ -148,16 +156,24 @@ impl<K: Ord, V> HohLockList<K, V> {
     where
         V: Clone,
     {
+        let op = lf_metrics::op_begin();
+        let r = self.remove_inner(key);
+        lf_metrics::op_end(op);
+        r
+    }
+
+    fn remove_inner(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
         let (_pred, mut guard) = self.find(key);
         let curr = guard.as_ref().unwrap().clone();
         if curr.key.as_key() != Some(key) {
-            lf_metrics::record_op();
             return None;
         }
         let next = curr.next.lock().clone();
         *guard = next;
         self.len.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
-        lf_metrics::record_op();
         curr.value.clone()
     }
 
@@ -166,18 +182,22 @@ impl<K: Ord, V> HohLockList<K, V> {
     where
         V: Clone,
     {
+        let op = lf_metrics::op_begin();
         let (_pred, guard) = self.find(key);
         let curr = guard.as_ref().unwrap();
         let r = (curr.key.as_key() == Some(key)).then(|| curr.value.clone().unwrap());
-        lf_metrics::record_op();
+        drop(guard);
+        lf_metrics::op_end(op);
         r
     }
 
     /// Whether `key` is present.
     pub fn contains(&self, key: &K) -> bool {
+        let op = lf_metrics::op_begin();
         let (_pred, guard) = self.find(key);
         let r = guard.as_ref().unwrap().key.as_key() == Some(key);
-        lf_metrics::record_op();
+        drop(guard);
+        lf_metrics::op_end(op);
         r
     }
 }

@@ -35,10 +35,10 @@
 
 mod coarse_list;
 mod harris;
-mod locked_heap;
 mod hoh_list;
-mod michael;
 mod lock_skiplist;
+mod locked_heap;
+mod michael;
 mod noflag;
 mod restart_skiplist;
 mod seq_skiplist;

@@ -64,15 +64,17 @@ impl<K: Ord + Send + Sync, V: Send + Sync> LockSkipList<K, V> {
 
     /// Insert `key → value`; returns `false` on duplicate.
     pub fn insert(&self, key: K, value: V) -> bool {
+        let op = lf_metrics::op_begin();
         let r = self.inner.write().insert(key, value);
-        lf_metrics::record_op();
+        lf_metrics::op_end(op);
         r
     }
 
     /// Remove `key`, returning its value.
     pub fn remove(&self, key: &K) -> Option<V> {
+        let op = lf_metrics::op_begin();
         let r = self.inner.write().remove(key);
-        lf_metrics::record_op();
+        lf_metrics::op_end(op);
         r
     }
 
@@ -81,15 +83,17 @@ impl<K: Ord + Send + Sync, V: Send + Sync> LockSkipList<K, V> {
     where
         V: Clone,
     {
+        let op = lf_metrics::op_begin();
         let r = self.inner.read().get(key).cloned();
-        lf_metrics::record_op();
+        lf_metrics::op_end(op);
         r
     }
 
     /// Whether `key` is present.
     pub fn contains(&self, key: &K) -> bool {
+        let op = lf_metrics::op_begin();
         let r = self.inner.read().contains(key);
-        lf_metrics::record_op();
+        lf_metrics::op_end(op);
         r
     }
 }

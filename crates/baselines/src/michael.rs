@@ -231,6 +231,7 @@ where
     /// Insert `key → value`; returns `false` on duplicate.
     pub fn insert(&self, key: K, value: V) -> bool {
         let new_node = Node::alloc(Bound::Key(key), Some(value), std::ptr::null_mut());
+        let op = lf_metrics::op_begin();
         let r = unsafe {
             loop {
                 let key_ref = (*new_node).key.as_key().expect("user key");
@@ -257,7 +258,7 @@ where
             }
         };
         self.release();
-        lf_metrics::record_op();
+        lf_metrics::op_end(op);
         r
     }
 
@@ -266,6 +267,7 @@ where
     where
         V: Clone,
     {
+        let op = lf_metrics::op_begin();
         let r = unsafe {
             loop {
                 let f = self.list.find(key, &self.hazard);
@@ -303,7 +305,7 @@ where
             }
         };
         self.release();
-        lf_metrics::record_op();
+        lf_metrics::op_end(op);
         r
     }
 
@@ -312,21 +314,23 @@ where
     where
         V: Clone,
     {
+        let op = lf_metrics::op_begin();
         let r = unsafe {
             let f = self.list.find(key, &self.hazard);
             f.found
                 .then(|| (*f.cur).element.clone().expect("user node has element"))
         };
         self.release();
-        lf_metrics::record_op();
+        lf_metrics::op_end(op);
         r
     }
 
     /// Whether `key` is present.
     pub fn contains(&self, key: &K) -> bool {
+        let op = lf_metrics::op_begin();
         let r = unsafe { self.list.find(key, &self.hazard).found };
         self.release();
-        lf_metrics::record_op();
+        lf_metrics::op_end(op);
         r
     }
 }

@@ -337,8 +337,9 @@ where
 {
     /// Insert `key → value`; returns `false` on duplicate.
     pub fn insert(&self, key: K, value: V) -> bool {
+        let op = lf_metrics::op_begin();
         let r = unsafe { self.list.insert_impl(key, value) };
-        lf_metrics::record_op();
+        lf_metrics::op_end(op);
         r
     }
 
@@ -347,15 +348,17 @@ where
     where
         V: Clone,
     {
+        let op = lf_metrics::op_begin();
         let r = unsafe { self.list.delete_impl(key) };
-        lf_metrics::record_op();
+        lf_metrics::op_end(op);
         r
     }
 
     /// Whether `key` is present.
     pub fn contains(&self, key: &K) -> bool {
+        let op = lf_metrics::op_begin();
         let r = unsafe { self.list.find(key).is_some() };
-        lf_metrics::record_op();
+        lf_metrics::op_end(op);
         r
     }
 
@@ -364,12 +367,13 @@ where
     where
         V: Clone,
     {
+        let op = lf_metrics::op_begin();
         let r = unsafe {
             self.list
                 .find(key)
                 .map(|n| (*n).element.clone().expect("user node has element"))
         };
-        lf_metrics::record_op();
+        lf_metrics::op_end(op);
         r
     }
 }

@@ -167,7 +167,9 @@ where
             let tail = Node::alloc_sentinel(Bound::PosInf, below.1);
             let head = Node::alloc_sentinel(Bound::NegInf, below.0);
             unsafe {
-                (*head).succ.store(TaggedPtr::unmarked(tail), Ordering::SeqCst);
+                (*head)
+                    .succ
+                    .store(TaggedPtr::unmarked(tail), Ordering::SeqCst);
             }
             heads.push(head);
             tails.push(tail);
@@ -337,12 +339,7 @@ where
     /// Keep descending until a full descent succeeds without any snip
     /// failure (each failure restarts from the top — this is where the
     /// restart penalty accrues).
-    unsafe fn descend_retry(
-        &self,
-        k: &K,
-        min_start: usize,
-        guard: &Guard<'_>,
-    ) -> LevelPairs<K, V> {
+    unsafe fn descend_retry(&self, k: &K, min_start: usize, guard: &Guard<'_>) -> LevelPairs<K, V> {
         loop {
             if let Some(v) = self.descend(k, min_start, guard) {
                 return v;
@@ -545,8 +542,9 @@ where
     /// Insert `key → value`; returns `false` on duplicate.
     pub fn insert(&self, key: K, value: V) -> bool {
         let guard = self.reclaim.pin();
+        let op = lf_metrics::op_begin();
         let r = unsafe { self.list.insert_impl(key, value, &guard) };
-        lf_metrics::record_op();
+        lf_metrics::op_end(op);
         r
     }
 
@@ -556,16 +554,18 @@ where
         V: Clone,
     {
         let guard = self.reclaim.pin();
+        let op = lf_metrics::op_begin();
         let r = unsafe { self.list.delete_impl(key, &guard) };
-        lf_metrics::record_op();
+        lf_metrics::op_end(op);
         r
     }
 
     /// Whether `key` is present.
     pub fn contains(&self, key: &K) -> bool {
         let guard = self.reclaim.pin();
+        let op = lf_metrics::op_begin();
         let r = unsafe { self.list.find(key, &guard).is_some() };
-        lf_metrics::record_op();
+        lf_metrics::op_end(op);
         r
     }
 
@@ -575,12 +575,13 @@ where
         V: Clone,
     {
         let guard = self.reclaim.pin();
+        let op = lf_metrics::op_begin();
         let r = unsafe {
             self.list
                 .find(key, &guard)
                 .map(|n| (*n).element.clone().expect("root has element"))
         };
-        lf_metrics::record_op();
+        lf_metrics::op_end(op);
         r
     }
 }

@@ -2,6 +2,12 @@
 //! alternative to balanced trees*, CACM 1990) — the substrate under the
 //! lock-based comparator, implemented with the original
 //! array-of-forward-pointers node layout.
+//!
+//! Deliberately records **no** `lf_metrics` ops: it is not a benchmark
+//! adapter itself but the structure inside
+//! [`LockSkipList`](crate::LockSkipList), whose public methods own the
+//! `op_begin`/`op_end` boundary. Counting here too would double-count
+//! every lock-skiplist operation.
 
 use std::fmt;
 
@@ -259,7 +265,9 @@ mod tests {
         // Deterministic pseudo-random op sequence.
         let mut x: u64 = 12345;
         for _ in 0..2000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = (x >> 33) % 200;
             match x % 3 {
                 0 => {

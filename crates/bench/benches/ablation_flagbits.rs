@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use lf_bench::adapters::{BenchMap, MapHandle};
 use lf_baselines::NoFlagList;
+use lf_bench::adapters::{BenchMap, MapHandle};
 use lf_core::FrList;
 use lf_workloads::{KeyDist, Mix, OpKind, WorkloadIter};
 
@@ -46,7 +46,9 @@ fn bench_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_flagbits");
     g.sample_size(10);
     let mut fr = batch::<FrList<u64, u64>>();
-    g.bench_function(BenchmarkId::new("fr-list", "tail-churn"), |b| b.iter(&mut fr));
+    g.bench_function(BenchmarkId::new("fr-list", "tail-churn"), |b| {
+        b.iter(&mut fr)
+    });
     let mut nf = batch::<NoFlagList<u64, u64>>();
     g.bench_function(BenchmarkId::new("noflag-list", "tail-churn"), |b| {
         b.iter(&mut nf)

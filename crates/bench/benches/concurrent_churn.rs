@@ -5,8 +5,8 @@ use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use lf_bench::adapters::{BenchMap, MapHandle};
 use lf_baselines::{CoarseLockList, HarrisList, LockSkipList, RestartSkipList};
+use lf_bench::adapters::{BenchMap, MapHandle};
 use lf_core::{FrList, SkipList};
 use lf_workloads::{KeyDist, Mix, OpKind, WorkloadIter};
 
@@ -32,8 +32,7 @@ fn timed_run<M: BenchMap>(space: u64, iters: u64) -> Duration {
                 let seed = round * 131 + t as u64;
                 s.spawn(move || {
                     let h = map.bench_handle();
-                    let mut w =
-                        WorkloadIter::new(Mix::CHURN, KeyDist::Uniform { space }, seed);
+                    let mut w = WorkloadIter::new(Mix::CHURN, KeyDist::Uniform { space }, seed);
                     barrier.wait();
                     for _ in 0..OPS_PER_THREAD {
                         let op = w.next_op();

@@ -8,8 +8,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use lf_bench::adapters::{BenchMap, MapHandle};
 use lf_baselines::{CoarseLockList, HarrisList, HohLockList, MichaelList, NoFlagList};
+use lf_bench::adapters::{BenchMap, MapHandle};
 use lf_core::FrList;
 use lf_workloads::{KeyDist, Mix, OpKind, WorkloadIter};
 

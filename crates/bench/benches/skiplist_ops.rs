@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use lf_bench::adapters::{BenchMap, MapHandle};
 use lf_baselines::{LockSkipList, RestartSkipList};
+use lf_bench::adapters::{BenchMap, MapHandle};
 use lf_core::SkipList;
 use lf_workloads::{KeyDist, Mix, OpKind, WorkloadIter};
 
@@ -55,7 +55,9 @@ fn bench_skiplists(c: &mut Criterion) {
     g.sample_size(10);
     for n in [1_024u64, 4_096, 16_384, 65_536] {
         let mut f = batch::<SkipList<u64, u64>>(n, Mix::new(0, 0, 100));
-        g.bench_function(BenchmarkId::new("fr-skiplist-search", n), |b| b.iter(&mut f));
+        g.bench_function(BenchmarkId::new("fr-skiplist-search", n), |b| {
+            b.iter(&mut f)
+        });
     }
     g.finish();
 

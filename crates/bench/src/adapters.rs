@@ -1,8 +1,7 @@
 //! Uniform adapter over every dictionary implementation.
 
 use lf_baselines::{
-    CoarseLockList, HarrisList, HohLockList, LockSkipList, MichaelList, NoFlagList,
-    RestartSkipList,
+    CoarseLockList, HarrisList, HohLockList, LockSkipList, MichaelList, NoFlagList, RestartSkipList,
 };
 use lf_core::{FrList, SkipList};
 

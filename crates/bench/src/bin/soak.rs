@@ -10,6 +10,13 @@
 //! every structural invariant, checks the iterator against membership,
 //! and prints a one-line summary. Any violation panics with the seed
 //! so the round can be replayed.
+//!
+//! Telemetry: every round is wrapped in
+//! `Registry::join_and_snapshot`, and its summary line carries the
+//! round's latency percentiles and worst-case CAS-retry chain. On
+//! completion the run's cumulative telemetry is printed once in
+//! Prometheus text exposition format (pipe to a textfile collector or
+//! just read the quantiles).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -112,22 +119,40 @@ fn main() {
     let threads: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(4);
 
     println!("soaking for {seconds}s with {threads} threads (panics on any violation)");
+    let start = lf_metrics::telemetry();
     let deadline = Instant::now() + Duration::from_secs(seconds);
     let mut round = 0u64;
     let mut grand_total = 0u64;
     while Instant::now() < deadline {
         let seed = 0xC0FFEE ^ round.wrapping_mul(0x9E3779B97F4A7C15);
-        let (size, ops) = if round.is_multiple_of(2) {
-            churn_round_list(seed, threads, 4_000)
-        } else {
-            churn_round_skiplist(seed, threads, 4_000)
-        };
+        let ((size, ops), tel) = lf_metrics::Registry::join_and_snapshot(|| {
+            if round.is_multiple_of(2) {
+                churn_round_list(seed, threads, 4_000)
+            } else {
+                churn_round_skiplist(seed, threads, 4_000)
+            }
+        });
         grand_total += ops;
+        let lat = tel.op_latency_ns();
         println!(
-            "round {round:>4} [{}] seed {seed:#018x}: {ops} ops, final size {size}, validated OK",
-            if round.is_multiple_of(2) { "list    " } else { "skiplist" },
+            "round {round:>4} [{}] seed {seed:#018x}: {ops} ops, final size {size}, validated OK \
+             | lat_ns p50={} p99={} p999={} max={} | retries p99={} max={}",
+            if round.is_multiple_of(2) {
+                "list    "
+            } else {
+                "skiplist"
+            },
+            lat.p50(),
+            lat.p99(),
+            lat.p999(),
+            lat.max(),
+            tel.cas_retries().p99(),
+            tel.cas_retries().max(),
         );
         round += 1;
     }
     println!("soak complete: {round} rounds, {grand_total} ops, zero violations");
+    let total = lf_metrics::telemetry() - start;
+    println!("\n--- cumulative telemetry (Prometheus text exposition) ---");
+    print!("{}", lf_metrics::export::telemetry_prometheus(&total));
 }

@@ -29,7 +29,11 @@ fn steps_per_op(n: u64, threads: usize, ops: u64) -> f64 {
 pub fn run(quick: bool) {
     println!("E10: additive (not multiplicative) contention overhead on the FR list\n");
     let ops: u64 = if quick { 3_000 } else { 15_000 };
-    let sizes: &[u64] = if quick { &[64, 128, 256] } else { &[64, 128, 256, 512] };
+    let sizes: &[u64] = if quick {
+        &[64, 128, 256]
+    } else {
+        &[64, 128, 256, 512]
+    };
     let threads: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
 
     let mut header: Vec<String> = vec!["n".into()];

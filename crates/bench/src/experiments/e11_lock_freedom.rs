@@ -99,7 +99,11 @@ pub fn run(quick: bool) {
 
     let n = if quick { 64 } else { 128 };
     let survivors = if quick { 16 } else { 32 };
-    let halted_counts: &[usize] = if quick { &[0, 1, 4, 8] } else { &[0, 1, 4, 8, 16] };
+    let halted_counts: &[usize] = if quick {
+        &[0, 1, 4, 8]
+    } else {
+        &[0, 1, 4, 8, 16]
+    };
 
     let mut table = Table::new([
         "halted deleters",

@@ -23,8 +23,8 @@ fn render_state(dump: &[(i64, bool, bool)]) -> String {
             k => k.to_string(),
         };
         let tag = match (mark, flag) {
-            (true, _) => "[X]",  // marked (crossed in Fig. 2)
-            (_, true) => "[F]",  // flagged (shaded in Fig. 2)
+            (true, _) => "[X]", // marked (crossed in Fig. 2)
+            (_, true) => "[F]", // flagged (shaded in Fig. 2)
             _ => "",
         };
         s.push_str(&label);

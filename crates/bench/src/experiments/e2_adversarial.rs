@@ -134,12 +134,24 @@ pub fn run(quick: bool) {
     println!("    q-1 inserters paused before their C&S; deleter removes their");
     println!("    predecessor each round. steps/op = total essential steps / ops.\n");
 
-    let ns: &[usize] = if quick { &[16, 32, 64] } else { &[16, 32, 64, 128, 256] };
+    let ns: &[usize] = if quick {
+        &[16, 32, 64]
+    } else {
+        &[16, 32, 64, 128, 256]
+    };
     let qs: &[usize] = if quick { &[2, 4] } else { &[2, 4, 8] };
 
     let mut table = Table::new([
-        "n", "q", "harris ins", "michael ins", "fr ins", "harris/fr", "michael/fr",
-        "harris steps/op", "michael steps/op", "fr steps/op",
+        "n",
+        "q",
+        "harris ins",
+        "michael ins",
+        "fr ins",
+        "harris/fr",
+        "michael/fr",
+        "harris steps/op",
+        "michael steps/op",
+        "fr steps/op",
     ]);
     for &q in qs {
         for &n in ns {

@@ -9,10 +9,10 @@ use lf_core::FrList;
 use lf_workloads::{KeyDist, Mix};
 
 use crate::adapters::BenchMap;
-use crate::runner::{run_mixed, RunConfig};
+use crate::runner::{run_mixed, RunConfig, RunResult};
 use crate::table::{fmt_f, Table};
 
-fn measure<M: BenchMap>(threads: usize, ops: u64, mix: Mix) -> f64 {
+fn measure<M: BenchMap>(threads: usize, ops: u64, mix: Mix) -> RunResult {
     let cfg = RunConfig {
         threads,
         ops_per_thread: ops,
@@ -21,15 +21,16 @@ fn measure<M: BenchMap>(threads: usize, ops: u64, mix: Mix) -> f64 {
         seed: 0xE4,
         prefill: 128,
     };
-    run_mixed::<M>(&cfg).throughput() / 1.0e3
+    run_mixed::<M>(&cfg)
 }
 
-/// Print the throughput tables.
+/// Print the throughput tables and emit `BENCH_e4.json`.
 pub fn run(quick: bool) {
     println!("E4: list throughput (kops/s), key space 512, prefill 128\n");
     let ops: u64 = if quick { 3_000 } else { 20_000 };
     let threads: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
 
+    let mut rows: Vec<String> = Vec::new();
     for mix in [Mix::READ_HEAVY, Mix::UPDATE_HEAVY] {
         let mut table = Table::new([
             "threads",
@@ -41,20 +42,32 @@ pub fn run(quick: bool) {
             "hoh-lock",
         ]);
         for &t in threads {
-            table.row([
-                t.to_string(),
-                fmt_f(measure::<FrList<u64, u64>>(t, ops, mix)),
-                fmt_f(measure::<HarrisList<u64, u64>>(t, ops, mix)),
-                fmt_f(measure::<MichaelList<u64, u64>>(t, ops, mix)),
-                fmt_f(measure::<NoFlagList<u64, u64>>(t, ops, mix)),
-                fmt_f(measure::<CoarseLockList<u64, u64>>(t, ops, mix)),
-                fmt_f(measure::<HohLockList<u64, u64>>(t, ops, mix)),
-            ]);
+            let results = [
+                ("fr-list", measure::<FrList<u64, u64>>(t, ops, mix)),
+                ("harris-list", measure::<HarrisList<u64, u64>>(t, ops, mix)),
+                (
+                    "michael-list",
+                    measure::<MichaelList<u64, u64>>(t, ops, mix),
+                ),
+                ("noflag-list", measure::<NoFlagList<u64, u64>>(t, ops, mix)),
+                (
+                    "coarse-lock",
+                    measure::<CoarseLockList<u64, u64>>(t, ops, mix),
+                ),
+                ("hoh-lock", measure::<HohLockList<u64, u64>>(t, ops, mix)),
+            ];
+            let mut cells = vec![t.to_string()];
+            for (name, res) in &results {
+                cells.push(fmt_f(res.throughput() / 1.0e3));
+                rows.push(super::artifact_row("e4", name, &mix.label(), t, res));
+            }
+            table.row(cells);
         }
         println!("mix {}:", mix.label());
         print!("{table}");
         println!();
     }
+    super::write_bench_artifact("e4", quick, &rows);
     println!(
         "expected shape: lock-free lists stay competitive as threads grow;\n\
          hand-over-hand locking pays per-node lock cost; the coarse lock\n\

@@ -9,10 +9,10 @@ use lf_core::SkipList;
 use lf_workloads::{KeyDist, Mix};
 
 use crate::adapters::BenchMap;
-use crate::runner::{run_mixed, RunConfig};
+use crate::runner::{run_mixed, RunConfig, RunResult};
 use crate::table::{fmt_f, Table};
 
-fn measure<M: BenchMap>(threads: usize, ops: u64, mix: Mix) -> f64 {
+fn measure<M: BenchMap>(threads: usize, ops: u64, mix: Mix) -> RunResult {
     let cfg = RunConfig {
         threads,
         ops_per_thread: ops,
@@ -21,29 +21,47 @@ fn measure<M: BenchMap>(threads: usize, ops: u64, mix: Mix) -> f64 {
         seed: 0xE6,
         prefill: 2048,
     };
-    run_mixed::<M>(&cfg).throughput() / 1.0e3
+    run_mixed::<M>(&cfg)
 }
 
-/// Print the throughput tables.
+/// Print the throughput tables and emit `BENCH_e6.json`.
 pub fn run(quick: bool) {
     println!("E6: skip list throughput (kops/s), key space 8192, prefill 2048\n");
     let ops: u64 = if quick { 5_000 } else { 30_000 };
     let threads: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
 
+    let mut rows: Vec<String> = Vec::new();
     for mix in [Mix::READ_HEAVY, Mix::UPDATE_HEAVY] {
-        let mut table = Table::new(["threads", "fr-skiplist", "restart-skiplist", "lock-skiplist"]);
+        let mut table = Table::new([
+            "threads",
+            "fr-skiplist",
+            "restart-skiplist",
+            "lock-skiplist",
+        ]);
         for &t in threads {
-            table.row([
-                t.to_string(),
-                fmt_f(measure::<SkipList<u64, u64>>(t, ops, mix)),
-                fmt_f(measure::<RestartSkipList<u64, u64>>(t, ops, mix)),
-                fmt_f(measure::<LockSkipList<u64, u64>>(t, ops, mix)),
-            ]);
+            let results = [
+                ("fr-skiplist", measure::<SkipList<u64, u64>>(t, ops, mix)),
+                (
+                    "restart-skiplist",
+                    measure::<RestartSkipList<u64, u64>>(t, ops, mix),
+                ),
+                (
+                    "lock-skiplist",
+                    measure::<LockSkipList<u64, u64>>(t, ops, mix),
+                ),
+            ];
+            let mut cells = vec![t.to_string()];
+            for (name, res) in &results {
+                cells.push(fmt_f(res.throughput() / 1.0e3));
+                rows.push(super::artifact_row("e6", name, &mix.label(), t, res));
+            }
+            table.row(cells);
         }
         println!("mix {}:", mix.label());
         print!("{table}");
         println!();
     }
+    super::write_bench_artifact("e6", quick, &rows);
     println!(
         "expected shape: both lock-free designs beat the global RwLock on\n\
          update-heavy mixes as threads grow; FR avoids restart penalties\n\

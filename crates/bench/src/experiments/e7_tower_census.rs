@@ -44,11 +44,8 @@ pub fn run(quick: bool) {
             let sl = sl.clone();
             s.spawn(move || {
                 let h = sl.handle();
-                let mut w = WorkloadIter::new(
-                    Mix::CHURN,
-                    KeyDist::Uniform { space: keys },
-                    0xE7 + t,
-                );
+                let mut w =
+                    WorkloadIter::new(Mix::CHURN, KeyDist::Uniform { space: keys }, 0xE7 + t);
                 for _ in 0..churn_ops {
                     let op = w.next_op();
                     match op.kind {
@@ -86,12 +83,7 @@ pub fn run(quick: bool) {
         counts[*h] += 1;
     }
 
-    let mut table = Table::new([
-        "height",
-        "towers",
-        "observed frac",
-        "geometric(1/2) frac",
-    ]);
+    let mut table = Table::new(["height", "towers", "observed frac", "geometric(1/2) frac"]);
     for (h, &count) in counts.iter().enumerate().take(max_h.min(12) + 1).skip(1) {
         let observed = count as f64 / total;
         let expected = 0.5f64.powi(h as i32);

@@ -123,7 +123,11 @@ fn run_schedule<L: AblList>(n: usize) -> Outcome {
 pub fn run(quick: bool) {
     println!("E8: flag-bit ablation under the stale-predecessor schedule");
     println!("    (deleters search before their predecessors die, fire after)\n");
-    let sizes: &[usize] = if quick { &[8, 16, 32, 64] } else { &[8, 16, 32, 64, 128, 256] };
+    let sizes: &[usize] = if quick {
+        &[8, 16, 32, 64]
+    } else {
+        &[8, 16, 32, 64, 128, 256]
+    };
 
     let mut table = Table::new([
         "n (rounds)",

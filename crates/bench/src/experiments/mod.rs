@@ -4,6 +4,12 @@
 //! stdout. `quick` shrinks problem sizes so `experiments all` finishes
 //! in minutes; the full sizes are what `EXPERIMENTS.md` records.
 
+use std::path::PathBuf;
+
+use crate::runner::RunResult;
+
+pub mod e10_additivity;
+pub mod e11_lock_freedom;
 pub mod e1_deletion_trace;
 pub mod e2_adversarial;
 pub mod e3_amortized;
@@ -13,8 +19,6 @@ pub mod e6_skiplist_throughput;
 pub mod e7_tower_census;
 pub mod e8_flag_ablation;
 pub mod e9_cas_breakdown;
-pub mod e10_additivity;
-pub mod e11_lock_freedom;
 
 /// Run one experiment by id (`"e1"` … `"e11"` or `"all"`).
 ///
@@ -43,4 +47,52 @@ pub fn dispatch(id: &str, quick: bool) -> bool {
         _ => return false,
     }
     true
+}
+
+/// Serialize one measured run as a benchmark-artifact row: identity
+/// fields, throughput, and the telemetry distributions (latency
+/// p50/p99 surfaced at top level; full histograms nested).
+pub(crate) fn artifact_row(
+    experiment: &str,
+    structure: &str,
+    mix: &str,
+    threads: usize,
+    res: &RunResult,
+) -> String {
+    use lf_metrics::export::{histogram_json, JsonObj};
+    let lat = res.telemetry.op_latency_ns();
+    JsonObj::new()
+        .field_str("experiment", experiment)
+        .field_str("impl", structure)
+        .field_str("mix", mix)
+        .field_u64("threads", threads as u64)
+        .field_u64("ops", res.ops)
+        .field_f64("throughput_ops_per_s", res.throughput())
+        .field_f64("steps_per_op", res.steps_per_op())
+        .field_u64("latency_p50_ns", lat.p50())
+        .field_u64("latency_p99_ns", lat.p99())
+        .field_raw("latency_ns", &histogram_json(lat))
+        .field_raw("cas_retries", &histogram_json(res.telemetry.cas_retries()))
+        .field_raw(
+            "backlink_chain",
+            &histogram_json(res.telemetry.backlink_chain()),
+        )
+        .field_raw("search_hops", &histogram_json(res.telemetry.search_hops()))
+        .finish()
+}
+
+/// Write collected rows as `BENCH_<id>.json` in the working directory
+/// (one JSON object: run metadata plus a `rows` array). Failure to
+/// write is reported but never fails the experiment.
+pub(crate) fn write_bench_artifact(id: &str, quick: bool, rows: &[String]) {
+    let path = PathBuf::from(format!("BENCH_{id}.json"));
+    let body = format!(
+        "{{\"experiment\":\"{id}\",\"sizes\":\"{}\",\"rows\":[{}]}}",
+        if quick { "quick" } else { "full" },
+        rows.join(",")
+    );
+    match lf_metrics::export::write_artifact(&path, &body) {
+        Ok(()) => println!("wrote {} ({} rows)", path.display(), rows.len()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
 }

@@ -26,7 +26,7 @@ pub struct RunConfig {
 }
 
 /// Outcome of one measured run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct RunResult {
     /// Total completed operations.
     pub ops: u64,
@@ -34,6 +34,9 @@ pub struct RunResult {
     pub elapsed: Duration,
     /// Essential-step delta for the measured phase (all threads).
     pub metrics: lf_metrics::Snapshot,
+    /// Full telemetry delta (scalar counters plus latency / retry /
+    /// backlink / hop distributions) for the measured phase.
+    pub telemetry: lf_metrics::Telemetry,
 }
 
 impl RunResult {
@@ -75,52 +78,60 @@ pub fn run_mixed<M: BenchMap>(cfg: &RunConfig) -> RunResult {
             k += 2;
         }
     }
-    lf_metrics::flush_local();
-    let before = lf_metrics::snapshot();
-
     let barrier = Barrier::new(cfg.threads + 1);
     let mut start: Option<Instant> = None;
+    let mut elapsed = Duration::ZERO;
 
-    std::thread::scope(|s| {
-        for t in 0..cfg.threads {
-            let map = &map;
-            let barrier = &barrier;
-            let mix = cfg.mix;
-            let dist = cfg.dist.clone();
-            let seed = cfg
-                .seed
-                .wrapping_add(t as u64)
-                .wrapping_mul(0x2545F4914F6CDD1D);
-            let ops = cfg.ops_per_thread;
-            s.spawn(move || {
-                let h = map.bench_handle();
-                let mut w = WorkloadIter::new(mix, dist, seed);
-                barrier.wait();
-                for _ in 0..ops {
-                    let op = w.next_op();
-                    match op.kind {
-                        OpKind::Insert => h.insert(op.key),
-                        OpKind::Remove => h.remove(op.key),
-                        OpKind::Search => h.search(op.key),
-                    };
-                }
-                lf_metrics::flush_local();
-            });
-        }
-        // Start the clock before releasing the barrier: on a single
-        // CPU a worker can otherwise run to completion before this
-        // thread is rescheduled, shrinking the measured window to ~0.
-        start = Some(Instant::now());
-        barrier.wait();
-        // The scope joins all workers before returning.
+    // `join_and_snapshot` differences telemetry around the scope: the
+    // closing snapshot reads every thread's shard directly, and the
+    // scope join makes the workers' counts exact in it.
+    let ((), telemetry) = lf_metrics::Registry::join_and_snapshot(|| {
+        std::thread::scope(|s| {
+            for t in 0..cfg.threads {
+                let map = &map;
+                let barrier = &barrier;
+                let mix = cfg.mix;
+                let dist = cfg.dist.clone();
+                let seed = cfg
+                    .seed
+                    .wrapping_add(t as u64)
+                    .wrapping_mul(0x2545F4914F6CDD1D);
+                let ops = cfg.ops_per_thread;
+                s.spawn(move || {
+                    let h = map.bench_handle();
+                    let mut w = WorkloadIter::new(mix, dist, seed);
+                    // Fault in this worker's telemetry storage before
+                    // the clock starts.
+                    lf_metrics::prewarm();
+                    barrier.wait();
+                    for _ in 0..ops {
+                        let op = w.next_op();
+                        match op.kind {
+                            OpKind::Insert => h.insert(op.key),
+                            OpKind::Remove => h.remove(op.key),
+                            OpKind::Search => h.search(op.key),
+                        };
+                    }
+                });
+            }
+            // Start the clock before releasing the barrier: on a single
+            // CPU a worker can otherwise run to completion before this
+            // thread is rescheduled, shrinking the measured window to ~0.
+            start = Some(Instant::now());
+            barrier.wait();
+            // The scope joins all workers before returning.
+        });
+        // Stop the clock at the join, before the closing telemetry
+        // aggregation (histogram copies/merges) — that bookkeeping must
+        // not be billed to the measured phase.
+        elapsed = start.expect("barrier released").elapsed();
     });
-    let elapsed = start.expect("barrier released").elapsed();
 
-    let after = lf_metrics::snapshot();
     RunResult {
         ops: cfg.threads as u64 * cfg.ops_per_thread,
         elapsed,
-        metrics: after - before,
+        metrics: telemetry.counters,
+        telemetry,
     }
 }
 
@@ -146,5 +157,15 @@ mod tests {
         // be positive on a churn workload.
         assert!(res.steps_per_op() > 0.0, "{res:?}");
         assert!(res.metrics.ops >= 400);
+        // The telemetry delta attributes one retry/backlink/hop sample
+        // to every measured op, and a latency sample to one op in
+        // sixteen (`LATENCY_SAMPLE_EVERY`).
+        // (`>=`: unit tests share process-global metrics, so a
+        // concurrently running test may contribute samples too.)
+        let lat = res.telemetry.op_latency_ns();
+        assert!(lat.count() >= 400 / 16, "one latency sample per 16 ops");
+        assert!(lat.max() > 0, "latencies are nonzero");
+        assert!(res.telemetry.cas_retries().count() >= 400);
+        assert!(res.telemetry.search_hops().count() >= 400);
     }
 }

@@ -120,12 +120,7 @@ where
         }
         // Line 9: success — this operation owns the deletion.
         self.len.fetch_sub(1, Ordering::SeqCst);
-        Some(
-            (*del)
-                .element
-                .clone()
-                .expect("user node has element"),
-        )
+        Some((*del).element.clone().expect("user node has element"))
     }
 
     /// Paper `TryFlag(prev_node, target_node)` (Fig. 5): repeatedly

@@ -62,10 +62,7 @@ where
                     Bound::NegInf => unreachable!("head is never a successor"),
                     Bound::Key(k) => {
                         if !(*self.curr).is_marked() {
-                            let v = (*self.curr)
-                                .element
-                                .clone()
-                                .expect("user node has element");
+                            let v = (*self.curr).element.clone().expect("user node has element");
                             return Some((k.clone(), v));
                         }
                     }

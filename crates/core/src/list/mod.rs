@@ -27,9 +27,9 @@ mod node;
 mod search;
 mod set;
 
+pub use iter::Iter;
 pub(crate) use node::{Bound, Node};
 pub(crate) use search::key_before as search_key_before;
-pub use iter::Iter;
 pub use set::{ListSet, SetHandle};
 
 use std::fmt;
@@ -193,10 +193,7 @@ impl<K, V> FrList<K, V> {
                     assert_eq!(cur, self.tail, "chain ends before the tail sentinel");
                     break;
                 }
-                assert!(
-                    (*cur).key < (*next).key,
-                    "keys not strictly sorted (INV 1)"
-                );
+                assert!((*cur).key < (*next).key, "keys not strictly sorted (INV 1)");
                 if (*next).key.as_key().is_some() {
                     count += 1;
                 }
@@ -256,9 +253,11 @@ where
     /// If `key` is already present, returns `Err((key, value))` handing
     /// both back to the caller (the paper's `DUPLICATE_KEY`).
     pub fn insert(&self, key: K, value: V) -> Result<(), (K, V)> {
+        let op = lf_metrics::op_begin();
         let guard = self.reclaim.pin();
         let res = unsafe { self.list.insert_impl(key, value, &guard) };
-        lf_metrics::record_op();
+        drop(guard);
+        lf_metrics::op_end(op);
         res
     }
 
@@ -270,9 +269,11 @@ where
     where
         V: Clone,
     {
+        let op = lf_metrics::op_begin();
         let guard = self.reclaim.pin();
         let res = unsafe { self.list.delete_impl(key, &guard) };
-        lf_metrics::record_op();
+        drop(guard);
+        lf_metrics::op_end(op);
         res
     }
 
@@ -281,21 +282,25 @@ where
     where
         V: Clone,
     {
+        let op = lf_metrics::op_begin();
         let guard = self.reclaim.pin();
         let res = unsafe {
             self.list
                 .search_impl(key, &guard)
                 .map(|n| (*n).element.clone().expect("user node has element"))
         };
-        lf_metrics::record_op();
+        drop(guard);
+        lf_metrics::op_end(op);
         res
     }
 
     /// Whether `key` is present.
     pub fn contains(&self, key: &K) -> bool {
+        let op = lf_metrics::op_begin();
         let guard = self.reclaim.pin();
         let res = unsafe { self.list.search_impl(key, &guard).is_some() };
-        lf_metrics::record_op();
+        drop(guard);
+        lf_metrics::op_end(op);
         res
     }
 

@@ -24,7 +24,9 @@ pub struct ListSet<K> {
 
 impl<K> fmt::Debug for ListSet<K> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ListSet").field("len", &self.inner.len()).finish()
+        f.debug_struct("ListSet")
+            .field("len", &self.inner.len())
+            .finish()
     }
 }
 

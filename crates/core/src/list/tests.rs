@@ -312,7 +312,9 @@ fn final_state_matches_sequential_oracle() {
         }
     });
     let h = list.handle();
-    let expect: Vec<u64> = (0..THREADS * PER).filter(|k| !(k % PER).is_multiple_of(3)).collect();
+    let expect: Vec<u64> = (0..THREADS * PER)
+        .filter(|k| !(k % PER).is_multiple_of(3))
+        .collect();
     let keys: Vec<u64> = h.iter().map(|(k, _)| k).collect();
     assert_eq!(keys, expect);
 }

@@ -93,10 +93,8 @@ where
                         // their path — until our node is marked.
                         self.delete_node(prev, new_node, guard);
                         while !(*new_node).is_marked() {
-                            let key_ref =
-                                (*root).key.as_key().expect("root has user key");
-                            let _ =
-                                self.search_to_level(key_ref, cur_level, Mode::Le, guard);
+                            let key_ref = (*root).key.as_key().expect("root has user key");
+                            let _ = self.search_to_level(key_ref, cur_level, Mode::Le, guard);
                         }
                     }
                     LevelInsert::Duplicate => {

@@ -11,8 +11,8 @@ use lf_tagged::{TagBits, TaggedPtr};
 
 use super::node::SkipNode;
 use super::SkipList;
-use crate::list::Mode;
 use crate::list::search_key_before as key_before;
+use crate::list::Mode;
 
 /// Outcome of `TryFlagNode`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

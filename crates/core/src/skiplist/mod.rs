@@ -384,9 +384,11 @@ where
     ///
     /// If `key` is already present, returns `Err((key, value))`.
     pub fn insert(&self, key: K, value: V) -> Result<(), (K, V)> {
+        let op = lf_metrics::op_begin();
         let guard = self.reclaim.pin();
         let res = unsafe { self.list.insert_impl(key, value, &guard) };
-        lf_metrics::record_op();
+        drop(guard);
+        lf_metrics::op_end(op);
         res
     }
 
@@ -396,9 +398,11 @@ where
     where
         V: Clone,
     {
+        let op = lf_metrics::op_begin();
         let guard = self.reclaim.pin();
         let res = unsafe { self.list.delete_impl(key, &guard) };
-        lf_metrics::record_op();
+        drop(guard);
+        lf_metrics::op_end(op);
         res
     }
 
@@ -407,21 +411,25 @@ where
     where
         V: Clone,
     {
+        let op = lf_metrics::op_begin();
         let guard = self.reclaim.pin();
         let res = unsafe {
             self.list
                 .search_impl(key, &guard)
                 .map(|n| (*n).element.clone().expect("root node has element"))
         };
-        lf_metrics::record_op();
+        drop(guard);
+        lf_metrics::op_end(op);
         res
     }
 
     /// Whether `key` is present.
     pub fn contains(&self, key: &K) -> bool {
+        let op = lf_metrics::op_begin();
         let guard = self.reclaim.pin();
         let res = unsafe { self.list.search_impl(key, &guard).is_some() };
-        lf_metrics::record_op();
+        drop(guard);
+        lf_metrics::op_end(op);
         res
     }
 

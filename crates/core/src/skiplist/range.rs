@@ -96,10 +96,7 @@ where
                             return None;
                         }
                         if !(*self.curr).is_marked() {
-                            let v = (*self.curr)
-                                .element
-                                .clone()
-                                .expect("root node has element");
+                            let v = (*self.curr).element.clone().expect("root node has element");
                             return Some((k.clone(), v));
                         }
                     }

@@ -322,7 +322,9 @@ fn final_state_matches_sequential_oracle() {
         }
     });
     let h = sl.handle();
-    let expect: Vec<u64> = (0..THREADS * PER).filter(|k| !(k % PER).is_multiple_of(3)).collect();
+    let expect: Vec<u64> = (0..THREADS * PER)
+        .filter(|k| !(k % PER).is_multiple_of(3))
+        .collect();
     let keys: Vec<u64> = h.iter().map(|(k, _)| k).collect();
     assert_eq!(keys, expect);
 }
@@ -494,8 +496,7 @@ fn range_under_concurrent_churn_stays_sorted_and_bounded() {
             s.spawn(move || {
                 let h = sl.handle();
                 for start in (0..256u64).step_by(16) {
-                    let window: Vec<u64> =
-                        h.range(start..start + 16).map(|(k, _)| k).collect();
+                    let window: Vec<u64> = h.range(start..start + 16).map(|(k, _)| k).collect();
                     for w in window.windows(2) {
                         assert!(w[0] < w[1], "range out of order: {window:?}");
                     }

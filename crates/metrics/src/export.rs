@@ -1,0 +1,314 @@
+//! Structured exporters for [`Telemetry`] snapshots.
+//!
+//! Two wire formats, both dependency-free:
+//!
+//! * **JSON lines** — one self-contained JSON object per snapshot,
+//!   append-friendly, for machine-readable benchmark artifacts
+//!   (`BENCH_*.json`) and soak-run logs. Built with [`JsonObj`], a
+//!   tiny escaping-correct object writer (the build environment has no
+//!   serde).
+//! * **Prometheus text exposition** — counters for the scalar
+//!   essential-step totals and `summary` blocks (quantile series +
+//!   `_sum`/`_count`) for each histogram, suitable for a textfile
+//!   collector or scrape endpoint.
+
+use std::fmt::Write as _;
+use std::fs::OpenOptions;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+use crate::{CasType, Histogram, Metric, Telemetry};
+
+/// Escape `s` for inclusion inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    // JSON has no NaN/Infinity; clamp to null like most serializers.
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Incremental JSON object writer.
+///
+/// # Examples
+///
+/// ```
+/// use lf_metrics::export::JsonObj;
+///
+/// let line = JsonObj::new()
+///     .field_str("experiment", "e4")
+///     .field_u64("threads", 4)
+///     .field_f64("throughput", 1.5e6)
+///     .finish();
+/// assert_eq!(line, r#"{"experiment":"e4","threads":4,"throughput":1500000}"#);
+/// ```
+#[derive(Debug)]
+pub struct JsonObj {
+    buf: String,
+}
+
+impl Default for JsonObj {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JsonObj {
+    /// Start an empty object.
+    pub fn new() -> Self {
+        JsonObj { buf: String::new() }
+    }
+
+    fn key(&mut self, k: &str) -> &mut String {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        let _ = write!(self.buf, "\"{}\":", json_escape(k));
+        &mut self.buf
+    }
+
+    /// Add an unsigned integer field.
+    pub fn field_u64(mut self, k: &str, v: u64) -> Self {
+        let _ = write!(self.key(k), "{v}");
+        self
+    }
+
+    /// Add a float field (non-finite values become `null`).
+    pub fn field_f64(mut self, k: &str, v: f64) -> Self {
+        let s = json_f64(v);
+        self.key(k).push_str(&s);
+        self
+    }
+
+    /// Add a string field (escaped).
+    pub fn field_str(mut self, k: &str, v: &str) -> Self {
+        let s = json_escape(v);
+        let _ = write!(self.key(k), "\"{s}\"");
+        self
+    }
+
+    /// Add a field whose value is already serialized JSON.
+    pub fn field_raw(mut self, k: &str, json: &str) -> Self {
+        self.key(k).push_str(json);
+        self
+    }
+
+    /// Close the object and return it as a single line.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Serialize one histogram's shape: count, mean, min/max, and the
+/// p50/p90/p99/p999 tail.
+pub fn histogram_json(h: &Histogram) -> String {
+    JsonObj::new()
+        .field_u64("count", h.count())
+        .field_f64("mean", h.mean())
+        .field_u64("min", h.min())
+        .field_u64("p50", h.p50())
+        .field_u64("p90", h.p90())
+        .field_u64("p99", h.p99())
+        .field_u64("p999", h.p999())
+        .field_u64("max", h.max())
+        .finish()
+}
+
+/// Serialize a full [`Telemetry`] snapshot as one JSON object:
+/// scalar counters flattened, one nested object per [`Metric`].
+pub fn telemetry_json(t: &Telemetry) -> String {
+    let c = &t.counters;
+    let mut obj = JsonObj::new()
+        .field_u64("ops", c.ops)
+        .field_u64("essential_steps", c.essential_steps())
+        .field_f64("steps_per_op", c.steps_per_op())
+        .field_u64("backlink_traversals", c.backlink_traversals)
+        .field_u64("next_updates", c.next_updates)
+        .field_u64("curr_updates", c.curr_updates);
+    for ty in CasType::ALL {
+        obj = obj
+            .field_u64(&format!("cas_{}_ok", ty.label()), c.cas_ok[ty as usize])
+            .field_u64(&format!("cas_{}_fail", ty.label()), c.cas_fail[ty as usize]);
+    }
+    for m in Metric::ALL {
+        obj = obj.field_raw(m.label(), &histogram_json(t.histogram(m)));
+    }
+    obj.finish()
+}
+
+/// Render a [`Telemetry`] snapshot in Prometheus text exposition
+/// format: `lf_*_total` counters for the scalars and a `summary` per
+/// histogram (quantile series plus `_sum` and `_count`).
+pub fn telemetry_prometheus(t: &Telemetry) -> String {
+    let c = &t.counters;
+    let mut out = String::new();
+    let _ = writeln!(out, "# HELP lf_ops_total Completed dictionary operations");
+    let _ = writeln!(out, "# TYPE lf_ops_total counter");
+    let _ = writeln!(out, "lf_ops_total {}", c.ops);
+    let _ = writeln!(
+        out,
+        "# HELP lf_cas_total CAS attempts by paper Def. 4 type and outcome"
+    );
+    let _ = writeln!(out, "# TYPE lf_cas_total counter");
+    for ty in CasType::ALL {
+        let _ = writeln!(
+            out,
+            "lf_cas_total{{type=\"{}\",outcome=\"ok\"}} {}",
+            ty.label(),
+            c.cas_ok[ty as usize]
+        );
+        let _ = writeln!(
+            out,
+            "lf_cas_total{{type=\"{}\",outcome=\"fail\"}} {}",
+            ty.label(),
+            c.cas_fail[ty as usize]
+        );
+    }
+    for (name, help, v) in [
+        (
+            "lf_backlink_traversals_total",
+            "Backlink pointer traversals",
+            c.backlink_traversals,
+        ),
+        (
+            "lf_next_updates_total",
+            "next_node pointer updates",
+            c.next_updates,
+        ),
+        (
+            "lf_curr_updates_total",
+            "curr_node pointer updates",
+            c.curr_updates,
+        ),
+    ] {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for m in Metric::ALL {
+        let h = t.histogram(m);
+        let name = format!("lf_{}", m.label());
+        let _ = writeln!(
+            out,
+            "# HELP {name} Per-operation {} distribution",
+            m.label()
+        );
+        let _ = writeln!(out, "# TYPE {name} summary");
+        for (q, v) in [
+            ("0.5", h.p50()),
+            ("0.9", h.p90()),
+            ("0.99", h.p99()),
+            ("0.999", h.p999()),
+        ] {
+            let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {v}");
+        }
+        let _ = writeln!(out, "{name}_sum {}", h.sum());
+        let _ = writeln!(out, "{name}_count {}", h.count());
+    }
+    out
+}
+
+/// Append one JSON line to `path`, creating the file if needed.
+pub fn append_json_line(path: &Path, line: &str) -> io::Result<()> {
+    let mut f = OpenOptions::new().create(true).append(true).open(path)?;
+    writeln!(f, "{line}")
+}
+
+/// Overwrite `path` with `contents` (plus a trailing newline).
+pub fn write_artifact(path: &Path, contents: &str) -> io::Result<()> {
+    std::fs::write(path, format!("{contents}\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn json_obj_shape() {
+        let s = JsonObj::new()
+            .field_str("k", "v\"q")
+            .field_u64("n", 7)
+            .field_f64("bad", f64::NAN)
+            .field_raw("nested", "{\"a\":1}")
+            .finish();
+        assert_eq!(
+            s,
+            "{\"k\":\"v\\\"q\",\"n\":7,\"bad\":null,\"nested\":{\"a\":1}}"
+        );
+    }
+
+    #[test]
+    fn histogram_json_has_tail_fields() {
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v);
+        }
+        let j = histogram_json(&h);
+        for key in [
+            "\"count\":100",
+            "\"p50\":",
+            "\"p99\":",
+            "\"p999\":",
+            "\"max\":100",
+        ] {
+            assert!(j.contains(key), "{j} missing {key}");
+        }
+    }
+
+    #[test]
+    fn telemetry_formats_cover_all_metrics() {
+        let t = Telemetry::default();
+        let j = telemetry_json(&t);
+        let p = telemetry_prometheus(&t);
+        for m in Metric::ALL {
+            assert!(j.contains(m.label()), "json missing {m}");
+            assert!(p.contains(&format!("lf_{}", m.label())), "prom missing {m}");
+        }
+        for ty in CasType::ALL {
+            assert!(j.contains(&format!("cas_{}_ok", ty.label())));
+            assert!(p.contains(&format!("type=\"{}\"", ty.label())));
+        }
+        assert!(p.contains("# TYPE lf_ops_total counter"));
+        assert!(p.contains("lf_op_latency_ns{quantile=\"0.99\"}"));
+    }
+
+    #[test]
+    fn artifact_io_roundtrip() {
+        let dir = std::env::temp_dir().join("lf_metrics_export_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lines.json");
+        let _ = std::fs::remove_file(&path);
+        append_json_line(&path, "{\"a\":1}").unwrap();
+        append_json_line(&path, "{\"a\":2}").unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "{\"a\":1}\n{\"a\":2}\n");
+        write_artifact(&path, "{\"b\":3}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"b\":3}\n");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -17,11 +17,43 @@
 //! take [`snapshot`]s around measurement phases and difference them to
 //! validate the `O(n(S) + c(S))` bound empirically.
 //!
-//! Counters are thread-local plain `Cell`s (an increment is ~1 ns, so
-//! instrumentation does not distort throughput measurements) and are
-//! folded into a global aggregate when a thread exits or when
-//! [`flush_local`] is called explicitly. Harnesses must join worker
-//! threads (or have them call `flush_local`) before snapshotting.
+//! Counters live in per-thread *shards*: the owning thread increments
+//! them with relaxed load+store (plain moves on x86, ~1 ns, so
+//! instrumentation does not distort throughput measurements), and every
+//! shard is registered in a process-wide registry. [`snapshot`] sums
+//! the retired aggregate plus every live shard, so counts are visible
+//! with **no explicit flush**; join the worker threads (most simply via
+//! [`Registry::join_and_snapshot`]) to make a closing snapshot exact
+//! rather than merely racy-fresh.
+//!
+//! # Telemetry
+//!
+//! Beyond scalar totals, the crate records per-operation
+//! *distributions* into log-bucketed [`Histogram`]s (~2 significant
+//! figures over the full `u64` range, see [`histogram`]'s layout):
+//!
+//! * **op latency** in nanoseconds — sampled one op in sixteen per
+//!   thread, because even a TSC read is material next to a ~500 ns
+//!   list operation (see [`op_begin`]); the other three are exact;
+//! * **CAS retries per op** — the empirical `c(S)` contention term of
+//!   the paper's `O(n(S) + c(S))` bound;
+//! * **backlink chain length per op** — how far a single operation was
+//!   pushed back by concurrent deletions;
+//! * **search hops per op** (`curr_node` updates) — the empirical
+//!   `n(S)` distance term.
+//!
+//! Capture is at *operation boundaries* ([`op_begin`] / [`op_end`]),
+//! never inside CAS loops: the token differences the thread-local step
+//! counters around the op, so the hot paths still execute only plain
+//! thread-local increments. Per-thread histograms live in the same
+//! registered shards as the scalars; [`telemetry`] sums them into a
+//! [`Telemetry`] snapshot. Runtime kill-switch:
+//! [`set_histograms_enabled`].
+//!
+//! The [`export`] module renders snapshots as JSON lines or Prometheus
+//! text exposition; the optional `trace` feature adds a per-thread
+//! ring-buffer event tracer (module [`trace`]) for interleaving
+//! replay.
 //!
 //! # Examples
 //!
@@ -31,17 +63,25 @@
 //! let before = metrics::snapshot();
 //! metrics::record_cas(metrics::CasType::Insert, true);
 //! metrics::record_curr_update();
-//! metrics::flush_local();
 //! let delta = metrics::snapshot() - before;
 //! assert_eq!(delta.cas_attempts(), 1);
 //! assert_eq!(delta.curr_updates, 1);
 //! assert_eq!(delta.essential_steps(), 2);
 //! ```
 
-use std::cell::Cell;
+mod clock;
+pub mod export;
+pub mod histogram;
+#[cfg(feature = "trace")]
+pub mod trace;
+
+use histogram::AtomicHistogram;
+pub use histogram::Histogram;
+
 use std::fmt;
 use std::ops::Sub;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// The four CAS types of the paper's Def. 4.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -82,27 +122,192 @@ impl fmt::Display for CasType {
     }
 }
 
-#[derive(Default)]
-struct LocalCounters {
-    cas_ok: [Cell<u64>; 4],
-    cas_fail: [Cell<u64>; 4],
-    backlink_traversals: Cell<u64>,
-    next_updates: Cell<u64>,
-    curr_updates: Cell<u64>,
-    ops: Cell<u64>,
-    dirty: Cell<bool>,
+/// The per-operation distributions the telemetry layer tracks.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Metric {
+    /// Wall-clock latency of one dictionary operation, nanoseconds.
+    OpLatencyNs = 0,
+    /// Failed CAS attempts within one operation — empirical `c(S)`.
+    CasRetries = 1,
+    /// Backlink traversals within one operation.
+    BacklinkChain = 2,
+    /// `curr_node` updates (search hops) within one operation —
+    /// empirical `n(S)`.
+    SearchHops = 3,
 }
 
-struct FlushOnExit(LocalCounters);
+impl Metric {
+    /// All metrics, in discriminant order.
+    pub const ALL: [Metric; 4] = [
+        Metric::OpLatencyNs,
+        Metric::CasRetries,
+        Metric::BacklinkChain,
+        Metric::SearchHops,
+    ];
 
-impl Drop for FlushOnExit {
+    /// Snake-case label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            Metric::OpLatencyNs => "op_latency_ns",
+            Metric::CasRetries => "cas_retries",
+            Metric::BacklinkChain => "backlink_chain",
+            Metric::SearchHops => "search_hops",
+        }
+    }
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One thread's counter shard.
+///
+/// The owning thread is the only writer and bumps each counter with a
+/// relaxed load+store ([`Shard::bump`]) — no atomic RMW on the hot
+/// path, so an increment compiles to plain moves. Readers walk the
+/// shard registry and load Relaxed: racy-but-monotone while the owner
+/// is running, exact once the owner has been joined (the join's
+/// happens-before edge publishes every prior store).
+struct Shard {
+    cas_ok: [AtomicU64; 4],
+    cas_fail: [AtomicU64; 4],
+    backlink_traversals: AtomicU64,
+    next_updates: AtomicU64,
+    curr_updates: AtomicU64,
+    ops: AtomicU64,
+    /// Owner-only baselines from the previous [`op_end`], so per-op
+    /// deltas need no counter reads at [`op_begin`]. Not counts — never
+    /// folded or summed.
+    last_cas_fail: AtomicU64,
+    last_backlink: AtomicU64,
+    last_curr: AtomicU64,
+    /// Lazily allocated (~232 KiB once the thread records its first op
+    /// while histograms are enabled), indexed by [`Metric`].
+    hist: OnceLock<Box<[AtomicHistogram; 4]>>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            cas_ok: std::array::from_fn(|_| AtomicU64::new(0)),
+            cas_fail: std::array::from_fn(|_| AtomicU64::new(0)),
+            backlink_traversals: AtomicU64::new(0),
+            next_updates: AtomicU64::new(0),
+            curr_updates: AtomicU64::new(0),
+            ops: AtomicU64::new(0),
+            last_cas_fail: AtomicU64::new(0),
+            last_backlink: AtomicU64::new(0),
+            last_curr: AtomicU64::new(0),
+            hist: OnceLock::new(),
+        }
+    }
+
+    /// Owner-only increment: load+store instead of `fetch_add`,
+    /// because the owning thread is the sole writer.
+    #[inline]
+    fn bump(cell: &AtomicU64) {
+        cell.store(cell.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+    }
+
+    fn cas_failures(&self) -> u64 {
+        self.cas_fail
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn hists(&self) -> &[AtomicHistogram; 4] {
+        self.hist
+            .get_or_init(|| Box::new(std::array::from_fn(|_| AtomicHistogram::new())))
+    }
+
+    fn hist_record_op(&self, latency_ns: Option<u64>, retries: u64, backlinks: u64, hops: u64) {
+        let h = self.hists();
+        if let Some(ns) = latency_ns {
+            h[Metric::OpLatencyNs as usize].record_owner(ns);
+        }
+        h[Metric::CasRetries as usize].record_owner(retries);
+        h[Metric::BacklinkChain as usize].record_owner(backlinks);
+        h[Metric::SearchHops as usize].record_owner(hops);
+    }
+}
+
+/// Every live thread's shard. Readers hold the lock while summing and
+/// a retiring thread holds it while folding its counts into the
+/// retired aggregate, so each count is observed exactly once.
+static SHARDS: Mutex<Vec<Arc<Shard>>> = Mutex::new(Vec::new());
+
+fn shards() -> MutexGuard<'static, Vec<Arc<Shard>>> {
+    // Critical sections are short and the only panics possible there
+    // are allocation failures; recover from poisoning rather than
+    // cascading it through every later snapshot.
+    SHARDS.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Fold `shard` into the retired aggregate and zero it.
+///
+/// Caller must hold the registry lock so the move is invisible to
+/// concurrent snapshots (which also hold it).
+fn fold_into_retired(shard: &Shard) {
+    for i in 0..4 {
+        GLOBAL.cas_ok[i].fetch_add(
+            shard.cas_ok[i].swap(0, Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        GLOBAL.cas_fail[i].fetch_add(
+            shard.cas_fail[i].swap(0, Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+    }
+    GLOBAL.backlink_traversals.fetch_add(
+        shard.backlink_traversals.swap(0, Ordering::Relaxed),
+        Ordering::Relaxed,
+    );
+    GLOBAL.next_updates.fetch_add(
+        shard.next_updates.swap(0, Ordering::Relaxed),
+        Ordering::Relaxed,
+    );
+    GLOBAL.curr_updates.fetch_add(
+        shard.curr_updates.swap(0, Ordering::Relaxed),
+        Ordering::Relaxed,
+    );
+    GLOBAL
+        .ops
+        .fetch_add(shard.ops.swap(0, Ordering::Relaxed), Ordering::Relaxed);
+    // The per-op baselines track the (now zeroed) counters, not totals.
+    shard.last_cas_fail.store(0, Ordering::Relaxed);
+    shard.last_backlink.store(0, Ordering::Relaxed);
+    shard.last_curr.store(0, Ordering::Relaxed);
+    if let Some(h) = shard.hist.get() {
+        let g = global_hist();
+        for (dst, src) in g.iter().zip(h.iter()) {
+            dst.absorb(src);
+        }
+    }
+}
+
+/// Deregisters and retires the thread's shard when the thread exits.
+/// Snapshots do not depend on this timing — a shard is readable from
+/// the registry for as long as it is live — it only keeps the registry
+/// from accumulating dead shards.
+struct RetireOnExit(Arc<Shard>);
+
+impl Drop for RetireOnExit {
     fn drop(&mut self) {
-        flush_into_global(&self.0);
+        let mut reg = shards();
+        reg.retain(|s| !Arc::ptr_eq(s, &self.0));
+        fold_into_retired(&self.0);
     }
 }
 
 thread_local! {
-    static LOCAL: FlushOnExit = FlushOnExit(LocalCounters::default());
+    static LOCAL: RetireOnExit = RetireOnExit({
+        let shard = Arc::new(Shard::new());
+        shards().push(shard.clone());
+        shard
+    });
 }
 
 #[derive(Default)]
@@ -134,94 +339,230 @@ static GLOBAL: GlobalCounters = GlobalCounters {
     ops: AtomicU64::new(0),
 };
 
-fn flush_into_global(local: &LocalCounters) {
-    if !local.dirty.replace(false) {
-        return;
-    }
-    for i in 0..4 {
-        GLOBAL.cas_ok[i].fetch_add(local.cas_ok[i].replace(0), Ordering::Relaxed);
-        GLOBAL.cas_fail[i].fetch_add(local.cas_fail[i].replace(0), Ordering::Relaxed);
-    }
-    GLOBAL
-        .backlink_traversals
-        .fetch_add(local.backlink_traversals.replace(0), Ordering::Relaxed);
-    GLOBAL
-        .next_updates
-        .fetch_add(local.next_updates.replace(0), Ordering::Relaxed);
-    GLOBAL
-        .curr_updates
-        .fetch_add(local.curr_updates.replace(0), Ordering::Relaxed);
-    GLOBAL.ops.fetch_add(local.ops.replace(0), Ordering::Relaxed);
+static HIST_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Runtime kill-switch for histogram capture ([`op_begin`] /
+/// [`op_end`]). Scalar counters are unaffected. Enabled by default.
+pub fn set_histograms_enabled(on: bool) {
+    HIST_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether histogram capture is currently enabled.
+pub fn histograms_enabled() -> bool {
+    HIST_ENABLED.load(Ordering::Relaxed)
+}
+
+static GLOBAL_HIST: OnceLock<[AtomicHistogram; 4]> = OnceLock::new();
+
+fn global_hist() -> &'static [AtomicHistogram; 4] {
+    GLOBAL_HIST.get_or_init(|| std::array::from_fn(|_| AtomicHistogram::new()))
 }
 
 #[inline]
-fn with_local(f: impl FnOnce(&LocalCounters)) {
-    // Accessing a thread-local during its own destruction panics;
+fn with_local(f: impl FnOnce(&Shard)) {
+    // Accessing a thread-local during its own destruction fails;
     // metrics are best-effort, so silently drop those increments.
-    let _ = LOCAL.try_with(|l| {
-        l.0.dirty.set(true);
-        f(&l.0);
-    });
+    let _ = LOCAL.try_with(|l| f(&l.0));
 }
 
 /// Record one C&S attempt of the given type and outcome.
 #[inline]
 pub fn record_cas(ty: CasType, success: bool) {
+    #[cfg(feature = "trace")]
+    trace::emit(trace::EventKind::Cas { ty, ok: success });
     with_local(|l| {
         let slot = if success {
             &l.cas_ok[ty as usize]
         } else {
             &l.cas_fail[ty as usize]
         };
-        slot.set(slot.get() + 1);
+        Shard::bump(slot);
     });
 }
 
 /// Record one backlink pointer traversal.
 #[inline]
 pub fn record_backlink() {
-    with_local(|l| l.backlink_traversals.set(l.backlink_traversals.get() + 1));
+    #[cfg(feature = "trace")]
+    trace::emit(trace::EventKind::Backlink);
+    with_local(|l| Shard::bump(&l.backlink_traversals));
 }
 
 /// Record one `next_node` pointer update (`SearchFrom` line 6).
 #[inline]
 pub fn record_next_update() {
-    with_local(|l| l.next_updates.set(l.next_updates.get() + 1));
+    #[cfg(feature = "trace")]
+    trace::emit(trace::EventKind::NextUpdate);
+    with_local(|l| Shard::bump(&l.next_updates));
 }
 
 /// Record one `curr_node` pointer update (`SearchFrom` line 8).
 #[inline]
 pub fn record_curr_update() {
-    with_local(|l| l.curr_updates.set(l.curr_updates.get() + 1));
+    #[cfg(feature = "trace")]
+    trace::emit(trace::EventKind::CurrUpdate);
+    with_local(|l| Shard::bump(&l.curr_updates));
 }
 
 /// Record one completed dictionary operation (for per-op averages).
 #[inline]
 pub fn record_op() {
-    with_local(|l| l.ops.set(l.ops.get() + 1));
+    #[cfg(feature = "trace")]
+    trace::emit(trace::EventKind::OpEnd);
+    with_local(|l| Shard::bump(&l.ops));
 }
 
-/// Fold this thread's pending counts into the global aggregate.
-pub fn flush_local() {
-    let _ = LOCAL.try_with(|l| flush_into_global(&l.0));
+/// Latency is clocked on one op in this many (power of two, checked
+/// via a per-thread sequence number): even the TSC costs ~15 ns per
+/// read under a hypervisor, and two reads on every ~500 ns list
+/// operation would bust the telemetry overhead budget on their own.
+/// The counter-difference metrics (retries, backlinks, hops) are exact
+/// on *every* op — sampling only thins the latency histogram, whose
+/// percentiles are statistically indistinguishable at bench scales
+/// (thousands of samples per second remain).
+const LATENCY_SAMPLE_EVERY: u64 = 16;
+
+thread_local! {
+    /// Per-thread op sequence for latency sampling. Const-initialized
+    /// `Cell` with no destructor: access compiles to a direct TLS
+    /// load, so `op_begin` never touches the shard at all.
+    static OP_SEQ: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
 }
 
-/// Reset the global aggregate (and this thread's local counts) to zero.
+/// Begin a per-operation telemetry capture.
 ///
-/// Other threads' unflushed local counts are *not* cleared; reset while
-/// workers are quiescent.
-pub fn reset() {
-    let _ = LOCAL.try_with(|l| {
-        l.0.dirty.set(false);
-        for i in 0..4 {
-            l.0.cas_ok[i].set(0);
-            l.0.cas_fail[i].set(0);
-        }
-        l.0.backlink_traversals.set(0);
-        l.0.next_updates.set(0);
-        l.0.curr_updates.set(0);
-        l.0.ops.set(0);
+/// Deliberately near-free: it checks the kill-switch, advances a
+/// per-thread sequence number, and on one op in
+/// [`LATENCY_SAMPLE_EVERY`] reads the TSC-backed [`clock`]. All
+/// counter attribution happens in [`op_end`], which differences the
+/// shard's step counters against baselines remembered from the
+/// previous `op_end` — operations are bracketed back-to-back, so the
+/// delta is this op's (steps recorded outside any bracket are credited
+/// to the following op). The lock-free hot loops between the two calls
+/// still execute nothing but their ordinary shard increments. When
+/// histograms are disabled the token is inert and `op_end` degenerates
+/// to [`record_op`].
+#[inline]
+#[must_use = "pass the token to op_end to record the operation"]
+pub fn op_begin() -> OpToken {
+    if !histograms_enabled() {
+        return OpToken {
+            active: false,
+            start: None,
+        };
+    }
+    let start = OP_SEQ
+        .try_with(|c| {
+            let seq = c.get();
+            c.set(seq.wrapping_add(1));
+            (seq & (LATENCY_SAMPLE_EVERY - 1) == 0).then(clock::now_ticks)
+        })
+        .ok()
+        .flatten();
+    OpToken {
+        active: true,
+        start,
+    }
+}
+
+/// Finish a per-operation telemetry capture started by [`op_begin`].
+///
+/// Records the op into the thread-local histograms and counts it
+/// (callers must not additionally call [`record_op`]).
+#[inline]
+pub fn op_end(token: OpToken) {
+    #[cfg(feature = "trace")]
+    trace::emit(trace::EventKind::OpEnd);
+    if !token.active {
+        with_local(|l| Shard::bump(&l.ops));
+        return;
+    }
+    // `saturating_sub`: cross-core TSC skew of a few ticks must not
+    // wrap into an astronomical latency.
+    let latency_ns = token
+        .start
+        .map(|start| clock::ticks_to_ns(clock::now_ticks().saturating_sub(start)));
+    with_local(|l| {
+        Shard::bump(&l.ops);
+        let cf = l.cas_failures();
+        let bl = l.backlink_traversals.load(Ordering::Relaxed);
+        let cu = l.curr_updates.load(Ordering::Relaxed);
+        // `saturating_sub` guards against an explicit same-thread
+        // `flush_local` between the two ends zeroing the counters (one
+        // op's delta clips to zero, then the baselines re-sync).
+        let retries = cf.saturating_sub(l.last_cas_fail.load(Ordering::Relaxed));
+        let backlinks = bl.saturating_sub(l.last_backlink.load(Ordering::Relaxed));
+        let hops = cu.saturating_sub(l.last_curr.load(Ordering::Relaxed));
+        l.last_cas_fail.store(cf, Ordering::Relaxed);
+        l.last_backlink.store(bl, Ordering::Relaxed);
+        l.last_curr.store(cu, Ordering::Relaxed);
+        l.hist_record_op(latency_ns, retries, backlinks, hops);
     });
+}
+
+/// Opaque per-operation capture token; see [`op_begin`].
+#[derive(Debug)]
+pub struct OpToken {
+    /// Whether histograms were enabled at `op_begin`.
+    active: bool,
+    /// TSC ticks at `op_begin` on latency-sampled ops, else `None`.
+    start: Option<u64>,
+}
+
+/// Materialize the calling thread's shard and histogram storage
+/// (~232 KiB) eagerly.
+///
+/// Benchmark workers call this before their start barrier so the first
+/// recorded op doesn't pay registration, allocation, and page fault-in
+/// inside a measured window.
+pub fn prewarm() {
+    with_local(|l| {
+        let _ = l.hists();
+    });
+}
+
+/// Fold this thread's counts into the retired aggregate immediately.
+///
+/// Rarely needed: [`snapshot`] and [`telemetry`] read live shards
+/// directly, so counts are visible without flushing. Useful for a
+/// long-lived daemon thread that wants to hand off its tallies.
+pub fn flush_local() {
+    let _ = LOCAL.try_with(|l| {
+        let _reg = shards();
+        fold_into_retired(&l.0);
+    });
+}
+
+/// Reset every count to zero: the retired aggregate, the global
+/// histograms, and all live thread shards.
+///
+/// A thread recording concurrently can reassert an in-flight
+/// increment; reset while workers are quiescent.
+pub fn reset() {
+    let reg = shards();
+    for shard in reg.iter() {
+        for i in 0..4 {
+            shard.cas_ok[i].store(0, Ordering::Relaxed);
+            shard.cas_fail[i].store(0, Ordering::Relaxed);
+        }
+        shard.backlink_traversals.store(0, Ordering::Relaxed);
+        shard.next_updates.store(0, Ordering::Relaxed);
+        shard.curr_updates.store(0, Ordering::Relaxed);
+        shard.ops.store(0, Ordering::Relaxed);
+        shard.last_cas_fail.store(0, Ordering::Relaxed);
+        shard.last_backlink.store(0, Ordering::Relaxed);
+        shard.last_curr.store(0, Ordering::Relaxed);
+        if let Some(hists) = shard.hist.get() {
+            for h in hists.iter() {
+                h.reset();
+            }
+        }
+    }
+    if let Some(global) = GLOBAL_HIST.get() {
+        for g in global {
+            g.reset();
+        }
+    }
     for i in 0..4 {
         GLOBAL.cas_ok[i].store(0, Ordering::Relaxed);
         GLOBAL.cas_fail[i].store(0, Ordering::Relaxed);
@@ -314,9 +655,7 @@ impl fmt::Display for Snapshot {
             writeln!(
                 f,
                 "  cas[{}]: ok={} fail={}",
-                ty,
-                self.cas_ok[ty as usize],
-                self.cas_fail[ty as usize]
+                ty, self.cas_ok[ty as usize], self.cas_fail[ty as usize]
             )?;
         }
         write!(
@@ -327,12 +666,20 @@ impl fmt::Display for Snapshot {
     }
 }
 
-/// Copy the current global aggregate.
+/// Copy the current aggregate: the retired totals plus every live
+/// thread's shard.
 ///
-/// Flushes the calling thread's local counts first; other threads must
-/// have exited or called [`flush_local`] for their counts to appear.
+/// No flush is required — counts recorded by any thread are visible
+/// here. Counts from a thread that is still running are racy-fresh;
+/// they are exact once that thread has been joined.
 pub fn snapshot() -> Snapshot {
-    flush_local();
+    let reg = shards();
+    snapshot_locked(&reg)
+}
+
+/// Sum the retired aggregate and the given live shards. Caller holds
+/// the registry lock.
+fn snapshot_locked(reg: &[Arc<Shard>]) -> Snapshot {
     let mut s = Snapshot::default();
     for i in 0..4 {
         s.cas_ok[i] = GLOBAL.cas_ok[i].load(Ordering::Relaxed);
@@ -342,7 +689,155 @@ pub fn snapshot() -> Snapshot {
     s.next_updates = GLOBAL.next_updates.load(Ordering::Relaxed);
     s.curr_updates = GLOBAL.curr_updates.load(Ordering::Relaxed);
     s.ops = GLOBAL.ops.load(Ordering::Relaxed);
+    for shard in reg {
+        for i in 0..4 {
+            s.cas_ok[i] += shard.cas_ok[i].load(Ordering::Relaxed);
+            s.cas_fail[i] += shard.cas_fail[i].load(Ordering::Relaxed);
+        }
+        s.backlink_traversals += shard.backlink_traversals.load(Ordering::Relaxed);
+        s.next_updates += shard.next_updates.load(Ordering::Relaxed);
+        s.curr_updates += shard.curr_updates.load(Ordering::Relaxed);
+        s.ops += shard.ops.load(Ordering::Relaxed);
+    }
     s
+}
+
+/// Scalar counters plus the four per-operation distributions, captured
+/// together. Difference two (`after - before`) to isolate a phase.
+#[derive(Clone, Debug)]
+pub struct Telemetry {
+    /// The essential-step scalar totals.
+    pub counters: Snapshot,
+    hists: [Histogram; 4],
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry {
+            counters: Snapshot::default(),
+            hists: std::array::from_fn(|_| Histogram::new()),
+        }
+    }
+}
+
+impl Telemetry {
+    /// The distribution for one [`Metric`].
+    pub fn histogram(&self, m: Metric) -> &Histogram {
+        &self.hists[m as usize]
+    }
+
+    /// Per-op latency distribution, nanoseconds.
+    pub fn op_latency_ns(&self) -> &Histogram {
+        self.histogram(Metric::OpLatencyNs)
+    }
+
+    /// Per-op failed-CAS distribution (empirical `c(S)`).
+    pub fn cas_retries(&self) -> &Histogram {
+        self.histogram(Metric::CasRetries)
+    }
+
+    /// Per-op backlink-chain-length distribution.
+    pub fn backlink_chain(&self) -> &Histogram {
+        self.histogram(Metric::BacklinkChain)
+    }
+
+    /// Per-op search-hop distribution (empirical `n(S)`).
+    pub fn search_hops(&self) -> &Histogram {
+        self.histogram(Metric::SearchHops)
+    }
+}
+
+impl Sub for Telemetry {
+    type Output = Telemetry;
+
+    fn sub(self, rhs: Telemetry) -> Telemetry {
+        let mut hists = self.hists;
+        let mut rhs_hists = rhs.hists.into_iter();
+        for h in hists.iter_mut() {
+            let taken = std::mem::take(h);
+            *h = taken - rhs_hists.next().expect("four metrics");
+        }
+        Telemetry {
+            counters: self.counters - rhs.counters,
+            hists,
+        }
+    }
+}
+
+impl fmt::Display for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.counters)?;
+        for m in Metric::ALL {
+            writeln!(f, "  {}: {}", m, self.histogram(m))?;
+        }
+        Ok(())
+    }
+}
+
+/// Copy the current scalar aggregate and histograms.
+///
+/// Same visibility contract as [`snapshot`]: every thread's counts and
+/// distributions are summed (retired aggregate plus live shards), with
+/// no flush required. Prefer [`Registry::join_and_snapshot`] to bound
+/// a measurement phase.
+pub fn telemetry() -> Telemetry {
+    let reg = shards();
+    let counters = snapshot_locked(&reg);
+    let g = global_hist();
+    let mut hists: [Histogram; 4] = std::array::from_fn(|i| g[i].load());
+    for shard in reg.iter() {
+        if let Some(h) = shard.hist.get() {
+            for (dst, src) in hists.iter_mut().zip(h.iter()) {
+                src.add_into(dst);
+            }
+        }
+    }
+    Telemetry { counters, hists }
+}
+
+/// Namespace for measurement-phase helpers over the process-global
+/// metric state.
+pub struct Registry;
+
+impl Registry {
+    /// Run `work` between two [`telemetry`] snapshots and return its
+    /// result together with the phase delta.
+    ///
+    /// This fixes the flush-before-snapshot footgun. Worker counts
+    /// used to become globally visible only when each worker's TLS
+    /// destructor flushed them — and `std::thread::scope` can return
+    /// *before* a joined worker's TLS destructors have run, silently
+    /// dropping whole threads from a naive measurement. Snapshots now
+    /// read every live shard straight from the registry, so nothing
+    /// depends on destructor timing; `work` joining its workers (e.g.
+    /// via [`std::thread::scope`]) establishes the happens-before edge
+    /// that makes the closing snapshot exact rather than racy-fresh.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lf_metrics::{self as metrics, Registry};
+    ///
+    /// let (sum, tel) = Registry::join_and_snapshot(|| {
+    ///     std::thread::scope(|s| {
+    ///         let h = s.spawn(|| {
+    ///             let t = metrics::op_begin();
+    ///             metrics::record_cas(metrics::CasType::Insert, false);
+    ///             metrics::op_end(t);
+    ///             21 + 21
+    ///         });
+    ///         h.join().unwrap()
+    ///     })
+    /// });
+    /// assert_eq!(sum, 42);
+    /// assert_eq!(tel.counters.ops, 1);
+    /// assert_eq!(tel.cas_retries().count(), 1);
+    /// ```
+    pub fn join_and_snapshot<R>(work: impl FnOnce() -> R) -> (R, Telemetry) {
+        let before = telemetry();
+        let result = work();
+        (result, telemetry() - before)
+    }
 }
 
 #[cfg(test)]
@@ -418,6 +913,30 @@ mod tests {
         let s = Snapshot::default();
         assert!(format!("{s}").contains("steps/op"));
         assert_eq!(CasType::Unlink.to_string(), "unlink");
+    }
+
+    #[test]
+    fn live_thread_counts_visible_without_flush_or_exit() {
+        let _g = TEST_LOCK.lock().unwrap();
+        let before = snapshot();
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        let t = std::thread::spawn(move || {
+            for _ in 0..25 {
+                record_curr_update();
+            }
+            ready_tx.send(()).unwrap();
+            // Stay alive — no flush, no exit — until the main thread
+            // has snapshotted.
+            done_rx.recv().unwrap();
+        });
+        ready_rx.recv().unwrap();
+        // The channel handshake orders the stores before this load, so
+        // the live shard must already show all 25.
+        let delta = snapshot() - before;
+        assert_eq!(delta.curr_updates, 25);
+        done_tx.send(()).unwrap();
+        t.join().unwrap();
     }
 
     #[test]

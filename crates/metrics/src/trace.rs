@@ -1,0 +1,342 @@
+//! Per-thread ring-buffer tracing of essential-step events
+//! (compiled only with the `trace` feature).
+//!
+//! Every `record_*` call in the crate root doubles as a trace hook:
+//! when tracing is [`enable`]d at runtime, the event is stamped with a
+//! globally unique sequence number and appended to the calling
+//! thread's private ring buffer. Buffers are bounded (oldest events
+//! overwritten), so tracing a long run keeps only the most recent
+//! window. [`take`] drains every thread's buffer and merges the events
+//! into one seq-ordered timeline — a replayable interleaving of the
+//! essential steps the paper's analysis counts, which is exactly what
+//! you want in front of you when a stress test trips an invariant.
+//!
+//! Costs: with the feature compiled but tracing disabled, each hook is
+//! one relaxed atomic load. With the feature off (the default), the
+//! hooks do not exist.
+//!
+//! Sequence stamps are allocated by one global atomic counter at
+//! record time, so the merged timeline is the true allocation order of
+//! the stamps; per thread it is exactly program order.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::CasType;
+
+/// What happened at one essential step.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EventKind {
+    /// A C&S attempt of the given Def. 4 type, and whether it won.
+    Cas {
+        /// Which of the four C&S types.
+        ty: CasType,
+        /// Whether the C&S succeeded.
+        ok: bool,
+    },
+    /// A backlink pointer traversal.
+    Backlink,
+    /// A `next_node` pointer update.
+    NextUpdate,
+    /// A `curr_node` pointer update.
+    CurrUpdate,
+    /// A dictionary operation completed.
+    OpEnd,
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::Cas { ty, ok } => {
+                write!(f, "cas({},{})", ty.label(), if *ok { "ok" } else { "fail" })
+            }
+            EventKind::Backlink => f.write_str("backlink"),
+            EventKind::NextUpdate => f.write_str("next_update"),
+            EventKind::CurrUpdate => f.write_str("curr_update"),
+            EventKind::OpEnd => f.write_str("op_end"),
+        }
+    }
+}
+
+/// One traced essential step.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// Globally unique, allocation-ordered stamp.
+    pub seq: u64,
+    /// Small dense id of the recording thread (first-event order).
+    pub thread: u32,
+    /// What the step was.
+    pub kind: EventKind,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SEQ: AtomicU64 = AtomicU64::new(0);
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+static CAPACITY: AtomicUsize = AtomicUsize::new(1 << 16);
+
+struct Ring {
+    buf: Vec<Option<(u64, EventKind)>>,
+    next: usize,
+}
+
+struct ThreadBuf {
+    thread: u32,
+    ring: Mutex<Ring>,
+}
+
+impl ThreadBuf {
+    fn push(&self, seq: u64, kind: EventKind) {
+        let mut r = self.ring.lock().unwrap();
+        let cap = r.buf.len();
+        let slot = r.next % cap;
+        r.buf[slot] = Some((seq, kind));
+        r.next += 1;
+    }
+
+    fn drain(&self) -> Vec<Event> {
+        let mut r = self.ring.lock().unwrap();
+        let mut out: Vec<Event> = r
+            .buf
+            .iter_mut()
+            .filter_map(Option::take)
+            .map(|(seq, kind)| Event {
+                seq,
+                thread: self.thread,
+                kind,
+            })
+            .collect();
+        r.next = 0;
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<ThreadBuf>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static TL_BUF: Arc<ThreadBuf> = {
+        let buf = Arc::new(ThreadBuf {
+            thread: NEXT_THREAD.fetch_add(1, Ordering::Relaxed) as u32,
+            ring: Mutex::new(Ring {
+                buf: vec![None; CAPACITY.load(Ordering::Relaxed).max(1)],
+                next: 0,
+            }),
+        });
+        registry().lock().unwrap().push(buf.clone());
+        buf
+    };
+}
+
+/// Turn event recording on.
+pub fn enable() {
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turn event recording off (buffers keep their contents).
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Whether events are currently being recorded.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Set the ring capacity (events kept per thread) for threads that
+/// have not yet recorded their first event. Existing buffers keep
+/// their size.
+pub fn set_thread_capacity(events: usize) {
+    CAPACITY.store(events.max(1), Ordering::Relaxed);
+}
+
+/// The trace thread id the calling thread records under (registers the
+/// thread's buffer if needed). Useful for filtering [`take`] output.
+pub fn current_thread_id() -> u32 {
+    TL_BUF.with(|b| b.thread)
+}
+
+#[inline]
+pub(crate) fn emit(kind: EventKind) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    // Best-effort during thread teardown, like the counters.
+    let _ = TL_BUF.try_with(|b| b.push(seq, kind));
+}
+
+/// Drain every thread's buffer into one seq-ordered timeline.
+///
+/// Within each thread the events are in program order; across threads
+/// the stamps give the global allocation order. Events evicted by ring
+/// wrap-around are absent (the window keeps the newest per thread).
+pub fn take() -> Vec<Event> {
+    let bufs: Vec<Arc<ThreadBuf>> = registry().lock().unwrap().clone();
+    let mut all: Vec<Event> = bufs.iter().flat_map(|b| b.drain()).collect();
+    all.sort_by_key(|e| e.seq);
+    all
+}
+
+/// Discard all buffered events.
+pub fn clear() {
+    let _ = take();
+}
+
+/// Render a timeline as one line per event, indented by thread for a
+/// visual interleaving.
+pub fn render(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        let indent = (e.thread as usize % 8) * 2;
+        out.push_str(&format!(
+            "{:>10}  t{:<3} {:indent$}{}\n",
+            e.seq,
+            e.thread,
+            "",
+            e.kind,
+            indent = indent
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{record_backlink, record_cas, record_curr_update, record_op};
+
+    // Trace state is process-global; serialize the tests against each
+    // other (other test modules may record while untraced — that's
+    // harmless because `ENABLED` is off between these tests).
+    static TRACE_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    /// The scripted per-thread step pattern used by the replay test.
+    fn run_pattern(reps: usize) -> u32 {
+        let tid = current_thread_id();
+        for _ in 0..reps {
+            record_cas(CasType::Insert, true);
+            record_backlink();
+            record_curr_update();
+            record_cas(CasType::Mark, false);
+            record_op();
+        }
+        tid
+    }
+
+    fn expected_kinds(reps: usize) -> Vec<EventKind> {
+        let unit = [
+            EventKind::Cas {
+                ty: CasType::Insert,
+                ok: true,
+            },
+            EventKind::Backlink,
+            EventKind::CurrUpdate,
+            EventKind::Cas {
+                ty: CasType::Mark,
+                ok: false,
+            },
+            EventKind::OpEnd,
+        ];
+        std::iter::repeat(unit).take(reps).flatten().collect()
+    }
+
+    #[test]
+    fn three_thread_interleaving_replays_each_program() {
+        let _g = TRACE_TEST_LOCK.lock().unwrap();
+        clear();
+        enable();
+        let tids: Vec<u32> = std::thread::scope(|s| {
+            let hs: Vec<_> = (1..=3)
+                .map(|reps| s.spawn(move || run_pattern(reps)))
+                .collect();
+            hs.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        disable();
+        let events = take();
+
+        // Stamps are unique and the merged timeline is sorted.
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        // All three workers appear.
+        let mut tids = tids;
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), 3, "threads shared a trace id");
+
+        // Per-thread replay: filtering the global timeline by thread id
+        // must reproduce each worker's program, in program order.
+        // (Filtering also keeps the test independent of unrelated test
+        // threads that record steps while tracing is on.)
+        let mut scripted = 0;
+        for (i, &tid) in tids.iter().enumerate() {
+            let kinds: Vec<EventKind> = events
+                .iter()
+                .filter(|e| e.thread == tid)
+                .map(|e| e.kind)
+                .collect();
+            // Worker `reps` is identified by its event count.
+            let reps = kinds.len() / 5;
+            assert!(
+                (1..=3).contains(&reps),
+                "thread {i} traced {} events",
+                kinds.len()
+            );
+            assert_eq!(kinds, expected_kinds(reps), "thread {i} replay mismatch");
+            scripted += kinds.len();
+        }
+        assert_eq!(scripted, (1 + 2 + 3) * 5, "scripted events lost");
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _g = TRACE_TEST_LOCK.lock().unwrap();
+        clear();
+        disable();
+        record_cas(CasType::Flag, true);
+        record_backlink();
+        assert!(take().is_empty());
+    }
+
+    #[test]
+    fn ring_keeps_newest_events() {
+        let _g = TRACE_TEST_LOCK.lock().unwrap();
+        clear();
+        set_thread_capacity(8);
+        enable();
+        // Fresh thread so the small capacity applies.
+        let tid = std::thread::spawn(|| {
+            for _ in 0..20 {
+                record_backlink();
+            }
+            current_thread_id()
+        })
+        .join()
+        .unwrap();
+        disable();
+        set_thread_capacity(1 << 16);
+        let mut events = take();
+        events.retain(|e| e.thread == tid);
+        assert_eq!(events.len(), 8, "ring should cap retained events");
+        // The retained events are the newest: their stamps are the top
+        // 8 of the 20 allocated.
+        let min_kept = events.iter().map(|e| e.seq).min().unwrap();
+        let max_kept = events.iter().map(|e| e.seq).max().unwrap();
+        assert_eq!(max_kept - min_kept, 7);
+        assert!(events.iter().all(|e| e.kind == EventKind::Backlink));
+    }
+
+    #[test]
+    fn render_shows_interleaving() {
+        let _g = TRACE_TEST_LOCK.lock().unwrap();
+        clear();
+        enable();
+        record_cas(CasType::Unlink, true);
+        disable();
+        let events = take();
+        let text = render(&events);
+        assert!(text.contains("cas(unlink,ok)"), "{text}");
+    }
+}

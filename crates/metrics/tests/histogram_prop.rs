@@ -1,0 +1,157 @@
+//! Property tests for the log-bucketed histogram and the concurrent
+//! flush/merge path.
+//!
+//! The percentile oracle re-derives each percentile from a sorted copy
+//! of the recorded values: because `index_for` is monotone, the bucket
+//! where the cumulative count first reaches the target rank is exactly
+//! the bucket of the rank-th smallest value, so the histogram's answer
+//! must equal `highest_equivalent(index_for(oracle))` — and stay within
+//! the two-significant-figure quantization bound of the oracle itself.
+
+use proptest::prelude::*;
+
+use lf_metrics::histogram::{highest_equivalent, index_for, lowest_equivalent};
+use lf_metrics::{CasType, Histogram};
+
+/// Map raw random words onto values spanning the full u64 dynamic
+/// range (mantissa in 1..=255, shift in 0..56) so every magnitude of
+/// bucket gets exercised, not just the exact sub-256 region.
+fn spread(raw: u64) -> u64 {
+    let shift = (raw % 56) as u32;
+    let base = (raw >> 8) % 255 + 1;
+    base << shift
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+    #[test]
+    fn percentile_matches_sorted_vec_oracle(
+        raw in proptest::collection::vec(any::<u64>(), 1..300),
+    ) {
+        let values: Vec<u64> = raw.iter().map(|&r| spread(r)).collect();
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+
+        prop_assert_eq!(h.count(), n as u64);
+        // The histogram saturates its running sum; mirror that fold.
+        prop_assert_eq!(h.sum(), values.iter().fold(0u64, |a, &v| a.saturating_add(v)));
+        prop_assert_eq!(h.max(), highest_equivalent(index_for(sorted[n - 1])));
+        prop_assert_eq!(h.min(), lowest_equivalent(index_for(sorted[0])));
+
+        for p in [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0] {
+            let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as usize;
+            let oracle = sorted[rank.min(n) - 1];
+            let got = h.percentile(p);
+            prop_assert_eq!(
+                got,
+                highest_equivalent(index_for(oracle)),
+                "p{} of {:?}",
+                p,
+                sorted
+            );
+            // Reported value is an upper bound on the oracle within the
+            // bucket's equivalent range: relative error < 1/128.
+            prop_assert!(got >= oracle);
+            prop_assert!(
+                got - oracle <= oracle / 128 + 1,
+                "p{}: got {} vs oracle {}",
+                p,
+                got,
+                oracle
+            );
+        }
+    }
+
+    /// Merging per-thread histograms is order-independent: any
+    /// partition of the values into shards, merged in any order, gives
+    /// the same aggregate as recording sequentially.
+    #[test]
+    fn merge_is_partition_and_order_independent(
+        raw in proptest::collection::vec(any::<u64>(), 1..200),
+        shards in 1usize..8,
+    ) {
+        let values: Vec<u64> = raw.iter().map(|&r| spread(r)).collect();
+        let mut sequential = Histogram::new();
+        for &v in &values {
+            sequential.record(v);
+        }
+        let mut parts = vec![Histogram::new(); shards];
+        for (i, &v) in values.iter().enumerate() {
+            parts[i % shards].record(v);
+        }
+        let mut forward = Histogram::new();
+        for p in &parts {
+            forward.merge(p);
+        }
+        let mut backward = Histogram::new();
+        for p in parts.iter().rev() {
+            backward.merge(p);
+        }
+        for h in [&forward, &backward] {
+            prop_assert_eq!(h.count(), sequential.count());
+            prop_assert_eq!(h.sum(), sequential.sum());
+            prop_assert_eq!(h.min(), sequential.min());
+            prop_assert_eq!(h.max(), sequential.max());
+            for p in [10.0, 50.0, 90.0, 99.0, 99.9] {
+                prop_assert_eq!(h.percentile(p), sequential.percentile(p));
+            }
+        }
+    }
+}
+
+/// One concurrent run: 4 threads each record a deterministic
+/// per-thread sequence of CAS-retry counts through the public
+/// `op_begin`/`op_end` path; `join_and_snapshot` returns the aggregate
+/// delta after every thread's local histogram has been flushed.
+fn concurrent_retry_run() -> Histogram {
+    let ((), tel) = lf_metrics::Registry::join_and_snapshot(|| {
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                s.spawn(move || {
+                    for i in 0..128u64 {
+                        let op = lf_metrics::op_begin();
+                        for _ in 0..(t * 977 + i * 131) % 97 {
+                            lf_metrics::record_cas(CasType::Insert, false);
+                        }
+                        lf_metrics::op_end(op);
+                    }
+                });
+            }
+        });
+    });
+    tel.cas_retries().clone()
+}
+
+/// Concurrent merge determinism: the retry histogram produced by a
+/// racy 4-thread run equals a sequentially computed expectation (and a
+/// second racy run), bucket-for-bucket — thread interleavings must not
+/// affect the aggregate because the drain is a per-bucket sum.
+///
+/// This test owns the process's global telemetry for retry values; it
+/// would be perturbed only by another test in this binary recording
+/// `cas_fail` between its two snapshots, which none does.
+#[test]
+fn concurrent_flush_is_deterministic() {
+    let mut expected = Histogram::new();
+    for t in 0..4u64 {
+        for i in 0..128u64 {
+            expected.record((t * 977 + i * 131) % 97);
+        }
+    }
+    let a = concurrent_retry_run();
+    let b = concurrent_retry_run();
+    for run in [&a, &b] {
+        assert_eq!(run.count(), expected.count());
+        assert_eq!(run.sum(), expected.sum());
+        assert_eq!(run.min(), expected.min());
+        assert_eq!(run.max(), expected.max());
+        for p in [1.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            assert_eq!(run.percentile(p), expected.percentile(p), "p{p}");
+        }
+    }
+}

@@ -141,12 +141,11 @@ impl Collector {
         let mut head = self.inner.head.load(Ordering::SeqCst);
         loop {
             unsafe { &*slot }.next.store(head, Ordering::SeqCst);
-            match self.inner.head.compare_exchange(
-                head,
-                slot,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            ) {
+            match self
+                .inner
+                .head
+                .compare_exchange(head, slot, Ordering::SeqCst, Ordering::SeqCst)
+            {
                 Ok(_) => break,
                 Err(h) => head = h,
             }

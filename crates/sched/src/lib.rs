@@ -266,13 +266,30 @@ impl Scheduler {
         }
     }
 
-    /// Grant `pid` permission to execute its next `n` steps.
+    /// Grant `pid` permission to execute its next `n` steps, and wait
+    /// until it has consumed them and settled (blocked at its next
+    /// announce, or finished).
+    ///
+    /// Waiting for the *next* announce is what makes the grant
+    /// synchronous: a step's shared-memory operation executes after
+    /// [`Proc::step`] returns but before the process's next announce,
+    /// so once the process settles the granted operations are visible
+    /// to the director and to every process it runs afterwards.
+    /// Without this, "at most one process executes between grants"
+    /// would only hold when the OS happened to schedule the grantee
+    /// promptly.
     pub fn grant(&self, pid: ProcId, n: usize) {
         let cv = self.inner.proc_cv(pid);
         let mut st = self.inner.state.lock().unwrap();
         st.procs[pid].granted += n;
-        let _ = &mut st;
         cv.notify_all();
+        loop {
+            let p = &st.procs[pid];
+            if p.finished || (p.granted == 0 && p.pending.is_some()) {
+                return;
+            }
+            st = self.inner.director_cv.wait(st).unwrap();
+        }
     }
 
     /// Run `pid` until its *next pending* step satisfies `pred`

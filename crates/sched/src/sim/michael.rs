@@ -58,11 +58,7 @@ impl SimMichaelList {
     /// Michael's `find`: returns (prev, cur, cur_succ) with `cur.key >=
     /// k`, unlinking marked nodes one at a time; restarts from the head
     /// on any failure.
-    unsafe fn find(
-        &self,
-        k: i64,
-        proc: &Proc,
-    ) -> (*mut SimNode, *mut SimNode, TaggedPtr<SimNode>) {
+    unsafe fn find(&self, k: i64, proc: &Proc) -> (*mut SimNode, *mut SimNode, TaggedPtr<SimNode>) {
         'retry: loop {
             let mut prev = self.head;
             proc.step(StepKind::Read);

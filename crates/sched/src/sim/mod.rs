@@ -184,10 +184,16 @@ mod tests {
 
         // Observe the three C&S steps in protocol order.
         assert!(sched.run_until_pending(pid, StepKind::is_cas));
-        assert_eq!(sched.peek(pid), crate::Observation::Pending(StepKind::CasFlag));
+        assert_eq!(
+            sched.peek(pid),
+            crate::Observation::Pending(StepKind::CasFlag)
+        );
         sched.grant(pid, 1);
         assert!(sched.run_until_pending(pid, StepKind::is_cas));
-        assert_eq!(sched.peek(pid), crate::Observation::Pending(StepKind::CasMark));
+        assert_eq!(
+            sched.peek(pid),
+            crate::Observation::Pending(StepKind::CasMark)
+        );
         sched.grant(pid, 1);
         assert!(sched.run_until_pending(pid, StepKind::is_cas));
         assert_eq!(

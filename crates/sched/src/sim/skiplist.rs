@@ -103,7 +103,9 @@ impl SimSkipList {
                 // Sentinels are their own roots.
                 (*tail).tower_root = tail;
                 (*head).tower_root = head;
-                (*head).succ.store(TaggedPtr::unmarked(tail), Ordering::SeqCst);
+                (*head)
+                    .succ
+                    .store(TaggedPtr::unmarked(tail), Ordering::SeqCst);
             }
             heads.push(head);
             tails.push(tail);
@@ -451,9 +453,7 @@ impl SimSkipList {
                 let mut cur = (*self.heads[level]).succ.load(Ordering::SeqCst).ptr();
                 let mut found = false;
                 while cur != self.tails[level] {
-                    if Self::key_of(cur) == key
-                        && !(*cur).succ.load(Ordering::SeqCst).is_marked()
-                    {
+                    if Self::key_of(cur) == key && !(*cur).succ.load(Ordering::SeqCst).is_marked() {
                         found = true;
                         break;
                     }
@@ -513,7 +513,8 @@ impl SimSkipList {
                     let next = succ.ptr();
                     if next.is_null() {
                         assert_eq!(
-                            cur, self.tails[level],
+                            cur,
+                            self.tails[level],
                             "INV2: level {} chain broken",
                             level + 1
                         );

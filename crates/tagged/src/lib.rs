@@ -46,4 +46,4 @@
 
 mod ptr;
 
-pub use ptr::{AtomicTaggedPtr, TagBits, TaggedPtr, MARK_BIT, FLAG_BIT, TAG_MASK};
+pub use ptr::{AtomicTaggedPtr, TagBits, TaggedPtr, FLAG_BIT, MARK_BIT, TAG_MASK};

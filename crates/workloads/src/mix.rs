@@ -158,27 +158,23 @@ mod tests {
 
     #[test]
     fn same_seed_same_stream() {
-        let a: Vec<Op> =
-            WorkloadIter::new(Mix::CHURN, KeyDist::Uniform { space: 64 }, 9)
-                .take(50)
-                .collect();
-        let b: Vec<Op> =
-            WorkloadIter::new(Mix::CHURN, KeyDist::Uniform { space: 64 }, 9)
-                .take(50)
-                .collect();
+        let a: Vec<Op> = WorkloadIter::new(Mix::CHURN, KeyDist::Uniform { space: 64 }, 9)
+            .take(50)
+            .collect();
+        let b: Vec<Op> = WorkloadIter::new(Mix::CHURN, KeyDist::Uniform { space: 64 }, 9)
+            .take(50)
+            .collect();
         assert_eq!(a, b);
     }
 
     #[test]
     fn different_seeds_differ() {
-        let a: Vec<Op> =
-            WorkloadIter::new(Mix::CHURN, KeyDist::Uniform { space: 64 }, 1)
-                .take(50)
-                .collect();
-        let b: Vec<Op> =
-            WorkloadIter::new(Mix::CHURN, KeyDist::Uniform { space: 64 }, 2)
-                .take(50)
-                .collect();
+        let a: Vec<Op> = WorkloadIter::new(Mix::CHURN, KeyDist::Uniform { space: 64 }, 1)
+            .take(50)
+            .collect();
+        let b: Vec<Op> = WorkloadIter::new(Mix::CHURN, KeyDist::Uniform { space: 64 }, 2)
+            .take(50)
+            .collect();
         assert_ne!(a, b);
     }
 

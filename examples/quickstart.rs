@@ -40,7 +40,10 @@ fn main() {
         }
     });
     assert_eq!(map.len(), 4_000);
-    println!("skip list holds {} entries after 4 concurrent writers", map.len());
+    println!(
+        "skip list holds {} entries after 4 concurrent writers",
+        map.len()
+    );
 
     let h = map.handle();
     assert_eq!(h.get(&2_500), Some(500));

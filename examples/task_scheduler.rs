@@ -116,5 +116,8 @@ fn main() {
         lat.len() as u64 * 100 / total,
         avg_urgent_pos
     );
-    println!("(urgent jobs jump the queue: their mean position is well below {})", total / 2);
+    println!(
+        "(urgent jobs jump the queue: their mean position is well below {})",
+        total / 2
+    );
 }

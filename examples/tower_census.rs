@@ -45,7 +45,10 @@ fn main() {
     }
 
     println!("{} towers, max height {max_h}", heights.len());
-    println!("{:>6} {:>8} {:>10} {:>10}  histogram", "height", "towers", "observed", "geometric");
+    println!(
+        "{:>6} {:>8} {:>10} {:>10}  histogram",
+        "height", "towers", "observed", "geometric"
+    );
     for (h, &count) in counts.iter().enumerate().skip(1) {
         let obs = count as f64 / total;
         let exp = 0.5f64.powi(h as i32);

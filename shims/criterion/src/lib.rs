@@ -1,0 +1,241 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the definition API this workspace's benches use
+//! ([`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`] / [`Bencher::iter_custom`], [`BenchmarkId`],
+//! [`criterion_group!`] / [`criterion_main!`]) with a deliberately
+//! simple measurement loop: `sample_size` samples per benchmark, each
+//! timed with [`std::time::Instant`], reporting min/mean ns per
+//! iteration. No warm-up modeling, outlier analysis, or HTML reports.
+//!
+//! Under `cargo test` (no `--bench` argument) every benchmark runs a
+//! single iteration as a smoke test, mirroring real criterion's test
+//! mode.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Runs one benchmark body ([`BenchmarkGroup::bench_function`] hands
+/// one to each closure).
+pub struct Bencher {
+    /// Measured mode (`--bench`) or smoke mode (`cargo test`).
+    measured: bool,
+    /// Samples to take in measured mode.
+    samples: u64,
+    /// Collected (iterations, elapsed) pairs.
+    records: Vec<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Time `f`, calling it once per iteration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if !self.measured {
+            std::hint::black_box(f());
+            return;
+        }
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.records.push((1, start.elapsed()));
+        }
+    }
+
+    /// Time a body that measures itself: `f(iters)` must return the
+    /// elapsed time of `iters` iterations.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        if !self.measured {
+            std::hint::black_box(f(1));
+            return;
+        }
+        for _ in 0..self.samples {
+            let d = f(1);
+            self.records.push((1, d));
+        }
+    }
+}
+
+/// Identifies one benchmark within a group: a function name plus an
+/// optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark in measured mode.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Define and immediately run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            measured: self.criterion.measured,
+            samples: self.sample_size,
+            records: Vec::new(),
+        };
+        f(&mut b);
+        if self.criterion.measured {
+            let (iters, total): (u64, Duration) = b
+                .records
+                .iter()
+                .fold((0, Duration::ZERO), |(i, d), &(bi, bd)| (i + bi, d + bd));
+            let mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+            let min_ns = b
+                .records
+                .iter()
+                .map(|&(bi, bd)| bd.as_nanos() as f64 / bi.max(1) as f64)
+                .fold(f64::INFINITY, f64::min);
+            println!(
+                "{}/{}: {:>12.1} ns/iter (min {:>12.1} ns, {} samples)",
+                self.name,
+                id.id,
+                mean_ns,
+                min_ns,
+                b.records.len()
+            );
+        }
+        self
+    }
+
+    /// End the group (prints nothing; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    measured: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes `--bench`; under `cargo test` the smoke
+        // path keeps the suite fast.
+        let measured = std::env::args().any(|a| a == "--bench");
+        Criterion { measured }
+    }
+}
+
+impl Criterion {
+    /// Start a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        if self.measured {
+            println!("== bench group {name} ==");
+        }
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+
+    /// Define and immediately run one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, f);
+        self
+    }
+}
+
+/// Bundle benchmark functions under one name (API parity with
+/// criterion).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion { measured: false };
+        let mut g = c.benchmark_group("g");
+        let mut calls = 0;
+        g.bench_function("one", |b| b.iter(|| calls += 1));
+        g.finish();
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measured_mode_samples() {
+        let mut c = Criterion { measured: true };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        let mut calls = 0u64;
+        g.bench_function(BenchmarkId::new("f", 1), |b| b.iter(|| calls += 1));
+        g.finish();
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn iter_custom_collects() {
+        let mut c = Criterion { measured: true };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut calls = 0u64;
+        g.bench_function("c", |b| {
+            b.iter_custom(|iters| {
+                calls += iters;
+                std::time::Duration::from_nanos(10)
+            })
+        });
+        assert_eq!(calls, 3);
+    }
+}

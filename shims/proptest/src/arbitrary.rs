@@ -1,0 +1,63 @@
+//! `any::<T>()` — full-range strategies for primitive types.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize, bool, f64, f32);
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn any_u8_covers_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let s = any::<u8>();
+        let mut seen_high = false;
+        let mut seen_low = false;
+        for _ in 0..1000 {
+            let v = s.generate(&mut rng);
+            seen_high |= v >= 128;
+            seen_low |= v < 128;
+        }
+        assert!(seen_high && seen_low);
+    }
+}

@@ -1,0 +1,51 @@
+//! Per-test configuration and case-level plumbing for [`proptest!`](crate::proptest).
+
+use std::fmt;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// How many cases each property runs (a subset of the real crate's
+/// config — only the fields this workspace sets).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed property case (carries the formatted assertion message).
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Build from an assertion message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError(msg)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic generator for one case: fixed base seed mixed with the
+/// case index, so `case N failed` is reproducible by rerunning the
+/// test.
+pub fn case_rng(case: u32) -> SmallRng {
+    SmallRng::seed_from_u64(0x00C0_FFEE_D00D_5EEDu64 ^ (u64::from(case) << 17))
+}

@@ -19,55 +19,53 @@ use lockfree_lists::{FrList, SkipList};
 /// explain the final contents exactly.
 macro_rules! per_key_accounting_body {
     ($make:expr, $ins:expr, $rem:expr, $has:expr) => {{
-            const KEYS: usize = 16;
-            const THREADS: u64 = 4;
-            const OPS: u64 = 2_000;
+        const KEYS: usize = 16;
+        const THREADS: u64 = 4;
+        const OPS: u64 = 2_000;
 
-            let map = Arc::new($make);
-            let ins_ok: Arc<Vec<AtomicU64>> =
-                Arc::new((0..KEYS).map(|_| AtomicU64::new(0)).collect());
-            let rem_ok: Arc<Vec<AtomicU64>> =
-                Arc::new((0..KEYS).map(|_| AtomicU64::new(0)).collect());
+        let map = Arc::new($make);
+        let ins_ok: Arc<Vec<AtomicU64>> = Arc::new((0..KEYS).map(|_| AtomicU64::new(0)).collect());
+        let rem_ok: Arc<Vec<AtomicU64>> = Arc::new((0..KEYS).map(|_| AtomicU64::new(0)).collect());
 
-            std::thread::scope(|s| {
-                for t in 0..THREADS {
-                    let map = map.clone();
-                    let ins_ok = ins_ok.clone();
-                    let rem_ok = rem_ok.clone();
-                    s.spawn(move || {
-                        let h = map.handle();
-                        let mut x = t.wrapping_mul(0x9E3779B97F4A7C15) | 1;
-                        for _ in 0..OPS {
-                            x = x.wrapping_mul(6364136223846793005).wrapping_add(99);
-                            let k = ((x >> 33) as usize) % KEYS;
-                            let key = k as u64;
-                            if (x >> 7) & 1 == 0 {
-                                if ($ins)(&h, key) {
-                                    ins_ok[k].fetch_add(1, Ordering::SeqCst);
-                                }
-                            } else if ($rem)(&h, key) {
-                                rem_ok[k].fetch_add(1, Ordering::SeqCst);
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let map = map.clone();
+                let ins_ok = ins_ok.clone();
+                let rem_ok = rem_ok.clone();
+                s.spawn(move || {
+                    let h = map.handle();
+                    let mut x = t.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+                    for _ in 0..OPS {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(99);
+                        let k = ((x >> 33) as usize) % KEYS;
+                        let key = k as u64;
+                        if (x >> 7) & 1 == 0 {
+                            if ($ins)(&h, key) {
+                                ins_ok[k].fetch_add(1, Ordering::SeqCst);
                             }
+                        } else if ($rem)(&h, key) {
+                            rem_ok[k].fetch_add(1, Ordering::SeqCst);
                         }
-                    });
-                }
-            });
-
-            let h = map.handle();
-            for k in 0..KEYS {
-                let i = ins_ok[k].load(Ordering::SeqCst);
-                let r = rem_ok[k].load(Ordering::SeqCst);
-                let present = ($has)(&h, k as u64);
-                assert!(
-                    i == r || i == r + 1,
-                    "key {k}: {i} successful inserts vs {r} successful removes"
-                );
-                assert_eq!(
-                    present,
-                    i == r + 1,
-                    "key {k}: presence disagrees with win counts ({i} ins, {r} rem)"
-                );
+                    }
+                });
             }
+        });
+
+        let h = map.handle();
+        for k in 0..KEYS {
+            let i = ins_ok[k].load(Ordering::SeqCst);
+            let r = rem_ok[k].load(Ordering::SeqCst);
+            let present = ($has)(&h, k as u64);
+            assert!(
+                i == r || i == r + 1,
+                "key {k}: {i} successful inserts vs {r} successful removes"
+            );
+            assert_eq!(
+                present,
+                i == r + 1,
+                "key {k}: presence disagrees with win counts ({i} ins, {r} rem)"
+            );
+        }
     }};
 }
 

@@ -16,7 +16,9 @@ fn random_drive(sched: &Scheduler, pids: &[usize], seed: u64) {
     let mut x = seed | 1;
     let mut live: Vec<usize> = pids.to_vec();
     while !live.is_empty() {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let idx = ((x >> 33) as usize) % live.len();
         let pid = live[idx];
         match sched.peek(pid) {
@@ -70,7 +72,12 @@ fn fr_same_key_inserts_single_winner() {
         }
         let pids: Vec<usize> = ops.iter().map(|o| o.pid()).collect();
         random_drive(&sched, &pids, seed);
-        let wins = ops.into_iter().filter(|_| true).map(|o| o.join()).filter(|&w| w).count();
+        let wins = ops
+            .into_iter()
+            .filter(|_| true)
+            .map(|o| o.join())
+            .filter(|&w| w)
+            .count();
         assert_eq!(wins, 1, "seed {seed}");
         assert_eq!(list.collect_keys(), vec![42], "seed {seed}");
     }
@@ -238,7 +245,9 @@ fn fr_invariants_hold_after_every_step() {
         let mut live: Vec<usize> = ops.iter().map(|o| o.pid()).collect();
         let mut x = seed | 1;
         while !live.is_empty() {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let idx = ((x >> 33) as usize) % live.len();
             let pid = live[idx];
             match sched.peek(pid) {

@@ -38,7 +38,10 @@ fn sequential_tower_operations() {
     let s = sl.clone();
     assert!(run_to_end(&sched, sched.spawn(move |p| s.contains(10, &p))));
     let s = sl.clone();
-    assert!(!run_to_end(&sched, sched.spawn(move |p| s.contains(30, &p))));
+    assert!(!run_to_end(
+        &sched,
+        sched.spawn(move |p| s.contains(30, &p))
+    ));
 }
 
 /// Paper §4: "while a process P is constructing a tower Q, Q's root
@@ -157,7 +160,9 @@ fn skiplist_invariants_hold_after_every_step() {
         let mut live: Vec<usize> = ops.iter().map(|o| o.pid()).collect();
         let mut x = seed | 1;
         while !live.is_empty() {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let idx = ((x >> 33) as usize) % live.len();
             let pid = live[idx];
             match sched.peek(pid) {
