@@ -340,9 +340,22 @@ where
     /// failure (each failure restarts from the top — this is where the
     /// restart penalty accrues).
     unsafe fn descend_retry(&self, k: &K, min_start: usize, guard: &Guard<'_>) -> LevelPairs<K, V> {
+        let mut restarts: u32 = 0;
         loop {
             if let Some(v) = self.descend(k, min_start, guard) {
                 return v;
+            }
+            restarts += 1;
+            // Every restart is triggered by another thread's C&S
+            // landing mid-descent, so a long burst of consecutive
+            // restarts means this thread keeps losing to (and keeps
+            // invalidating) its peers. On an oversubscribed or
+            // single-core machine that mutual invalidation can persist
+            // across whole scheduling quanta; yielding occasionally
+            // lets the operation that would unblock the rest actually
+            // finish. Scheduling aid only — the algorithm is unchanged.
+            if restarts.is_multiple_of(32) {
+                std::thread::yield_now();
             }
         }
     }
@@ -379,7 +392,7 @@ where
         let root = Node::alloc_root(key, value);
         let mut new_node = root;
 
-        for level in 1..=height {
+        'levels: for level in 1..=height {
             if level > 1 {
                 let upper = Node::alloc_upper(new_node, root);
                 (*root).remaining.fetch_add(1, Ordering::SeqCst);
@@ -404,9 +417,46 @@ where
                     levels = self.descend_retry(key_ref, height, guard);
                     continue;
                 }
-                (*new_node)
-                    .succ
-                    .store(TaggedPtr::unmarked(right), Ordering::SeqCst);
+                // Publish the forward pointer. `new_node` is unlinked
+                // but — for level > 1 — not private: `top` already
+                // points at it, and the deleter that marked our root
+                // walks the `top` chain marking every node it finds,
+                // linked or not. A plain store here could erase such a
+                // mark and then link a node the deleter believes is
+                // dead (a mark must be frozen forever once set — the
+                // snip walk and the search termination both rely on
+                // it). C&S from the observed value instead, and treat
+                // a mark as the tower's death sentence.
+                let observed = (*new_node).succ();
+                let doomed = observed.is_marked()
+                    || (*new_node)
+                        .succ
+                        .compare_exchange(
+                            observed,
+                            TaggedPtr::unmarked(right),
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        )
+                        .is_err();
+                if doomed {
+                    // The only other writer to an unlinked node's succ
+                    // is that marking walk, so a C&S failure re-reads
+                    // as marked. The walk started at `top == new_node`
+                    // and marked everything below it, so every linked
+                    // node of the tower is already marked and will be
+                    // snipped; abandoning construction leaks nothing.
+                    debug_assert!(new_node != root, "unlinked root cannot be reached");
+                    debug_assert!((*new_node).is_marked());
+                    debug_assert!((*root).is_marked());
+                    // Undo this never-linked node's accounting and free
+                    // it after grace (the marking deleter still holds a
+                    // reference it obtained under its guard).
+                    (*root).top.store((*new_node).down, Ordering::SeqCst);
+                    (*root).remaining.fetch_sub(1, Ordering::SeqCst);
+                    let addr = new_node as usize;
+                    guard.defer_unchecked(move || drop(Box::from_raw(addr as *mut Node<K, V>)));
+                    break 'levels;
+                }
                 let res = (*left).succ.compare_exchange(
                     TaggedPtr::unmarked(right),
                     TaggedPtr::unmarked(new_node),

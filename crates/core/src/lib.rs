@@ -42,6 +42,7 @@
 //! ```
 
 pub mod list;
+pub(crate) mod pool;
 pub mod pq;
 pub mod skiplist;
 

@@ -6,9 +6,10 @@ use std::sync::atomic::Ordering;
 
 use lf_metrics::CasType;
 use lf_reclaim::Guard;
-use lf_tagged::{TagBits, TaggedPtr};
+use lf_tagged::{Backoff, TagBits, TaggedPtr};
 
 use super::{Bound, FrList, Mode, Node};
+use crate::pool::LocalPool;
 
 impl<K, V> FrList<K, V>
 where
@@ -19,11 +20,13 @@ where
     ///
     /// # Safety
     ///
-    /// `guard` must pin this list's collector.
+    /// `guard` must pin this list's collector; `pool` must front this
+    /// list's shared pool.
     pub(crate) unsafe fn insert_impl(
         &self,
         key: K,
         value: V,
+        pool: &LocalPool<Node<K, V>>,
         guard: &Guard<'_>,
     ) -> Result<(), (K, V)> {
         // Line 1–3: locate the insertion point, reject duplicates.
@@ -31,11 +34,14 @@ where
         if (*prev).key.as_key() == Some(&key) {
             return Err((key, value));
         }
-        // Line 4: create the node (ownership of key/value moves in; we
-        // recover them from the box if the insert ultimately fails).
-        let new_node = Node::alloc(Bound::Key(key), Some(value), ptr::null_mut());
+        // Line 4: create the node on a pooled block (ownership of
+        // key/value moves in; we read them back out if the insert
+        // ultimately fails).
+        let new_node = pool.acquire(1);
+        Node::init_at(new_node, Bound::Key(key), Some(value), ptr::null_mut());
 
         // Lines 5–22.
+        let backoff = Backoff::new();
         loop {
             let prev_succ = (*prev).succ();
             if prev_succ.is_flagged() {
@@ -43,24 +49,37 @@ where
                 // of its successor complete (which removes the flag).
                 self.help_flagged(prev, prev_succ.ptr(), guard);
             } else {
-                // Line 10–11: attempt the insertion C&S (type 1).
+                // Line 10: set the new node's successor. Relaxed: the
+                // node is still thread-private; the Release insertion
+                // C&S below is what publishes this store (and every
+                // other field) to readers that Acquire-load prev.succ.
                 (*new_node)
                     .succ
-                    .store(TaggedPtr::unmarked(next), Ordering::SeqCst);
+                    .store(TaggedPtr::unmarked(next), Ordering::Relaxed);
+                // Line 11: the insertion C&S (type 1). Release on
+                // success publishes the new node's initialization —
+                // the invariant every traversal relies on when it
+                // dereferences a pointer it loaded with Acquire.
+                // Acquire on failure: the value found may be a flagged
+                // pointer whose target we dereference in HelpFlagged.
                 let res = (*prev).succ.compare_exchange(
                     TaggedPtr::unmarked(next),
                     TaggedPtr::unmarked(new_node),
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
+                    Ordering::Release,
+                    Ordering::Acquire,
                 );
                 lf_metrics::record_cas(CasType::Insert, res.is_ok());
                 match res {
                     Ok(_) => {
-                        // Line 12–13: success.
-                        self.len.fetch_add(1, Ordering::SeqCst);
+                        // Line 12–13: success. Relaxed: `len` is a pure
+                        // statistic (never dereferenced, orders nothing).
+                        self.len.fetch_add(1, Ordering::Relaxed);
                         return Ok(());
                     }
                     Err(found) => {
+                        // Contended edge: let the winning thread finish
+                        // before we re-read and retry.
+                        backoff.spin();
                         // Line 15–16: failure due to flagging — help.
                         if found.is_flagged() {
                             self.help_flagged(prev, found.ptr(), guard);
@@ -81,10 +100,14 @@ where
             let (p, n) = self.search_from(key_ref, prev, Mode::Le, guard);
             prev = p;
             next = n;
-            // Line 20–22: a concurrent insert won the key.
+            // Line 20–22: a concurrent insert won the key. The node was
+            // never published, so move key/element back out and return
+            // the block to the thread-local pool.
             if (*prev).key == (*new_node).key {
-                let boxed = Box::from_raw(new_node);
-                match (boxed.key, boxed.element) {
+                let k = ptr::read(&(*new_node).key);
+                let v = ptr::read(&(*new_node).element);
+                pool.release(new_node, 1);
+                match (k, v) {
                     (Bound::Key(k), Some(v)) => return Err((k, v)),
                     _ => unreachable!("new node always carries key and element"),
                 }
@@ -118,8 +141,12 @@ where
         if !result {
             return None;
         }
-        // Line 9: success — this operation owns the deletion.
-        self.len.fetch_sub(1, Ordering::SeqCst);
+        // Line 9: success — this operation owns the deletion. Relaxed:
+        // pure statistic (see `insert_impl`).
+        self.len.fetch_sub(1, Ordering::Relaxed);
+        // Reading `del`'s element is safe: its initialization
+        // happened-before the Acquire load that gave us `del` in
+        // SearchFrom, and the guard keeps it from being reclaimed.
         Some((*del).element.clone().expect("user node has element"))
     }
 
@@ -141,17 +168,25 @@ where
         guard: &Guard<'_>,
     ) -> (*mut Node<K, V>, bool) {
         let flagged = TaggedPtr::new(target, TagBits::Flagged);
+        let backoff = Backoff::new();
         loop {
             // Line 2–3: predecessor already flagged by someone else.
             if (*prev).succ() == flagged {
                 return (prev, false);
             }
-            // Line 4: the flagging C&S.
+            // Line 4: the flagging C&S (type 2). Release on success: the
+            // flag freezes the edge prev → target and is read by helpers
+            // through Acquire loads that then dereference `target`; as
+            // an RMW it extends the release sequence of the C&S that
+            // published `target`, and Release additionally orders this
+            // thread's prior accesses for those helpers. Acquire on
+            // failure: the found pointer may be dereferenced (flagged →
+            // HelpFlagged) or its key read after the backlink walk.
             let res = (*prev).succ.compare_exchange(
                 TaggedPtr::unmarked(target),
                 flagged,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
+                Ordering::Release,
+                Ordering::Acquire,
             );
             lf_metrics::record_cas(CasType::Flag, res.is_ok());
             match res {
@@ -162,6 +197,9 @@ where
                     if found == flagged {
                         return (prev, false);
                     }
+                    // Contended edge: back off before the recovery walk
+                    // and retry (paper Fig. 5 lines 9–13).
+                    backoff.spin();
                     // Line 9–10: recover from marking via backlinks.
                     while (*prev).is_marked() {
                         let back = (*prev).backlink();
@@ -199,8 +237,11 @@ where
         // Line 1: the backlink is set *before* the node can be marked,
         // and every helper writes the same predecessor (the flag freezes
         // the edge prev → del until physical deletion), so the backlink
-        // never changes once set (INV 4).
-        (*del).backlink.store(prev, Ordering::SeqCst);
+        // never changes once set (INV 4). Release: recovery walks
+        // Acquire-load this field and dereference `prev`; the edge
+        // carries the happens-before to prev's initialization (which we
+        // hold from the Acquire load that found the flag).
+        (*del).backlink.store(prev, Ordering::Release);
         // Line 2–3: second deletion step.
         if !(*del).is_marked() {
             self.try_mark(del, guard);
@@ -216,15 +257,22 @@ where
     ///
     /// `del` must be a node of this list protected by `guard`.
     pub(crate) unsafe fn try_mark(&self, del: *mut Node<K, V>, guard: &Guard<'_>) {
+        let backoff = Backoff::new();
         loop {
-            // Line 2: read the right pointer.
+            // Line 2: read the right pointer (Acquire via `right`; the
+            // unlink C&S will re-install `next` into the predecessor).
             let next = (*del).right();
-            // Line 3: attempt to mark.
+            // Line 3: the marking C&S (type 3). Release on success: the
+            // mark freezes `succ` forever (INV 2); unlinkers Acquire-load
+            // the frozen field and install its `next` into the
+            // predecessor, relying on this RMW extending next's release
+            // sequence. Acquire on failure: the found pointer is
+            // dereferenced below when flagged.
             let res = (*del).succ.compare_exchange(
                 TaggedPtr::unmarked(next),
                 TaggedPtr::new(next, TagBits::Marked),
-                Ordering::SeqCst,
-                Ordering::SeqCst,
+                Ordering::Release,
+                Ordering::Acquire,
             );
             lf_metrics::record_cas(CasType::Mark, res.is_ok());
             // Line 4–5: failure due to flagging — help that deletion
@@ -238,6 +286,9 @@ where
             if (*del).is_marked() {
                 return;
             }
+            // Still unmarked: we lost a C&S race on this field; back off
+            // before retrying it.
+            backoff.spin();
         }
     }
 }

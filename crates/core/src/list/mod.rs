@@ -34,8 +34,18 @@ pub use set::{ListSet, SetHandle};
 
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use lf_reclaim::{Collector, LocalHandle};
+use lf_tagged::CachePadded;
+
+use crate::pool::{LocalPool, SharedPool};
+
+/// Operations between epoch-announcement refreshes on a handle (see
+/// `LocalHandle::amortize_pins`): large enough to amortize the two
+/// SeqCst stores away, small enough that reclamation lag stays within
+/// one collect cadence.
+pub(crate) const PIN_AMORTIZE_OPS: u32 = 16;
 
 /// Which comparison `SearchFrom` uses (paper: `SearchFrom` vs
 /// `SearchFrom2`, written `SearchFrom(k − ε)`).
@@ -76,8 +86,16 @@ pub(crate) enum Mode {
 pub struct FrList<K, V> {
     pub(crate) head: *mut Node<K, V>,
     pub(crate) tail: *mut Node<K, V>,
+    /// Declared before `pool` so retire closures fire (returning blocks
+    /// to the pool) before the pool's own `Arc` here is released.
     pub(crate) collector: Collector,
-    pub(crate) len: AtomicUsize,
+    /// Free-block store fed by the epoch collector; handles draw from it
+    /// through per-thread caches.
+    pub(crate) pool: Arc<SharedPool<Node<K, V>>>,
+    /// Cache-line-aligned: every successful insert/delete bumps this
+    /// word; without padding it would false-share with the (read-only)
+    /// head/tail pointers above on the same line.
+    pub(crate) len: CachePadded<AtomicUsize>,
 }
 
 // SAFETY: all shared mutation goes through atomic successor fields and
@@ -117,15 +135,19 @@ where
             head,
             tail,
             collector: Collector::new(),
-            len: AtomicUsize::new(0),
+            pool: SharedPool::new(),
+            len: CachePadded::new(AtomicUsize::new(0)),
         }
     }
 
     /// Register the calling thread and return an operation handle.
     pub fn handle(&self) -> ListHandle<'_, K, V> {
+        let reclaim = self.collector.register();
+        reclaim.amortize_pins(PIN_AMORTIZE_OPS);
         ListHandle {
             list: self,
-            reclaim: self.collector.register(),
+            reclaim,
+            pool: LocalPool::new(Arc::clone(&self.pool)),
         }
     }
 
@@ -164,7 +186,10 @@ impl<K, V> FrList<K, V> {
     /// Number of elements (exact when quiescent; during concurrent
     /// updates it may transiently lag in-flight operations).
     pub fn len(&self) -> usize {
-        self.len.load(Ordering::SeqCst)
+        // Relaxed: the counter is a statistic, not a synchronization
+        // point — it orders nothing and is never dereferenced. Exactness
+        // when quiescent comes from whatever joined the threads.
+        self.len.load(Ordering::Relaxed)
     }
 
     /// Check structural invariants on a **quiescent** list (no
@@ -231,6 +256,8 @@ impl<K, V> Drop for FrList<K, V> {
 pub struct ListHandle<'l, K, V> {
     pub(crate) list: &'l FrList<K, V>,
     pub(crate) reclaim: LocalHandle,
+    /// Thread-private cache of free node blocks.
+    pub(crate) pool: LocalPool<Node<K, V>>,
 }
 
 impl<K, V> fmt::Debug for ListHandle<'_, K, V> {
@@ -255,7 +282,7 @@ where
     pub fn insert(&self, key: K, value: V) -> Result<(), (K, V)> {
         let op = lf_metrics::op_begin();
         let guard = self.reclaim.pin();
-        let res = unsafe { self.list.insert_impl(key, value, &guard) };
+        let res = unsafe { self.list.insert_impl(key, value, &self.pool, &guard) };
         drop(guard);
         lf_metrics::op_end(op);
         res
@@ -369,8 +396,25 @@ where
 
     /// Opportunistically advance reclamation (frees retired nodes whose
     /// grace period elapsed). Called automatically at a fixed cadence.
+    ///
+    /// Also withdraws this handle's amortized epoch announcement (see
+    /// `LocalHandle::quiesce`), so a thread that stops operating can
+    /// stop delaying the whole domain's reclamation.
     pub fn flush_reclamation(&self) {
         self.reclaim.flush();
+    }
+
+    /// Withdraw this handle's standing epoch announcement without
+    /// collecting (see `LocalHandle::quiesce`).
+    ///
+    /// Handles amortize epoch pins: the announcement made by an
+    /// operation stays standing until the 16th next operation, so an
+    /// *idle but registered* handle delays reclamation domain-wide
+    /// exactly like a held guard. Call this (or
+    /// [`flush_reclamation`](Self::flush_reclamation), or drop the
+    /// handle) when the thread will stop operating for a while.
+    pub fn quiesce(&self) {
+        self.reclaim.quiesce();
     }
 }
 

@@ -47,7 +47,9 @@ pub(crate) struct Node<K, V> {
 }
 
 impl<K, V> Node<K, V> {
-    /// Heap-allocate a node with a clean successor pointing at `right`.
+    /// Heap-allocate a node with a clean successor pointing at `right`
+    /// (sentinels and tests; the hot path uses [`Node::init_at`] on
+    /// pool blocks).
     pub(crate) fn alloc(key: Bound<K>, element: Option<V>, right: *mut Node<K, V>) -> *mut Self {
         Box::into_raw(Box::new(Node {
             key,
@@ -57,10 +59,37 @@ impl<K, V> Node<K, V> {
         }))
     }
 
+    /// Initialize a node in place on an uninitialized (fresh or pooled)
+    /// block.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be valid for writes of one `Node<K, V>` and must not
+    /// alias a live node; every field is overwritten.
+    pub(crate) unsafe fn init_at(
+        ptr: *mut Node<K, V>,
+        key: Bound<K>,
+        element: Option<V>,
+        right: *mut Node<K, V>,
+    ) {
+        ptr.write(Node {
+            key,
+            element,
+            succ: AtomicTaggedPtr::new(TaggedPtr::unmarked(right)),
+            backlink: AtomicPtr::new(std::ptr::null_mut()),
+        });
+    }
+
     /// Load the successor field.
+    ///
+    /// Acquire: the `right` pointer in the returned snapshot may be
+    /// dereferenced by the caller, so this load must synchronize with
+    /// the Release C&S that published the pointee's initialization
+    /// (insertion C&S, Fig. 5 line 10; or the unlink C&S, Fig. 3
+    /// `HelpMarked`, which re-publishes its `next` operand).
     #[inline]
     pub(crate) fn succ(&self) -> TaggedPtr<Node<K, V>> {
-        self.succ.load(Ordering::SeqCst)
+        self.succ.load(Ordering::Acquire)
     }
 
     /// The `right` pointer component of the successor field.
@@ -76,9 +105,14 @@ impl<K, V> Node<K, V> {
     }
 
     /// Load the backlink.
+    ///
+    /// Acquire: the returned predecessor is dereferenced by recovery
+    /// walks; pairs with the Release store in `HelpFlagged` (Fig. 4
+    /// line 1) to carry the happens-before edge to the predecessor's
+    /// initialization.
     #[inline]
     pub(crate) fn backlink(&self) -> *mut Node<K, V> {
-        self.backlink.load(Ordering::SeqCst)
+        self.backlink.load(Ordering::Acquire)
     }
 }
 

@@ -107,12 +107,20 @@ where
         del: *mut Node<K, V>,
         guard: &Guard<'_>,
     ) {
+        // Acquire (via `right`): `next` was frozen into del.succ by the
+        // marking C&S; we hold the happens-before to its initialization
+        // before re-publishing it below.
         let next = (*del).right();
+        // The unlink C&S (type 4, Fig. 3). Release on success: installs
+        // `next` into a field other threads Acquire-load and dereference,
+        // so its initialization must be republished here. Relaxed on
+        // failure: the result is discarded — some other helper completed
+        // the physical deletion — and the found value is never used.
         let res = (*prev).succ.compare_exchange(
             TaggedPtr::new(del, TagBits::Flagged),
             TaggedPtr::unmarked(next),
-            Ordering::SeqCst,
-            Ordering::SeqCst,
+            Ordering::Release,
+            Ordering::Relaxed,
         );
         lf_metrics::record_cas(CasType::Unlink, res.is_ok());
         if res.is_ok() {
@@ -123,10 +131,23 @@ where
         }
     }
 
-    /// Queue a physically deleted node for destruction once all current
-    /// pins drain.
+    /// Queue a physically deleted node for recycling once all current
+    /// pins drain: key and element are dropped, the block goes back to
+    /// the list's pool.
     pub(crate) unsafe fn retire(&self, node: *mut Node<K, V>, guard: &Guard<'_>) {
+        let pool = std::sync::Arc::clone(&self.pool);
         let addr = node as usize;
-        guard.defer_unchecked(move || drop(Box::from_raw(addr as *mut Node<K, V>)));
+        guard.defer_unchecked(move || {
+            let node = addr as *mut Node<K, V>;
+            // SAFETY: grace elapsed, so no thread can reach `node`; the
+            // unlink C&S fired this closure exactly once. Key/element
+            // are dropped here; the atomics have no drop glue, so the
+            // block may be recycled as uninitialized memory.
+            unsafe {
+                std::ptr::drop_in_place(&mut (*node).key);
+                std::ptr::drop_in_place(&mut (*node).element);
+                pool.recycle(addr, 1);
+            }
+        });
     }
 }

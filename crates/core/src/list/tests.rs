@@ -165,7 +165,7 @@ fn no_leaks_no_double_free() {
 #[test]
 fn concurrent_disjoint_inserts() {
     const THREADS: u64 = 4;
-    const PER: u64 = 200;
+    const PER: u64 = if cfg!(miri) { 25 } else { 200 };
     let list = Arc::new(FrList::new());
     std::thread::scope(|s| {
         for t in 0..THREADS {
@@ -187,7 +187,7 @@ fn concurrent_disjoint_inserts() {
 #[test]
 fn concurrent_duplicate_inserts_one_winner_per_key() {
     const THREADS: usize = 4;
-    const KEYS: u64 = 100;
+    const KEYS: u64 = if cfg!(miri) { 20 } else { 100 };
     let list = Arc::new(FrList::new());
     let wins = Arc::new(AtomicUsize::new(0));
     std::thread::scope(|s| {
@@ -211,7 +211,7 @@ fn concurrent_duplicate_inserts_one_winner_per_key() {
 #[test]
 fn concurrent_remove_one_winner_per_key() {
     const THREADS: usize = 4;
-    const KEYS: u64 = 100;
+    const KEYS: u64 = if cfg!(miri) { 20 } else { 100 };
     let list = Arc::new(FrList::new());
     {
         let h = list.handle();
@@ -244,7 +244,7 @@ fn concurrent_remove_one_winner_per_key() {
 fn concurrent_insert_delete_adjacent_keys() {
     // Stresses the flag/backlink machinery: inserters and deleters work
     // on neighbouring keys so CAS failures from flagging/marking happen.
-    const ROUNDS: u64 = 300;
+    const ROUNDS: u64 = if cfg!(miri) { 60 } else { 300 };
     let list = Arc::new(FrList::new());
     {
         let h = list.handle();
@@ -294,7 +294,7 @@ fn final_state_matches_sequential_oracle() {
     // Each key is touched by exactly one thread, so the final state is
     // the state of a sequential per-thread history.
     const THREADS: u64 = 4;
-    const PER: u64 = 50;
+    const PER: u64 = if cfg!(miri) { 15 } else { 50 };
     let list = Arc::new(FrList::new());
     std::thread::scope(|s| {
         for t in 0..THREADS {

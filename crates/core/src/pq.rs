@@ -104,7 +104,10 @@ where
 {
     /// Enqueue `item` with `priority` (lower pops first).
     pub fn push(&self, priority: P, item: T) {
-        let seq = self.queue.seq.fetch_add(1, Ordering::SeqCst);
+        // Relaxed: only uniqueness of the tickets matters (the RMW's
+        // atomicity alone guarantees that); FIFO among equal priorities
+        // needs nothing more — concurrent pushes are unordered anyway.
+        let seq = self.queue.seq.fetch_add(1, Ordering::Relaxed);
         self.inner
             .insert((priority, seq), item)
             .unwrap_or_else(|_| unreachable!("(priority, seq) keys are unique"));
@@ -183,6 +186,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // O(n^2) delete-min contention: too slow interpreted
     fn concurrent_pops_each_item_exactly_once() {
         const ITEMS: u64 = 400;
         let pq = Arc::new(PriorityQueue::new());
@@ -218,6 +222,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // unbounded idle-polling loop: too slow interpreted
     fn concurrent_push_pop_churn() {
         let pq = Arc::new(PriorityQueue::new());
         let popped = Arc::new(std::sync::atomic::AtomicUsize::new(0));

@@ -37,7 +37,9 @@ where
             // success), or the node vanished first.
             return None;
         }
-        self.len.fetch_sub(1, Ordering::SeqCst);
+        // Relaxed: `len` is a pure statistic (never dereferenced,
+        // orders nothing).
+        self.len.fetch_sub(1, Ordering::Relaxed);
         // The root is retired only when the whole tower's references
         // drain, and we hold a guard — the element stays readable.
         let value = (*del).element.clone().expect("root node has element");

@@ -1,14 +1,16 @@
 //! `Insert_SL`: bottom-up tower construction (paper §4).
 
+use std::ptr;
 use std::sync::atomic::Ordering;
 
 use lf_metrics::CasType;
 use lf_reclaim::Guard;
-use lf_tagged::TaggedPtr;
+use lf_tagged::{Backoff, TaggedPtr};
 use rand::Rng;
 
 use super::node::SkipNode;
 use super::{Bound, Mode, SkipList};
+use crate::pool::LocalPool;
 
 /// Result of a single-level `InsertNode`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -37,6 +39,10 @@ where
 
     /// `Insert_SL(k, e)`: insert a tower for `key`, bottom-up.
     ///
+    /// The height is drawn up front so the whole tower is carved from
+    /// one contiguous pool block (see [`SkipNode`]); node `i` of the
+    /// block serves level `i + 1`.
+    ///
     /// Linearizes when the root node is linked. If the root gets marked
     /// (by a concurrent deletion) while upper levels are still being
     /// built, construction stops — and if a node was just linked into
@@ -44,11 +50,13 @@ where
     ///
     /// # Safety
     ///
-    /// `guard` must pin this list's collector.
+    /// `guard` must pin this list's collector; `pool` must front this
+    /// list's shared pool.
     pub(crate) unsafe fn insert_impl(
         &self,
         key: K,
         value: V,
+        pool: &LocalPool<SkipNode<K, V>>,
         guard: &Guard<'_>,
     ) -> Result<(), (K, V)> {
         let (mut prev, mut next) = self.search_to_level(&key, 1, Mode::Le, guard);
@@ -56,7 +64,8 @@ where
             return Err((key, value));
         }
         let height = self.random_height();
-        let root = SkipNode::alloc_root(key, value);
+        let root = pool.acquire(height);
+        SkipNode::init_tower_at(root, height, key, value);
         let mut new_node = root;
         let mut cur_level = 1usize;
 
@@ -64,10 +73,13 @@ where
             let result = self.insert_node(new_node, &mut prev, &mut next, guard);
 
             if result == LevelInsert::Duplicate && cur_level == 1 {
-                // The root was never published; free it directly and
-                // hand the pair back.
-                let boxed = Box::from_raw(root);
-                match (boxed.key, boxed.element) {
+                // The root was never published; move key/element back
+                // out, return the block to the pool, and hand the pair
+                // back.
+                let k = ptr::read(&(*root).key);
+                let v = ptr::read(&(*root).element);
+                pool.release(root, height);
+                match (k, v) {
                     (Bound::Key(k), Some(v)) => return Err((k, v)),
                     _ => unreachable!("root carries key and element"),
                 }
@@ -75,7 +87,9 @@ where
 
             if result == LevelInsert::Inserted && cur_level == 1 {
                 // Linearization point of a successful insertion.
-                self.len.fetch_add(1, Ordering::SeqCst);
+                // Relaxed: `len` is a pure statistic (never
+                // dereferenced, orders nothing).
+                self.len.fetch_add(1, Ordering::Relaxed);
             }
 
             if (*root).is_marked() {
@@ -99,7 +113,8 @@ where
                     }
                     LevelInsert::Duplicate => {
                         // `new_node` (an upper node) was never linked:
-                        // undo its tower accounting and free it.
+                        // undo its tower accounting. The node itself is
+                        // part of the root's block and needs no freeing.
                         self.abandon_upper(root, new_node);
                     }
                     _ => {}
@@ -125,11 +140,17 @@ where
                 return Ok(());
             }
 
-            // Grow the tower: account for the new node before it can be
-            // linked (and thus unlinked) by anyone.
-            let upper = SkipNode::alloc_upper(new_node, root);
-            (*root).remaining.fetch_add(1, Ordering::SeqCst);
-            (*root).top.store(upper, Ordering::SeqCst);
+            // Grow the tower: the next block element is the next level's
+            // node. Account for it before it can be linked (and thus
+            // unlinked) by anyone. Relaxed increment: we hold the
+            // construction reference, so the count cannot reach zero
+            // concurrently (same argument as `Arc::clone`); our final
+            // `release_tower_ref` (an AcqRel RMW on the same counter)
+            // orders everything done here before the last decrement.
+            let upper = root.add(cur_level - 1);
+            (*root).remaining.fetch_add(1, Ordering::Relaxed);
+            // Relaxed: `top` is consulted only by quiescent diagnostics.
+            (*root).top.store(upper, Ordering::Relaxed);
             new_node = upper;
 
             let key_ref = (*root).key.as_key().expect("root has user key");
@@ -139,18 +160,21 @@ where
         }
     }
 
-    /// Undo the accounting for a never-linked upper node and free it.
+    /// Undo the accounting for a never-linked upper node. The node stays
+    /// where it is — inside the root's block — and is reclaimed with it.
     ///
     /// # Safety
     ///
     /// Caller is the inserting thread (sole writer of `top`), still
     /// holding the construction reference; `upper` was never linked.
     unsafe fn abandon_upper(&self, root: *mut SkipNode<K, V>, upper: *mut SkipNode<K, V>) {
-        (*root).top.store((*upper).down, Ordering::SeqCst);
+        // Relaxed stores: same argument as the growth accounting above —
+        // the construction reference's own AcqRel release publishes
+        // these to the eventual freeing thread.
+        (*root).top.store((*upper).down, Ordering::Relaxed);
         // Cannot hit zero: we still hold the construction reference.
-        let prev = (*root).remaining.fetch_sub(1, Ordering::SeqCst);
+        let prev = (*root).remaining.fetch_sub(1, Ordering::Relaxed);
         debug_assert!(prev >= 2);
-        drop(Box::from_raw(upper));
     }
 
     /// `InsertNode`: the linked-list insertion loop (paper Fig. 5 lines
@@ -159,9 +183,9 @@ where
     ///
     /// # Safety
     ///
-    /// `new_node` is unpublished and owned by the caller; `*prev` and
-    /// `*next` are nodes of one level protected by `guard` bracketing
-    /// `new_node`'s key.
+    /// `new_node` is unpublished at this level and owned by the caller;
+    /// `*prev` and `*next` are nodes of one level protected by `guard`
+    /// bracketing `new_node`'s key.
     pub(crate) unsafe fn insert_node(
         &self,
         new_node: *mut SkipNode<K, V>,
@@ -172,24 +196,38 @@ where
         if (**prev).key_ref() == (*new_node).key_ref() {
             return LevelInsert::Duplicate;
         }
+        let backoff = Backoff::new();
         loop {
             let prev_succ = (**prev).succ();
             if prev_succ.is_flagged() {
                 self.help_flagged(*prev, prev_succ.ptr(), guard);
             } else {
+                // Relaxed: `new_node` is still unlinked at this level;
+                // the Release insertion C&S below is what publishes
+                // this store (and the node's initialization) to readers
+                // that Acquire-load prev.succ.
                 (*new_node)
                     .succ
-                    .store(TaggedPtr::unmarked(*next), Ordering::SeqCst);
+                    .store(TaggedPtr::unmarked(*next), Ordering::Relaxed);
+                // The insertion C&S (type 1, Fig. 5 line 11). Release
+                // on success publishes the new node's initialization —
+                // the invariant every traversal relies on when it
+                // dereferences a pointer it loaded with Acquire.
+                // Acquire on failure: the found pointer may be
+                // dereferenced (flagged → HelpFlagged).
                 let res = (**prev).succ.compare_exchange(
                     TaggedPtr::unmarked(*next),
                     TaggedPtr::unmarked(new_node),
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
+                    Ordering::Release,
+                    Ordering::Acquire,
                 );
                 lf_metrics::record_cas(CasType::Insert, res.is_ok());
                 match res {
                     Ok(_) => return LevelInsert::Inserted,
                     Err(found) => {
+                        // Contended edge: let the winner finish before
+                        // re-reading and retrying.
+                        backoff.spin();
                         if found.is_flagged() {
                             self.help_flagged(*prev, found.ptr(), guard);
                         }

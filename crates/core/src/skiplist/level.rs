@@ -7,7 +7,7 @@ use std::sync::atomic::Ordering;
 
 use lf_metrics::CasType;
 use lf_reclaim::Guard;
-use lf_tagged::{TagBits, TaggedPtr};
+use lf_tagged::{Backoff, TagBits, TaggedPtr};
 
 use super::node::SkipNode;
 use super::SkipList;
@@ -86,15 +86,24 @@ where
         guard: &Guard<'_>,
     ) -> (*mut SkipNode<K, V>, FlagStatus, bool) {
         let flagged = TaggedPtr::new(target, TagBits::Flagged);
+        let backoff = Backoff::new();
         loop {
             if (*prev).succ() == flagged {
                 return (prev, FlagStatus::In, false);
             }
+            // The flagging C&S (type 2). Release on success: the flag
+            // freezes the edge prev → target and is read by helpers
+            // through Acquire loads that then dereference `target`; as
+            // an RMW it extends the release sequence of the C&S that
+            // published `target`, and Release additionally orders this
+            // thread's prior accesses for those helpers. Acquire on
+            // failure: the found pointer may be dereferenced (flagged →
+            // HelpFlagged) or its key read after the backlink walk.
             let res = (*prev).succ.compare_exchange(
                 TaggedPtr::unmarked(target),
                 flagged,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
+                Ordering::Release,
+                Ordering::Acquire,
             );
             lf_metrics::record_cas(CasType::Flag, res.is_ok());
             match res {
@@ -103,6 +112,8 @@ where
                     if found == flagged {
                         return (prev, FlagStatus::In, false);
                     }
+                    // Contended edge: back off before the recovery walk.
+                    backoff.spin();
                     while (*prev).is_marked() {
                         let back = (*prev).backlink();
                         debug_assert!(!back.is_null(), "marked node lacks backlink");
@@ -133,7 +144,14 @@ where
         del: *mut SkipNode<K, V>,
         guard: &Guard<'_>,
     ) {
-        (*del).backlink.store(prev, Ordering::SeqCst);
+        // The backlink is set *before* the node can be marked, and
+        // every helper writes the same predecessor (the flag freezes
+        // the edge prev → del until physical deletion), so it never
+        // changes once set (INV 4). Release: recovery walks
+        // Acquire-load this field and dereference `prev`; the edge
+        // carries the happens-before to prev's initialization (which we
+        // hold from the Acquire load that found the flag).
+        (*del).backlink.store(prev, Ordering::Release);
         if !(*del).is_marked() {
             self.try_mark(del, guard);
         }
@@ -146,13 +164,20 @@ where
     ///
     /// `del` protected by `guard`.
     pub(crate) unsafe fn try_mark(&self, del: *mut SkipNode<K, V>, guard: &Guard<'_>) {
+        let backoff = Backoff::new();
         loop {
             let next = (*del).right();
+            // The marking C&S (type 3). Release on success: the mark
+            // freezes `succ` forever (INV 2); unlinkers Acquire-load
+            // the frozen field and re-install its `next` into the
+            // predecessor, relying on this RMW extending next's release
+            // sequence. Acquire on failure: the found pointer is
+            // dereferenced below when flagged.
             let res = (*del).succ.compare_exchange(
                 TaggedPtr::unmarked(next),
                 TaggedPtr::new(next, TagBits::Marked),
-                Ordering::SeqCst,
-                Ordering::SeqCst,
+                Ordering::Release,
+                Ordering::Acquire,
             );
             lf_metrics::record_cas(CasType::Mark, res.is_ok());
             if let Err(found) = res {
@@ -163,6 +188,9 @@ where
             if (*del).is_marked() {
                 return;
             }
+            // Still unmarked: we lost a C&S race on this field; back
+            // off before retrying it.
+            backoff.spin();
         }
     }
 
@@ -179,12 +207,21 @@ where
         del: *mut SkipNode<K, V>,
         guard: &Guard<'_>,
     ) {
+        // Acquire (via `right`): `next` was frozen into del.succ by the
+        // marking C&S; we hold the happens-before to its initialization
+        // before re-publishing it below.
         let next = (*del).right();
+        // The unlink C&S (type 4). Release on success: installs `next`
+        // into a field other threads Acquire-load and dereference, so
+        // its initialization must be republished here. Relaxed on
+        // failure: the result is discarded — some other helper
+        // completed the physical deletion — and the found value is
+        // never used.
         let res = (*prev).succ.compare_exchange(
             TaggedPtr::new(del, TagBits::Flagged),
             TaggedPtr::unmarked(next),
-            Ordering::SeqCst,
-            Ordering::SeqCst,
+            Ordering::Release,
+            Ordering::Relaxed,
         );
         lf_metrics::record_cas(CasType::Unlink, res.is_ok());
         if res.is_ok() {
@@ -192,26 +229,40 @@ where
         }
     }
 
-    /// Release one reference on `root`'s tower; retire the entire tower
-    /// (root and every upper node, via the `top` chain) once the count
-    /// reaches zero.
+    /// Release one reference on `root`'s tower; retire the tower's
+    /// contiguous block once the count reaches zero.
     ///
     /// # Safety
     ///
     /// `root` must be a tower root protected by `guard`; each reference
     /// (linked node or construction reference) is released exactly once.
     pub(crate) unsafe fn release_tower_ref(&self, root: *mut SkipNode<K, V>, guard: &Guard<'_>) {
-        if (*root).remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
-            // Last reference: every node of the tower is unlinked and
-            // construction has finished, so `top` is final and the whole
-            // tower is unreachable to new operations.
-            let mut cur = (*root).top.load(Ordering::SeqCst);
-            while !cur.is_null() {
-                let down = (*cur).down;
-                let addr = cur as usize;
-                guard.defer_unchecked(move || drop(Box::from_raw(addr as *mut SkipNode<K, V>)));
-                cur = down;
-            }
+        // AcqRel, exactly as `Arc`'s strong-count drop: Release so each
+        // releasing thread's prior accesses to tower nodes
+        // happen-before the final decrement (via the RMW chain on this
+        // counter), Acquire so the final decrementer sees them all
+        // before retiring the block.
+        if (*root).remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last reference: every linked node of the tower is
+            // unlinked and construction has finished, so the whole
+            // block is unreachable to new operations. Retire it with a
+            // single pool release; only the root carries owned data.
+            let pool = std::sync::Arc::clone(&self.pool);
+            let addr = root as usize;
+            let cap = (*root).height;
+            guard.defer_unchecked(move || {
+                let root = addr as *mut SkipNode<K, V>;
+                // SAFETY: grace elapsed, so no thread can reach any
+                // node of the block; the zero-crossing decrement fired
+                // this closure exactly once. Key/element are dropped
+                // here; the other fields have no drop glue, so the
+                // block may be recycled as uninitialized memory.
+                unsafe {
+                    std::ptr::drop_in_place(&mut (*root).key);
+                    std::ptr::drop_in_place(&mut (*root).element);
+                    pool.recycle(addr, cap);
+                }
+            });
         }
     }
 }

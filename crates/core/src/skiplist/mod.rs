@@ -26,10 +26,13 @@ pub(crate) use node::SkipNode;
 
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use lf_reclaim::{Collector, Guard, LocalHandle};
+use lf_tagged::CachePadded;
 
-use crate::list::{Bound, Mode};
+use crate::list::{Bound, Mode, PIN_AMORTIZE_OPS};
+use crate::pool::{LocalPool, SharedPool};
 
 /// Default number of levels (towers grow to at most one less, so the
 /// top level is always empty and descent can start there).
@@ -62,8 +65,15 @@ pub struct SkipList<K, V> {
     /// `heads[i]`/`tails[i]` are the sentinels of level `i + 1`.
     pub(crate) heads: Vec<*mut SkipNode<K, V>>,
     pub(crate) tails: Vec<*mut SkipNode<K, V>>,
+    /// Declared before `pool`: the collector's drop runs the deferred
+    /// tower retirements (which recycle blocks into the pool) before
+    /// the pool's drop frees the blocks themselves.
     pub(crate) collector: Collector,
-    pub(crate) len: AtomicUsize,
+    /// Recycles tower blocks, bucketed by height.
+    pub(crate) pool: Arc<SharedPool<SkipNode<K, V>>>,
+    /// Cache-padded: this counter is hammered by every successful
+    /// update and must not share a line with the read-mostly fields.
+    pub(crate) len: CachePadded<AtomicUsize>,
     pub(crate) max_level: usize,
 }
 
@@ -117,9 +127,12 @@ where
             let tail = node::SkipNode::alloc_sentinel(Bound::PosInf, below.1);
             let head = node::SkipNode::alloc_sentinel(Bound::NegInf, below.0);
             unsafe {
+                // Relaxed: the list is not yet shared; `Self` is
+                // published to other threads by whatever synchronizes
+                // the `SkipList` value itself (e.g. `Arc`).
                 (*head)
                     .succ
-                    .store(lf_tagged::TaggedPtr::unmarked(tail), Ordering::SeqCst);
+                    .store(lf_tagged::TaggedPtr::unmarked(tail), Ordering::Relaxed);
             }
             heads.push(head);
             tails.push(tail);
@@ -129,16 +142,23 @@ where
             heads,
             tails,
             collector: Collector::new(),
-            len: AtomicUsize::new(0),
+            pool: SharedPool::new(),
+            len: CachePadded::new(AtomicUsize::new(0)),
             max_level,
         }
     }
 
     /// Register the calling thread and return an operation handle.
     pub fn handle(&self) -> SkipListHandle<'_, K, V> {
+        let reclaim = self.collector.register();
+        // Amortize epoch announcements across operations; handle drop
+        // (or an explicit `flush_reclamation`) withdraws the standing
+        // announcement.
+        reclaim.amortize_pins(PIN_AMORTIZE_OPS);
         SkipListHandle {
             list: self,
-            reclaim: self.collector.register(),
+            reclaim,
+            pool: LocalPool::new(Arc::clone(&self.pool)),
         }
     }
 
@@ -237,7 +257,9 @@ where
 impl<K, V> SkipList<K, V> {
     /// Number of elements (exact when quiescent).
     pub fn len(&self) -> usize {
-        self.len.load(Ordering::SeqCst)
+        // Relaxed: a pure statistic — the value is never dereferenced
+        // and orders nothing.
+        self.len.load(Ordering::Relaxed)
     }
 
     /// Whether the skip list holds no elements.
@@ -262,7 +284,9 @@ impl<K, V> SkipList<K, V> {
             while cur != self.tails[0] {
                 let root = (*cur).tower_root;
                 let mut h = 0;
-                let mut t = (*root).top.load(Ordering::SeqCst);
+                // Relaxed: quiescent diagnostic — `top` is final once
+                // every construction reference has been released.
+                let mut t = (*root).top.load(Ordering::Relaxed);
                 while !t.is_null() {
                     h += 1;
                     t = (*t).down;
@@ -329,29 +353,29 @@ impl<K, V> SkipList<K, V> {
 impl<K, V> Drop for SkipList<K, V> {
     fn drop(&mut self) {
         // Unique access. Towers may be partially unlinked (some levels
-        // already removed, others still linked), so collect the full
-        // membership: every node linked on some level, expanded to its
-        // whole tower via the root's `top` chain. Towers whose last
-        // reference was already released are disjoint from this set and
-        // are freed by the collector below.
-        let mut seen = std::collections::HashSet::new();
+        // already removed, others still linked), but every node of a
+        // tower lives inside its root's contiguous block, so collecting
+        // the distinct roots reachable from any level covers all live
+        // towers. Towers whose last reference was already released are
+        // disjoint from this set and are recycled by the collector's
+        // drop (which runs before the pool's — field order).
+        let mut roots = std::collections::HashSet::new();
         for level in 0..self.max_level {
             let mut cur = unsafe { (*self.heads[level]).right() };
             while cur != self.tails[level] {
-                let root = unsafe { (*cur).tower_root };
-                if seen.insert(root) {
-                    let mut t = unsafe { (*root).top.load(Ordering::SeqCst) };
-                    while !t.is_null() {
-                        seen.insert(t);
-                        t = unsafe { (*t).down };
-                    }
-                }
-                seen.insert(cur);
+                roots.insert(unsafe { (*cur).tower_root });
                 cur = unsafe { (*cur).right() };
             }
         }
-        for node in seen {
-            drop(unsafe { Box::from_raw(node) });
+        for root in roots {
+            unsafe {
+                // Only the root carries owned data; upper nodes hold
+                // placeholder key/element that own nothing.
+                std::ptr::drop_in_place(&mut (*root).key);
+                std::ptr::drop_in_place(&mut (*root).element);
+                let cap = (*root).height;
+                self.pool.recycle(root as usize, cap);
+            }
         }
         for level in 0..self.max_level {
             drop(unsafe { Box::from_raw(self.heads[level]) });
@@ -364,6 +388,8 @@ impl<K, V> Drop for SkipList<K, V> {
 pub struct SkipListHandle<'l, K, V> {
     pub(crate) list: &'l SkipList<K, V>,
     pub(crate) reclaim: LocalHandle,
+    /// Thread-local front for the list's tower-block pool.
+    pub(crate) pool: LocalPool<SkipNode<K, V>>,
 }
 
 impl<K, V> fmt::Debug for SkipListHandle<'_, K, V> {
@@ -386,7 +412,7 @@ where
     pub fn insert(&self, key: K, value: V) -> Result<(), (K, V)> {
         let op = lf_metrics::op_begin();
         let guard = self.reclaim.pin();
-        let res = unsafe { self.list.insert_impl(key, value, &guard) };
+        let res = unsafe { self.list.insert_impl(key, value, &self.pool, &guard) };
         drop(guard);
         lf_metrics::op_end(op);
         res
@@ -528,9 +554,20 @@ where
         self.list
     }
 
-    /// Opportunistically advance reclamation.
+    /// Opportunistically advance reclamation. Withdraws this handle's
+    /// standing epoch announcement (see `LocalHandle::quiesce`) first,
+    /// so garbage blocked on it can be freed.
     pub fn flush_reclamation(&self) {
         self.reclaim.flush();
+    }
+
+    /// Withdraw this handle's standing epoch announcement without
+    /// collecting (see `LocalHandle::quiesce`). An idle but registered
+    /// handle otherwise delays reclamation domain-wide exactly like a
+    /// held guard; call this (or drop the handle) when the thread will
+    /// stop operating for a while.
+    pub fn quiesce(&self) {
+        self.reclaim.quiesce();
     }
 }
 

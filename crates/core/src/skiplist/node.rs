@@ -1,4 +1,5 @@
-//! Skip list node layout: towers of per-level nodes (paper Fig. 6).
+//! Skip list node layout: towers of per-level nodes (paper Fig. 6),
+//! allocated as one contiguous block per tower.
 
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 
@@ -17,8 +18,21 @@ pub(crate) use crate::list::Bound;
 /// * `tower_root` — the tower's level-1 node, consulted to detect
 ///   *superfluous* towers (root marked);
 /// * `element` — the value, stored only in root nodes;
-/// * `remaining`/`top` — tower lifetime accounting (see below), only
-///   meaningful on root nodes.
+/// * `height`/`remaining`/`top` — tower layout and lifetime accounting
+///   (see below), only meaningful on root nodes.
+///
+/// # Contiguous tower blocks
+///
+/// A tower's height is drawn *before* construction starts, so all of
+/// its nodes are carved from **one** pool allocation of `height`
+/// consecutive `SkipNode`s: element 0 is the root, element `i` the
+/// level-`i+1` node, with `down` pointing at element `i - 1`. A descent
+/// through a tower therefore walks backwards through one cache-local
+/// block instead of chasing `height` separate heap objects, and the
+/// whole tower is recycled with a single pool release (`height` is the
+/// block's capacity). Nodes above the level actually reached during
+/// construction stay initialized but unlinked; they are dead weight
+/// inside the block and are reclaimed with it.
 ///
 /// # Tower lifetime
 ///
@@ -28,9 +42,10 @@ pub(crate) use crate::list::Bound;
 /// linked into a level list plus one *construction reference* held by
 /// the inserter while it is still growing the tower. Each physical
 /// unlink (the type-4 C&S) releases one reference; when the count hits
-/// zero the releasing thread retires the whole tower by walking `top`'s
-/// `down` chain. `top` is written only by the single inserting thread
-/// and is final once the construction reference is dropped.
+/// zero the releasing thread retires the tower's block. `top` is
+/// written only by the single inserting thread and is final once the
+/// construction reference is dropped; it is consulted only by
+/// quiescent diagnostics (tower census, validation).
 #[repr(align(8))]
 pub(crate) struct SkipNode<K, V> {
     pub(crate) key: Bound<K>,
@@ -45,67 +60,72 @@ pub(crate) struct SkipNode<K, V> {
     pub(crate) down: *mut SkipNode<K, V>,
     /// The tower's root node (self for roots and sentinels). Immutable.
     pub(crate) tower_root: *mut SkipNode<K, V>,
+    /// Root only: number of nodes in the tower's contiguous block —
+    /// the capacity handed back to the pool on retirement. Immutable.
+    pub(crate) height: usize,
     /// Root only: outstanding references keeping the tower alive.
     pub(crate) remaining: AtomicUsize,
-    /// Root only: highest node of the tower. Written only by the
-    /// inserting thread while it holds the construction reference.
+    /// Root only: highest *linked* node of the tower. Written only by
+    /// the inserting thread while it holds the construction reference.
     pub(crate) top: AtomicPtr<SkipNode<K, V>>,
 }
 
 impl<K, V> SkipNode<K, V> {
-    /// Allocate a root node for a new tower.
+    /// Initialize a whole tower of `height` nodes in place on an
+    /// uninitialized (fresh or pooled) block of `height` consecutive
+    /// `SkipNode`s.
     ///
-    /// `remaining` starts at 2: one reference for the root being linked
-    /// into level 1 and one construction reference held by the inserter.
+    /// Element 0 becomes the root (carrying `key` and `element`,
+    /// `remaining = 2`: one reference for the root being linked into
+    /// level 1 plus the inserter's construction reference); elements
+    /// `1..height` become the upper-level nodes, `down`-chained into the
+    /// block. Upper nodes do not store the key themselves —
+    /// [`Self::key_ref`] reads it through `tower_root` — so their `key`
+    /// field is a placeholder that is never consulted (and owns nothing,
+    /// so retirement need not drop it).
+    ///
     /// If the level-1 insertion reports a duplicate the root was never
-    /// published and is freed directly instead.
-    pub(crate) fn alloc_root(key: K, element: V) -> *mut Self {
-        let node = Box::into_raw(Box::new(SkipNode {
+    /// published; the caller moves `key`/`element` back out and releases
+    /// the block directly.
+    ///
+    /// # Safety
+    ///
+    /// `block` must be valid for writes of `height` `SkipNode<K, V>`s
+    /// and must not alias live nodes; every field of every element is
+    /// overwritten. `height >= 1`.
+    pub(crate) unsafe fn init_tower_at(block: *mut Self, height: usize, key: K, element: V) {
+        debug_assert!(height >= 1);
+        block.write(SkipNode {
             key: Bound::Key(key),
             element: Some(element),
             succ: AtomicTaggedPtr::new(TaggedPtr::null()),
             backlink: AtomicPtr::new(std::ptr::null_mut()),
             down: std::ptr::null_mut(),
-            tower_root: std::ptr::null_mut(),
+            tower_root: block,
+            height,
             remaining: AtomicUsize::new(2),
-            top: AtomicPtr::new(std::ptr::null_mut()),
-        }));
-        unsafe {
-            (*node).tower_root = node;
-            (*node).top.store(node, Ordering::SeqCst);
+            top: AtomicPtr::new(block),
+        });
+        for i in 1..height {
+            block.add(i).write(SkipNode {
+                key: Bound::NegInf,
+                element: None,
+                succ: AtomicTaggedPtr::new(TaggedPtr::null()),
+                backlink: AtomicPtr::new(std::ptr::null_mut()),
+                down: block.add(i - 1),
+                tower_root: block,
+                height: 0,
+                remaining: AtomicUsize::new(0),
+                top: AtomicPtr::new(std::ptr::null_mut()),
+            });
         }
-        node
-    }
-
-    /// Allocate an upper-level node of an existing tower.
-    ///
-    /// Upper nodes do not store the key themselves — [`Self::key_ref`]
-    /// reads it through `tower_root` — so the stored `key` field is a
-    /// placeholder that is never consulted.
-    ///
-    /// The caller must bump the root's `remaining` and advance its `top`
-    /// before linking the node (and undo both if the link is abandoned).
-    pub(crate) fn alloc_upper(
-        down: *mut SkipNode<K, V>,
-        tower_root: *mut SkipNode<K, V>,
-    ) -> *mut Self {
-        Box::into_raw(Box::new(SkipNode {
-            key: Bound::NegInf,
-            element: None,
-            succ: AtomicTaggedPtr::new(TaggedPtr::null()),
-            backlink: AtomicPtr::new(std::ptr::null_mut()),
-            down,
-            tower_root,
-            remaining: AtomicUsize::new(0),
-            top: AtomicPtr::new(std::ptr::null_mut()),
-        }))
     }
 
     /// Allocate a head or tail sentinel node for one level.
     ///
     /// Sentinels are their own tower root, are never marked, and their
     /// `remaining` is never released (they are freed by the skip list's
-    /// `Drop`).
+    /// `Drop`, as individual `Box`es — they never touch the pool).
     pub(crate) fn alloc_sentinel(key: Bound<K>, down: *mut SkipNode<K, V>) -> *mut Self {
         let node = Box::into_raw(Box::new(SkipNode {
             key,
@@ -114,12 +134,13 @@ impl<K, V> SkipNode<K, V> {
             backlink: AtomicPtr::new(std::ptr::null_mut()),
             down,
             tower_root: std::ptr::null_mut(),
+            height: 1,
             remaining: AtomicUsize::new(1),
             top: AtomicPtr::new(std::ptr::null_mut()),
         }));
         unsafe {
             (*node).tower_root = node;
-            (*node).top.store(node, Ordering::SeqCst);
+            (*node).top.store(node, Ordering::Relaxed);
         }
         node
     }
@@ -138,9 +159,16 @@ impl<K, V> SkipNode<K, V> {
     }
 
     /// Load the successor field.
+    ///
+    /// Acquire: the `right` pointer in the returned snapshot may be
+    /// dereferenced by the caller, so this load must synchronize with
+    /// the Release C&S that published the pointee's initialization (the
+    /// insertion C&S of `InsertNode`, or the unlink C&S of
+    /// `HelpMarked`, which re-publishes its `next` operand) — see
+    /// DESIGN.md §9.
     #[inline]
     pub(crate) fn succ(&self) -> TaggedPtr<SkipNode<K, V>> {
-        self.succ.load(Ordering::SeqCst)
+        self.succ.load(Ordering::Acquire)
     }
 
     /// The `right` pointer component of the successor field.
@@ -167,43 +195,66 @@ impl<K, V> SkipNode<K, V> {
     }
 
     /// Load the backlink.
+    ///
+    /// Acquire: the returned predecessor is dereferenced by recovery
+    /// walks; pairs with the Release store in `HelpFlagged` to carry
+    /// the happens-before edge to the predecessor's initialization.
     #[inline]
     pub(crate) fn backlink(&self) -> *mut SkipNode<K, V> {
-        self.backlink.load(Ordering::SeqCst)
+        self.backlink.load(Ordering::Acquire)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::alloc::{alloc, dealloc, Layout};
     use std::sync::atomic::Ordering;
+
+    /// Allocate and initialize a tower block directly (tests only; the
+    /// hot path goes through the node pool).
+    unsafe fn tower(height: usize, key: u32, element: u32) -> *mut SkipNode<u32, u32> {
+        let layout = Layout::array::<SkipNode<u32, u32>>(height).unwrap();
+        let block = alloc(layout) as *mut SkipNode<u32, u32>;
+        SkipNode::init_tower_at(block, height, key, element);
+        block
+    }
+
+    unsafe fn free_tower(block: *mut SkipNode<u32, u32>, height: usize) {
+        let layout = Layout::array::<SkipNode<u32, u32>>(height).unwrap();
+        std::ptr::drop_in_place(&mut (*block).key);
+        std::ptr::drop_in_place(&mut (*block).element);
+        dealloc(block as *mut u8, layout);
+    }
 
     #[test]
     fn root_invariants() {
-        let r = SkipNode::<u32, u32>::alloc_root(5, 50);
         unsafe {
+            let r = tower(1, 5, 50);
             assert_eq!((*r).tower_root, r);
-            assert_eq!((*r).top.load(Ordering::SeqCst), r);
-            assert_eq!((*r).remaining.load(Ordering::SeqCst), 2);
+            assert_eq!((*r).top.load(Ordering::Relaxed), r);
+            assert_eq!((*r).remaining.load(Ordering::Relaxed), 2);
+            assert_eq!((*r).height, 1);
             assert!((*r).down.is_null());
             assert_eq!((*r).element, Some(50));
             assert!(!(*r).is_superfluous());
-            drop(Box::from_raw(r));
+            free_tower(r, 1);
         }
     }
 
     #[test]
-    fn upper_links_to_root_and_shares_key() {
-        let r = SkipNode::<u32, u32>::alloc_root(5, 50);
-        let u = SkipNode::alloc_upper(r, r);
+    fn tower_block_is_down_chained_and_shares_key() {
         unsafe {
-            assert_eq!((*u).down, r);
-            assert_eq!((*u).tower_root, r);
-            assert_eq!((*u).element, None);
-            assert_eq!((*u).key_ref(), &Bound::Key(5));
+            let r = tower(3, 5, 50);
+            for i in 1..3 {
+                let u = r.add(i);
+                assert_eq!((*u).down, r.add(i - 1));
+                assert_eq!((*u).tower_root, r);
+                assert_eq!((*u).element, None);
+                assert_eq!((*u).key_ref(), &Bound::Key(5));
+            }
             assert_eq!((*r).key_ref(), &Bound::Key(5));
-            drop(Box::from_raw(u));
-            drop(Box::from_raw(r));
+            free_tower(r, 3);
         }
     }
 
@@ -219,8 +270,14 @@ mod tests {
 
     #[test]
     fn alignment_leaves_tag_bits_free() {
-        let r = SkipNode::<u8, u8>::alloc_root(1, 2);
-        assert_eq!(r as usize & 0b111, 0);
-        unsafe { drop(Box::from_raw(r)) };
+        unsafe {
+            let r = tower(4, 1, 2);
+            // Every element of the block keeps the low bits free for
+            // the mark/flag tags.
+            for i in 0..4 {
+                assert_eq!(r.add(i) as usize & 0b111, 0);
+            }
+            free_tower(r, 4);
+        }
     }
 }

@@ -170,6 +170,13 @@ impl fmt::Display for Metric {
 /// shard registry and load Relaxed: racy-but-monotone while the owner
 /// is running, exact once the owner has been joined (the join's
 /// happens-before edge publishes every prior store).
+///
+/// Cache-line aligned: each shard is its own heap allocation, but
+/// without the alignment the allocator is free to start one thread's
+/// shard on the same 64-byte line where another's ends — false sharing
+/// between the two hottest write paths in the process. The alignment
+/// also keeps the leading counters (`cas_ok`) from straddling a line.
+#[repr(align(64))]
 struct Shard {
     cas_ok: [AtomicU64; 4],
     cas_fail: [AtomicU64; 4],
@@ -848,6 +855,13 @@ mod tests {
     // don't interleave resets.
     use std::sync::Mutex;
     static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn shards_are_cache_line_aligned() {
+        // No two threads' shards may share a 64-byte line.
+        assert_eq!(std::mem::align_of::<Shard>(), 64);
+        assert_eq!(std::mem::size_of::<Shard>() % 64, 0);
+    }
 
     #[test]
     fn record_and_snapshot_roundtrip() {

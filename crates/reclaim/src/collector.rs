@@ -1,10 +1,28 @@
 //! The global collector, participant registry, and per-thread handles.
+//!
+//! # Memory-ordering protocol
+//!
+//! EBR has exactly one ordering requirement that release/acquire cannot
+//! express: the **announcement race**. A pinning thread stores its epoch
+//! and then loads from the data structure; a retiring thread unlinks a
+//! node, stamps it with the global epoch, and a collecting thread later
+//! scans every announcement before advancing. If the pin's store could
+//! be ordered *after* its subsequent loads (a StoreLoad reordering), a
+//! collector could scan the registry, miss the announcement, advance the
+//! epoch twice and free a node the pinner is about to dereference.
+//! Sequential consistency on the handful of operations in that cycle —
+//! the announcement store, the registry scan, the epoch counter accesses
+//! and the retire-time stamp load — closes the race; see the comment on
+//! each site. Everything else (registration, unpinning, bag handling)
+//! needs only release/acquire publication and is annotated accordingly.
 
 use std::cell::{Cell, UnsafeCell};
 use std::fmt;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+use lf_tagged::CachePadded;
 
 use crate::guard::Guard;
 use crate::{GRACE, PINS_PER_COLLECT};
@@ -37,9 +55,14 @@ impl Bag {
 /// lock-free list and recycled via the `in_use` flag, so registration
 /// after warm-up is wait-free and the list never shrinks (bounded by the
 /// peak number of simultaneously registered threads).
+///
+/// Aligned to a cache line: the `state` word is stored by its owner on
+/// every announcement refresh and loaded by every collecting thread; a
+/// neighbouring slot's refresh must not invalidate this one's line.
+#[repr(align(64))]
 struct Slot {
-    /// `epoch << 1 | active`. `active == 1` means a guard is live and the
-    /// stored epoch pins reclamation.
+    /// `epoch << 1 | active`. `active == 1` means the owning thread has
+    /// announced the stored epoch and pins reclamation at it.
     state: AtomicU64,
     /// Recycling flag: a released slot can be claimed by a new handle.
     in_use: AtomicBool,
@@ -64,13 +87,21 @@ impl Slot {
 
     /// Returns `Some(epoch)` if the slot is actively pinned.
     fn pinned_epoch(&self) -> Option<u64> {
+        // SeqCst: the registry scan side of the announcement race — this
+        // load must not be ordered before the scanner's earlier epoch
+        // read, and it must observe any announcement store that precedes
+        // the scan in the single total order of SeqCst operations.
         let s = self.state.load(Ordering::SeqCst);
         (s & 1 == 1).then_some(s >> 1)
     }
 }
 
 pub(crate) struct CollectorInner {
-    epoch: AtomicU64,
+    /// Global epoch, alone on its cache line: it is read on every pin
+    /// and defer, and CASed by every advance; sharing a line with the
+    /// registry head or the orphan mutex would put those rare-path
+    /// writes on the hot path's line.
+    epoch: CachePadded<AtomicU64>,
     /// Head of the append-only slot list.
     head: AtomicPtr<Slot>,
     /// Garbage abandoned by unregistered threads. Only touched on the
@@ -104,7 +135,7 @@ impl Collector {
     pub fn new() -> Self {
         Collector {
             inner: Arc::new(CollectorInner {
-                epoch: AtomicU64::new(0),
+                epoch: CachePadded::new(AtomicU64::new(0)),
                 head: AtomicPtr::new(std::ptr::null_mut()),
                 orphans: Mutex::new(Vec::new()),
             }),
@@ -116,19 +147,28 @@ impl Collector {
     /// Reuses a released slot when one exists; otherwise pushes a fresh
     /// slot onto the registry with a lock-free CAS loop.
     pub fn register(&self) -> LocalHandle {
-        // Try to recycle a released slot.
-        let mut cur = self.inner.head.load(Ordering::SeqCst);
+        // Try to recycle a released slot. Acquire on the head load (and
+        // on `next` below): each slot pointer is dereferenced, so we
+        // need the happens-before edge from the Release CAS that
+        // published it.
+        let mut cur = self.inner.head.load(Ordering::Acquire);
         while !cur.is_null() {
             let slot = unsafe { &*cur };
-            if !slot.in_use.load(Ordering::SeqCst)
+            // Acquire on success: claiming the slot takes ownership of
+            // its `bags` vector, so the previous owner's unsynchronized
+            // writes must happen-before ours; they were published by the
+            // Release store of `in_use = false` in `LocalHandle::drop`.
+            // The Relaxed pre-check and failure ordering are pure
+            // optimizations — losing the race has no data dependency.
+            if !slot.in_use.load(Ordering::Relaxed)
                 && slot
                     .in_use
-                    .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                    .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
                     .is_ok()
             {
                 return LocalHandle::new(self.inner.clone(), cur);
             }
-            cur = slot.next.load(Ordering::SeqCst);
+            cur = slot.next.load(Ordering::Acquire);
         }
 
         // Allocate and publish a new slot.
@@ -138,13 +178,21 @@ impl Collector {
             next: AtomicPtr::new(std::ptr::null_mut()),
             bags: UnsafeCell::new(Vec::new()),
         }));
-        let mut head = self.inner.head.load(Ordering::SeqCst);
+        let mut head = self.inner.head.load(Ordering::Acquire);
         loop {
-            unsafe { &*slot }.next.store(head, Ordering::SeqCst);
+            // Relaxed: `next` is published (with the rest of the slot's
+            // fields) by the Release CAS on `head` below; nobody can
+            // read it earlier.
+            unsafe { &*slot }.next.store(head, Ordering::Relaxed);
+            // Release on success publishes the slot's initialization and
+            // its `next` link. Acquire on failure: the observed head
+            // becomes our `next` and is dereferenced by registry walkers
+            // that reach it *through* our later Release CAS, so we must
+            // hold the happens-before edge to its initialization.
             match self
                 .inner
                 .head
-                .compare_exchange(head, slot, Ordering::SeqCst, Ordering::SeqCst)
+                .compare_exchange(head, slot, Ordering::Release, Ordering::Acquire)
             {
                 Ok(_) => break,
                 Err(h) => head = h,
@@ -176,8 +224,12 @@ impl CollectorInner {
     /// Attempt to advance the global epoch. Succeeds iff every actively
     /// pinned participant has observed the current epoch.
     fn try_advance(&self) -> bool {
+        // SeqCst on the epoch read and the slot scans: the scan must sit
+        // after this read in the SeqCst total order so that any thread
+        // whose announcement precedes our scan is counted against the
+        // epoch we are about to advance (see module docs).
         let epoch = self.epoch.load(Ordering::SeqCst);
-        let mut cur = self.head.load(Ordering::SeqCst);
+        let mut cur = self.head.load(Ordering::Acquire);
         while !cur.is_null() {
             let slot = unsafe { &*cur };
             if let Some(e) = slot.pinned_epoch() {
@@ -185,16 +237,24 @@ impl CollectorInner {
                     return false;
                 }
             }
-            cur = slot.next.load(Ordering::SeqCst);
+            cur = slot.next.load(Ordering::Acquire);
         }
+        // SeqCst success: the advance is both the Release edge that lets
+        // collecting threads (which Acquire-load the epoch) order their
+        // frees after every scanned unpin, and a point in the SeqCst
+        // order that later announcements must follow. Failure is a pure
+        // retry signal (Relaxed).
         self.epoch
-            .compare_exchange(epoch, epoch + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .compare_exchange(epoch, epoch + 1, Ordering::SeqCst, Ordering::Relaxed)
             .is_ok()
     }
 
     /// Free every orphan bag old enough to be safe.
     fn collect_orphans(&self) {
-        let epoch = self.epoch.load(Ordering::SeqCst);
+        // Acquire: syncs with the SeqCst advance CAS, ordering the bag
+        // destructors after every unpin the advance(s) observed. A stale
+        // value only delays freeing.
+        let epoch = self.epoch.load(Ordering::Acquire);
         let ready: Vec<Bag> = {
             let mut orphans = self.orphans.lock().unwrap();
             let mut ready = Vec::new();
@@ -221,11 +281,29 @@ impl CollectorInner {
 ///
 /// Not `Send`: the handle owns a registry slot whose garbage bags are
 /// accessed without synchronization.
+///
+/// # Amortized pinning
+///
+/// By default every outermost [`pin`](Self::pin)/unpin pair announces
+/// and withdraws the thread's epoch — two fenced stores per operation.
+/// [`amortize_pins`](Self::amortize_pins) switches the handle to leave
+/// the announcement standing across operations and refresh it only every
+/// N outermost unpins, trading reclamation latency (the thread keeps the
+/// epoch pinned between operations, like a long-lived guard would) for a
+/// fenced-store-free hot path. [`quiesce`](Self::quiesce) withdraws a
+/// standing announcement on demand, e.g. before blocking or snapshotting.
 pub struct LocalHandle {
     collector: Arc<CollectorInner>,
     slot: *mut Slot,
     guard_depth: Cell<u32>,
-    pins_until_collect: Cell<u32>,
+    /// Whether `slot` currently announces an epoch. May be `true` with
+    /// `guard_depth == 0` when pins are amortized.
+    announced: Cell<bool>,
+    /// Refresh the announcement every this many outermost unpins
+    /// (1 = exact pinning, the default).
+    repin_every: Cell<u32>,
+    /// Outermost unpins, mod-counted for the refresh and collect cadences.
+    unpin_count: Cell<u32>,
     _not_send: PhantomData<*mut ()>,
 }
 
@@ -233,6 +311,7 @@ impl fmt::Debug for LocalHandle {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("LocalHandle")
             .field("guard_depth", &self.guard_depth.get())
+            .field("repin_every", &self.repin_every.get())
             .finish()
     }
 }
@@ -243,7 +322,9 @@ impl LocalHandle {
             collector,
             slot,
             guard_depth: Cell::new(0),
-            pins_until_collect: Cell::new(PINS_PER_COLLECT),
+            announced: Cell::new(false),
+            repin_every: Cell::new(1),
+            unpin_count: Cell::new(0),
             _not_send: PhantomData,
         }
     }
@@ -252,24 +333,54 @@ impl LocalHandle {
         unsafe { &*self.slot }
     }
 
+    /// Keep the epoch announcement standing across operations and
+    /// refresh it only every `every` outermost unpins.
+    ///
+    /// `every == 1` restores exact pinning. Larger values remove the two
+    /// fenced stores from all but one in `every` operations; the cost is
+    /// that garbage retired anywhere in the domain can be delayed by up
+    /// to `every` of this thread's operations (or indefinitely if the
+    /// thread stops operating without [`quiesce`](Self::quiesce) /
+    /// [`flush`](Self::flush) — identical to holding a guard that long).
+    pub fn amortize_pins(&self, every: u32) {
+        self.repin_every.set(every.max(1));
+    }
+
+    /// Withdraw a standing epoch announcement left by an amortized pin.
+    ///
+    /// No-op while a guard is live or when nothing is announced. After
+    /// this call the thread no longer blocks epoch advancement until its
+    /// next [`pin`](Self::pin).
+    pub fn quiesce(&self) {
+        if self.guard_depth.get() == 0 && self.announced.get() {
+            // Release: orders this thread's preceding data-structure
+            // accesses before the withdrawal, so an advancing thread
+            // that observes the slot inactive also observes those
+            // accesses as completed.
+            self.slot().state.store(Slot::INACTIVE, Ordering::Release);
+            self.announced.set(false);
+        }
+    }
+
     /// Pin the current thread, protecting every pointer read from the
     /// data structure until the returned [`Guard`] is dropped.
     pub fn pin(&self) -> Guard<'_> {
         let depth = self.guard_depth.get();
-        if depth == 0 {
+        if depth == 0 && !self.announced.get() {
+            // SeqCst pair: the announcement race (module docs). The
+            // epoch load must precede the announcement store in the
+            // SeqCst order, and the store must precede every subsequent
+            // data-structure load — a StoreLoad edge only SeqCst (or a
+            // fence) provides. With an amortized handle the announcement
+            // may be one epoch stale by the time it is reused; that is
+            // the same state as a guard held across the advance, which
+            // the `+ GRACE` rule already tolerates (the epoch can then
+            // advance at most once more).
             let epoch = self.collector.epoch.load(Ordering::SeqCst);
             self.slot()
                 .state
                 .store(Slot::encode(epoch), Ordering::SeqCst);
-            // `SeqCst` store orders the epoch announcement before any
-            // subsequent loads from the data structure.
-
-            let pins = self.pins_until_collect.get();
-            if pins == 0 {
-                self.pins_until_collect.set(PINS_PER_COLLECT);
-            } else {
-                self.pins_until_collect.set(pins - 1);
-            }
+            self.announced.set(true);
         }
         self.guard_depth.set(depth + 1);
         Guard::new(self)
@@ -280,8 +391,18 @@ impl LocalHandle {
         debug_assert!(depth > 0);
         self.guard_depth.set(depth - 1);
         if depth == 1 {
-            self.slot().state.store(Slot::INACTIVE, Ordering::SeqCst);
-            if self.pins_until_collect.get() == PINS_PER_COLLECT {
+            let n = self.unpin_count.get().wrapping_add(1);
+            self.unpin_count.set(n);
+            let refresh_due = n.is_multiple_of(self.repin_every.get());
+            let collect_due = n.is_multiple_of(PINS_PER_COLLECT);
+            if refresh_due || collect_due {
+                // Release: see `quiesce`. (With `repin_every == 1`, the
+                // default, this runs on every outermost unpin — exact
+                // pinning.)
+                self.slot().state.store(Slot::INACTIVE, Ordering::Release);
+                self.announced.set(false);
+            }
+            if collect_due {
                 self.try_collect();
             }
         }
@@ -289,10 +410,15 @@ impl LocalHandle {
 
     /// Queue a destructor in the current-epoch bag.
     pub(crate) fn defer(&self, f: Deferred) {
+        // SeqCst: the retire-side of the announcement race. Reading the
+        // *current* global epoch here (not a stale one) is what
+        // guarantees that any thread announcing a later epoch did so
+        // after this point in the SeqCst order — hence after the caller
+        // unlinked the object — and can never reach it. While pinned,
+        // our own slot guarantees the epoch advances at most once before
+        // we unpin, so the stamp is within one of any concurrent reader's
+        // announcement and the `+ GRACE` rule holds.
         let epoch = self.collector.epoch.load(Ordering::SeqCst);
-        // While pinned our own slot guarantees epoch can advance at most
-        // once before we unpin, so stamping with the *global* epoch is
-        // conservative enough for the `+ GRACE` rule.
         let bags = unsafe { &mut *self.slot().bags.get() };
         match bags.last_mut() {
             Some(bag) if bag.epoch == epoch => bag.items.push(f),
@@ -312,7 +438,10 @@ impl LocalHandle {
     /// invoked on unpin at a fixed cadence.
     pub fn try_collect(&self) {
         self.collector.try_advance();
-        let epoch = self.collector.epoch.load(Ordering::SeqCst);
+        // Acquire: orders the destructor runs below after every unpin
+        // observed by the advance(s) that produced this epoch value
+        // (syncs with the SeqCst advance CAS). Staleness only delays.
+        let epoch = self.collector.epoch.load(Ordering::Acquire);
         let bags = unsafe { &mut *self.slot().bags.get() };
         let mut i = 0;
         while i < bags.len() {
@@ -327,7 +456,11 @@ impl LocalHandle {
 
     /// Aggressively advance the epoch and collect; useful in tests and
     /// at quiescent points.
+    ///
+    /// Withdraws any standing amortized announcement first, so a flushing
+    /// thread never blocks its own epoch advancement.
     pub fn flush(&self) {
+        self.quiesce();
         self.collector.try_advance();
         self.try_collect();
     }
@@ -348,7 +481,11 @@ impl Drop for LocalHandle {
             let mut orphans = self.collector.orphans.lock().unwrap();
             orphans.append(bags);
         }
-        self.slot().state.store(Slot::INACTIVE, Ordering::SeqCst);
-        self.slot().in_use.store(false, Ordering::SeqCst);
+        // Release: orders our accesses before the withdrawal (as in
+        // `quiesce`) …
+        self.slot().state.store(Slot::INACTIVE, Ordering::Release);
+        // … and Release again so the next owner's Acquire claim of
+        // `in_use` sees our (now empty) `bags` vector.
+        self.slot().in_use.store(false, Ordering::Release);
     }
 }

@@ -27,6 +27,13 @@
 //! individual *operations* remain lock-free; only reclamation (not
 //! progress) can be delayed by a stalled thread.
 //!
+//! Handles can optionally *amortize* pinning
+//! ([`LocalHandle::amortize_pins`]): the epoch announcement is left
+//! standing across operations and refreshed only every N unpins, removing
+//! two fenced stores from the per-operation hot path at the cost of
+//! slightly lazier reclamation. [`LocalHandle::quiesce`] withdraws a
+//! standing announcement on demand.
+//!
 //! # Examples
 //!
 //! ```
@@ -299,6 +306,71 @@ mod more_tests {
         }
         assert_eq!(handle.queued(), 0);
         assert_eq!(drops.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn amortized_announcement_pins_until_quiesce() {
+        let collector = Collector::new();
+        let lazy = collector.register();
+        lazy.amortize_pins(1024);
+
+        // Take and drop a guard: with a large repin interval the
+        // announcement must remain standing afterwards.
+        drop(lazy.pin());
+
+        let worker = collector.register();
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let g = worker.pin();
+            retire(&g, &drops);
+        }
+        for _ in 0..8 {
+            worker.flush();
+        }
+        // The lazy handle's standing announcement blocks the epoch.
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+
+        lazy.quiesce();
+        for _ in 0..8 {
+            worker.flush();
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn amortized_pins_still_reclaim_via_refresh_cadence() {
+        let collector = Collector::new();
+        let handle = collector.register();
+        handle.amortize_pins(8);
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let g = handle.pin();
+            retire(&g, &drops);
+        }
+        // No explicit quiesce/flush: the refresh + collect cadence alone
+        // must eventually withdraw the announcement and free the object.
+        for _ in 0..(PINS_PER_COLLECT * 8) {
+            drop(handle.pin());
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn flush_withdraws_standing_announcement() {
+        let collector = Collector::new();
+        let handle = collector.register();
+        handle.amortize_pins(u32::MAX);
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let g = handle.pin();
+            retire(&g, &drops);
+        }
+        // flush() quiesces first, so even a never-refreshing handle can
+        // reclaim its own garbage.
+        for _ in 0..8 {
+            handle.flush();
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Truncated exponential backoff for CAS retry loops.
+
+use std::hint;
+
+/// Per-attempt truncated exponential backoff.
+///
+/// A failed flag/mark/unlink CAS means another thread is mutating the
+/// same neighbourhood; immediately retrying mostly generates coherence
+/// traffic that slows the *winner* down. Spinning `2^n` pause
+/// instructions (capped) before the n-th retry de-synchronizes the
+/// contenders at negligible cost to the uncontended path — the first
+/// `spin()` is a single `pause`.
+///
+/// The cap keeps worst-case added latency bounded (`2^6` pauses, roughly
+/// a few hundred nanoseconds) so backoff can never mask a lost wakeup or
+/// turn a lock-free loop into an unbounded sleep. Modeled on
+/// `crossbeam_utils::Backoff`, minus the yield/park escalation: these
+/// retry loops are short and lock-free, so parking would only add
+/// scheduler latency.
+///
+/// # Examples
+///
+/// ```
+/// use lf_tagged::Backoff;
+///
+/// let backoff = Backoff::new();
+/// for _ in 0..3 {
+///     // ... failed CAS here ...
+///     backoff.spin();
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: std::cell::Cell<u32>,
+}
+
+impl Backoff {
+    /// Exponent cap: at most `2^SPIN_LIMIT` pause instructions per spin.
+    const SPIN_LIMIT: u32 = 6;
+
+    /// A fresh backoff at step 0.
+    #[inline]
+    pub const fn new() -> Self {
+        Backoff {
+            step: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Spin for the current step's duration and escalate the step.
+    #[inline]
+    pub fn spin(&self) {
+        let step = self.step.get();
+        for _ in 0..1u32 << step.min(Self::SPIN_LIMIT) {
+            hint::spin_loop();
+        }
+        if step <= Self::SPIN_LIMIT {
+            self.step.set(step + 1);
+        }
+    }
+
+    /// Reset to step 0 (call after a successful CAS when reusing the
+    /// backoff across loop iterations).
+    #[inline]
+    pub fn reset(&self) {
+        self.step.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spin_escalates_then_saturates() {
+        let b = Backoff::new();
+        for _ in 0..32 {
+            b.spin();
+        }
+        assert_eq!(b.step.get(), Backoff::SPIN_LIMIT + 1);
+        b.reset();
+        assert_eq!(b.step.get(), 0);
+    }
+}

@@ -23,6 +23,11 @@
 //! * [`AtomicTaggedPtr<T>`] — the shared field itself, supporting
 //!   `load`, `store`, and `compare_exchange` over whole snapshots.
 //!
+//! Two dependency-free concurrency utilities shared by the crates built
+//! on top also live here: [`CachePadded`] (64-byte alignment against
+//! false sharing) and [`Backoff`] (truncated exponential spin for CAS
+//! retry loops).
+//!
 //! # Examples
 //!
 //! ```
@@ -44,6 +49,10 @@
 //! # unsafe { drop(Box::from_raw(node)) };
 //! ```
 
+mod backoff;
+mod pad;
 mod ptr;
 
+pub use backoff::Backoff;
+pub use pad::CachePadded;
 pub use ptr::{AtomicTaggedPtr, TagBits, TaggedPtr, FLAG_BIT, MARK_BIT, TAG_MASK};

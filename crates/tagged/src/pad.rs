@@ -1,0 +1,103 @@
+//! Cache-line padding for hot shared state.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to 64 bytes — one cache line on every x86-64
+/// and most AArch64 parts this workspace targets.
+///
+/// Frequently-written shared words (a list's length counter, the
+/// collector's global epoch, each participant's pin slot) otherwise land
+/// on the same line as their neighbours and every CAS by one thread
+/// invalidates the line under every other thread ("false sharing"). The
+/// alignment guarantees each wrapped value owns its line; the type's size
+/// is rounded up to a multiple of 64 by the same attribute, so arrays of
+/// `CachePadded<T>` never share lines either.
+///
+/// A deliberately minimal stand-in for `crossbeam_utils::CachePadded`
+/// (this workspace is dependency-free below the bench crate).
+///
+/// # Examples
+///
+/// ```
+/// use lf_tagged::CachePadded;
+/// use std::sync::atomic::AtomicUsize;
+///
+/// let len = CachePadded::new(AtomicUsize::new(0));
+/// assert_eq!(std::mem::align_of_val(&len), 64);
+/// ```
+#[derive(Default)]
+#[repr(align(64))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wrap `value` in its own cache line.
+    #[inline]
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Unwrap the inner value.
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.value.fmt(f)
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_size_are_full_lines() {
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 64);
+        assert_eq!(std::mem::size_of::<CachePadded<u8>>(), 64);
+        assert_eq!(std::mem::size_of::<CachePadded<[u8; 65]>>(), 128);
+    }
+
+    #[test]
+    fn deref_roundtrip() {
+        let mut p = CachePadded::new(41u32);
+        *p += 1;
+        assert_eq!(*p, 42);
+        assert_eq!(p.into_inner(), 42);
+    }
+
+    #[test]
+    fn array_elements_do_not_share_lines() {
+        let arr = [CachePadded::new(0u8), CachePadded::new(1u8)];
+        let a = &arr[0] as *const _ as usize;
+        let b = &arr[1] as *const _ as usize;
+        assert!(b - a >= 64);
+    }
+}

@@ -238,10 +238,14 @@ impl<T> TaggedPtr<T> {
 /// store, and CAS as one word.
 ///
 /// The memory-ordering parameters mirror
-/// [`std::sync::atomic::AtomicUsize`]; the list algorithms in this
-/// workspace use `SeqCst` throughout for fidelity to the paper's
-/// sequentially-consistent model (the cost difference is negligible next
-/// to the CAS itself on x86).
+/// [`std::sync::atomic::AtomicUsize`]; this type deliberately takes the
+/// ordering at every call site rather than baking one in. The paper
+/// assumes sequential consistency, but the algorithms only need
+/// release/acquire publication edges on the successor field: each
+/// pointer-installing CAS is a `Release` store and each load that will
+/// dereference the pointer is `Acquire`. The core crates document the
+/// invariant behind every ordering choice at the call site (see
+/// `DESIGN.md` §9 for the full table).
 pub struct AtomicTaggedPtr<T> {
     inner: AtomicUsize,
     _marker: PhantomData<*mut T>,

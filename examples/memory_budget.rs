@@ -76,6 +76,36 @@ fn main() {
         freed
     };
 
+    // ---- amortized pins: a standing announcement acts like a pin ----
+    // Handles can trade reclamation promptness for throughput: with
+    // `amortize_pins(n)` the epoch announcement is refreshed only every
+    // n-th unpin, so between refreshes the handle *stays* announced —
+    // cheap pins, but garbage waits like under a held guard until the
+    // handle quiesces (`quiesce`/`flush`) or keeps operating.
+    let (blocked_while_lazy, freed_after_quiesce) = {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let collector = Collector::new();
+        let lazy = collector.register();
+        lazy.amortize_pins(u32::MAX); // announce once, never refresh
+        drop(lazy.pin()); // leaves a standing announcement behind
+
+        let worker = collector.register();
+        for _ in 0..RETIRES {
+            let guard = worker.pin();
+            let p = Box::into_raw(Box::new(Counted(drops.clone())));
+            unsafe { guard.defer_drop_box(p) };
+        }
+        for _ in 0..8 {
+            worker.flush();
+        }
+        let blocked = RETIRES - drops.load(Ordering::SeqCst);
+        lazy.quiesce(); // withdraw the standing announcement
+        for _ in 0..8 {
+            worker.flush();
+        }
+        (blocked, drops.load(Ordering::SeqCst))
+    };
+
     println!("{RETIRES} nodes retired while one reader stalls:");
     println!(
         "  epochs         : {freed_epoch:>6} freed, {:>6} stuck behind the stalled pin",
@@ -84,6 +114,10 @@ fn main() {
     println!(
         "  hazard pointers: {freed_hazard:>6} freed, {:>6} protected by the stalled slot",
         RETIRES - freed_hazard
+    );
+    println!(
+        "  amortized pins : {blocked_while_lazy:>6} blocked by a standing announcement, \
+         {freed_after_quiesce:>6} freed after quiesce()"
     );
     println!();
     println!("epochs batch cheaply (one pin per operation) but a stalled pin");
@@ -98,5 +132,13 @@ fn main() {
         freed_hazard,
         RETIRES - 1,
         "hazard scheme should free everything but the protected node"
+    );
+    assert!(
+        blocked_while_lazy > 0,
+        "standing announcement should hold back reclamation"
+    );
+    assert_eq!(
+        freed_after_quiesce, RETIRES,
+        "quiesce should release everything the announcement blocked"
     );
 }

@@ -49,10 +49,14 @@ fn main() {
     assert_eq!(h.get(&2_500), Some(500));
 
     // --- SkipSet: set façade ----------------------------------------
+    // Grab one handle and reuse it: the facade methods on `SkipSet`
+    // itself register a fresh handle (thread registration + epoch pin)
+    // on every call, which is convenient but slow on hot paths.
     let set = SkipSet::new();
-    assert!(set.insert("apple"));
-    assert!(set.insert("banana"));
-    assert!(!set.insert("apple"));
-    assert!(set.remove(&"banana"));
-    println!("set contains apple: {}", set.contains(&"apple"));
+    let sh = set.handle();
+    assert!(sh.insert("apple"));
+    assert!(sh.insert("banana"));
+    assert!(!sh.insert("apple"));
+    assert!(sh.remove(&"banana"));
+    println!("set contains apple: {}", sh.contains(&"apple"));
 }

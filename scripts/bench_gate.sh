@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# bench_gate.sh — quick perf regression gate for the throughput experiments.
+#
+# Runs the short (quick-size) variants of e4 (list throughput) and e6
+# (skip-list throughput), writes fresh BENCH_e4.json / BENCH_e6.json into
+# a scratch directory, and compares the fr-* rows against the committed
+# baselines at the repo root. Fails (exit 1) when the median throughput
+# regression across comparable rows exceeds the threshold.
+#
+#   ./scripts/bench_gate.sh                 # gate at the default 10%
+#   BENCH_GATE_THRESHOLD=25 ./scripts/...   # loosen the gate
+#   BENCH_GATE_UPDATE=1 ./scripts/...       # also refresh committed baselines
+#
+# The committed baselines are full-size runs; the gate run uses quick
+# sizes, so only rows whose (impl, mix, threads) triple exists in both
+# files are compared. Quick runs do fewer ops per thread (more warmup
+# noise), which is one more reason the gate is median-based and advisory.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+REPO_ROOT=$(pwd)
+THRESHOLD="${BENCH_GATE_THRESHOLD:-10}"
+SCRATCH=$(mktemp -d)
+trap 'rm -rf "$SCRATCH"' EXIT
+
+cargo build --release -p lf-bench --bin experiments
+
+for exp in e4 e6; do
+    echo "== bench gate: running quick $exp =="
+    (cd "$SCRATCH" && "$REPO_ROOT/target/release/experiments" "$exp" >/dev/null)
+done
+
+fail=0
+for exp in e4 e6; do
+    baseline="$REPO_ROOT/BENCH_$exp.json"
+    fresh="$SCRATCH/BENCH_$exp.json"
+    if [[ ! -f "$baseline" ]]; then
+        echo "bench gate: no committed baseline $baseline — skipping $exp"
+        continue
+    fi
+    python3 - "$baseline" "$fresh" "$THRESHOLD" "$exp" <<'PY' || fail=1
+import json, statistics, sys
+
+baseline_path, fresh_path, threshold, exp = sys.argv[1:5]
+threshold = float(threshold)
+
+def rows(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {
+        (r["impl"], r["mix"], r["threads"]): r["throughput_ops_per_s"]
+        for r in data["rows"]
+        if r["impl"].startswith("fr-")
+    }
+
+base, fresh = rows(baseline_path), rows(fresh_path)
+shared = sorted(set(base) & set(fresh))
+if not shared:
+    print(f"{exp}: no comparable fr-* rows between baseline and fresh run")
+    sys.exit(0)
+
+deltas = []
+for key in shared:
+    pct = (fresh[key] / base[key] - 1.0) * 100.0
+    deltas.append(pct)
+    impl, mix, threads = key
+    print(f"{exp} {impl:14s} {mix:12s} {threads}t: "
+          f"{base[key] / 1e3:9.0f} -> {fresh[key] / 1e3:9.0f} kops/s ({pct:+6.1f}%)")
+
+median = statistics.median(deltas)
+print(f"{exp}: median delta {median:+.1f}% over {len(shared)} rows "
+      f"(gate: fail below -{threshold:.0f}%)")
+if median < -threshold:
+    print(f"{exp}: REGRESSION beyond {threshold:.0f}% threshold")
+    sys.exit(1)
+PY
+done
+
+if [[ "${BENCH_GATE_UPDATE:-0}" == "1" ]]; then
+    echo "bench gate: BENCH_GATE_UPDATE=1 — regenerating committed baselines (full sizes)"
+    (cd "$REPO_ROOT" && ./target/release/experiments e4 --full >/dev/null \
+        && ./target/release/experiments e6 --full >/dev/null)
+fi
+
+exit "$fail"

@@ -100,8 +100,12 @@ fn stalled_iterator_delays_but_does_not_break_reclamation() {
         .saturating_sub(100 + drops_from_clones);
     assert_eq!(freed, 0, "nodes freed under a live pin");
 
-    // Release the reader; now reclamation proceeds.
+    // Release the reader. Dropping the guard alone is not enough:
+    // handles amortize epoch pins, so the reader's announcement stays
+    // standing until it operates again, quiesces, or drops. Quiesce it
+    // explicitly — the documented release point for an idle handle.
     drop(iter);
+    reader.quiesce();
     for _ in 0..32 {
         writer.flush_reclamation();
     }
