@@ -65,7 +65,10 @@ pub struct HarrisList<K, V> {
     len: AtomicUsize,
 }
 
+// SAFETY: all shared mutation goes through atomics; reclamation is
+// epoch-protected, so cross-thread frees are deferred past all pins.
 unsafe impl<K: Send + Sync, V: Send + Sync> Send for HarrisList<K, V> {}
+// SAFETY: same argument as `Send` above.
 unsafe impl<K: Send + Sync, V: Send + Sync> Sync for HarrisList<K, V> {}
 
 impl<K, V> fmt::Debug for HarrisList<K, V> {
@@ -125,146 +128,175 @@ where
     /// right.key`, both unmarked at some point during the search, and
     /// `left.succ == right` (after snipping any marked chain between
     /// them). Restarts from the head whenever the snip C&S fails.
+    ///
+    /// # Safety
+    ///
+    /// `guard` must pin this list's collector; returned pointers are
+    /// valid while it lives.
     unsafe fn search(&self, k: &K, guard: &Guard<'_>) -> (*mut Node<K, V>, *mut Node<K, V>) {
-        'retry: loop {
-            let mut left = self.head;
-            let mut left_succ = (*left).succ.load(Ordering::SeqCst);
-            let right;
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            'retry: loop {
+                let mut left = self.head;
+                let mut left_succ = (*left).succ.load(Ordering::SeqCst);
+                let right;
 
-            // Phase 1: locate left (last unmarked node with key < k) and
-            // right (first unmarked node with key >= k).
-            {
-                let mut t = self.head;
-                let mut t_succ = (*t).succ.load(Ordering::SeqCst);
-                loop {
-                    if !t_succ.is_marked() {
-                        left = t;
-                        left_succ = t_succ;
+                // Phase 1: locate left (last unmarked node with key < k) and
+                // right (first unmarked node with key >= k).
+                {
+                    let mut t = self.head;
+                    let mut t_succ = (*t).succ.load(Ordering::SeqCst);
+                    loop {
+                        if !t_succ.is_marked() {
+                            left = t;
+                            left_succ = t_succ;
+                        }
+                        t = t_succ.ptr();
+                        if t.is_null() {
+                            // Walked off the tail; can only happen transiently.
+                            continue 'retry;
+                        }
+                        lf_metrics::record_curr_update();
+                        t_succ = (*t).succ.load(Ordering::SeqCst);
+                        let key_lt = match &(*t).key {
+                            Bound::NegInf => true,
+                            Bound::PosInf => false,
+                            Bound::Key(nk) => nk < k,
+                        };
+                        if !(t_succ.is_marked() || key_lt) {
+                            right = t;
+                            break;
+                        }
                     }
-                    t = t_succ.ptr();
-                    if t.is_null() {
-                        // Walked off the tail; can only happen transiently.
+                }
+
+                // Phase 2: already adjacent?
+                if left_succ.ptr() == right {
+                    if !right.is_null() && (*right).succ.load(Ordering::SeqCst).is_marked() {
                         continue 'retry;
                     }
-                    lf_metrics::record_curr_update();
-                    t_succ = (*t).succ.load(Ordering::SeqCst);
-                    let key_lt = match &(*t).key {
-                        Bound::NegInf => true,
-                        Bound::PosInf => false,
-                        Bound::Key(nk) => nk < k,
-                    };
-                    if !(t_succ.is_marked() || key_lt) {
-                        right = t;
-                        break;
-                    }
-                }
-            }
-
-            // Phase 2: already adjacent?
-            if left_succ.ptr() == right {
-                if !right.is_null() && (*right).succ.load(Ordering::SeqCst).is_marked() {
-                    continue 'retry;
-                }
-                return (left, right);
-            }
-
-            // Phase 3: snip the marked chain between left and right.
-            let res = (*left).succ.compare_exchange(
-                left_succ,
-                TaggedPtr::unmarked(right),
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            );
-            lf_metrics::record_cas(CasType::Unlink, res.is_ok());
-            if res.is_ok() {
-                // Retire the snipped chain. Chains from different snips
-                // can overlap (a later snip may walk through a region an
-                // earlier snip already removed, since marked successor
-                // pointers stay frozen), so each node is claimed with a
-                // CAS and retired exactly once.
-                let mut cur = left_succ.ptr();
-                while cur != right {
-                    let next = (*cur).succ.load(Ordering::SeqCst).ptr();
-                    if (*cur)
-                        .retired
-                        .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
-                        .is_ok()
-                    {
-                        let addr = cur as usize;
-                        guard.defer_unchecked(move || drop(Box::from_raw(addr as *mut Node<K, V>)));
-                    }
-                    cur = next;
-                }
-                if !(*right).succ.load(Ordering::SeqCst).is_marked() {
                     return (left, right);
                 }
+
+                // Phase 3: snip the marked chain between left and right.
+                let res = (*left).succ.compare_exchange(
+                    left_succ,
+                    TaggedPtr::unmarked(right),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                lf_metrics::record_cas(CasType::Unlink, res.is_ok());
+                if res.is_ok() {
+                    // Retire the snipped chain. Chains from different snips
+                    // can overlap (a later snip may walk through a region an
+                    // earlier snip already removed, since marked successor
+                    // pointers stay frozen), so each node is claimed with a
+                    // CAS and retired exactly once.
+                    let mut cur = left_succ.ptr();
+                    while cur != right {
+                        let next = (*cur).succ.load(Ordering::SeqCst).ptr();
+                        if (*cur)
+                            .retired
+                            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                            .is_ok()
+                        {
+                            let addr = cur as usize;
+                            guard.defer_unchecked(move || {
+                                drop(Box::from_raw(addr as *mut Node<K, V>))
+                            });
+                        }
+                        cur = next;
+                    }
+                    if !(*right).succ.load(Ordering::SeqCst).is_marked() {
+                        return (left, right);
+                    }
+                }
+                // Failed C&S (or right got marked): restart from the head.
             }
-            // Failed C&S (or right got marked): restart from the head.
         }
     }
 
+    /// # Safety
+    ///
+    /// `guard` must pin this list's collector.
     unsafe fn insert_impl(&self, key: K, value: V, guard: &Guard<'_>) -> bool {
-        let new_node = Node::alloc(Bound::Key(key), Some(value), std::ptr::null_mut());
-        loop {
-            let key_ref = (*new_node).key.as_key().expect("user key");
-            let (left, right) = self.search(key_ref, guard);
-            if (*right).key.as_key() == Some(key_ref) {
-                drop(Box::from_raw(new_node));
-                return false;
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            let new_node = Node::alloc(Bound::Key(key), Some(value), std::ptr::null_mut());
+            loop {
+                let key_ref = (*new_node).key.as_key().expect("user key");
+                let (left, right) = self.search(key_ref, guard);
+                if (*right).key.as_key() == Some(key_ref) {
+                    drop(Box::from_raw(new_node));
+                    return false;
+                }
+                (*new_node)
+                    .succ
+                    .store(TaggedPtr::unmarked(right), Ordering::SeqCst);
+                let res = (*left).succ.compare_exchange(
+                    TaggedPtr::unmarked(right),
+                    TaggedPtr::unmarked(new_node),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                lf_metrics::record_cas(CasType::Insert, res.is_ok());
+                if res.is_ok() {
+                    self.len.fetch_add(1, Ordering::SeqCst);
+                    return true;
+                }
+                // Failure: restart (search starts from the head again).
             }
-            (*new_node)
-                .succ
-                .store(TaggedPtr::unmarked(right), Ordering::SeqCst);
-            let res = (*left).succ.compare_exchange(
-                TaggedPtr::unmarked(right),
-                TaggedPtr::unmarked(new_node),
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            );
-            lf_metrics::record_cas(CasType::Insert, res.is_ok());
-            if res.is_ok() {
-                self.len.fetch_add(1, Ordering::SeqCst);
-                return true;
-            }
-            // Failure: restart (search starts from the head again).
         }
     }
 
+    /// # Safety
+    ///
+    /// `guard` must pin this list's collector.
     unsafe fn delete_impl(&self, k: &K, guard: &Guard<'_>) -> Option<V>
     where
         V: Clone,
     {
-        loop {
-            let (_left, right) = self.search(k, guard);
-            if (*right).key.as_key() != Some(k) {
-                return None;
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            loop {
+                let (_left, right) = self.search(k, guard);
+                if (*right).key.as_key() != Some(k) {
+                    return None;
+                }
+                let right_succ = (*right).succ.load(Ordering::SeqCst);
+                if right_succ.is_marked() {
+                    // Another deleter got here first; restart to confirm.
+                    continue;
+                }
+                let res = (*right).succ.compare_exchange(
+                    right_succ,
+                    right_succ.with_mark(),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                lf_metrics::record_cas(CasType::Mark, res.is_ok());
+                if res.is_ok() {
+                    self.len.fetch_sub(1, Ordering::SeqCst);
+                    let value = (*right).element.clone().expect("user node has element");
+                    // Physical deletion: one more search snips it out.
+                    let _ = self.search(k, guard);
+                    return Some(value);
+                }
+                // Mark failed: restart from the head.
             }
-            let right_succ = (*right).succ.load(Ordering::SeqCst);
-            if right_succ.is_marked() {
-                // Another deleter got here first; restart to confirm.
-                continue;
-            }
-            let res = (*right).succ.compare_exchange(
-                right_succ,
-                right_succ.with_mark(),
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            );
-            lf_metrics::record_cas(CasType::Mark, res.is_ok());
-            if res.is_ok() {
-                self.len.fetch_sub(1, Ordering::SeqCst);
-                let value = (*right).element.clone().expect("user node has element");
-                // Physical deletion: one more search snips it out.
-                let _ = self.search(k, guard);
-                return Some(value);
-            }
-            // Mark failed: restart from the head.
         }
     }
 
+    /// # Safety
+    ///
+    /// `guard` must pin this list's collector; the returned pointer is
+    /// valid while it lives.
     unsafe fn search_value(&self, k: &K, guard: &Guard<'_>) -> Option<*mut Node<K, V>> {
-        let (_left, right) = self.search(k, guard);
-        ((*right).key.as_key() == Some(k)).then_some(right)
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            let (_left, right) = self.search(k, guard);
+            ((*right).key.as_key() == Some(k)).then_some(right)
+        }
     }
 }
 
@@ -272,7 +304,10 @@ impl<K, V> Drop for HarrisList<K, V> {
     fn drop(&mut self) {
         let mut cur = self.head;
         while !cur.is_null() {
+            // SAFETY: unique access (`&mut self`); nodes still linked
+            // from the head were Box-allocated and are freed once here.
             let next = unsafe { (*cur).succ.load(Ordering::SeqCst).ptr() };
+            // SAFETY: as above.
             drop(unsafe { Box::from_raw(cur) });
             cur = next;
         }
@@ -301,6 +336,7 @@ where
     pub fn insert(&self, key: K, value: V) -> bool {
         let guard = self.reclaim.pin();
         let op = lf_metrics::op_begin();
+        // SAFETY: the guard pins this list's collector.
         let r = unsafe { self.list.insert_impl(key, value, &guard) };
         lf_metrics::op_end(op);
         r
@@ -313,6 +349,7 @@ where
     {
         let guard = self.reclaim.pin();
         let op = lf_metrics::op_begin();
+        // SAFETY: the guard pins this list's collector.
         let r = unsafe { self.list.delete_impl(key, &guard) };
         lf_metrics::op_end(op);
         r
@@ -325,6 +362,8 @@ where
     {
         let guard = self.reclaim.pin();
         let op = lf_metrics::op_begin();
+        // SAFETY: the guard pins this list's collector; the returned
+        // node stays valid while the guard lives.
         let r = unsafe {
             self.list
                 .search_value(key, &guard)
@@ -338,6 +377,7 @@ where
     pub fn contains(&self, key: &K) -> bool {
         let guard = self.reclaim.pin();
         let op = lf_metrics::op_begin();
+        // SAFETY: the guard pins this list's collector.
         let r = unsafe { self.list.search_value(key, &guard).is_some() };
         lf_metrics::op_end(op);
         r
@@ -445,6 +485,8 @@ where
     /// Panics with a description of the violated invariant.
     pub fn validate_quiescent(&self) {
         let mut count = 0usize;
+        // SAFETY: quiescent-only walk — the caller guarantees no
+        // concurrent operations, so every reachable node stays valid.
         unsafe {
             let mut cur = self.head;
             loop {

@@ -98,6 +98,8 @@ impl<K: Ord, V> HohLockList<K, V> {
         // raw-pointer-free approach by transmuting lifetimes via Arc
         // ownership — the guard borrows the node, which the Arc keeps
         // alive for the duration.
+        // SAFETY: lifetime-only transmute — the guard borrows the
+        // node, which the `Arc` keeps alive for 'a (see comment above).
         let mut guard = unsafe {
             std::mem::transmute::<NextGuard<'_, K, V>, NextGuard<'a, K, V>>(pred.next.lock())
         };
@@ -115,6 +117,8 @@ impl<K: Ord, V> HohLockList<K, V> {
             }
             let curr = guard.as_ref().unwrap().clone();
             lf_metrics::record_curr_update();
+            // SAFETY: as above — lifetime-only transmute, node kept
+            // alive by the `Arc` chain.
             let next_guard = unsafe {
                 std::mem::transmute::<NextGuard<'_, K, V>, NextGuard<'a, K, V>>(curr.next.lock())
             };

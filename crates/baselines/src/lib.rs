@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Comparator implementations for the Fomitchev–Ruppert reproduction.
 //!
 //! Every baseline the paper measures against (or that its related-work

@@ -64,7 +64,10 @@ pub struct MichaelList<K, V> {
     len: AtomicUsize,
 }
 
+// SAFETY: all shared mutation goes through atomics; reclamation is
+// hazard-pointer-protected, so cross-thread frees wait for readers.
 unsafe impl<K: Send + Sync, V: Send + Sync> Send for MichaelList<K, V> {}
+// SAFETY: same argument as `Send` above.
 unsafe impl<K: Send + Sync, V: Send + Sync> Sync for MichaelList<K, V> {}
 
 impl<K, V> fmt::Debug for MichaelList<K, V> {
@@ -140,55 +143,58 @@ where
     /// `hazard` must belong to this list's domain. On return, hazard
     /// slots 0/1 protect the predecessor/current node.
     unsafe fn find(&self, k: &K, hazard: &HazardHandle) -> FindResult<K, V> {
-        'retry: loop {
-            // The head is never retired; no hazard needed for it.
-            hazard.clear(0);
-            let mut prev_field: *const AtomicTaggedPtr<Node<K, V>> = &(*self.head).succ;
-            let mut cur = (*prev_field).load(Ordering::SeqCst).ptr();
-            loop {
-                // Publish cur, then validate prev still points at it
-                // cleanly (Michael's ⟨0, cur⟩ check).
-                hazard.publish(1, cur);
-                let check = (*prev_field).load(Ordering::SeqCst);
-                if check.ptr() != cur || check.is_marked() {
-                    continue 'retry;
-                }
-                let cur_succ = (*cur).succ.load(Ordering::SeqCst);
-                if cur_succ.is_marked() {
-                    // cur is logically deleted: unlink this single node.
-                    let res = (*prev_field).compare_exchange(
-                        TaggedPtr::unmarked(cur),
-                        TaggedPtr::unmarked(cur_succ.ptr()),
-                        Ordering::SeqCst,
-                        Ordering::SeqCst,
-                    );
-                    lf_metrics::record_cas(CasType::Unlink, res.is_ok());
-                    if res.is_err() {
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            'retry: loop {
+                // The head is never retired; no hazard needed for it.
+                hazard.clear(0);
+                let mut prev_field: *const AtomicTaggedPtr<Node<K, V>> = &(*self.head).succ;
+                let mut cur = (*prev_field).load(Ordering::SeqCst).ptr();
+                loop {
+                    // Publish cur, then validate prev still points at it
+                    // cleanly (Michael's ⟨0, cur⟩ check).
+                    hazard.publish(1, cur);
+                    let check = (*prev_field).load(Ordering::SeqCst);
+                    if check.ptr() != cur || check.is_marked() {
                         continue 'retry;
                     }
-                    hazard.retire(cur);
-                    cur = cur_succ.ptr();
-                    lf_metrics::record_next_update();
-                    continue;
-                }
-                let key_ge = match &(*cur).key {
-                    Bound::NegInf => false,
-                    Bound::PosInf => true,
-                    Bound::Key(ck) => ck >= k,
-                };
-                if key_ge {
-                    return FindResult {
-                        prev_field,
-                        cur,
-                        cur_succ,
-                        found: (*cur).key.as_key() == Some(k),
+                    let cur_succ = (*cur).succ.load(Ordering::SeqCst);
+                    if cur_succ.is_marked() {
+                        // cur is logically deleted: unlink this single node.
+                        let res = (*prev_field).compare_exchange(
+                            TaggedPtr::unmarked(cur),
+                            TaggedPtr::unmarked(cur_succ.ptr()),
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        );
+                        lf_metrics::record_cas(CasType::Unlink, res.is_ok());
+                        if res.is_err() {
+                            continue 'retry;
+                        }
+                        hazard.retire(cur);
+                        cur = cur_succ.ptr();
+                        lf_metrics::record_next_update();
+                        continue;
+                    }
+                    let key_ge = match &(*cur).key {
+                        Bound::NegInf => false,
+                        Bound::PosInf => true,
+                        Bound::Key(ck) => ck >= k,
                     };
+                    if key_ge {
+                        return FindResult {
+                            prev_field,
+                            cur,
+                            cur_succ,
+                            found: (*cur).key.as_key() == Some(k),
+                        };
+                    }
+                    // Advance: cur becomes the predecessor (rotate hazards).
+                    hazard.publish(0, cur);
+                    prev_field = &(*cur).succ;
+                    cur = cur_succ.ptr();
+                    lf_metrics::record_curr_update();
                 }
-                // Advance: cur becomes the predecessor (rotate hazards).
-                hazard.publish(0, cur);
-                prev_field = &(*cur).succ;
-                cur = cur_succ.ptr();
-                lf_metrics::record_curr_update();
             }
         }
     }
@@ -198,7 +204,10 @@ impl<K, V> Drop for MichaelList<K, V> {
     fn drop(&mut self) {
         let mut cur = self.head;
         while !cur.is_null() {
+            // SAFETY: unique access (`&mut self`); nodes still linked
+            // from the head were Box-allocated and are freed once here.
             let next = unsafe { (*cur).succ.load(Ordering::SeqCst).ptr() };
+            // SAFETY: as above.
             drop(unsafe { Box::from_raw(cur) });
             cur = next;
         }
@@ -232,6 +241,9 @@ where
     pub fn insert(&self, key: K, value: V) -> bool {
         let new_node = Node::alloc(Bound::Key(key), Some(value), std::ptr::null_mut());
         let op = lf_metrics::op_begin();
+        // SAFETY: `find` publishes hazard pointers for every node it
+        // returns, so the dereferenced nodes cannot be freed until
+        // `release`; retirement goes through the hazard domain.
         let r = unsafe {
             loop {
                 let key_ref = (*new_node).key.as_key().expect("user key");
@@ -268,6 +280,9 @@ where
         V: Clone,
     {
         let op = lf_metrics::op_begin();
+        // SAFETY: `find` publishes hazard pointers for every node it
+        // returns, so the dereferenced nodes cannot be freed until
+        // `release`; retirement goes through the hazard domain.
         let r = unsafe {
             loop {
                 let f = self.list.find(key, &self.hazard);
@@ -315,6 +330,9 @@ where
         V: Clone,
     {
         let op = lf_metrics::op_begin();
+        // SAFETY: `find` publishes hazard pointers for every node it
+        // returns, so the dereferenced nodes cannot be freed until
+        // `release`; retirement goes through the hazard domain.
         let r = unsafe {
             let f = self.list.find(key, &self.hazard);
             f.found
@@ -328,6 +346,7 @@ where
     /// Whether `key` is present.
     pub fn contains(&self, key: &K) -> bool {
         let op = lf_metrics::op_begin();
+        // SAFETY: as for `get` — hazards protect the traversal.
         let r = unsafe { self.list.find(key, &self.hazard).found };
         self.release();
         lf_metrics::op_end(op);
@@ -463,6 +482,8 @@ where
     /// Panics with a description of the violated invariant.
     pub fn validate_quiescent(&self) {
         let mut count = 0usize;
+        // SAFETY: quiescent-only walk — the caller guarantees no
+        // concurrent operations, so every reachable node stays valid.
         unsafe {
             let mut cur = self.head;
             loop {

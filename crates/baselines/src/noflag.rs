@@ -102,7 +102,11 @@ pub struct NoFlagList<K, V> {
     graveyard: Mutex<Vec<usize>>,
 }
 
+// SAFETY: all shared mutation goes through atomics; unlinked nodes are
+// parked in the graveyard (never freed while the list lives), so raw
+// pointers stay valid for the list's lifetime.
 unsafe impl<K: Send + Sync, V: Send + Sync> Send for NoFlagList<K, V> {}
+// SAFETY: same argument as `Send` above.
 unsafe impl<K: Send + Sync, V: Send + Sync> Sync for NoFlagList<K, V> {}
 
 impl<K, V> fmt::Debug for NoFlagList<K, V> {
@@ -157,161 +161,209 @@ where
     }
 
     /// Physically unlink the marked `del` from `prev` (both-clean CAS).
+    ///
+    /// # Safety
+    ///
+    /// `prev` and `del` must be nodes of this list (unlinked nodes stay
+    /// valid via the graveyard).
     unsafe fn help_marked(&self, prev: *mut Node<K, V>, del: *mut Node<K, V>) {
-        let next = (*del).right();
-        let res = (*prev).succ.compare_exchange(
-            TaggedPtr::unmarked(del),
-            TaggedPtr::unmarked(next),
-            Ordering::SeqCst,
-            Ordering::SeqCst,
-        );
-        lf_metrics::record_cas(CasType::Unlink, res.is_ok());
-        if res.is_ok() {
-            self.graveyard.lock().unwrap().push(del as usize);
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            let next = (*del).right();
+            let res = (*prev).succ.compare_exchange(
+                TaggedPtr::unmarked(del),
+                TaggedPtr::unmarked(next),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+            lf_metrics::record_cas(CasType::Unlink, res.is_ok());
+            if res.is_ok() {
+                self.graveyard.lock().unwrap().push(del as usize);
+            }
         }
     }
 
     /// FR-style `SearchFrom` without the flag machinery.
+    ///
+    /// # Safety
+    ///
+    /// `curr` must be a node of this list with `curr.key <= k`.
     unsafe fn search_from(
         &self,
         k: &K,
         mut curr: *mut Node<K, V>,
         mode: Mode,
     ) -> (*mut Node<K, V>, *mut Node<K, V>) {
-        let mut next = (*curr).right();
-        while key_before(&(*next).key, k, mode) {
-            loop {
-                let next_succ = (*next).succ();
-                if !next_succ.is_marked() {
-                    break;
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            let mut next = (*curr).right();
+            while key_before(&(*next).key, k, mode) {
+                loop {
+                    let next_succ = (*next).succ();
+                    if !next_succ.is_marked() {
+                        break;
+                    }
+                    let curr_succ = (*curr).succ();
+                    if curr_succ.is_marked() && curr_succ.ptr() == next {
+                        break;
+                    }
+                    if (*curr).right() == next {
+                        self.help_marked(curr, next);
+                    }
+                    next = (*curr).right();
+                    lf_metrics::record_next_update();
                 }
-                let curr_succ = (*curr).succ();
-                if curr_succ.is_marked() && curr_succ.ptr() == next {
-                    break;
+                if key_before(&(*next).key, k, mode) {
+                    curr = next;
+                    lf_metrics::record_curr_update();
+                    next = (*curr).right();
                 }
-                if (*curr).right() == next {
-                    self.help_marked(curr, next);
-                }
-                next = (*curr).right();
-                lf_metrics::record_next_update();
             }
-            if key_before(&(*next).key, k, mode) {
-                curr = next;
-                lf_metrics::record_curr_update();
-                next = (*curr).right();
-            }
+            (curr, next)
         }
-        (curr, next)
     }
 
     /// Walk backlinks from a marked node to the first unmarked one.
     /// Without flags this chain can be long and can revisit nodes.
+    ///
+    /// # Safety
+    ///
+    /// `prev` must be a node of this list.
     unsafe fn recover(&self, mut prev: *mut Node<K, V>) -> *mut Node<K, V> {
-        while (*prev).is_marked() {
-            let back = (*prev).backlink.load(Ordering::SeqCst);
-            if back.is_null() {
-                // Marked before any deleter stored a backlink is
-                // impossible (store precedes mark), but be defensive:
-                // restart from the head.
-                return self.head;
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            while (*prev).is_marked() {
+                let back = (*prev).backlink.load(Ordering::SeqCst);
+                if back.is_null() {
+                    // Marked before any deleter stored a backlink is
+                    // impossible (store precedes mark), but be defensive:
+                    // restart from the head.
+                    return self.head;
+                }
+                prev = back;
+                lf_metrics::record_backlink();
             }
-            prev = back;
-            lf_metrics::record_backlink();
+            prev
         }
-        prev
     }
 
+    /// # Safety
+    ///
+    /// Must only be called while the list is live; node pointers stay
+    /// valid via the graveyard.
     unsafe fn insert_impl(&self, key: K, value: V) -> bool {
-        let (mut prev, mut next) = self.search_from(&key, self.head, Mode::Le);
-        if (*prev).key.as_key() == Some(&key) {
-            return false;
-        }
-        let new_node = Node::alloc(Bound::Key(key), Some(value), std::ptr::null_mut());
-        loop {
-            (*new_node)
-                .succ
-                .store(TaggedPtr::unmarked(next), Ordering::SeqCst);
-            let res = (*prev).succ.compare_exchange(
-                TaggedPtr::unmarked(next),
-                TaggedPtr::unmarked(new_node),
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            );
-            lf_metrics::record_cas(CasType::Insert, res.is_ok());
-            if res.is_ok() {
-                self.len.fetch_add(1, Ordering::SeqCst);
-                return true;
-            }
-            prev = self.recover(prev);
-            let key_ref = (*new_node).key.as_key().expect("user key");
-            let (p, n) = self.search_from(key_ref, prev, Mode::Le);
-            prev = p;
-            next = n;
-            if (*prev).key == (*new_node).key {
-                drop(Box::from_raw(new_node));
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            let (mut prev, mut next) = self.search_from(&key, self.head, Mode::Le);
+            if (*prev).key.as_key() == Some(&key) {
                 return false;
             }
+            let new_node = Node::alloc(Bound::Key(key), Some(value), std::ptr::null_mut());
+            loop {
+                (*new_node)
+                    .succ
+                    .store(TaggedPtr::unmarked(next), Ordering::SeqCst);
+                let res = (*prev).succ.compare_exchange(
+                    TaggedPtr::unmarked(next),
+                    TaggedPtr::unmarked(new_node),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                lf_metrics::record_cas(CasType::Insert, res.is_ok());
+                if res.is_ok() {
+                    self.len.fetch_add(1, Ordering::SeqCst);
+                    return true;
+                }
+                prev = self.recover(prev);
+                let key_ref = (*new_node).key.as_key().expect("user key");
+                let (p, n) = self.search_from(key_ref, prev, Mode::Le);
+                prev = p;
+                next = n;
+                if (*prev).key == (*new_node).key {
+                    drop(Box::from_raw(new_node));
+                    return false;
+                }
+            }
         }
     }
 
+    /// # Safety
+    ///
+    /// Must only be called while the list is live; node pointers stay
+    /// valid via the graveyard.
     unsafe fn delete_impl(&self, k: &K) -> Option<V>
     where
         V: Clone,
     {
-        let (mut prev, del) = self.search_from(k, self.head, Mode::Lt);
-        if (*del).key.as_key() != Some(k) {
-            return None;
-        }
-        loop {
-            // Store the backlink to the last-known predecessor *before*
-            // marking — without a flag, `prev` may already be marked.
-            (*del).backlink.store(prev, Ordering::SeqCst);
-            let del_succ = (*del).succ();
-            if del_succ.is_marked() {
-                // Another operation's deletion wins.
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            let (mut prev, del) = self.search_from(k, self.head, Mode::Lt);
+            if (*del).key.as_key() != Some(k) {
                 return None;
             }
-            let res = (*del).succ.compare_exchange(
-                del_succ,
-                del_succ.with_mark(),
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            );
-            lf_metrics::record_cas(CasType::Mark, res.is_ok());
-            if res.is_ok() {
-                self.len.fetch_sub(1, Ordering::SeqCst);
-                let value = (*del).element.clone().expect("user node has element");
-                self.help_marked(prev, del);
-                return Some(value);
-            }
-            // `del.succ` changed: either someone marked it (next loop
-            // iteration returns None) or a node was inserted after it.
-            // Keep `prev` fresh enough by re-searching from a recovered
-            // position.
-            prev = self.recover(prev);
-            let (p, d) = self.search_from(k, prev, Mode::Lt);
-            prev = p;
-            if d != del {
-                // `del` was unlinked by someone else after being marked.
-                return None;
+            loop {
+                // Store the backlink to the last-known predecessor *before*
+                // marking — without a flag, `prev` may already be marked.
+                (*del).backlink.store(prev, Ordering::SeqCst);
+                let del_succ = (*del).succ();
+                if del_succ.is_marked() {
+                    // Another operation's deletion wins.
+                    return None;
+                }
+                let res = (*del).succ.compare_exchange(
+                    del_succ,
+                    del_succ.with_mark(),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                lf_metrics::record_cas(CasType::Mark, res.is_ok());
+                if res.is_ok() {
+                    self.len.fetch_sub(1, Ordering::SeqCst);
+                    let value = (*del).element.clone().expect("user node has element");
+                    self.help_marked(prev, del);
+                    return Some(value);
+                }
+                // `del.succ` changed: either someone marked it (next loop
+                // iteration returns None) or a node was inserted after it.
+                // Keep `prev` fresh enough by re-searching from a recovered
+                // position.
+                prev = self.recover(prev);
+                let (p, d) = self.search_from(k, prev, Mode::Lt);
+                prev = p;
+                if d != del {
+                    // `del` was unlinked by someone else after being marked.
+                    return None;
+                }
             }
         }
     }
 
+    /// # Safety
+    ///
+    /// Must only be called while the list is live; node pointers stay
+    /// valid via the graveyard.
     unsafe fn find(&self, k: &K) -> Option<*mut Node<K, V>> {
-        let (curr, _) = self.search_from(k, self.head, Mode::Le);
-        ((*curr).key.as_key() == Some(k)).then_some(curr)
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            let (curr, _) = self.search_from(k, self.head, Mode::Le);
+            ((*curr).key.as_key() == Some(k)).then_some(curr)
+        }
     }
 }
 
 impl<K, V> Drop for NoFlagList<K, V> {
     fn drop(&mut self) {
         for &addr in self.graveyard.lock().unwrap().iter() {
+            // SAFETY: graveyard entries are unlinked Box-allocated nodes,
+            // recorded exactly once by the winning unlink CAS.
             drop(unsafe { Box::from_raw(addr as *mut Node<K, V>) });
         }
         let mut cur = self.head;
         while !cur.is_null() {
+            // SAFETY: &mut self — no concurrent access; the remaining
+            // chain holds only live Box-allocated nodes.
             let next = unsafe { (*cur).right() };
+            // SAFETY: as above; each chained node is freed exactly once.
             drop(unsafe { Box::from_raw(cur) });
             cur = next;
         }
@@ -338,6 +390,7 @@ where
     /// Insert `key → value`; returns `false` on duplicate.
     pub fn insert(&self, key: K, value: V) -> bool {
         let op = lf_metrics::op_begin();
+        // SAFETY: the borrowed list is live; graveyard keeps pointers valid.
         let r = unsafe { self.list.insert_impl(key, value) };
         lf_metrics::op_end(op);
         r
@@ -349,6 +402,7 @@ where
         V: Clone,
     {
         let op = lf_metrics::op_begin();
+        // SAFETY: as for `insert`.
         let r = unsafe { self.list.delete_impl(key) };
         lf_metrics::op_end(op);
         r
@@ -357,6 +411,7 @@ where
     /// Whether `key` is present.
     pub fn contains(&self, key: &K) -> bool {
         let op = lf_metrics::op_begin();
+        // SAFETY: as for `insert`.
         let r = unsafe { self.list.find(key).is_some() };
         lf_metrics::op_end(op);
         r
@@ -368,6 +423,7 @@ where
         V: Clone,
     {
         let op = lf_metrics::op_begin();
+        // SAFETY: as for `insert`; the found node is a live user node.
         let r = unsafe {
             self.list
                 .find(key)

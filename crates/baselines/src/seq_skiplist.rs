@@ -50,6 +50,7 @@ pub struct SeqSkipList<K, V> {
 // SAFETY: `&mut self` on all mutators; raw pointers are owned solely by
 // this structure.
 unsafe impl<K: Send, V: Send> Send for SeqSkipList<K, V> {}
+// SAFETY: same argument as `Send` above; `&self` methods only read.
 unsafe impl<K: Send + Sync, V: Send + Sync> Sync for SeqSkipList<K, V> {}
 
 impl<K, V> fmt::Debug for SeqSkipList<K, V> {
@@ -113,14 +114,19 @@ impl<K: Ord, V> SeqSkipList<K, V> {
             } else {
                 std::ptr::null_mut()
             };
+            // SAFETY: every non-null pointer in the structure is a live
+            // Box-allocated node owned exclusively by this list.
             let mut next = if cur.is_null() {
                 self.head[i]
             } else {
+                // SAFETY: as above.
                 unsafe { (&(*cur).forward)[i] }
             };
+            // SAFETY: as above.
             while !next.is_null() && unsafe { &(*next).key } < key {
                 lf_metrics::record_curr_update();
                 cur = next;
+                // SAFETY: as above.
                 next = unsafe { (&(*next).forward)[i] };
             }
             update[i] = cur;
@@ -132,6 +138,8 @@ impl<K: Ord, V> SeqSkipList<K, V> {
         if pred.is_null() {
             self.head[level]
         } else {
+            // SAFETY: non-null pointers in the structure are live nodes
+            // owned exclusively by this list.
             unsafe { (&(*pred).forward)[level] }
         }
     }
@@ -141,6 +149,7 @@ impl<K: Ord, V> SeqSkipList<K, V> {
     pub fn insert(&mut self, key: K, value: V) -> bool {
         let update = self.predecessors(&key);
         let at_bottom = self.next_at(update[0], 0);
+        // SAFETY: non-null pointers in the structure are live nodes.
         if !at_bottom.is_null() && unsafe { &(*at_bottom).key } == &key {
             return false;
         }
@@ -152,12 +161,16 @@ impl<K: Ord, V> SeqSkipList<K, V> {
         }));
         for i in 0..lvl.min(self.level) {
             let pred = update[i];
+            // SAFETY: `node` was just allocated; `&mut self` gives
+            // exclusive access.
             unsafe {
                 (&mut (*node).forward)[i] = self.next_at(pred, i);
             }
             if pred.is_null() {
                 self.head[i] = node;
             } else {
+                // SAFETY: `pred` is a live node; `&mut self` gives
+                // exclusive access.
                 unsafe { (&mut (*pred).forward)[i] = node };
             }
         }
@@ -175,17 +188,22 @@ impl<K: Ord, V> SeqSkipList<K, V> {
     pub fn remove(&mut self, key: &K) -> Option<V> {
         let update = self.predecessors(key);
         let target = self.next_at(update[0], 0);
+        // SAFETY: non-null pointers in the structure are live nodes.
         if target.is_null() || unsafe { &(*target).key } != key {
             return None;
         }
+        // SAFETY: as above.
         let height = unsafe { (*target).forward.len() };
         for i in 0..height.min(self.level) {
             let pred = update.get(i).copied().unwrap_or(std::ptr::null_mut());
             if self.next_at(pred, i) == target {
+                // SAFETY: `target` is a live node (checked above).
                 let next = unsafe { (&(*target).forward)[i] };
                 if pred.is_null() {
                     self.head[i] = next;
                 } else {
+                    // SAFETY: `pred` is a live node; `&mut self` gives
+                    // exclusive access.
                     unsafe { (&mut (*pred).forward)[i] = next };
                 }
             }
@@ -194,6 +212,8 @@ impl<K: Ord, V> SeqSkipList<K, V> {
             self.level -= 1;
         }
         self.len -= 1;
+        // SAFETY: `target` is unlinked from every level above, so this
+        // is the sole remaining owner of the Box allocation.
         let boxed = unsafe { Box::from_raw(target) };
         Some(boxed.value)
     }
@@ -202,9 +222,11 @@ impl<K: Ord, V> SeqSkipList<K, V> {
     pub fn get(&self, key: &K) -> Option<&V> {
         let update = self.predecessors(key);
         let target = self.next_at(update[0], 0);
+        // SAFETY: non-null pointers in the structure are live nodes.
         if target.is_null() || unsafe { &(*target).key } != key {
             None
         } else {
+            // SAFETY: as above; the borrow is tied to `&self`.
             Some(unsafe { &(*target).value })
         }
     }
@@ -236,6 +258,8 @@ impl<'a, K: 'a, V: 'a> Iterator for SeqIter<'a, K, V> {
         if self.cur.is_null() {
             return None;
         }
+        // SAFETY: `cur` is non-null (checked) and borrowed from a live
+        // list, which keeps its nodes alive for 'a.
         let node = unsafe { &*self.cur };
         self.cur = node.forward[0];
         Some((&node.key, &node.value))
@@ -246,7 +270,10 @@ impl<K, V> Drop for SeqSkipList<K, V> {
     fn drop(&mut self) {
         let mut cur = self.head[0];
         while !cur.is_null() {
+            // SAFETY: &mut self — exclusive access; every node appears
+            // on level 0, so this walk frees each node exactly once.
             let next = unsafe { (&(*cur).forward)[0] };
+            // SAFETY: as above.
             drop(unsafe { Box::from_raw(cur) });
             cur = next;
         }

@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Benchmark and experiment harness.
 //!
 //! Defines a uniform [`BenchMap`] adapter over every dictionary in the

@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Lock-free linked lists and skip lists — the data structures of
 //! Fomitchev & Ruppert, *Lock-Free Linked Lists and Skip Lists*
 //! (PODC 2004).

@@ -29,87 +29,93 @@ where
         pool: &LocalPool<Node<K, V>>,
         guard: &Guard<'_>,
     ) -> Result<(), (K, V)> {
-        // Line 1–3: locate the insertion point, reject duplicates.
-        let (mut prev, mut next) = self.search_from(&key, self.head, Mode::Le, guard);
-        if (*prev).key.as_key() == Some(&key) {
-            return Err((key, value));
-        }
-        // Line 4: create the node on a pooled block (ownership of
-        // key/value moves in; we read them back out if the insert
-        // ultimately fails).
-        let new_node = pool.acquire(1);
-        Node::init_at(new_node, Bound::Key(key), Some(value), ptr::null_mut());
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            // Line 1–3: locate the insertion point, reject duplicates.
+            let (mut prev, mut next) = self.search_from(&key, self.head, Mode::Le, guard);
+            if (*prev).key.as_key() == Some(&key) {
+                return Err((key, value));
+            }
+            // Line 4: create the node on a pooled block (ownership of
+            // key/value moves in; we read them back out if the insert
+            // ultimately fails).
+            let new_node = pool.acquire(1);
+            Node::init_at(new_node, Bound::Key(key), Some(value), ptr::null_mut());
 
-        // Lines 5–22.
-        let backoff = Backoff::new();
-        loop {
-            let prev_succ = (*prev).succ();
-            if prev_succ.is_flagged() {
-                // Line 7–8: predecessor is flagged — help the deletion
-                // of its successor complete (which removes the flag).
-                self.help_flagged(prev, prev_succ.ptr(), guard);
-            } else {
-                // Line 10: set the new node's successor. Relaxed: the
-                // node is still thread-private; the Release insertion
-                // C&S below is what publishes this store (and every
-                // other field) to readers that Acquire-load prev.succ.
-                (*new_node)
-                    .succ
-                    .store(TaggedPtr::unmarked(next), Ordering::Relaxed);
-                // Line 11: the insertion C&S (type 1). Release on
-                // success publishes the new node's initialization —
-                // the invariant every traversal relies on when it
-                // dereferences a pointer it loaded with Acquire.
-                // Acquire on failure: the value found may be a flagged
-                // pointer whose target we dereference in HelpFlagged.
-                let res = (*prev).succ.compare_exchange(
-                    TaggedPtr::unmarked(next),
-                    TaggedPtr::unmarked(new_node),
-                    Ordering::Release,
-                    Ordering::Acquire,
-                );
-                lf_metrics::record_cas(CasType::Insert, res.is_ok());
-                match res {
-                    Ok(_) => {
-                        // Line 12–13: success. Relaxed: `len` is a pure
-                        // statistic (never dereferenced, orders nothing).
-                        self.len.fetch_add(1, Ordering::Relaxed);
-                        return Ok(());
-                    }
-                    Err(found) => {
-                        // Contended edge: let the winning thread finish
-                        // before we re-read and retry.
-                        backoff.spin();
-                        // Line 15–16: failure due to flagging — help.
-                        if found.is_flagged() {
-                            self.help_flagged(prev, found.ptr(), guard);
+            // Lines 5–22.
+            let backoff = Backoff::new();
+            loop {
+                let prev_succ = (*prev).succ();
+                if prev_succ.is_flagged() {
+                    // Line 7–8: predecessor is flagged — help the deletion
+                    // of its successor complete (which removes the flag).
+                    self.help_flagged(prev, prev_succ.ptr(), guard);
+                } else {
+                    // Line 10: set the new node's successor. Relaxed: the
+                    // node is still thread-private; the Release insertion
+                    // C&S below is what publishes this store (and every
+                    // other field) to readers that Acquire-load prev.succ.
+                    // ord: Relaxed — LIST.node-init: node is thread-private until the insert C&S
+                    (*new_node)
+                        .succ
+                        .store(TaggedPtr::unmarked(next), Ordering::Relaxed);
+                    // Line 11: the insertion C&S (type 1). Release on
+                    // success publishes the new node's initialization —
+                    // the invariant every traversal relies on when it
+                    // dereferences a pointer it loaded with Acquire.
+                    // Acquire on failure: the value found may be a flagged
+                    // pointer whose target we dereference in HelpFlagged.
+                    // ord: Release/Acquire — LIST.insert-cas: publish node init; inspect failure
+                    let res = (*prev).succ.compare_exchange(
+                        TaggedPtr::unmarked(next),
+                        TaggedPtr::unmarked(new_node),
+                        Ordering::Release,
+                        Ordering::Acquire,
+                    );
+                    lf_metrics::record_cas(CasType::Insert, res.is_ok());
+                    match res {
+                        Ok(_) => {
+                            // Line 12–13: success. Relaxed: `len` is a pure
+                            // statistic (never dereferenced, orders nothing).
+                            // ord: Relaxed — STAT.len: pure statistic
+                            self.len.fetch_add(1, Ordering::Relaxed);
+                            return Ok(());
                         }
-                        // Line 17–18: failure possibly due to marking —
-                        // walk backlinks to the first unmarked node.
-                        while (*prev).is_marked() {
-                            let back = (*prev).backlink();
-                            debug_assert!(!back.is_null(), "marked node lacks backlink");
-                            prev = back;
-                            lf_metrics::record_backlink();
+                        Err(found) => {
+                            // Contended edge: let the winning thread finish
+                            // before we re-read and retry.
+                            backoff.spin();
+                            // Line 15–16: failure due to flagging — help.
+                            if found.is_flagged() {
+                                self.help_flagged(prev, found.ptr(), guard);
+                            }
+                            // Line 17–18: failure possibly due to marking —
+                            // walk backlinks to the first unmarked node.
+                            while (*prev).is_marked() {
+                                let back = (*prev).backlink();
+                                debug_assert!(!back.is_null(), "marked node lacks backlink");
+                                prev = back;
+                                lf_metrics::record_backlink();
+                            }
                         }
                     }
                 }
-            }
-            // Line 19: re-search from the recovered position.
-            let key_ref = (*new_node).key.as_key().expect("new node has user key");
-            let (p, n) = self.search_from(key_ref, prev, Mode::Le, guard);
-            prev = p;
-            next = n;
-            // Line 20–22: a concurrent insert won the key. The node was
-            // never published, so move key/element back out and return
-            // the block to the thread-local pool.
-            if (*prev).key == (*new_node).key {
-                let k = ptr::read(&(*new_node).key);
-                let v = ptr::read(&(*new_node).element);
-                pool.release(new_node, 1);
-                match (k, v) {
-                    (Bound::Key(k), Some(v)) => return Err((k, v)),
-                    _ => unreachable!("new node always carries key and element"),
+                // Line 19: re-search from the recovered position.
+                let key_ref = (*new_node).key.as_key().expect("new node has user key");
+                let (p, n) = self.search_from(key_ref, prev, Mode::Le, guard);
+                prev = p;
+                next = n;
+                // Line 20–22: a concurrent insert won the key. The node was
+                // never published, so move key/element back out and return
+                // the block to the thread-local pool.
+                if (*prev).key == (*new_node).key {
+                    let k = ptr::read(&(*new_node).key);
+                    let v = ptr::read(&(*new_node).element);
+                    pool.release(new_node, 1);
+                    match (k, v) {
+                        (Bound::Key(k), Some(v)) => return Err((k, v)),
+                        _ => unreachable!("new node always carries key and element"),
+                    }
                 }
             }
         }
@@ -124,30 +130,34 @@ where
     where
         V: Clone,
     {
-        // Line 1: SearchFrom(k − ε, head).
-        let (prev, del) = self.search_from(k, self.head, Mode::Lt, guard);
-        // Line 2–3: k is not in the list.
-        if (*del).key.as_key() != Some(k) {
-            return None;
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            // Line 1: SearchFrom(k − ε, head).
+            let (prev, del) = self.search_from(k, self.head, Mode::Lt, guard);
+            // Line 2–3: k is not in the list.
+            if (*del).key.as_key() != Some(k) {
+                return None;
+            }
+            // Line 4: first deletion step — flag the predecessor.
+            let (prev, result) = self.try_flag(prev, del, guard);
+            // Line 5–6: if we know the flagged predecessor, complete the
+            // marking and physical deletion (steps two and three).
+            if !prev.is_null() {
+                self.help_flagged(prev, del, guard);
+            }
+            // Line 7–8: another operation's deletion wins, or `del` vanished.
+            if !result {
+                return None;
+            }
+            // Line 9: success — this operation owns the deletion. Relaxed:
+            // pure statistic (see `insert_impl`).
+            // ord: Relaxed — STAT.len: pure statistic
+            self.len.fetch_sub(1, Ordering::Relaxed);
+            // Reading `del`'s element is safe: its initialization
+            // happened-before the Acquire load that gave us `del` in
+            // SearchFrom, and the guard keeps it from being reclaimed.
+            Some((*del).element.clone().expect("user node has element"))
         }
-        // Line 4: first deletion step — flag the predecessor.
-        let (prev, result) = self.try_flag(prev, del, guard);
-        // Line 5–6: if we know the flagged predecessor, complete the
-        // marking and physical deletion (steps two and three).
-        if !prev.is_null() {
-            self.help_flagged(prev, del, guard);
-        }
-        // Line 7–8: another operation's deletion wins, or `del` vanished.
-        if !result {
-            return None;
-        }
-        // Line 9: success — this operation owns the deletion. Relaxed:
-        // pure statistic (see `insert_impl`).
-        self.len.fetch_sub(1, Ordering::Relaxed);
-        // Reading `del`'s element is safe: its initialization
-        // happened-before the Acquire load that gave us `del` in
-        // SearchFrom, and the guard keeps it from being reclaimed.
-        Some((*del).element.clone().expect("user node has element"))
     }
 
     /// Paper `TryFlag(prev_node, target_node)` (Fig. 5): repeatedly
@@ -167,54 +177,58 @@ where
         target: *mut Node<K, V>,
         guard: &Guard<'_>,
     ) -> (*mut Node<K, V>, bool) {
-        let flagged = TaggedPtr::new(target, TagBits::Flagged);
-        let backoff = Backoff::new();
-        loop {
-            // Line 2–3: predecessor already flagged by someone else.
-            if (*prev).succ() == flagged {
-                return (prev, false);
-            }
-            // Line 4: the flagging C&S (type 2). Release on success: the
-            // flag freezes the edge prev → target and is read by helpers
-            // through Acquire loads that then dereference `target`; as
-            // an RMW it extends the release sequence of the C&S that
-            // published `target`, and Release additionally orders this
-            // thread's prior accesses for those helpers. Acquire on
-            // failure: the found pointer may be dereferenced (flagged →
-            // HelpFlagged) or its key read after the backlink walk.
-            let res = (*prev).succ.compare_exchange(
-                TaggedPtr::unmarked(target),
-                flagged,
-                Ordering::Release,
-                Ordering::Acquire,
-            );
-            lf_metrics::record_cas(CasType::Flag, res.is_ok());
-            match res {
-                // Line 5–6: we placed the flag.
-                Ok(_) => return (prev, true),
-                Err(found) => {
-                    // Line 7–8: concurrent operation flagged it first.
-                    if found == flagged {
-                        return (prev, false);
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            let flagged = TaggedPtr::new(target, TagBits::Flagged);
+            let backoff = Backoff::new();
+            loop {
+                // Line 2–3: predecessor already flagged by someone else.
+                if (*prev).succ() == flagged {
+                    return (prev, false);
+                }
+                // Line 4: the flagging C&S (type 2). Release on success: the
+                // flag freezes the edge prev → target and is read by helpers
+                // through Acquire loads that then dereference `target`; as
+                // an RMW it extends the release sequence of the C&S that
+                // published `target`, and Release additionally orders this
+                // thread's prior accesses for those helpers. Acquire on
+                // failure: the found pointer may be dereferenced (flagged →
+                // HelpFlagged) or its key read after the backlink walk.
+                // ord: Release/Acquire — LIST.flag-cas: freeze edge; failure is decoded
+                let res = (*prev).succ.compare_exchange(
+                    TaggedPtr::unmarked(target),
+                    flagged,
+                    Ordering::Release,
+                    Ordering::Acquire,
+                );
+                lf_metrics::record_cas(CasType::Flag, res.is_ok());
+                match res {
+                    // Line 5–6: we placed the flag.
+                    Ok(_) => return (prev, true),
+                    Err(found) => {
+                        // Line 7–8: concurrent operation flagged it first.
+                        if found == flagged {
+                            return (prev, false);
+                        }
+                        // Contended edge: back off before the recovery walk
+                        // and retry (paper Fig. 5 lines 9–13).
+                        backoff.spin();
+                        // Line 9–10: recover from marking via backlinks.
+                        while (*prev).is_marked() {
+                            let back = (*prev).backlink();
+                            debug_assert!(!back.is_null(), "marked node lacks backlink");
+                            prev = back;
+                            lf_metrics::record_backlink();
+                        }
+                        // Line 11–13: relocate target's predecessor.
+                        let key_ref = (*target).key.as_key().expect("delete target has user key");
+                        let (p, d) = self.search_from(key_ref, prev, Mode::Lt, guard);
+                        if d != target {
+                            // Target got deleted from the list.
+                            return (ptr::null_mut(), false);
+                        }
+                        prev = p;
                     }
-                    // Contended edge: back off before the recovery walk
-                    // and retry (paper Fig. 5 lines 9–13).
-                    backoff.spin();
-                    // Line 9–10: recover from marking via backlinks.
-                    while (*prev).is_marked() {
-                        let back = (*prev).backlink();
-                        debug_assert!(!back.is_null(), "marked node lacks backlink");
-                        prev = back;
-                        lf_metrics::record_backlink();
-                    }
-                    // Line 11–13: relocate target's predecessor.
-                    let key_ref = (*target).key.as_key().expect("delete target has user key");
-                    let (p, d) = self.search_from(key_ref, prev, Mode::Lt, guard);
-                    if d != target {
-                        // Target got deleted from the list.
-                        return (ptr::null_mut(), false);
-                    }
-                    prev = p;
                 }
             }
         }
@@ -234,20 +248,24 @@ where
         del: *mut Node<K, V>,
         guard: &Guard<'_>,
     ) {
-        // Line 1: the backlink is set *before* the node can be marked,
-        // and every helper writes the same predecessor (the flag freezes
-        // the edge prev → del until physical deletion), so the backlink
-        // never changes once set (INV 4). Release: recovery walks
-        // Acquire-load this field and dereference `prev`; the edge
-        // carries the happens-before to prev's initialization (which we
-        // hold from the Acquire load that found the flag).
-        (*del).backlink.store(prev, Ordering::Release);
-        // Line 2–3: second deletion step.
-        if !(*del).is_marked() {
-            self.try_mark(del, guard);
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            // Line 1: the backlink is set *before* the node can be marked,
+            // and every helper writes the same predecessor (the flag freezes
+            // the edge prev → del until physical deletion), so the backlink
+            // never changes once set (INV 4). Release: recovery walks
+            // Acquire-load this field and dereference `prev`; the edge
+            // carries the happens-before to prev's initialization (which we
+            // hold from the Acquire load that found the flag).
+            // ord: Release — LIST.backlink-set: set before mark, read after mark
+            (*del).backlink.store(prev, Ordering::Release);
+            // Line 2–3: second deletion step.
+            if !(*del).is_marked() {
+                self.try_mark(del, guard);
+            }
+            // Line 4: third deletion step.
+            self.help_marked(prev, del, guard);
         }
-        // Line 4: third deletion step.
-        self.help_marked(prev, del, guard);
     }
 
     /// Paper `TryMark(del_node)` (Fig. 4): loop the type-3 (marking)
@@ -257,38 +275,42 @@ where
     ///
     /// `del` must be a node of this list protected by `guard`.
     pub(crate) unsafe fn try_mark(&self, del: *mut Node<K, V>, guard: &Guard<'_>) {
-        let backoff = Backoff::new();
-        loop {
-            // Line 2: read the right pointer (Acquire via `right`; the
-            // unlink C&S will re-install `next` into the predecessor).
-            let next = (*del).right();
-            // Line 3: the marking C&S (type 3). Release on success: the
-            // mark freezes `succ` forever (INV 2); unlinkers Acquire-load
-            // the frozen field and install its `next` into the
-            // predecessor, relying on this RMW extending next's release
-            // sequence. Acquire on failure: the found pointer is
-            // dereferenced below when flagged.
-            let res = (*del).succ.compare_exchange(
-                TaggedPtr::unmarked(next),
-                TaggedPtr::new(next, TagBits::Marked),
-                Ordering::Release,
-                Ordering::Acquire,
-            );
-            lf_metrics::record_cas(CasType::Mark, res.is_ok());
-            // Line 4–5: failure due to flagging — help that deletion
-            // finish first (it will unflag `del`).
-            if let Err(found) = res {
-                if found.is_flagged() {
-                    self.help_flagged(del, found.ptr(), guard);
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            let backoff = Backoff::new();
+            loop {
+                // Line 2: read the right pointer (Acquire via `right`; the
+                // unlink C&S will re-install `next` into the predecessor).
+                let next = (*del).right();
+                // Line 3: the marking C&S (type 3). Release on success: the
+                // mark freezes `succ` forever (INV 2); unlinkers Acquire-load
+                // the frozen field and install its `next` into the
+                // predecessor, relying on this RMW extending next's release
+                // sequence. Acquire on failure: the found pointer is
+                // dereferenced below when flagged.
+                // ord: Release/Acquire — LIST.mark-cas: mark freezes succ; failure decoded
+                let res = (*del).succ.compare_exchange(
+                    TaggedPtr::unmarked(next),
+                    TaggedPtr::new(next, TagBits::Marked),
+                    Ordering::Release,
+                    Ordering::Acquire,
+                );
+                lf_metrics::record_cas(CasType::Mark, res.is_ok());
+                // Line 4–5: failure due to flagging — help that deletion
+                // finish first (it will unflag `del`).
+                if let Err(found) = res {
+                    if found.is_flagged() {
+                        self.help_flagged(del, found.ptr(), guard);
+                    }
                 }
+                // Line 6: repeat until marked.
+                if (*del).is_marked() {
+                    return;
+                }
+                // Still unmarked: we lost a C&S race on this field; back off
+                // before retrying it.
+                backoff.spin();
             }
-            // Line 6: repeat until marked.
-            if (*del).is_marked() {
-                return;
-            }
-            // Still unmarked: we lost a C&S race on this field; back off
-            // before retrying it.
-            backoff.spin();
         }
     }
 }

@@ -102,6 +102,7 @@ pub struct FrList<K, V> {
 // backlinks; nodes are freed only via the epoch collector or in `Drop`
 // (unique access). `K`/`V` cross threads, hence the bounds.
 unsafe impl<K: Send + Sync, V: Send + Sync> Send for FrList<K, V> {}
+// SAFETY: same argument as `Send` above.
 unsafe impl<K: Send + Sync, V: Send + Sync> Sync for FrList<K, V> {}
 
 impl<K, V> Default for FrList<K, V>
@@ -117,6 +118,7 @@ where
 impl<K, V> fmt::Debug for FrList<K, V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("FrList")
+            // ord: Relaxed — STAT.len: pure statistic
             .field("len", &self.len.load(Ordering::Relaxed))
             .finish()
     }
@@ -189,6 +191,7 @@ impl<K, V> FrList<K, V> {
         // Relaxed: the counter is a statistic, not a synchronization
         // point — it orders nothing and is never dereferenced. Exactness
         // when quiescent comes from whatever joined the threads.
+        // ord: Relaxed — STAT.len: pure statistic
         self.len.load(Ordering::Relaxed)
     }
 
@@ -207,10 +210,13 @@ impl<K, V> FrList<K, V> {
         K: Ord,
     {
         let mut count = 0usize;
+        // SAFETY: quiescence (caller contract) means no concurrent
+        // updates or reclamation; every pointer on the chain is live.
         unsafe {
             let mut cur = self.head;
             loop {
-                let succ = (*cur).succ.load(Ordering::SeqCst);
+                // ord: Acquire — DIAG.quiescent: quiescent-only diagnostic walk
+                let succ = (*cur).succ.load(Ordering::Acquire);
                 assert!(!succ.is_marked(), "quiescent list has a marked node");
                 assert!(!succ.is_flagged(), "quiescent list has a flagged node");
                 let next = succ.ptr();
@@ -242,7 +248,10 @@ impl<K, V> Drop for FrList<K, V> {
         // `collector` drops right after.
         let mut cur = self.head;
         while !cur.is_null() {
+            // SAFETY: `&mut self` gives unique access; chain nodes were
+            // Box-allocated and are freed exactly once here.
             let next = unsafe { (*cur).right() };
+            // SAFETY: as above.
             drop(unsafe { Box::from_raw(cur) });
             cur = next;
         }
@@ -282,6 +291,7 @@ where
     pub fn insert(&self, key: K, value: V) -> Result<(), (K, V)> {
         let op = lf_metrics::op_begin();
         let guard = self.reclaim.pin();
+        // SAFETY: `guard` pins this list's collector; `pool` fronts its pool.
         let res = unsafe { self.list.insert_impl(key, value, &self.pool, &guard) };
         drop(guard);
         lf_metrics::op_end(op);
@@ -298,6 +308,7 @@ where
     {
         let op = lf_metrics::op_begin();
         let guard = self.reclaim.pin();
+        // SAFETY: `guard` pins this list's collector.
         let res = unsafe { self.list.delete_impl(key, &guard) };
         drop(guard);
         lf_metrics::op_end(op);
@@ -311,6 +322,8 @@ where
     {
         let op = lf_metrics::op_begin();
         let guard = self.reclaim.pin();
+        // SAFETY: `guard` pins this list's collector; the returned node
+        // stays live while `guard` is held.
         let res = unsafe {
             self.list
                 .search_impl(key, &guard)
@@ -325,6 +338,7 @@ where
     pub fn contains(&self, key: &K) -> bool {
         let op = lf_metrics::op_begin();
         let guard = self.reclaim.pin();
+        // SAFETY: `guard` pins this list's collector.
         let res = unsafe { self.list.search_impl(key, &guard).is_some() };
         drop(guard);
         lf_metrics::op_end(op);

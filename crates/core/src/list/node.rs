@@ -72,12 +72,15 @@ impl<K, V> Node<K, V> {
         element: Option<V>,
         right: *mut Node<K, V>,
     ) {
-        ptr.write(Node {
-            key,
-            element,
-            succ: AtomicTaggedPtr::new(TaggedPtr::unmarked(right)),
-            backlink: AtomicPtr::new(std::ptr::null_mut()),
-        });
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            ptr.write(Node {
+                key,
+                element,
+                succ: AtomicTaggedPtr::new(TaggedPtr::unmarked(right)),
+                backlink: AtomicPtr::new(std::ptr::null_mut()),
+            });
+        }
     }
 
     /// Load the successor field.
@@ -89,6 +92,7 @@ impl<K, V> Node<K, V> {
     /// `HelpMarked`, which re-publishes its `next` operand).
     #[inline]
     pub(crate) fn succ(&self) -> TaggedPtr<Node<K, V>> {
+        // ord: Acquire — LIST.traverse: loaded pointer is the next hop
         self.succ.load(Ordering::Acquire)
     }
 
@@ -112,6 +116,7 @@ impl<K, V> Node<K, V> {
     /// initialization.
     #[inline]
     pub(crate) fn backlink(&self) -> *mut Node<K, V> {
+        // ord: Acquire — LIST.backlink-walk: predecessor is dereferenced
         self.backlink.load(Ordering::Acquire)
     }
 }

@@ -48,38 +48,41 @@ where
         mode: Mode,
         guard: &Guard<'_>,
     ) -> (*mut Node<K, V>, *mut Node<K, V>) {
-        let mut next = (*curr).right();
-        // Line 2: while next_node.key <= k (or < for SearchFrom2).
-        while key_before(&(*next).key, k, mode) {
-            // Lines 3–6: ensure either next is unmarked, or both curr
-            // and next are marked and curr was marked earlier (we are
-            // inside a deleted region and may traverse through it).
-            loop {
-                let next_succ = (*next).succ();
-                if !next_succ.is_marked() {
-                    break;
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            let mut next = (*curr).right();
+            // Line 2: while next_node.key <= k (or < for SearchFrom2).
+            while key_before(&(*next).key, k, mode) {
+                // Lines 3–6: ensure either next is unmarked, or both curr
+                // and next are marked and curr was marked earlier (we are
+                // inside a deleted region and may traverse through it).
+                loop {
+                    let next_succ = (*next).succ();
+                    if !next_succ.is_marked() {
+                        break;
+                    }
+                    let curr_succ = (*curr).succ();
+                    if curr_succ.is_marked() && curr_succ.ptr() == next {
+                        break;
+                    }
+                    // Line 4–5: if curr still points at the marked next,
+                    // help complete its physical deletion.
+                    if (*curr).right() == next {
+                        self.help_marked(curr, next, guard);
+                    }
+                    // Line 6: re-read curr's right pointer.
+                    next = (*curr).right();
+                    lf_metrics::record_next_update();
                 }
-                let curr_succ = (*curr).succ();
-                if curr_succ.is_marked() && curr_succ.ptr() == next {
-                    break;
+                // Line 7–9: advance if next still precedes k.
+                if key_before(&(*next).key, k, mode) {
+                    curr = next;
+                    lf_metrics::record_curr_update();
+                    next = (*curr).right();
                 }
-                // Line 4–5: if curr still points at the marked next,
-                // help complete its physical deletion.
-                if (*curr).right() == next {
-                    self.help_marked(curr, next, guard);
-                }
-                // Line 6: re-read curr's right pointer.
-                next = (*curr).right();
-                lf_metrics::record_next_update();
             }
-            // Line 7–9: advance if next still precedes k.
-            if key_before(&(*next).key, k, mode) {
-                curr = next;
-                lf_metrics::record_curr_update();
-                next = (*curr).right();
-            }
+            (curr, next)
         }
-        (curr, next)
     }
 
     /// Paper `Search(k)` core: returns the node with key `k` if the
@@ -90,8 +93,11 @@ where
     /// `guard` must pin this list's collector; the returned pointer is
     /// valid while `guard` lives.
     pub(crate) unsafe fn search_impl(&self, k: &K, guard: &Guard<'_>) -> Option<*mut Node<K, V>> {
-        let (curr, _next) = self.search_from(k, self.head, Mode::Le, guard);
-        ((*curr).key.as_key() == Some(k)).then_some(curr)
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            let (curr, _next) = self.search_from(k, self.head, Mode::Le, guard);
+            ((*curr).key.as_key() == Some(k)).then_some(curr)
+        }
     }
 
     /// Paper `HelpMarked(prev_node, del_node)` (Fig. 3): the type-4
@@ -107,37 +113,46 @@ where
         del: *mut Node<K, V>,
         guard: &Guard<'_>,
     ) {
-        // Acquire (via `right`): `next` was frozen into del.succ by the
-        // marking C&S; we hold the happens-before to its initialization
-        // before re-publishing it below.
-        let next = (*del).right();
-        // The unlink C&S (type 4, Fig. 3). Release on success: installs
-        // `next` into a field other threads Acquire-load and dereference,
-        // so its initialization must be republished here. Relaxed on
-        // failure: the result is discarded — some other helper completed
-        // the physical deletion — and the found value is never used.
-        let res = (*prev).succ.compare_exchange(
-            TaggedPtr::new(del, TagBits::Flagged),
-            TaggedPtr::unmarked(next),
-            Ordering::Release,
-            Ordering::Relaxed,
-        );
-        lf_metrics::record_cas(CasType::Unlink, res.is_ok());
-        if res.is_ok() {
-            // Exactly one unlink C&S succeeds per node (its predecessor
-            // is unique and flagged, and a physically deleted node can
-            // never be re-linked), so this retire happens exactly once.
-            self.retire(del, guard);
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            // Acquire (via `right`): `next` was frozen into del.succ by the
+            // marking C&S; we hold the happens-before to its initialization
+            // before re-publishing it below.
+            let next = (*del).right();
+            // The unlink C&S (type 4, Fig. 3). Release on success: installs
+            // `next` into a field other threads Acquire-load and dereference,
+            // so its initialization must be republished here. Relaxed on
+            // failure: the result is discarded — some other helper completed
+            // the physical deletion — and the found value is never used.
+            // ord: Release/Relaxed — LIST.unlink-cas: republish next; failure discarded
+            let res = (*prev).succ.compare_exchange(
+                TaggedPtr::new(del, TagBits::Flagged),
+                TaggedPtr::unmarked(next),
+                Ordering::Release,
+                Ordering::Relaxed,
+            );
+            lf_metrics::record_cas(CasType::Unlink, res.is_ok());
+            if res.is_ok() {
+                // Exactly one unlink C&S succeeds per node (its predecessor
+                // is unique and flagged, and a physically deleted node can
+                // never be re-linked), so this retire happens exactly once.
+                self.retire(del, guard);
+            }
         }
     }
 
     /// Queue a physically deleted node for recycling once all current
     /// pins drain: key and element are dropped, the block goes back to
     /// the list's pool.
+    ///
+    /// # Safety
+    ///
+    /// `node` must be physically deleted (unreachable from the head) and
+    /// retired at most once; `guard` must pin this list's collector.
     pub(crate) unsafe fn retire(&self, node: *mut Node<K, V>, guard: &Guard<'_>) {
         let pool = std::sync::Arc::clone(&self.pool);
         let addr = node as usize;
-        guard.defer_unchecked(move || {
+        let destroy = move || {
             let node = addr as *mut Node<K, V>;
             // SAFETY: grace elapsed, so no thread can reach `node`; the
             // unlink C&S fired this closure exactly once. Key/element
@@ -148,6 +163,9 @@ where
                 std::ptr::drop_in_place(&mut (*node).element);
                 pool.recycle(addr, 1);
             }
-        });
+        };
+        // SAFETY: the closure touches the node only after grace elapses
+        // (the fn's `# Safety` contract makes it unreachable by then).
+        unsafe { guard.defer_unchecked(destroy) };
     }
 }

@@ -96,6 +96,8 @@ impl<T> Drop for SharedPool<T> {
         for (i, bucket) in buckets.iter().enumerate() {
             let layout = Self::layout(i + 1);
             for &addr in bucket {
+                // SAFETY: `addr` was produced by `alloc` with this same
+                // per-bucket layout and is owned solely by the pool.
                 unsafe { dealloc(addr as *mut u8, layout) };
             }
         }
@@ -133,6 +135,7 @@ impl<T> LocalPool<T> {
             return addr as *mut T;
         }
         let layout = SharedPool::<T>::layout(cap);
+        // SAFETY: `layout` has non-zero size (`T` is a node type).
         let ptr = unsafe { alloc(layout) } as *mut T;
         if ptr.is_null() {
             handle_alloc_error(layout);

@@ -107,6 +107,7 @@ where
         // Relaxed: only uniqueness of the tickets matters (the RMW's
         // atomicity alone guarantees that); FIFO among equal priorities
         // needs nothing more — concurrent pushes are unordered anyway.
+        // ord: Relaxed — PQ.ticket: uniqueness via RMW atomicity alone
         let seq = self.queue.seq.fetch_add(1, Ordering::Relaxed);
         self.inner
             .insert((priority, seq), item)

@@ -28,26 +28,30 @@ where
     where
         V: Clone,
     {
-        let (prev, del) = self.search_to_level(k, 1, Mode::Lt, guard);
-        if (*del).key_ref().as_key() != Some(k) {
-            return None;
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            let (prev, del) = self.search_to_level(k, 1, Mode::Lt, guard);
+            if (*del).key_ref().as_key() != Some(k) {
+                return None;
+            }
+            if !self.delete_node(prev, del, guard) {
+                // Another operation owns this deletion (it reports the
+                // success), or the node vanished first.
+                return None;
+            }
+            // Relaxed: `len` is a pure statistic (never dereferenced,
+            // orders nothing).
+            // ord: Relaxed — STAT.len: pure statistic, no ordering role
+            self.len.fetch_sub(1, Ordering::Relaxed);
+            // The root is retired only when the whole tower's references
+            // drain, and we hold a guard — the element stays readable.
+            let value = (*del).element.clone().expect("root node has element");
+            // Dismantle the now-superfluous upper nodes from top to bottom.
+            if self.max_level > 2 {
+                let _ = self.search_to_level(k, 2, Mode::Le, guard);
+            }
+            Some(value)
         }
-        if !self.delete_node(prev, del, guard) {
-            // Another operation owns this deletion (it reports the
-            // success), or the node vanished first.
-            return None;
-        }
-        // Relaxed: `len` is a pure statistic (never dereferenced,
-        // orders nothing).
-        self.len.fetch_sub(1, Ordering::Relaxed);
-        // The root is retired only when the whole tower's references
-        // drain, and we hold a guard — the element stays readable.
-        let value = (*del).element.clone().expect("root node has element");
-        // Dismantle the now-superfluous upper nodes from top to bottom.
-        if self.max_level > 2 {
-            let _ = self.search_to_level(k, 2, Mode::Le, guard);
-        }
-        Some(value)
     }
 
     /// Delete one node at its level: the linked-list `Delete` steps —
@@ -66,10 +70,13 @@ where
         del: *mut SkipNode<K, V>,
         guard: &Guard<'_>,
     ) -> bool {
-        let (prev, status, did_flag) = self.try_flag_node(prev, del, guard);
-        if status == FlagStatus::In {
-            self.help_flagged(prev, del, guard);
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            let (prev, status, did_flag) = self.try_flag_node(prev, del, guard);
+            if status == FlagStatus::In {
+                self.help_flagged(prev, del, guard);
+            }
+            did_flag
         }
-        did_flag
     }
 }

@@ -59,104 +59,110 @@ where
         pool: &LocalPool<SkipNode<K, V>>,
         guard: &Guard<'_>,
     ) -> Result<(), (K, V)> {
-        let (mut prev, mut next) = self.search_to_level(&key, 1, Mode::Le, guard);
-        if (*prev).key_ref().as_key() == Some(&key) {
-            return Err((key, value));
-        }
-        let height = self.random_height();
-        let root = pool.acquire(height);
-        SkipNode::init_tower_at(root, height, key, value);
-        let mut new_node = root;
-        let mut cur_level = 1usize;
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            let (mut prev, mut next) = self.search_to_level(&key, 1, Mode::Le, guard);
+            if (*prev).key_ref().as_key() == Some(&key) {
+                return Err((key, value));
+            }
+            let height = self.random_height();
+            let root = pool.acquire(height);
+            SkipNode::init_tower_at(root, height, key, value);
+            let mut new_node = root;
+            let mut cur_level = 1usize;
 
-        loop {
-            let result = self.insert_node(new_node, &mut prev, &mut next, guard);
+            loop {
+                let result = self.insert_node(new_node, &mut prev, &mut next, guard);
 
-            if result == LevelInsert::Duplicate && cur_level == 1 {
-                // The root was never published; move key/element back
-                // out, return the block to the pool, and hand the pair
-                // back.
-                let k = ptr::read(&(*root).key);
-                let v = ptr::read(&(*root).element);
-                pool.release(root, height);
-                match (k, v) {
-                    (Bound::Key(k), Some(v)) => return Err((k, v)),
-                    _ => unreachable!("root carries key and element"),
+                if result == LevelInsert::Duplicate && cur_level == 1 {
+                    // The root was never published; move key/element back
+                    // out, return the block to the pool, and hand the pair
+                    // back.
+                    let k = ptr::read(&(*root).key);
+                    let v = ptr::read(&(*root).element);
+                    pool.release(root, height);
+                    match (k, v) {
+                        (Bound::Key(k), Some(v)) => return Err((k, v)),
+                        _ => unreachable!("root carries key and element"),
+                    }
                 }
-            }
 
-            if result == LevelInsert::Inserted && cur_level == 1 {
-                // Linearization point of a successful insertion.
-                // Relaxed: `len` is a pure statistic (never
-                // dereferenced, orders nothing).
-                self.len.fetch_add(1, Ordering::Relaxed);
-            }
+                if result == LevelInsert::Inserted && cur_level == 1 {
+                    // Linearization point of a successful insertion.
+                    // Relaxed: `len` is a pure statistic (never
+                    // dereferenced, orders nothing).
+                    // ord: Relaxed — STAT.len: pure statistic, no ordering role
+                    self.len.fetch_add(1, Ordering::Relaxed);
+                }
 
-            if (*root).is_marked() {
-                // The tower became superfluous while we were building.
-                match result {
-                    LevelInsert::Inserted if new_node != root => {
-                        // We just linked a node into a superfluous
-                        // tower: delete it again (all three steps). A
-                        // targeted delete can be deflected when another
-                        // interrupted construction left a same-key
-                        // superfluous node at this level (the Lt-mode
-                        // relocation search stops at the first of
-                        // them), so loop with Le-mode cleaning searches
-                        // — which delete every superfluous node on
-                        // their path — until our node is marked.
-                        self.delete_node(prev, new_node, guard);
-                        while !(*new_node).is_marked() {
-                            let key_ref = (*root).key.as_key().expect("root has user key");
-                            let _ = self.search_to_level(key_ref, cur_level, Mode::Le, guard);
+                if (*root).is_marked() {
+                    // The tower became superfluous while we were building.
+                    match result {
+                        LevelInsert::Inserted if new_node != root => {
+                            // We just linked a node into a superfluous
+                            // tower: delete it again (all three steps). A
+                            // targeted delete can be deflected when another
+                            // interrupted construction left a same-key
+                            // superfluous node at this level (the Lt-mode
+                            // relocation search stops at the first of
+                            // them), so loop with Le-mode cleaning searches
+                            // — which delete every superfluous node on
+                            // their path — until our node is marked.
+                            self.delete_node(prev, new_node, guard);
+                            while !(*new_node).is_marked() {
+                                let key_ref = (*root).key.as_key().expect("root has user key");
+                                let _ = self.search_to_level(key_ref, cur_level, Mode::Le, guard);
+                            }
                         }
+                        LevelInsert::Duplicate => {
+                            // `new_node` (an upper node) was never linked:
+                            // undo its tower accounting. The node itself is
+                            // part of the root's block and needs no freeing.
+                            self.abandon_upper(root, new_node);
+                        }
+                        _ => {}
                     }
-                    LevelInsert::Duplicate => {
-                        // `new_node` (an upper node) was never linked:
-                        // undo its tower accounting. The node itself is
-                        // part of the root's block and needs no freeing.
-                        self.abandon_upper(root, new_node);
-                    }
-                    _ => {}
+                    self.release_tower_ref(root, guard); // construction ref
+                    return Ok(());
                 }
-                self.release_tower_ref(root, guard); // construction ref
-                return Ok(());
-            }
 
-            if result == LevelInsert::Duplicate {
-                // A leftover superfluous node with our key occupies this
-                // level; our searches delete superfluous towers, so
-                // retrying makes progress.
+                if result == LevelInsert::Duplicate {
+                    // A leftover superfluous node with our key occupies this
+                    // level; our searches delete superfluous towers, so
+                    // retrying makes progress.
+                    let key_ref = (*root).key.as_key().expect("root has user key");
+                    let (p, n) = self.search_to_level(key_ref, cur_level, Mode::Le, guard);
+                    prev = p;
+                    next = n;
+                    continue;
+                }
+
+                cur_level += 1;
+                if cur_level > height {
+                    self.release_tower_ref(root, guard); // construction ref
+                    return Ok(());
+                }
+
+                // Grow the tower: the next block element is the next level's
+                // node. Account for it before it can be linked (and thus
+                // unlinked) by anyone. Relaxed increment: we hold the
+                // construction reference, so the count cannot reach zero
+                // concurrently (same argument as `Arc::clone`); our final
+                // `release_tower_ref` (an AcqRel RMW on the same counter)
+                // orders everything done here before the last decrement.
+                let upper = root.add(cur_level - 1);
+                // ord: Relaxed — TOWER.refcount: construction ref keeps count nonzero
+                (*root).remaining.fetch_add(1, Ordering::Relaxed);
+                // Relaxed: `top` is consulted only by quiescent diagnostics.
+                // ord: Relaxed — TOWER.top: quiescent-only diagnostic field
+                (*root).top.store(upper, Ordering::Relaxed);
+                new_node = upper;
+
                 let key_ref = (*root).key.as_key().expect("root has user key");
                 let (p, n) = self.search_to_level(key_ref, cur_level, Mode::Le, guard);
                 prev = p;
                 next = n;
-                continue;
             }
-
-            cur_level += 1;
-            if cur_level > height {
-                self.release_tower_ref(root, guard); // construction ref
-                return Ok(());
-            }
-
-            // Grow the tower: the next block element is the next level's
-            // node. Account for it before it can be linked (and thus
-            // unlinked) by anyone. Relaxed increment: we hold the
-            // construction reference, so the count cannot reach zero
-            // concurrently (same argument as `Arc::clone`); our final
-            // `release_tower_ref` (an AcqRel RMW on the same counter)
-            // orders everything done here before the last decrement.
-            let upper = root.add(cur_level - 1);
-            (*root).remaining.fetch_add(1, Ordering::Relaxed);
-            // Relaxed: `top` is consulted only by quiescent diagnostics.
-            (*root).top.store(upper, Ordering::Relaxed);
-            new_node = upper;
-
-            let key_ref = (*root).key.as_key().expect("root has user key");
-            let (p, n) = self.search_to_level(key_ref, cur_level, Mode::Le, guard);
-            prev = p;
-            next = n;
         }
     }
 
@@ -168,13 +174,18 @@ where
     /// Caller is the inserting thread (sole writer of `top`), still
     /// holding the construction reference; `upper` was never linked.
     unsafe fn abandon_upper(&self, root: *mut SkipNode<K, V>, upper: *mut SkipNode<K, V>) {
-        // Relaxed stores: same argument as the growth accounting above —
-        // the construction reference's own AcqRel release publishes
-        // these to the eventual freeing thread.
-        (*root).top.store((*upper).down, Ordering::Relaxed);
-        // Cannot hit zero: we still hold the construction reference.
-        let prev = (*root).remaining.fetch_sub(1, Ordering::Relaxed);
-        debug_assert!(prev >= 2);
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            // Relaxed stores: same argument as the growth accounting above —
+            // the construction reference's own AcqRel release publishes
+            // these to the eventual freeing thread.
+            // ord: Relaxed — TOWER.top: quiescent-only diagnostic field
+            (*root).top.store((*upper).down, Ordering::Relaxed);
+            // Cannot hit zero: we still hold the construction reference.
+            // ord: Relaxed — TOWER.refcount: construction ref keeps count nonzero
+            let prev = (*root).remaining.fetch_sub(1, Ordering::Relaxed);
+            debug_assert!(prev >= 2);
+        }
     }
 
     /// `InsertNode`: the linked-list insertion loop (paper Fig. 5 lines
@@ -193,62 +204,67 @@ where
         next: &mut *mut SkipNode<K, V>,
         guard: &Guard<'_>,
     ) -> LevelInsert {
-        if (**prev).key_ref() == (*new_node).key_ref() {
-            return LevelInsert::Duplicate;
-        }
-        let backoff = Backoff::new();
-        loop {
-            let prev_succ = (**prev).succ();
-            if prev_succ.is_flagged() {
-                self.help_flagged(*prev, prev_succ.ptr(), guard);
-            } else {
-                // Relaxed: `new_node` is still unlinked at this level;
-                // the Release insertion C&S below is what publishes
-                // this store (and the node's initialization) to readers
-                // that Acquire-load prev.succ.
-                (*new_node)
-                    .succ
-                    .store(TaggedPtr::unmarked(*next), Ordering::Relaxed);
-                // The insertion C&S (type 1, Fig. 5 line 11). Release
-                // on success publishes the new node's initialization —
-                // the invariant every traversal relies on when it
-                // dereferences a pointer it loaded with Acquire.
-                // Acquire on failure: the found pointer may be
-                // dereferenced (flagged → HelpFlagged).
-                let res = (**prev).succ.compare_exchange(
-                    TaggedPtr::unmarked(*next),
-                    TaggedPtr::unmarked(new_node),
-                    Ordering::Release,
-                    Ordering::Acquire,
-                );
-                lf_metrics::record_cas(CasType::Insert, res.is_ok());
-                match res {
-                    Ok(_) => return LevelInsert::Inserted,
-                    Err(found) => {
-                        // Contended edge: let the winner finish before
-                        // re-reading and retrying.
-                        backoff.spin();
-                        if found.is_flagged() {
-                            self.help_flagged(*prev, found.ptr(), guard);
-                        }
-                        while (**prev).is_marked() {
-                            let back = (**prev).backlink();
-                            debug_assert!(!back.is_null(), "marked node lacks backlink");
-                            *prev = back;
-                            lf_metrics::record_backlink();
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            if (**prev).key_ref() == (*new_node).key_ref() {
+                return LevelInsert::Duplicate;
+            }
+            let backoff = Backoff::new();
+            loop {
+                let prev_succ = (**prev).succ();
+                if prev_succ.is_flagged() {
+                    self.help_flagged(*prev, prev_succ.ptr(), guard);
+                } else {
+                    // Relaxed: `new_node` is still unlinked at this level;
+                    // the Release insertion C&S below is what publishes
+                    // this store (and the node's initialization) to readers
+                    // that Acquire-load prev.succ.
+                    // ord: Relaxed — LIST.node-init: pre-publication store, CAS publishes
+                    (*new_node)
+                        .succ
+                        .store(TaggedPtr::unmarked(*next), Ordering::Relaxed);
+                    // The insertion C&S (type 1, Fig. 5 line 11). Release
+                    // on success publishes the new node's initialization —
+                    // the invariant every traversal relies on when it
+                    // dereferences a pointer it loaded with Acquire.
+                    // Acquire on failure: the found pointer may be
+                    // dereferenced (flagged → HelpFlagged).
+                    // ord: Release/Acquire — LIST.insert-cas: publish node init; inspect failure
+                    let res = (**prev).succ.compare_exchange(
+                        TaggedPtr::unmarked(*next),
+                        TaggedPtr::unmarked(new_node),
+                        Ordering::Release,
+                        Ordering::Acquire,
+                    );
+                    lf_metrics::record_cas(CasType::Insert, res.is_ok());
+                    match res {
+                        Ok(_) => return LevelInsert::Inserted,
+                        Err(found) => {
+                            // Contended edge: let the winner finish before
+                            // re-reading and retrying.
+                            backoff.spin();
+                            if found.is_flagged() {
+                                self.help_flagged(*prev, found.ptr(), guard);
+                            }
+                            while (**prev).is_marked() {
+                                let back = (**prev).backlink();
+                                debug_assert!(!back.is_null(), "marked node lacks backlink");
+                                *prev = back;
+                                lf_metrics::record_backlink();
+                            }
                         }
                     }
                 }
-            }
-            let key_ref = (*new_node)
-                .key_ref()
-                .as_key()
-                .expect("new node has user key");
-            let (p, n) = self.search_right(key_ref, *prev, Mode::Le, guard);
-            *prev = p;
-            *next = n;
-            if (**prev).key_ref() == (*new_node).key_ref() {
-                return LevelInsert::Duplicate;
+                let key_ref = (*new_node)
+                    .key_ref()
+                    .as_key()
+                    .expect("new node has user key");
+                let (p, n) = self.search_right(key_ref, *prev, Mode::Le, guard);
+                *prev = p;
+                *next = n;
+                if (**prev).key_ref() == (*new_node).key_ref() {
+                    return LevelInsert::Duplicate;
+                }
             }
         }
     }

@@ -46,27 +46,30 @@ where
         mode: Mode,
         guard: &Guard<'_>,
     ) -> (*mut SkipNode<K, V>, *mut SkipNode<K, V>) {
-        let mut next = (*curr).right();
-        while key_before((*next).key_ref(), k, mode) {
-            // Delete superfluous towers in our way (the search performs
-            // all three deletion steps itself when needed, so repeated
-            // traversals of long backlink chains cannot be forced).
-            while (*next).is_superfluous() {
-                let (new_curr, status, _) = self.try_flag_node(curr, next, guard);
-                curr = new_curr;
-                if status == FlagStatus::In {
-                    self.help_flagged(curr, next, guard);
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            let mut next = (*curr).right();
+            while key_before((*next).key_ref(), k, mode) {
+                // Delete superfluous towers in our way (the search performs
+                // all three deletion steps itself when needed, so repeated
+                // traversals of long backlink chains cannot be forced).
+                while (*next).is_superfluous() {
+                    let (new_curr, status, _) = self.try_flag_node(curr, next, guard);
+                    curr = new_curr;
+                    if status == FlagStatus::In {
+                        self.help_flagged(curr, next, guard);
+                    }
+                    next = (*curr).right();
+                    lf_metrics::record_next_update();
                 }
-                next = (*curr).right();
-                lf_metrics::record_next_update();
+                if key_before((*next).key_ref(), k, mode) {
+                    curr = next;
+                    lf_metrics::record_curr_update();
+                    next = (*curr).right();
+                }
             }
-            if key_before((*next).key_ref(), k, mode) {
-                curr = next;
-                lf_metrics::record_curr_update();
-                next = (*curr).right();
-            }
+            (curr, next)
         }
-        (curr, next)
     }
 
     /// `TryFlagNode(prev_node, target_node)`: attempt the type-2
@@ -85,47 +88,51 @@ where
         target: *mut SkipNode<K, V>,
         guard: &Guard<'_>,
     ) -> (*mut SkipNode<K, V>, FlagStatus, bool) {
-        let flagged = TaggedPtr::new(target, TagBits::Flagged);
-        let backoff = Backoff::new();
-        loop {
-            if (*prev).succ() == flagged {
-                return (prev, FlagStatus::In, false);
-            }
-            // The flagging C&S (type 2). Release on success: the flag
-            // freezes the edge prev → target and is read by helpers
-            // through Acquire loads that then dereference `target`; as
-            // an RMW it extends the release sequence of the C&S that
-            // published `target`, and Release additionally orders this
-            // thread's prior accesses for those helpers. Acquire on
-            // failure: the found pointer may be dereferenced (flagged →
-            // HelpFlagged) or its key read after the backlink walk.
-            let res = (*prev).succ.compare_exchange(
-                TaggedPtr::unmarked(target),
-                flagged,
-                Ordering::Release,
-                Ordering::Acquire,
-            );
-            lf_metrics::record_cas(CasType::Flag, res.is_ok());
-            match res {
-                Ok(_) => return (prev, FlagStatus::In, true),
-                Err(found) => {
-                    if found == flagged {
-                        return (prev, FlagStatus::In, false);
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            let flagged = TaggedPtr::new(target, TagBits::Flagged);
+            let backoff = Backoff::new();
+            loop {
+                if (*prev).succ() == flagged {
+                    return (prev, FlagStatus::In, false);
+                }
+                // The flagging C&S (type 2). Release on success: the flag
+                // freezes the edge prev → target and is read by helpers
+                // through Acquire loads that then dereference `target`; as
+                // an RMW it extends the release sequence of the C&S that
+                // published `target`, and Release additionally orders this
+                // thread's prior accesses for those helpers. Acquire on
+                // failure: the found pointer may be dereferenced (flagged →
+                // HelpFlagged) or its key read after the backlink walk.
+                // ord: Release/Acquire — LIST.flag-cas: freeze edge; failure decoded
+                let res = (*prev).succ.compare_exchange(
+                    TaggedPtr::unmarked(target),
+                    flagged,
+                    Ordering::Release,
+                    Ordering::Acquire,
+                );
+                lf_metrics::record_cas(CasType::Flag, res.is_ok());
+                match res {
+                    Ok(_) => return (prev, FlagStatus::In, true),
+                    Err(found) => {
+                        if found == flagged {
+                            return (prev, FlagStatus::In, false);
+                        }
+                        // Contended edge: back off before the recovery walk.
+                        backoff.spin();
+                        while (*prev).is_marked() {
+                            let back = (*prev).backlink();
+                            debug_assert!(!back.is_null(), "marked node lacks backlink");
+                            prev = back;
+                            lf_metrics::record_backlink();
+                        }
+                        let key_ref = (*target).key_ref().as_key().expect("target has user key");
+                        let (p, d) = self.search_right(key_ref, prev, Mode::Lt, guard);
+                        if d != target {
+                            return (p, FlagStatus::Deleted, false);
+                        }
+                        prev = p;
                     }
-                    // Contended edge: back off before the recovery walk.
-                    backoff.spin();
-                    while (*prev).is_marked() {
-                        let back = (*prev).backlink();
-                        debug_assert!(!back.is_null(), "marked node lacks backlink");
-                        prev = back;
-                        lf_metrics::record_backlink();
-                    }
-                    let key_ref = (*target).key_ref().as_key().expect("target has user key");
-                    let (p, d) = self.search_right(key_ref, prev, Mode::Lt, guard);
-                    if d != target {
-                        return (p, FlagStatus::Deleted, false);
-                    }
-                    prev = p;
                 }
             }
         }
@@ -144,18 +151,22 @@ where
         del: *mut SkipNode<K, V>,
         guard: &Guard<'_>,
     ) {
-        // The backlink is set *before* the node can be marked, and
-        // every helper writes the same predecessor (the flag freezes
-        // the edge prev → del until physical deletion), so it never
-        // changes once set (INV 4). Release: recovery walks
-        // Acquire-load this field and dereference `prev`; the edge
-        // carries the happens-before to prev's initialization (which we
-        // hold from the Acquire load that found the flag).
-        (*del).backlink.store(prev, Ordering::Release);
-        if !(*del).is_marked() {
-            self.try_mark(del, guard);
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            // The backlink is set *before* the node can be marked, and
+            // every helper writes the same predecessor (the flag freezes
+            // the edge prev → del until physical deletion), so it never
+            // changes once set (INV 4). Release: recovery walks
+            // Acquire-load this field and dereference `prev`; the edge
+            // carries the happens-before to prev's initialization (which we
+            // hold from the Acquire load that found the flag).
+            // ord: Release — LIST.backlink-set: visible before the mark (INV 4)
+            (*del).backlink.store(prev, Ordering::Release);
+            if !(*del).is_marked() {
+                self.try_mark(del, guard);
+            }
+            self.help_marked(prev, del, guard);
         }
-        self.help_marked(prev, del, guard);
     }
 
     /// `TryMark`: loop the type-3 (marking) C&S until `del` is marked.
@@ -164,33 +175,37 @@ where
     ///
     /// `del` protected by `guard`.
     pub(crate) unsafe fn try_mark(&self, del: *mut SkipNode<K, V>, guard: &Guard<'_>) {
-        let backoff = Backoff::new();
-        loop {
-            let next = (*del).right();
-            // The marking C&S (type 3). Release on success: the mark
-            // freezes `succ` forever (INV 2); unlinkers Acquire-load
-            // the frozen field and re-install its `next` into the
-            // predecessor, relying on this RMW extending next's release
-            // sequence. Acquire on failure: the found pointer is
-            // dereferenced below when flagged.
-            let res = (*del).succ.compare_exchange(
-                TaggedPtr::unmarked(next),
-                TaggedPtr::new(next, TagBits::Marked),
-                Ordering::Release,
-                Ordering::Acquire,
-            );
-            lf_metrics::record_cas(CasType::Mark, res.is_ok());
-            if let Err(found) = res {
-                if found.is_flagged() {
-                    self.help_flagged(del, found.ptr(), guard);
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            let backoff = Backoff::new();
+            loop {
+                let next = (*del).right();
+                // The marking C&S (type 3). Release on success: the mark
+                // freezes `succ` forever (INV 2); unlinkers Acquire-load
+                // the frozen field and re-install its `next` into the
+                // predecessor, relying on this RMW extending next's release
+                // sequence. Acquire on failure: the found pointer is
+                // dereferenced below when flagged.
+                // ord: Release/Acquire — LIST.mark-cas: freeze succ; failure dereferenced
+                let res = (*del).succ.compare_exchange(
+                    TaggedPtr::unmarked(next),
+                    TaggedPtr::new(next, TagBits::Marked),
+                    Ordering::Release,
+                    Ordering::Acquire,
+                );
+                lf_metrics::record_cas(CasType::Mark, res.is_ok());
+                if let Err(found) = res {
+                    if found.is_flagged() {
+                        self.help_flagged(del, found.ptr(), guard);
+                    }
                 }
+                if (*del).is_marked() {
+                    return;
+                }
+                // Still unmarked: we lost a C&S race on this field; back
+                // off before retrying it.
+                backoff.spin();
             }
-            if (*del).is_marked() {
-                return;
-            }
-            // Still unmarked: we lost a C&S race on this field; back
-            // off before retrying it.
-            backoff.spin();
         }
     }
 
@@ -207,25 +222,29 @@ where
         del: *mut SkipNode<K, V>,
         guard: &Guard<'_>,
     ) {
-        // Acquire (via `right`): `next` was frozen into del.succ by the
-        // marking C&S; we hold the happens-before to its initialization
-        // before re-publishing it below.
-        let next = (*del).right();
-        // The unlink C&S (type 4). Release on success: installs `next`
-        // into a field other threads Acquire-load and dereference, so
-        // its initialization must be republished here. Relaxed on
-        // failure: the result is discarded — some other helper
-        // completed the physical deletion — and the found value is
-        // never used.
-        let res = (*prev).succ.compare_exchange(
-            TaggedPtr::new(del, TagBits::Flagged),
-            TaggedPtr::unmarked(next),
-            Ordering::Release,
-            Ordering::Relaxed,
-        );
-        lf_metrics::record_cas(CasType::Unlink, res.is_ok());
-        if res.is_ok() {
-            self.release_tower_ref((*del).tower_root, guard);
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            // Acquire (via `right`): `next` was frozen into del.succ by the
+            // marking C&S; we hold the happens-before to its initialization
+            // before re-publishing it below.
+            let next = (*del).right();
+            // The unlink C&S (type 4). Release on success: installs `next`
+            // into a field other threads Acquire-load and dereference, so
+            // its initialization must be republished here. Relaxed on
+            // failure: the result is discarded — some other helper
+            // completed the physical deletion — and the found value is
+            // never used.
+            // ord: Release/Relaxed — LIST.unlink-cas: republish next; failure discarded
+            let res = (*prev).succ.compare_exchange(
+                TaggedPtr::new(del, TagBits::Flagged),
+                TaggedPtr::unmarked(next),
+                Ordering::Release,
+                Ordering::Relaxed,
+            );
+            lf_metrics::record_cas(CasType::Unlink, res.is_ok());
+            if res.is_ok() {
+                self.release_tower_ref((*del).tower_root, guard);
+            }
         }
     }
 
@@ -242,15 +261,19 @@ where
         // happen-before the final decrement (via the RMW chain on this
         // counter), Acquire so the final decrementer sees them all
         // before retiring the block.
-        if (*root).remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        // SAFETY: `root` is a live tower root (the fn's `# Safety`
+        // contract).
+        // ord: AcqRel — TOWER.release: Arc-drop argument on the tower refcount
+        if unsafe { (*root).remaining.fetch_sub(1, Ordering::AcqRel) } == 1 {
             // Last reference: every linked node of the tower is
             // unlinked and construction has finished, so the whole
             // block is unreachable to new operations. Retire it with a
             // single pool release; only the root carries owned data.
             let pool = std::sync::Arc::clone(&self.pool);
             let addr = root as usize;
-            let cap = (*root).height;
-            guard.defer_unchecked(move || {
+            // SAFETY: as above.
+            let cap = unsafe { (*root).height };
+            let destroy = move || {
                 let root = addr as *mut SkipNode<K, V>;
                 // SAFETY: grace elapsed, so no thread can reach any
                 // node of the block; the zero-crossing decrement fired
@@ -262,7 +285,10 @@ where
                     std::ptr::drop_in_place(&mut (*root).element);
                     pool.recycle(addr, cap);
                 }
-            });
+            };
+            // SAFETY: the closure touches the block only after grace
+            // elapses, when it is unreachable.
+            unsafe { guard.defer_unchecked(destroy) };
         }
     }
 }

@@ -80,11 +80,13 @@ pub struct SkipList<K, V> {
 // SAFETY: as for `FrList` — all shared mutation is atomic, reclamation
 // is epoch-protected and tower-scoped.
 unsafe impl<K: Send + Sync, V: Send + Sync> Send for SkipList<K, V> {}
+// SAFETY: same argument as `Send` above.
 unsafe impl<K: Send + Sync, V: Send + Sync> Sync for SkipList<K, V> {}
 
 impl<K, V> fmt::Debug for SkipList<K, V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SkipList")
+            // ord: Relaxed — STAT.len: pure statistic, no ordering role
             .field("len", &self.len.load(Ordering::Relaxed))
             .field("max_level", &self.max_level)
             .finish()
@@ -126,10 +128,13 @@ where
         for _ in 0..max_level {
             let tail = node::SkipNode::alloc_sentinel(Bound::PosInf, below.1);
             let head = node::SkipNode::alloc_sentinel(Bound::NegInf, below.0);
+            // SAFETY: both sentinels were just allocated and are not
+            // yet shared.
             unsafe {
                 // Relaxed: the list is not yet shared; `Self` is
                 // published to other threads by whatever synchronizes
                 // the `SkipList` value itself (e.g. `Arc`).
+                // ord: Relaxed — LIST.sentinel-init: pre-publication construction store
                 (*head)
                     .succ
                     .store(lf_tagged::TaggedPtr::unmarked(tail), Ordering::Relaxed);
@@ -200,6 +205,7 @@ where
         // empty and the scan can start just below it.
         let mut level = self.max_level - 1;
         while level > min_level {
+            // SAFETY: sentinels live for the whole list lifetime.
             if unsafe { (*self.heads[level - 1]).right() } != self.tails[level - 1] {
                 break;
             }
@@ -224,17 +230,20 @@ where
         mode: Mode,
         guard: &Guard<'_>,
     ) -> (*mut SkipNode<K, V>, *mut SkipNode<K, V>) {
-        debug_assert!(target_level >= 1 && target_level < self.max_level);
-        let mut level = self.start_level(target_level);
-        let mut curr = self.heads[level - 1];
-        loop {
-            let (n1, n2) = self.search_right(k, curr, mode, guard);
-            if level == target_level {
-                return (n1, n2);
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            debug_assert!(target_level >= 1 && target_level < self.max_level);
+            let mut level = self.start_level(target_level);
+            let mut curr = self.heads[level - 1];
+            loop {
+                let (n1, n2) = self.search_right(k, curr, mode, guard);
+                if level == target_level {
+                    return (n1, n2);
+                }
+                curr = (*n1).down;
+                debug_assert!(!curr.is_null(), "descending below level 1");
+                level -= 1;
             }
-            curr = (*n1).down;
-            debug_assert!(!curr.is_null(), "descending below level 1");
-            level -= 1;
         }
     }
 
@@ -249,8 +258,11 @@ where
         k: &K,
         guard: &Guard<'_>,
     ) -> Option<*mut SkipNode<K, V>> {
-        let (curr, _) = self.search_to_level(k, 1, Mode::Le, guard);
-        ((*curr).key_ref().as_key() == Some(k)).then_some(curr)
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            let (curr, _) = self.search_to_level(k, 1, Mode::Le, guard);
+            ((*curr).key_ref().as_key() == Some(k)).then_some(curr)
+        }
     }
 }
 
@@ -259,6 +271,7 @@ impl<K, V> SkipList<K, V> {
     pub fn len(&self) -> usize {
         // Relaxed: a pure statistic — the value is never dereferenced
         // and orders nothing.
+        // ord: Relaxed — STAT.len: pure statistic, no ordering role
         self.len.load(Ordering::Relaxed)
     }
 
@@ -279,6 +292,8 @@ impl<K, V> SkipList<K, V> {
     /// distribution against the ideal geometric(1/2).
     pub fn tower_heights(&self) -> Vec<usize> {
         let mut out = Vec::new();
+        // SAFETY: quiescent-only walk — the caller guarantees no
+        // concurrent operations, so every reachable node stays valid.
         unsafe {
             let mut cur = (*self.heads[0]).right();
             while cur != self.tails[0] {
@@ -286,6 +301,7 @@ impl<K, V> SkipList<K, V> {
                 let mut h = 0;
                 // Relaxed: quiescent diagnostic — `top` is final once
                 // every construction reference has been released.
+                // ord: Relaxed — TOWER.top: quiescent-only diagnostic field
                 let mut t = (*root).top.load(Ordering::Relaxed);
                 while !t.is_null() {
                     h += 1;
@@ -313,11 +329,14 @@ impl<K, V> SkipList<K, V> {
         K: Ord,
     {
         let mut count = 0usize;
+        // SAFETY: quiescent-only walk — the caller guarantees no
+        // concurrent operations, so every reachable node stays valid.
         unsafe {
             for level in 0..self.max_level {
                 let mut cur = self.heads[level];
                 loop {
-                    let succ = (*cur).succ.load(Ordering::SeqCst);
+                    // ord: Acquire — DIAG.quiescent: quiescent-only diagnostic walk
+                    let succ = (*cur).succ.load(Ordering::Acquire);
                     assert!(!succ.is_marked(), "marked node at level {}", level + 1);
                     assert!(!succ.is_flagged(), "flagged node at level {}", level + 1);
                     let next = succ.ptr();
@@ -361,13 +380,19 @@ impl<K, V> Drop for SkipList<K, V> {
         // drop (which runs before the pool's — field order).
         let mut roots = std::collections::HashSet::new();
         for level in 0..self.max_level {
+            // SAFETY: unique access (`&mut self`); every linked node is
+            // still valid because nothing has been freed yet.
             let mut cur = unsafe { (*self.heads[level]).right() };
             while cur != self.tails[level] {
+                // SAFETY: as above — `cur` is a live node of this level.
                 roots.insert(unsafe { (*cur).tower_root });
+                // SAFETY: as above.
                 cur = unsafe { (*cur).right() };
             }
         }
         for root in roots {
+            // SAFETY: unique access; each distinct root is visited once,
+            // so key/element are dropped once and the block recycled once.
             unsafe {
                 // Only the root carries owned data; upper nodes hold
                 // placeholder key/element that own nothing.
@@ -378,7 +403,10 @@ impl<K, V> Drop for SkipList<K, V> {
             }
         }
         for level in 0..self.max_level {
+            // SAFETY: sentinels were Box-allocated in `with_max_level`
+            // and never freed elsewhere.
             drop(unsafe { Box::from_raw(self.heads[level]) });
+            // SAFETY: as above.
             drop(unsafe { Box::from_raw(self.tails[level]) });
         }
     }
@@ -412,6 +440,7 @@ where
     pub fn insert(&self, key: K, value: V) -> Result<(), (K, V)> {
         let op = lf_metrics::op_begin();
         let guard = self.reclaim.pin();
+        // SAFETY: the guard pins this list's collector.
         let res = unsafe { self.list.insert_impl(key, value, &self.pool, &guard) };
         drop(guard);
         lf_metrics::op_end(op);
@@ -426,6 +455,7 @@ where
     {
         let op = lf_metrics::op_begin();
         let guard = self.reclaim.pin();
+        // SAFETY: the guard pins this list's collector.
         let res = unsafe { self.list.delete_impl(key, &guard) };
         drop(guard);
         lf_metrics::op_end(op);
@@ -439,6 +469,8 @@ where
     {
         let op = lf_metrics::op_begin();
         let guard = self.reclaim.pin();
+        // SAFETY: the guard pins this list's collector; the returned
+        // root stays valid while the guard lives.
         let res = unsafe {
             self.list
                 .search_impl(key, &guard)
@@ -453,6 +485,7 @@ where
     pub fn contains(&self, key: &K) -> bool {
         let op = lf_metrics::op_begin();
         let guard = self.reclaim.pin();
+        // SAFETY: the guard pins this list's collector.
         let res = unsafe { self.list.search_impl(key, &guard).is_some() };
         drop(guard);
         lf_metrics::op_end(op);

@@ -94,30 +94,33 @@ impl<K, V> SkipNode<K, V> {
     /// and must not alias live nodes; every field of every element is
     /// overwritten. `height >= 1`.
     pub(crate) unsafe fn init_tower_at(block: *mut Self, height: usize, key: K, element: V) {
-        debug_assert!(height >= 1);
-        block.write(SkipNode {
-            key: Bound::Key(key),
-            element: Some(element),
-            succ: AtomicTaggedPtr::new(TaggedPtr::null()),
-            backlink: AtomicPtr::new(std::ptr::null_mut()),
-            down: std::ptr::null_mut(),
-            tower_root: block,
-            height,
-            remaining: AtomicUsize::new(2),
-            top: AtomicPtr::new(block),
-        });
-        for i in 1..height {
-            block.add(i).write(SkipNode {
-                key: Bound::NegInf,
-                element: None,
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            debug_assert!(height >= 1);
+            block.write(SkipNode {
+                key: Bound::Key(key),
+                element: Some(element),
                 succ: AtomicTaggedPtr::new(TaggedPtr::null()),
                 backlink: AtomicPtr::new(std::ptr::null_mut()),
-                down: block.add(i - 1),
+                down: std::ptr::null_mut(),
                 tower_root: block,
-                height: 0,
-                remaining: AtomicUsize::new(0),
-                top: AtomicPtr::new(std::ptr::null_mut()),
+                height,
+                remaining: AtomicUsize::new(2),
+                top: AtomicPtr::new(block),
             });
+            for i in 1..height {
+                block.add(i).write(SkipNode {
+                    key: Bound::NegInf,
+                    element: None,
+                    succ: AtomicTaggedPtr::new(TaggedPtr::null()),
+                    backlink: AtomicPtr::new(std::ptr::null_mut()),
+                    down: block.add(i - 1),
+                    tower_root: block,
+                    height: 0,
+                    remaining: AtomicUsize::new(0),
+                    top: AtomicPtr::new(std::ptr::null_mut()),
+                });
+            }
         }
     }
 
@@ -138,8 +141,10 @@ impl<K, V> SkipNode<K, V> {
             remaining: AtomicUsize::new(1),
             top: AtomicPtr::new(std::ptr::null_mut()),
         }));
+        // SAFETY: `node` was just allocated above and is not yet shared.
         unsafe {
             (*node).tower_root = node;
+            // ord: Relaxed — TOWER.top: quiescent-only diagnostic field
             (*node).top.store(node, Ordering::Relaxed);
         }
         node
@@ -155,7 +160,8 @@ impl<K, V> SkipNode<K, V> {
     /// `tower_root`) is alive.
     #[inline]
     pub(crate) unsafe fn key_ref(&self) -> &Bound<K> {
-        &(*self.tower_root).key
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe { &(*self.tower_root).key }
     }
 
     /// Load the successor field.
@@ -168,6 +174,7 @@ impl<K, V> SkipNode<K, V> {
     /// DESIGN.md §9.
     #[inline]
     pub(crate) fn succ(&self) -> TaggedPtr<SkipNode<K, V>> {
+        // ord: Acquire — LIST.traverse: loaded pointer is the next hop
         self.succ.load(Ordering::Acquire)
     }
 
@@ -191,7 +198,8 @@ impl<K, V> SkipNode<K, V> {
     /// so `tower_root` is dereferenceable).
     #[inline]
     pub(crate) unsafe fn is_superfluous(&self) -> bool {
-        (*self.tower_root).is_marked()
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe { (*self.tower_root).is_marked() }
     }
 
     /// Load the backlink.
@@ -201,6 +209,7 @@ impl<K, V> SkipNode<K, V> {
     /// the happens-before edge to the predecessor's initialization.
     #[inline]
     pub(crate) fn backlink(&self) -> *mut SkipNode<K, V> {
+        // ord: Acquire — LIST.backlink-walk: predecessor is dereferenced
         self.backlink.load(Ordering::Acquire)
     }
 }
@@ -215,16 +224,24 @@ mod tests {
     /// hot path goes through the node pool).
     unsafe fn tower(height: usize, key: u32, element: u32) -> *mut SkipNode<u32, u32> {
         let layout = Layout::array::<SkipNode<u32, u32>>(height).unwrap();
-        let block = alloc(layout) as *mut SkipNode<u32, u32>;
-        SkipNode::init_tower_at(block, height, key, element);
-        block
+        // SAFETY: a fresh allocation of `height` nodes is valid for
+        // `init_tower_at`'s writes.
+        unsafe {
+            let block = alloc(layout) as *mut SkipNode<u32, u32>;
+            SkipNode::init_tower_at(block, height, key, element);
+            block
+        }
     }
 
     unsafe fn free_tower(block: *mut SkipNode<u32, u32>, height: usize) {
         let layout = Layout::array::<SkipNode<u32, u32>>(height).unwrap();
-        std::ptr::drop_in_place(&mut (*block).key);
-        std::ptr::drop_in_place(&mut (*block).element);
-        dealloc(block as *mut u8, layout);
+        // SAFETY: `block` came from `tower` with the same height and is
+        // freed exactly once.
+        unsafe {
+            std::ptr::drop_in_place(&mut (*block).key);
+            std::ptr::drop_in_place(&mut (*block).element);
+            dealloc(block as *mut u8, layout);
+        }
     }
 
     #[test]

@@ -41,6 +41,8 @@ where
         let guard = handle.reclaim.pin();
         // Position `curr` at the last node *before* the range, so the
         // iterator's first advance lands on the first in-range root.
+        // SAFETY: the guard pins the list's collector for the whole
+        // iterator lifetime (it is stored alongside `curr`).
         let curr = unsafe {
             match &start {
                 RangeBound::Unbounded => handle.list.heads[0],

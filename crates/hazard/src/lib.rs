@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Hazard-pointer safe memory reclamation (M. Michael, *Safe Memory
 //! Reclamation for Dynamic Lock-Free Objects Using Atomic Reads and
 //! Writes*, PODC 2002) — the paper's reference \[9\], and the scheme
@@ -66,8 +64,12 @@ struct Retired {
     drop_fn: unsafe fn(usize),
 }
 
+/// # Safety
+///
+/// `addr` must be a `Box<T>`-allocated pointer retired exactly once.
 unsafe fn drop_box<T>(addr: usize) {
-    drop(Box::from_raw(addr as *mut T));
+    // SAFETY: the caller's contract above.
+    drop(unsafe { Box::from_raw(addr as *mut T) });
 }
 
 struct DomainInner {
@@ -82,6 +84,7 @@ impl DomainInner {
         let mut set = HashSet::new();
         let mut cur = self.head.load(Ordering::SeqCst);
         while !cur.is_null() {
+            // SAFETY: slots are never freed while the domain lives.
             let slot = unsafe { &*cur };
             // Scan every slot, even released ones: a slot being
             // recycled may already hold a new owner's hazards.
@@ -105,6 +108,8 @@ impl DomainInner {
             if hazards.contains(&r.addr) {
                 kept.push(r);
             } else {
+                // SAFETY: the node was unlinked before `retire` and no
+                // hazard protects it, so no thread can still reach it.
                 unsafe { (r.drop_fn)(r.addr) };
             }
         }
@@ -117,6 +122,7 @@ impl DomainInner {
             if hazards.contains(&r.addr) {
                 kept.push(r);
             } else {
+                // SAFETY: as above — unreachable and unprotected.
                 unsafe { (r.drop_fn)(r.addr) };
             }
         }
@@ -129,10 +135,14 @@ impl Drop for DomainInner {
         // No handles remain: every retired node is free-able and every
         // slot can be deallocated.
         for r in self.orphans.get_mut().unwrap().drain(..) {
+            // SAFETY: no handles remain (they hold `Arc`s to the
+            // domain), so every retired node is unreachable.
             unsafe { (r.drop_fn)(r.addr) };
         }
         let mut cur = *self.head.get_mut();
         while !cur.is_null() {
+            // SAFETY: unique access; each slot was leaked from a Box in
+            // `register` and is freed exactly once here.
             let mut slot = unsafe { Box::from_raw(cur) };
             cur = *slot.next.get_mut();
         }
@@ -172,6 +182,7 @@ impl Domain {
     pub fn register(&self) -> HazardHandle {
         let mut cur = self.inner.head.load(Ordering::SeqCst);
         while !cur.is_null() {
+            // SAFETY: slots are never freed while the domain lives.
             let slot = unsafe { &*cur };
             if !slot.in_use.load(Ordering::SeqCst)
                 && slot
@@ -190,6 +201,7 @@ impl Domain {
         }));
         let mut head = self.inner.head.load(Ordering::SeqCst);
         loop {
+            // SAFETY: `slot` was just leaked from a live Box.
             unsafe { &*slot }.next.store(head, Ordering::SeqCst);
             match self
                 .inner
@@ -231,6 +243,8 @@ impl HazardHandle {
     }
 
     fn slot(&self) -> &Slot {
+        // SAFETY: the slot outlives the handle (slots are freed only by
+        // `DomainInner::drop`, and we hold an `Arc` to the domain).
         unsafe { &*self.slot }
     }
 

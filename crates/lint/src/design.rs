@@ -1,0 +1,147 @@
+//! Parser for the DESIGN.md §9 ordering tables.
+//!
+//! §9 is the normative inventory of every ordering invariant: each
+//! table row starts with an invariant id (`FAMILY.site`), and the
+//! `Ordering` column lists the orderings that id licenses. The audit
+//! cross-checks these rows against `// ord:` annotations in both
+//! directions.
+
+use crate::analyze::ORDERINGS;
+
+/// One row of a §9 ordering table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DesignRow {
+    /// Invariant id (`FAMILY.site`) from the row's first column.
+    pub id: String,
+    /// Orderings named in the row's `Ordering` column.
+    pub orderings: Vec<String>,
+    /// 1-based line in DESIGN.md.
+    pub line: u32,
+}
+
+/// Extract ordering rows from the §9 section of `text`.
+pub fn parse_design(text: &str) -> Vec<DesignRow> {
+    let mut rows = Vec::new();
+    let mut in_section = false;
+    let mut ordering_col: Option<usize> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if let Some(rest) = line.strip_prefix("## ") {
+            in_section = rest.starts_with("9.") || rest.starts_with("9 ");
+            continue;
+        }
+        if !in_section || !line.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<String> = line
+            .trim_matches('|')
+            .split('|')
+            .map(|c| c.trim().trim_matches('`').trim().to_string())
+            .collect();
+        if cells.iter().any(|c| c == "Ordering") {
+            ordering_col = cells.iter().position(|c| c == "Ordering");
+            continue;
+        }
+        let Some(first) = cells.first() else { continue };
+        if !is_invariant_id(first) {
+            continue; // separator row or prose table
+        }
+        let scope = match ordering_col {
+            Some(col) => cells.get(col).cloned().unwrap_or_default(),
+            None => line.to_string(),
+        };
+        let orderings = ORDERINGS
+            .iter()
+            .filter(|o| contains_word(&scope, o))
+            .map(|o| o.to_string())
+            .collect();
+        rows.push(DesignRow {
+            id: first.clone(),
+            orderings,
+            line: (idx + 1) as u32,
+        });
+    }
+    rows
+}
+
+/// `FAMILY.site` ids: uppercase family, a dot, then a site name.
+pub fn is_invariant_id(s: &str) -> bool {
+    let Some((family, site)) = s.split_once('.') else {
+        return false;
+    };
+    !family.is_empty()
+        && family
+            .chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit())
+        && !site.is_empty()
+        && site
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+}
+
+fn contains_word(haystack: &str, word: &str) -> bool {
+    haystack.match_indices(word).any(|(i, _)| {
+        let before = haystack[..i].chars().next_back();
+        let after = haystack[i + word.len()..].chars().next();
+        let boundary = |c: Option<char>| c.is_none_or(|c| !(c.is_ascii_alphanumeric() || c == '_'));
+        boundary(before) && boundary(after)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# Design
+## 9. Hot-path memory model
+### 9.1 Ordering table
+| ID | Field | Operation | Ordering | Invariant |
+|---|---|---|---|---|
+| `LIST.traverse` | `node.succ` | traversal load | `Acquire` | pairs with the Release CAS |
+| `LIST.insert-cas` | `pred.succ` | Insert CAS | success `Release`, failure `Acquire` | publishes init |
+| not-an-id | x | y | `SeqCst` | prose row |
+
+### 9.3 Auxiliary
+| ID | Where | Ordering | Why |
+|---|---|---|---|
+| `STAT.len` | counters | `Relaxed` | statistic only |
+
+## 10. Something else
+| `FAKE.row` | x | `Relaxed` | outside section |
+";
+
+    #[test]
+    fn parses_rows_with_ids_only() {
+        let rows = parse_design(SAMPLE);
+        let ids: Vec<&str> = rows.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, ["LIST.traverse", "LIST.insert-cas", "STAT.len"]);
+    }
+
+    #[test]
+    fn ordering_column_is_respected() {
+        let rows = parse_design(SAMPLE);
+        assert_eq!(rows[0].orderings, ["Acquire"]);
+        assert_eq!(rows[1].orderings, ["Acquire", "Release"]);
+        assert_eq!(rows[2].orderings, ["Relaxed"]);
+    }
+
+    #[test]
+    fn rationale_mentions_do_not_leak_into_orderings() {
+        // Row 0's invariant cell mentions Release; only the Ordering
+        // column counts.
+        let rows = parse_design(SAMPLE);
+        assert!(!rows[0].orderings.contains(&"Release".to_string()));
+    }
+
+    #[test]
+    fn id_grammar() {
+        assert!(is_invariant_id("LIST.traverse"));
+        assert!(is_invariant_id("EPOCH.pin"));
+        assert!(is_invariant_id("MET.shard-owner"));
+        assert!(!is_invariant_id("lowercase.id"));
+        assert!(!is_invariant_id("NODOT"));
+        assert!(!is_invariant_id("---"));
+        assert!(!is_invariant_id("ID"));
+    }
+}

@@ -1,0 +1,31 @@
+//! `lf-lint` — the workspace's static-analysis auditor.
+//!
+//! Keeps the lock-free hot paths honest on three fronts:
+//!
+//! 1. **Atomic-ordering annotations.** Every atomic operation in a
+//!    *hot* crate must carry a machine-readable comment
+//!    `// ord: <Ordering>[/<Ordering>] — <invariant-id>: <rationale>`
+//!    whose orderings match the code tokens, and whose invariant id is
+//!    a row of the DESIGN.md §9 ordering tables. Drift in either
+//!    direction (a table row no code witnesses, or an annotation the
+//!    table does not license) fails the audit.
+//! 2. **`unsafe` hygiene.** Every `unsafe` block/fn/impl/trait in the
+//!    workspace needs a `// SAFETY:` comment (or a `# Safety` doc
+//!    section).
+//! 3. **Banned patterns.** `SeqCst` outside the policy allowlist,
+//!    `thread::sleep` in hot crates, and raw tag-bit arithmetic outside
+//!    `lf-tagged`.
+//!
+//! Per-crate strictness lives in `lint-policy.toml` at the workspace
+//! root. The workspace is offline, so everything here — lexer, TOML
+//! subset, markdown table parser — is hand-rolled with no dependencies.
+
+pub mod analyze;
+pub mod audit;
+pub mod design;
+pub mod lexer;
+pub mod policy;
+pub mod report;
+
+pub use audit::{run_audit, Audit, Finding, WorkspaceFiles};
+pub use policy::{CrateClass, CratePolicy, Policy};

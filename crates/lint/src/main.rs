@@ -1,0 +1,92 @@
+//! CLI: `cargo run -p lf-lint -- --check [--json] [--root PATH]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lf_lint::{report, run_audit, WorkspaceFiles};
+
+const USAGE: &str = "\
+lf-lint — atomic-ordering & unsafe-hygiene auditor
+
+USAGE:
+    cargo run -p lf-lint -- --check [--json] [--root PATH]
+
+OPTIONS:
+    --check        Run the audit; exit 1 if there are findings
+    --json         Emit the machine-readable report instead of text
+    --root PATH    Workspace root (default: ancestor containing lint-policy.toml)
+    --help         Show this help
+";
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !check && !json {
+        print!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let root = match root.or_else(find_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("lf-lint: no lint-policy.toml found above the current directory");
+            return ExitCode::from(2);
+        }
+    };
+
+    let files = WorkspaceFiles::new(&root);
+    match run_audit(&files) {
+        Ok(audit) => {
+            if json {
+                print!("{}", report::json(&audit));
+            } else {
+                print!("{}", report::human(&audit));
+            }
+            if check && !audit.findings.is_empty() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(msg) => {
+            eprintln!("lf-lint: configuration error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Walk up from the current directory to the first `lint-policy.toml`.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("lint-policy.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! `lint-policy.toml` — per-crate audit policy.
+//!
+//! The workspace is offline, so this module includes a parser for the
+//! small TOML subset the policy file uses: `[section]` headers (dotted
+//! keys allowed), `key = "string"`, `key = ["array", "of", "strings"]`,
+//! `key = true/false`, and `#` comments.
+
+use std::collections::BTreeMap;
+
+/// How strictly a crate is audited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrateClass {
+    /// Hot-path crate: every atomic site must carry an `// ord:`
+    /// annotation, `SeqCst` is banned unless the site's invariant id is
+    /// in `seqcst_allow`, and `thread::sleep` is banned.
+    Hot,
+    /// Audited for `SAFETY:` hygiene and tag-bit encapsulation, but
+    /// orderings are unconstrained (infrastructure / harness code).
+    Support,
+    /// Ordering checks skipped entirely (intentionally naive reference
+    /// implementations). `SAFETY:` hygiene still applies.
+    Exempt,
+}
+
+/// Policy for one crate.
+#[derive(Debug, Clone)]
+pub struct CratePolicy {
+    /// How strictly the crate is audited.
+    pub class: CrateClass,
+    /// Why the crate holds its class (surfaced in reports).
+    pub reason: String,
+    /// Invariant ids whose sites may use `SeqCst` even in a hot crate.
+    pub seqcst_allow: Vec<String>,
+    /// Whether raw tag-bit arithmetic (`0b..` masks, MARK/FLAG/TAG
+    /// constants under `&`/`|`) is allowed outside comments.
+    pub tag_arith: bool,
+}
+
+impl Default for CratePolicy {
+    fn default() -> Self {
+        CratePolicy {
+            class: CrateClass::Support,
+            reason: String::new(),
+            seqcst_allow: Vec::new(),
+            tag_arith: false,
+        }
+    }
+}
+
+/// The whole policy file.
+#[derive(Debug, Clone, Default)]
+pub struct Policy {
+    /// Per-crate policies keyed by crate name.
+    pub crates: BTreeMap<String, CratePolicy>,
+}
+
+impl Policy {
+    /// Look up a crate's policy; unknown crates audit as `Support` with
+    /// tag arithmetic denied (safe default for new crates).
+    pub fn for_crate(&self, name: &str) -> CratePolicy {
+        self.crates.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Parse the policy file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending line for
+    /// syntax errors or unknown classes.
+    pub fn parse(text: &str) -> Result<Policy, String> {
+        let raw = parse_toml(text)?;
+        let mut policy = Policy::default();
+        for (section, entries) in raw {
+            let Some(crate_name) = section.strip_prefix("crates.") else {
+                return Err(format!("unknown policy section [{section}]"));
+            };
+            let mut cp = CratePolicy::default();
+            for (key, value) in entries {
+                match (key.as_str(), value) {
+                    ("class", Value::Str(s)) => {
+                        cp.class = match s.as_str() {
+                            "hot" => CrateClass::Hot,
+                            "support" => CrateClass::Support,
+                            "exempt" => CrateClass::Exempt,
+                            other => {
+                                return Err(format!(
+                                    "crate {crate_name}: unknown class {other:?} \
+                                     (expected hot | support | exempt)"
+                                ))
+                            }
+                        };
+                    }
+                    ("reason", Value::Str(s)) => cp.reason = s,
+                    ("seqcst_allow", Value::Array(items)) => cp.seqcst_allow = items,
+                    ("tag_arith", Value::Bool(b)) => cp.tag_arith = b,
+                    (other, _) => return Err(format!("crate {crate_name}: unknown key {other:?}")),
+                }
+            }
+            if cp.class == CrateClass::Exempt && cp.reason.is_empty() {
+                return Err(format!(
+                    "crate {crate_name}: exempt crates must state a reason"
+                ));
+            }
+            policy.crates.insert(crate_name.to_string(), cp);
+        }
+        Ok(policy)
+    }
+}
+
+enum Value {
+    Str(String),
+    Array(Vec<String>),
+    Bool(bool),
+}
+
+type RawToml = Vec<(String, Vec<(String, Value)>)>;
+
+fn parse_toml(text: &str) -> Result<RawToml, String> {
+    let mut out: RawToml = Vec::new();
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| format!("lint-policy.toml:{}: {msg}", idx + 1);
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            out.push((name.trim().to_string(), Vec::new()));
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| err("expected `key = value`"))?;
+        let value = parse_value(value.trim()).map_err(|m| err(&m))?;
+        out.last_mut()
+            .ok_or_else(|| err("key outside any [section]"))?
+            .1
+            .push((key.trim().to_string(), value));
+    }
+    Ok(out)
+}
+
+/// Drop a trailing `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(v: &str) -> Result<Value, String> {
+    if v == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if v == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(s) = v.strip_prefix('"').and_then(|v| v.strip_suffix('"')) {
+        return Ok(Value::Str(s.to_string()));
+    }
+    if let Some(body) = v.strip_prefix('[').and_then(|v| v.strip_suffix(']')) {
+        let mut items = Vec::new();
+        for item in body.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            match item.strip_prefix('"').and_then(|i| i.strip_suffix('"')) {
+                Some(s) => items.push(s.to_string()),
+                None => return Err(format!("array items must be strings, got {item:?}")),
+            }
+        }
+        return Ok(Value::Array(items));
+    }
+    Err(format!("unsupported value {v:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# comment
+[crates.lf-core]
+class = "hot"
+
+[crates.lf-reclaim]
+class = "hot"
+seqcst_allow = ["EPOCH.pin", "EPOCH.advance"] # total-order race
+
+[crates.lf-baselines]
+class = "exempt"
+reason = "intentionally naive"
+tag_arith = true
+"#;
+
+    #[test]
+    fn parses_classes_and_allowlists() {
+        let p = Policy::parse(SAMPLE).unwrap();
+        assert_eq!(p.for_crate("lf-core").class, CrateClass::Hot);
+        assert_eq!(
+            p.for_crate("lf-reclaim").seqcst_allow,
+            vec!["EPOCH.pin".to_string(), "EPOCH.advance".to_string()]
+        );
+        let b = p.for_crate("lf-baselines");
+        assert_eq!(b.class, CrateClass::Exempt);
+        assert!(b.tag_arith);
+    }
+
+    #[test]
+    fn unknown_crate_defaults_to_support() {
+        let p = Policy::parse(SAMPLE).unwrap();
+        assert_eq!(p.for_crate("brand-new").class, CrateClass::Support);
+        assert!(!p.for_crate("brand-new").tag_arith);
+    }
+
+    #[test]
+    fn exempt_without_reason_is_rejected() {
+        let bad = "[crates.x]\nclass = \"exempt\"\n";
+        assert!(Policy::parse(bad).is_err());
+    }
+
+    #[test]
+    fn unknown_class_is_rejected() {
+        let bad = "[crates.x]\nclass = \"warm\"\n";
+        assert!(Policy::parse(bad).unwrap_err().contains("warm"));
+    }
+
+    #[test]
+    fn comments_inside_strings_survive() {
+        let p =
+            Policy::parse("[crates.x]\nclass = \"exempt\"\nreason = \"uses # freely\"\n").unwrap();
+        assert_eq!(p.for_crate("x").reason, "uses # freely");
+    }
+}

@@ -1,0 +1,152 @@
+//! Human and machine (`--json`) rendering of an [`Audit`].
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::audit::Audit;
+
+/// Render the human report.
+pub fn human(audit: &Audit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "lf-lint: {} files, {} atomic sites, {} unsafe items",
+        audit.files_scanned, audit.sites_total, audit.unsafe_total
+    );
+    if audit.findings.is_empty() {
+        let _ = writeln!(out, "lf-lint: clean — no findings");
+        return out;
+    }
+    let mut by_check: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in &audit.findings {
+        *by_check.entry(f.check).or_default() += 1;
+    }
+    let _ = writeln!(out, "lf-lint: {} finding(s)", audit.findings.len());
+    for (check, n) in &by_check {
+        let _ = writeln!(out, "  {check}: {n}");
+    }
+    let _ = writeln!(out);
+    for f in &audit.findings {
+        let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.check, f.message);
+    }
+    out
+}
+
+/// Render the machine report: stable keys, sorted findings, and the
+/// per-crate ordering inventory so CI can diff audits across PRs.
+pub fn json(audit: &Audit) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(
+        out,
+        "  \"summary\": {{\"files\": {}, \"atomic_sites\": {}, \"unsafe_items\": {}, \
+         \"findings\": {}}},",
+        audit.files_scanned,
+        audit.sites_total,
+        audit.unsafe_total,
+        audit.findings.len()
+    );
+    out.push_str("  \"inventory\": {");
+    let mut first_crate = true;
+    for (krate, combos) in &audit.inventory {
+        if !first_crate {
+            out.push(',');
+        }
+        first_crate = false;
+        let _ = write!(out, "\n    {}: {{", quote(krate));
+        let mut first = true;
+        for (combo, n) in combos {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            let _ = write!(out, "{}: {n}", quote(combo));
+        }
+        out.push('}');
+    }
+    out.push_str("\n  },\n  \"findings\": [");
+    let mut first = true;
+    for f in &audit.findings {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "\n    {{\"check\": {}, \"crate\": {}, \"file\": {}, \"line\": {}, \
+             \"message\": {}}}",
+            quote(f.check),
+            quote(&f.krate),
+            quote(&f.file),
+            f.line,
+            quote(&f.message)
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn quote(s: &str) -> String {
+    let mut q = String::with_capacity(s.len() + 2);
+    q.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => q.push_str("\\\""),
+            '\\' => q.push_str("\\\\"),
+            '\n' => q.push_str("\\n"),
+            '\t' => q.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(q, "\\u{:04x}", c as u32);
+            }
+            c => q.push(c),
+        }
+    }
+    q.push('"');
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::Finding;
+
+    fn sample() -> Audit {
+        let mut a = Audit {
+            files_scanned: 2,
+            sites_total: 5,
+            unsafe_total: 1,
+            ..Audit::default()
+        };
+        a.inventory
+            .entry("lf-core".into())
+            .or_default()
+            .insert("Release/Acquire".into(), 3);
+        a.findings.push(Finding {
+            check: "seqcst",
+            krate: "lf-core".into(),
+            file: "crates/core/src/x.rs".into(),
+            line: 7,
+            message: "say \"no\"".into(),
+        });
+        a
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let j = json(&sample());
+        assert!(j.contains("\"atomic_sites\": 5"));
+        assert!(j.contains("\"Release/Acquire\": 3"));
+        assert!(j.contains("say \\\"no\\\""));
+    }
+
+    #[test]
+    fn human_lists_findings_with_location() {
+        let h = human(&sample());
+        assert!(h.contains("crates/core/src/x.rs:7: [seqcst]"));
+    }
+
+    #[test]
+    fn clean_audit_says_clean() {
+        let a = Audit::default();
+        assert!(human(&a).contains("clean"));
+    }
+}

@@ -307,10 +307,14 @@ impl AtomicHistogram {
     /// racy-fresh by contract and exact once the writer is joined.
     pub(crate) fn record_owner(&self, v: u64) {
         let slot = &self.counts[index_for(v)];
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         slot.store(slot.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         self.total
             .store(self.total.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         let s = self.sum.load(Ordering::Relaxed);
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         self.sum.store(s.saturating_add(v), Ordering::Relaxed);
     }
 
@@ -325,12 +329,16 @@ impl AtomicHistogram {
         // phase. The caller serializes against the owner, so a slot
         // cannot become nonzero between the load and the skip.
         for (dst, src) in self.counts.iter().zip(other.counts.iter()) {
+            // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
             if src.load(Ordering::Relaxed) != 0 {
+                // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
                 dst.fetch_add(src.swap(0, Ordering::Relaxed), Ordering::Relaxed);
             }
         }
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         self.total
             .fetch_add(other.total.swap(0, Ordering::Relaxed), Ordering::Relaxed);
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         self.sum
             .fetch_add(other.sum.swap(0, Ordering::Relaxed), Ordering::Relaxed);
     }
@@ -338,9 +346,12 @@ impl AtomicHistogram {
     /// Accumulate a relaxed copy of `self` into `dst`.
     pub(crate) fn add_into(&self, dst: &mut Histogram) {
         for (d, s) in dst.counts.iter_mut().zip(self.counts.iter()) {
+            // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
             *d += s.load(Ordering::Relaxed);
         }
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         dst.total += self.total.load(Ordering::Relaxed);
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         dst.sum = dst.sum.saturating_add(self.sum.load(Ordering::Relaxed));
     }
 
@@ -348,18 +359,24 @@ impl AtomicHistogram {
     pub(crate) fn load(&self) -> Histogram {
         let mut h = Histogram::new();
         for (dst, src) in h.counts.iter_mut().zip(self.counts.iter()) {
+            // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
             *dst = src.load(Ordering::Relaxed);
         }
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         h.total = self.total.load(Ordering::Relaxed);
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         h.sum = self.sum.load(Ordering::Relaxed);
         h
     }
 
     pub(crate) fn reset(&self) {
         for c in self.counts.iter() {
+            // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
             c.store(0, Ordering::Relaxed);
         }
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         self.total.store(0, Ordering::Relaxed);
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         self.sum.store(0, Ordering::Relaxed);
     }
 }

@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Essential-step accounting.
 //!
 //! The amortized analysis in Fomitchev & Ruppert §3.4 counts exactly four
@@ -215,10 +213,12 @@ impl Shard {
     /// because the owning thread is the sole writer.
     #[inline]
     fn bump(cell: &AtomicU64) {
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         cell.store(cell.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
     }
 
     fn cas_failures(&self) -> u64 {
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         self.cas_fail
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
@@ -259,33 +259,42 @@ fn shards() -> MutexGuard<'static, Vec<Arc<Shard>>> {
 /// concurrent snapshots (which also hold it).
 fn fold_into_retired(shard: &Shard) {
     for i in 0..4 {
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         GLOBAL.cas_ok[i].fetch_add(
             shard.cas_ok[i].swap(0, Ordering::Relaxed),
             Ordering::Relaxed,
         );
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         GLOBAL.cas_fail[i].fetch_add(
             shard.cas_fail[i].swap(0, Ordering::Relaxed),
             Ordering::Relaxed,
         );
     }
+    // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
     GLOBAL.backlink_traversals.fetch_add(
         shard.backlink_traversals.swap(0, Ordering::Relaxed),
         Ordering::Relaxed,
     );
+    // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
     GLOBAL.next_updates.fetch_add(
         shard.next_updates.swap(0, Ordering::Relaxed),
         Ordering::Relaxed,
     );
+    // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
     GLOBAL.curr_updates.fetch_add(
         shard.curr_updates.swap(0, Ordering::Relaxed),
         Ordering::Relaxed,
     );
+    // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
     GLOBAL
         .ops
         .fetch_add(shard.ops.swap(0, Ordering::Relaxed), Ordering::Relaxed);
     // The per-op baselines track the (now zeroed) counters, not totals.
+    // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
     shard.last_cas_fail.store(0, Ordering::Relaxed);
+    // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
     shard.last_backlink.store(0, Ordering::Relaxed);
+    // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
     shard.last_curr.store(0, Ordering::Relaxed);
     if let Some(h) = shard.hist.get() {
         let g = global_hist();
@@ -351,11 +360,13 @@ static HIST_ENABLED: AtomicBool = AtomicBool::new(true);
 /// Runtime kill-switch for histogram capture ([`op_begin`] /
 /// [`op_end`]). Scalar counters are unaffected. Enabled by default.
 pub fn set_histograms_enabled(on: bool) {
+    // ord: Relaxed — MET.toggle: advisory kill-switch, no data guarded
     HIST_ENABLED.store(on, Ordering::Relaxed);
 }
 
 /// Whether histogram capture is currently enabled.
 pub fn histograms_enabled() -> bool {
+    // ord: Relaxed — MET.toggle: advisory kill-switch, no data guarded
     HIST_ENABLED.load(Ordering::Relaxed)
 }
 
@@ -492,16 +503,24 @@ pub fn op_end(token: OpToken) {
     with_local(|l| {
         Shard::bump(&l.ops);
         let cf = l.cas_failures();
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         let bl = l.backlink_traversals.load(Ordering::Relaxed);
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         let cu = l.curr_updates.load(Ordering::Relaxed);
         // `saturating_sub` guards against an explicit same-thread
         // `flush_local` between the two ends zeroing the counters (one
         // op's delta clips to zero, then the baselines re-sync).
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         let retries = cf.saturating_sub(l.last_cas_fail.load(Ordering::Relaxed));
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         let backlinks = bl.saturating_sub(l.last_backlink.load(Ordering::Relaxed));
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         let hops = cu.saturating_sub(l.last_curr.load(Ordering::Relaxed));
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         l.last_cas_fail.store(cf, Ordering::Relaxed);
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         l.last_backlink.store(bl, Ordering::Relaxed);
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         l.last_curr.store(cu, Ordering::Relaxed);
         l.hist_record_op(latency_ns, retries, backlinks, hops);
     });
@@ -549,15 +568,24 @@ pub fn reset() {
     let reg = shards();
     for shard in reg.iter() {
         for i in 0..4 {
+            // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
             shard.cas_ok[i].store(0, Ordering::Relaxed);
+            // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
             shard.cas_fail[i].store(0, Ordering::Relaxed);
         }
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         shard.backlink_traversals.store(0, Ordering::Relaxed);
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         shard.next_updates.store(0, Ordering::Relaxed);
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         shard.curr_updates.store(0, Ordering::Relaxed);
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         shard.ops.store(0, Ordering::Relaxed);
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         shard.last_cas_fail.store(0, Ordering::Relaxed);
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         shard.last_backlink.store(0, Ordering::Relaxed);
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         shard.last_curr.store(0, Ordering::Relaxed);
         if let Some(hists) = shard.hist.get() {
             for h in hists.iter() {
@@ -571,12 +599,18 @@ pub fn reset() {
         }
     }
     for i in 0..4 {
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         GLOBAL.cas_ok[i].store(0, Ordering::Relaxed);
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         GLOBAL.cas_fail[i].store(0, Ordering::Relaxed);
     }
+    // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
     GLOBAL.backlink_traversals.store(0, Ordering::Relaxed);
+    // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
     GLOBAL.next_updates.store(0, Ordering::Relaxed);
+    // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
     GLOBAL.curr_updates.store(0, Ordering::Relaxed);
+    // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
     GLOBAL.ops.store(0, Ordering::Relaxed);
 }
 
@@ -689,21 +723,33 @@ pub fn snapshot() -> Snapshot {
 fn snapshot_locked(reg: &[Arc<Shard>]) -> Snapshot {
     let mut s = Snapshot::default();
     for i in 0..4 {
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         s.cas_ok[i] = GLOBAL.cas_ok[i].load(Ordering::Relaxed);
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         s.cas_fail[i] = GLOBAL.cas_fail[i].load(Ordering::Relaxed);
     }
+    // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
     s.backlink_traversals = GLOBAL.backlink_traversals.load(Ordering::Relaxed);
+    // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
     s.next_updates = GLOBAL.next_updates.load(Ordering::Relaxed);
+    // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
     s.curr_updates = GLOBAL.curr_updates.load(Ordering::Relaxed);
+    // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
     s.ops = GLOBAL.ops.load(Ordering::Relaxed);
     for shard in reg {
         for i in 0..4 {
+            // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
             s.cas_ok[i] += shard.cas_ok[i].load(Ordering::Relaxed);
+            // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
             s.cas_fail[i] += shard.cas_fail[i].load(Ordering::Relaxed);
         }
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         s.backlink_traversals += shard.backlink_traversals.load(Ordering::Relaxed);
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         s.next_updates += shard.next_updates.load(Ordering::Relaxed);
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         s.curr_updates += shard.curr_updates.load(Ordering::Relaxed);
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         s.ops += shard.ops.load(Ordering::Relaxed);
     }
     s

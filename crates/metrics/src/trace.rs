@@ -120,8 +120,10 @@ fn registry() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
 thread_local! {
     static TL_BUF: Arc<ThreadBuf> = {
         let buf = Arc::new(ThreadBuf {
+            // ord: Relaxed — MET.trace: id/seq tickets need only RMW atomicity
             thread: NEXT_THREAD.fetch_add(1, Ordering::Relaxed) as u32,
             ring: Mutex::new(Ring {
+                // ord: Relaxed — MET.trace: advisory capacity hint
                 buf: vec![None; CAPACITY.load(Ordering::Relaxed).max(1)],
                 next: 0,
             }),
@@ -133,16 +135,21 @@ thread_local! {
 
 /// Turn event recording on.
 pub fn enable() {
-    ENABLED.store(true, Ordering::SeqCst);
+    // Relaxed (demoted from SeqCst): the flag guards no data — emitters
+    // that miss the flip merely skip a few leading events.
+    // ord: Relaxed — MET.toggle: advisory kill-switch, no data guarded
+    ENABLED.store(true, Ordering::Relaxed);
 }
 
 /// Turn event recording off (buffers keep their contents).
 pub fn disable() {
-    ENABLED.store(false, Ordering::SeqCst);
+    // ord: Relaxed — MET.toggle: advisory kill-switch, no data guarded
+    ENABLED.store(false, Ordering::Relaxed);
 }
 
 /// Whether events are currently being recorded.
 pub fn is_enabled() -> bool {
+    // ord: Relaxed — MET.toggle: advisory kill-switch, no data guarded
     ENABLED.load(Ordering::Relaxed)
 }
 
@@ -150,6 +157,7 @@ pub fn is_enabled() -> bool {
 /// have not yet recorded their first event. Existing buffers keep
 /// their size.
 pub fn set_thread_capacity(events: usize) {
+    // ord: Relaxed — MET.trace: advisory capacity hint
     CAPACITY.store(events.max(1), Ordering::Relaxed);
 }
 
@@ -161,9 +169,11 @@ pub fn current_thread_id() -> u32 {
 
 #[inline]
 pub(crate) fn emit(kind: EventKind) {
+    // ord: Relaxed — MET.toggle: advisory kill-switch, no data guarded
     if !ENABLED.load(Ordering::Relaxed) {
         return;
     }
+    // ord: Relaxed — MET.trace: id/seq tickets need only RMW atomicity
     let seq = SEQ.fetch_add(1, Ordering::Relaxed);
     // Best-effort during thread teardown, like the counters.
     let _ = TL_BUF.try_with(|b| b.push(seq, kind));

@@ -76,6 +76,7 @@ struct Slot {
 // SAFETY: `bags` is only accessed by the slot's unique owner while
 // `in_use` is held; all other fields are atomics.
 unsafe impl Send for Slot {}
+// SAFETY: same argument as `Send` above.
 unsafe impl Sync for Slot {}
 
 impl Slot {
@@ -91,6 +92,7 @@ impl Slot {
         // load must not be ordered before the scanner's earlier epoch
         // read, and it must observe any announcement store that precedes
         // the scan in the single total order of SeqCst operations.
+        // ord: SeqCst — EPOCH.pin: registry-scan side of the announcement race
         let s = self.state.load(Ordering::SeqCst);
         (s & 1 == 1).then_some(s >> 1)
     }
@@ -119,6 +121,7 @@ pub struct Collector {
 impl fmt::Debug for Collector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Collector")
+            // ord: Relaxed — DIAG.debug: best-effort snapshot, never dereferenced
             .field("epoch", &self.inner.epoch.load(Ordering::Relaxed))
             .finish()
     }
@@ -151,8 +154,11 @@ impl Collector {
         // on `next` below): each slot pointer is dereferenced, so we
         // need the happens-before edge from the Release CAS that
         // published it.
+        // ord: Acquire — EPOCH.registry: slot pointers are dereferenced
         let mut cur = self.inner.head.load(Ordering::Acquire);
         while !cur.is_null() {
+            // SAFETY: slots are never freed while the collector lives;
+            // the Acquire loads above published their initialization.
             let slot = unsafe { &*cur };
             // Acquire on success: claiming the slot takes ownership of
             // its `bags` vector, so the previous owner's unsynchronized
@@ -160,6 +166,7 @@ impl Collector {
             // Release store of `in_use = false` in `LocalHandle::drop`.
             // The Relaxed pre-check and failure ordering are pure
             // optimizations — losing the race has no data dependency.
+            // ord: Relaxed/Acquire — EPOCH.registry: claim takes bag ownership
             if !slot.in_use.load(Ordering::Relaxed)
                 && slot
                     .in_use
@@ -168,6 +175,7 @@ impl Collector {
             {
                 return LocalHandle::new(self.inner.clone(), cur);
             }
+            // ord: Acquire — EPOCH.registry: slot pointers are dereferenced
             cur = slot.next.load(Ordering::Acquire);
         }
 
@@ -178,17 +186,21 @@ impl Collector {
             next: AtomicPtr::new(std::ptr::null_mut()),
             bags: UnsafeCell::new(Vec::new()),
         }));
+        // ord: Acquire — EPOCH.registry: observed head becomes our `next`
         let mut head = self.inner.head.load(Ordering::Acquire);
         loop {
             // Relaxed: `next` is published (with the rest of the slot's
             // fields) by the Release CAS on `head` below; nobody can
             // read it earlier.
+            // SAFETY: `slot` was just leaked from a live Box.
+            // ord: Relaxed — EPOCH.registry: pre-publication link store
             unsafe { &*slot }.next.store(head, Ordering::Relaxed);
             // Release on success publishes the slot's initialization and
             // its `next` link. Acquire on failure: the observed head
             // becomes our `next` and is dereferenced by registry walkers
             // that reach it *through* our later Release CAS, so we must
             // hold the happens-before edge to its initialization.
+            // ord: Release/Acquire — EPOCH.registry: publish slot; failure is new `next`
             match self
                 .inner
                 .head
@@ -211,6 +223,8 @@ impl Drop for CollectorInner {
         }
         let mut cur = *self.head.get_mut();
         while !cur.is_null() {
+            // SAFETY: unique access (`&mut self`); every slot was leaked
+            // from a Box in `register` and is freed exactly once here.
             let mut slot = unsafe { Box::from_raw(cur) };
             cur = *slot.next.get_mut();
             for bag in slot.bags.get_mut().drain(..) {
@@ -228,15 +242,19 @@ impl CollectorInner {
         // after this read in the SeqCst total order so that any thread
         // whose announcement precedes our scan is counted against the
         // epoch we are about to advance (see module docs).
+        // ord: SeqCst — EPOCH.pin: scan must follow this read in the total order
         let epoch = self.epoch.load(Ordering::SeqCst);
+        // ord: Acquire — EPOCH.registry: slot pointers are dereferenced
         let mut cur = self.head.load(Ordering::Acquire);
         while !cur.is_null() {
+            // SAFETY: slots are never freed while the collector lives.
             let slot = unsafe { &*cur };
             if let Some(e) = slot.pinned_epoch() {
                 if e != epoch {
                     return false;
                 }
             }
+            // ord: Acquire — EPOCH.registry: slot pointers are dereferenced
             cur = slot.next.load(Ordering::Acquire);
         }
         // SeqCst success: the advance is both the Release edge that lets
@@ -244,6 +262,7 @@ impl CollectorInner {
         // frees after every scanned unpin, and a point in the SeqCst
         // order that later announcements must follow. Failure is a pure
         // retry signal (Relaxed).
+        // ord: SeqCst/Relaxed — EPOCH.pin: advance point in the total order
         self.epoch
             .compare_exchange(epoch, epoch + 1, Ordering::SeqCst, Ordering::Relaxed)
             .is_ok()
@@ -254,6 +273,7 @@ impl CollectorInner {
         // Acquire: syncs with the SeqCst advance CAS, ordering the bag
         // destructors after every unpin the advance(s) observed. A stale
         // value only delays freeing.
+        // ord: Acquire — EPOCH.collect: frees ordered after observed unpins
         let epoch = self.epoch.load(Ordering::Acquire);
         let ready: Vec<Bag> = {
             let mut orphans = self.orphans.lock().unwrap();
@@ -330,6 +350,8 @@ impl LocalHandle {
     }
 
     fn slot(&self) -> &Slot {
+        // SAFETY: the slot outlives the handle (slots are freed only by
+        // `CollectorInner::drop`, and we hold an `Arc` to it).
         unsafe { &*self.slot }
     }
 
@@ -357,6 +379,7 @@ impl LocalHandle {
             // accesses before the withdrawal, so an advancing thread
             // that observes the slot inactive also observes those
             // accesses as completed.
+            // ord: Release — EPOCH.unpin: withdrawal publishes prior accesses
             self.slot().state.store(Slot::INACTIVE, Ordering::Release);
             self.announced.set(false);
         }
@@ -376,7 +399,9 @@ impl LocalHandle {
             // the same state as a guard held across the advance, which
             // the `+ GRACE` rule already tolerates (the epoch can then
             // advance at most once more).
+            // ord: SeqCst — EPOCH.pin: announce-then-load side of the race
             let epoch = self.collector.epoch.load(Ordering::SeqCst);
+            // ord: SeqCst — EPOCH.pin: StoreLoad edge before structure loads
             self.slot()
                 .state
                 .store(Slot::encode(epoch), Ordering::SeqCst);
@@ -399,6 +424,7 @@ impl LocalHandle {
                 // Release: see `quiesce`. (With `repin_every == 1`, the
                 // default, this runs on every outermost unpin — exact
                 // pinning.)
+                // ord: Release — EPOCH.unpin: withdrawal publishes prior accesses
                 self.slot().state.store(Slot::INACTIVE, Ordering::Release);
                 self.announced.set(false);
             }
@@ -418,7 +444,10 @@ impl LocalHandle {
         // our own slot guarantees the epoch advances at most once before
         // we unpin, so the stamp is within one of any concurrent reader's
         // announcement and the `+ GRACE` rule holds.
+        // ord: SeqCst — EPOCH.pin: retire-time stamp reads the current epoch
         let epoch = self.collector.epoch.load(Ordering::SeqCst);
+        // SAFETY: the slot is exclusively ours while `in_use`; `defer`
+        // runs only on the owning (non-Send handle) thread.
         let bags = unsafe { &mut *self.slot().bags.get() };
         match bags.last_mut() {
             Some(bag) if bag.epoch == epoch => bag.items.push(f),
@@ -441,7 +470,9 @@ impl LocalHandle {
         // Acquire: orders the destructor runs below after every unpin
         // observed by the advance(s) that produced this epoch value
         // (syncs with the SeqCst advance CAS). Staleness only delays.
+        // ord: Acquire — EPOCH.collect: frees ordered after observed unpins
         let epoch = self.collector.epoch.load(Ordering::Acquire);
+        // SAFETY: the slot is exclusively ours while `in_use`.
         let bags = unsafe { &mut *self.slot().bags.get() };
         let mut i = 0;
         while i < bags.len() {
@@ -467,6 +498,7 @@ impl LocalHandle {
 
     /// Number of destructors queued on this handle (diagnostics).
     pub fn queued(&self) -> usize {
+        // SAFETY: the slot is exclusively ours while `in_use`.
         let bags = unsafe { &*self.slot().bags.get() };
         bags.iter().map(|b| b.items.len()).sum()
     }
@@ -476,6 +508,8 @@ impl Drop for LocalHandle {
     fn drop(&mut self) {
         debug_assert_eq!(self.guard_depth.get(), 0, "handle dropped while pinned");
         // Hand remaining garbage to the collector and release the slot.
+        // SAFETY: the slot is exclusively ours until `in_use` is
+        // released below.
         let bags = unsafe { &mut *self.slot().bags.get() };
         if !bags.is_empty() {
             let mut orphans = self.collector.orphans.lock().unwrap();
@@ -483,9 +517,11 @@ impl Drop for LocalHandle {
         }
         // Release: orders our accesses before the withdrawal (as in
         // `quiesce`) …
+        // ord: Release — EPOCH.unpin: withdrawal publishes prior accesses
         self.slot().state.store(Slot::INACTIVE, Ordering::Release);
         // … and Release again so the next owner's Acquire claim of
         // `in_use` sees our (now empty) `bags` vector.
+        // ord: Release — EPOCH.registry: hand the empty bags to the next owner
         self.slot().in_use.store(false, Ordering::Release);
     }
 }

@@ -47,7 +47,11 @@ impl<'a> Guard<'a> {
     /// operations, and be retired at most once.
     pub unsafe fn defer_drop_box<T: Send + 'static>(&self, ptr: *mut T) {
         let addr = ptr as usize;
-        self.defer_unchecked(move || drop(Box::from_raw(addr as *mut T)));
+        // SAFETY: the caller's contract — `ptr` came from
+        // `Box::into_raw`, is unreachable, and is retired once.
+        unsafe {
+            self.defer_unchecked(move || drop(Box::from_raw(addr as *mut T)));
+        }
     }
 
     /// The handle this guard pins.

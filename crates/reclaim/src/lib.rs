@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Epoch-based memory reclamation.
 //!
 //! The PODC 2004 paper leaves memory management out of scope, suggesting

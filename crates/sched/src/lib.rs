@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Deterministic step-machine scheduler for adversarial executions.
 //!
 //! The paper's lower-bound arguments (§3.1) construct *specific

@@ -16,7 +16,10 @@ pub struct SimFrList {
     arena: Arena,
 }
 
+// SAFETY: all shared mutation goes through atomics; every node is
+// arena-adopted and stays valid until the list is dropped.
 unsafe impl Send for SimFrList {}
+// SAFETY: same argument as `Send` above.
 unsafe impl Sync for SimFrList {}
 
 impl Default for SimFrList {
@@ -40,6 +43,7 @@ impl SimFrList {
     /// Runs without a scheduler — call only while quiescent.
     pub fn collect_keys(&self) -> Vec<i64> {
         let mut out = Vec::new();
+        // SAFETY: arena-adopted nodes stay valid until the list drops.
         unsafe {
             let mut cur = (*self.head).succ.load(Ordering::SeqCst).ptr();
             while !cur.is_null() && (*cur).key != i64::MAX {
@@ -70,6 +74,7 @@ impl SimFrList {
     ///
     /// Panics with a description of the violated invariant.
     pub fn check_invariants(&self) {
+        // SAFETY: arena-adopted nodes stay valid until the list drops.
         unsafe {
             let mut prev: *mut SimNode = std::ptr::null_mut();
             let mut prev_succ = TaggedPtr::<SimNode>::null();
@@ -131,6 +136,7 @@ impl SimFrList {
     /// use only, between grants).
     pub fn dump(&self) -> Vec<(i64, bool, bool)> {
         let mut out = Vec::new();
+        // SAFETY: arena-adopted nodes stay valid until the list drops.
         unsafe {
             let mut cur = self.head;
             while !cur.is_null() {
@@ -142,6 +148,10 @@ impl SimFrList {
         out
     }
 
+    /// # Safety
+    ///
+    /// `curr` must be a node of this list with `curr.key <= k`
+    /// (arena-adopted nodes stay valid until the list drops).
     unsafe fn search_from(
         &self,
         k: i64,
@@ -149,119 +159,146 @@ impl SimFrList {
         mode: Mode,
         proc: &Proc,
     ) -> (*mut SimNode, *mut SimNode) {
-        proc.step(StepKind::Read);
-        let mut next = (*curr).succ.load(Ordering::SeqCst).ptr();
-        while key_before((*next).key, k, mode) {
-            loop {
-                proc.step(StepKind::Read);
-                let next_succ = (*next).succ.load(Ordering::SeqCst);
-                if !next_succ.is_marked() {
-                    break;
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            proc.step(StepKind::Read);
+            let mut next = (*curr).succ.load(Ordering::SeqCst).ptr();
+            while key_before((*next).key, k, mode) {
+                loop {
+                    proc.step(StepKind::Read);
+                    let next_succ = (*next).succ.load(Ordering::SeqCst);
+                    if !next_succ.is_marked() {
+                        break;
+                    }
+                    proc.step(StepKind::Read);
+                    let curr_succ = (*curr).succ.load(Ordering::SeqCst);
+                    if curr_succ.is_marked() && curr_succ.ptr() == next {
+                        break;
+                    }
+                    if curr_succ.ptr() == next {
+                        self.help_marked(curr, next, proc);
+                    }
+                    proc.step(StepKind::Read);
+                    next = (*curr).succ.load(Ordering::SeqCst).ptr();
                 }
-                proc.step(StepKind::Read);
-                let curr_succ = (*curr).succ.load(Ordering::SeqCst);
-                if curr_succ.is_marked() && curr_succ.ptr() == next {
-                    break;
+                if key_before((*next).key, k, mode) {
+                    proc.step(StepKind::Traverse);
+                    curr = next;
+                    proc.step(StepKind::Read);
+                    next = (*curr).succ.load(Ordering::SeqCst).ptr();
                 }
-                if curr_succ.ptr() == next {
-                    self.help_marked(curr, next, proc);
-                }
-                proc.step(StepKind::Read);
-                next = (*curr).succ.load(Ordering::SeqCst).ptr();
             }
-            if key_before((*next).key, k, mode) {
-                proc.step(StepKind::Traverse);
-                curr = next;
-                proc.step(StepKind::Read);
-                next = (*curr).succ.load(Ordering::SeqCst).ptr();
-            }
+            (curr, next)
         }
-        (curr, next)
     }
 
+    /// # Safety
+    ///
+    /// `prev` and `del` must be nodes of this list.
     unsafe fn help_marked(&self, prev: *mut SimNode, del: *mut SimNode, proc: &Proc) {
-        proc.step(StepKind::Read);
-        let next = (*del).succ.load(Ordering::SeqCst).ptr();
-        proc.step(StepKind::CasUnlink);
-        let _ = (*prev).succ.compare_exchange(
-            TaggedPtr::new(del, TagBits::Flagged),
-            TaggedPtr::unmarked(next),
-            Ordering::SeqCst,
-            Ordering::SeqCst,
-        );
-    }
-
-    unsafe fn help_flagged(&self, prev: *mut SimNode, del: *mut SimNode, proc: &Proc) {
-        proc.step(StepKind::Write);
-        (*del).backlink.store(prev, Ordering::SeqCst);
-        proc.step(StepKind::Read);
-        if !(*del).succ.load(Ordering::SeqCst).is_marked() {
-            self.try_mark(del, proc);
-        }
-        self.help_marked(prev, del, proc);
-    }
-
-    unsafe fn try_mark(&self, del: *mut SimNode, proc: &Proc) {
-        loop {
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
             proc.step(StepKind::Read);
             let next = (*del).succ.load(Ordering::SeqCst).ptr();
-            proc.step(StepKind::CasMark);
-            let res = (*del).succ.compare_exchange(
+            proc.step(StepKind::CasUnlink);
+            let _ = (*prev).succ.compare_exchange(
+                TaggedPtr::new(del, TagBits::Flagged),
                 TaggedPtr::unmarked(next),
-                TaggedPtr::new(next, TagBits::Marked),
                 Ordering::SeqCst,
                 Ordering::SeqCst,
             );
-            if let Err(found) = res {
-                if found.is_flagged() {
-                    self.help_flagged(del, found.ptr(), proc);
-                }
-            }
+        }
+    }
+
+    /// # Safety
+    ///
+    /// `prev` and `del` must be nodes of this list.
+    unsafe fn help_flagged(&self, prev: *mut SimNode, del: *mut SimNode, proc: &Proc) {
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            proc.step(StepKind::Write);
+            (*del).backlink.store(prev, Ordering::SeqCst);
             proc.step(StepKind::Read);
-            if (*del).succ.load(Ordering::SeqCst).is_marked() {
-                return;
+            if !(*del).succ.load(Ordering::SeqCst).is_marked() {
+                self.try_mark(del, proc);
+            }
+            self.help_marked(prev, del, proc);
+        }
+    }
+
+    /// # Safety
+    ///
+    /// `del` must be a node of this list.
+    unsafe fn try_mark(&self, del: *mut SimNode, proc: &Proc) {
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            loop {
+                proc.step(StepKind::Read);
+                let next = (*del).succ.load(Ordering::SeqCst).ptr();
+                proc.step(StepKind::CasMark);
+                let res = (*del).succ.compare_exchange(
+                    TaggedPtr::unmarked(next),
+                    TaggedPtr::new(next, TagBits::Marked),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                if let Err(found) = res {
+                    if found.is_flagged() {
+                        self.help_flagged(del, found.ptr(), proc);
+                    }
+                }
+                proc.step(StepKind::Read);
+                if (*del).succ.load(Ordering::SeqCst).is_marked() {
+                    return;
+                }
             }
         }
     }
 
+    /// # Safety
+    ///
+    /// `prev` and `target` must be nodes of this list.
     unsafe fn try_flag(
         &self,
         mut prev: *mut SimNode,
         target: *mut SimNode,
         proc: &Proc,
     ) -> (*mut SimNode, bool) {
-        let flagged = TaggedPtr::new(target, TagBits::Flagged);
-        loop {
-            proc.step(StepKind::Read);
-            if (*prev).succ.load(Ordering::SeqCst) == flagged {
-                return (prev, false);
-            }
-            proc.step(StepKind::CasFlag);
-            let res = (*prev).succ.compare_exchange(
-                TaggedPtr::unmarked(target),
-                flagged,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            );
-            match res {
-                Ok(_) => return (prev, true),
-                Err(found) => {
-                    if found == flagged {
-                        return (prev, false);
-                    }
-                    loop {
-                        proc.step(StepKind::Read);
-                        if !(*prev).succ.load(Ordering::SeqCst).is_marked() {
-                            break;
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            let flagged = TaggedPtr::new(target, TagBits::Flagged);
+            loop {
+                proc.step(StepKind::Read);
+                if (*prev).succ.load(Ordering::SeqCst) == flagged {
+                    return (prev, false);
+                }
+                proc.step(StepKind::CasFlag);
+                let res = (*prev).succ.compare_exchange(
+                    TaggedPtr::unmarked(target),
+                    flagged,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                match res {
+                    Ok(_) => return (prev, true),
+                    Err(found) => {
+                        if found == flagged {
+                            return (prev, false);
                         }
-                        proc.step(StepKind::Backlink);
-                        prev = (*prev).backlink.load(Ordering::SeqCst);
+                        loop {
+                            proc.step(StepKind::Read);
+                            if !(*prev).succ.load(Ordering::SeqCst).is_marked() {
+                                break;
+                            }
+                            proc.step(StepKind::Backlink);
+                            prev = (*prev).backlink.load(Ordering::SeqCst);
+                        }
+                        let (p, d) = self.search_from((*target).key, prev, Mode::Lt, proc);
+                        if d != target {
+                            return (std::ptr::null_mut(), false);
+                        }
+                        prev = p;
                     }
-                    let (p, d) = self.search_from((*target).key, prev, Mode::Lt, proc);
-                    if d != target {
-                        return (std::ptr::null_mut(), false);
-                    }
-                    prev = p;
                 }
             }
         }
@@ -274,6 +311,7 @@ impl SimFrList {
     /// Panics if `key` is a sentinel value (`i64::MIN`/`i64::MAX`).
     pub fn insert(&self, key: i64, proc: &Proc) -> bool {
         assert!(key > i64::MIN && key < i64::MAX, "sentinel key");
+        // SAFETY: arena-adopted nodes stay valid until the list drops.
         unsafe {
             let (mut prev, mut next) = self.search_from(key, self.head, Mode::Le, proc);
             if (*prev).key == key {
@@ -327,6 +365,7 @@ impl SimFrList {
     /// Delete `key` (paper Fig. 4). Returns whether this operation owns
     /// the deletion.
     pub fn delete(&self, key: i64, proc: &Proc) -> bool {
+        // SAFETY: arena-adopted nodes stay valid until the list drops.
         unsafe {
             let (prev, del) = self.search_from(key, self.head, Mode::Lt, proc);
             if (*del).key != key {
@@ -342,6 +381,7 @@ impl SimFrList {
 
     /// Whether `key` is present (paper Fig. 3 `Search`).
     pub fn contains(&self, key: i64, proc: &Proc) -> bool {
+        // SAFETY: arena-adopted nodes stay valid until the list drops.
         unsafe {
             let (curr, _) = self.search_from(key, self.head, Mode::Le, proc);
             (*curr).key == key

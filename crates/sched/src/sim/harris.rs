@@ -17,7 +17,10 @@ pub struct SimHarrisList {
     arena: Arena,
 }
 
+// SAFETY: all shared mutation goes through atomics; every node is
+// arena-adopted and stays valid until the list is dropped.
 unsafe impl Send for SimHarrisList {}
+// SAFETY: same argument as `Send` above.
 unsafe impl Sync for SimHarrisList {}
 
 impl Default for SimHarrisList {
@@ -40,6 +43,7 @@ impl SimHarrisList {
     /// Keys currently in the list; quiescent use only.
     pub fn collect_keys(&self) -> Vec<i64> {
         let mut out = Vec::new();
+        // SAFETY: arena-adopted nodes stay valid until the list drops.
         unsafe {
             let mut cur = (*self.head).succ.load(Ordering::SeqCst).ptr();
             while !cur.is_null() && (*cur).key != i64::MAX {
@@ -54,55 +58,63 @@ impl SimHarrisList {
     }
 
     /// Harris `search`: `(left, right)` with `left.key < k <= right.key`.
+    ///
+    /// # Safety
+    ///
+    /// Arena-adopted nodes stay valid until the list drops; callable
+    /// only while the list is live.
     unsafe fn search(&self, k: i64, proc: &Proc) -> (*mut SimNode, *mut SimNode) {
-        'retry: loop {
-            let mut left = self.head;
-            proc.step(StepKind::Read);
-            let mut left_succ = (*left).succ.load(Ordering::SeqCst);
-            let right;
-
-            let mut t = self.head;
-            let mut t_succ = left_succ;
-            loop {
-                if !t_succ.is_marked() {
-                    left = t;
-                    left_succ = t_succ;
-                }
-                t = t_succ.ptr();
-                if t.is_null() {
-                    continue 'retry;
-                }
-                proc.step(StepKind::Traverse);
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            'retry: loop {
+                let mut left = self.head;
                 proc.step(StepKind::Read);
-                t_succ = (*t).succ.load(Ordering::SeqCst);
-                if !(t_succ.is_marked() || (*t).key < k) {
-                    right = t;
-                    break;
-                }
-            }
+                let mut left_succ = (*left).succ.load(Ordering::SeqCst);
+                let right;
 
-            if left_succ.ptr() == right {
-                proc.step(StepKind::Read);
-                if (*right).succ.load(Ordering::SeqCst).is_marked() {
-                    continue 'retry;
+                let mut t = self.head;
+                let mut t_succ = left_succ;
+                loop {
+                    if !t_succ.is_marked() {
+                        left = t;
+                        left_succ = t_succ;
+                    }
+                    t = t_succ.ptr();
+                    if t.is_null() {
+                        continue 'retry;
+                    }
+                    proc.step(StepKind::Traverse);
+                    proc.step(StepKind::Read);
+                    t_succ = (*t).succ.load(Ordering::SeqCst);
+                    if !(t_succ.is_marked() || (*t).key < k) {
+                        right = t;
+                        break;
+                    }
                 }
-                return (left, right);
-            }
 
-            proc.step(StepKind::CasUnlink);
-            let res = (*left).succ.compare_exchange(
-                left_succ,
-                TaggedPtr::unmarked(right),
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            );
-            if res.is_ok() {
-                proc.step(StepKind::Read);
-                if !(*right).succ.load(Ordering::SeqCst).is_marked() {
+                if left_succ.ptr() == right {
+                    proc.step(StepKind::Read);
+                    if (*right).succ.load(Ordering::SeqCst).is_marked() {
+                        continue 'retry;
+                    }
                     return (left, right);
                 }
+
+                proc.step(StepKind::CasUnlink);
+                let res = (*left).succ.compare_exchange(
+                    left_succ,
+                    TaggedPtr::unmarked(right),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                if res.is_ok() {
+                    proc.step(StepKind::Read);
+                    if !(*right).succ.load(Ordering::SeqCst).is_marked() {
+                        return (left, right);
+                    }
+                }
+                // Snip failed or right got marked: restart from the head.
             }
-            // Snip failed or right got marked: restart from the head.
         }
     }
 
@@ -113,6 +125,7 @@ impl SimHarrisList {
     /// Panics if `key` is a sentinel value.
     pub fn insert(&self, key: i64, proc: &Proc) -> bool {
         assert!(key > i64::MIN && key < i64::MAX, "sentinel key");
+        // SAFETY: arena-adopted nodes stay valid until the list drops.
         unsafe {
             let new_node = SimNode::alloc(key, std::ptr::null_mut());
             self.arena.adopt(new_node);
@@ -141,6 +154,7 @@ impl SimHarrisList {
 
     /// Delete `key`; returns whether this operation performed it.
     pub fn delete(&self, key: i64, proc: &Proc) -> bool {
+        // SAFETY: arena-adopted nodes stay valid until the list drops.
         unsafe {
             loop {
                 let (_left, right) = self.search(key, proc);
@@ -173,6 +187,7 @@ impl SimHarrisList {
 
     /// Whether `key` is present.
     pub fn contains(&self, key: i64, proc: &Proc) -> bool {
+        // SAFETY: arena-adopted nodes stay valid until the list drops.
         unsafe {
             let (_left, right) = self.search(key, proc);
             (*right).key == key

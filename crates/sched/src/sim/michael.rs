@@ -19,7 +19,10 @@ pub struct SimMichaelList {
     arena: Arena,
 }
 
+// SAFETY: all shared mutation goes through atomics; every node is
+// arena-adopted and stays valid until the list is dropped.
 unsafe impl Send for SimMichaelList {}
+// SAFETY: same argument as `Send` above.
 unsafe impl Sync for SimMichaelList {}
 
 impl Default for SimMichaelList {
@@ -42,6 +45,7 @@ impl SimMichaelList {
     /// Keys currently present; quiescent use only.
     pub fn collect_keys(&self) -> Vec<i64> {
         let mut out = Vec::new();
+        // SAFETY: arena-adopted nodes stay valid until the list drops.
         unsafe {
             let mut cur = (*self.head).succ.load(Ordering::SeqCst).ptr();
             while !cur.is_null() && (*cur).key != i64::MAX {
@@ -58,39 +62,47 @@ impl SimMichaelList {
     /// Michael's `find`: returns (prev, cur, cur_succ) with `cur.key >=
     /// k`, unlinking marked nodes one at a time; restarts from the head
     /// on any failure.
+    ///
+    /// # Safety
+    ///
+    /// Arena-adopted nodes stay valid until the list drops; callable
+    /// only while the list is live.
     unsafe fn find(&self, k: i64, proc: &Proc) -> (*mut SimNode, *mut SimNode, TaggedPtr<SimNode>) {
-        'retry: loop {
-            let mut prev = self.head;
-            proc.step(StepKind::Read);
-            let mut cur = (*prev).succ.load(Ordering::SeqCst).ptr();
-            loop {
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            'retry: loop {
+                let mut prev = self.head;
                 proc.step(StepKind::Read);
-                let check = (*prev).succ.load(Ordering::SeqCst);
-                if check.ptr() != cur || check.is_marked() {
-                    continue 'retry;
-                }
-                proc.step(StepKind::Read);
-                let cur_succ = (*cur).succ.load(Ordering::SeqCst);
-                if cur_succ.is_marked() {
-                    proc.step(StepKind::CasUnlink);
-                    let res = (*prev).succ.compare_exchange(
-                        TaggedPtr::unmarked(cur),
-                        TaggedPtr::unmarked(cur_succ.ptr()),
-                        Ordering::SeqCst,
-                        Ordering::SeqCst,
-                    );
-                    if res.is_err() {
+                let mut cur = (*prev).succ.load(Ordering::SeqCst).ptr();
+                loop {
+                    proc.step(StepKind::Read);
+                    let check = (*prev).succ.load(Ordering::SeqCst);
+                    if check.ptr() != cur || check.is_marked() {
                         continue 'retry;
                     }
+                    proc.step(StepKind::Read);
+                    let cur_succ = (*cur).succ.load(Ordering::SeqCst);
+                    if cur_succ.is_marked() {
+                        proc.step(StepKind::CasUnlink);
+                        let res = (*prev).succ.compare_exchange(
+                            TaggedPtr::unmarked(cur),
+                            TaggedPtr::unmarked(cur_succ.ptr()),
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        );
+                        if res.is_err() {
+                            continue 'retry;
+                        }
+                        cur = cur_succ.ptr();
+                        continue;
+                    }
+                    if (*cur).key >= k {
+                        return (prev, cur, cur_succ);
+                    }
+                    proc.step(StepKind::Traverse);
+                    prev = cur;
                     cur = cur_succ.ptr();
-                    continue;
                 }
-                if (*cur).key >= k {
-                    return (prev, cur, cur_succ);
-                }
-                proc.step(StepKind::Traverse);
-                prev = cur;
-                cur = cur_succ.ptr();
             }
         }
     }
@@ -102,6 +114,7 @@ impl SimMichaelList {
     /// Panics if `key` is a sentinel value.
     pub fn insert(&self, key: i64, proc: &Proc) -> bool {
         assert!(key > i64::MIN && key < i64::MAX, "sentinel key");
+        // SAFETY: arena-adopted nodes stay valid until the list drops.
         unsafe {
             let new_node = SimNode::alloc(key, std::ptr::null_mut());
             self.arena.adopt(new_node);
@@ -130,6 +143,7 @@ impl SimMichaelList {
 
     /// Delete `key`; returns whether this operation performed it.
     pub fn delete(&self, key: i64, proc: &Proc) -> bool {
+        // SAFETY: arena-adopted nodes stay valid until the list drops.
         unsafe {
             loop {
                 let (prev, cur, cur_succ) = self.find(key, proc);
@@ -160,6 +174,7 @@ impl SimMichaelList {
 
     /// Whether `key` is present.
     pub fn contains(&self, key: i64, proc: &Proc) -> bool {
+        // SAFETY: arena-adopted nodes stay valid until the list drops.
         unsafe {
             let (_, cur, _) = self.find(key, proc);
             (*cur).key == key

@@ -70,6 +70,9 @@ impl Arena {
 impl Drop for Arena {
     fn drop(&mut self) {
         for &addr in self.nodes.lock().unwrap().iter() {
+            // SAFETY: every adopted address is a Box-allocated SimNode
+            // recorded exactly once; &mut self means no simulation is
+            // still running.
             drop(unsafe { Box::from_raw(addr as *mut SimNode) });
         }
     }

@@ -20,7 +20,10 @@ pub struct SimNoFlagList {
     arena: Arena,
 }
 
+// SAFETY: all shared mutation goes through atomics; every node is
+// arena-adopted and stays valid until the list is dropped.
 unsafe impl Send for SimNoFlagList {}
+// SAFETY: same argument as `Send` above.
 unsafe impl Sync for SimNoFlagList {}
 
 impl Default for SimNoFlagList {
@@ -43,6 +46,7 @@ impl SimNoFlagList {
     /// Keys currently present (unmarked nodes); quiescent use only.
     pub fn collect_keys(&self) -> Vec<i64> {
         let mut out = Vec::new();
+        // SAFETY: arena-adopted nodes stay valid until the list drops.
         unsafe {
             let mut cur = (*self.head).succ.load(Ordering::SeqCst).ptr();
             while !cur.is_null() && (*cur).key != i64::MAX {
@@ -59,6 +63,7 @@ impl SimNoFlagList {
     /// Snapshot `(key, mark, flag)` of all linked nodes (director use).
     pub fn dump(&self) -> Vec<(i64, bool, bool)> {
         let mut out = Vec::new();
+        // SAFETY: arena-adopted nodes stay valid until the list drops.
         unsafe {
             let mut cur = self.head;
             while !cur.is_null() {
@@ -70,18 +75,28 @@ impl SimNoFlagList {
         out
     }
 
+    /// # Safety
+    ///
+    /// `prev` and `del` must be nodes of this list.
     unsafe fn help_marked(&self, prev: *mut SimNode, del: *mut SimNode, proc: &Proc) {
-        proc.step(StepKind::Read);
-        let next = (*del).succ.load(Ordering::SeqCst).ptr();
-        proc.step(StepKind::CasUnlink);
-        let _ = (*prev).succ.compare_exchange(
-            TaggedPtr::unmarked(del),
-            TaggedPtr::unmarked(next),
-            Ordering::SeqCst,
-            Ordering::SeqCst,
-        );
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            proc.step(StepKind::Read);
+            let next = (*del).succ.load(Ordering::SeqCst).ptr();
+            proc.step(StepKind::CasUnlink);
+            let _ = (*prev).succ.compare_exchange(
+                TaggedPtr::unmarked(del),
+                TaggedPtr::unmarked(next),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+        }
     }
 
+    /// # Safety
+    ///
+    /// `curr` must be a node of this list with `curr.key <= k`
+    /// (arena-adopted nodes stay valid until the list drops).
     unsafe fn search_from(
         &self,
         k: i64,
@@ -89,45 +104,54 @@ impl SimNoFlagList {
         mode: Mode,
         proc: &Proc,
     ) -> (*mut SimNode, *mut SimNode) {
-        proc.step(StepKind::Read);
-        let mut next = (*curr).succ.load(Ordering::SeqCst).ptr();
-        while key_before((*next).key, k, mode) {
-            loop {
-                proc.step(StepKind::Read);
-                let next_succ = (*next).succ.load(Ordering::SeqCst);
-                if !next_succ.is_marked() {
-                    break;
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            proc.step(StepKind::Read);
+            let mut next = (*curr).succ.load(Ordering::SeqCst).ptr();
+            while key_before((*next).key, k, mode) {
+                loop {
+                    proc.step(StepKind::Read);
+                    let next_succ = (*next).succ.load(Ordering::SeqCst);
+                    if !next_succ.is_marked() {
+                        break;
+                    }
+                    proc.step(StepKind::Read);
+                    let curr_succ = (*curr).succ.load(Ordering::SeqCst);
+                    if curr_succ.is_marked() && curr_succ.ptr() == next {
+                        break;
+                    }
+                    if curr_succ.ptr() == next {
+                        self.help_marked(curr, next, proc);
+                    }
+                    proc.step(StepKind::Read);
+                    next = (*curr).succ.load(Ordering::SeqCst).ptr();
                 }
-                proc.step(StepKind::Read);
-                let curr_succ = (*curr).succ.load(Ordering::SeqCst);
-                if curr_succ.is_marked() && curr_succ.ptr() == next {
-                    break;
+                if key_before((*next).key, k, mode) {
+                    proc.step(StepKind::Traverse);
+                    curr = next;
+                    proc.step(StepKind::Read);
+                    next = (*curr).succ.load(Ordering::SeqCst).ptr();
                 }
-                if curr_succ.ptr() == next {
-                    self.help_marked(curr, next, proc);
-                }
-                proc.step(StepKind::Read);
-                next = (*curr).succ.load(Ordering::SeqCst).ptr();
             }
-            if key_before((*next).key, k, mode) {
-                proc.step(StepKind::Traverse);
-                curr = next;
-                proc.step(StepKind::Read);
-                next = (*curr).succ.load(Ordering::SeqCst).ptr();
-            }
+            (curr, next)
         }
-        (curr, next)
     }
 
+    /// # Safety
+    ///
+    /// `prev` must be a node of this list.
     unsafe fn recover(&self, mut prev: *mut SimNode, proc: &Proc) -> *mut SimNode {
-        loop {
-            proc.step(StepKind::Read);
-            if !(*prev).succ.load(Ordering::SeqCst).is_marked() {
-                return prev;
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            loop {
+                proc.step(StepKind::Read);
+                if !(*prev).succ.load(Ordering::SeqCst).is_marked() {
+                    return prev;
+                }
+                proc.step(StepKind::Backlink);
+                let back = (*prev).backlink.load(Ordering::SeqCst);
+                prev = if back.is_null() { self.head } else { back };
             }
-            proc.step(StepKind::Backlink);
-            let back = (*prev).backlink.load(Ordering::SeqCst);
-            prev = if back.is_null() { self.head } else { back };
         }
     }
 
@@ -138,6 +162,7 @@ impl SimNoFlagList {
     /// Panics if `key` is a sentinel value.
     pub fn insert(&self, key: i64, proc: &Proc) -> bool {
         assert!(key > i64::MIN && key < i64::MAX, "sentinel key");
+        // SAFETY: arena-adopted nodes stay valid until the list drops.
         unsafe {
             let (mut prev, mut next) = self.search_from(key, self.head, Mode::Le, proc);
             if (*prev).key == key {
@@ -172,6 +197,7 @@ impl SimNoFlagList {
 
     /// Delete `key`; returns whether this operation performed it.
     pub fn delete(&self, key: i64, proc: &Proc) -> bool {
+        // SAFETY: arena-adopted nodes stay valid until the list drops.
         unsafe {
             let (mut prev, del) = self.search_from(key, self.head, Mode::Lt, proc);
             if (*del).key != key {
@@ -210,6 +236,7 @@ impl SimNoFlagList {
 
     /// Whether `key` is present.
     pub fn contains(&self, key: i64, proc: &Proc) -> bool {
+        // SAFETY: arena-adopted nodes stay valid until the list drops.
         unsafe {
             let (curr, _) = self.search_from(key, self.head, Mode::Le, proc);
             (*curr).key == key

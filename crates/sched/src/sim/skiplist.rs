@@ -43,6 +43,7 @@ impl Node {
             down,
             tower_root: std::ptr::null_mut(),
         }));
+        // SAFETY: `n` was just allocated and is not yet shared.
         unsafe {
             (*n).tower_root = if down.is_null() {
                 n
@@ -68,7 +69,10 @@ pub struct SimSkipList {
     nodes: Mutex<Vec<usize>>,
 }
 
+// SAFETY: all shared mutation goes through atomics; every node is
+// adopted into `nodes` and stays valid until the list is dropped.
 unsafe impl Send for SimSkipList {}
+// SAFETY: same argument as `Send` above.
 unsafe impl Sync for SimSkipList {}
 
 impl Default for SimSkipList {
@@ -80,10 +84,14 @@ impl Default for SimSkipList {
 impl Drop for SimSkipList {
     fn drop(&mut self) {
         for &addr in self.nodes.lock().unwrap().iter() {
+            // SAFETY: adopted addresses are Box-allocated nodes recorded
+            // exactly once; &mut self means no simulation is running.
             drop(unsafe { Box::from_raw(addr as *mut Node) });
         }
         for level in 0..MAX_LEVEL {
+            // SAFETY: sentinels are Box-allocated and not in `nodes`.
             drop(unsafe { Box::from_raw(self.heads[level]) });
+            // SAFETY: as above.
             drop(unsafe { Box::from_raw(self.tails[level]) });
         }
     }
@@ -99,6 +107,7 @@ impl SimSkipList {
         for _ in 0..MAX_LEVEL {
             let tail = Node::alloc(i64::MAX, below.1);
             let head = Node::alloc(i64::MIN, below.0);
+            // SAFETY: the fresh sentinels are not yet shared.
             unsafe {
                 // Sentinels are their own roots.
                 (*tail).tower_root = tail;
@@ -122,17 +131,26 @@ impl SimSkipList {
         self.nodes.lock().unwrap().push(node as usize);
     }
 
+    /// # Safety
+    ///
+    /// `n` must be a live node of this list.
     unsafe fn key_of(n: *mut Node) -> i64 {
-        (*(*n).tower_root).key
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe { (*(*n).tower_root).key }
     }
 
+    /// # Safety
+    ///
+    /// `n` must be a live node of this list.
     unsafe fn is_superfluous(n: *mut Node) -> bool {
-        (*(*n).tower_root).succ.load(Ordering::SeqCst).is_marked()
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe { (*(*n).tower_root).succ.load(Ordering::SeqCst).is_marked() }
     }
 
     fn start_level(&self, min_level: usize) -> usize {
         let mut level = MAX_LEVEL - 1;
         while level > min_level {
+            // SAFETY: head sentinels live as long as the list.
             if unsafe { (*self.heads[level - 1]).succ.load(Ordering::SeqCst).ptr() }
                 != self.tails[level - 1]
             {
@@ -143,6 +161,10 @@ impl SimSkipList {
         level
     }
 
+    /// # Safety
+    ///
+    /// `curr` must be a node of this list with `curr.key <= k`
+    /// (adopted nodes stay valid until the list drops).
     unsafe fn search_right(
         &self,
         k: i64,
@@ -150,32 +172,39 @@ impl SimSkipList {
         mode: Mode,
         proc: &Proc,
     ) -> (*mut Node, *mut Node) {
-        proc.step(StepKind::Read);
-        let mut next = (*curr).succ.load(Ordering::SeqCst).ptr();
-        while key_before(Self::key_of(next), k, mode) {
-            loop {
-                proc.step(StepKind::Read);
-                if !Self::is_superfluous(next) {
-                    break;
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            proc.step(StepKind::Read);
+            let mut next = (*curr).succ.load(Ordering::SeqCst).ptr();
+            while key_before(Self::key_of(next), k, mode) {
+                loop {
+                    proc.step(StepKind::Read);
+                    if !Self::is_superfluous(next) {
+                        break;
+                    }
+                    let (new_curr, status, _) = self.try_flag_node(curr, next, proc);
+                    curr = new_curr;
+                    if status == FlagStatus::In {
+                        self.help_flagged(curr, next, proc);
+                    }
+                    proc.step(StepKind::Read);
+                    next = (*curr).succ.load(Ordering::SeqCst).ptr();
                 }
-                let (new_curr, status, _) = self.try_flag_node(curr, next, proc);
-                curr = new_curr;
-                if status == FlagStatus::In {
-                    self.help_flagged(curr, next, proc);
+                if key_before(Self::key_of(next), k, mode) {
+                    proc.step(StepKind::Traverse);
+                    curr = next;
+                    proc.step(StepKind::Read);
+                    next = (*curr).succ.load(Ordering::SeqCst).ptr();
                 }
-                proc.step(StepKind::Read);
-                next = (*curr).succ.load(Ordering::SeqCst).ptr();
             }
-            if key_before(Self::key_of(next), k, mode) {
-                proc.step(StepKind::Traverse);
-                curr = next;
-                proc.step(StepKind::Read);
-                next = (*curr).succ.load(Ordering::SeqCst).ptr();
-            }
+            (curr, next)
         }
-        (curr, next)
     }
 
+    /// # Safety
+    ///
+    /// `target_level` must be within the list's levels; callable only
+    /// while the list is live.
     unsafe fn search_to_level(
         &self,
         k: i64,
@@ -183,106 +212,136 @@ impl SimSkipList {
         mode: Mode,
         proc: &Proc,
     ) -> (*mut Node, *mut Node) {
-        let mut level = self.start_level(target_level);
-        let mut curr = self.heads[level - 1];
-        loop {
-            let (n1, n2) = self.search_right(k, curr, mode, proc);
-            if level == target_level {
-                return (n1, n2);
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            let mut level = self.start_level(target_level);
+            let mut curr = self.heads[level - 1];
+            loop {
+                let (n1, n2) = self.search_right(k, curr, mode, proc);
+                if level == target_level {
+                    return (n1, n2);
+                }
+                curr = (*n1).down;
+                level -= 1;
             }
-            curr = (*n1).down;
-            level -= 1;
         }
     }
 
+    /// # Safety
+    ///
+    /// `prev` and `target` must be nodes of this list.
     unsafe fn try_flag_node(
         &self,
         mut prev: *mut Node,
         target: *mut Node,
         proc: &Proc,
     ) -> (*mut Node, FlagStatus, bool) {
-        let flagged = TaggedPtr::new(target, TagBits::Flagged);
-        loop {
-            proc.step(StepKind::Read);
-            if (*prev).succ.load(Ordering::SeqCst) == flagged {
-                return (prev, FlagStatus::In, false);
-            }
-            proc.step(StepKind::CasFlag);
-            let res = (*prev).succ.compare_exchange(
-                TaggedPtr::unmarked(target),
-                flagged,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            );
-            match res {
-                Ok(_) => return (prev, FlagStatus::In, true),
-                Err(found) => {
-                    if found == flagged {
-                        return (prev, FlagStatus::In, false);
-                    }
-                    loop {
-                        proc.step(StepKind::Read);
-                        if !(*prev).succ.load(Ordering::SeqCst).is_marked() {
-                            break;
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            let flagged = TaggedPtr::new(target, TagBits::Flagged);
+            loop {
+                proc.step(StepKind::Read);
+                if (*prev).succ.load(Ordering::SeqCst) == flagged {
+                    return (prev, FlagStatus::In, false);
+                }
+                proc.step(StepKind::CasFlag);
+                let res = (*prev).succ.compare_exchange(
+                    TaggedPtr::unmarked(target),
+                    flagged,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                match res {
+                    Ok(_) => return (prev, FlagStatus::In, true),
+                    Err(found) => {
+                        if found == flagged {
+                            return (prev, FlagStatus::In, false);
                         }
-                        proc.step(StepKind::Backlink);
-                        prev = (*prev).backlink.load(Ordering::SeqCst);
+                        loop {
+                            proc.step(StepKind::Read);
+                            if !(*prev).succ.load(Ordering::SeqCst).is_marked() {
+                                break;
+                            }
+                            proc.step(StepKind::Backlink);
+                            prev = (*prev).backlink.load(Ordering::SeqCst);
+                        }
+                        let (p, d) = self.search_right(Self::key_of(target), prev, Mode::Lt, proc);
+                        if d != target {
+                            return (p, FlagStatus::Deleted, false);
+                        }
+                        prev = p;
                     }
-                    let (p, d) = self.search_right(Self::key_of(target), prev, Mode::Lt, proc);
-                    if d != target {
-                        return (p, FlagStatus::Deleted, false);
-                    }
-                    prev = p;
                 }
             }
         }
     }
 
+    /// # Safety
+    ///
+    /// `prev` and `del` must be nodes of this list.
     unsafe fn help_flagged(&self, prev: *mut Node, del: *mut Node, proc: &Proc) {
-        proc.step(StepKind::Write);
-        (*del).backlink.store(prev, Ordering::SeqCst);
-        proc.step(StepKind::Read);
-        if !(*del).succ.load(Ordering::SeqCst).is_marked() {
-            self.try_mark(del, proc);
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            proc.step(StepKind::Write);
+            (*del).backlink.store(prev, Ordering::SeqCst);
+            proc.step(StepKind::Read);
+            if !(*del).succ.load(Ordering::SeqCst).is_marked() {
+                self.try_mark(del, proc);
+            }
+            self.help_marked(prev, del, proc);
         }
-        self.help_marked(prev, del, proc);
     }
 
+    /// # Safety
+    ///
+    /// `del` must be a node of this list.
     unsafe fn try_mark(&self, del: *mut Node, proc: &Proc) {
-        loop {
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            loop {
+                proc.step(StepKind::Read);
+                let next = (*del).succ.load(Ordering::SeqCst).ptr();
+                proc.step(StepKind::CasMark);
+                let res = (*del).succ.compare_exchange(
+                    TaggedPtr::unmarked(next),
+                    TaggedPtr::new(next, TagBits::Marked),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                if let Err(found) = res {
+                    if found.is_flagged() {
+                        self.help_flagged(del, found.ptr(), proc);
+                    }
+                }
+                proc.step(StepKind::Read);
+                if (*del).succ.load(Ordering::SeqCst).is_marked() {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// # Safety
+    ///
+    /// `prev` and `del` must be nodes of this list.
+    unsafe fn help_marked(&self, prev: *mut Node, del: *mut Node, proc: &Proc) {
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
             proc.step(StepKind::Read);
             let next = (*del).succ.load(Ordering::SeqCst).ptr();
-            proc.step(StepKind::CasMark);
-            let res = (*del).succ.compare_exchange(
+            proc.step(StepKind::CasUnlink);
+            let _ = (*prev).succ.compare_exchange(
+                TaggedPtr::new(del, TagBits::Flagged),
                 TaggedPtr::unmarked(next),
-                TaggedPtr::new(next, TagBits::Marked),
                 Ordering::SeqCst,
                 Ordering::SeqCst,
             );
-            if let Err(found) = res {
-                if found.is_flagged() {
-                    self.help_flagged(del, found.ptr(), proc);
-                }
-            }
-            proc.step(StepKind::Read);
-            if (*del).succ.load(Ordering::SeqCst).is_marked() {
-                return;
-            }
         }
     }
 
-    unsafe fn help_marked(&self, prev: *mut Node, del: *mut Node, proc: &Proc) {
-        proc.step(StepKind::Read);
-        let next = (*del).succ.load(Ordering::SeqCst).ptr();
-        proc.step(StepKind::CasUnlink);
-        let _ = (*prev).succ.compare_exchange(
-            TaggedPtr::new(del, TagBits::Flagged),
-            TaggedPtr::unmarked(next),
-            Ordering::SeqCst,
-            Ordering::SeqCst,
-        );
-    }
-
+    /// # Safety
+    ///
+    /// `new_node`, `*prev`, and `*next` must be nodes of this list.
     unsafe fn insert_node(
         &self,
         new_node: *mut Node,
@@ -290,58 +349,67 @@ impl SimSkipList {
         next: &mut *mut Node,
         proc: &Proc,
     ) -> bool {
-        // Returns false on duplicate at this level.
-        if Self::key_of(*prev) == Self::key_of(new_node) {
-            return false;
-        }
-        loop {
-            proc.step(StepKind::Read);
-            let prev_succ = (**prev).succ.load(Ordering::SeqCst);
-            if prev_succ.is_flagged() {
-                self.help_flagged(*prev, prev_succ.ptr(), proc);
-            } else {
-                (*new_node)
-                    .succ
-                    .store(TaggedPtr::unmarked(*next), Ordering::SeqCst);
-                proc.step(StepKind::CasInsert);
-                let res = (**prev).succ.compare_exchange(
-                    TaggedPtr::unmarked(*next),
-                    TaggedPtr::unmarked(new_node),
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
-                );
-                match res {
-                    Ok(_) => return true,
-                    Err(found) => {
-                        if found.is_flagged() {
-                            self.help_flagged(*prev, found.ptr(), proc);
-                        }
-                        loop {
-                            proc.step(StepKind::Read);
-                            if !(**prev).succ.load(Ordering::SeqCst).is_marked() {
-                                break;
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            // Returns false on duplicate at this level.
+            if Self::key_of(*prev) == Self::key_of(new_node) {
+                return false;
+            }
+            loop {
+                proc.step(StepKind::Read);
+                let prev_succ = (**prev).succ.load(Ordering::SeqCst);
+                if prev_succ.is_flagged() {
+                    self.help_flagged(*prev, prev_succ.ptr(), proc);
+                } else {
+                    (*new_node)
+                        .succ
+                        .store(TaggedPtr::unmarked(*next), Ordering::SeqCst);
+                    proc.step(StepKind::CasInsert);
+                    let res = (**prev).succ.compare_exchange(
+                        TaggedPtr::unmarked(*next),
+                        TaggedPtr::unmarked(new_node),
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    );
+                    match res {
+                        Ok(_) => return true,
+                        Err(found) => {
+                            if found.is_flagged() {
+                                self.help_flagged(*prev, found.ptr(), proc);
                             }
-                            proc.step(StepKind::Backlink);
-                            *prev = (**prev).backlink.load(Ordering::SeqCst);
+                            loop {
+                                proc.step(StepKind::Read);
+                                if !(**prev).succ.load(Ordering::SeqCst).is_marked() {
+                                    break;
+                                }
+                                proc.step(StepKind::Backlink);
+                                *prev = (**prev).backlink.load(Ordering::SeqCst);
+                            }
                         }
                     }
                 }
-            }
-            let (p, n) = self.search_right(Self::key_of(new_node), *prev, Mode::Le, proc);
-            *prev = p;
-            *next = n;
-            if Self::key_of(*prev) == Self::key_of(new_node) {
-                return false;
+                let (p, n) = self.search_right(Self::key_of(new_node), *prev, Mode::Le, proc);
+                *prev = p;
+                *next = n;
+                if Self::key_of(*prev) == Self::key_of(new_node) {
+                    return false;
+                }
             }
         }
     }
 
+    /// # Safety
+    ///
+    /// `prev` and `del` must be nodes of this list.
     unsafe fn delete_node(&self, prev: *mut Node, del: *mut Node, proc: &Proc) -> bool {
-        let (prev, status, did_flag) = self.try_flag_node(prev, del, proc);
-        if status == FlagStatus::In {
-            self.help_flagged(prev, del, proc);
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe {
+            let (prev, status, did_flag) = self.try_flag_node(prev, del, proc);
+            if status == FlagStatus::In {
+                self.help_flagged(prev, del, proc);
+            }
+            did_flag
         }
-        did_flag
     }
 
     /// Insert a tower for `key` with the given `height` (deterministic;
@@ -353,6 +421,7 @@ impl SimSkipList {
     pub fn insert(&self, key: i64, height: usize, proc: &Proc) -> bool {
         assert!(key > i64::MIN && key < i64::MAX, "sentinel key");
         assert!((1..MAX_LEVEL).contains(&height), "height out of range");
+        // SAFETY: adopted nodes stay valid until the list drops.
         unsafe {
             let (mut prev, mut next) = self.search_to_level(key, 1, Mode::Le, proc);
             if Self::key_of(prev) == key {
@@ -407,6 +476,7 @@ impl SimSkipList {
     /// Delete the tower with `key`. Returns whether this operation owns
     /// the deletion.
     pub fn delete(&self, key: i64, proc: &Proc) -> bool {
+        // SAFETY: adopted nodes stay valid until the list drops.
         unsafe {
             let (prev, del) = self.search_to_level(key, 1, Mode::Lt, proc);
             if Self::key_of(del) != key {
@@ -422,6 +492,7 @@ impl SimSkipList {
 
     /// Whether `key` is present.
     pub fn contains(&self, key: i64, proc: &Proc) -> bool {
+        // SAFETY: adopted nodes stay valid until the list drops.
         unsafe {
             let (curr, _) = self.search_to_level(key, 1, Mode::Le, proc);
             Self::key_of(curr) == key
@@ -431,6 +502,7 @@ impl SimSkipList {
     /// Keys present at level 1 (quiescent use).
     pub fn collect_keys(&self) -> Vec<i64> {
         let mut out = Vec::new();
+        // SAFETY: adopted nodes stay valid until the list drops.
         unsafe {
             let mut cur = (*self.heads[0]).succ.load(Ordering::SeqCst).ptr();
             while cur != self.tails[0] {
@@ -448,6 +520,7 @@ impl SimSkipList {
     /// counts how many levels still link each root's key.
     pub fn linked_height_of(&self, key: i64) -> usize {
         let mut h = 0;
+        // SAFETY: adopted nodes stay valid until the list drops.
         unsafe {
             for level in 0..MAX_LEVEL {
                 let mut cur = (*self.heads[level]).succ.load(Ordering::SeqCst).ptr();
@@ -474,6 +547,7 @@ impl SimSkipList {
     ///
     /// Panics with a description of the violated invariant.
     pub fn check_invariants(&self) {
+        // SAFETY: adopted nodes stay valid until the list drops.
         unsafe {
             for level in 0..MAX_LEVEL {
                 let mut prev: *mut Node = std::ptr::null_mut();

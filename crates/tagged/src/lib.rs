@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Tagged atomic pointers for lock-free list algorithms.
 //!
 //! Fomitchev & Ruppert's algorithms (PODC 2004) operate on a composite

@@ -255,11 +255,13 @@ pub struct AtomicTaggedPtr<T> {
 // data is the responsibility of the data structure using it (which shares
 // `T` across threads by design and requires `T: Send + Sync` itself).
 unsafe impl<T: Send + Sync> Send for AtomicTaggedPtr<T> {}
+// SAFETY: same argument as `Send` above.
 unsafe impl<T: Send + Sync> Sync for AtomicTaggedPtr<T> {}
 
 impl<T> fmt::Debug for AtomicTaggedPtr<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_tuple("AtomicTaggedPtr")
+            // ord: Relaxed — DIAG.debug: best-effort snapshot, never dereferenced
             .field(&self.load(Ordering::Relaxed))
             .finish()
     }
@@ -331,7 +333,8 @@ mod tests {
     }
 
     unsafe fn free(p: *mut u32) {
-        drop(Box::from_raw(p));
+        // SAFETY: `p` comes from `leaked` and is freed exactly once.
+        drop(unsafe { Box::from_raw(p) });
     }
 
     #[test]

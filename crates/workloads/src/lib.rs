@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Workload generators for the benchmark harness.
 //!
 //! Provides deterministic, seedable streams of dictionary operations:
