@@ -1,0 +1,149 @@
+//! The backend abstraction: anything with per-thread handles that can
+//! execute [`Request`]s.
+//!
+//! `lf-core`'s handles are deliberately **not** `Send` — they own an
+//! epoch-collector registration whose amortized announcement is a
+//! thread-local affair. The façade therefore never moves a handle:
+//! each lane worker constructs its own handle inside its thread (via
+//! [`AsyncBackend::handle`], a GAT borrowing the backend) and futures
+//! only ever touch the completion cell. That division is what makes
+//! the futures `Send` without weakening the handle contract.
+
+use lf_core::{FrList, SkipList};
+
+use crate::op::{Request, Response};
+
+/// A map structure the async service can front.
+pub trait AsyncBackend: Send + Sync + 'static {
+    /// Key type.
+    type Key: Ord + Clone + Send + Sync + 'static;
+    /// Value type.
+    type Value: Clone + Send + Sync + 'static;
+    /// The per-worker execution handle (not `Send`; never escapes the
+    /// worker thread that created it).
+    type Handle<'a>: BackendHandle<Self::Key, Self::Value>
+    where
+        Self: 'a;
+
+    /// Register a handle for the calling worker thread.
+    fn handle(&self) -> Self::Handle<'_>;
+
+    /// Racy-fresh size, readable without a handle.
+    fn len(&self) -> usize;
+
+    /// Whether the structure is empty (racy-fresh).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Per-worker execution surface over one backend handle.
+pub trait BackendHandle<K, V> {
+    /// Execute one request against the structure.
+    fn apply(&self, req: Request<K, V>) -> Response<V>;
+    /// Share one epoch announcement across `every` consecutive ops
+    /// (set to the batch size so a drained batch costs one pin).
+    fn amortize_pins(&self, every: u32);
+    /// Withdraw the standing epoch announcement (idle worker).
+    fn quiesce(&self);
+    /// Quiesce and opportunistically advance reclamation.
+    fn flush_reclamation(&self);
+}
+
+impl<K, V> AsyncBackend for FrList<K, V>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    type Key = K;
+    type Value = V;
+    type Handle<'a>
+        = lf_core::ListHandle<'a, K, V>
+    where
+        Self: 'a;
+
+    fn handle(&self) -> Self::Handle<'_> {
+        FrList::handle(self)
+    }
+
+    fn len(&self) -> usize {
+        FrList::len(self)
+    }
+}
+
+impl<K, V> BackendHandle<K, V> for lf_core::ListHandle<'_, K, V>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn apply(&self, req: Request<K, V>) -> Response<V> {
+        match req {
+            Request::Get(k) => Response::Value(self.get(&k)),
+            Request::Contains(k) => Response::Found(self.contains(&k)),
+            Request::Insert(k, v) => Response::Inserted(self.insert(k, v).is_ok()),
+            Request::Remove(k) => Response::Removed(self.remove(&k)),
+            Request::Len => Response::Len(self.list().len()),
+        }
+    }
+
+    fn amortize_pins(&self, every: u32) {
+        lf_core::ListHandle::amortize_pins(self, every);
+    }
+
+    fn quiesce(&self) {
+        lf_core::ListHandle::quiesce(self);
+    }
+
+    fn flush_reclamation(&self) {
+        lf_core::ListHandle::flush_reclamation(self);
+    }
+}
+
+impl<K, V> AsyncBackend for SkipList<K, V>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    type Key = K;
+    type Value = V;
+    type Handle<'a>
+        = lf_core::SkipListHandle<'a, K, V>
+    where
+        Self: 'a;
+
+    fn handle(&self) -> Self::Handle<'_> {
+        SkipList::handle(self)
+    }
+
+    fn len(&self) -> usize {
+        SkipList::len(self)
+    }
+}
+
+impl<K, V> BackendHandle<K, V> for lf_core::SkipListHandle<'_, K, V>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn apply(&self, req: Request<K, V>) -> Response<V> {
+        match req {
+            Request::Get(k) => Response::Value(self.get(&k)),
+            Request::Contains(k) => Response::Found(self.contains(&k)),
+            Request::Insert(k, v) => Response::Inserted(self.insert(k, v).is_ok()),
+            Request::Remove(k) => Response::Removed(self.remove(&k)),
+            Request::Len => Response::Len(self.list().len()),
+        }
+    }
+
+    fn amortize_pins(&self, every: u32) {
+        lf_core::SkipListHandle::amortize_pins(self, every);
+    }
+
+    fn quiesce(&self) {
+        lf_core::SkipListHandle::quiesce(self);
+    }
+
+    fn flush_reclamation(&self) {
+        lf_core::SkipListHandle::flush_reclamation(self);
+    }
+}

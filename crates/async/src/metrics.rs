@@ -1,0 +1,236 @@
+//! Service-level metrics: counters plus shared multi-writer histograms,
+//! exported through `lf-metrics`' JSON and Prometheus formatters.
+//!
+//! Unlike the per-op structure metrics (which keep flowing through
+//! `lf-metrics`' thread-sharded registry from inside `lf-core`), these
+//! observe the *service* layer: how deep lanes run, how large drained
+//! batches are, and how long a request sits between enqueue and
+//! completion. Producers and workers on arbitrary threads record into
+//! one [`AtomicHistogram`] per series via its `fetch_add` path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lf_metrics::export::{histogram_json, histogram_prometheus, JsonObj};
+use lf_metrics::{AtomicHistogram, Histogram};
+
+/// Live service counters and histograms. One per service; shared by
+/// every producer and worker.
+pub struct ServiceMetrics {
+    enqueued: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    shed: AtomicU64,
+    shutdown_dropped: AtomicU64,
+    queue_depth: AtomicHistogram,
+    batch_size: AtomicHistogram,
+    enqueue_to_complete_ns: AtomicHistogram,
+}
+
+impl ServiceMetrics {
+    pub(crate) fn new() -> Self {
+        ServiceMetrics {
+            enqueued: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            shutdown_dropped: AtomicU64::new(0),
+            queue_depth: AtomicHistogram::new(),
+            batch_size: AtomicHistogram::new(),
+            enqueue_to_complete_ns: AtomicHistogram::new(),
+        }
+    }
+
+    /// A request was queued; `depth` is the lane depth after the push.
+    pub(crate) fn record_enqueue(&self, depth: u64) {
+        // ord: Relaxed — ASYNC.stat: statistic counter, snapshots racy-fresh
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth.record(depth);
+    }
+
+    /// A request executed; `e2c_ns` is its enqueue-to-complete latency.
+    pub(crate) fn record_complete(&self, e2c_ns: u64) {
+        // ord: Relaxed — ASYNC.stat: statistic counter, snapshots racy-fresh
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.enqueue_to_complete_ns.record(e2c_ns);
+    }
+
+    /// A worker drained a batch of `n` requests.
+    pub(crate) fn record_batch(&self, n: u64) {
+        self.batch_size.record(n);
+    }
+
+    /// A request bounced off a full lane under `Reject`.
+    pub(crate) fn record_reject(&self) {
+        // ord: Relaxed — ASYNC.stat: statistic counter, snapshots racy-fresh
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A queued request was evicted under `Shed`.
+    pub(crate) fn record_shed(&self) {
+        // ord: Relaxed — ASYNC.stat: statistic counter, snapshots racy-fresh
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A queued request was resolved with `Error::Shutdown`.
+    pub(crate) fn record_shutdown_drop(&self) {
+        // ord: Relaxed — ASYNC.stat: statistic counter, snapshots racy-fresh
+        self.shutdown_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A racy-fresh copy of every series.
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        ServiceSnapshot {
+            // ord: Relaxed — ASYNC.stat: statistic counter, snapshots racy-fresh
+            enqueued: self.enqueued.load(Ordering::Relaxed),
+            // ord: Relaxed — ASYNC.stat: statistic counter, snapshots racy-fresh
+            completed: self.completed.load(Ordering::Relaxed),
+            // ord: Relaxed — ASYNC.stat: statistic counter, snapshots racy-fresh
+            rejected: self.rejected.load(Ordering::Relaxed),
+            // ord: Relaxed — ASYNC.stat: statistic counter, snapshots racy-fresh
+            shed: self.shed.load(Ordering::Relaxed),
+            // ord: Relaxed — ASYNC.stat: statistic counter, snapshots racy-fresh
+            shutdown_dropped: self.shutdown_dropped.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(),
+            batch_size: self.batch_size.load(),
+            enqueue_to_complete_ns: self.enqueue_to_complete_ns.load(),
+        }
+    }
+}
+
+/// A point-in-time copy of the service metrics (exact once the service
+/// has shut down; racy-fresh while it is live).
+pub struct ServiceSnapshot {
+    /// Requests accepted into a lane queue.
+    pub enqueued: u64,
+    /// Requests executed against the backend.
+    pub completed: u64,
+    /// Requests refused at a full lane (`Reject`).
+    pub rejected: u64,
+    /// Queued requests evicted by newer arrivals (`Shed`).
+    pub shed: u64,
+    /// Queued requests resolved with `Error::Shutdown`.
+    pub shutdown_dropped: u64,
+    /// Lane depth observed at each enqueue.
+    pub queue_depth: Histogram,
+    /// Requests per drained batch.
+    pub batch_size: Histogram,
+    /// Nanoseconds from enqueue to completion.
+    pub enqueue_to_complete_ns: Histogram,
+}
+
+impl ServiceSnapshot {
+    /// One JSON object: scalar counters plus a nested object per
+    /// histogram (same shape as the bench artifacts).
+    pub fn to_json(&self) -> String {
+        JsonObj::new()
+            .field_u64("enqueued", self.enqueued)
+            .field_u64("completed", self.completed)
+            .field_u64("rejected", self.rejected)
+            .field_u64("shed", self.shed)
+            .field_u64("shutdown_dropped", self.shutdown_dropped)
+            .field_raw("queue_depth", &histogram_json(&self.queue_depth))
+            .field_raw("batch_size", &histogram_json(&self.batch_size))
+            .field_raw(
+                "enqueue_to_complete_ns",
+                &histogram_json(&self.enqueue_to_complete_ns),
+            )
+            .finish()
+    }
+
+    /// Prometheus text exposition: `lf_async_*_total` counters plus a
+    /// `summary` per histogram.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, help, v) in [
+            (
+                "lf_async_enqueued_total",
+                "Requests accepted into lane queues",
+                self.enqueued,
+            ),
+            (
+                "lf_async_completed_total",
+                "Requests executed against the backend",
+                self.completed,
+            ),
+            (
+                "lf_async_rejected_total",
+                "Requests refused at a full lane (Reject policy)",
+                self.rejected,
+            ),
+            (
+                "lf_async_shed_total",
+                "Queued requests evicted by newer arrivals (Shed policy)",
+                self.shed,
+            ),
+            (
+                "lf_async_shutdown_dropped_total",
+                "Queued requests resolved with Error::Shutdown",
+                self.shutdown_dropped,
+            ),
+        ] {
+            use std::fmt::Write;
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        histogram_prometheus(
+            &mut out,
+            "lf_async_queue_depth",
+            "Lane depth observed at enqueue",
+            &self.queue_depth,
+        );
+        histogram_prometheus(
+            &mut out,
+            "lf_async_batch_size",
+            "Requests per drained batch",
+            &self.batch_size,
+        );
+        histogram_prometheus(
+            &mut out,
+            "lf_async_enqueue_to_complete_ns",
+            "Nanoseconds from enqueue to completion",
+            &self.enqueue_to_complete_ns,
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_records() {
+        let m = ServiceMetrics::new();
+        m.record_enqueue(3);
+        m.record_enqueue(5);
+        m.record_complete(1_000);
+        m.record_batch(2);
+        m.record_reject();
+        m.record_shed();
+        m.record_shutdown_drop();
+        let s = m.snapshot();
+        assert_eq!(s.enqueued, 2);
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.shutdown_dropped, 1);
+        assert_eq!(s.queue_depth.count(), 2);
+        assert_eq!(s.batch_size.count(), 1);
+        assert_eq!(s.enqueue_to_complete_ns.count(), 1);
+    }
+
+    #[test]
+    fn exports_are_well_formed() {
+        let m = ServiceMetrics::new();
+        m.record_enqueue(1);
+        m.record_complete(500);
+        let s = m.snapshot();
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"enqueue_to_complete_ns\""));
+        let p = s.to_prometheus();
+        assert!(p.contains("lf_async_enqueued_total 1"));
+        assert!(p.contains("lf_async_enqueue_to_complete_ns{quantile=\"0.5\"}"));
+    }
+}

@@ -1,0 +1,332 @@
+//! Bounded multi-producer submission ring with a closable claim counter.
+//!
+//! One ring backs each service lane. The layout is the classic
+//! sequence-numbered bounded queue: a power-of-two cell array where each
+//! cell carries a sequence word, producers claim slots by bumping
+//! `enqueue_pos`, and ownership of a cell's payload is transferred by
+//! the Release store of its sequence number (claim tickets carry no
+//! ordering of their own). Consumers are the lane's worker plus — under
+//! the `Shed` backpressure policy — producers evicting the oldest
+//! queued request, so the pop side is multi-consumer too.
+//!
+//! The one addition over the textbook queue is *closability*: bit 63 of
+//! `enqueue_pos` is a `CLOSED` flag set by [`Ring::close`] with a
+//! `fetch_or`. Because producers claim slots with a CAS on the very
+//! same word, a successful claim proves the ring was open at claim
+//! time, and after `close` returns no new claim can ever succeed — the
+//! CAS's expected value no longer matches. That makes shutdown exact:
+//! drain until [`Pop::Empty`] (spinning out in-flight publishers via
+//! [`Pop::Pending`]) and every submitted request has been observed.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lf_tagged::{Backoff, CachePadded};
+
+/// `enqueue_pos` bit flagging the ring as closed. Positions are
+/// monotone counters; 63 bits of headroom make wrap-around unreachable.
+const CLOSED: u64 = 1 << 63;
+
+/// Why a push did not enqueue. Both variants hand the value back.
+pub(crate) enum PushError<T> {
+    /// The ring is at capacity.
+    Full(T),
+    /// [`Ring::close`] has been called; no further claims can succeed.
+    Closed(T),
+}
+
+/// Outcome of a pop attempt.
+pub(crate) enum Pop<T> {
+    /// One element, in FIFO order.
+    Item(T),
+    /// The ring is empty: nothing claimed beyond what was popped.
+    Empty,
+    /// The head slot is claimed but its publisher has not finished the
+    /// sequence store yet. Distinct from `Empty` so a shutdown drain
+    /// can spin out the publisher instead of missing its request.
+    Pending,
+}
+
+struct Slot<T> {
+    seq: AtomicU64,
+    val: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// The bounded submission ring. `T` is `Arc<OpCell>` in practice.
+pub(crate) struct Ring<T> {
+    buf: Box<[Slot<T>]>,
+    mask: u64,
+    enqueue_pos: CachePadded<AtomicU64>,
+    dequeue_pos: CachePadded<AtomicU64>,
+}
+
+// SAFETY: the sequence-number protocol hands each slot's payload from
+// exactly one claiming producer to exactly one popping consumer (the
+// claim/pop CASes serialize owners; the Release/Acquire seq edge orders
+// the payload write before the read), so sharing `Ring` across threads
+// moves `T`s between threads but never aliases them: `T: Send` suffices.
+unsafe impl<T: Send> Send for Ring<T> {}
+// SAFETY: as above — `&Ring` only exposes the ownership-transferring
+// push/pop protocol, never a shared `&T`.
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+impl<T> Ring<T> {
+    /// A ring with capacity `cap` rounded up to a power of two (min 2).
+    pub(crate) fn with_capacity(cap: usize) -> Self {
+        let cap = cap.max(2).next_power_of_two();
+        let mut buf = Vec::with_capacity(cap);
+        for i in 0..cap {
+            buf.push(Slot {
+                seq: AtomicU64::new(i as u64),
+                val: UnsafeCell::new(MaybeUninit::uninit()),
+            });
+        }
+        Ring {
+            buf: buf.into_boxed_slice(),
+            mask: (cap - 1) as u64,
+            enqueue_pos: CachePadded::new(AtomicU64::new(0)),
+            dequeue_pos: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Push `val`, returning the post-push queue depth estimate.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`Ring::close`]; both return `val`.
+    pub(crate) fn push(&self, val: T) -> Result<u64, PushError<T>> {
+        let backoff = Backoff::new();
+        // ord: Relaxed — ASYNC.ring: claim ticket only; payload transfer rides on the slot seq
+        let mut raw = self.enqueue_pos.load(Ordering::Relaxed);
+        loop {
+            if raw & CLOSED != 0 {
+                return Err(PushError::Closed(val));
+            }
+            let slot = &self.buf[(raw & self.mask) as usize];
+            // ord: Acquire — ASYNC.ring: pairs with the popper's Release recycle so the slot is truly free
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as i64 - raw as i64;
+            if dif == 0 {
+                // ord: Relaxed/Relaxed — ASYNC.ring: claim ticket only; payload transfer rides on the slot seq
+                match self.enqueue_pos.compare_exchange_weak(
+                    raw,
+                    raw + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: winning the claim CAS for position
+                        // `raw` grants exclusive access to this slot's
+                        // payload until the seq store below publishes it.
+                        unsafe { (*slot.val.get()).write(val) };
+                        // ord: Release — ASYNC.ring: publishes the payload write to the popper's Acquire seq load
+                        slot.seq.store(raw + 1, Ordering::Release);
+                        // ord: Relaxed — ASYNC.ring: racy-fresh depth statistic
+                        let deq = self.dequeue_pos.load(Ordering::Relaxed);
+                        return Ok((raw + 1).saturating_sub(deq));
+                    }
+                    Err(cur) => {
+                        raw = cur;
+                        backoff.spin();
+                    }
+                }
+            } else if dif < 0 {
+                return Err(PushError::Full(val));
+            } else {
+                // ord: Relaxed — ASYNC.ring: claim ticket only; payload transfer rides on the slot seq
+                raw = self.enqueue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Pop the oldest element, if any.
+    pub(crate) fn pop(&self) -> Pop<T> {
+        let backoff = Backoff::new();
+        // ord: Relaxed — ASYNC.ring: claim ticket only; payload transfer rides on the slot seq
+        let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.buf[(pos & self.mask) as usize];
+            // ord: Acquire — ASYNC.ring: pairs with the producer's Release publish; payload is read below
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as i64 - (pos + 1) as i64;
+            if dif == 0 {
+                // ord: Relaxed/Relaxed — ASYNC.ring: claim ticket only; payload transfer rides on the slot seq
+                match self.dequeue_pos.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: winning the pop CAS for position `pos`
+                        // grants exclusive access to the published
+                        // payload; the Acquire seq load above ordered
+                        // the producer's write before this read.
+                        let val = unsafe { (*slot.val.get()).assume_init_read() };
+                        // ord: Release — ASYNC.ring: recycles the slot for the producer one lap ahead
+                        slot.seq
+                            .store(pos + self.buf.len() as u64, Ordering::Release);
+                        return Pop::Item(val);
+                    }
+                    Err(cur) => {
+                        pos = cur;
+                        backoff.spin();
+                    }
+                }
+            } else if dif < 0 {
+                // Head slot unpublished. Empty only if nothing is
+                // claimed beyond our position; otherwise a producer is
+                // mid-publish.
+                // ord: Relaxed — ASYNC.ring: counter compare on one variable; coherence suffices
+                let enq = self.enqueue_pos.load(Ordering::Relaxed) & !CLOSED;
+                if enq == pos {
+                    return Pop::Empty;
+                }
+                return Pop::Pending;
+            } else {
+                // ord: Relaxed — ASYNC.ring: claim ticket only; payload transfer rides on the slot seq
+                pos = self.dequeue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Close the ring: freeze the claim counter so no push can ever
+    /// succeed again. Claims that already won their CAS still publish
+    /// and are observed by the shutdown drain.
+    pub(crate) fn close(&self) {
+        // ord: Relaxed — ASYNC.ring: RMW on the claim word itself fails every later claim CAS; workers learn of the close via the parker mutex edge
+        self.enqueue_pos.fetch_or(CLOSED, Ordering::Relaxed);
+    }
+
+    /// Whether [`Ring::close`] has been called.
+    pub(crate) fn is_closed(&self) -> bool {
+        // ord: Relaxed — ASYNC.ring: flag probe; the parker mutex provides the shutdown edge
+        self.enqueue_pos.load(Ordering::Relaxed) & CLOSED != 0
+    }
+
+    /// Racy-fresh element count (claimed minus popped).
+    pub(crate) fn len(&self) -> u64 {
+        // ord: Relaxed — ASYNC.ring: racy-fresh depth statistic
+        let enq = self.enqueue_pos.load(Ordering::Relaxed) & !CLOSED;
+        // ord: Relaxed — ASYNC.ring: racy-fresh depth statistic
+        let deq = self.dequeue_pos.load(Ordering::Relaxed);
+        enq.saturating_sub(deq)
+    }
+}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        // Unique access: free every published-but-unpopped payload.
+        while let Pop::Item(v) = self.pop() {
+            drop(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let r = Ring::with_capacity(8);
+        for i in 0..8 {
+            assert!(r.push(i).is_ok());
+        }
+        assert!(matches!(r.push(99), Err(PushError::Full(99))));
+        for i in 0..8 {
+            match r.pop() {
+                Pop::Item(v) => assert_eq!(v, i),
+                _ => panic!("expected item"),
+            }
+        }
+        assert!(matches!(r.pop(), Pop::Empty));
+    }
+
+    #[test]
+    fn wraps_many_laps() {
+        let r = Ring::with_capacity(4);
+        for lap in 0..100u64 {
+            for i in 0..4 {
+                assert!(r.push(lap * 4 + i).is_ok());
+            }
+            for i in 0..4 {
+                match r.pop() {
+                    Pop::Item(v) => assert_eq!(v, lap * 4 + i),
+                    _ => panic!("expected item"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn close_rejects_new_pushes_but_drains_old() {
+        let r = Ring::with_capacity(4);
+        r.push(1).ok();
+        r.push(2).ok();
+        r.close();
+        assert!(r.is_closed());
+        assert!(matches!(r.push(3), Err(PushError::Closed(3))));
+        assert!(matches!(r.pop(), Pop::Item(1)));
+        assert!(matches!(r.pop(), Pop::Item(2)));
+        assert!(matches!(r.pop(), Pop::Empty));
+    }
+
+    #[test]
+    fn drop_frees_unpopped_items() {
+        let x = Arc::new(());
+        let r = Ring::with_capacity(4);
+        r.push(x.clone()).ok();
+        r.push(x.clone()).ok();
+        assert_eq!(Arc::strong_count(&x), 3);
+        drop(r);
+        assert_eq!(Arc::strong_count(&x), 1);
+    }
+
+    #[test]
+    fn concurrent_producers_one_consumer() {
+        let r = Arc::new(Ring::with_capacity(64));
+        let producers = 4;
+        let per = if cfg!(miri) { 50u64 } else { 5_000u64 };
+        let handles: Vec<_> = (0..producers)
+            .map(|p| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for i in 0..per {
+                        let mut v = p as u64 * per + i;
+                        loop {
+                            match r.push(v) {
+                                Ok(_) => break,
+                                Err(PushError::Full(back)) => {
+                                    v = back;
+                                    std::thread::yield_now();
+                                }
+                                Err(PushError::Closed(_)) => panic!("not closed"),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        let mut seen = vec![false; (producers as u64 * per) as usize];
+        let mut got = 0u64;
+        while got < producers as u64 * per {
+            match r.pop() {
+                Pop::Item(v) => {
+                    assert!(!seen[v as usize], "duplicate {v}");
+                    seen[v as usize] = true;
+                    got += 1;
+                }
+                Pop::Empty | Pop::Pending => std::thread::yield_now(),
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert!(matches!(r.pop(), Pop::Empty));
+    }
+}

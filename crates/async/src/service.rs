@@ -1,0 +1,539 @@
+//! The service: sharded submission lanes, per-lane batch workers,
+//! backpressure, and graceful shutdown.
+//!
+//! One lane per worker. A submitting task round-robins onto a lane,
+//! parks an [`OpCell`] in the lane's ring, and suspends on the cell;
+//! the lane's worker drains up to `batch_max` cells at a time, executes
+//! them through its own (thread-local, non-`Send`) backend handle with
+//! the epoch announcement amortized across the whole batch, and
+//! completes each cell through its waker. Idle workers quiesce their
+//! epoch announcement and park, so a drained service never delays
+//! reclamation domain-wide.
+//!
+//! Shutdown closes every ring (freezing the claim counters), wakes
+//! everyone, and joins the workers; each worker finishes the batch it
+//! already popped, then resolves everything still queued with
+//! [`Error::Shutdown`] and withdraws from its epoch domain.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use lf_core::{FrList, SkipList};
+use lf_tagged::Backoff;
+
+use crate::backend::{AsyncBackend, BackendHandle};
+use crate::metrics::{ServiceMetrics, ServiceSnapshot};
+use crate::op::{Error, OpCell, Request, Response};
+use crate::ring::{Pop, PushError, Ring};
+
+/// What a submission does when its lane's queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackpressurePolicy {
+    /// Suspend the submitting task until the worker frees space. No
+    /// request is lost; producers slow to the service rate.
+    #[default]
+    Block,
+    /// Fail the new request immediately with [`Error::Rejected`].
+    Reject,
+    /// Evict the *oldest* queued request (resolving it with
+    /// [`Error::Shed`]) to make room for the new one — freshest-first
+    /// under overload.
+    Shed,
+}
+
+/// How long an idle worker parks before re-checking its lane. The
+/// wake flag is advisory (Relaxed), so a notification can be missed;
+/// this bounds the resulting stall instead of paying for a SeqCst
+/// flag handshake on every enqueue.
+const IDLE_PARK: Duration = Duration::from_millis(1);
+
+/// One submission lane: the ring, its worker's parking station, and
+/// the producers blocked on a full ring under [`BackpressurePolicy::Block`].
+struct Lane<K, V> {
+    ring: Ring<Arc<OpCell<K, V>>>,
+    /// Worker is (about to be) parked; producers that see this take the
+    /// parker lock and notify.
+    sleeping: AtomicBool,
+    parker: Mutex<()>,
+    wake: Condvar,
+    /// Wakers of tasks suspended on a full ring.
+    blocked: Mutex<Vec<Waker>>,
+}
+
+impl<K, V> Lane<K, V> {
+    fn new(capacity: usize) -> Self {
+        Lane {
+            ring: Ring::with_capacity(capacity),
+            sleeping: AtomicBool::new(false),
+            parker: Mutex::new(()),
+            wake: Condvar::new(),
+            blocked: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Nudge the worker if it is parked (or about to park).
+    fn notify_worker(&self) {
+        // ord: Relaxed — ASYNC.park: advisory flag; a missed notify is bounded by the park timeout
+        if self.sleeping.load(Ordering::Relaxed) {
+            let _guard = self.parker.lock().unwrap_or_else(|e| e.into_inner());
+            self.wake.notify_one();
+        }
+    }
+
+    /// Park the worker until notified or `IDLE_PARK` elapses.
+    fn idle_park(&self) {
+        let guard = self.parker.lock().unwrap_or_else(|e| e.into_inner());
+        // ord: Relaxed — ASYNC.park: advisory flag; a missed notify is bounded by the park timeout
+        self.sleeping.store(true, Ordering::Relaxed);
+        // Re-check under the flag: items pushed (or a close issued)
+        // just before we raised it would otherwise sleep a full tick.
+        if self.ring.len() == 0 && !self.ring.is_closed() {
+            let _ = self
+                .wake
+                .wait_timeout(guard, IDLE_PARK)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        // ord: Relaxed — ASYNC.park: advisory flag; a missed notify is bounded by the park timeout
+        self.sleeping.store(false, Ordering::Relaxed);
+    }
+
+    /// Wake every producer suspended on a full ring.
+    fn wake_blocked(&self) {
+        let wakers = std::mem::take(&mut *self.blocked.lock().unwrap_or_else(|e| e.into_inner()));
+        for w in wakers {
+            w.wake();
+        }
+    }
+}
+
+/// State shared by the service front, every future, and every worker.
+struct Shared<B: AsyncBackend> {
+    backend: B,
+    lanes: Box<[Lane<B::Key, B::Value>]>,
+    policy: BackpressurePolicy,
+    batch_max: usize,
+    metrics: ServiceMetrics,
+    next_lane: AtomicUsize,
+}
+
+/// Outcome of one submission attempt.
+enum Submit<K, V> {
+    /// Queued; await the cell.
+    Queued(Arc<OpCell<K, V>>),
+    /// Ring full under `Block`; waker registered, caller returns
+    /// `Pending` and retries with the handed-back request on re-poll.
+    WouldBlock(Request<K, V>),
+    /// Terminal failure.
+    Failed(Error),
+}
+
+impl<B: AsyncBackend> Shared<B> {
+    fn submit(
+        &self,
+        req: Request<B::Key, B::Value>,
+        cx: &mut Context<'_>,
+    ) -> Submit<B::Key, B::Value> {
+        // ord: Relaxed — ASYNC.stat: round-robin ticket, no ordering needed
+        let lane_idx = self.next_lane.fetch_add(1, Ordering::Relaxed) % self.lanes.len();
+        let lane = &self.lanes[lane_idx];
+        let cell = Arc::new(OpCell::new(req));
+        let mut entry = Arc::clone(&cell);
+        let backoff = Backoff::new();
+        loop {
+            match lane.ring.push(entry) {
+                Ok(depth) => {
+                    self.metrics.record_enqueue(depth);
+                    lane.notify_worker();
+                    return Submit::Queued(cell);
+                }
+                Err(PushError::Closed(back)) => {
+                    drop(back);
+                    return Submit::Failed(Error::Shutdown);
+                }
+                Err(PushError::Full(back)) => match self.policy {
+                    BackpressurePolicy::Reject => {
+                        self.metrics.record_reject();
+                        drop(back);
+                        return Submit::Failed(Error::Rejected);
+                    }
+                    BackpressurePolicy::Shed => {
+                        if let Pop::Item(old) = lane.ring.pop() {
+                            drop(old.take_req());
+                            self.metrics.record_shed();
+                            old.complete(Err(Error::Shed));
+                        } else {
+                            // Racing pops emptied or stalled the head;
+                            // back off and retry the push.
+                            backoff.spin();
+                        }
+                        entry = back;
+                    }
+                    BackpressurePolicy::Block => {
+                        lane.blocked
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push(cx.waker().clone());
+                        // Retry once after registering: the worker may
+                        // have drained (and woken nobody) between our
+                        // failed push and the registration.
+                        match lane.ring.push(back) {
+                            Ok(depth) => {
+                                self.metrics.record_enqueue(depth);
+                                lane.notify_worker();
+                                return Submit::Queued(cell);
+                            }
+                            Err(PushError::Closed(back2)) => {
+                                drop(back2);
+                                return Submit::Failed(Error::Shutdown);
+                            }
+                            Err(PushError::Full(back2)) => {
+                                // Reclaim the request out of the cell we
+                                // never queued; re-polls rebuild it.
+                                drop(back2);
+                                let req = cell.take_req().expect("unqueued cell keeps its request");
+                                return Submit::WouldBlock(req);
+                            }
+                        }
+                    }
+                },
+            }
+        }
+    }
+}
+
+fn worker_loop<B: AsyncBackend>(shared: &Shared<B>, lane_idx: usize) {
+    let lane = &shared.lanes[lane_idx];
+    let handle = shared.backend.handle();
+    // One epoch announcement covers a whole drained batch (§10 of
+    // DESIGN.md: the pin-per-poll invariant lives with the worker, not
+    // the futures).
+    handle.amortize_pins(shared.batch_max.max(1) as u32);
+    let mut batch: Vec<Arc<OpCell<B::Key, B::Value>>> = Vec::with_capacity(shared.batch_max);
+    loop {
+        if lane.ring.is_closed() {
+            shutdown_drain(shared, lane_idx);
+            break;
+        }
+        batch.clear();
+        while batch.len() < shared.batch_max {
+            match lane.ring.pop() {
+                Pop::Item(cell) => batch.push(cell),
+                Pop::Empty | Pop::Pending => break,
+            }
+        }
+        if batch.is_empty() {
+            // Withdraw the standing announcement before parking so an
+            // idle service never delays reclamation.
+            handle.quiesce();
+            lane.idle_park();
+            continue;
+        }
+        shared.metrics.record_batch(batch.len() as u64);
+        for cell in batch.drain(..) {
+            if let Some(req) = cell.take_req() {
+                let resp = handle.apply(req);
+                shared.metrics.record_complete(cell.elapsed_ns());
+                cell.complete(Ok(resp));
+            }
+        }
+        // Space was freed: release producers suspended on a full ring.
+        lane.wake_blocked();
+    }
+    handle.flush_reclamation();
+}
+
+/// Resolve everything still queued on a closed lane with
+/// [`Error::Shutdown`], spinning out in-flight publishers.
+fn shutdown_drain<B: AsyncBackend>(shared: &Shared<B>, lane_idx: usize) {
+    let lane = &shared.lanes[lane_idx];
+    let backoff = Backoff::new();
+    loop {
+        match lane.ring.pop() {
+            Pop::Item(cell) => {
+                drop(cell.take_req());
+                shared.metrics.record_shutdown_drop();
+                cell.complete(Err(Error::Shutdown));
+            }
+            Pop::Pending => backoff.spin(),
+            Pop::Empty => break,
+        }
+    }
+    lane.wake_blocked();
+}
+
+/// Configuration surface for [`Service`].
+///
+/// ```
+/// use lf_async::{BackpressurePolicy, ServiceBuilder};
+///
+/// let service = ServiceBuilder::new()
+///     .workers(2)
+///     .queue_capacity(256)
+///     .batch_max(32)
+///     .policy(BackpressurePolicy::Block)
+///     .build_list::<u64, u64>();
+/// service.shutdown();
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServiceBuilder {
+    workers: usize,
+    queue_capacity: usize,
+    batch_max: usize,
+    policy: BackpressurePolicy,
+}
+
+impl Default for ServiceBuilder {
+    fn default() -> Self {
+        ServiceBuilder {
+            workers: 2,
+            queue_capacity: 1024,
+            batch_max: 64,
+            policy: BackpressurePolicy::Block,
+        }
+    }
+}
+
+impl ServiceBuilder {
+    /// Defaults: 2 workers, 1024-deep lanes, 64-op batches, `Block`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of lane workers (≥ 1). One submission lane per worker.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Per-lane queue capacity (rounded up to a power of two, ≥ 2).
+    pub fn queue_capacity(mut self, cap: usize) -> Self {
+        self.queue_capacity = cap.max(2);
+        self
+    }
+
+    /// Maximum requests a worker executes per drained batch (≥ 1).
+    pub fn batch_max(mut self, n: usize) -> Self {
+        self.batch_max = n.max(1);
+        self
+    }
+
+    /// What submissions do when a lane is full.
+    pub fn policy(mut self, p: BackpressurePolicy) -> Self {
+        self.policy = p;
+        self
+    }
+
+    /// Build a service fronting `backend` and start its workers.
+    pub fn build<B: AsyncBackend>(self, backend: B) -> Service<B> {
+        let lanes: Vec<Lane<B::Key, B::Value>> = (0..self.workers)
+            .map(|_| Lane::new(self.queue_capacity))
+            .collect();
+        let shared = Arc::new(Shared {
+            backend,
+            lanes: lanes.into_boxed_slice(),
+            policy: self.policy,
+            batch_max: self.batch_max,
+            metrics: ServiceMetrics::new(),
+            next_lane: AtomicUsize::new(0),
+        });
+        let workers = (0..self.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("lf-async-worker-{i}"))
+                    .spawn(move || worker_loop(&*shared, i))
+                    .expect("spawn lane worker")
+            })
+            .collect();
+        Service {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Build a service over an empty [`FrList`].
+    pub fn build_list<K, V>(self) -> AsyncList<K, V>
+    where
+        K: Ord + Clone + Send + Sync + 'static,
+        V: Clone + Send + Sync + 'static,
+    {
+        self.build(FrList::new())
+    }
+
+    /// Build a service over an empty [`SkipList`].
+    pub fn build_skiplist<K, V>(self) -> AsyncSkipList<K, V>
+    where
+        K: Ord + Clone + Send + Sync + 'static,
+        V: Clone + Send + Sync + 'static,
+    {
+        self.build(SkipList::new())
+    }
+}
+
+/// An async serving façade over one lock-free structure.
+///
+/// Operations return [`OpFuture`]s that are `Send` (tasks may migrate
+/// executor threads between polls) and never hold an epoch guard across
+/// an `.await`: all structure access happens on the lane workers.
+pub struct Service<B: AsyncBackend> {
+    shared: Arc<Shared<B>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A [`Service`] over [`FrList`].
+pub type AsyncList<K, V> = Service<FrList<K, V>>;
+/// A [`Service`] over [`SkipList`].
+pub type AsyncSkipList<K, V> = Service<SkipList<K, V>>;
+
+impl<B: AsyncBackend> Service<B> {
+    /// Look up `key` (clone of the value).
+    pub fn get(&self, key: B::Key) -> OpFuture<B> {
+        self.op(Request::Get(key))
+    }
+
+    /// Membership test.
+    pub fn contains(&self, key: B::Key) -> OpFuture<B> {
+        self.op(Request::Contains(key))
+    }
+
+    /// Insert `key → value`; resolves to `Response::Inserted(false)` on
+    /// a duplicate key.
+    pub fn insert(&self, key: B::Key, value: B::Value) -> OpFuture<B> {
+        self.op(Request::Insert(key, value))
+    }
+
+    /// Remove `key`, resolving to the removed value.
+    pub fn remove(&self, key: B::Key) -> OpFuture<B> {
+        self.op(Request::Remove(key))
+    }
+
+    /// Submit any [`Request`].
+    pub fn op(&self, req: Request<B::Key, B::Value>) -> OpFuture<B> {
+        OpFuture {
+            shared: Arc::clone(&self.shared),
+            state: FutState::Unsubmitted(Some(req)),
+        }
+    }
+
+    /// Racy-fresh size of the underlying structure (no queue round
+    /// trip; reads the structure's own counter).
+    pub fn len(&self) -> usize {
+        self.shared.backend.len()
+    }
+
+    /// Whether the structure is empty (racy-fresh).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current service metrics.
+    pub fn metrics(&self) -> ServiceSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Shut down gracefully: stop accepting, let workers finish the
+    /// batches they already popped, resolve everything still queued
+    /// with [`Error::Shutdown`], quiesce the epoch domain, and join
+    /// the workers. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        for lane in self.shared.lanes.iter() {
+            lane.ring.close();
+        }
+        for lane in self.shared.lanes.iter() {
+            // Take the parker lock so a worker between its closed-check
+            // and its park cannot miss the notification entirely.
+            let _guard = lane.parker.lock().unwrap_or_else(|e| e.into_inner());
+            lane.wake.notify_one();
+            drop(_guard);
+            lane.wake_blocked();
+        }
+        let handles = std::mem::take(&mut *self.workers.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<B: AsyncBackend> Drop for Service<B> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl<B: AsyncBackend> std::fmt::Debug for Service<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("lanes", &self.shared.lanes.len())
+            .field("batch_max", &self.shared.batch_max)
+            .field("policy", &self.shared.policy)
+            .finish()
+    }
+}
+
+/// State of an in-flight operation future.
+enum FutState<K, V> {
+    /// Not yet queued (first poll, or bounced off a full ring under
+    /// `Block`). Holds the request payload.
+    Unsubmitted(Option<Request<K, V>>),
+    /// Queued; waiting on the completion cell.
+    Waiting(Arc<OpCell<K, V>>),
+    /// Resolved; polling again is a contract violation.
+    Done,
+}
+
+/// A submitted (or to-be-submitted) operation.
+///
+/// `Send` whenever the key/value types are: the future owns no epoch
+/// guard, no handle, and no borrow of the structure — only the request
+/// payload and a reference-counted completion cell. Submission happens
+/// lazily on first poll; dropping the future at any point leaks
+/// nothing (a queued request may still execute — it is simply
+/// *detached*, and its result is discarded with the cell).
+pub struct OpFuture<B: AsyncBackend> {
+    shared: Arc<Shared<B>>,
+    state: FutState<B::Key, B::Value>,
+}
+
+// The future holds no self-references — pinning is structural only.
+impl<B: AsyncBackend> Unpin for OpFuture<B> {}
+
+impl<B: AsyncBackend> Future for OpFuture<B> {
+    type Output = Result<Response<B::Value>, Error>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        loop {
+            match &mut this.state {
+                FutState::Unsubmitted(req) => {
+                    let req = req.take().expect("request present while unsubmitted");
+                    match this.shared.submit(req, cx) {
+                        Submit::Queued(cell) => {
+                            this.state = FutState::Waiting(cell);
+                        }
+                        Submit::WouldBlock(back) => {
+                            this.state = FutState::Unsubmitted(Some(back));
+                            return Poll::Pending;
+                        }
+                        Submit::Failed(e) => {
+                            this.state = FutState::Done;
+                            return Poll::Ready(Err(e));
+                        }
+                    }
+                }
+                FutState::Waiting(cell) => match cell.poll_result(cx) {
+                    Poll::Ready(r) => {
+                        this.state = FutState::Done;
+                        return Poll::Ready(r);
+                    }
+                    Poll::Pending => return Poll::Pending,
+                },
+                FutState::Done => panic!("OpFuture polled after completion"),
+            }
+        }
+    }
+}

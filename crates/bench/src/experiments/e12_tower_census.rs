@@ -1,4 +1,4 @@
-//! E7 — tower height distribution (paper §4, last paragraph).
+//! E12 — tower height distribution (paper §4, last paragraph).
 //!
 //! "The distribution of the heights of the full towers may be a little
 //! different from the heights distribution in a sequential skip list,
@@ -18,7 +18,7 @@ use crate::table::{fmt_f, Table};
 
 /// Print the census table.
 pub fn run(quick: bool) {
-    println!("E7: tower height census vs geometric(1/2)\n");
+    println!("E12: tower height census vs geometric(1/2)\n");
     let keys: u64 = if quick { 4_096 } else { 16_384 };
     let churn_ops: u64 = if quick { 4_000 } else { 20_000 };
 
@@ -45,7 +45,7 @@ pub fn run(quick: bool) {
             s.spawn(move || {
                 let h = sl.handle();
                 let mut w =
-                    WorkloadIter::new(Mix::CHURN, KeyDist::Uniform { space: keys }, 0xE7 + t);
+                    WorkloadIter::new(Mix::CHURN, KeyDist::Uniform { space: keys }, 0xE12 + t);
                 for _ in 0..churn_ops {
                     let op = w.next_op();
                     match op.kind {

@@ -1,0 +1,219 @@
+//! E7 — closed-loop async serving (`lf-async` over list and skip list).
+//!
+//! The paper's amortized bound is per *operation*; the serving façade
+//! claims batching preserves it end-to-end (DESIGN.md §10): a lane
+//! worker drains up to `batch_max` requests under one epoch
+//! announcement, so the per-request overhead of the async layer is one
+//! ring round-trip plus an amortized pin share. This experiment drives
+//! the service closed-loop — D driver threads, each multiplexing T
+//! in-flight request tasks on the hand-rolled `lf_sched::rt` executor —
+//! and reports service throughput and the enqueue-to-complete latency
+//! distribution recorded by the service's own `lf-metrics` histograms.
+//!
+//! Emits `BENCH_e7.json`: one row per (structure, workers) with
+//! throughput, e2c p50/p99, and the full nested histograms.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::time::Instant;
+
+use lf_async::{AsyncBackend, Service, ServiceBuilder, ServiceSnapshot};
+use lf_core::{FrList, SkipList};
+use lf_metrics::export::{histogram_json, JsonObj};
+use lf_sched::rt;
+use lf_workloads::{KeyDist, Mix, OpKind, WorkloadIter};
+
+use crate::table::{fmt_f, Table};
+
+use super::write_bench_artifact;
+
+/// Drive `service` closed-loop and return (elapsed seconds, snapshot).
+///
+/// Every request is awaited (Block policy, nothing sheds), so the
+/// submitted count *is* the completed count.
+fn drive<B>(
+    service: Arc<Service<B>>,
+    drivers: usize,
+    tasks_per_driver: usize,
+    ops_per_task: u64,
+    space: u64,
+) -> (f64, ServiceSnapshot)
+where
+    B: AsyncBackend<Key = u64, Value = u64>,
+{
+    let started = Instant::now();
+    let threads: Vec<_> = (0..drivers)
+        .map(|d| {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                let futs: Vec<Pin<Box<dyn Future<Output = ()> + Send>>> = (0..tasks_per_driver)
+                    .map(|t| -> Pin<Box<dyn Future<Output = ()> + Send>> {
+                        let service = Arc::clone(&service);
+                        Box::pin(async move {
+                            let seed = 0xE700_0000u64 | ((d as u64) << 16) | t as u64;
+                            let mut w = WorkloadIter::new(
+                                Mix::READ_HEAVY,
+                                KeyDist::Uniform { space },
+                                seed,
+                            );
+                            for _ in 0..ops_per_task {
+                                let op = w.next_op();
+                                let r = match op.kind {
+                                    OpKind::Insert => service.insert(op.key, op.key).await,
+                                    OpKind::Remove => service.remove(op.key).await,
+                                    OpKind::Search => service.get(op.key).await,
+                                };
+                                r.expect("closed-loop op never fails before shutdown");
+                            }
+                        })
+                    })
+                    .collect();
+                rt::run_all(futs);
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    (elapsed, service.metrics())
+}
+
+struct Config {
+    structure: &'static str,
+    workers: usize,
+}
+
+/// Print the serving table and write `BENCH_e7.json`.
+pub fn run(quick: bool) {
+    println!("E7: closed-loop async serving throughput & latency (read-heavy)\n");
+    // Quick mode keeps the load *shape* (drivers × in-flight tasks) and
+    // only cuts ops per task, so bench_gate.sh can compare a quick run
+    // against the committed full-size baseline row-for-row.
+    let drivers = 4;
+    let tasks_per_driver = 64;
+    let ops_per_task: u64 = if quick { 150 } else { 1_000 };
+    let space: u64 = 4_096;
+    let total = (drivers * tasks_per_driver) as u64 * ops_per_task;
+
+    let configs = [
+        Config {
+            structure: "fr-list",
+            workers: 1,
+        },
+        Config {
+            structure: "fr-list",
+            workers: 2,
+        },
+        Config {
+            structure: "fr-skiplist",
+            workers: 1,
+        },
+        Config {
+            structure: "fr-skiplist",
+            workers: 2,
+        },
+        Config {
+            structure: "fr-skiplist",
+            workers: 4,
+        },
+    ];
+
+    let mut table = Table::new([
+        "impl",
+        "workers",
+        "drivers×tasks",
+        "Mops/s",
+        "e2c p50 µs",
+        "e2c p99 µs",
+        "mean batch",
+    ]);
+    let mut rows = Vec::new();
+
+    for cfg in &configs {
+        let builder = ServiceBuilder::new()
+            .workers(cfg.workers)
+            .queue_capacity(1_024)
+            .batch_max(64);
+        // Prepopulate half the key space *before* the service exists,
+        // so its metrics cover only the measured closed-loop phase.
+        let (elapsed, snap) = match cfg.structure {
+            "fr-list" => {
+                let list = FrList::new();
+                {
+                    let h = list.handle();
+                    for k in (0..space).step_by(2) {
+                        let _ = h.insert(k, k);
+                    }
+                }
+                let service = Arc::new(builder.build(list));
+                let out = drive(
+                    Arc::clone(&service),
+                    drivers,
+                    tasks_per_driver,
+                    ops_per_task,
+                    space,
+                );
+                service.shutdown();
+                out
+            }
+            _ => {
+                let sl = SkipList::new();
+                {
+                    let h = sl.handle();
+                    for k in (0..space).step_by(2) {
+                        let _ = h.insert(k, k);
+                    }
+                }
+                let service = Arc::new(builder.build(sl));
+                let out = drive(
+                    Arc::clone(&service),
+                    drivers,
+                    tasks_per_driver,
+                    ops_per_task,
+                    space,
+                );
+                service.shutdown();
+                out
+            }
+        };
+
+        assert_eq!(snap.completed, total, "closed loop lost operations");
+        let throughput = total as f64 / elapsed;
+        let e2c = &snap.enqueue_to_complete_ns;
+        table.row([
+            cfg.structure.to_string(),
+            cfg.workers.to_string(),
+            format!("{drivers}×{tasks_per_driver}"),
+            fmt_f(throughput / 1e6),
+            fmt_f(e2c.p50() as f64 / 1e3),
+            fmt_f(e2c.p99() as f64 / 1e3),
+            fmt_f(snap.batch_size.mean()),
+        ]);
+        rows.push(
+            JsonObj::new()
+                .field_str("experiment", "e7")
+                .field_str("impl", cfg.structure)
+                .field_str("mix", "read_heavy")
+                .field_u64("drivers", drivers as u64)
+                .field_u64("tasks_per_driver", tasks_per_driver as u64)
+                .field_u64("workers", cfg.workers as u64)
+                .field_u64("ops", total)
+                .field_f64("throughput_ops_per_s", throughput)
+                .field_u64("e2c_p50_ns", e2c.p50())
+                .field_u64("e2c_p99_ns", e2c.p99())
+                .field_raw("enqueue_to_complete_ns", &histogram_json(e2c))
+                .field_raw("queue_depth", &histogram_json(&snap.queue_depth))
+                .field_raw("batch_size", &histogram_json(&snap.batch_size))
+                .finish(),
+        );
+    }
+
+    print!("{table}");
+    println!(
+        "\nclosed loop: every request awaited; Block policy, so completed == submitted\n\
+         (asserted). e2c = enqueue-to-complete, from the service's own histograms."
+    );
+    write_bench_artifact("e7", quick, &rows);
+}

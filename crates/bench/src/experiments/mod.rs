@@ -10,17 +10,18 @@ use crate::runner::RunResult;
 
 pub mod e10_additivity;
 pub mod e11_lock_freedom;
+pub mod e12_tower_census;
 pub mod e1_deletion_trace;
 pub mod e2_adversarial;
 pub mod e3_amortized;
 pub mod e4_list_throughput;
 pub mod e5_search_cost;
 pub mod e6_skiplist_throughput;
-pub mod e7_tower_census;
+pub mod e7_async_service;
 pub mod e8_flag_ablation;
 pub mod e9_cas_breakdown;
 
-/// Run one experiment by id (`"e1"` … `"e11"` or `"all"`).
+/// Run one experiment by id (`"e1"` … `"e12"` or `"all"`).
 ///
 /// Returns `false` if the id is unknown.
 pub fn dispatch(id: &str, quick: bool) -> bool {
@@ -31,14 +32,15 @@ pub fn dispatch(id: &str, quick: bool) -> bool {
         "e4" => e4_list_throughput::run(quick),
         "e5" => e5_search_cost::run(quick),
         "e6" => e6_skiplist_throughput::run(quick),
-        "e7" => e7_tower_census::run(quick),
+        "e7" => e7_async_service::run(quick),
         "e8" => e8_flag_ablation::run(quick),
         "e9" => e9_cas_breakdown::run(quick),
         "e10" => e10_additivity::run(quick),
         "e11" => e11_lock_freedom::run(quick),
+        "e12" => e12_tower_census::run(quick),
         "all" => {
             for id in [
-                "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+                "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
             ] {
                 assert!(dispatch(id, quick));
                 println!();

@@ -92,6 +92,7 @@ where
                             // Line 17–18: failure possibly due to marking —
                             // walk backlinks to the first unmarked node.
                             while (*prev).is_marked() {
+                                // ord: Acquire — LIST.backlink-walk: recovered pred is dereferenced
                                 let back = (*prev).backlink();
                                 debug_assert!(!back.is_null(), "marked node lacks backlink");
                                 prev = back;
@@ -139,6 +140,7 @@ where
                 return None;
             }
             // Line 4: first deletion step — flag the predecessor.
+            // ord: Release/Acquire — LIST.flag-cas: wrapped flagging C&S; pred is dereferenced
             let (prev, result) = self.try_flag(prev, del, guard);
             // Line 5–6: if we know the flagged predecessor, complete the
             // marking and physical deletion (steps two and three).
@@ -215,6 +217,7 @@ where
                         backoff.spin();
                         // Line 9–10: recover from marking via backlinks.
                         while (*prev).is_marked() {
+                            // ord: Acquire — LIST.backlink-walk: recovered pred is dereferenced
                             let back = (*prev).backlink();
                             debug_assert!(!back.is_null(), "marked node lacks backlink");
                             prev = back;

@@ -430,6 +430,16 @@ where
     pub fn quiesce(&self) {
         self.reclaim.quiesce();
     }
+
+    /// Re-tune how many consecutive operations share one standing epoch
+    /// announcement (default 16; see `LocalHandle::amortize_pins`).
+    ///
+    /// Batch executors that drain `n` queued requests back-to-back set
+    /// this to the batch size so a whole drained batch costs a single
+    /// announcement, then [`quiesce`](Self::quiesce) between batches.
+    pub fn amortize_pins(&self, every: u32) {
+        self.reclaim.amortize_pins(every);
+    }
 }
 
 #[cfg(test)]

@@ -72,6 +72,7 @@ where
     ) -> bool {
         // SAFETY: the fn's `# Safety` contract covers the whole body.
         unsafe {
+            // ord: Release/Acquire — LIST.flag-cas: wrapped flagging C&S; pred is dereferenced
             let (prev, status, did_flag) = self.try_flag_node(prev, del, guard);
             if status == FlagStatus::In {
                 self.help_flagged(prev, del, guard);

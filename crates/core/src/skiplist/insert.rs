@@ -247,6 +247,7 @@ where
                                 self.help_flagged(*prev, found.ptr(), guard);
                             }
                             while (**prev).is_marked() {
+                                // ord: Acquire — LIST.backlink-walk: recovered pred is dereferenced
                                 let back = (**prev).backlink();
                                 debug_assert!(!back.is_null(), "marked node lacks backlink");
                                 *prev = back;

@@ -54,6 +54,7 @@ where
                 // all three deletion steps itself when needed, so repeated
                 // traversals of long backlink chains cannot be forced).
                 while (*next).is_superfluous() {
+                    // ord: Release/Acquire — LIST.flag-cas: wrapped flagging C&S; pred is dereferenced
                     let (new_curr, status, _) = self.try_flag_node(curr, next, guard);
                     curr = new_curr;
                     if status == FlagStatus::In {
@@ -121,6 +122,7 @@ where
                         // Contended edge: back off before the recovery walk.
                         backoff.spin();
                         while (*prev).is_marked() {
+                            // ord: Acquire — LIST.backlink-walk: recovered pred is dereferenced
                             let back = (*prev).backlink();
                             debug_assert!(!back.is_null(), "marked node lacks backlink");
                             prev = back;

@@ -126,7 +126,9 @@ where
         let mut below: (*mut SkipNode<K, V>, *mut SkipNode<K, V>) =
             (std::ptr::null_mut(), std::ptr::null_mut());
         for _ in 0..max_level {
+            // ord: Relaxed — TOWER.top: sentinel self-init before publication
             let tail = node::SkipNode::alloc_sentinel(Bound::PosInf, below.1);
+            // ord: Relaxed — TOWER.top: sentinel self-init before publication
             let head = node::SkipNode::alloc_sentinel(Bound::NegInf, below.0);
             // SAFETY: both sentinels were just allocated and are not
             // yet shared.
@@ -601,6 +603,16 @@ where
     /// stop operating for a while.
     pub fn quiesce(&self) {
         self.reclaim.quiesce();
+    }
+
+    /// Re-tune how many consecutive operations share one standing epoch
+    /// announcement (default 16; see `LocalHandle::amortize_pins`).
+    ///
+    /// Batch executors that drain `n` queued requests back-to-back set
+    /// this to the batch size so a whole drained batch costs a single
+    /// announcement, then [`quiesce`](Self::quiesce) between batches.
+    pub fn amortize_pins(&self, every: u32) {
+        self.reclaim.amortize_pins(every);
     }
 }
 

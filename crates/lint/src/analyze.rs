@@ -23,6 +23,11 @@ const ATOMIC_METHODS: &[&str] = &[
     "fetch_update",
 ];
 
+/// Standalone fence functions audited like atomic sites: they take a
+/// literal `Ordering` and order surrounding accesses without touching
+/// a location, so hot crates must annotate them the same way.
+const FENCE_FNS: &[&str] = &["fence", "compiler_fence"];
+
 /// The five memory orderings.
 pub const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
 
@@ -87,6 +92,35 @@ pub enum BannedKind {
     TagArith,
 }
 
+/// A fn that returns a raw pointer and performs an atomic operation in
+/// its body — a "wrapper" that hands its callers a dereferenceable
+/// pointer while keeping the `Ordering` out of the call site. Call
+/// sites of such fns are audited like atomic sites (the wrapper's
+/// orderings are what the call inherits). Detection is one level deep:
+/// a helper that delegates to another *typed* accessor is that
+/// accessor's business.
+#[derive(Debug, Clone)]
+pub struct WrapperFn {
+    /// 1-based source line of the `fn` keyword.
+    pub line: u32,
+    /// The fn's name (wrapper resolution is name-based, crate-scoped).
+    pub name: String,
+    /// Union of the orderings used by the atomic sites in the body.
+    pub orderings: Vec<String>,
+}
+
+/// A call site of a known [`WrapperFn`] (the caller passes the
+/// registry of names to [`scan_file_with`]).
+#[derive(Debug, Clone)]
+pub struct WrapperCall {
+    /// 1-based source line of the call.
+    pub line: u32,
+    /// Name of the wrapper being called.
+    pub callee: String,
+    /// Index into [`FileScan::annotations`] of the attached annotation.
+    pub annotation: Option<usize>,
+}
+
 /// A malformed `// ord:` comment (wrong grammar / unknown ordering).
 #[derive(Debug, Clone)]
 pub struct BadAnnotation {
@@ -109,6 +143,10 @@ pub struct FileScan {
     pub banned: Vec<BannedUse>,
     /// Malformed `// ord:` comments.
     pub bad_annotations: Vec<BadAnnotation>,
+    /// Pointer-returning fns with atomic bodies (wrapper candidates).
+    pub wrappers: Vec<WrapperFn>,
+    /// Call sites of registry wrappers (only with [`scan_file_with`]).
+    pub wrapper_calls: Vec<WrapperCall>,
     /// Submodule files declared under `#[cfg(test)] mod name;` —
     /// relative names (`name.rs`, `name/mod.rs`) to exclude.
     pub test_submodules: Vec<String>,
@@ -116,13 +154,27 @@ pub struct FileScan {
 
 /// Scan one file's source text.
 pub fn scan_file(src: &str) -> FileScan {
+    scan_file_with(src, &BTreeSet::new())
+}
+
+/// Scan with a registry of wrapper-fn names whose call sites should be
+/// collected and annotation-checked (see [`WrapperFn`]). The registry
+/// is crate-scoped by the audit layer: the wrappers this workspace
+/// grows are `pub(crate)` helpers, and name-based resolution across
+/// crates would collide with unrelated fns in the baselines.
+pub fn scan_file_with(src: &str, wrapper_names: &BTreeSet<String>) -> FileScan {
     let lexed = lex(src);
-    Scanner::new(&lexed).run()
+    Scanner::new(&lexed, wrapper_names).run()
 }
 
 struct Scanner<'a> {
     toks: &'a [Token],
     comments: &'a [Comment],
+    /// Wrapper-fn names whose call sites this scan collects.
+    wrapper_names: &'a BTreeSet<String>,
+    /// Token index of each collected site's method/fence ident
+    /// (parallel to `out.sites`; used for wrapper-body membership).
+    site_tok_indices: Vec<usize>,
     /// Token-index ranges excluded as test-only code.
     excluded: Vec<(usize, usize)>,
     /// Token-index ranges covered by `#[...]` / `#![...]` attributes.
@@ -139,10 +191,12 @@ struct Scanner<'a> {
 }
 
 impl<'a> Scanner<'a> {
-    fn new(lexed: &'a Lexed) -> Self {
+    fn new(lexed: &'a Lexed, wrapper_names: &'a BTreeSet<String>) -> Self {
         let mut s = Scanner {
             toks: &lexed.tokens,
             comments: &lexed.comments,
+            wrapper_names,
+            site_tok_indices: Vec::new(),
             excluded: Vec::new(),
             attr_spans: Vec::new(),
             code_lines: BTreeSet::new(),
@@ -159,6 +213,8 @@ impl<'a> Scanner<'a> {
     fn run(mut self) -> FileScan {
         self.collect_annotations();
         self.collect_atomic_sites();
+        self.collect_wrappers();
+        self.collect_wrapper_calls();
         self.collect_unsafe();
         self.collect_banned();
         self.out
@@ -396,18 +452,37 @@ impl<'a> Scanner<'a> {
         }
         let mut raws: Vec<Raw> = Vec::new();
         let mut i = 0;
-        while i + 2 < self.toks.len() {
-            let is_site = self.punct_at(i) == Some('.')
+        while i < self.toks.len() {
+            // `.method(` — an atomic method call; or `fence(` /
+            // `compiler_fence(` — a standalone fence (plain or path
+            // call). A fence ident preceded by `.` is some other
+            // type's method, and one preceded by `fn` is a definition,
+            // not a use; both are skipped.
+            let found = if self.punct_at(i) == Some('.')
                 && self
                     .ident_at(i + 1)
                     .is_some_and(|m| ATOMIC_METHODS.contains(&m))
-                && self.punct_at(i + 2) == Some('(');
-            if !is_site || self.is_excluded(i) {
-                i += 1;
-                continue;
-            }
+                && self.punct_at(i + 2) == Some('(')
+            {
+                Some((i + 1, i + 2))
+            } else if self.ident_at(i).is_some_and(|m| FENCE_FNS.contains(&m))
+                && self.punct_at(i + 1) == Some('(')
+                && self.punct_at(i.wrapping_sub(1)) != Some('.')
+                && self.ident_at(i.wrapping_sub(1)) != Some("fn")
+            {
+                Some((i, i + 1))
+            } else {
+                None
+            };
+            let (method_idx, open) = match found {
+                Some(f) if !self.is_excluded(i) => f,
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
             let mut depth = 0i32;
-            let mut k = i + 2;
+            let mut k = open;
             let mut orderings = Vec::new();
             while k < self.toks.len() {
                 match self.punct_at(k) {
@@ -434,7 +509,7 @@ impl<'a> Scanner<'a> {
             }
             if !orderings.is_empty() {
                 raws.push(Raw {
-                    method_idx: i + 1,
+                    method_idx,
                     span_end: k,
                     orderings,
                 });
@@ -463,6 +538,7 @@ impl<'a> Scanner<'a> {
             if let Some(ai) = annotation {
                 self.out.annotations[ai].attached = true;
             }
+            self.site_tok_indices.push(raw.method_idx);
             self.out.sites.push(AtomicSite {
                 line: start_line,
                 method: self
@@ -470,6 +546,180 @@ impl<'a> Scanner<'a> {
                     .unwrap_or_default()
                     .to_string(),
                 orderings: raw.orderings.into_iter().map(|(_, o)| o).collect(),
+                annotation,
+            });
+        }
+    }
+
+    /// Find fn items that return a raw pointer (`*const` / `*mut`) and
+    /// perform an atomic operation in their body. Runs after
+    /// `collect_atomic_sites` so body membership is a token-index
+    /// range check against the collected sites.
+    fn collect_wrappers(&mut self) {
+        let mut i = 0;
+        while i < self.toks.len() {
+            if self.ident_at(i) != Some("fn") || self.is_excluded(i) {
+                i += 1;
+                continue;
+            }
+            let Some(name) = self.ident_at(i + 1).map(str::to_owned) else {
+                i += 1;
+                continue;
+            };
+            // Optional generics between the name and the params. `>`
+            // preceded by `-` is part of a `->` inside the generic
+            // bounds (e.g. `F: Fn(u32) -> u32`), not a closer.
+            let mut j = i + 2;
+            if self.punct_at(j) == Some('<') {
+                let mut angle = 0i32;
+                while j < self.toks.len() {
+                    match self.punct_at(j) {
+                        Some('<') => angle += 1,
+                        Some('>') if self.punct_at(j.wrapping_sub(1)) != Some('-') => {
+                            angle -= 1;
+                            if angle == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            if self.punct_at(j) != Some('(') {
+                i += 1;
+                continue;
+            }
+            // Parameter list.
+            let mut depth = 0i32;
+            while j < self.toks.len() {
+                match self.punct_at(j) {
+                    Some('(') => depth += 1,
+                    Some(')') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            // Return type: between `->` and the body `{` (or `where`).
+            let mut k = j + 1;
+            let mut returns_raw_ptr = false;
+            if self.punct_at(k) == Some('-') && self.punct_at(k + 1) == Some('>') {
+                k += 2;
+                while k < self.toks.len() {
+                    if matches!(self.punct_at(k), Some('{') | Some(';'))
+                        || self.ident_at(k) == Some("where")
+                    {
+                        break;
+                    }
+                    if self.punct_at(k) == Some('*')
+                        && matches!(self.ident_at(k + 1), Some("const") | Some("mut"))
+                    {
+                        returns_raw_ptr = true;
+                    }
+                    k += 1;
+                }
+            }
+            if !returns_raw_ptr {
+                i += 1;
+                continue;
+            }
+            // Body: brace-balance from the first `{`; a `;` first means
+            // a trait/extern declaration with no body.
+            while k < self.toks.len()
+                && self.punct_at(k) != Some('{')
+                && self.punct_at(k) != Some(';')
+            {
+                k += 1;
+            }
+            if self.punct_at(k) != Some('{') {
+                i += 1;
+                continue;
+            }
+            let mut braces = 0i32;
+            let mut end = k;
+            while end < self.toks.len() {
+                match self.punct_at(end) {
+                    Some('{') => braces += 1,
+                    Some('}') => {
+                        braces -= 1;
+                        if braces == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                end += 1;
+            }
+            let mut orderings: Vec<String> = Vec::new();
+            for (si, &tok) in self.site_tok_indices.iter().enumerate() {
+                if tok > k && tok < end {
+                    for o in &self.out.sites[si].orderings {
+                        if !orderings.contains(o) {
+                            orderings.push(o.clone());
+                        }
+                    }
+                }
+            }
+            if !orderings.is_empty() {
+                self.out.wrappers.push(WrapperFn {
+                    line: self.toks[i].line,
+                    name,
+                    orderings,
+                });
+            }
+            i = k + 1;
+        }
+    }
+
+    /// With the caller-supplied registry of wrapper names, collect
+    /// their call sites and attach `// ord:` annotations exactly as
+    /// for direct atomic sites.
+    fn collect_wrapper_calls(&mut self) {
+        if self.wrapper_names.is_empty() {
+            return;
+        }
+        for i in 0..self.toks.len() {
+            let Some(name) = self.ident_at(i).map(str::to_owned) else {
+                continue;
+            };
+            if !self.wrapper_names.contains(&name)
+                || self.punct_at(i + 1) != Some('(')
+                || self.ident_at(i.wrapping_sub(1)) == Some("fn")
+                || self.is_excluded(i)
+            {
+                continue;
+            }
+            let mut depth = 0i32;
+            let mut k = i + 1;
+            while k < self.toks.len() {
+                match self.punct_at(k) {
+                    Some('(') => depth += 1,
+                    Some(')') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            let start_line = self.toks[i].line;
+            let end_line = self.toks[k.min(self.toks.len() - 1)].line;
+            let stmt_line = self.statement_start_line(i);
+            let annotation = self.find_annotation(stmt_line, start_line, end_line);
+            if let Some(ai) = annotation {
+                self.out.annotations[ai].attached = true;
+            }
+            self.out.wrapper_calls.push(WrapperCall {
+                line: start_line,
+                callee: name,
                 annotation,
             });
         }
@@ -772,6 +1022,99 @@ mod tests {
              a.x.fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| Some(v + 1));\n}\n",
         );
         assert_eq!(s.sites[0].orderings, ["AcqRel", "Acquire"]);
+    }
+
+    #[test]
+    fn standalone_fence_is_a_site() {
+        let s = scan_file(
+            "fn f() {\n\
+             // ord: Release — EPOCH.flip: writes drain before the flip\n\
+             std::sync::atomic::fence(Ordering::Release);\n}\n",
+        );
+        assert_eq!(s.sites.len(), 1);
+        assert_eq!(s.sites[0].method, "fence");
+        assert_eq!(s.sites[0].orderings, ["Release"]);
+        assert!(s.sites[0].annotation.is_some());
+    }
+
+    #[test]
+    fn bare_fence_and_compiler_fence_are_sites() {
+        let s =
+            scan_file("fn f() { fence(Ordering::SeqCst); compiler_fence(Ordering::AcqRel); }\n");
+        assert_eq!(s.sites.len(), 2);
+        assert_eq!(s.sites[0].method, "fence");
+        assert_eq!(s.sites[0].orderings, ["SeqCst"]);
+        assert_eq!(s.sites[1].method, "compiler_fence");
+        assert_eq!(s.sites[1].orderings, ["AcqRel"]);
+    }
+
+    #[test]
+    fn fence_definition_and_foreign_method_are_not_sites() {
+        let s = scan_file(
+            "fn fence(o: Ordering) { consume(o); }\n\
+             fn g(m: &M) { m.fence(Ordering::SeqCst); }\n",
+        );
+        assert!(s.sites.is_empty());
+    }
+
+    #[test]
+    fn pointer_returning_fn_with_atomic_body_is_a_wrapper() {
+        let s = scan_file(
+            "impl N {\n\
+             pub(crate) fn next(&self) -> *mut N {\n\
+             // ord: Acquire — LIST.traverse: next hop\n\
+             self.succ.load(Ordering::Acquire)\n}\n}\n",
+        );
+        assert_eq!(s.wrappers.len(), 1);
+        assert_eq!(s.wrappers[0].name, "next");
+        assert_eq!(s.wrappers[0].orderings, ["Acquire"]);
+    }
+
+    #[test]
+    fn generic_wrapper_signature_is_parsed() {
+        let s = scan_file(
+            "fn peek<K: Ord, V>(n: &Node<K, V>) -> *mut Node<K, V> {\n\
+             n.back.load(Ordering::Acquire)\n}\n",
+        );
+        assert_eq!(s.wrappers.len(), 1);
+        assert_eq!(s.wrappers[0].name, "peek");
+    }
+
+    #[test]
+    fn non_pointer_or_non_atomic_fns_are_not_wrappers() {
+        let s = scan_file(
+            "fn a(x: &A) -> u64 { x.v.load(Ordering::Acquire) }\n\
+             fn b() -> *mut u8 { std::ptr::null_mut() }\n",
+        );
+        assert!(s.wrappers.is_empty());
+        assert_eq!(s.sites.len(), 1);
+    }
+
+    #[test]
+    fn wrapper_call_sites_attach_annotations() {
+        let names: BTreeSet<String> = ["next".to_string()].into_iter().collect();
+        let s = scan_file_with(
+            "fn g(n: &N) {\n\
+             // ord: Acquire — LIST.traverse: wrapper hides the load\n\
+             let p = n.next();\n\
+             let q = n.next();\n}\n",
+            &names,
+        );
+        assert_eq!(s.wrapper_calls.len(), 2);
+        assert_eq!(s.wrapper_calls[0].callee, "next");
+        assert!(s.wrapper_calls[0].annotation.is_some());
+        assert!(s.wrapper_calls[1].annotation.is_none());
+        assert!(s.annotations[0].attached);
+    }
+
+    #[test]
+    fn wrapper_definition_is_not_its_own_call_site() {
+        let names: BTreeSet<String> = ["next".to_string()].into_iter().collect();
+        let s = scan_file_with(
+            "fn next(n: &N) -> *mut N { n.succ.load(Ordering::Acquire) }\n",
+            &names,
+        );
+        assert!(s.wrapper_calls.is_empty());
     }
 
     #[test]

@@ -9,7 +9,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use crate::analyze::{scan_file, BannedKind, FileScan};
+use crate::analyze::{scan_file, scan_file_with, BannedKind, FileScan};
 use crate::design::parse_design;
 use crate::policy::{CrateClass, Policy};
 
@@ -42,6 +42,10 @@ pub struct Audit {
     pub sites_total: usize,
     /// Total `unsafe` items seen.
     pub unsafe_total: usize,
+    /// Pointer-returning atomic wrapper fns discovered (registry size).
+    pub wrapper_fns: usize,
+    /// Call sites of those wrappers, across all crate classes.
+    pub wrapper_calls: usize,
 }
 
 /// In-memory view of the workspace with optional content overrides.
@@ -103,7 +107,7 @@ pub fn run_audit(files: &WorkspaceFiles) -> Result<Audit, String> {
 
     let crates = discover_crates(files)?;
     let mut audit = Audit::default();
-    let mut scans: Vec<(String, String, FileScan)> = Vec::new(); // (crate, file, scan)
+    let mut sources: Vec<(String, String, String)> = Vec::new(); // (crate, file, text)
     let mut test_files: BTreeSet<String> = BTreeSet::new();
 
     for krate in &crates {
@@ -122,14 +126,60 @@ pub fn run_audit(files: &WorkspaceFiles) -> Result<Audit, String> {
             let text = files
                 .read(&rel)
                 .map_err(|e| format!("cannot read {rel}: {e}"))?;
-            let scan = scan_file(&text);
-            let dir = rel.rsplit_once('/').map(|(d, _)| d).unwrap_or("");
-            for sub in &scan.test_submodules {
-                test_files.insert(format!("{dir}/{sub}"));
-            }
-            scans.push((krate.name.clone(), rel, scan));
+            sources.push((krate.name.clone(), rel, text));
         }
     }
+
+    // Pass 1: scan every file to learn the test-submodule set and the
+    // pointer-returning wrapper fns. The wrapper registry is
+    // crate-scoped (name -> orderings hidden inside): the wrappers
+    // this workspace grows are `pub(crate)` helpers, and cross-crate
+    // name resolution would collide with unrelated fns.
+    let mut pass1: Vec<FileScan> = Vec::new();
+    for (_, rel, text) in &sources {
+        let scan = scan_file(text);
+        let dir = rel.rsplit_once('/').map(|(d, _)| d).unwrap_or("");
+        for sub in &scan.test_submodules {
+            test_files.insert(format!("{dir}/{sub}"));
+        }
+        pass1.push(scan);
+    }
+    let mut registry: BTreeMap<String, BTreeMap<String, Vec<String>>> = BTreeMap::new();
+    for (scan, (krate, rel, _)) in pass1.iter().zip(&sources) {
+        if test_files.contains(rel) {
+            continue;
+        }
+        for w in &scan.wrappers {
+            let entry = registry
+                .entry(krate.clone())
+                .or_default()
+                .entry(w.name.clone())
+                .or_default();
+            for o in &w.orderings {
+                if !entry.contains(o) {
+                    entry.push(o.clone());
+                }
+            }
+        }
+    }
+
+    // Pass 2: re-scan with each crate's wrapper names so call sites
+    // are collected and their annotations attached. Crates with no
+    // wrappers keep their pass-1 scan.
+    let mut scans: Vec<(String, String, FileScan)> = Vec::new();
+    for (scan, (krate, rel, text)) in pass1.into_iter().zip(&sources) {
+        let names: BTreeSet<String> = registry
+            .get(krate)
+            .map(|m| m.keys().cloned().collect())
+            .unwrap_or_default();
+        let scan = if names.is_empty() {
+            scan
+        } else {
+            scan_file_with(text, &names)
+        };
+        scans.push((krate.clone(), rel.clone(), scan));
+    }
+    audit.wrapper_fns = registry.values().map(|m| m.len()).sum();
 
     let mut attached_ids: BTreeSet<String> = BTreeSet::new();
     for (krate, file, scan) in &scans {
@@ -220,6 +270,51 @@ pub fn run_audit(files: &WorkspaceFiles) -> Result<Audit, String> {
                             site.method
                         ),
                     );
+                }
+            }
+        }
+
+        for call in &scan.wrapper_calls {
+            audit.wrapper_calls += 1;
+            if cp.class != CrateClass::Hot {
+                continue;
+            }
+            let hidden: Vec<String> = registry
+                .get(krate)
+                .and_then(|m| m.get(&call.callee))
+                .cloned()
+                .unwrap_or_default();
+            match call.annotation.map(|ai| &scan.annotations[ai]) {
+                None => push(
+                    &mut audit,
+                    "wrapper-unannotated",
+                    call.line,
+                    format!(
+                        "call to pointer-returning atomic wrapper `{}` ({}) in hot \
+                         crate has no `// ord:` annotation — the wrapper hides the \
+                         ordering from this call site",
+                        call.callee,
+                        hidden.join("/")
+                    ),
+                ),
+                Some(a) => {
+                    for o in &hidden {
+                        if !a.orderings.contains(o) {
+                            push(
+                                &mut audit,
+                                "annotation-mismatch",
+                                call.line,
+                                format!(
+                                    "wrapper `{}` performs a {o} atomic inside, but \
+                                     the `// ord:` comment ({}, id {}) does not list \
+                                     it",
+                                    call.callee,
+                                    a.orderings.join("/"),
+                                    a.id
+                                ),
+                            );
+                        }
+                    }
                 }
             }
         }

@@ -8,7 +8,12 @@
 //!    whose orderings match the code tokens, and whose invariant id is
 //!    a row of the DESIGN.md §9 ordering tables. Drift in either
 //!    direction (a table row no code witnesses, or an annotation the
-//!    table does not license) fails the audit.
+//!    table does not license) fails the audit. This covers standalone
+//!    `fence(..)` / `compiler_fence(..)` calls, and *pointer-returning
+//!    atomic wrappers*: a fn that returns a raw pointer and performs
+//!    an atomic op in its body hides the `Ordering` from its callers,
+//!    so its call sites (crate-scoped, one wrapping level deep) must
+//!    carry the same annotations as direct atomic sites.
 //! 2. **`unsafe` hygiene.** Every `unsafe` block/fn/impl/trait in the
 //!    workspace needs a `// SAFETY:` comment (or a `# Safety` doc
 //!    section).

@@ -10,8 +10,13 @@ pub fn human(audit: &Audit) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "lf-lint: {} files, {} atomic sites, {} unsafe items",
-        audit.files_scanned, audit.sites_total, audit.unsafe_total
+        "lf-lint: {} files, {} atomic sites, {} unsafe items, \
+         {} ptr-wrapper fn(s) with {} call site(s)",
+        audit.files_scanned,
+        audit.sites_total,
+        audit.unsafe_total,
+        audit.wrapper_fns,
+        audit.wrapper_calls
     );
     if audit.findings.is_empty() {
         let _ = writeln!(out, "lf-lint: clean — no findings");
@@ -39,10 +44,12 @@ pub fn json(audit: &Audit) -> String {
     let _ = writeln!(
         out,
         "  \"summary\": {{\"files\": {}, \"atomic_sites\": {}, \"unsafe_items\": {}, \
-         \"findings\": {}}},",
+         \"wrapper_fns\": {}, \"wrapper_calls\": {}, \"findings\": {}}},",
         audit.files_scanned,
         audit.sites_total,
         audit.unsafe_total,
+        audit.wrapper_fns,
+        audit.wrapper_calls,
         audit.findings.len()
     );
     out.push_str("  \"inventory\": {");

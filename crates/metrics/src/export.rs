@@ -205,26 +205,31 @@ pub fn telemetry_prometheus(t: &Telemetry) -> String {
         let _ = writeln!(out, "{name} {v}");
     }
     for m in Metric::ALL {
-        let h = t.histogram(m);
         let name = format!("lf_{}", m.label());
-        let _ = writeln!(
-            out,
-            "# HELP {name} Per-operation {} distribution",
-            m.label()
-        );
-        let _ = writeln!(out, "# TYPE {name} summary");
-        for (q, v) in [
-            ("0.5", h.p50()),
-            ("0.9", h.p90()),
-            ("0.99", h.p99()),
-            ("0.999", h.p999()),
-        ] {
-            let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {v}");
-        }
-        let _ = writeln!(out, "{name}_sum {}", h.sum());
-        let _ = writeln!(out, "{name}_count {}", h.count());
+        let help = format!("Per-operation {} distribution", m.label());
+        histogram_prometheus(&mut out, &name, &help, t.histogram(m));
     }
     out
+}
+
+/// Append one named histogram to `out` in Prometheus text exposition
+/// format as a `summary`: p50/p90/p99/p999 quantile series plus `_sum`
+/// and `_count`. Shared by [`telemetry_prometheus`] and by subsystems
+/// (e.g. `lf-async` service metrics) that export histograms outside the
+/// fixed [`Metric`] set.
+pub fn histogram_prometheus(out: &mut String, name: &str, help: &str, h: &Histogram) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} summary");
+    for (q, v) in [
+        ("0.5", h.p50()),
+        ("0.9", h.p90()),
+        ("0.99", h.p99()),
+        ("0.999", h.p999()),
+    ] {
+        let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {v}");
+    }
+    let _ = writeln!(out, "{name}_sum {}", h.sum());
+    let _ = writeln!(out, "{name}_count {}", h.count());
 }
 
 /// Append one JSON line to `path`, creating the file if needed.

@@ -283,14 +283,27 @@ impl fmt::Display for Histogram {
 /// The lock-free aggregate a flushing thread merges its local
 /// [`Histogram`] into: the same slot layout with atomic counters, so
 /// concurrent flushes never block each other.
-pub(crate) struct AtomicHistogram {
+///
+/// Public since the async serving layer: subsystems that cannot use the
+/// per-thread shard machinery (e.g. `lf-async`'s service metrics, where
+/// producers and workers on arbitrary threads record into one shared
+/// histogram) embed an `AtomicHistogram` directly and record via the
+/// multi-writer [`AtomicHistogram::record`].
+pub struct AtomicHistogram {
     counts: Box<[AtomicU64]>,
     total: AtomicU64,
     sum: AtomicU64,
 }
 
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl AtomicHistogram {
-    pub(crate) fn new() -> Self {
+    /// An empty atomic histogram (allocates its ~58 KiB slot array).
+    pub fn new() -> Self {
         let mut v = Vec::with_capacity(SLOT_COUNT);
         v.resize_with(SLOT_COUNT, || AtomicU64::new(0));
         AtomicHistogram {
@@ -298,6 +311,22 @@ impl AtomicHistogram {
             total: AtomicU64::new(0),
             sum: AtomicU64::new(0),
         }
+    }
+
+    /// Multi-writer record: `fetch_add` so any number of threads can
+    /// record concurrently into one shared histogram. Costlier than
+    /// [`AtomicHistogram::record_owner`] (a locked RMW per field), so
+    /// the single-writer shard path keeps using the owner variant; this
+    /// one serves shared service-level histograms (queue depth,
+    /// enqueue-to-complete latency) where there is no owner.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        // ord: Relaxed — MET.shard: statistic counter, snapshots racy-fresh
+        self.counts[index_for(v)].fetch_add(1, Ordering::Relaxed);
+        // ord: Relaxed — MET.shard: statistic counter, snapshots racy-fresh
+        self.total.fetch_add(1, Ordering::Relaxed);
+        // ord: Relaxed — MET.shard: statistic counter, snapshots racy-fresh
+        self.sum.fetch_add(v, Ordering::Relaxed);
     }
 
     /// Owner-only record: relaxed load+store instead of `fetch_add`,
@@ -344,7 +373,7 @@ impl AtomicHistogram {
     }
 
     /// Accumulate a relaxed copy of `self` into `dst`.
-    pub(crate) fn add_into(&self, dst: &mut Histogram) {
+    pub fn add_into(&self, dst: &mut Histogram) {
         for (d, s) in dst.counts.iter_mut().zip(self.counts.iter()) {
             // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
             *d += s.load(Ordering::Relaxed);
@@ -356,7 +385,7 @@ impl AtomicHistogram {
     }
 
     /// Copy into a plain [`Histogram`].
-    pub(crate) fn load(&self) -> Histogram {
+    pub fn load(&self) -> Histogram {
         let mut h = Histogram::new();
         for (dst, src) in h.counts.iter_mut().zip(self.counts.iter()) {
             // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
@@ -369,7 +398,8 @@ impl AtomicHistogram {
         h
     }
 
-    pub(crate) fn reset(&self) {
+    /// Zero every counter in place.
+    pub fn reset(&self) {
         for c in self.counts.iter() {
             // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
             c.store(0, Ordering::Relaxed);
@@ -462,6 +492,30 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.mean(), 0.0);
         assert!(h.is_empty());
+    }
+
+    #[test]
+    fn atomic_multi_writer_record() {
+        let h = std::sync::Arc::new(AtomicHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        h.record(t * 1_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = h.load();
+        assert_eq!(s.count(), 400);
+        let expect: u64 = (0..4u64)
+            .map(|t| (0..100).map(|i| t * 1_000 + i).sum::<u64>())
+            .sum();
+        assert_eq!(s.sum(), expect);
     }
 
     #[test]

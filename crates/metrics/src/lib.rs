@@ -73,8 +73,7 @@ pub mod histogram;
 #[cfg(feature = "trace")]
 pub mod trace;
 
-use histogram::AtomicHistogram;
-pub use histogram::Histogram;
+pub use histogram::{AtomicHistogram, Histogram};
 
 use std::fmt;
 use std::ops::Sub;

@@ -43,6 +43,7 @@
 //! assert_eq!(sched.steps(pid), 2);
 //! ```
 
+pub mod rt;
 pub mod sim;
 
 use std::collections::HashMap;

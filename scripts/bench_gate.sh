@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # bench_gate.sh — quick perf regression gate for the throughput experiments.
 #
-# Runs the short (quick-size) variants of e4 (list throughput) and e6
-# (skip-list throughput), writes fresh BENCH_e4.json / BENCH_e6.json into
-# a scratch directory, and compares the fr-* rows against the committed
-# baselines at the repo root. Fails (exit 1) when the median throughput
-# regression across comparable rows exceeds the threshold.
+# Runs the short (quick-size) variants of e4 (list throughput), e6
+# (skip-list throughput), and e7 (async serving), writes fresh
+# BENCH_<id>.json artifacts into a scratch directory, and compares the
+# fr-* rows against the committed baselines at the repo root. Fails
+# (exit 1) when the median throughput regression across comparable rows
+# exceeds the threshold. A missing committed baseline is never an
+# error: that experiment is skipped with a notice and the gate still
+# exits 0 (fresh checkouts and new experiments gate nothing).
 #
 #   ./scripts/bench_gate.sh                 # gate at the default 10%
 #   BENCH_GATE_THRESHOLD=25 ./scripts/...   # loosen the gate
@@ -25,17 +28,23 @@ trap 'rm -rf "$SCRATCH"' EXIT
 
 cargo build --release -p lf-bench --bin experiments
 
-for exp in e4 e6; do
+GATED_EXPERIMENTS=(e4 e6 e7)
+
+for exp in "${GATED_EXPERIMENTS[@]}"; do
     echo "== bench gate: running quick $exp =="
     (cd "$SCRATCH" && "$REPO_ROOT/target/release/experiments" "$exp" >/dev/null)
 done
 
 fail=0
-for exp in e4 e6; do
+for exp in "${GATED_EXPERIMENTS[@]}"; do
     baseline="$REPO_ROOT/BENCH_$exp.json"
     fresh="$SCRATCH/BENCH_$exp.json"
     if [[ ! -f "$baseline" ]]; then
-        echo "bench gate: no committed baseline $baseline — skipping $exp"
+        echo "bench gate: no committed baseline $baseline — skipping $exp (not a failure)"
+        continue
+    fi
+    if [[ ! -f "$fresh" ]]; then
+        echo "bench gate: quick run produced no $fresh — skipping $exp (not a failure)"
         continue
     fi
     python3 - "$baseline" "$fresh" "$THRESHOLD" "$exp" <<'PY' || fail=1
@@ -47,8 +56,12 @@ threshold = float(threshold)
 def rows(path):
     with open(path) as f:
         data = json.load(f)
+    # e4/e6 rows vary over driver threads; e7 (async service) rows vary
+    # over lane workers. Either way the third key component is the
+    # concurrency knob.
     return {
-        (r["impl"], r["mix"], r["threads"]): r["throughput_ops_per_s"]
+        (r["impl"], r["mix"], r.get("threads", r.get("workers"))):
+            r["throughput_ops_per_s"]
         for r in data["rows"]
         if r["impl"].startswith("fr-")
     }
@@ -78,8 +91,9 @@ done
 
 if [[ "${BENCH_GATE_UPDATE:-0}" == "1" ]]; then
     echo "bench gate: BENCH_GATE_UPDATE=1 — regenerating committed baselines (full sizes)"
-    (cd "$REPO_ROOT" && ./target/release/experiments e4 --full >/dev/null \
-        && ./target/release/experiments e6 --full >/dev/null)
+    for exp in "${GATED_EXPERIMENTS[@]}"; do
+        (cd "$REPO_ROOT" && ./target/release/experiments "$exp" --full >/dev/null)
+    done
 fi
 
 exit "$fail"
