@@ -9,9 +9,36 @@
 //! only ever touch the completion cell. That division is what makes
 //! the futures `Send` without weakening the handle contract.
 
-use lf_core::{FrList, SkipList};
+use std::hash::Hash;
 
-use crate::op::{Request, Response};
+use lf_core::{FrList, SkipList};
+use lf_shard::{ShardedHandle, ShardedSkipList};
+
+use crate::op::{GetWithVisitor, Request, Response};
+
+/// Drive a structure's zero-copy `get_with` with the boxed visitor a
+/// [`Request::GetWith`] carries.
+///
+/// The structure's callback is `FnOnce`, so the request visitor is
+/// threaded through an `Option`: when the key is found it runs with
+/// `Some(&value)` *inside* the structure's epoch pin; otherwise it is
+/// recovered afterwards and called with `None`, so the future's slot
+/// protocol always observes a completed visit. Returns whether the key
+/// was present.
+fn run_get_with<V>(
+    visitor: GetWithVisitor<V>,
+    lookup: impl FnOnce(Box<dyn FnOnce(&V) + '_>) -> Option<()>,
+) -> bool {
+    let mut slot = Some(visitor);
+    let found = lookup(Box::new(|val| {
+        (slot.take().expect("visitor runs at most once"))(Some(val));
+    }))
+    .is_some();
+    if let Some(v) = slot.take() {
+        v(None);
+    }
+    found
+}
 
 /// A map structure the async service can front.
 pub trait AsyncBackend: Send + Sync + 'static {
@@ -34,6 +61,16 @@ pub trait AsyncBackend: Send + Sync + 'static {
     /// Whether the structure is empty (racy-fresh).
     fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Preferred submission lane for `req` among `lanes` lanes, or
+    /// `None` to round-robin. Partitioned backends override this so a
+    /// key's requests always land on the lane affine to its partition:
+    /// one lane's worker then owns each shard's CAS traffic and the
+    /// submission rings carry no cross-lane contention.
+    fn lane_for(&self, req: &Request<Self::Key, Self::Value>, lanes: usize) -> Option<usize> {
+        let _ = (req, lanes);
+        None
     }
 }
 
@@ -82,6 +119,7 @@ where
             Request::Contains(k) => Response::Found(self.contains(&k)),
             Request::Insert(k, v) => Response::Inserted(self.insert(k, v).is_ok()),
             Request::Remove(k) => Response::Removed(self.remove(&k)),
+            Request::GetWith(k, f) => Response::Visited(run_get_with(f, |g| self.get_with(&k, g))),
             Request::Len => Response::Len(self.list().len()),
         }
     }
@@ -131,6 +169,7 @@ where
             Request::Contains(k) => Response::Found(self.contains(&k)),
             Request::Insert(k, v) => Response::Inserted(self.insert(k, v).is_ok()),
             Request::Remove(k) => Response::Removed(self.remove(&k)),
+            Request::GetWith(k, f) => Response::Visited(run_get_with(f, |g| self.get_with(&k, g))),
             Request::Len => Response::Len(self.list().len()),
         }
     }
@@ -145,5 +184,71 @@ where
 
     fn flush_reclamation(&self) {
         lf_core::SkipListHandle::flush_reclamation(self);
+    }
+}
+
+impl<K, V> AsyncBackend for ShardedSkipList<K, V>
+where
+    K: Ord + Hash + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    type Key = K;
+    type Value = V;
+    type Handle<'a>
+        = ShardedHandle<'a, K, V>
+    where
+        Self: 'a;
+
+    fn handle(&self) -> Self::Handle<'_> {
+        ShardedSkipList::handle(self)
+    }
+
+    fn len(&self) -> usize {
+        ShardedSkipList::len(self)
+    }
+
+    /// Shard affinity: every keyed request lands on the lane owning
+    /// its shard (`shard mod lanes`), so one worker serves each
+    /// shard's CAS traffic and submission rings stay cross-lane-free.
+    /// `Len` has no key and round-robins.
+    fn lane_for(&self, req: &Request<K, V>, lanes: usize) -> Option<usize> {
+        let key = match req {
+            Request::Get(k)
+            | Request::Contains(k)
+            | Request::Insert(k, _)
+            | Request::Remove(k)
+            | Request::GetWith(k, _) => k,
+            Request::Len => return None,
+        };
+        Some(self.shard_of(key) % lanes)
+    }
+}
+
+impl<K, V> BackendHandle<K, V> for ShardedHandle<'_, K, V>
+where
+    K: Ord + Hash + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn apply(&self, req: Request<K, V>) -> Response<V> {
+        match req {
+            Request::Get(k) => Response::Value(self.get(&k)),
+            Request::Contains(k) => Response::Found(self.contains(&k)),
+            Request::Insert(k, v) => Response::Inserted(self.insert(k, v).is_ok()),
+            Request::Remove(k) => Response::Removed(self.remove(&k)),
+            Request::GetWith(k, f) => Response::Visited(run_get_with(f, |g| self.get_with(&k, g))),
+            Request::Len => Response::Len(self.len()),
+        }
+    }
+
+    fn amortize_pins(&self, every: u32) {
+        ShardedHandle::amortize_pins(self, every);
+    }
+
+    fn quiesce(&self) {
+        ShardedHandle::quiesce(self);
+    }
+
+    fn flush_reclamation(&self) {
+        ShardedHandle::flush_reclamation(self);
     }
 }

@@ -55,7 +55,8 @@ mod service;
 
 pub use backend::{AsyncBackend, BackendHandle};
 pub use metrics::{ServiceMetrics, ServiceSnapshot};
-pub use op::{Error, Request, Response};
+pub use op::{Error, GetWithVisitor, Request, Response};
 pub use service::{
-    AsyncList, AsyncSkipList, BackpressurePolicy, OpFuture, Service, ServiceBuilder,
+    AsyncList, AsyncShardedMap, AsyncSkipList, BackpressurePolicy, GetWithFuture, OpFuture,
+    Service, ServiceBuilder, ShardedBuilder,
 };

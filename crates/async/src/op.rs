@@ -17,8 +17,15 @@ use std::sync::Mutex;
 use std::task::{Context, Poll, Waker};
 use std::time::Instant;
 
+/// The boxed visitor a [`Request::GetWith`] carries to the lane
+/// worker. Called exactly once with `Some(&value)` if the key is
+/// present or `None` if absent, on the worker thread, under the
+/// worker's (batch-amortized) epoch pin — never across an `.await`.
+/// Dropped uncalled only when the request itself dies unexecuted
+/// (shutdown/shed), in which case the future resolves with the error.
+pub type GetWithVisitor<V> = Box<dyn FnOnce(Option<&V>) + Send>;
+
 /// A dictionary operation submitted to the service.
-#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request<K, V> {
     /// Look up `key`, returning a clone of its value.
     Get(K),
@@ -28,9 +35,48 @@ pub enum Request<K, V> {
     Insert(K, V),
     /// Remove `key`, returning its value.
     Remove(K),
+    /// Look up `key` and run the visitor over the value **in place**
+    /// (zero-copy): no clone crosses the queue, only the visitor's own
+    /// result (parked in the future's slot).
+    GetWith(K, GetWithVisitor<V>),
     /// Number of live keys.
     Len,
 }
+
+impl<K: fmt::Debug, V> fmt::Debug for Request<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Request::Get(k) => f.debug_tuple("Get").field(k).finish(),
+            Request::Contains(k) => f.debug_tuple("Contains").field(k).finish(),
+            Request::Insert(k, _) => f.debug_tuple("Insert").field(k).field(&"..").finish(),
+            Request::Remove(k) => f.debug_tuple("Remove").field(k).finish(),
+            Request::GetWith(k, _) => f
+                .debug_tuple("GetWith")
+                .field(k)
+                .field(&"<visitor>")
+                .finish(),
+            Request::Len => f.write_str("Len"),
+        }
+    }
+}
+
+/// Structural equality; two `GetWith` requests compare by key only
+/// (closures have no identity).
+impl<K: PartialEq, V: PartialEq> PartialEq for Request<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Request::Get(a), Request::Get(b)) => a == b,
+            (Request::Contains(a), Request::Contains(b)) => a == b,
+            (Request::Insert(a, av), Request::Insert(b, bv)) => a == b && av == bv,
+            (Request::Remove(a), Request::Remove(b)) => a == b,
+            (Request::GetWith(a, _), Request::GetWith(b, _)) => a == b,
+            (Request::Len, Request::Len) => true,
+            _ => false,
+        }
+    }
+}
+
+impl<K: Eq, V: Eq> Eq for Request<K, V> {}
 
 /// The result of a successfully executed [`Request`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +89,9 @@ pub enum Response<V> {
     Inserted(bool),
     /// `Remove`: the removed value, if the key was present.
     Removed(Option<V>),
+    /// `GetWith`: whether the key was present (the visitor's result
+    /// travels through the future's slot, not the response).
+    Visited(bool),
     /// `Len`: the size estimate.
     Len(usize),
 }
@@ -56,10 +105,11 @@ impl<V> Response<V> {
         }
     }
 
-    /// The `Contains`/`Insert` boolean; `false` for other variants.
+    /// The `Contains`/`Insert`/`GetWith` boolean; `false` for other
+    /// variants.
     pub fn as_bool(&self) -> bool {
         match self {
-            Response::Found(b) | Response::Inserted(b) => *b,
+            Response::Found(b) | Response::Inserted(b) | Response::Visited(b) => *b,
             _ => false,
         }
     }

@@ -24,11 +24,12 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use lf_core::{FrList, SkipList};
+use lf_shard::ShardedSkipList;
 use lf_tagged::Backoff;
 
 use crate::backend::{AsyncBackend, BackendHandle};
 use crate::metrics::{ServiceMetrics, ServiceSnapshot};
-use crate::op::{Error, OpCell, Request, Response};
+use crate::op::{Error, GetWithVisitor, OpCell, Request, Response};
 use crate::ring::{Pop, PushError, Ring};
 
 /// What a submission does when its lane's queue is full.
@@ -138,8 +139,14 @@ impl<B: AsyncBackend> Shared<B> {
         req: Request<B::Key, B::Value>,
         cx: &mut Context<'_>,
     ) -> Submit<B::Key, B::Value> {
-        // ord: Relaxed — ASYNC.stat: round-robin ticket, no ordering needed
-        let lane_idx = self.next_lane.fetch_add(1, Ordering::Relaxed) % self.lanes.len();
+        // Affinity first: a partitioned backend pins each key's
+        // requests to the lane owning its shard; everything else
+        // round-robins.
+        let lane_idx = match self.backend.lane_for(&req, self.lanes.len()) {
+            Some(i) => i % self.lanes.len(),
+            // ord: Relaxed — ASYNC.stat: round-robin ticket, no ordering needed
+            None => self.next_lane.fetch_add(1, Ordering::Relaxed) % self.lanes.len(),
+        };
         let lane = &self.lanes[lane_idx];
         let cell = Arc::new(OpCell::new(req));
         let mut entry = Arc::clone(&cell);
@@ -375,6 +382,82 @@ impl ServiceBuilder {
     }
 }
 
+/// Builder for a service over a [`ShardedSkipList`], pairing lanes
+/// with shards.
+///
+/// Each lane worker gets an affinity set of shards (`shard mod
+/// lanes`): the backend routes every keyed request to the lane owning
+/// its shard, so a shard's CAS traffic is served by exactly one worker
+/// and the submission rings carry no cross-lane traffic. By default
+/// the shard count is the worker count rounded up to a power of two
+/// (one shard per lane).
+///
+/// ```
+/// use lf_async::ShardedBuilder;
+///
+/// let service = ShardedBuilder::new()
+///     .workers(2)
+///     .shards(4)
+///     .build::<u64, u64>();
+/// assert_eq!(service.backend().shard_count(), 4);
+/// service.shutdown();
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ShardedBuilder {
+    base: ServiceBuilder,
+    shards: Option<usize>,
+}
+
+impl ShardedBuilder {
+    /// Defaults: [`ServiceBuilder`]'s, with one shard per lane.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of lane workers (≥ 1). One submission lane per worker.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.base = self.base.workers(n);
+        self
+    }
+
+    /// Per-lane queue capacity (rounded up to a power of two, ≥ 2).
+    pub fn queue_capacity(mut self, cap: usize) -> Self {
+        self.base = self.base.queue_capacity(cap);
+        self
+    }
+
+    /// Maximum requests a worker executes per drained batch (≥ 1).
+    pub fn batch_max(mut self, n: usize) -> Self {
+        self.base = self.base.batch_max(n);
+        self
+    }
+
+    /// What submissions do when a lane is full.
+    pub fn policy(mut self, p: BackpressurePolicy) -> Self {
+        self.base = self.base.policy(p);
+        self
+    }
+
+    /// Shard count (rounded up to a power of two, ≥ 1). Defaults to
+    /// the worker count rounded up to a power of two.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = Some(n.max(1).next_power_of_two());
+        self
+    }
+
+    /// Build the sharded service and start its workers.
+    pub fn build<K, V>(self) -> AsyncShardedMap<K, V>
+    where
+        K: Ord + std::hash::Hash + Clone + Send + Sync + 'static,
+        V: Clone + Send + Sync + 'static,
+    {
+        let shards = self
+            .shards
+            .unwrap_or_else(|| self.base.workers.next_power_of_two());
+        self.base.build(ShardedSkipList::new(shards))
+    }
+}
+
 /// An async serving façade over one lock-free structure.
 ///
 /// Operations return [`OpFuture`]s that are `Send` (tasks may migrate
@@ -389,6 +472,9 @@ pub struct Service<B: AsyncBackend> {
 pub type AsyncList<K, V> = Service<FrList<K, V>>;
 /// A [`Service`] over [`SkipList`].
 pub type AsyncSkipList<K, V> = Service<SkipList<K, V>>;
+/// A [`Service`] over a [`ShardedSkipList`], lanes affine to shards;
+/// built by [`ShardedBuilder`].
+pub type AsyncShardedMap<K, V> = Service<ShardedSkipList<K, V>>;
 
 impl<B: AsyncBackend> Service<B> {
     /// Look up `key` (clone of the value).
@@ -410,6 +496,31 @@ impl<B: AsyncBackend> Service<B> {
     /// Remove `key`, resolving to the removed value.
     pub fn remove(&self, key: B::Key) -> OpFuture<B> {
         self.op(Request::Remove(key))
+    }
+
+    /// Zero-copy lookup: `f` runs over the value **in place** on the
+    /// lane worker, under the worker's batch-amortized epoch pin — the
+    /// value is never cloned across the queue, only `f`'s result comes
+    /// back. Resolves to `Ok(Some(r))` if the key was present,
+    /// `Ok(None)` if absent. No epoch guard is held across any
+    /// `.await`: the visitor runs synchronously inside the worker's
+    /// `apply`, and the future owns only the result slot.
+    pub fn get_with<R, F>(&self, key: B::Key, f: F) -> GetWithFuture<B, R>
+    where
+        R: Send + 'static,
+        F: FnOnce(&B::Value) -> R + Send + 'static,
+    {
+        let slot: Arc<Mutex<Option<R>>> = Arc::new(Mutex::new(None));
+        let out = Arc::clone(&slot);
+        let visitor: GetWithVisitor<B::Value> = Box::new(move |v| {
+            if let Some(v) = v {
+                *out.lock().unwrap_or_else(|e| e.into_inner()) = Some(f(v));
+            }
+        });
+        GetWithFuture {
+            inner: self.op(Request::GetWith(key, visitor)),
+            slot,
+        }
     }
 
     /// Submit any [`Request`].
@@ -434,6 +545,12 @@ impl<B: AsyncBackend> Service<B> {
     /// Current service metrics.
     pub fn metrics(&self) -> ServiceSnapshot {
         self.shared.metrics.snapshot()
+    }
+
+    /// The backend structure this service fronts (e.g. for a
+    /// [`ShardedSkipList`]'s per-shard snapshot).
+    pub fn backend(&self) -> &B {
+        &self.shared.backend
     }
 
     /// Shut down gracefully: stop accepting, let workers finish the
@@ -534,6 +651,41 @@ impl<B: AsyncBackend> Future for OpFuture<B> {
                 },
                 FutState::Done => panic!("OpFuture polled after completion"),
             }
+        }
+    }
+}
+
+/// A zero-copy lookup in flight; see [`Service::get_with`].
+///
+/// Wraps an [`OpFuture`] plus the slot the worker-side visitor parks
+/// its result in. Resolves to `Ok(Some(r))` when the key was present
+/// (visitor ran, produced `r`), `Ok(None)` when absent. `Send` for the
+/// same reason `OpFuture` is: no guard, no handle, no borrow — only
+/// the cell and the slot.
+pub struct GetWithFuture<B: AsyncBackend, R> {
+    inner: OpFuture<B>,
+    slot: Arc<Mutex<Option<R>>>,
+}
+
+// No self-references — pinning is structural only, as for `OpFuture`.
+impl<B: AsyncBackend, R> Unpin for GetWithFuture<B, R> {}
+
+impl<B: AsyncBackend, R> Future for GetWithFuture<B, R> {
+    type Output = Result<Option<R>, Error>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        match Pin::new(&mut this.inner).poll(cx) {
+            // The worker wrote the slot before completing the cell;
+            // the cell's Release/Acquire edge publishes it, and the
+            // mutex makes the read race-free besides.
+            Poll::Ready(Ok(_)) => Poll::Ready(Ok(this
+                .slot
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take())),
+            Poll::Ready(Err(e)) => Poll::Ready(Err(e)),
+            Poll::Pending => Poll::Pending,
         }
     }
 }

@@ -11,6 +11,7 @@ use crate::runner::RunResult;
 pub mod e10_additivity;
 pub mod e11_lock_freedom;
 pub mod e12_tower_census;
+pub mod e13_shard_scaling;
 pub mod e1_deletion_trace;
 pub mod e2_adversarial;
 pub mod e3_amortized;
@@ -21,7 +22,7 @@ pub mod e7_async_service;
 pub mod e8_flag_ablation;
 pub mod e9_cas_breakdown;
 
-/// Run one experiment by id (`"e1"` … `"e12"` or `"all"`).
+/// Run one experiment by id (`"e1"` … `"e13"` or `"all"`).
 ///
 /// Returns `false` if the id is unknown.
 pub fn dispatch(id: &str, quick: bool) -> bool {
@@ -38,9 +39,10 @@ pub fn dispatch(id: &str, quick: bool) -> bool {
         "e10" => e10_additivity::run(quick),
         "e11" => e11_lock_freedom::run(quick),
         "e12" => e12_tower_census::run(quick),
+        "e13" => e13_shard_scaling::run(quick),
         "all" => {
             for id in [
-                "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+                "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
             ] {
                 assert!(dispatch(id, quick));
                 println!();

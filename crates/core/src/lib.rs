@@ -47,5 +47,6 @@ pub mod skiplist;
 pub use list::{FrList, Iter, ListHandle, ListSet, SetHandle};
 pub use pq::{PqHandle, PriorityQueue};
 pub use skiplist::{
-    RangeIter, SkipIter, SkipList, SkipListHandle, SkipSet, SkipSetHandle, DEFAULT_MAX_LEVEL,
+    merged_range, RangeIter, SkipIter, SkipList, SkipListHandle, SkipSet, SkipSetHandle,
+    DEFAULT_MAX_LEVEL,
 };

@@ -325,9 +325,34 @@ where
         // SAFETY: `guard` pins this list's collector; the returned node
         // stays live while `guard` is held.
         let res = unsafe {
+            // ord: Release/Acquire — LIST.flag-cas: search helps flagged deletions (wrapped C&S)
             self.list
                 .search_impl(key, &guard)
                 .map(|n| (*n).element.clone().expect("user node has element"))
+        };
+        drop(guard);
+        lf_metrics::op_end(op);
+        res
+    }
+
+    /// Look up `key` and apply `f` to a borrow of its value, without
+    /// cloning (`None` if the key is absent).
+    ///
+    /// The visitor runs under this handle's epoch pin: the borrow is
+    /// valid for exactly the duration of the call, so `f` must not
+    /// stash it. Keep `f` short — the pin delays reclamation
+    /// domain-wide while it runs.
+    pub fn get_with<R>(&self, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
+        let op = lf_metrics::op_begin();
+        let guard = self.reclaim.pin();
+        // SAFETY: `guard` pins this list's collector; the node (and the
+        // borrow of its element handed to `f`) stays live while `guard`
+        // is held, which spans the visitor call.
+        let res = unsafe {
+            // ord: Release/Acquire — LIST.flag-cas: search helps flagged deletions (wrapped C&S)
+            self.list
+                .search_impl(key, &guard)
+                .map(|n| f((*n).element.as_ref().expect("user node has element")))
         };
         drop(guard);
         lf_metrics::op_end(op);
@@ -339,6 +364,7 @@ where
         let op = lf_metrics::op_begin();
         let guard = self.reclaim.pin();
         // SAFETY: `guard` pins this list's collector.
+        // ord: Release/Acquire — LIST.flag-cas: search helps flagged deletions (wrapped C&S)
         let res = unsafe { self.list.search_impl(key, &guard).is_some() };
         drop(guard);
         lf_metrics::op_end(op);

@@ -30,6 +30,7 @@ where
     {
         // SAFETY: the fn's `# Safety` contract covers the whole body.
         unsafe {
+            // ord: Release/Acquire — LIST.flag-cas: descent helps flagged deletions (wrapped C&S)
             let (prev, del) = self.search_to_level(k, 1, Mode::Lt, guard);
             if (*del).key_ref().as_key() != Some(k) {
                 return None;
@@ -48,6 +49,7 @@ where
             let value = (*del).element.clone().expect("root node has element");
             // Dismantle the now-superfluous upper nodes from top to bottom.
             if self.max_level > 2 {
+                // ord: Release/Acquire — LIST.flag-cas: cleaning search deletes superfluous towers (wrapped C&S)
                 let _ = self.search_to_level(k, 2, Mode::Le, guard);
             }
             Some(value)

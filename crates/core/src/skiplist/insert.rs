@@ -61,6 +61,7 @@ where
     ) -> Result<(), (K, V)> {
         // SAFETY: the fn's `# Safety` contract covers the whole body.
         unsafe {
+            // ord: Release/Acquire — LIST.flag-cas: descent helps flagged deletions (wrapped C&S)
             let (mut prev, mut next) = self.search_to_level(&key, 1, Mode::Le, guard);
             if (*prev).key_ref().as_key() == Some(&key) {
                 return Err((key, value));
@@ -111,6 +112,7 @@ where
                             self.delete_node(prev, new_node, guard);
                             while !(*new_node).is_marked() {
                                 let key_ref = (*root).key.as_key().expect("root has user key");
+                                // ord: Release/Acquire — LIST.flag-cas: cleaning search deletes superfluous towers (wrapped C&S)
                                 let _ = self.search_to_level(key_ref, cur_level, Mode::Le, guard);
                             }
                         }
@@ -131,6 +133,7 @@ where
                     // level; our searches delete superfluous towers, so
                     // retrying makes progress.
                     let key_ref = (*root).key.as_key().expect("root has user key");
+                    // ord: Release/Acquire — LIST.flag-cas: cleaning search deletes superfluous towers (wrapped C&S)
                     let (p, n) = self.search_to_level(key_ref, cur_level, Mode::Le, guard);
                     prev = p;
                     next = n;
@@ -159,6 +162,7 @@ where
                 new_node = upper;
 
                 let key_ref = (*root).key.as_key().expect("root has user key");
+                // ord: Release/Acquire — LIST.flag-cas: ascent repositions via helping search (wrapped C&S)
                 let (p, n) = self.search_to_level(key_ref, cur_level, Mode::Le, guard);
                 prev = p;
                 next = n;
@@ -260,6 +264,7 @@ where
                     .key_ref()
                     .as_key()
                     .expect("new node has user key");
+                // ord: Release/Acquire — LIST.flag-cas: reposition after failed CAS helps deletions (wrapped C&S)
                 let (p, n) = self.search_right(key_ref, *prev, Mode::Le, guard);
                 *prev = p;
                 *next = n;

@@ -129,6 +129,7 @@ where
                             lf_metrics::record_backlink();
                         }
                         let key_ref = (*target).key_ref().as_key().expect("target has user key");
+                        // ord: Release/Acquire — LIST.flag-cas: recovery search helps deletions (wrapped C&S)
                         let (p, d) = self.search_right(key_ref, prev, Mode::Lt, guard);
                         if d != target {
                             return (p, FlagStatus::Deleted, false);

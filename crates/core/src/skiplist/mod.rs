@@ -16,10 +16,12 @@ mod iter;
 mod level;
 mod node;
 mod range;
+mod scan;
 mod set;
 
 pub use iter::SkipIter;
 pub use range::RangeIter;
+pub use scan::merged_range;
 pub use set::{SkipSet, SkipSetHandle};
 
 pub(crate) use node::SkipNode;
@@ -120,6 +122,37 @@ where
     ///
     /// Panics if `max_level < 2`.
     pub fn with_max_level(max_level: usize) -> Self {
+        Self::build(max_level, Collector::new(), SharedPool::new())
+    }
+
+    /// Create an empty skip list that **shares** this list's epoch
+    /// domain and tower-block pool (same `max_level`).
+    ///
+    /// Siblings form one reclamation domain: a guard pinned through a
+    /// handle of any of them protects traversals of all of them, which
+    /// is what lets a cross-shard merge scan (`lf-shard`) walk every
+    /// shard under a single amortized pin. Retired towers from every
+    /// sibling are recycled through the one shared pool.
+    pub fn new_sibling(&self) -> Self {
+        Self::build(
+            self.max_level,
+            self.collector.clone(),
+            Arc::clone(&self.pool),
+        )
+    }
+
+    /// Whether `self` and `other` share one reclamation domain (i.e.
+    /// one was created as a [`new_sibling`](Self::new_sibling) of the
+    /// other, directly or transitively).
+    pub fn shares_domain_with(&self, other: &Self) -> bool {
+        self.collector.ptr_eq(&other.collector)
+    }
+
+    fn build(
+        max_level: usize,
+        collector: Collector,
+        pool: Arc<SharedPool<SkipNode<K, V>>>,
+    ) -> Self {
         assert!(max_level >= 2, "max_level must be at least 2");
         let mut heads = Vec::with_capacity(max_level);
         let mut tails = Vec::with_capacity(max_level);
@@ -148,8 +181,8 @@ where
         SkipList {
             heads,
             tails,
-            collector: Collector::new(),
-            pool: SharedPool::new(),
+            collector,
+            pool,
             len: CachePadded::new(AtomicUsize::new(0)),
             max_level,
         }
@@ -238,6 +271,7 @@ where
             let mut level = self.start_level(target_level);
             let mut curr = self.heads[level - 1];
             loop {
+                // ord: Release/Acquire — LIST.flag-cas: per-level search helps deletions (wrapped C&S)
                 let (n1, n2) = self.search_right(k, curr, mode, guard);
                 if level == target_level {
                     return (n1, n2);
@@ -262,6 +296,7 @@ where
     ) -> Option<*mut SkipNode<K, V>> {
         // SAFETY: the fn's `# Safety` contract covers the whole body.
         unsafe {
+            // ord: Release/Acquire — LIST.flag-cas: descent helps flagged deletions (wrapped C&S)
             let (curr, _) = self.search_to_level(k, 1, Mode::Le, guard);
             ((*curr).key_ref().as_key() == Some(k)).then_some(curr)
         }
@@ -474,9 +509,46 @@ where
         // SAFETY: the guard pins this list's collector; the returned
         // root stays valid while the guard lives.
         let res = unsafe {
+            // ord: Release/Acquire — LIST.flag-cas: search helps flagged deletions (wrapped C&S)
             self.list
                 .search_impl(key, &guard)
                 .map(|n| (*n).element.clone().expect("root node has element"))
+        };
+        drop(guard);
+        lf_metrics::op_end(op);
+        res
+    }
+
+    /// Look up `key` and apply `f` to a borrow of its value, without
+    /// cloning (`None` if the key is absent).
+    ///
+    /// The visitor runs under this handle's epoch pin: the borrow is
+    /// valid for exactly the duration of the call, so `f` must not
+    /// stash it. Keep `f` short — the pin delays reclamation
+    /// domain-wide while it runs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lf_core::SkipList;
+    ///
+    /// let map = SkipList::new();
+    /// let h = map.handle();
+    /// h.insert(1, "one".to_string()).unwrap();
+    /// assert_eq!(h.get_with(&1, |v| v.len()), Some(3));
+    /// assert_eq!(h.get_with(&2, |v| v.len()), None);
+    /// ```
+    pub fn get_with<R>(&self, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
+        let op = lf_metrics::op_begin();
+        let guard = self.reclaim.pin();
+        // SAFETY: the guard pins this list's collector; the root (and
+        // the borrow of its element handed to `f`) stays valid while
+        // the guard lives, which spans the visitor call.
+        let res = unsafe {
+            // ord: Release/Acquire — LIST.flag-cas: search helps flagged deletions (wrapped C&S)
+            self.list
+                .search_impl(key, &guard)
+                .map(|n| f((*n).element.as_ref().expect("root node has element")))
         };
         drop(guard);
         lf_metrics::op_end(op);
@@ -488,6 +560,7 @@ where
         let op = lf_metrics::op_begin();
         let guard = self.reclaim.pin();
         // SAFETY: the guard pins this list's collector.
+        // ord: Release/Acquire — LIST.flag-cas: search helps flagged deletions (wrapped C&S)
         let res = unsafe { self.list.search_impl(key, &guard).is_some() };
         drop(guard);
         lf_metrics::op_end(op);

@@ -47,10 +47,12 @@ where
             match &start {
                 RangeBound::Unbounded => handle.list.heads[0],
                 RangeBound::Included(k) => {
+                    // ord: Release/Acquire — LIST.flag-cas: positioning search helps deletions (wrapped C&S)
                     let (n1, _) = handle.list.search_to_level(k, 1, Mode::Lt, &guard);
                     n1
                 }
                 RangeBound::Excluded(k) => {
+                    // ord: Release/Acquire — LIST.flag-cas: positioning search helps deletions (wrapped C&S)
                     let (n1, _) = handle.list.search_to_level(k, 1, Mode::Le, &guard);
                     n1
                 }

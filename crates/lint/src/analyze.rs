@@ -96,9 +96,11 @@ pub enum BannedKind {
 /// its body — a "wrapper" that hands its callers a dereferenceable
 /// pointer while keeping the `Ordering` out of the call site. Call
 /// sites of such fns are audited like atomic sites (the wrapper's
-/// orderings are what the call inherits). Detection is one level deep:
-/// a helper that delegates to another *typed* accessor is that
-/// accessor's business.
+/// orderings are what the call inherits). Detection follows
+/// delegation: a pointer-returning helper that merely *calls* a known
+/// wrapper is itself a wrapper (see [`DelegatingFn`]) — the audit
+/// layer closes the registry over such chains to a fixpoint, so
+/// `outer -> mid -> try_flag` is audited at `outer`'s call sites too.
 #[derive(Debug, Clone)]
 pub struct WrapperFn {
     /// 1-based source line of the `fn` keyword.
@@ -107,6 +109,21 @@ pub struct WrapperFn {
     pub name: String,
     /// Union of the orderings used by the atomic sites in the body.
     pub orderings: Vec<String>,
+}
+
+/// A pointer-returning fn whose body calls one or more *registered*
+/// wrappers without performing a (new) atomic operation of its own —
+/// the multi-level case. It inherits the union of its callees'
+/// orderings; the audit layer promotes it into the wrapper registry
+/// and re-scans until no new delegators appear.
+#[derive(Debug, Clone)]
+pub struct DelegatingFn {
+    /// 1-based source line of the `fn` keyword.
+    pub line: u32,
+    /// The fn's name (registry resolution is name-based, crate-scoped).
+    pub name: String,
+    /// Names of the registered wrappers its body calls (deduped).
+    pub callees: Vec<String>,
 }
 
 /// A call site of a known [`WrapperFn`] (the caller passes the
@@ -147,6 +164,9 @@ pub struct FileScan {
     pub wrappers: Vec<WrapperFn>,
     /// Call sites of registry wrappers (only with [`scan_file_with`]).
     pub wrapper_calls: Vec<WrapperCall>,
+    /// Pointer-returning fns that delegate to registry wrappers (only
+    /// with [`scan_file_with`]; drives the audit's registry fixpoint).
+    pub delegating: Vec<DelegatingFn>,
     /// Submodule files declared under `#[cfg(test)] mod name;` —
     /// relative names (`name.rs`, `name/mod.rs`) to exclude.
     pub test_submodules: Vec<String>,
@@ -175,6 +195,15 @@ struct Scanner<'a> {
     /// Token index of each collected site's method/fence ident
     /// (parallel to `out.sites`; used for wrapper-body membership).
     site_tok_indices: Vec<usize>,
+    /// Token index of each collected wrapper call's callee ident
+    /// (parallel to `out.wrapper_calls`; used for delegation-body
+    /// membership).
+    wrapper_call_tok_indices: Vec<usize>,
+    /// Every pointer-returning fn with a body, regardless of whether
+    /// it contains atomic sites: (name, line, body `{` tok, body `}`
+    /// tok). Delegation detection re-checks these against the wrapper
+    /// calls collected later.
+    ptr_fn_spans: Vec<(String, u32, usize, usize)>,
     /// Token-index ranges excluded as test-only code.
     excluded: Vec<(usize, usize)>,
     /// Token-index ranges covered by `#[...]` / `#![...]` attributes.
@@ -197,6 +226,8 @@ impl<'a> Scanner<'a> {
             comments: &lexed.comments,
             wrapper_names,
             site_tok_indices: Vec::new(),
+            wrapper_call_tok_indices: Vec::new(),
+            ptr_fn_spans: Vec::new(),
             excluded: Vec::new(),
             attr_spans: Vec::new(),
             code_lines: BTreeSet::new(),
@@ -215,6 +246,7 @@ impl<'a> Scanner<'a> {
         self.collect_atomic_sites();
         self.collect_wrappers();
         self.collect_wrapper_calls();
+        self.collect_delegating();
         self.collect_unsafe();
         self.collect_banned();
         self.out
@@ -666,6 +698,8 @@ impl<'a> Scanner<'a> {
                     }
                 }
             }
+            self.ptr_fn_spans
+                .push((name.clone(), self.toks[i].line, k, end));
             if !orderings.is_empty() {
                 self.out.wrappers.push(WrapperFn {
                     line: self.toks[i].line,
@@ -717,11 +751,43 @@ impl<'a> Scanner<'a> {
             if let Some(ai) = annotation {
                 self.out.annotations[ai].attached = true;
             }
+            self.wrapper_call_tok_indices.push(i);
             self.out.wrapper_calls.push(WrapperCall {
                 line: start_line,
                 callee: name,
                 annotation,
             });
+        }
+    }
+
+    /// Pointer-returning fns whose bodies call registered wrappers are
+    /// themselves wrappers-by-delegation: the dereferenceable pointer
+    /// they hand out was produced under the callee's orderings. Runs
+    /// after `collect_wrapper_calls` so membership is a token-range
+    /// check of the recorded call sites against the fn spans noted by
+    /// `collect_wrappers`. Self-recursive calls are ignored — they add
+    /// no orderings the fn does not already own.
+    fn collect_delegating(&mut self) {
+        if self.wrapper_names.is_empty() {
+            return;
+        }
+        for (name, line, k, end) in &self.ptr_fn_spans {
+            let mut callees: Vec<String> = Vec::new();
+            for (ci, &tok) in self.wrapper_call_tok_indices.iter().enumerate() {
+                if tok > *k && tok < *end {
+                    let callee = &self.out.wrapper_calls[ci].callee;
+                    if callee != name && !callees.contains(callee) {
+                        callees.push(callee.clone());
+                    }
+                }
+            }
+            if !callees.is_empty() {
+                self.out.delegating.push(DelegatingFn {
+                    line: *line,
+                    name: name.clone(),
+                    callees,
+                });
+            }
         }
     }
 

@@ -163,21 +163,54 @@ pub fn run_audit(files: &WorkspaceFiles) -> Result<Audit, String> {
         }
     }
 
-    // Pass 2: re-scan with each crate's wrapper names so call sites
-    // are collected and their annotations attached. Crates with no
-    // wrappers keep their pass-1 scan.
-    let mut scans: Vec<(String, String, FileScan)> = Vec::new();
-    for (scan, (krate, rel, text)) in pass1.into_iter().zip(&sources) {
-        let names: BTreeSet<String> = registry
-            .get(krate)
-            .map(|m| m.keys().cloned().collect())
-            .unwrap_or_default();
-        let scan = if names.is_empty() {
-            scan
-        } else {
-            scan_file_with(text, &names)
-        };
-        scans.push((krate.clone(), rel.clone(), scan));
+    // Pass 2, run to a fixpoint: re-scan with each crate's wrapper
+    // names so call sites are collected and their annotations
+    // attached. A sweep may expose *delegating* wrappers —
+    // pointer-returning fns whose bodies call a registered wrapper —
+    // which join the registry with the union of their callees'
+    // orderings, and the sweep repeats so the delegators' own call
+    // sites are audited too (`outer -> mid -> try_flag` is caught at
+    // `outer`). The registry only ever grows, so this terminates.
+    // Crates with no wrappers keep their pass-1 scan.
+    let mut scans: Vec<(String, String, FileScan)> = pass1
+        .into_iter()
+        .zip(&sources)
+        .map(|(scan, (krate, rel, _))| (krate.clone(), rel.clone(), scan))
+        .collect();
+    loop {
+        for (i, (krate, rel, text)) in sources.iter().enumerate() {
+            let names: BTreeSet<String> = registry
+                .get(krate)
+                .map(|m| m.keys().cloned().collect())
+                .unwrap_or_default();
+            if !names.is_empty() {
+                scans[i] = (krate.clone(), rel.clone(), scan_file_with(text, &names));
+            }
+        }
+        let mut grew = false;
+        for (krate, rel, scan) in &scans {
+            if test_files.contains(rel) {
+                continue;
+            }
+            for d in &scan.delegating {
+                let crate_reg = registry.entry(krate.clone()).or_default();
+                let inherited: Vec<String> = d
+                    .callees
+                    .iter()
+                    .flat_map(|c| crate_reg.get(c).cloned().unwrap_or_default())
+                    .collect();
+                let entry = crate_reg.entry(d.name.clone()).or_default();
+                for o in inherited {
+                    if !entry.contains(&o) {
+                        entry.push(o);
+                        grew = true;
+                    }
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
     }
     audit.wrapper_fns = registry.values().map(|m| m.len()).sum();
 

@@ -131,6 +131,98 @@ fn seeded_wrapper_call_with_wrong_ordering_is_caught() {
 }
 
 #[test]
+fn seeded_two_level_delegation_is_caught() {
+    // The multi-level case: `seeded_inner` is a direct wrapper (atomic
+    // load, pointer out), `seeded_mid` merely *delegates* to it — no
+    // atomic of its own — and `seeded_outer` calls the delegator bare.
+    // The registry fixpoint must promote `seeded_mid` and flag the
+    // outer call site.
+    let src = read(HOT_FILE)
+        + "\npub(crate) fn seeded_inner<K: Ord, V>(n: &Node<K, V>) -> *mut Node<K, V> {\n\
+           // ord: Acquire — LIST.backlink-walk: predecessor is dereferenced\n\
+           n.backlink.load(Ordering::Acquire)\n\
+           }\n\
+           pub(crate) fn seeded_mid<K: Ord, V>(n: &Node<K, V>) -> *mut Node<K, V> {\n\
+           // ord: Acquire — LIST.backlink-walk: delegated walk (wrapped load)\n\
+           seeded_inner(n)\n\
+           }\n\
+           pub(crate) fn seeded_outer<K: Ord, V>(n: &Node<K, V>) -> bool {\n\
+           seeded_mid(n).is_null()\n\
+           }\n";
+    let mut files = WorkspaceFiles::new(&root());
+    files.override_file(HOT_FILE, src);
+    let audit = run_audit(&files).expect("audit runs");
+    assert!(
+        audit
+            .findings
+            .iter()
+            .any(|f| f.check == "wrapper-unannotated"
+                && f.file == HOT_FILE
+                && f.message.contains("seeded_mid")),
+        "bare call to a delegating wrapper must be flagged, got: {:#?}",
+        audit.findings
+    );
+}
+
+#[test]
+fn seeded_two_level_delegation_with_annotations_passes() {
+    // Same chain, every hop annotated with the ordering the innermost
+    // wrapper hides: audits clean, proving the delegator inherits its
+    // callee's orderings (an annotation claiming Acquire satisfies the
+    // Acquire the chain bottoms out in).
+    let src = read(HOT_FILE)
+        + "\npub(crate) fn seeded_inner<K: Ord, V>(n: &Node<K, V>) -> *mut Node<K, V> {\n\
+           // ord: Acquire — LIST.backlink-walk: predecessor is dereferenced\n\
+           n.backlink.load(Ordering::Acquire)\n\
+           }\n\
+           pub(crate) fn seeded_mid<K: Ord, V>(n: &Node<K, V>) -> *mut Node<K, V> {\n\
+           // ord: Acquire — LIST.backlink-walk: delegated walk (wrapped load)\n\
+           seeded_inner(n)\n\
+           }\n\
+           pub(crate) fn seeded_outer<K: Ord, V>(n: &Node<K, V>) -> bool {\n\
+           // ord: Acquire — LIST.backlink-walk: two-level delegated walk\n\
+           seeded_mid(n).is_null()\n\
+           }\n";
+    let mut files = WorkspaceFiles::new(&root());
+    files.override_file(HOT_FILE, src);
+    let audit = run_audit(&files).expect("audit runs");
+    assert!(
+        audit.findings.is_empty(),
+        "fully annotated delegation chain must audit clean, got: {:#?}",
+        audit.findings
+    );
+}
+
+#[test]
+fn stripping_a_search_call_annotation_fails_the_audit() {
+    // The delegation fixpoint is live on the checked-in tree: the
+    // paper's `SearchToLevel_SL` delegates (via `search_right`) to the
+    // flagging C&S wrapper, so its call sites carry annotations —
+    // removing one fails the audit.
+    let rel = "crates/core/src/skiplist/insert.rs";
+    let src = read(rel);
+    let line =
+        "// ord: Release/Acquire — LIST.flag-cas: descent helps flagged deletions (wrapped C&S)";
+    assert!(src.contains(line), "expected call-site annotation in {rel}");
+    let perturbed = src.replacen(line, "// (annotation removed)", 1);
+
+    let mut files = WorkspaceFiles::new(&root());
+    files.override_file(rel, perturbed);
+    let audit = run_audit(&files).expect("audit runs");
+    assert!(
+        audit
+            .findings
+            .iter()
+            .any(|f| f.check == "wrapper-unannotated"
+                && f.file == rel
+                && f.message.contains("search_to_level")),
+        "stripping a delegated-search call annotation must produce a \
+         wrapper-unannotated finding, got: {:#?}",
+        audit.findings
+    );
+}
+
+#[test]
 fn stripping_a_backlink_call_annotation_fails_the_audit() {
     // The real wrapper check is live on the checked-in tree: the
     // recovery walks' `backlink()` calls carry annotations, and

@@ -429,6 +429,66 @@ pub fn record_op() {
     with_local(|l| Shard::bump(&l.ops));
 }
 
+/// Snapshot of the calling thread's step counters, for callers that
+/// want to attribute work to a finer bucket than the thread itself —
+/// e.g. `lf-shard` differences two snapshots around an operation to
+/// credit the hops and CAS retries to the shard that served it.
+///
+/// Values are cumulative since the thread registered (or since its
+/// last [`flush_local`]); use [`LocalSteps::delta_since`] to bracket
+/// an operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LocalSteps {
+    /// Failed C&S attempts of any [`CasType`].
+    pub cas_failures: u64,
+    /// Backlink hops during predecessor recovery.
+    pub backlink_traversals: u64,
+    /// `next`-pointer re-reads after helping a deletion.
+    pub next_updates: u64,
+    /// Forward traversal steps (`curr` advances), the search-hop count.
+    pub curr_updates: u64,
+}
+
+impl LocalSteps {
+    /// Counter-wise difference `self - earlier`, saturating at zero
+    /// (a same-thread [`flush_local`] between the two snapshots can
+    /// zero the counters mid-bracket; the clipped op is credited as
+    /// free rather than astronomically expensive).
+    #[must_use]
+    pub fn delta_since(self, earlier: LocalSteps) -> LocalSteps {
+        LocalSteps {
+            cas_failures: self.cas_failures.saturating_sub(earlier.cas_failures),
+            backlink_traversals: self
+                .backlink_traversals
+                .saturating_sub(earlier.backlink_traversals),
+            next_updates: self.next_updates.saturating_sub(earlier.next_updates),
+            curr_updates: self.curr_updates.saturating_sub(earlier.curr_updates),
+        }
+    }
+}
+
+/// Read the calling thread's cumulative step counters.
+///
+/// Owner-thread reads of single-writer cells — exact, not racy.
+/// Returns zeroes during thread teardown (after the thread-local shard
+/// is gone), matching the recording functions' no-op behavior there.
+#[must_use]
+pub fn local_steps() -> LocalSteps {
+    let mut s = LocalSteps::default();
+    with_local(|l| {
+        s = LocalSteps {
+            cas_failures: l.cas_failures(),
+            // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
+            backlink_traversals: l.backlink_traversals.load(Ordering::Relaxed),
+            // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
+            next_updates: l.next_updates.load(Ordering::Relaxed),
+            // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
+            curr_updates: l.curr_updates.load(Ordering::Relaxed),
+        };
+    });
+    s
+}
+
 /// Latency is clocked on one op in this many (power of two, checked
 /// via a per-thread sequence number): even the TSC costs ~15 ns per
 /// read under a hypervisor, and two reads on every ~500 ns list

@@ -118,6 +118,20 @@ pub struct Collector {
     inner: Arc<CollectorInner>,
 }
 
+impl Clone for Collector {
+    /// Another handle to the **same** reclamation domain (not a new
+    /// domain): clones share the epoch, registry, and deferred bags.
+    /// Structures that traverse each other's nodes under one guard —
+    /// e.g. the shards of `lf-shard` — clone one collector so a single
+    /// pin covers them all. Bags fire when the last clone and the last
+    /// [`LocalHandle`] are gone.
+    fn clone(&self) -> Self {
+        Collector {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
 impl fmt::Debug for Collector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Collector")
@@ -143,6 +157,16 @@ impl Collector {
                 orphans: Mutex::new(Vec::new()),
             }),
         }
+    }
+
+    /// Whether `self` and `other` are handles to the same domain.
+    ///
+    /// A guard obtained from a handle of one collector protects nodes
+    /// of every structure whose collector is `ptr_eq` to it; callers
+    /// that traverse several structures under one pin (cross-shard
+    /// scans) assert this before trusting the guard.
+    pub fn ptr_eq(&self, other: &Collector) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 
     /// Register the current thread, returning its handle.

@@ -1,0 +1,525 @@
+//! `lf-shard`: a hash-partitioned lock-free dictionary.
+//!
+//! Routes each key to one of `P` independent Fomitchev–Ruppert
+//! [`SkipList`]s (`P` a power of two). Under write-heavy load a single
+//! skip list funnels every operation through one head tower, so the
+//! paper's `O(n(S) + c(S))` amortized bound is dominated by the
+//! contention term `c(S)` at the shared entry point; partitioning
+//! makes `c(S)` a *per-shard* quantity while each shard keeps the
+//! paper's semantics and proofs unchanged.
+//!
+//! The shards are siblings ([`SkipList::new_sibling`]): they share one
+//! epoch-reclamation domain and one tower-node pool, so a single pin
+//! covers traversals of all of them. That is what makes the ordered
+//! cross-shard [`range`](ShardedHandle::range) scan — a k-way merge of
+//! per-shard level-1 traversals — possible under **one** amortized
+//! epoch pin per scan, with each per-shard cursor helping physical
+//! deletion exactly as a paper search does.
+//!
+//! Per-shard telemetry (`ops`, search hops, CAS retries, occupancy) is
+//! re-bucketed from the thread-sharded `lf-metrics` counters by
+//! differencing them around each routed operation; see
+//! [`ShardedSkipList::snapshot`].
+//!
+//! # Examples
+//!
+//! ```
+//! use lf_shard::ShardedSkipList;
+//!
+//! let map: ShardedSkipList<u64, &str> = ShardedSkipList::new(8);
+//! let h = map.handle();
+//! assert!(h.insert(1, "one").is_ok());
+//! assert!(h.insert(2, "two").is_ok());
+//! assert_eq!(h.get(&1), Some("one"));
+//! assert_eq!(h.get_with(&2, |v| v.len()), Some(3));
+//!
+//! // Ordered scan across every shard, zero-copy.
+//! let mut keys = Vec::new();
+//! h.range(.., |k, _v| {
+//!     keys.push(*k);
+//!     true
+//! });
+//! assert_eq!(keys, vec![1, 2]);
+//!
+//! assert_eq!(h.remove(&1), Some("one"));
+//! assert_eq!(map.len(), 1);
+//! ```
+
+mod metrics;
+mod router;
+
+pub use metrics::{ShardSnapshot, ShardedSnapshot};
+
+use std::fmt;
+use std::hash::Hash;
+use std::ops::RangeBounds;
+
+use lf_core::skiplist::{merged_range, SkipList, SkipListHandle};
+use lf_tagged::CachePadded;
+
+use metrics::ShardStats;
+
+/// Default shard count: enough to split head-tower contention across a
+/// typical benchmark machine's cores without diluting per-shard
+/// occupancy at small map sizes.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// A hash-partitioned dictionary over `P` sibling [`SkipList`]s.
+///
+/// Obtain a per-thread [`ShardedHandle`] with
+/// [`handle`](ShardedSkipList::handle) and operate through it; the
+/// convenience methods on the map itself register a fresh handle per
+/// call. See the [crate docs](crate) for the partitioning rationale
+/// and the scan's consistency contract.
+pub struct ShardedSkipList<K, V>
+where
+    K: Ord + Hash + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
+    /// The partitions. Each is `CachePadded` so one shard's hot head
+    /// tower and length counter never share a line with its neighbor.
+    shards: Box<[CachePadded<SkipList<K, V>>]>,
+    /// Per-shard statistics, parallel to `shards`.
+    stats: Box<[CachePadded<ShardStats>]>,
+    /// Shard count − 1 (shard count is a power of two).
+    mask: usize,
+}
+
+impl<K, V> ShardedSkipList<K, V>
+where
+    K: Ord + Hash + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
+    /// A map with `shards` partitions (power of two) at the default
+    /// per-shard level budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or not a power of two.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        Self::build(shards, None)
+    }
+
+    /// A map with `shards` partitions whose skip lists use
+    /// `max_level` levels; see [`SkipList::with_max_level`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or not a power of two, or if
+    /// `max_level < 2`.
+    #[must_use]
+    pub fn with_max_level(shards: usize, max_level: usize) -> Self {
+        Self::build(shards, Some(max_level))
+    }
+
+    fn build(shards: usize, max_level: Option<usize>) -> Self {
+        assert!(
+            shards.is_power_of_two(),
+            "shard count must be a nonzero power of two, got {shards}"
+        );
+        let first = match max_level {
+            Some(ml) => SkipList::with_max_level(ml),
+            None => SkipList::new(),
+        };
+        let mut vec = Vec::with_capacity(shards);
+        for _ in 1..shards {
+            vec.push(CachePadded::new(first.new_sibling()));
+        }
+        vec.insert(0, CachePadded::new(first));
+        let stats = (0..shards)
+            .map(|_| CachePadded::new(ShardStats::new()))
+            .collect();
+        ShardedSkipList {
+            shards: vec.into_boxed_slice(),
+            stats,
+            mask: shards - 1,
+        }
+    }
+
+    /// Number of partitions.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// The shard index `key` routes to — stable for the map's lifetime
+    /// and across maps with the same shard count.
+    #[must_use]
+    pub fn shard_of(&self, key: &K) -> usize {
+        router::shard_of(key, self.mask)
+    }
+
+    /// Register a per-thread handle (one [`SkipListHandle`] per shard,
+    /// all in the shared reclamation domain).
+    #[must_use]
+    pub fn handle(&self) -> ShardedHandle<'_, K, V> {
+        ShardedHandle {
+            map: self,
+            handles: self.shards.iter().map(|s| s.handle()).collect(),
+        }
+    }
+
+    /// Total number of keys, summed across shards (each shard's count
+    /// is maintained as in [`SkipList::len`]; the sum is racy-fresh
+    /// under concurrency).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether every shard is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.is_empty())
+    }
+
+    /// Per-shard statistics plus occupancy; see [`ShardedSnapshot`].
+    #[must_use]
+    pub fn snapshot(&self) -> ShardedSnapshot {
+        ShardedSnapshot {
+            per_shard: self
+                .stats
+                .iter()
+                .zip(self.shards.iter())
+                .map(|(st, sh)| st.snapshot(sh.len()))
+                .collect(),
+        }
+    }
+
+    /// Insert through a temporary handle. See [`ShardedHandle::insert`].
+    pub fn insert(&self, key: K, value: V) -> Result<(), (K, V)> {
+        self.handle().insert(key, value)
+    }
+
+    /// Remove through a temporary handle. See [`ShardedHandle::remove`].
+    pub fn remove(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.handle().remove(key)
+    }
+
+    /// Lookup through a temporary handle. See [`ShardedHandle::get`].
+    pub fn get(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.handle().get(key)
+    }
+
+    /// Membership test through a temporary handle.
+    pub fn contains(&self, key: &K) -> bool {
+        self.handle().contains(key)
+    }
+
+    /// Validate every shard's structural invariants; quiescent only.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a description) if any shard's invariant is
+    /// violated.
+    pub fn validate_quiescent(&self) {
+        for s in self.shards.iter() {
+            s.validate_quiescent();
+        }
+    }
+}
+
+impl<K, V> Default for ShardedSkipList<K, V>
+where
+    K: Ord + Hash + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
+    fn default() -> Self {
+        Self::new(DEFAULT_SHARDS)
+    }
+}
+
+impl<K, V> fmt::Debug for ShardedSkipList<K, V>
+where
+    K: Ord + Hash + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedSkipList")
+            .field("shards", &self.shard_count())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// A registered per-thread handle to a [`ShardedSkipList`].
+///
+/// Owns one [`SkipListHandle`] per shard; every operation routes the
+/// key to its shard's handle, and the step counters are differenced
+/// around the call to credit the work to that shard (see
+/// [`ShardedSkipList::snapshot`]).
+pub struct ShardedHandle<'s, K, V>
+where
+    K: Ord + Hash + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
+    map: &'s ShardedSkipList<K, V>,
+    handles: Box<[SkipListHandle<'s, K, V>]>,
+}
+
+impl<'s, K, V> ShardedHandle<'s, K, V>
+where
+    K: Ord + Hash + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
+    #[inline]
+    fn route(&self, key: &K) -> usize {
+        router::shard_of(key, self.map.mask)
+    }
+
+    /// Insert `(key, value)` into the key's shard. Returns the
+    /// rejected pair if `key` is already present.
+    pub fn insert(&self, key: K, value: V) -> Result<(), (K, V)> {
+        let i = self.route(&key);
+        let before = lf_metrics::local_steps();
+        let res = self.handles[i].insert(key, value);
+        self.map.stats[i].record(lf_metrics::local_steps().delta_since(before));
+        res
+    }
+
+    /// Remove `key` from its shard, returning its value.
+    pub fn remove(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        let i = self.route(key);
+        let before = lf_metrics::local_steps();
+        let res = self.handles[i].remove(key);
+        self.map.stats[i].record(lf_metrics::local_steps().delta_since(before));
+        res
+    }
+
+    /// Look up `key` in its shard, returning a clone of its value.
+    pub fn get(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        let i = self.route(key);
+        let before = lf_metrics::local_steps();
+        let res = self.handles[i].get(key);
+        self.map.stats[i].record(lf_metrics::local_steps().delta_since(before));
+        res
+    }
+
+    /// Zero-copy lookup: run `f` over the value in place (under the
+    /// shard's epoch pin) instead of cloning it out. See
+    /// [`SkipListHandle::get_with`].
+    pub fn get_with<R>(&self, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
+        let i = self.route(key);
+        let before = lf_metrics::local_steps();
+        let res = self.handles[i].get_with(key, f);
+        self.map.stats[i].record(lf_metrics::local_steps().delta_since(before));
+        res
+    }
+
+    /// Whether `key` is present in its shard.
+    pub fn contains(&self, key: &K) -> bool {
+        let i = self.route(key);
+        let before = lf_metrics::local_steps();
+        let res = self.handles[i].contains(key);
+        self.map.stats[i].record(lf_metrics::local_steps().delta_since(before));
+        res
+    }
+
+    /// Ordered scan over the union of all shards: calls
+    /// `visitor(key, value)` for each pair of the range in strictly
+    /// ascending key order and returns the number of pairs visited
+    /// (the visitor returns `false` to stop early).
+    ///
+    /// Implemented as a k-way merge of per-shard level-1 traversals
+    /// under a single amortized epoch pin
+    /// ([`merged_range`]); each cursor helps
+    /// physical deletion as a paper search does. **No atomic snapshot
+    /// across (or within) shards**: keys present for the scan's whole
+    /// duration appear exactly once, keys absent throughout never
+    /// appear, and concurrent insertions/deletions may or may not be
+    /// observed. Scan work is not attributed to per-shard statistics.
+    pub fn range<R, F>(&self, range: R, visitor: F) -> usize
+    where
+        R: RangeBounds<K>,
+        F: FnMut(&K, &V) -> bool,
+    {
+        let refs: Vec<&SkipListHandle<'_, K, V>> = self.handles.iter().collect();
+        merged_range(&refs, range.start_bound(), range.end_bound(), visitor)
+    }
+
+    /// Total number of keys, summed across shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether every shard is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The map this handle operates on.
+    #[must_use]
+    pub fn map(&self) -> &'s ShardedSkipList<K, V> {
+        self.map
+    }
+
+    /// Announce a quiescent point on every shard handle; see
+    /// [`SkipListHandle::quiesce`].
+    pub fn quiesce(&self) {
+        for h in self.handles.iter() {
+            h.quiesce();
+        }
+    }
+
+    /// Drain deferred reclamation on every shard handle; see
+    /// [`SkipListHandle::flush_reclamation`].
+    pub fn flush_reclamation(&self) {
+        for h in self.handles.iter() {
+            h.flush_reclamation();
+        }
+    }
+
+    /// Set pin amortization on every shard handle; see
+    /// [`SkipListHandle::amortize_pins`]. Note the counter is
+    /// per-shard-handle: with `P` shards a routed workload advances
+    /// each counter `P`× slower, so epoch announcements are up to
+    /// `P × every` operations apart.
+    pub fn amortize_pins(&self, every: u32) {
+        for h in self.handles.iter() {
+            h.amortize_pins(every);
+        }
+    }
+}
+
+impl<K, V> fmt::Debug for ShardedHandle<'_, K, V>
+where
+    K: Ord + Hash + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedHandle")
+            .field("shards", &self.handles.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_share_one_domain() {
+        let map: ShardedSkipList<u64, u64> = ShardedSkipList::new(4);
+        for w in map.shards.windows(2) {
+            assert!(w[0].shares_domain_with(&w[1]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn zero_shards_rejected() {
+        let _ = ShardedSkipList::<u64, u64>::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = ShardedSkipList::<u64, u64>::new(6);
+    }
+
+    #[test]
+    fn point_ops_route_consistently() {
+        let map: ShardedSkipList<u64, u64> = ShardedSkipList::new(8);
+        let h = map.handle();
+        for k in 0..500u64 {
+            assert!(h.insert(k, k * 10).is_ok());
+        }
+        assert_eq!(map.len(), 500);
+        for k in 0..500u64 {
+            assert_eq!(h.get(&k), Some(k * 10));
+            assert!(h.contains(&k));
+            assert_eq!(h.get_with(&k, |v| v + 1), Some(k * 10 + 1));
+        }
+        assert!(h.insert(7, 0).is_err());
+        for k in 0..500u64 {
+            assert_eq!(h.remove(&k), Some(k * 10));
+        }
+        assert!(map.is_empty());
+        map.validate_quiescent();
+    }
+
+    #[test]
+    fn range_is_sorted_and_complete() {
+        let map: ShardedSkipList<u64, u64> = ShardedSkipList::new(8);
+        let h = map.handle();
+        for k in 0..300u64 {
+            assert!(h.insert(k, k).is_ok());
+        }
+        let mut seen = Vec::new();
+        let n = h.range(10..=20, |k, v| {
+            assert_eq!(k, v);
+            seen.push(*k);
+            true
+        });
+        assert_eq!(n, 11);
+        assert_eq!(seen, (10..=20).collect::<Vec<_>>());
+
+        // Unbounded scan covers everything, in order, exactly once.
+        let mut all = Vec::new();
+        h.range(.., |k, _| {
+            all.push(*k);
+            true
+        });
+        assert_eq!(all, (0..300).collect::<Vec<_>>());
+
+        // Early stop.
+        let mut count = 0;
+        let n = h.range(.., |_, _| {
+            count += 1;
+            count < 5
+        });
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn snapshot_attributes_ops_to_shards() {
+        let map: ShardedSkipList<u64, u64> = ShardedSkipList::new(4);
+        let h = map.handle();
+        for k in 0..400u64 {
+            assert!(h.insert(k, k).is_ok());
+        }
+        let snap = map.snapshot();
+        assert_eq!(snap.per_shard.len(), 4);
+        let merged = snap.merged();
+        assert_eq!(merged.ops, 400);
+        assert_eq!(merged.occupancy, 400);
+        // Sequential keys must spread: no shard may own >60% of ops.
+        assert!(snap.max_ops_share() < 0.6, "{:?}", snap);
+        // Every op routed to shard i bumped shard i's count only.
+        for (i, s) in snap.per_shard.iter().enumerate() {
+            assert_eq!(s.ops as usize, s.occupancy, "shard {i}");
+        }
+    }
+
+    #[test]
+    fn single_shard_degenerates_to_plain_list() {
+        let map: ShardedSkipList<u64, u64> = ShardedSkipList::new(1);
+        let h = map.handle();
+        for k in (0..100u64).rev() {
+            assert!(h.insert(k, k).is_ok());
+        }
+        let mut seen = Vec::new();
+        h.range(.., |k, _| {
+            seen.push(*k);
+            true
+        });
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+        let snap = map.snapshot();
+        assert_eq!(snap.per_shard[0].ops, 100);
+    }
+}

@@ -1,0 +1,120 @@
+//! Per-shard telemetry: operation counts plus hop / CAS-retry
+//! histograms, attributed by differencing the thread's `lf-metrics`
+//! step counters around each routed operation.
+//!
+//! `lf-metrics` shards its counters by *thread*; this module re-buckets
+//! the same steps by *data shard* so `e13` can show where traversal
+//! work and contention actually land as `P` grows.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lf_metrics::{AtomicHistogram, Histogram, LocalSteps};
+
+/// One shard's shared statistics cell. Multi-writer (every handle that
+/// routes an op to the shard records here), hence `fetch_add` and the
+/// multi-writer [`AtomicHistogram::record`] path.
+pub(crate) struct ShardStats {
+    ops: AtomicU64,
+    hops: AtomicHistogram,
+    cas_retries: AtomicHistogram,
+}
+
+impl ShardStats {
+    pub(crate) fn new() -> Self {
+        ShardStats {
+            ops: AtomicU64::new(0),
+            hops: AtomicHistogram::new(),
+            cas_retries: AtomicHistogram::new(),
+        }
+    }
+
+    /// Credit one routed operation's step delta to this shard.
+    #[inline]
+    pub(crate) fn record(&self, delta: LocalSteps) {
+        // ord: Relaxed — SHARD.stat: per-shard statistic counter, snapshots racy-fresh
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        self.hops.record(delta.curr_updates);
+        self.cas_retries.record(delta.cas_failures);
+    }
+
+    pub(crate) fn snapshot(&self, occupancy: usize) -> ShardSnapshot {
+        ShardSnapshot {
+            // ord: Relaxed — SHARD.stat: per-shard statistic counter, snapshots racy-fresh
+            ops: self.ops.load(Ordering::Relaxed),
+            occupancy,
+            hops: self.hops.load(),
+            cas_retries: self.cas_retries.load(),
+        }
+    }
+}
+
+/// Point-in-time statistics of one shard (or, merged, of the whole
+/// map): racy-fresh while writers run, exact once they are joined.
+#[derive(Clone)]
+pub struct ShardSnapshot {
+    /// Operations routed to this shard since creation.
+    pub ops: u64,
+    /// Keys resident in the shard when the snapshot was taken.
+    pub occupancy: usize,
+    /// Search hops (`curr` advances) per routed operation.
+    pub hops: Histogram,
+    /// Failed C&S attempts per routed operation.
+    pub cas_retries: Histogram,
+}
+
+impl fmt::Debug for ShardSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardSnapshot")
+            .field("ops", &self.ops)
+            .field("occupancy", &self.occupancy)
+            .field("hops_p50", &self.hops.p50())
+            .field("cas_retries_p99", &self.cas_retries.p99())
+            .finish()
+    }
+}
+
+/// Statistics of every shard of a
+/// [`ShardedSkipList`](crate::ShardedSkipList), one entry per shard in
+/// index order.
+#[derive(Clone, Debug)]
+pub struct ShardedSnapshot {
+    /// Per-shard snapshots, indexed by shard.
+    pub per_shard: Vec<ShardSnapshot>,
+}
+
+impl ShardedSnapshot {
+    /// Fold all shards into one map-wide snapshot: counts and
+    /// occupancies sum, histograms merge.
+    #[must_use]
+    pub fn merged(&self) -> ShardSnapshot {
+        let mut ops = 0u64;
+        let mut occupancy = 0usize;
+        let mut hops = Histogram::new();
+        let mut cas_retries = Histogram::new();
+        for s in &self.per_shard {
+            ops += s.ops;
+            occupancy += s.occupancy;
+            hops.merge(&s.hops);
+            cas_retries.merge(&s.cas_retries);
+        }
+        ShardSnapshot {
+            ops,
+            occupancy,
+            hops,
+            cas_retries,
+        }
+    }
+
+    /// Largest per-shard share of total routed ops, in `[1/P, 1.0]` —
+    /// a quick balance check (1/P is perfectly even).
+    #[must_use]
+    pub fn max_ops_share(&self) -> f64 {
+        let total: u64 = self.per_shard.iter().map(|s| s.ops).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let max = self.per_shard.iter().map(|s| s.ops).max().unwrap_or(0);
+        max as f64 / total as f64
+    }
+}

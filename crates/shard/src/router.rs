@@ -1,0 +1,62 @@
+//! Key → shard routing.
+//!
+//! Every key deterministically maps to exactly one shard, which is the
+//! invariant the ordered cross-shard scan relies on for strict output
+//! monotonicity (a key can surface from at most one per-shard cursor).
+//!
+//! The router hashes with the standard library's SipHash-1-3
+//! ([`DefaultHasher`]) under its default (zero) keys, so routing is
+//! deterministic within a process *and* across processes — benchmark
+//! runs and their baselines partition identically. HashDoS resistance
+//! is deliberately traded away: shard choice only spreads contention,
+//! it is not a security boundary (a colliding workload degrades to the
+//! single-list cost we started from, nothing worse).
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Route `key` to a shard index in `0..=mask` (`mask` = shard count −
+/// 1, shard count a power of two).
+///
+/// The high half of the 64-bit hash is folded into the low half before
+/// masking so small shard counts still consume all of SipHash's
+/// diffusion.
+#[inline]
+pub(crate) fn shard_of<K: Hash + ?Sized>(key: &K, mask: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    let x = h.finish();
+    ((x ^ (x >> 32)) as usize) & mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::shard_of;
+
+    #[test]
+    fn routing_is_deterministic() {
+        for k in 0u64..1000 {
+            assert_eq!(shard_of(&k, 7), shard_of(&k, 7));
+        }
+    }
+
+    #[test]
+    fn routing_respects_mask() {
+        for k in 0u64..1000 {
+            assert!(shard_of(&k, 3) < 4);
+            assert_eq!(shard_of(&k, 0), 0);
+        }
+    }
+
+    #[test]
+    fn routing_spreads_sequential_keys() {
+        // Sequential u64 keys must not collapse onto one shard.
+        let mut counts = [0usize; 8];
+        for k in 0u64..8000 {
+            counts[shard_of(&k, 7)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 500, "shard {i} starved: {c}/8000");
+        }
+    }
+}

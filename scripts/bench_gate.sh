@@ -2,7 +2,8 @@
 # bench_gate.sh — quick perf regression gate for the throughput experiments.
 #
 # Runs the short (quick-size) variants of e4 (list throughput), e6
-# (skip-list throughput), and e7 (async serving), writes fresh
+# (skip-list throughput), e7 (async serving), and e13 (shard
+# scaling), writes fresh
 # BENCH_<id>.json artifacts into a scratch directory, and compares the
 # fr-* rows against the committed baselines at the repo root. Fails
 # (exit 1) when the median throughput regression across comparable rows
@@ -28,7 +29,7 @@ trap 'rm -rf "$SCRATCH"' EXIT
 
 cargo build --release -p lf-bench --bin experiments
 
-GATED_EXPERIMENTS=(e4 e6 e7)
+GATED_EXPERIMENTS=(e4 e6 e7 e13)
 
 for exp in "${GATED_EXPERIMENTS[@]}"; do
     echo "== bench gate: running quick $exp =="
