@@ -57,6 +57,6 @@ pub use backend::{AsyncBackend, BackendHandle};
 pub use metrics::{ServiceMetrics, ServiceSnapshot};
 pub use op::{Error, GetWithVisitor, Request, Response};
 pub use service::{
-    AsyncList, AsyncShardedMap, AsyncSkipList, BackpressurePolicy, GetWithFuture, OpFuture,
-    Service, ServiceBuilder, ShardedBuilder,
+    install_stall_hook, AsyncList, AsyncShardedMap, AsyncSkipList, BackpressurePolicy,
+    GetWithFuture, OpFuture, Service, ServiceBuilder, ShardedBuilder,
 };

@@ -159,6 +159,11 @@ pub(crate) struct OpCell<K, V> {
     resp: UnsafeCell<Option<Result<Response<V>, Error>>>,
     waker: Mutex<Option<Waker>>,
     enqueued_at: Instant,
+    /// Causal-trace id minted at the front door (0 when tracing is
+    /// off). This is the id's cross-thread carrier: the lane worker
+    /// re-enters it (`lf_trace::enter_op`) before touching the
+    /// structure, so the op's events stay attributed across the ring.
+    op: u64,
 }
 
 // SAFETY: `req`/`resp` are raced only through the protocol above — the
@@ -180,7 +185,14 @@ impl<K, V> OpCell<K, V> {
             resp: UnsafeCell::new(None),
             waker: Mutex::new(None),
             enqueued_at: Instant::now(),
+            op: lf_trace::mint_op(),
         }
+    }
+
+    /// The causal-trace id minted for this operation (0 when tracing
+    /// was off at submission).
+    pub(crate) fn op_id(&self) -> u64 {
+        self.op
     }
 
     /// Take the request payload. Caller must be the thread that popped

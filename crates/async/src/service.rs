@@ -120,6 +120,23 @@ struct Shared<B: AsyncBackend> {
     batch_max: usize,
     metrics: ServiceMetrics,
     next_lane: AtomicUsize,
+    /// One heartbeat per lane when the stall watchdog is enabled
+    /// (empty otherwise): the worker pulses it per batch item so a
+    /// wedged or runaway worker is detectable from outside.
+    hearts: Vec<Arc<lf_trace::watchdog::Heartbeat>>,
+}
+
+/// Test-only stall injection: when installed, every lane worker calls
+/// the hook (with its lane index) after dequeuing each request and
+/// before executing it. A hook that sleeps simulates a wedged worker
+/// for watchdog tests. Hidden from docs; not part of the public API
+/// contract.
+static STALL_HOOK: std::sync::OnceLock<Box<dyn Fn(usize) + Send + Sync>> =
+    std::sync::OnceLock::new();
+
+#[doc(hidden)]
+pub fn install_stall_hook(hook: Box<dyn Fn(usize) + Send + Sync>) {
+    let _ = STALL_HOOK.set(hook);
 }
 
 /// Outcome of one submission attempt.
@@ -149,6 +166,13 @@ impl<B: AsyncBackend> Shared<B> {
         };
         let lane = &self.lanes[lane_idx];
         let cell = Arc::new(OpCell::new(req));
+        // The `enqueue` event goes out *before* the push: once the push
+        // publishes the cell, the worker's `dequeue` can race ahead of
+        // any producer-side bookkeeping, and a dump must never show an
+        // op dequeued before it was enqueued. Failed submissions below
+        // close the id with an error-coded `complete` instead of
+        // leaving it dangling as a false stall.
+        lf_trace::emit_for(cell.op_id(), lf_trace::Phase::Enqueue, lane_idx as u32);
         let mut entry = Arc::clone(&cell);
         let backoff = Backoff::new();
         loop {
@@ -160,12 +184,14 @@ impl<B: AsyncBackend> Shared<B> {
                 }
                 Err(PushError::Closed(back)) => {
                     drop(back);
+                    lf_trace::emit_for(cell.op_id(), lf_trace::Phase::Complete, 2);
                     return Submit::Failed(Error::Shutdown);
                 }
                 Err(PushError::Full(back)) => match self.policy {
                     BackpressurePolicy::Reject => {
                         self.metrics.record_reject();
                         drop(back);
+                        lf_trace::emit_for(cell.op_id(), lf_trace::Phase::Complete, 3);
                         return Submit::Failed(Error::Rejected);
                     }
                     BackpressurePolicy::Shed => {
@@ -173,6 +199,7 @@ impl<B: AsyncBackend> Shared<B> {
                             drop(old.take_req());
                             self.metrics.record_shed();
                             old.complete(Err(Error::Shed));
+                            lf_trace::emit_for(old.op_id(), lf_trace::Phase::Complete, 1);
                         } else {
                             // Racing pops emptied or stalled the head;
                             // back off and retry the push.
@@ -196,6 +223,7 @@ impl<B: AsyncBackend> Shared<B> {
                             }
                             Err(PushError::Closed(back2)) => {
                                 drop(back2);
+                                lf_trace::emit_for(cell.op_id(), lf_trace::Phase::Complete, 2);
                                 return Submit::Failed(Error::Shutdown);
                             }
                             Err(PushError::Full(back2)) => {
@@ -203,6 +231,9 @@ impl<B: AsyncBackend> Shared<B> {
                                 // never queued; re-polls rebuild it.
                                 drop(back2);
                                 let req = cell.take_req().expect("unqueued cell keeps its request");
+                                // Code 4: bounced, will re-enter under
+                                // a fresh id on the next poll.
+                                lf_trace::emit_for(cell.op_id(), lf_trace::Phase::Complete, 4);
                                 return Submit::WouldBlock(req);
                             }
                         }
@@ -215,6 +246,9 @@ impl<B: AsyncBackend> Shared<B> {
 
 fn worker_loop<B: AsyncBackend>(shared: &Shared<B>, lane_idx: usize) {
     let lane = &shared.lanes[lane_idx];
+    let hb = shared.hearts.get(lane_idx).cloned();
+    // Every event this worker records carries its lane tag.
+    lf_trace::set_thread_lane(lane_idx as u8);
     let handle = shared.backend.handle();
     // One epoch announcement covers a whole drained batch (§10 of
     // DESIGN.md: the pin-per-poll invariant lives with the worker, not
@@ -235,21 +269,47 @@ fn worker_loop<B: AsyncBackend>(shared: &Shared<B>, lane_idx: usize) {
         }
         if batch.is_empty() {
             // Withdraw the standing announcement before parking so an
-            // idle service never delays reclamation.
+            // idle service never delays reclamation. A parked worker
+            // is idle, not stalled: tell the watchdog.
+            if let Some(h) = &hb {
+                h.idle();
+            }
             handle.quiesce();
             lane.idle_park();
             continue;
         }
+        if let Some(h) = &hb {
+            h.busy();
+        }
         shared.metrics.record_batch(batch.len() as u64);
+        let batch_len = batch.len() as u32;
         for cell in batch.drain(..) {
             if let Some(req) = cell.take_req() {
+                // Adopt the op's identity before any structure access:
+                // the lf-core hooks then attribute their events to the
+                // submitting task's op, not to this worker.
+                let trace_guard = lf_trace::enter_op(cell.op_id());
+                lf_trace::emit_aux(lf_trace::Phase::Dequeue, batch_len);
+                if let Some(hook) = STALL_HOOK.get() {
+                    hook(lane_idx);
+                }
                 let resp = handle.apply(req);
                 shared.metrics.record_complete(cell.elapsed_ns());
                 cell.complete(Ok(resp));
+                // The front door minted the id, so the async layer —
+                // not the sync op boundary — closes it.
+                lf_trace::emit_for(cell.op_id(), lf_trace::Phase::Complete, 0);
+                drop(trace_guard);
+            }
+            if let Some(h) = &hb {
+                h.beat();
             }
         }
         // Space was freed: release producers suspended on a full ring.
         lane.wake_blocked();
+    }
+    if let Some(h) = &hb {
+        h.idle();
     }
     handle.flush_reclamation();
 }
@@ -265,6 +325,7 @@ fn shutdown_drain<B: AsyncBackend>(shared: &Shared<B>, lane_idx: usize) {
                 drop(cell.take_req());
                 shared.metrics.record_shutdown_drop();
                 cell.complete(Err(Error::Shutdown));
+                lf_trace::emit_for(cell.op_id(), lf_trace::Phase::Complete, 2);
             }
             Pop::Pending => backoff.spin(),
             Pop::Empty => break,
@@ -292,6 +353,8 @@ pub struct ServiceBuilder {
     queue_capacity: usize,
     batch_max: usize,
     policy: BackpressurePolicy,
+    watchdog_deadline: Option<Duration>,
+    watchdog_dump: Option<std::path::PathBuf>,
 }
 
 impl Default for ServiceBuilder {
@@ -301,6 +364,8 @@ impl Default for ServiceBuilder {
             queue_capacity: 1024,
             batch_max: 64,
             policy: BackpressurePolicy::Block,
+            watchdog_deadline: None,
+            watchdog_dump: None,
         }
     }
 }
@@ -335,11 +400,45 @@ impl ServiceBuilder {
         self
     }
 
+    /// Enable the `lf-trace` stall watchdog: each lane worker gets a
+    /// heartbeat, and a busy worker that makes no progress for
+    /// `deadline` (wedged, or spinning a runaway retry loop) trips a
+    /// flight-recorder dump. The monitor also watches for reclamation
+    /// stalls (retires mounting while the epoch sits still) and
+    /// services `SIGUSR1` dump requests.
+    pub fn watchdog(mut self, deadline: Duration) -> Self {
+        self.watchdog_deadline = Some(deadline);
+        self
+    }
+
+    /// Where the watchdog writes flight-recorder dumps. Defaults to
+    /// the `LF_TRACE_DUMP` environment variable; with neither set,
+    /// trips are still counted and reported, just not dumped.
+    pub fn watchdog_dump(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.watchdog_dump = Some(path.into());
+        self
+    }
+
     /// Build a service fronting `backend` and start its workers.
     pub fn build<B: AsyncBackend>(self, backend: B) -> Service<B> {
         let lanes: Vec<Lane<B::Key, B::Value>> = (0..self.workers)
             .map(|_| Lane::new(self.queue_capacity))
             .collect();
+        let (watchdog, hearts) = match self.watchdog_deadline {
+            Some(deadline) => {
+                let wd = lf_trace::watchdog::Watchdog::start(lf_trace::watchdog::Config {
+                    deadline,
+                    dump_path: self.watchdog_dump.clone(),
+                    install_sigusr1: true,
+                    ..lf_trace::watchdog::Config::default()
+                });
+                let hearts = (0..self.workers)
+                    .map(|i| wd.register(&format!("lane-{i}")))
+                    .collect();
+                (Some(wd), hearts)
+            }
+            None => (None, Vec::new()),
+        };
         let shared = Arc::new(Shared {
             backend,
             lanes: lanes.into_boxed_slice(),
@@ -347,6 +446,7 @@ impl ServiceBuilder {
             batch_max: self.batch_max,
             metrics: ServiceMetrics::new(),
             next_lane: AtomicUsize::new(0),
+            hearts,
         });
         let workers = (0..self.workers)
             .map(|i| {
@@ -360,6 +460,7 @@ impl ServiceBuilder {
         Service {
             shared,
             workers: Mutex::new(workers),
+            watchdog,
         }
     }
 
@@ -438,6 +539,18 @@ impl ShardedBuilder {
         self
     }
 
+    /// Enable the stall watchdog; see [`ServiceBuilder::watchdog`].
+    pub fn watchdog(mut self, deadline: Duration) -> Self {
+        self.base = self.base.watchdog(deadline);
+        self
+    }
+
+    /// Flight-recorder dump path; see [`ServiceBuilder::watchdog_dump`].
+    pub fn watchdog_dump(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.base = self.base.watchdog_dump(path);
+        self
+    }
+
     /// Shard count (rounded up to a power of two, ≥ 1). Defaults to
     /// the worker count rounded up to a power of two.
     pub fn shards(mut self, n: usize) -> Self {
@@ -466,6 +579,9 @@ impl ShardedBuilder {
 pub struct Service<B: AsyncBackend> {
     shared: Arc<Shared<B>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Live while the service is, when enabled via
+    /// [`ServiceBuilder::watchdog`]; its monitor thread stops on drop.
+    watchdog: Option<lf_trace::watchdog::Watchdog>,
 }
 
 /// A [`Service`] over [`FrList`].
@@ -551,6 +667,14 @@ impl<B: AsyncBackend> Service<B> {
     /// [`ShardedSkipList`]'s per-shard snapshot).
     pub fn backend(&self) -> &B {
         &self.shared.backend
+    }
+
+    /// The stall watchdog, when enabled via
+    /// [`ServiceBuilder::watchdog`] — e.g. to poll
+    /// [`trips`](lf_trace::watchdog::Watchdog::trips) or pull the
+    /// [`last_report`](lf_trace::watchdog::Watchdog::last_report).
+    pub fn watchdog(&self) -> Option<&lf_trace::watchdog::Watchdog> {
+        self.watchdog.as_ref()
     }
 
     /// Shut down gracefully: stop accepting, let workers finish the

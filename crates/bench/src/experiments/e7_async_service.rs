@@ -215,6 +215,15 @@ fn probe_capacity(workers: usize, queue_capacity: usize, space: u64, burst: u64)
 /// Print the serving table and write `BENCH_e7.json`.
 pub fn run(quick: bool) {
     println!("E7: closed-loop async serving throughput & latency (read-heavy)\n");
+    // Flight-recorder hook for the CI smoke job: with LF_TRACE_DUMP
+    // set, the whole run is traced and the merged rings are dumped at
+    // the end, so `lf-trace check` can audit a real serving workload
+    // end-to-end. Perf rows from a traced run are not comparable to
+    // the committed baselines — the bench gate never sets this.
+    let trace_dump = lf_trace::recorder::env_dump_path();
+    if trace_dump.is_some() {
+        lf_trace::enable();
+    }
     // Quick mode keeps the load *shape* (drivers × in-flight tasks) and
     // only cuts ops per task, so bench_gate.sh can compare a quick run
     // against the committed full-size baseline row-for-row.
@@ -418,4 +427,12 @@ pub fn run(quick: bool) {
          everyone and evicts the oldest, trading drop choice for full queues."
     );
     write_bench_artifact("e7", quick, &rows);
+
+    if let Some(path) = trace_dump {
+        match lf_trace::recorder::dump_to_path(&path, "experiment") {
+            Ok(n) => println!("\nflight recorder: {n} events -> {}", path.display()),
+            Err(e) => eprintln!("\nflight recorder: dump to {} failed: {e}", path.display()),
+        }
+        lf_trace::disable();
+    }
 }

@@ -383,10 +383,27 @@ fn with_local(f: impl FnOnce(&Shard)) {
 }
 
 /// Record one C&S attempt of the given type and outcome.
+///
+/// Besides the counter, this is a causal-trace hook: failures emit
+/// [`lf_trace::Phase::CasFail`] (with the CAS type as `aux`), and the
+/// three deletion-protocol successes emit their phase — `Flag`,
+/// `Mark`, and `Unlink` as [`lf_trace::Phase::Help`] (physical
+/// deletion is performed by whichever op helps the marked node out).
+/// Insert successes emit nothing; the op's `complete` covers them.
 #[inline]
 pub fn record_cas(ty: CasType, success: bool) {
     #[cfg(feature = "trace")]
     trace::emit(trace::EventKind::Cas { ty, ok: success });
+    if !success {
+        lf_trace::emit_aux(lf_trace::Phase::CasFail, ty as u32);
+    } else {
+        match ty {
+            CasType::Insert => {}
+            CasType::Flag => lf_trace::emit(lf_trace::Phase::Flag),
+            CasType::Mark => lf_trace::emit(lf_trace::Phase::Mark),
+            CasType::Unlink => lf_trace::emit(lf_trace::Phase::Help),
+        }
+    }
     with_local(|l| {
         let slot = if success {
             &l.cas_ok[ty as usize]
@@ -397,11 +414,13 @@ pub fn record_cas(ty: CasType, success: bool) {
     });
 }
 
-/// Record one backlink pointer traversal.
+/// Record one backlink pointer traversal. Also a causal-trace hook
+/// ([`lf_trace::Phase::BacklinkWalk`]).
 #[inline]
 pub fn record_backlink() {
     #[cfg(feature = "trace")]
     trace::emit(trace::EventKind::Backlink);
+    lf_trace::emit(lf_trace::Phase::BacklinkWalk);
     with_local(|l| Shard::bump(&l.backlink_traversals));
 }
 
@@ -522,10 +541,17 @@ thread_local! {
 #[inline]
 #[must_use = "pass the token to op_end to record the operation"]
 pub fn op_begin() -> OpToken {
+    // Causal-trace boundary: mint-or-inherit the op's id (a bare sync
+    // call mints here; an op minted upstream by the async front door
+    // is inherited) and mark the traversal start. Independent of the
+    // histogram kill-switch; both are relaxed-load-cheap when off.
+    let trace = lf_trace::op_scope();
+    lf_trace::emit(lf_trace::Phase::Search);
     if !histograms_enabled() {
         return OpToken {
             active: false,
             start: None,
+            trace,
         };
     }
     let start = OP_SEQ
@@ -539,6 +565,7 @@ pub fn op_begin() -> OpToken {
     OpToken {
         active: true,
         start,
+        trace,
     }
 }
 
@@ -550,6 +577,9 @@ pub fn op_begin() -> OpToken {
 pub fn op_end(token: OpToken) {
     #[cfg(feature = "trace")]
     trace::emit(trace::EventKind::OpEnd);
+    // Close the causal scope: emits `complete` iff this boundary
+    // minted the id (an async-minted op completes at its front door).
+    token.trace.finish();
     if !token.active {
         with_local(|l| Shard::bump(&l.ops));
         return;
@@ -592,6 +622,8 @@ pub struct OpToken {
     active: bool,
     /// TSC ticks at `op_begin` on latency-sampled ops, else `None`.
     start: Option<u64>,
+    /// Causal-trace scope (op id lifetime); finished by [`op_end`].
+    trace: lf_trace::OpScope,
 }
 
 /// Materialize the calling thread's shard and histogram storage

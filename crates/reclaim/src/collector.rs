@@ -287,9 +287,17 @@ impl CollectorInner {
         // order that later announcements must follow. Failure is a pure
         // retry signal (Relaxed).
         // ord: SeqCst/Relaxed — EPOCH.pin: advance point in the total order
-        self.epoch
+        let advanced = self
+            .epoch
             .compare_exchange(epoch, epoch + 1, Ordering::SeqCst, Ordering::Relaxed)
-            .is_ok()
+            .is_ok();
+        if advanced {
+            // Reclamation-progress pulse for the lf-trace watchdog
+            // (and an `epoch_advance` event when tracing is on). Off
+            // the per-op path: once per successful advance.
+            lf_trace::note_epoch_advance();
+        }
+        advanced
     }
 
     /// Free every orphan bag old enough to be safe.
@@ -430,6 +438,11 @@ impl LocalHandle {
                 .state
                 .store(Slot::encode(epoch), Ordering::SeqCst);
             self.announced.set(true);
+            // Causal-trace hook: one `pin` event per *fresh*
+            // announcement (re-entrant and amortized re-pins are
+            // silent), so traces show when an op (re-)published its
+            // epoch without flooding the ring.
+            lf_trace::emit(lf_trace::Phase::Pin);
         }
         self.guard_depth.set(depth + 1);
         Guard::new(self)
@@ -470,6 +483,10 @@ impl LocalHandle {
         // announcement and the `+ GRACE` rule holds.
         // ord: SeqCst — EPOCH.pin: retire-time stamp reads the current epoch
         let epoch = self.collector.epoch.load(Ordering::SeqCst);
+        // Retire-pressure pulse for the lf-trace watchdog (plus a
+        // `retire` event when tracing is on): retires mounting while
+        // the epoch sits still is the reclamation-stall signature.
+        lf_trace::note_retire();
         // SAFETY: the slot is exclusively ours while `in_use`; `defer`
         // runs only on the owning (non-Send handle) thread.
         let bags = unsafe { &mut *self.slot().bags.get() };

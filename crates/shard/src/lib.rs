@@ -278,6 +278,10 @@ where
     /// rejected pair if `key` is already present.
     pub fn insert(&self, key: K, value: V) -> Result<(), (K, V)> {
         let i = self.route(&key);
+        // Causal-trace tag: events the shard op records (search,
+        // cas-fail, ...) carry the shard index; free when tracing is
+        // off. Same pattern in every routed op below.
+        let _t = lf_trace::shard_scope(i as u16);
         let before = lf_metrics::local_steps();
         let res = self.handles[i].insert(key, value);
         self.map.stats[i].record(lf_metrics::local_steps().delta_since(before));
@@ -290,6 +294,7 @@ where
         V: Clone,
     {
         let i = self.route(key);
+        let _t = lf_trace::shard_scope(i as u16);
         let before = lf_metrics::local_steps();
         let res = self.handles[i].remove(key);
         self.map.stats[i].record(lf_metrics::local_steps().delta_since(before));
@@ -302,6 +307,7 @@ where
         V: Clone,
     {
         let i = self.route(key);
+        let _t = lf_trace::shard_scope(i as u16);
         let before = lf_metrics::local_steps();
         let res = self.handles[i].get(key);
         self.map.stats[i].record(lf_metrics::local_steps().delta_since(before));
@@ -313,6 +319,7 @@ where
     /// [`SkipListHandle::get_with`].
     pub fn get_with<R>(&self, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
         let i = self.route(key);
+        let _t = lf_trace::shard_scope(i as u16);
         let before = lf_metrics::local_steps();
         let res = self.handles[i].get_with(key, f);
         self.map.stats[i].record(lf_metrics::local_steps().delta_since(before));
@@ -322,6 +329,7 @@ where
     /// Whether `key` is present in its shard.
     pub fn contains(&self, key: &K) -> bool {
         let i = self.route(key);
+        let _t = lf_trace::shard_scope(i as u16);
         let before = lf_metrics::local_steps();
         let res = self.handles[i].contains(key);
         self.map.stats[i].record(lf_metrics::local_steps().delta_since(before));

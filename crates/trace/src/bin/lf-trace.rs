@@ -1,0 +1,100 @@
+//! `lf-trace` — query/report tool over flight-recorder dumps.
+//!
+//! ```text
+//! lf-trace report <dump.jsonl>        reconstruct per-op critical paths,
+//!                                     print retry-chain/helping stats
+//! lf-trace check  <dump.jsonl>        validate JSON-lines framing and
+//!                                     per-op phase well-formedness;
+//!                                     exit 1 on any violation
+//! lf-trace op <id> <dump.jsonl>       print one op's phase history
+//! ```
+
+use std::process::ExitCode;
+
+use lf_trace::report::{parse_dump, Report};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: lf-trace report <dump.jsonl>");
+    eprintln!("       lf-trace check  <dump.jsonl>");
+    eprintln!("       lf-trace op <id> <dump.jsonl>");
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<lf_trace::report::Dump, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_dump(&text)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("report") => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            match load(path) {
+                Ok(dump) => {
+                    println!(
+                        "dump: {} (reason: {}, format v{})\n",
+                        path, dump.reason, dump.version
+                    );
+                    print!("{}", Report::build(&dump.events).render());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("lf-trace: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("check") => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            match load(path).and_then(|d| {
+                let r = Report::build(&d.events);
+                r.check_all()?;
+                Ok((d.events.len(), r.ops.len()))
+            }) {
+                Ok((events, ops)) => {
+                    println!("ok: {events} events, {ops} ops, all sequences well-formed");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("lf-trace: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("op") => {
+            let (Some(id), Some(path)) = (args.get(1), args.get(2)) else {
+                return usage();
+            };
+            let Ok(id) = id.parse::<u64>() else {
+                return usage();
+            };
+            match load(path) {
+                Ok(dump) => {
+                    let r = Report::build(&dump.events);
+                    match r.ops.get(&id) {
+                        Some(h) => {
+                            for e in &h.events {
+                                println!("{}", lf_trace::recorder::event_line(e));
+                            }
+                            ExitCode::SUCCESS
+                        }
+                        None => {
+                            eprintln!("lf-trace: no events for op {id}");
+                            ExitCode::FAILURE
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("lf-trace: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

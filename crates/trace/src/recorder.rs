@@ -1,0 +1,264 @@
+//! The black-box flight recorder.
+//!
+//! Dumps the merged, seq-ordered recent event history (every thread's
+//! ring, torn slots skipped) as JSON-lines. Three triggers:
+//!
+//! * **watchdog trip** — [`crate::watchdog::Watchdog`] calls
+//!   [`dump_to_path`] with the configured sink when it detects a stall;
+//! * **`SIGUSR1`** — after [`install_sigusr1`], the signal handler
+//!   raises a flag (nothing more: only async-signal-safe work happens
+//!   in the handler) and the watchdog's monitor thread performs the
+//!   dump on its next poll;
+//! * **explicit call** — [`dump_to_string`] / [`dump_to_path`] from
+//!   application code or tests.
+//!
+//! # Format
+//!
+//! One JSON object per line. The first line is a header:
+//!
+//! ```json
+//! {"t":"header","version":1,"reason":"watchdog","events":123,"horizon":456}
+//! ```
+//!
+//! then one line per event, seq-ascending:
+//!
+//! ```json
+//! {"t":"event","seq":7,"thread":0,"op":3,"phase":"cas_fail","shard":1,"lane":0,"aux":2}
+//! ```
+//!
+//! `shard`/`lane` are `null` when the event carried no tag. The format
+//! is stable; `lf-trace report` and the CI smoke job parse it.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::json::write_escaped;
+use crate::{Event, NO_LANE, NO_SHARD};
+
+/// Dump format version (bumped on incompatible changes).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Render one event as its JSON-lines object (no trailing newline).
+pub fn event_line(e: &Event) -> String {
+    let mut s = String::with_capacity(128);
+    s.push_str("{\"t\":\"event\",\"seq\":");
+    s.push_str(&e.seq.to_string());
+    s.push_str(",\"thread\":");
+    s.push_str(&e.thread.to_string());
+    s.push_str(",\"op\":");
+    s.push_str(&e.op.to_string());
+    s.push_str(",\"phase\":\"");
+    s.push_str(e.phase.label());
+    s.push_str("\",\"shard\":");
+    if e.shard == NO_SHARD {
+        s.push_str("null");
+    } else {
+        s.push_str(&e.shard.to_string());
+    }
+    s.push_str(",\"lane\":");
+    if e.lane == NO_LANE {
+        s.push_str("null");
+    } else {
+        s.push_str(&e.lane.to_string());
+    }
+    s.push_str(",\"aux\":");
+    s.push_str(&e.aux.to_string());
+    s.push('}');
+    s
+}
+
+/// Render a full dump (header + every currently stable event) as
+/// JSON-lines. `reason` is recorded in the header (`"watchdog"`,
+/// `"sigusr1"`, `"explicit"`, ...).
+pub fn dump_to_string(reason: &str) -> String {
+    render(reason, &crate::snapshot())
+}
+
+fn render(reason: &str, events: &[Event]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 128);
+    out.push_str("{\"t\":\"header\",\"version\":");
+    out.push_str(&FORMAT_VERSION.to_string());
+    out.push_str(",\"reason\":");
+    write_escaped(&mut out, reason);
+    out.push_str(",\"events\":");
+    out.push_str(&events.len().to_string());
+    out.push_str(",\"horizon\":");
+    out.push_str(&crate::horizon().to_string());
+    out.push_str("}\n");
+    for e in events {
+        out.push_str(&event_line(e));
+        out.push('\n');
+    }
+    out
+}
+
+/// Dump to a file (created/truncated). Returns the number of events
+/// written. Errors are returned, not panicked — the recorder is often
+/// invoked while the process is already in trouble.
+pub fn dump_to_path(path: &Path, reason: &str) -> std::io::Result<usize> {
+    let events = crate::snapshot();
+    let body = render(reason, &events);
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(body.as_bytes())?;
+    f.flush()?;
+    Ok(events.len())
+}
+
+/// The dump sink configured by the `LF_TRACE_DUMP` environment
+/// variable, if set and non-empty. Experiments export it so a hung or
+/// signalled run leaves its black box at a known path.
+pub fn env_dump_path() -> Option<std::path::PathBuf> {
+    match std::env::var("LF_TRACE_DUMP") {
+        Ok(p) if !p.is_empty() => Some(p.into()),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// SIGUSR1 plumbing. The handler only sets an AtomicBool (the sole
+// async-signal-safe action we need); the watchdog monitor polls and
+// performs the actual dump on its own thread.
+
+#[cfg(all(unix, not(miri)))]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Set by the signal handler, consumed by the watchdog poll.
+    static DUMP_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    // libc is not a dependency; bind the two symbols we need directly.
+    // `signal` is in ISO C, present in every unix libc we target.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// `SIGUSR1` on every unix we target (linux, macOS, BSDs).
+    const SIGUSR1: i32 = if cfg!(target_os = "linux") { 10 } else { 30 };
+
+    extern "C" fn on_sigusr1(_sig: i32) {
+        // ord: Relaxed — TRACE.sig: handler-to-monitor flag, polled; no data published through it
+        DUMP_REQUESTED.store(true, Ordering::Relaxed);
+    }
+
+    pub(super) fn install() {
+        // SAFETY: installing a handler that only performs an atomic
+        // store is async-signal-safe; `on_sigusr1` has the exact
+        // `extern "C" fn(i32)` ABI `signal` expects.
+        unsafe {
+            signal(SIGUSR1, on_sigusr1 as *const () as usize);
+        }
+    }
+
+    pub(super) fn take() -> bool {
+        // ord: Relaxed — TRACE.sig: handler-to-monitor flag, polled; no data published through it
+        DUMP_REQUESTED.swap(false, Ordering::Relaxed)
+    }
+
+    pub(super) fn request() {
+        // ord: Relaxed — TRACE.sig: handler-to-monitor flag, polled; no data published through it
+        DUMP_REQUESTED.store(true, Ordering::Relaxed);
+    }
+}
+
+#[cfg(not(all(unix, not(miri))))]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static DUMP_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    pub(super) fn install() {}
+
+    pub(super) fn take() -> bool {
+        // ord: Relaxed — TRACE.sig: handler-to-monitor flag, polled; no data published through it
+        DUMP_REQUESTED.swap(false, Ordering::Relaxed)
+    }
+
+    pub(super) fn request() {
+        // ord: Relaxed — TRACE.sig: handler-to-monitor flag, polled; no data published through it
+        DUMP_REQUESTED.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Install the `SIGUSR1` handler (idempotent; no-op on non-unix and
+/// under Miri). After this, `kill -USR1 <pid>` requests a dump that
+/// the watchdog monitor performs on its next poll.
+pub fn install_sigusr1() {
+    sig::install();
+}
+
+/// Consume a pending dump request (signal-raised or programmatic).
+pub fn take_dump_request() -> bool {
+    sig::take()
+}
+
+/// Programmatically raise the same flag the signal handler sets — lets
+/// tests and embedders exercise the monitor's dump path without
+/// process signals.
+pub fn request_dump() {
+    sig::request()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::Phase;
+
+    #[test]
+    fn dump_is_parseable_jsonl_with_header() {
+        let _g = crate::tests::TEST_LOCK.lock().unwrap();
+        crate::clear();
+        crate::enable();
+        let scope = crate::op_scope();
+        crate::emit_aux(Phase::CasFail, 3);
+        scope.finish();
+        drop(scope);
+        crate::disable();
+        let dump = dump_to_string("explicit");
+        let mut lines = dump.lines();
+        let header = json::parse(lines.next().unwrap()).unwrap();
+        assert_eq!(header.get("t").unwrap().as_str(), Some("header"));
+        assert_eq!(header.get("reason").unwrap().as_str(), Some("explicit"));
+        let n = header.get("events").unwrap().as_u64().unwrap() as usize;
+        let events: Vec<_> = lines.map(|l| json::parse(l).unwrap()).collect();
+        assert_eq!(events.len(), n);
+        assert!(n >= 2);
+        assert!(events
+            .iter()
+            .any(|e| e.get("phase").unwrap().as_str() == Some("cas_fail")));
+        // Untagged events serialize shard/lane as null.
+        assert!(events
+            .iter()
+            .all(|e| e.get("t").unwrap().as_str() == Some("event")));
+    }
+
+    #[test]
+    fn dump_request_flag_roundtrips() {
+        assert!(!take_dump_request());
+        request_dump();
+        assert!(take_dump_request());
+        assert!(!take_dump_request());
+    }
+
+    #[test]
+    fn dump_to_path_writes_file() {
+        let _g = crate::tests::TEST_LOCK.lock().unwrap();
+        crate::clear();
+        crate::enable();
+        crate::emit(Phase::Search);
+        crate::disable();
+        let path = std::env::temp_dir().join(format!(
+            "lf-trace-test-{}-{}.jsonl",
+            std::process::id(),
+            crate::current_thread_id()
+        ));
+        let n = dump_to_path(&path, "test").unwrap();
+        assert!(n >= 1);
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body.lines().count(), n + 1);
+        for line in body.lines() {
+            json::parse(line).unwrap();
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,423 @@
+//! Trace query/report: reconstruct per-op critical paths and
+//! retry/helping statistics from a flight-recorder dump (or a live
+//! snapshot).
+//!
+//! Used by the `lf-trace` binary (`lf-trace report dump.jsonl`) and by
+//! tests that assert a dump reconstructs a stalled op's phase history.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::json::{self, Value};
+use crate::{Event, Phase};
+
+/// A parsed flight-recorder dump.
+#[derive(Debug)]
+pub struct Dump {
+    /// Header `reason` field.
+    pub reason: String,
+    /// Dump format version.
+    pub version: u32,
+    /// All events, seq-ascending (re-sorted defensively on parse).
+    pub events: Vec<Event>,
+}
+
+/// Parse the recorder's JSON-lines format (see [`crate::recorder`]).
+pub fn parse_dump(text: &str) -> Result<Dump, String> {
+    let mut lines = text.lines().enumerate();
+    let (_, first) = lines.next().ok_or("empty dump")?;
+    let header = json::parse(first).map_err(|e| format!("line 1: {e}"))?;
+    if header.get("t").and_then(Value::as_str) != Some("header") {
+        return Err("line 1: not a dump header".into());
+    }
+    let reason = header
+        .get("reason")
+        .and_then(Value::as_str)
+        .unwrap_or("unknown")
+        .to_string();
+    let version = header
+        .get("version")
+        .and_then(Value::as_u64)
+        .ok_or("header missing version")? as u32;
+    let declared = header.get("events").and_then(Value::as_u64);
+
+    let mut events = Vec::new();
+    for (i, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if v.get("t").and_then(Value::as_str) != Some("event") {
+            return Err(format!("line {}: not an event record", i + 1));
+        }
+        let phase_label = v
+            .get("phase")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {}: missing phase", i + 1))?;
+        let phase = Phase::from_label(phase_label)
+            .ok_or_else(|| format!("line {}: unknown phase {phase_label:?}", i + 1))?;
+        let num = |k: &str| -> Result<u64, String> {
+            v.get(k)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("line {}: missing {k}", i + 1))
+        };
+        events.push(Event {
+            seq: num("seq")?,
+            thread: num("thread")? as u32,
+            op: num("op")?,
+            phase,
+            shard: v
+                .get("shard")
+                .and_then(Value::as_u64)
+                .map_or(crate::NO_SHARD, |s| s as u16),
+            lane: v
+                .get("lane")
+                .and_then(Value::as_u64)
+                .map_or(crate::NO_LANE, |l| l as u8),
+            aux: num("aux")? as u32,
+        });
+    }
+    if let Some(n) = declared {
+        if n as usize != events.len() {
+            return Err(format!(
+                "header declares {n} events, dump has {}",
+                events.len()
+            ));
+        }
+    }
+    events.sort_unstable_by_key(|e| e.seq);
+    Ok(Dump {
+        reason,
+        version,
+        events,
+    })
+}
+
+/// One op's reconstructed phase history.
+#[derive(Debug)]
+pub struct OpHistory {
+    /// The op id.
+    pub op: u64,
+    /// Its events, seq-ascending (the causal path, minus overwritten
+    /// prefix if the ring wrapped).
+    pub events: Vec<Event>,
+}
+
+impl OpHistory {
+    /// Phases in order, the op's "critical path" through the stack.
+    pub fn phases(&self) -> Vec<Phase> {
+        self.events.iter().map(|e| e.phase).collect()
+    }
+
+    /// Count of events with the given phase.
+    pub fn count(&self, phase: Phase) -> usize {
+        self.events.iter().filter(|e| e.phase == phase).count()
+    }
+
+    /// Whether the op recorded its `complete` event.
+    pub fn completed(&self) -> bool {
+        self.count(Phase::Complete) > 0
+    }
+
+    /// Check the well-formedness rules for one op's recorded sequence
+    /// (used by the proptest satellite and by `report --check`):
+    ///
+    /// 1. events are strictly seq-ascending;
+    /// 2. at most one `complete`, and if present it is last;
+    /// 3. `dequeue` never precedes `enqueue` (when both present);
+    /// 4. the first structure phase (`search`, `cas_fail`, ...) never
+    ///    precedes `dequeue` when the op went through a lane.
+    ///
+    /// Ring wrap-around can truncate an op's *prefix* (oldest events
+    /// overwritten), so rules 3–4 only apply when the earlier phase
+    /// survived.
+    pub fn check(&self) -> Result<(), String> {
+        let seqs: Vec<u64> = self.events.iter().map(|e| e.seq).collect();
+        if !seqs.windows(2).all(|w| w[0] < w[1]) {
+            return Err(format!("op {}: events not strictly seq-ordered", self.op));
+        }
+        let completes: Vec<usize> = self
+            .events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.phase == Phase::Complete)
+            .map(|(i, _)| i)
+            .collect();
+        if completes.len() > 1 {
+            return Err(format!(
+                "op {}: {} complete events",
+                self.op,
+                completes.len()
+            ));
+        }
+        if let Some(&i) = completes.first() {
+            if i != self.events.len() - 1 {
+                return Err(format!("op {}: events after complete", self.op));
+            }
+        }
+        let first_pos = |p: Phase| self.events.iter().position(|e| e.phase == p);
+        if let (Some(enq), Some(deq)) = (first_pos(Phase::Enqueue), first_pos(Phase::Dequeue)) {
+            if deq < enq {
+                return Err(format!("op {}: dequeue before enqueue", self.op));
+            }
+        }
+        if let (Some(deq), Some(search)) = (first_pos(Phase::Dequeue), first_pos(Phase::Search)) {
+            if search < deq {
+                return Err(format!("op {}: search before dequeue", self.op));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Aggregated view over a set of events.
+#[derive(Debug)]
+pub struct Report {
+    /// Per-op histories, keyed by op id (op 0 — unattributed events —
+    /// excluded; see [`Report::unattributed`]).
+    pub ops: BTreeMap<u64, OpHistory>,
+    /// Events carrying no op id.
+    pub unattributed: usize,
+    /// Total events per phase.
+    pub phase_totals: BTreeMap<Phase, usize>,
+}
+
+impl Report {
+    /// Group `events` (seq-ascending or not) by op.
+    pub fn build(events: &[Event]) -> Report {
+        let mut ops: BTreeMap<u64, OpHistory> = BTreeMap::new();
+        let mut unattributed = 0usize;
+        let mut phase_totals: BTreeMap<Phase, usize> = BTreeMap::new();
+        let mut sorted: Vec<Event> = events.to_vec();
+        sorted.sort_unstable_by_key(|e| e.seq);
+        for e in sorted {
+            *phase_totals.entry(e.phase).or_insert(0) += 1;
+            if e.op == 0 {
+                unattributed += 1;
+                continue;
+            }
+            ops.entry(e.op)
+                .or_insert_with(|| OpHistory {
+                    op: e.op,
+                    events: Vec::new(),
+                })
+                .events
+                .push(e);
+        }
+        Report {
+            ops,
+            unattributed,
+            phase_totals,
+        }
+    }
+
+    /// Ops that never recorded `complete` — the suspects in a stall.
+    pub fn incomplete(&self) -> Vec<&OpHistory> {
+        self.ops.values().filter(|h| !h.completed()).collect()
+    }
+
+    /// Check every op's phase sequence; first violation wins.
+    pub fn check_all(&self) -> Result<(), String> {
+        self.ops.values().try_for_each(OpHistory::check)
+    }
+
+    /// Render the human-readable report: phase totals, retry/helping
+    /// statistics, worst retry chains, and incomplete ops.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let total: usize = self.phase_totals.values().sum();
+        let _ = writeln!(
+            out,
+            "events: {total}  ops: {}  unattributed: {}",
+            self.ops.len(),
+            self.unattributed
+        );
+        let _ = writeln!(out, "\nphase totals:");
+        for p in Phase::ALL {
+            if let Some(n) = self.phase_totals.get(&p) {
+                let _ = writeln!(out, "  {:<14} {n}", p.label());
+            }
+        }
+
+        let attempts: usize = self.phase_totals.get(&Phase::CasFail).copied().unwrap_or(0);
+        let walks = self
+            .phase_totals
+            .get(&Phase::BacklinkWalk)
+            .copied()
+            .unwrap_or(0);
+        let helps = self.phase_totals.get(&Phase::Help).copied().unwrap_or(0);
+        let completes = self
+            .phase_totals
+            .get(&Phase::Complete)
+            .copied()
+            .unwrap_or(0);
+        let _ = writeln!(out, "\nretry/helping:");
+        let per = |n: usize| {
+            if completes == 0 {
+                "n/a".to_string()
+            } else {
+                format!("{:.3}", n as f64 / completes as f64)
+            }
+        };
+        let _ = writeln!(
+            out,
+            "  cas-fails: {attempts} ({} per completed op)",
+            per(attempts)
+        );
+        let _ = writeln!(
+            out,
+            "  backlink-walks: {walks} ({} per completed op)",
+            per(walks)
+        );
+        let _ = writeln!(out, "  helps: {helps} ({} per completed op)", per(helps));
+
+        let mut chains: Vec<(&u64, usize)> = self
+            .ops
+            .iter()
+            .map(|(op, h)| (op, h.count(Phase::CasFail) + h.count(Phase::BacklinkWalk)))
+            .filter(|(_, n)| *n > 0)
+            .collect();
+        chains.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        if !chains.is_empty() {
+            let _ = writeln!(out, "\nworst retry chains:");
+            for (op, n) in chains.iter().take(5) {
+                let h = &self.ops[op];
+                let _ = writeln!(
+                    out,
+                    "  op {op}: {n} retries over {} events{}",
+                    h.events.len(),
+                    if h.completed() { "" } else { "  [INCOMPLETE]" }
+                );
+            }
+        }
+
+        let incomplete = self.incomplete();
+        if incomplete.is_empty() {
+            let _ = writeln!(out, "\nincomplete ops: none");
+        } else {
+            let _ = writeln!(out, "\nincomplete ops ({}):", incomplete.len());
+            for h in incomplete.iter().take(10) {
+                let path: Vec<&str> = h.phases().iter().map(|p| p.label()).collect();
+                let where_at = h
+                    .events
+                    .iter()
+                    .find(|e| e.shard != crate::NO_SHARD || e.lane != crate::NO_LANE);
+                let tag = match where_at {
+                    Some(e) if e.shard != crate::NO_SHARD && e.lane != crate::NO_LANE => {
+                        format!(" (shard {}, lane {})", e.shard, e.lane)
+                    }
+                    Some(e) if e.shard != crate::NO_SHARD => format!(" (shard {})", e.shard),
+                    Some(e) => format!(" (lane {})", e.lane),
+                    None => String::new(),
+                };
+                let _ = writeln!(out, "  op {}{}: {}", h.op, tag, path.join(" -> "));
+            }
+            if incomplete.len() > 10 {
+                let _ = writeln!(out, "  ... and {} more", incomplete.len() - 10);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NO_LANE, NO_SHARD};
+
+    fn ev(seq: u64, op: u64, phase: Phase) -> Event {
+        Event {
+            seq,
+            thread: 0,
+            op,
+            phase,
+            shard: NO_SHARD,
+            lane: NO_LANE,
+            aux: 0,
+        }
+    }
+
+    #[test]
+    fn dump_roundtrips_through_parse() {
+        let events = [
+            ev(1, 1, Phase::Enqueue),
+            ev(2, 1, Phase::Dequeue),
+            ev(3, 1, Phase::Search),
+            ev(4, 1, Phase::Complete),
+            ev(5, 0, Phase::EpochAdvance),
+        ];
+        let mut text = String::from(
+            "{\"t\":\"header\",\"version\":1,\"reason\":\"test\",\"events\":5,\"horizon\":5}\n",
+        );
+        for e in &events {
+            text.push_str(&crate::recorder::event_line(e));
+            text.push('\n');
+        }
+        let dump = parse_dump(&text).unwrap();
+        assert_eq!(dump.reason, "test");
+        assert_eq!(dump.events, events);
+    }
+
+    #[test]
+    fn parse_rejects_event_count_mismatch() {
+        let text = "{\"t\":\"header\",\"version\":1,\"reason\":\"x\",\"events\":2,\"horizon\":9}\n";
+        assert!(parse_dump(text).unwrap_err().contains("declares 2"));
+    }
+
+    #[test]
+    fn report_groups_and_flags_incomplete() {
+        let events = vec![
+            ev(1, 1, Phase::Search),
+            ev(2, 2, Phase::Search),
+            ev(3, 1, Phase::CasFail),
+            ev(4, 1, Phase::Complete),
+            ev(5, 2, Phase::CasFail),
+            ev(6, 2, Phase::BacklinkWalk),
+            ev(7, 0, Phase::Retire),
+        ];
+        let r = Report::build(&events);
+        assert_eq!(r.ops.len(), 2);
+        assert_eq!(r.unattributed, 1);
+        assert!(r.ops[&1].completed());
+        assert!(!r.ops[&2].completed());
+        assert_eq!(r.incomplete().len(), 1);
+        r.check_all().unwrap();
+        let text = r.render();
+        assert!(text.contains("incomplete ops (1)"));
+        assert!(text.contains("search -> cas_fail -> backlink_walk"));
+    }
+
+    #[test]
+    fn check_rejects_malformed_sequences() {
+        let double_complete = OpHistory {
+            op: 9,
+            events: vec![ev(1, 9, Phase::Complete), ev(2, 9, Phase::Complete)],
+        };
+        assert!(double_complete.check().is_err());
+
+        let after_complete = OpHistory {
+            op: 9,
+            events: vec![ev(1, 9, Phase::Complete), ev(2, 9, Phase::Search)],
+        };
+        assert!(after_complete.check().is_err());
+
+        let deq_before_enq = OpHistory {
+            op: 9,
+            events: vec![ev(1, 9, Phase::Dequeue), ev(2, 9, Phase::Enqueue)],
+        };
+        assert!(deq_before_enq.check().is_err());
+
+        let ok = OpHistory {
+            op: 9,
+            events: vec![
+                ev(1, 9, Phase::Enqueue),
+                ev(2, 9, Phase::Dequeue),
+                ev(3, 9, Phase::Search),
+                ev(4, 9, Phase::CasFail),
+                ev(5, 9, Phase::Search),
+                ev(6, 9, Phase::Complete),
+            ],
+        };
+        ok.check().unwrap();
+    }
+}

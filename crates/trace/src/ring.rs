@@ -1,0 +1,192 @@
+//! Lock-free per-thread event rings.
+//!
+//! Each recording thread owns one fixed-capacity ring of slots. The
+//! owner is the only writer; the flight recorder reads every ring
+//! *while writers may still be running* — that is the whole point of a
+//! black box: when the watchdog trips because a worker is stuck, the
+//! dump must not wait for the stuck worker to cooperate. Slots use a
+//! per-slot sequence-lock (Boehm's atomic seqlock construction): the
+//! writer flips the slot version odd, stores the payload words, and
+//! publishes an even version with a release store; a reader that
+//! observes an odd or changed version discards the slot instead of
+//! reporting a half-written event. Every payload word is itself an
+//! atomic, so a discarded read is merely stale — never undefined
+//! behaviour.
+//!
+//! The ring keeps the newest `capacity` events per thread (oldest
+//! overwritten), so a long run retains a bounded recent window — the
+//! "recent event history" the flight recorder dumps.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+
+use crate::Event;
+
+/// Default events retained per thread (`32 B` per slot → 128 KiB).
+const DEFAULT_CAPACITY: usize = 4096;
+
+/// Capacity hint applied to rings created after the store.
+static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_CAPACITY);
+
+/// Dense trace thread-id allocator (first-record order).
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+
+/// One event slot. `ver` is the slot's seqlock word: even = stable,
+/// odd = mid-write. `seq == 0` means never written.
+struct Slot {
+    ver: AtomicU64,
+    seq: AtomicU64,
+    op: AtomicU64,
+    meta: AtomicU64,
+}
+
+impl Slot {
+    const fn new() -> Self {
+        Slot {
+            ver: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            op: AtomicU64::new(0),
+            meta: AtomicU64::new(0),
+        }
+    }
+}
+
+/// One thread's ring. Registered globally so [`snapshot_rings`] can
+/// read it; only the owning thread writes.
+pub(crate) struct ThreadRing {
+    thread: u32,
+    slots: Box<[Slot]>,
+    /// Owner-only write cursor (next slot index, monotonically
+    /// increasing; the slot is `head % capacity`).
+    head: AtomicU64,
+}
+
+impl ThreadRing {
+    fn new() -> Self {
+        // ord: Relaxed — TRACE.seq: id tickets / capacity hint need only RMW atomicity
+        let thread = NEXT_THREAD.fetch_add(1, Ordering::Relaxed) as u32;
+        // ord: Relaxed — TRACE.seq: id tickets / capacity hint need only RMW atomicity
+        let cap = CAPACITY.load(Ordering::Relaxed).max(2);
+        ThreadRing {
+            thread,
+            slots: (0..cap).map(|_| Slot::new()).collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn thread_id(&self) -> u32 {
+        self.thread
+    }
+
+    /// Owner-only append. The seqlock write protocol (see module docs)
+    /// keeps concurrent snapshot readers from observing a half-written
+    /// slot as a real event.
+    pub(crate) fn push(&self, seq: u64, op: u64, meta: u64) {
+        // ord: Relaxed — TRACE.head: owner-only cursor, snapshots never read it
+        let h = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(h % self.slots.len() as u64) as usize];
+        // ord: Relaxed — TRACE.head: owner-only cursor, snapshots never read it
+        self.head.store(h + 1, Ordering::Relaxed);
+        // ord: Relaxed — TRACE.slot: seqlock writer side; the release fence below orders the odd store before the payload
+        let v = slot.ver.load(Ordering::Relaxed);
+        // ord: Relaxed — TRACE.slot: seqlock writer side; the release fence below orders the odd store before the payload
+        slot.ver.store(v.wrapping_add(1), Ordering::Relaxed);
+        // Release fence: any thread that observes a payload store below
+        // also observes the odd version above, so a reader can never
+        // pair new payload words with the old even version.
+        // ord: Release — TRACE.slot: seqlock write-begin fence (odd version visible before payload)
+        std::sync::atomic::fence(Ordering::Release);
+        // ord: Relaxed — TRACE.slot: payload words, guarded by the version protocol
+        slot.seq.store(seq, Ordering::Relaxed);
+        // ord: Relaxed — TRACE.slot: payload words, guarded by the version protocol
+        slot.op.store(op, Ordering::Relaxed);
+        // ord: Relaxed — TRACE.slot: payload words, guarded by the version protocol
+        slot.meta.store(meta, Ordering::Relaxed);
+        // ord: Release — TRACE.slot: seqlock publish; pairs with the reader's acquire ver load
+        slot.ver.store(v.wrapping_add(2), Ordering::Release);
+    }
+
+    /// Racy snapshot of every stable slot with `seq > floor`. Slots
+    /// mid-write (odd version, or version changed across the payload
+    /// reads) are skipped — stale beats torn.
+    fn read_stable(&self, floor: u64, out: &mut Vec<Event>) {
+        for slot in self.slots.iter() {
+            // ord: Acquire — TRACE.slot: seqlock read-begin; pairs with the writer's release publish
+            let v1 = slot.ver.load(Ordering::Acquire);
+            if v1 == 0 || v1 & 1 == 1 {
+                continue; // never written, or mid-write
+            }
+            // ord: Relaxed — TRACE.slot: payload words, guarded by the version protocol
+            let seq = slot.seq.load(Ordering::Relaxed);
+            // ord: Relaxed — TRACE.slot: payload words, guarded by the version protocol
+            let op = slot.op.load(Ordering::Relaxed);
+            // ord: Relaxed — TRACE.slot: payload words, guarded by the version protocol
+            let meta = slot.meta.load(Ordering::Relaxed);
+            // Acquire fence: orders the payload loads above before the
+            // re-check below, so an unchanged version proves the
+            // payload words all belong to one write.
+            // ord: Acquire — TRACE.slot: seqlock read-validate fence before the version re-check
+            std::sync::atomic::fence(Ordering::Acquire);
+            // ord: Relaxed — TRACE.slot: version re-check; the fence above orders it after the payload loads
+            let v2 = slot.ver.load(Ordering::Relaxed);
+            if v1 != v2 || seq == 0 || seq <= floor {
+                continue;
+            }
+            out.push(Event::unpack(seq, self.thread, op, meta));
+        }
+    }
+}
+
+/// Every live thread's ring (plus rings of exited threads, which stay
+/// readable: the black box must survive its writers).
+fn registry() -> &'static Mutex<Vec<Arc<ThreadRing>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<ThreadRing>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn rings() -> MutexGuard<'static, Vec<Arc<ThreadRing>>> {
+    registry().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+thread_local! {
+    static TL_RING: Arc<ThreadRing> = {
+        let ring = Arc::new(ThreadRing::new());
+        rings().push(Arc::clone(&ring));
+        ring
+    };
+}
+
+/// Run `f` against the calling thread's ring (registering it on first
+/// use). Best-effort during thread teardown, like the metrics shards.
+#[inline]
+pub(crate) fn with_local(f: impl FnOnce(&ThreadRing)) {
+    let _ = TL_RING.try_with(|r| f(r));
+}
+
+/// Set the per-thread ring capacity (events kept per thread) for
+/// threads that have not yet recorded their first event. Existing
+/// rings keep their size.
+pub fn set_ring_capacity(events: usize) {
+    // ord: Relaxed — TRACE.seq: id tickets / capacity hint need only RMW atomicity
+    CAPACITY.store(events.max(2), Ordering::Relaxed);
+}
+
+/// The trace thread id the calling thread records under (registers the
+/// ring if needed).
+pub fn current_thread_id() -> u32 {
+    TL_RING.with(|r| r.thread_id())
+}
+
+/// Merge every ring's stable events with `seq > floor` into one
+/// seq-ordered timeline. Safe to call while writers are running (the
+/// flight-recorder property); events from slots mid-overwrite are
+/// dropped rather than torn.
+pub(crate) fn snapshot_rings(floor: u64) -> Vec<Event> {
+    let rs: Vec<Arc<ThreadRing>> = rings().clone();
+    let mut out = Vec::new();
+    for r in &rs {
+        r.read_stable(floor, &mut out);
+    }
+    out.sort_unstable_by_key(|e| e.seq);
+    out
+}

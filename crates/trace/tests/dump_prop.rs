@@ -1,0 +1,110 @@
+//! Property tests for the merged dump: events are time-ordered (the
+//! global seq stamp is strictly ascending across the merge) and every
+//! per-OpId phase sequence is well-formed, for arbitrary op mixes
+//! executed on multiple real threads.
+
+use lf_trace::report::Report;
+use lf_trace::Phase;
+use proptest::prelude::*;
+
+/// One simulated op: which shard serves it, how many retry events it
+/// records, and whether it completes. (The lane tag comes from the
+/// worker thread the op lands on, as in the real async stack.)
+#[derive(Clone, Copy, Debug)]
+struct SimOp {
+    shard: u16,
+    retries: u8,
+    completes: bool,
+}
+
+/// Drive one op through the real emit paths, the way the async stack
+/// does: mint at the front door, adopt on the worker, emit phases.
+fn run_op(op: &SimOp) -> u64 {
+    let id = lf_trace::mint_op();
+    lf_trace::emit_for(id, Phase::Enqueue, 0);
+    let _g = lf_trace::enter_op(id);
+    let _s = lf_trace::shard_scope(op.shard);
+    lf_trace::emit_aux(Phase::Dequeue, 1);
+    lf_trace::emit(Phase::Search);
+    for i in 0..op.retries {
+        if i % 2 == 0 {
+            lf_trace::emit_aux(Phase::CasFail, u32::from(i));
+        } else {
+            lf_trace::emit(Phase::BacklinkWalk);
+        }
+    }
+    if op.completes {
+        lf_trace::emit_aux(Phase::Complete, 0);
+    }
+    id
+}
+
+const CASES: u32 = if cfg!(miri) { 4 } else { 64 };
+const MAX_OPS: usize = if cfg!(miri) { 12 } else { 120 };
+const THREADS: usize = if cfg!(miri) { 2 } else { 4 };
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+    #[test]
+    fn merged_dump_is_ordered_and_per_op_well_formed(
+        raw in proptest::collection::vec(
+            (0u16..8, 0u8..6, any::<bool>()),
+            1..MAX_OPS,
+        ),
+    ) {
+        let ops: Vec<SimOp> = raw
+            .iter()
+            .map(|&(shard, retries, completes)| SimOp { shard, retries, completes })
+            .collect();
+
+        lf_trace::enable();
+        let horizon = lf_trace::horizon();
+        // Chunk the ops over real worker threads so the merge actually
+        // interleaves rings.
+        let chunk = ops.len().div_ceil(THREADS);
+        let ids: Vec<(u64, SimOp)> = std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for (w, slice) in ops.chunks(chunk).enumerate() {
+                handles.push(s.spawn(move || {
+                    lf_trace::set_thread_lane(w as u8);
+                    slice.iter().map(|op| (run_op(op), *op)).collect::<Vec<_>>()
+                }));
+            }
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        lf_trace::disable();
+
+        // Only this case's events (the trace state is process-global
+        // and proptest reruns the body many times).
+        let events: Vec<lf_trace::Event> = lf_trace::snapshot()
+            .into_iter()
+            .filter(|e| e.seq > horizon)
+            .collect();
+
+        // Time-ordered: the merge is strictly seq-ascending.
+        prop_assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+
+        let report = Report::build(&events);
+        // Well-formed per-OpId sequences (ordering, single terminal
+        // complete, enqueue-before-dequeue-before-search).
+        let check = report.check_all();
+        prop_assert!(check.is_ok(), "malformed sequence: {:?}", check);
+
+        // And the reconstruction matches what each op actually did.
+        for (id, op) in &ids {
+            let hist = report.ops.get(id).expect("op history present");
+            prop_assert_eq!(hist.completed(), op.completes);
+            prop_assert_eq!(
+                hist.count(Phase::CasFail) + hist.count(Phase::BacklinkWalk),
+                usize::from(op.retries)
+            );
+            prop_assert_eq!(hist.events[0].phase, Phase::Enqueue);
+            prop_assert!(hist
+                .events
+                .iter()
+                .skip(1)
+                .all(|e| e.shard == op.shard));
+        }
+        prop_assert_eq!(report.ops.len(), ids.len());
+    }
+}

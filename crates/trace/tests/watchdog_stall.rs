@@ -1,0 +1,216 @@
+//! Watchdog end-to-end: a deliberately-stalled worker must trip the
+//! heartbeat monitor within its deadline and leave a non-empty,
+//! parseable flight-recorder dump that reconstructs the stalled op's
+//! phase history by `OpId`; healthy workers must not trip it; a static
+//! epoch under retire pressure must register as a reclamation stall.
+//!
+//! Trace state is process-global, so every test serializes on one
+//! lock and tags its events with freshly minted op ids.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use lf_trace::report::{parse_dump, Report};
+use lf_trace::watchdog::{Config, StallKind, Watchdog};
+use lf_trace::Phase;
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    TEST_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn tmp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("lf-trace-wd-{}-{tag}.jsonl", std::process::id()))
+}
+
+/// Spin until `cond` holds or `limit` elapses; returns success.
+fn wait_for(limit: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < limit {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    cond()
+}
+
+const DEADLINE: Duration = Duration::from_millis(if cfg!(miri) { 400 } else { 200 });
+const TRIP_LIMIT: Duration = Duration::from_secs(if cfg!(miri) { 120 } else { 10 });
+
+#[test]
+fn stalled_worker_trips_watchdog_and_dump_reconstructs_op() {
+    let _g = lock();
+    lf_trace::clear();
+    lf_trace::enable();
+    let dump = tmp_path("stall");
+    let _ = std::fs::remove_file(&dump);
+
+    let wd = Watchdog::start(Config {
+        deadline: DEADLINE,
+        poll: Some(Duration::from_millis(25)),
+        dump_path: Some(dump.clone()),
+        ..Config::default()
+    });
+    let hb = wd.register("lane-0");
+
+    let done = AtomicBool::new(false);
+    let stalled_op = std::thread::scope(|s| {
+        let worker = s.spawn(|| {
+            lf_trace::set_thread_lane(0);
+            // The op's life up to the hang: minted at the front door,
+            // dequeued by this worker, searching, then a retry loop
+            // that stops making progress (the injected stall).
+            let op = lf_trace::mint_op();
+            lf_trace::emit_for(op, Phase::Enqueue, 1);
+            let _guard = lf_trace::enter_op(op);
+            let _shard = lf_trace::shard_scope(2);
+            hb.busy();
+            lf_trace::emit_aux(Phase::Dequeue, 1);
+            lf_trace::emit(Phase::Search);
+            lf_trace::emit_aux(Phase::CasFail, 0);
+            lf_trace::emit(Phase::BacklinkWalk);
+            // Wedge: busy, never beating, never completing.
+            while !done.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            op
+        });
+
+        assert!(
+            wait_for(TRIP_LIMIT, || wd.trips() >= 1),
+            "watchdog did not trip within {TRIP_LIMIT:?}"
+        );
+        done.store(true, Ordering::Relaxed);
+        worker.join().unwrap()
+    });
+    lf_trace::disable();
+
+    let report = wd.last_report().expect("trip recorded a report");
+    assert_eq!(report.kind, StallKind::Heartbeat);
+    assert_eq!(report.label, "lane-0");
+    assert!(report.stalled_for >= DEADLINE);
+    assert_eq!(report.dump.as_deref(), Some(dump.as_path()));
+    assert!(report.dump_events > 0, "flight-recorder dump is empty");
+    wd.stop();
+
+    // The dump must parse and reconstruct the stalled op's phase
+    // history by OpId, tagged with its lane and shard.
+    let text = std::fs::read_to_string(&dump).unwrap();
+    let parsed = parse_dump(&text).expect("dump is valid JSON-lines");
+    assert_eq!(parsed.reason, "watchdog");
+    let r = Report::build(&parsed.events);
+    r.check_all().unwrap();
+    let hist = r.ops.get(&stalled_op).expect("stalled op in dump");
+    assert_eq!(
+        hist.phases(),
+        [
+            Phase::Enqueue,
+            Phase::Dequeue,
+            Phase::Search,
+            Phase::CasFail,
+            Phase::BacklinkWalk
+        ]
+    );
+    assert!(!hist.completed());
+    assert!(r.incomplete().iter().any(|h| h.op == stalled_op));
+    assert!(hist
+        .events
+        .iter()
+        .skip(1)
+        .all(|e| e.lane == 0 && e.shard == 2));
+    let _ = std::fs::remove_file(&dump);
+}
+
+#[test]
+fn healthy_workers_do_not_trip() {
+    let _g = lock();
+    let wd = Watchdog::start(Config {
+        deadline: Duration::from_millis(150),
+        poll: Some(Duration::from_millis(25)),
+        ..Config::default()
+    });
+    let beating = wd.register("beating");
+    let idle = wd.register("idle");
+    let _ = &idle; // registered but never busy: silence is healthy
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            beating.busy();
+            while !stop.load(Ordering::Relaxed) {
+                beating.beat();
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            beating.idle();
+        });
+        std::thread::sleep(Duration::from_millis(if cfg!(miri) { 400 } else { 600 }));
+        stop.store(true, Ordering::Relaxed);
+    });
+    assert_eq!(wd.trips(), 0, "healthy workers tripped the watchdog");
+    wd.stop();
+}
+
+#[test]
+fn reclamation_stall_is_detected() {
+    let _g = lock();
+    let wd = Watchdog::start(Config {
+        deadline: DEADLINE,
+        poll: Some(Duration::from_millis(25)),
+        ..Config::default()
+    });
+    // Retire pressure with a static epoch: the e6 failure shape.
+    for _ in 0..32 {
+        lf_trace::note_retire();
+    }
+    assert!(
+        wait_for(TRIP_LIMIT, || wd.trips() >= 1),
+        "reclamation stall not detected"
+    );
+    let report = wd.last_report().unwrap();
+    assert_eq!(report.kind, StallKind::Reclamation);
+    assert_eq!(report.label, "epoch");
+    let trips_after_first = wd.trips();
+
+    // Epoch progress resets the monitor: no further trips while the
+    // epoch keeps advancing.
+    lf_trace::note_epoch_advance();
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(wd.trips(), trips_after_first);
+    wd.stop();
+}
+
+#[test]
+fn dump_request_is_serviced_by_monitor() {
+    let _g = lock();
+    lf_trace::clear();
+    lf_trace::enable();
+    lf_trace::emit(Phase::Search);
+    lf_trace::disable();
+    let dump = tmp_path("sigusr1");
+    let _ = std::fs::remove_file(&dump);
+
+    let wd = Watchdog::start(Config {
+        deadline: Duration::from_secs(60),
+        poll: Some(Duration::from_millis(25)),
+        dump_path: Some(dump.clone()),
+        ..Config::default()
+    });
+    // Same flag SIGUSR1 raises, minus the process signal (portable
+    // under Miri and on non-unix).
+    lf_trace::recorder::request_dump();
+    assert!(
+        wait_for(TRIP_LIMIT, || dump.exists()),
+        "monitor never serviced the dump request"
+    );
+    wd.stop();
+    let parsed = parse_dump(&std::fs::read_to_string(&dump).unwrap()).unwrap();
+    assert_eq!(parsed.reason, "sigusr1");
+    assert!(!parsed.events.is_empty());
+    let _ = std::fs::remove_file(&dump);
+}

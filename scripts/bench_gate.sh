@@ -85,7 +85,14 @@ median = statistics.median(deltas)
 print(f"{exp}: median delta {median:+.1f}% over {len(shared)} rows "
       f"(gate: fail below -{threshold:.0f}%)")
 if median < -threshold:
+    # Name the metric and both medians so the failure is actionable
+    # straight from the CI log, without re-running anything locally.
+    base_median = statistics.median(base[k] for k in shared)
+    fresh_median = statistics.median(fresh[k] for k in shared)
     print(f"{exp}: REGRESSION beyond {threshold:.0f}% threshold")
+    print(f"{exp}: offending metric: throughput_ops_per_s (fr-* rows)")
+    print(f"{exp}:   baseline median: {base_median:,.0f} ops/s ({baseline_path})")
+    print(f"{exp}:   fresh median:    {fresh_median:,.0f} ops/s ({fresh_path})")
     sys.exit(1)
 PY
 done
