@@ -12,6 +12,7 @@
 use std::hash::Hash;
 
 use lf_core::{FrList, SkipList};
+use lf_reclaim::{Publish, Reclaim};
 use lf_shard::{ShardedHandle, ShardedSkipList};
 
 use crate::op::{GetWithVisitor, Request, Response};
@@ -87,15 +88,16 @@ pub trait BackendHandle<K, V> {
     fn flush_reclamation(&self);
 }
 
-impl<K, V> AsyncBackend for FrList<K, V>
+impl<K, V, R> AsyncBackend for FrList<K, V, R>
 where
     K: Ord + Clone + Send + Sync + 'static,
     V: Clone + Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
 {
     type Key = K;
     type Value = V;
     type Handle<'a>
-        = lf_core::ListHandle<'a, K, V>
+        = lf_core::ListHandle<'a, K, V, R>
     where
         Self: 'a;
 
@@ -108,10 +110,11 @@ where
     }
 }
 
-impl<K, V> BackendHandle<K, V> for lf_core::ListHandle<'_, K, V>
+impl<K, V, R> BackendHandle<K, V> for lf_core::ListHandle<'_, K, V, R>
 where
     K: Ord + Clone + Send + Sync + 'static,
     V: Clone + Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
 {
     fn apply(&self, req: Request<K, V>) -> Response<V> {
         match req {
@@ -137,15 +140,16 @@ where
     }
 }
 
-impl<K, V> AsyncBackend for SkipList<K, V>
+impl<K, V, R> AsyncBackend for SkipList<K, V, R>
 where
     K: Ord + Clone + Send + Sync + 'static,
     V: Clone + Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
 {
     type Key = K;
     type Value = V;
     type Handle<'a>
-        = lf_core::SkipListHandle<'a, K, V>
+        = lf_core::SkipListHandle<'a, K, V, R>
     where
         Self: 'a;
 
@@ -158,10 +162,11 @@ where
     }
 }
 
-impl<K, V> BackendHandle<K, V> for lf_core::SkipListHandle<'_, K, V>
+impl<K, V, R> BackendHandle<K, V> for lf_core::SkipListHandle<'_, K, V, R>
 where
     K: Ord + Clone + Send + Sync + 'static,
     V: Clone + Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
 {
     fn apply(&self, req: Request<K, V>) -> Response<V> {
         match req {
@@ -187,15 +192,16 @@ where
     }
 }
 
-impl<K, V> AsyncBackend for ShardedSkipList<K, V>
+impl<K, V, R> AsyncBackend for ShardedSkipList<K, V, R>
 where
     K: Ord + Hash + Clone + Send + Sync + 'static,
     V: Clone + Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
 {
     type Key = K;
     type Value = V;
     type Handle<'a>
-        = ShardedHandle<'a, K, V>
+        = ShardedHandle<'a, K, V, R>
     where
         Self: 'a;
 
@@ -224,10 +230,11 @@ where
     }
 }
 
-impl<K, V> BackendHandle<K, V> for ShardedHandle<'_, K, V>
+impl<K, V, R> BackendHandle<K, V> for ShardedHandle<'_, K, V, R>
 where
     K: Ord + Hash + Clone + Send + Sync + 'static,
     V: Clone + Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
 {
     fn apply(&self, req: Request<K, V>) -> Response<V> {
         match req {

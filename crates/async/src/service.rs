@@ -584,13 +584,16 @@ pub struct Service<B: AsyncBackend> {
     watchdog: Option<lf_trace::watchdog::Watchdog>,
 }
 
-/// A [`Service`] over [`FrList`].
-pub type AsyncList<K, V> = Service<FrList<K, V>>;
-/// A [`Service`] over [`SkipList`].
-pub type AsyncSkipList<K, V> = Service<SkipList<K, V>>;
+/// A [`Service`] over [`FrList`], generic over the reclamation
+/// backend (default EBR); build non-default backends with
+/// [`ServiceBuilder::build`] over a pre-constructed list.
+pub type AsyncList<K, V, R = lf_reclaim::Ebr> = Service<FrList<K, V, R>>;
+/// A [`Service`] over [`SkipList`] (backend-generic like
+/// [`AsyncList`]).
+pub type AsyncSkipList<K, V, R = lf_reclaim::Ebr> = Service<SkipList<K, V, R>>;
 /// A [`Service`] over a [`ShardedSkipList`], lanes affine to shards;
-/// built by [`ShardedBuilder`].
-pub type AsyncShardedMap<K, V> = Service<ShardedSkipList<K, V>>;
+/// built by [`ShardedBuilder`] (backend-generic like [`AsyncList`]).
+pub type AsyncShardedMap<K, V, R = lf_reclaim::Ebr> = Service<ShardedSkipList<K, V, R>>;
 
 impl<B: AsyncBackend> Service<B> {
     /// Look up `key` (clone of the value).

@@ -20,6 +20,15 @@ pub trait BenchMap: Send + Sync + 'static {
 
     /// Display name for tables.
     fn name() -> &'static str;
+
+    /// Peak retired-but-unfreed object count of the map's reclamation
+    /// domain, when it tracks one (see
+    /// [`lf_metrics::UnreclaimedGauge`]). `None` for maps without a
+    /// gauge-instrumented domain; the E14 cross-SMR adapters override
+    /// this so the runner can report peak unreclaimed memory per run.
+    fn peak_unreclaimed(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Per-thread operations on a [`BenchMap`].

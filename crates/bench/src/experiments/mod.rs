@@ -12,6 +12,7 @@ pub mod e10_additivity;
 pub mod e11_lock_freedom;
 pub mod e12_tower_census;
 pub mod e13_shard_scaling;
+pub mod e14_smr_matrix;
 pub mod e1_deletion_trace;
 pub mod e2_adversarial;
 pub mod e3_amortized;
@@ -22,7 +23,7 @@ pub mod e7_async_service;
 pub mod e8_flag_ablation;
 pub mod e9_cas_breakdown;
 
-/// Run one experiment by id (`"e1"` … `"e13"` or `"all"`).
+/// Run one experiment by id (`"e1"` … `"e14"` or `"all"`).
 ///
 /// Returns `false` if the id is unknown.
 pub fn dispatch(id: &str, quick: bool) -> bool {
@@ -40,9 +41,11 @@ pub fn dispatch(id: &str, quick: bool) -> bool {
         "e11" => e11_lock_freedom::run(quick),
         "e12" => e12_tower_census::run(quick),
         "e13" => e13_shard_scaling::run(quick),
+        "e14" => e14_smr_matrix::run(quick),
         "all" => {
             for id in [
                 "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+                "e14",
             ] {
                 assert!(dispatch(id, quick));
                 println!();
@@ -65,15 +68,18 @@ pub(crate) fn artifact_row(
 ) -> String {
     use lf_metrics::export::{histogram_json, JsonObj};
     let lat = res.telemetry.op_latency_ns();
-    JsonObj::new()
+    let mut obj = JsonObj::new()
         .field_str("experiment", experiment)
         .field_str("impl", structure)
         .field_str("mix", mix)
         .field_u64("threads", threads as u64)
         .field_u64("ops", res.ops)
         .field_f64("throughput_ops_per_s", res.throughput())
-        .field_f64("steps_per_op", res.steps_per_op())
-        .field_u64("latency_p50_ns", lat.p50())
+        .field_f64("steps_per_op", res.steps_per_op());
+    if let Some(peak) = res.peak_unreclaimed {
+        obj = obj.field_u64("peak_unreclaimed", peak);
+    }
+    obj.field_u64("latency_p50_ns", lat.p50())
         .field_u64("latency_p99_ns", lat.p99())
         .field_raw("latency_ns", &histogram_json(lat))
         .field_raw("cas_retries", &histogram_json(res.telemetry.cas_retries()))

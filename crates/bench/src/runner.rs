@@ -37,6 +37,9 @@ pub struct RunResult {
     /// Full telemetry delta (scalar counters plus latency / retry /
     /// backlink / hop distributions) for the measured phase.
     pub telemetry: lf_metrics::Telemetry,
+    /// Peak unreclaimed objects in the map's reclamation domain over
+    /// the whole run (prefill included), when the map reports one.
+    pub peak_unreclaimed: Option<u64>,
 }
 
 impl RunResult {
@@ -132,6 +135,7 @@ pub fn run_mixed<M: BenchMap>(cfg: &RunConfig) -> RunResult {
         elapsed,
         metrics: telemetry.counters,
         telemetry,
+        peak_unreclaimed: map.peak_unreclaimed(),
     }
 }
 

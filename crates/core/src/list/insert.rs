@@ -5,29 +5,30 @@ use std::ptr;
 use std::sync::atomic::Ordering;
 
 use lf_metrics::CasType;
-use lf_reclaim::Guard;
-use lf_tagged::{Backoff, TagBits, TaggedPtr};
+use lf_reclaim::{Publish, Reclaim};
+use lf_tagged::Backoff;
 
 use super::{Bound, FrList, Mode, Node};
 use crate::pool::LocalPool;
 
-impl<K, V> FrList<K, V>
+impl<K, V, R> FrList<K, V, R>
 where
     K: Ord + Send + Sync + 'static,
     V: Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
 {
     /// Paper `Insert(k, e)` (Fig. 5).
     ///
     /// # Safety
     ///
-    /// `guard` must pin this list's collector; `pool` must front this
+    /// `guard` must pin this list's domain; `pool` must front this
     /// list's shared pool.
     pub(crate) unsafe fn insert_impl(
         &self,
         key: K,
         value: V,
-        pool: &LocalPool<Node<K, V>>,
-        guard: &Guard<'_>,
+        pool: &LocalPool<Node<K, V, R>>,
+        guard: &R::Guard<'_>,
     ) -> Result<(), (K, V)> {
         // SAFETY: the fn's `# Safety` contract covers the whole body.
         unsafe {
@@ -38,9 +39,17 @@ where
             }
             // Line 4: create the node on a pooled block (ownership of
             // key/value moves in; we read them back out if the insert
-            // ultimately fails).
-            let new_node = pool.acquire(1);
-            Node::init_at(new_node, Bound::Key(key), Some(value), ptr::null_mut());
+            // ultimately fails). Recycled blocks are re-initialized
+            // through the seqlock protocol under pin-free backends.
+            let (new_node, recycled) = pool.acquire(1);
+            Node::init_at(
+                new_node,
+                Bound::Key(key),
+                Some(value),
+                ptr::null_mut(),
+                R::birth_epoch(guard),
+                recycled,
+            );
 
             // Lines 5–22.
             let backoff = Backoff::new();
@@ -51,14 +60,16 @@ where
                     // of its successor complete (which removes the flag).
                     self.help_flagged(prev, prev_succ.ptr(), guard);
                 } else {
-                    // Line 10: set the new node's successor. Relaxed: the
-                    // node is still thread-private; the Release insertion
-                    // C&S below is what publishes this store (and every
-                    // other field) to readers that Acquire-load prev.succ.
+                    // Line 10: set the new node's successor (stamped with
+                    // next's birth so pin-free readers can validate the
+                    // hop). Relaxed: the node is still thread-private (or
+                    // builder-bit-guarded); the Release insertion C&S
+                    // below is what publishes this store (and every other
+                    // field) to readers that Acquire-load prev.succ.
                     // ord: Relaxed — LIST.node-init: node is thread-private until the insert C&S
                     (*new_node)
                         .succ
-                        .store(TaggedPtr::unmarked(next), Ordering::Relaxed);
+                        .store(Node::clean_ptr(next), Ordering::Relaxed);
                     // Line 11: the insertion C&S (type 1). Release on
                     // success publishes the new node's initialization —
                     // the invariant every traversal relies on when it
@@ -67,8 +78,8 @@ where
                     // pointer whose target we dereference in HelpFlagged.
                     // ord: Release/Acquire — LIST.insert-cas: publish node init; inspect failure
                     let res = (*prev).succ.compare_exchange(
-                        TaggedPtr::unmarked(next),
-                        TaggedPtr::unmarked(new_node),
+                        Node::clean_ptr(next),
+                        Node::clean_ptr(new_node),
                         Ordering::Release,
                         Ordering::Acquire,
                     );
@@ -108,7 +119,10 @@ where
                 next = n;
                 // Line 20–22: a concurrent insert won the key. The node was
                 // never published, so move key/element back out and return
-                // the block to the thread-local pool.
+                // the block to the thread-local pool. (No stale reader can
+                // hold this tenant's stamp — it was never reachable — so
+                // releasing without a grace period is sound even under
+                // pin-free backends.)
                 if (*prev).key == (*new_node).key {
                     let k = ptr::read(&(*new_node).key);
                     let v = ptr::read(&(*new_node).element);
@@ -126,8 +140,8 @@ where
     ///
     /// # Safety
     ///
-    /// `guard` must pin this list's collector.
-    pub(crate) unsafe fn delete_impl(&self, k: &K, guard: &Guard<'_>) -> Option<V>
+    /// `guard` must pin this list's domain.
+    pub(crate) unsafe fn delete_impl(&self, k: &K, guard: &R::Guard<'_>) -> Option<V>
     where
         V: Clone,
     {
@@ -140,7 +154,7 @@ where
                 return None;
             }
             // Line 4: first deletion step — flag the predecessor.
-            // ord: Release/Acquire — LIST.flag-cas: wrapped flagging C&S; pred is dereferenced
+            // ord: Release/Acquire/Relaxed — LIST.flag-cas: wrapped flagging C&S; pred is dereferenced
             let (prev, result) = self.try_flag(prev, del, guard);
             // Line 5–6: if we know the flagged predecessor, complete the
             // marking and physical deletion (steps two and three).
@@ -175,13 +189,13 @@ where
     /// `guard`, with `prev` a last-known predecessor of `target`.
     pub(crate) unsafe fn try_flag(
         &self,
-        mut prev: *mut Node<K, V>,
-        target: *mut Node<K, V>,
-        guard: &Guard<'_>,
-    ) -> (*mut Node<K, V>, bool) {
+        mut prev: *mut Node<K, V, R>,
+        target: *mut Node<K, V, R>,
+        guard: &R::Guard<'_>,
+    ) -> (*mut Node<K, V, R>, bool) {
         // SAFETY: the fn's `# Safety` contract covers the whole body.
         unsafe {
-            let flagged = TaggedPtr::new(target, TagBits::Flagged);
+            let flagged = Node::flagged_ptr(target);
             let backoff = Backoff::new();
             loop {
                 // Line 2–3: predecessor already flagged by someone else.
@@ -196,9 +210,9 @@ where
                 // thread's prior accesses for those helpers. Acquire on
                 // failure: the found pointer may be dereferenced (flagged →
                 // HelpFlagged) or its key read after the backlink walk.
-                // ord: Release/Acquire — LIST.flag-cas: freeze edge; failure is decoded
+                // ord: Release/Acquire/Relaxed — LIST.flag-cas: freeze edge; failure is decoded
                 let res = (*prev).succ.compare_exchange(
-                    TaggedPtr::unmarked(target),
+                    Node::clean_ptr(target),
                     flagged,
                     Ordering::Release,
                     Ordering::Acquire,
@@ -247,9 +261,9 @@ where
     /// `prev.succ` was observed flagged pointing at `del`.
     pub(crate) unsafe fn help_flagged(
         &self,
-        prev: *mut Node<K, V>,
-        del: *mut Node<K, V>,
-        guard: &Guard<'_>,
+        prev: *mut Node<K, V, R>,
+        del: *mut Node<K, V, R>,
+        guard: &R::Guard<'_>,
     ) {
         // SAFETY: the fn's `# Safety` contract covers the whole body.
         unsafe {
@@ -259,7 +273,8 @@ where
             // never changes once set (INV 4). Release: recovery walks
             // Acquire-load this field and dereference `prev`; the edge
             // carries the happens-before to prev's initialization (which we
-            // hold from the Acquire load that found the flag).
+            // hold from the Acquire load that found the flag). Backlinks
+            // are walked only by pinned threads, so they carry no stamp.
             // ord: Release — LIST.backlink-set: set before mark, read after mark
             (*del).backlink.store(prev, Ordering::Release);
             // Line 2–3: second deletion step.
@@ -277,7 +292,7 @@ where
     /// # Safety
     ///
     /// `del` must be a node of this list protected by `guard`.
-    pub(crate) unsafe fn try_mark(&self, del: *mut Node<K, V>, guard: &Guard<'_>) {
+    pub(crate) unsafe fn try_mark(&self, del: *mut Node<K, V, R>, guard: &R::Guard<'_>) {
         // SAFETY: the fn's `# Safety` contract covers the whole body.
         unsafe {
             let backoff = Backoff::new();
@@ -290,11 +305,12 @@ where
                 // the frozen field and install its `next` into the
                 // predecessor, relying on this RMW extending next's release
                 // sequence. Acquire on failure: the found pointer is
-                // dereferenced below when flagged.
+                // dereferenced below when flagged. The expected value
+                // carries next's stamp, so the mark transform preserves it.
                 // ord: Release/Acquire — LIST.mark-cas: mark freezes succ; failure decoded
                 let res = (*del).succ.compare_exchange(
-                    TaggedPtr::unmarked(next),
-                    TaggedPtr::new(next, TagBits::Marked),
+                    Node::clean_ptr(next),
+                    Node::clean_ptr(next).with_mark(),
                     Ordering::Release,
                     Ordering::Acquire,
                 );

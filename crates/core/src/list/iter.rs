@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use lf_reclaim::Guard;
+use lf_reclaim::{Ebr, Publish, Reclaim};
 
 use super::{Bound, ListHandle, Node};
 
@@ -11,25 +11,26 @@ use super::{Bound, ListHandle, Node};
 ///
 /// Pins the thread for its whole lifetime; drop it promptly in
 /// long-running threads so reclamation can advance.
-pub struct Iter<'h, 'l, K, V> {
-    _handle: &'h ListHandle<'l, K, V>,
-    _guard: Guard<'h>,
-    curr: *mut Node<K, V>,
+pub struct Iter<'h, 'l, K, V, R: Reclaim = Ebr> {
+    _handle: &'h ListHandle<'l, K, V, R>,
+    _guard: R::Guard<'h>,
+    curr: *mut Node<K, V, R>,
 }
 
-impl<K, V> fmt::Debug for Iter<'_, '_, K, V> {
+impl<K, V, R: Reclaim> fmt::Debug for Iter<'_, '_, K, V, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("list::Iter")
     }
 }
 
-impl<'h, 'l, K, V> Iter<'h, 'l, K, V>
+impl<'h, 'l, K, V, R> Iter<'h, 'l, K, V, R>
 where
     K: Ord + Send + Sync + 'static,
     V: Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
 {
-    pub(crate) fn new(handle: &'h ListHandle<'l, K, V>) -> Self {
-        let guard = handle.reclaim.pin();
+    pub(crate) fn new(handle: &'h ListHandle<'l, K, V, R>) -> Self {
+        let guard = R::pin(&handle.reclaim);
         Iter {
             curr: handle.list.head,
             _handle: handle,
@@ -38,10 +39,11 @@ where
     }
 }
 
-impl<K, V> Iterator for Iter<'_, '_, K, V>
+impl<K, V, R> Iterator for Iter<'_, '_, K, V, R>
 where
     K: Ord + Clone + Send + Sync + 'static,
     V: Clone + Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
 {
     type Item = (K, V);
 

@@ -20,10 +20,20 @@
 //! point at nodes that were unmarked when the backlink was set, so
 //! chains of backlinks never grow rightwards; this is what gives the
 //! amortized `O(n(S) + c(S))` bound.
+//!
+//! # Pluggable reclamation
+//!
+//! The list is generic over its safe-memory-reclamation backend
+//! (`R:` [`Reclaim`], DESIGN.md §13), defaulting to epoch-based
+//! reclamation ([`Ebr`]). Under a backend with pin-free reads (VBR,
+//! `lf-vbr`), node pointers carry 16-bit birth stamps and
+//! [`ListHandle::try_read`] can look keys up without announcing
+//! anything to the reclamation domain.
 
 mod insert;
 mod iter;
 mod node;
+mod read;
 mod search;
 mod set;
 
@@ -36,7 +46,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use lf_reclaim::{Collector, LocalHandle};
+use lf_reclaim::{Ebr, Publish, Reclaim};
 use lf_tagged::CachePadded;
 
 use crate::pool::{LocalPool, SharedPool};
@@ -70,6 +80,10 @@ pub(crate) enum Mode {
 /// convenience methods on `FrList` itself register a fresh handle per
 /// call and are noticeably slower.
 ///
+/// The third type parameter selects the reclamation backend and
+/// defaults to [`Ebr`]; [`FrList::with_backend`] builds a list over any
+/// [`Reclaim`] implementor (e.g. `lf_vbr::Vbr` for pin-free reads).
+///
 /// # Examples
 ///
 /// ```
@@ -83,15 +97,15 @@ pub(crate) enum Mode {
 /// assert_eq!(h.remove(&3), Some("three"));
 /// assert_eq!(h.get(&3), None);
 /// ```
-pub struct FrList<K, V> {
-    pub(crate) head: *mut Node<K, V>,
-    pub(crate) tail: *mut Node<K, V>,
+pub struct FrList<K, V, R: Reclaim = Ebr> {
+    pub(crate) head: *mut Node<K, V, R>,
+    pub(crate) tail: *mut Node<K, V, R>,
     /// Declared before `pool` so retire closures fire (returning blocks
     /// to the pool) before the pool's own `Arc` here is released.
-    pub(crate) collector: Collector,
-    /// Free-block store fed by the epoch collector; handles draw from it
-    /// through per-thread caches.
-    pub(crate) pool: Arc<SharedPool<Node<K, V>>>,
+    pub(crate) domain: R::Domain,
+    /// Free-block store fed by the reclamation backend; handles draw
+    /// from it through per-thread caches.
+    pub(crate) pool: Arc<SharedPool<Node<K, V, R>>>,
     /// Cache-line-aligned: every successful insert/delete bumps this
     /// word; without padding it would false-share with the (read-only)
     /// head/tail pointers above on the same line.
@@ -99,25 +113,29 @@ pub struct FrList<K, V> {
 }
 
 // SAFETY: all shared mutation goes through atomic successor fields and
-// backlinks; nodes are freed only via the epoch collector or in `Drop`
-// (unique access). `K`/`V` cross threads, hence the bounds.
-unsafe impl<K: Send + Sync, V: Send + Sync> Send for FrList<K, V> {}
+// backlinks; nodes are freed only via the reclamation backend or in
+// `Drop` (unique access). `K`/`V` cross threads, hence the bounds;
+// `R::Domain` and `R::Slot<_>` are `Send + Sync` by the `Reclaim`
+// contract.
+unsafe impl<K: Send + Sync, V: Send + Sync, R: Reclaim> Send for FrList<K, V, R> {}
 // SAFETY: same argument as `Send` above.
-unsafe impl<K: Send + Sync, V: Send + Sync> Sync for FrList<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync, R: Reclaim> Sync for FrList<K, V, R> {}
 
-impl<K, V> Default for FrList<K, V>
+impl<K, V, R> Default for FrList<K, V, R>
 where
     K: Ord + Send + Sync + 'static,
     V: Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
 {
     fn default() -> Self {
-        Self::new()
+        Self::with_backend()
     }
 }
 
-impl<K, V> fmt::Debug for FrList<K, V> {
+impl<K, V, R: Reclaim> fmt::Debug for FrList<K, V, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("FrList")
+            .field("backend", &R::NAME)
             // ord: Relaxed — STAT.len: pure statistic
             .field("len", &self.len.load(Ordering::Relaxed))
             .finish()
@@ -129,23 +147,43 @@ where
     K: Ord + Send + Sync + 'static,
     V: Send + Sync + 'static,
 {
-    /// Create an empty list (head and tail sentinels only).
+    /// Create an empty list (head and tail sentinels only) over the
+    /// default EBR backend.
     pub fn new() -> Self {
+        Self::with_backend()
+    }
+}
+
+impl<K, V, R> FrList<K, V, R>
+where
+    K: Ord + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
+{
+    /// Create an empty list over the reclamation backend `R`.
+    pub fn with_backend() -> Self {
+        Self::with_domain(R::new_domain())
+    }
+
+    /// Create an empty list inside an existing reclamation `domain`
+    /// (lists sharing a domain also share its grace-period bookkeeping,
+    /// but not their node pools).
+    pub fn with_domain(domain: R::Domain) -> Self {
         let tail = Node::alloc(Bound::PosInf, None, std::ptr::null_mut());
         let head = Node::alloc(Bound::NegInf, None, tail);
         FrList {
             head,
             tail,
-            collector: Collector::new(),
+            domain,
             pool: SharedPool::new(),
             len: CachePadded::new(AtomicUsize::new(0)),
         }
     }
 
     /// Register the calling thread and return an operation handle.
-    pub fn handle(&self) -> ListHandle<'_, K, V> {
-        let reclaim = self.collector.register();
-        reclaim.amortize_pins(PIN_AMORTIZE_OPS);
+    pub fn handle(&self) -> ListHandle<'_, K, V, R> {
+        let reclaim = R::register(&self.domain);
+        R::amortize_pins(&reclaim, PIN_AMORTIZE_OPS);
         ListHandle {
             list: self,
             reclaim,
@@ -184,7 +222,12 @@ where
     }
 }
 
-impl<K, V> FrList<K, V> {
+impl<K, V, R: Reclaim> FrList<K, V, R> {
+    /// The reclamation domain this list retires into.
+    pub fn domain(&self) -> &R::Domain {
+        &self.domain
+    }
+
     /// Number of elements (exact when quiescent; during concurrent
     /// updates it may transiently lag in-flight operations).
     pub fn len(&self) -> usize {
@@ -240,16 +283,17 @@ impl<K, V> FrList<K, V> {
     }
 }
 
-impl<K, V> Drop for FrList<K, V> {
+impl<K, V, R: Reclaim> Drop for FrList<K, V, R> {
     fn drop(&mut self) {
         // Unique access: free every node still linked from the head
         // (regular and logically-deleted nodes). Physically deleted
         // nodes are disjoint from this chain and are freed when
-        // `collector` drops right after.
+        // `domain` drops right after.
         let mut cur = self.head;
         while !cur.is_null() {
             // SAFETY: `&mut self` gives unique access; chain nodes were
-            // Box-allocated and are freed exactly once here.
+            // Box-allocated (or cap-1 pool blocks with Box layout) and
+            // are freed exactly once here.
             let next = unsafe { (*cur).right() };
             // SAFETY: as above.
             drop(unsafe { Box::from_raw(cur) });
@@ -260,25 +304,27 @@ impl<K, V> Drop for FrList<K, V> {
 
 /// A per-thread handle to an [`FrList`].
 ///
-/// Owns the thread's registration with the list's epoch collector; every
-/// operation pins the thread for its duration. Not `Send`.
-pub struct ListHandle<'l, K, V> {
-    pub(crate) list: &'l FrList<K, V>,
-    pub(crate) reclaim: LocalHandle,
+/// Owns the thread's registration with the list's reclamation domain;
+/// every operation (except [`try_read`](Self::try_read) on a pin-free
+/// backend) pins the thread for its duration. Not `Send`.
+pub struct ListHandle<'l, K, V, R: Reclaim = Ebr> {
+    pub(crate) list: &'l FrList<K, V, R>,
+    pub(crate) reclaim: R::Handle,
     /// Thread-private cache of free node blocks.
-    pub(crate) pool: LocalPool<Node<K, V>>,
+    pub(crate) pool: LocalPool<Node<K, V, R>>,
 }
 
-impl<K, V> fmt::Debug for ListHandle<'_, K, V> {
+impl<K, V, R: Reclaim> fmt::Debug for ListHandle<'_, K, V, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("ListHandle")
     }
 }
 
-impl<'l, K, V> ListHandle<'l, K, V>
+impl<'l, K, V, R> ListHandle<'l, K, V, R>
 where
     K: Ord + Send + Sync + 'static,
     V: Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
 {
     /// Insert `key → value`.
     ///
@@ -290,8 +336,8 @@ where
     /// both back to the caller (the paper's `DUPLICATE_KEY`).
     pub fn insert(&self, key: K, value: V) -> Result<(), (K, V)> {
         let op = lf_metrics::op_begin();
-        let guard = self.reclaim.pin();
-        // SAFETY: `guard` pins this list's collector; `pool` fronts its pool.
+        let guard = R::pin(&self.reclaim);
+        // SAFETY: `guard` pins this list's domain; `pool` fronts its pool.
         let res = unsafe { self.list.insert_impl(key, value, &self.pool, &guard) };
         drop(guard);
         lf_metrics::op_end(op);
@@ -307,8 +353,8 @@ where
         V: Clone,
     {
         let op = lf_metrics::op_begin();
-        let guard = self.reclaim.pin();
-        // SAFETY: `guard` pins this list's collector.
+        let guard = R::pin(&self.reclaim);
+        // SAFETY: `guard` pins this list's domain.
         let res = unsafe { self.list.delete_impl(key, &guard) };
         drop(guard);
         lf_metrics::op_end(op);
@@ -321,11 +367,11 @@ where
         V: Clone,
     {
         let op = lf_metrics::op_begin();
-        let guard = self.reclaim.pin();
-        // SAFETY: `guard` pins this list's collector; the returned node
+        let guard = R::pin(&self.reclaim);
+        // SAFETY: `guard` pins this list's domain; the returned node
         // stays live while `guard` is held.
         let res = unsafe {
-            // ord: Release/Acquire — LIST.flag-cas: search helps flagged deletions (wrapped C&S)
+            // ord: Release/Acquire/Relaxed — LIST.flag-cas: search helps flagged deletions (wrapped C&S)
             self.list
                 .search_impl(key, &guard)
                 .map(|n| (*n).element.clone().expect("user node has element"))
@@ -338,18 +384,18 @@ where
     /// Look up `key` and apply `f` to a borrow of its value, without
     /// cloning (`None` if the key is absent).
     ///
-    /// The visitor runs under this handle's epoch pin: the borrow is
-    /// valid for exactly the duration of the call, so `f` must not
-    /// stash it. Keep `f` short — the pin delays reclamation
-    /// domain-wide while it runs.
-    pub fn get_with<R>(&self, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
+    /// The visitor runs under this handle's pin: the borrow is valid
+    /// for exactly the duration of the call, so `f` must not stash it.
+    /// Keep `f` short — the pin delays reclamation domain-wide while it
+    /// runs.
+    pub fn get_with<T>(&self, key: &K, f: impl FnOnce(&V) -> T) -> Option<T> {
         let op = lf_metrics::op_begin();
-        let guard = self.reclaim.pin();
-        // SAFETY: `guard` pins this list's collector; the node (and the
+        let guard = R::pin(&self.reclaim);
+        // SAFETY: `guard` pins this list's domain; the node (and the
         // borrow of its element handed to `f`) stays live while `guard`
         // is held, which spans the visitor call.
         let res = unsafe {
-            // ord: Release/Acquire — LIST.flag-cas: search helps flagged deletions (wrapped C&S)
+            // ord: Release/Acquire/Relaxed — LIST.flag-cas: search helps flagged deletions (wrapped C&S)
             self.list
                 .search_impl(key, &guard)
                 .map(|n| f((*n).element.as_ref().expect("user node has element")))
@@ -362,9 +408,9 @@ where
     /// Whether `key` is present.
     pub fn contains(&self, key: &K) -> bool {
         let op = lf_metrics::op_begin();
-        let guard = self.reclaim.pin();
-        // SAFETY: `guard` pins this list's collector.
-        // ord: Release/Acquire — LIST.flag-cas: search helps flagged deletions (wrapped C&S)
+        let guard = R::pin(&self.reclaim);
+        // SAFETY: `guard` pins this list's domain.
+        // ord: Release/Acquire/Relaxed — LIST.flag-cas: search helps flagged deletions (wrapped C&S)
         let res = unsafe { self.list.search_impl(key, &guard).is_some() };
         drop(guard);
         lf_metrics::op_end(op);
@@ -376,7 +422,7 @@ where
     ///
     /// Concurrent updates may or may not be reflected; every pair
     /// yielded was present at some moment during the iteration.
-    pub fn iter(&self) -> Iter<'_, 'l, K, V>
+    pub fn iter(&self) -> Iter<'_, 'l, K, V, R>
     where
         K: Clone,
         V: Clone,
@@ -430,7 +476,7 @@ where
     }
 
     /// The list this handle operates on.
-    pub fn list(&self) -> &'l FrList<K, V> {
+    pub fn list(&self) -> &'l FrList<K, V, R> {
         self.list
     }
 
@@ -441,7 +487,7 @@ where
     /// `LocalHandle::quiesce`), so a thread that stops operating can
     /// stop delaying the whole domain's reclamation.
     pub fn flush_reclamation(&self) {
-        self.reclaim.flush();
+        R::flush(&self.reclaim);
     }
 
     /// Withdraw this handle's standing epoch announcement without
@@ -454,7 +500,7 @@ where
     /// [`flush_reclamation`](Self::flush_reclamation), or drop the
     /// handle) when the thread will stop operating for a while.
     pub fn quiesce(&self) {
-        self.reclaim.quiesce();
+        R::quiesce(&self.reclaim);
     }
 
     /// Re-tune how many consecutive operations share one standing epoch
@@ -464,21 +510,22 @@ where
     /// this to the batch size so a whole drained batch costs a single
     /// announcement, then [`quiesce`](Self::quiesce) between batches.
     pub fn amortize_pins(&self, every: u32) {
-        self.reclaim.amortize_pins(every);
+        R::amortize_pins(&self.reclaim, every);
     }
 }
 
 #[cfg(test)]
 mod tests;
 
-impl<K, V> FromIterator<(K, V)> for FrList<K, V>
+impl<K, V, R> FromIterator<(K, V)> for FrList<K, V, R>
 where
     K: Ord + Send + Sync + 'static,
     V: Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
 {
     /// Build a list from pairs; later duplicates are dropped.
     fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
-        let list = FrList::new();
+        let list = Self::with_backend();
         {
             let h = list.handle();
             for (k, v) in iter {
@@ -489,10 +536,11 @@ where
     }
 }
 
-impl<K, V> Extend<(K, V)> for FrList<K, V>
+impl<K, V, R> Extend<(K, V)> for FrList<K, V, R>
 where
     K: Ord + Send + Sync + 'static,
     V: Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
 {
     /// Insert pairs; duplicates of existing keys are dropped.
     fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {

@@ -3,8 +3,7 @@
 use std::sync::atomic::Ordering;
 
 use lf_metrics::CasType;
-use lf_reclaim::Guard;
-use lf_tagged::{TagBits, TaggedPtr};
+use lf_reclaim::{Publish, Reclaim};
 
 use super::{Bound, FrList, Mode, Node};
 
@@ -22,10 +21,11 @@ pub(crate) fn key_before<K: Ord>(node_key: &Bound<K>, k: &K, mode: Mode) -> bool
     }
 }
 
-impl<K, V> FrList<K, V>
+impl<K, V, R> FrList<K, V, R>
 where
     K: Ord + Send + Sync + 'static,
     V: Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
 {
     /// Paper `SearchFrom(k, curr_node)` (Fig. 3), plus the `SearchFrom2`
     /// variant selected by [`Mode`].
@@ -44,10 +44,10 @@ where
     pub(crate) unsafe fn search_from(
         &self,
         k: &K,
-        mut curr: *mut Node<K, V>,
+        mut curr: *mut Node<K, V, R>,
         mode: Mode,
-        guard: &Guard<'_>,
-    ) -> (*mut Node<K, V>, *mut Node<K, V>) {
+        guard: &R::Guard<'_>,
+    ) -> (*mut Node<K, V, R>, *mut Node<K, V, R>) {
         // SAFETY: the fn's `# Safety` contract covers the whole body.
         unsafe {
             let mut next = (*curr).right();
@@ -90,9 +90,13 @@ where
     ///
     /// # Safety
     ///
-    /// `guard` must pin this list's collector; the returned pointer is
+    /// `guard` must pin this list's domain; the returned pointer is
     /// valid while `guard` lives.
-    pub(crate) unsafe fn search_impl(&self, k: &K, guard: &Guard<'_>) -> Option<*mut Node<K, V>> {
+    pub(crate) unsafe fn search_impl(
+        &self,
+        k: &K,
+        guard: &R::Guard<'_>,
+    ) -> Option<*mut Node<K, V, R>> {
         // SAFETY: the fn's `# Safety` contract covers the whole body.
         unsafe {
             let (curr, _next) = self.search_from(k, self.head, Mode::Le, guard);
@@ -102,16 +106,16 @@ where
 
     /// Paper `HelpMarked(prev_node, del_node)` (Fig. 3): the type-4
     /// (physical deletion) C&S. On success, `del` has been unlinked and
-    /// is retired to the collector.
+    /// is retired to the reclamation backend.
     ///
     /// # Safety
     ///
     /// `prev` and `del` must be nodes of this list protected by `guard`.
     pub(crate) unsafe fn help_marked(
         &self,
-        prev: *mut Node<K, V>,
-        del: *mut Node<K, V>,
-        guard: &Guard<'_>,
+        prev: *mut Node<K, V, R>,
+        del: *mut Node<K, V, R>,
+        guard: &R::Guard<'_>,
     ) {
         // SAFETY: the fn's `# Safety` contract covers the whole body.
         unsafe {
@@ -124,10 +128,13 @@ where
             // so its initialization must be republished here. Relaxed on
             // failure: the result is discarded — some other helper completed
             // the physical deletion — and the found value is never used.
+            // Both operands carry their target's birth stamp (clean_ptr /
+            // flagged_ptr), so the republished edge keeps the tenant id a
+            // pin-free reader validates against.
             // ord: Release/Relaxed — LIST.unlink-cas: republish next; failure discarded
             let res = (*prev).succ.compare_exchange(
-                TaggedPtr::new(del, TagBits::Flagged),
-                TaggedPtr::unmarked(next),
+                Node::flagged_ptr(del),
+                Node::clean_ptr(next),
                 Ordering::Release,
                 Ordering::Relaxed,
             );
@@ -141,23 +148,30 @@ where
         }
     }
 
-    /// Queue a physically deleted node for recycling once all current
-    /// pins drain: key and element are dropped, the block goes back to
-    /// the list's pool.
+    /// Queue a physically deleted node for recycling once the backend's
+    /// grace period drains: key and element are dropped, the block goes
+    /// back to the list's pool.
     ///
     /// # Safety
     ///
     /// `node` must be physically deleted (unreachable from the head) and
-    /// retired at most once; `guard` must pin this list's collector.
-    pub(crate) unsafe fn retire(&self, node: *mut Node<K, V>, guard: &Guard<'_>) {
+    /// retired at most once; `guard` must pin this list's domain.
+    pub(crate) unsafe fn retire(&self, node: *mut Node<K, V, R>, guard: &R::Guard<'_>) {
         let pool = std::sync::Arc::clone(&self.pool);
         let addr = node as usize;
+        // SAFETY: `node` is live under `guard` (just unlinked); its
+        // birth is fixed for the tenant's lifetime.
+        // ord: Relaxed — VBR.birth-stamp: tenant-constant value, read under the guard
+        let birth = unsafe { (*node).birth.load(Ordering::Relaxed) };
         let destroy = move || {
-            let node = addr as *mut Node<K, V>;
-            // SAFETY: grace elapsed, so no thread can reach `node`; the
-            // unlink C&S fired this closure exactly once. Key/element
-            // are dropped here; the atomics have no drop glue, so the
-            // block may be recycled as uninitialized memory.
+            let node = addr as *mut Node<K, V, R>;
+            // SAFETY: grace elapsed, so no pinned thread can reach
+            // `node`; the unlink C&S fired this closure exactly once.
+            // Key/element are dropped here; the atomics and shadow slots
+            // have no drop glue, so the block may be recycled. (Stale
+            // pin-free readers may still snoop the shadow slots after
+            // this — sound because pin-free payloads are `Pod` and the
+            // block stays allocated in the pool.)
             unsafe {
                 std::ptr::drop_in_place(&mut (*node).key);
                 std::ptr::drop_in_place(&mut (*node).element);
@@ -166,6 +180,6 @@ where
         };
         // SAFETY: the closure touches the node only after grace elapses
         // (the fn's `# Safety` contract makes it unreachable by then).
-        unsafe { guard.defer_unchecked(destroy) };
+        unsafe { R::defer(guard, birth, destroy) };
     }
 }

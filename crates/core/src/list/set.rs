@@ -2,9 +2,14 @@
 
 use std::fmt;
 
+use lf_reclaim::{Ebr, Publish, Reclaim};
+
 use super::{FrList, ListHandle};
 
 /// A lock-free sorted set of keys — [`FrList`] with unit values.
+///
+/// Generic over the reclamation backend like the list itself
+/// (default EBR; see [`ListSet::with_backend`]).
 ///
 /// # Examples
 ///
@@ -18,11 +23,11 @@ use super::{FrList, ListHandle};
 /// assert!(set.remove(&10));
 /// assert!(!set.remove(&10));
 /// ```
-pub struct ListSet<K> {
-    inner: FrList<K, ()>,
+pub struct ListSet<K, R: Reclaim = Ebr> {
+    inner: FrList<K, (), R>,
 }
 
-impl<K> fmt::Debug for ListSet<K> {
+impl<K, R: Reclaim> fmt::Debug for ListSet<K, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ListSet")
             .field("len", &self.inner.len())
@@ -30,12 +35,13 @@ impl<K> fmt::Debug for ListSet<K> {
     }
 }
 
-impl<K> Default for ListSet<K>
+impl<K, R> Default for ListSet<K, R>
 where
     K: Ord + Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<()>,
 {
     fn default() -> Self {
-        Self::new()
+        Self::with_backend()
     }
 }
 
@@ -43,15 +49,26 @@ impl<K> ListSet<K>
 where
     K: Ord + Send + Sync + 'static,
 {
-    /// Create an empty set.
+    /// Create an empty set over the default EBR backend.
     pub fn new() -> Self {
+        Self::with_backend()
+    }
+}
+
+impl<K, R> ListSet<K, R>
+where
+    K: Ord + Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<()>,
+{
+    /// Create an empty set over the reclamation backend `R`.
+    pub fn with_backend() -> Self {
         ListSet {
-            inner: FrList::new(),
+            inner: FrList::with_backend(),
         }
     }
 
     /// Register the calling thread and return an operation handle.
-    pub fn handle(&self) -> SetHandle<'_, K> {
+    pub fn handle(&self) -> SetHandle<'_, K, R> {
         SetHandle {
             inner: self.inner.handle(),
         }
@@ -83,25 +100,26 @@ where
     }
 
     /// The underlying list.
-    pub fn as_list(&self) -> &FrList<K, ()> {
+    pub fn as_list(&self) -> &FrList<K, (), R> {
         &self.inner
     }
 }
 
 /// Per-thread handle to a [`ListSet`].
-pub struct SetHandle<'l, K> {
-    inner: ListHandle<'l, K, ()>,
+pub struct SetHandle<'l, K, R: Reclaim = Ebr> {
+    inner: ListHandle<'l, K, (), R>,
 }
 
-impl<K> fmt::Debug for SetHandle<'_, K> {
+impl<K, R: Reclaim> fmt::Debug for SetHandle<'_, K, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("SetHandle")
     }
 }
 
-impl<K> SetHandle<'_, K>
+impl<K, R> SetHandle<'_, K, R>
 where
     K: Ord + Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<()>,
 {
     /// Insert `key`; returns `false` if it was already present.
     pub fn insert(&self, key: K) -> bool {

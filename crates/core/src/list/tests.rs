@@ -146,7 +146,7 @@ fn no_leaks_no_double_free() {
         // Remove without cloning the value (no `V: Clone` available):
         // use the raw delete path through a handle.
         let h = list.handle();
-        let guard = h.reclaim.pin();
+        let guard = <lf_reclaim::Ebr as lf_reclaim::Reclaim>::pin(&h.reclaim);
         unsafe {
             let (prev, del) = list.search_from(k, list.head, super::Mode::Lt, &guard);
             assert_eq!((*del).key.as_key(), Some(k));
@@ -328,7 +328,7 @@ fn backlink_set_on_deleted_nodes() {
     let h = list.handle();
     h.insert(1, 1).unwrap();
     h.insert(2, 2).unwrap();
-    let guard = h.reclaim.pin();
+    let guard = <lf_reclaim::Ebr as lf_reclaim::Reclaim>::pin(&h.reclaim);
     unsafe {
         let n1 = list.search_impl(&1, &guard).unwrap();
         let n2 = list.search_impl(&2, &guard).unwrap();

@@ -122,7 +122,16 @@ impl<T> LocalPool<T> {
     /// Obtain an **uninitialized** block of `cap` slots: local cache
     /// first, then a batch steal from the shared pool, then the global
     /// allocator. The caller must `ptr::write` every field it will read.
-    pub(crate) fn acquire(&self, cap: usize) -> *mut T {
+    ///
+    /// The second element reports provenance: `true` means the block is
+    /// **recycled** (it has had tenants before, so stale optimistic
+    /// readers may still hold stamped pointers into it and its atomic
+    /// fields are initialized), `false` means it came straight from the
+    /// global allocator and is unreachable by any other thread. Backends
+    /// with pin-free reads must re-initialize recycled blocks through
+    /// the seqlock protocol (DESIGN.md §9.7); fresh blocks may be
+    /// plain-written.
+    pub(crate) fn acquire(&self, cap: usize) -> (*mut T, bool) {
         let mut cache = self.cache.borrow_mut();
         if cache.len() < cap {
             cache.resize_with(cap, Vec::new);
@@ -132,7 +141,7 @@ impl<T> LocalPool<T> {
             self.shared.steal(cap, STEAL_BATCH, bucket);
         }
         if let Some(addr) = bucket.pop() {
-            return addr as *mut T;
+            return (addr as *mut T, true);
         }
         let layout = SharedPool::<T>::layout(cap);
         // SAFETY: `layout` has non-zero size (`T` is a node type).
@@ -140,7 +149,7 @@ impl<T> LocalPool<T> {
         if ptr.is_null() {
             handle_alloc_error(layout);
         }
-        ptr
+        (ptr, false)
     }
 
     /// Return a block whose fields are already dropped (used by the
@@ -189,13 +198,18 @@ mod tests {
     fn acquire_recycle_acquire_reuses_block() {
         let shared = SharedPool::<u64>::new();
         let local = LocalPool::new(Arc::clone(&shared));
-        let p = local.acquire(1);
+        let (p, fresh_recycled) = local.acquire(1);
+        assert!(
+            !fresh_recycled,
+            "first acquire must come from the allocator"
+        );
         unsafe {
             p.write(7);
             local.release(p, 1);
         }
-        let q = local.acquire(1);
+        let (q, recycled) = local.acquire(1);
         assert_eq!(q, p, "local cache must hand back the same block");
+        assert!(recycled, "cached block must be reported as recycled");
         unsafe { local.release(q, 1) };
     }
 
@@ -204,14 +218,15 @@ mod tests {
         let shared = SharedPool::<u64>::new();
         let a = {
             let local = LocalPool::new(Arc::clone(&shared));
-            let a = local.acquire(4);
+            let (a, _) = local.acquire(4);
             unsafe { local.release(a, 4) };
             a
             // local drops: cached block moves to shared.
         };
         let local2 = LocalPool::new(Arc::clone(&shared));
-        let b = local2.acquire(4);
+        let (b, recycled) = local2.acquire(4);
         assert_eq!(a, b, "shared pool must recycle the spilled block");
+        assert!(recycled, "stolen block must be reported as recycled");
         unsafe { local2.release(b, 4) };
     }
 
@@ -219,9 +234,9 @@ mod tests {
     fn distinct_capacities_use_distinct_buckets() {
         let shared = SharedPool::<u64>::new();
         let local = LocalPool::new(Arc::clone(&shared));
-        let one = local.acquire(1);
+        let (one, _) = local.acquire(1);
         unsafe { local.release(one, 1) };
-        let two = local.acquire(2);
+        let (two, _) = local.acquire(2);
         assert_ne!(
             one, two,
             "capacity-2 request must not reuse capacity-1 block"
@@ -238,7 +253,7 @@ mod tests {
         let mut blocks = Vec::new();
         for cap in 1..=8 {
             for _ in 0..4 {
-                blocks.push((local.acquire(cap), cap));
+                blocks.push((local.acquire(cap).0, cap));
             }
         }
         for (p, cap) in blocks {

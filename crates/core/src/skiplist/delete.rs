@@ -2,16 +2,17 @@
 
 use std::sync::atomic::Ordering;
 
-use lf_reclaim::Guard;
+use lf_reclaim::{Publish, Reclaim};
 
 use super::level::FlagStatus;
 use super::node::SkipNode;
 use super::{Mode, SkipList};
 
-impl<K, V> SkipList<K, V>
+impl<K, V, R> SkipList<K, V, R>
 where
     K: Ord + Send + Sync + 'static,
     V: Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
 {
     /// `Delete_SL(k)`: delete the tower with key `k`.
     ///
@@ -23,14 +24,14 @@ where
     ///
     /// # Safety
     ///
-    /// `guard` must pin this list's collector.
-    pub(crate) unsafe fn delete_impl(&self, k: &K, guard: &Guard<'_>) -> Option<V>
+    /// `guard` must pin this list's domain.
+    pub(crate) unsafe fn delete_impl(&self, k: &K, guard: &R::Guard<'_>) -> Option<V>
     where
         V: Clone,
     {
         // SAFETY: the fn's `# Safety` contract covers the whole body.
         unsafe {
-            // ord: Release/Acquire — LIST.flag-cas: descent helps flagged deletions (wrapped C&S)
+            // ord: Release/Acquire/Relaxed — LIST.flag-cas: descent helps flagged deletions (wrapped C&S)
             let (prev, del) = self.search_to_level(k, 1, Mode::Lt, guard);
             if (*del).key_ref().as_key() != Some(k) {
                 return None;
@@ -49,7 +50,7 @@ where
             let value = (*del).element.clone().expect("root node has element");
             // Dismantle the now-superfluous upper nodes from top to bottom.
             if self.max_level > 2 {
-                // ord: Release/Acquire — LIST.flag-cas: cleaning search deletes superfluous towers (wrapped C&S)
+                // ord: Release/Acquire/Relaxed — LIST.flag-cas: cleaning search deletes superfluous towers (wrapped C&S)
                 let _ = self.search_to_level(k, 2, Mode::Le, guard);
             }
             Some(value)
@@ -68,13 +69,13 @@ where
     /// a last-known predecessor of `del`.
     pub(crate) unsafe fn delete_node(
         &self,
-        prev: *mut SkipNode<K, V>,
-        del: *mut SkipNode<K, V>,
-        guard: &Guard<'_>,
+        prev: *mut SkipNode<K, V, R>,
+        del: *mut SkipNode<K, V, R>,
+        guard: &R::Guard<'_>,
     ) -> bool {
         // SAFETY: the fn's `# Safety` contract covers the whole body.
         unsafe {
-            // ord: Release/Acquire — LIST.flag-cas: wrapped flagging C&S; pred is dereferenced
+            // ord: Release/Acquire/Relaxed — LIST.flag-cas: wrapped flagging C&S; pred is dereferenced
             let (prev, status, did_flag) = self.try_flag_node(prev, del, guard);
             if status == FlagStatus::In {
                 self.help_flagged(prev, del, guard);

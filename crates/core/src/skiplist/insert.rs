@@ -4,8 +4,8 @@ use std::ptr;
 use std::sync::atomic::Ordering;
 
 use lf_metrics::CasType;
-use lf_reclaim::Guard;
-use lf_tagged::{Backoff, TaggedPtr};
+use lf_reclaim::{Publish, Reclaim};
+use lf_tagged::Backoff;
 use rand::Rng;
 
 use super::node::SkipNode;
@@ -21,10 +21,11 @@ pub(crate) enum LevelInsert {
     Duplicate,
 }
 
-impl<K, V> SkipList<K, V>
+impl<K, V, R> SkipList<K, V, R>
 where
     K: Ord + Send + Sync + 'static,
     V: Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
 {
     /// Geometric tower height: grow with probability 1/2 per level,
     /// capped at `max_level - 1` so the top level stays empty.
@@ -50,25 +51,25 @@ where
     ///
     /// # Safety
     ///
-    /// `guard` must pin this list's collector; `pool` must front this
+    /// `guard` must pin this list's domain; `pool` must front this
     /// list's shared pool.
     pub(crate) unsafe fn insert_impl(
         &self,
         key: K,
         value: V,
-        pool: &LocalPool<SkipNode<K, V>>,
-        guard: &Guard<'_>,
+        pool: &LocalPool<SkipNode<K, V, R>>,
+        guard: &R::Guard<'_>,
     ) -> Result<(), (K, V)> {
         // SAFETY: the fn's `# Safety` contract covers the whole body.
         unsafe {
-            // ord: Release/Acquire — LIST.flag-cas: descent helps flagged deletions (wrapped C&S)
+            // ord: Release/Acquire/Relaxed — LIST.flag-cas: descent helps flagged deletions (wrapped C&S)
             let (mut prev, mut next) = self.search_to_level(&key, 1, Mode::Le, guard);
             if (*prev).key_ref().as_key() == Some(&key) {
                 return Err((key, value));
             }
             let height = self.random_height();
-            let root = pool.acquire(height);
-            SkipNode::init_tower_at(root, height, key, value);
+            let (root, recycled) = pool.acquire(height);
+            SkipNode::init_tower_at(root, height, key, value, R::birth_epoch(guard), recycled);
             let mut new_node = root;
             let mut cur_level = 1usize;
 
@@ -112,7 +113,7 @@ where
                             self.delete_node(prev, new_node, guard);
                             while !(*new_node).is_marked() {
                                 let key_ref = (*root).key.as_key().expect("root has user key");
-                                // ord: Release/Acquire — LIST.flag-cas: cleaning search deletes superfluous towers (wrapped C&S)
+                                // ord: Release/Acquire/Relaxed — LIST.flag-cas: cleaning search deletes superfluous towers (wrapped C&S)
                                 let _ = self.search_to_level(key_ref, cur_level, Mode::Le, guard);
                             }
                         }
@@ -133,7 +134,7 @@ where
                     // level; our searches delete superfluous towers, so
                     // retrying makes progress.
                     let key_ref = (*root).key.as_key().expect("root has user key");
-                    // ord: Release/Acquire — LIST.flag-cas: cleaning search deletes superfluous towers (wrapped C&S)
+                    // ord: Release/Acquire/Relaxed — LIST.flag-cas: cleaning search deletes superfluous towers (wrapped C&S)
                     let (p, n) = self.search_to_level(key_ref, cur_level, Mode::Le, guard);
                     prev = p;
                     next = n;
@@ -162,7 +163,7 @@ where
                 new_node = upper;
 
                 let key_ref = (*root).key.as_key().expect("root has user key");
-                // ord: Release/Acquire — LIST.flag-cas: ascent repositions via helping search (wrapped C&S)
+                // ord: Release/Acquire/Relaxed — LIST.flag-cas: ascent repositions via helping search (wrapped C&S)
                 let (p, n) = self.search_to_level(key_ref, cur_level, Mode::Le, guard);
                 prev = p;
                 next = n;
@@ -177,14 +178,14 @@ where
     ///
     /// Caller is the inserting thread (sole writer of `top`), still
     /// holding the construction reference; `upper` was never linked.
-    unsafe fn abandon_upper(&self, root: *mut SkipNode<K, V>, upper: *mut SkipNode<K, V>) {
+    unsafe fn abandon_upper(&self, root: *mut SkipNode<K, V, R>, upper: *mut SkipNode<K, V, R>) {
         // SAFETY: the fn's `# Safety` contract covers the whole body.
         unsafe {
             // Relaxed stores: same argument as the growth accounting above —
             // the construction reference's own AcqRel release publishes
             // these to the eventual freeing thread.
             // ord: Relaxed — TOWER.top: quiescent-only diagnostic field
-            (*root).top.store((*upper).down, Ordering::Relaxed);
+            (*root).top.store((*upper).down(), Ordering::Relaxed);
             // Cannot hit zero: we still hold the construction reference.
             // ord: Relaxed — TOWER.refcount: construction ref keeps count nonzero
             let prev = (*root).remaining.fetch_sub(1, Ordering::Relaxed);
@@ -203,10 +204,10 @@ where
     /// bracketing `new_node`'s key.
     pub(crate) unsafe fn insert_node(
         &self,
-        new_node: *mut SkipNode<K, V>,
-        prev: &mut *mut SkipNode<K, V>,
-        next: &mut *mut SkipNode<K, V>,
-        guard: &Guard<'_>,
+        new_node: *mut SkipNode<K, V, R>,
+        prev: &mut *mut SkipNode<K, V, R>,
+        next: &mut *mut SkipNode<K, V, R>,
+        guard: &R::Guard<'_>,
     ) -> LevelInsert {
         // SAFETY: the fn's `# Safety` contract covers the whole body.
         unsafe {
@@ -222,21 +223,25 @@ where
                     // Relaxed: `new_node` is still unlinked at this level;
                     // the Release insertion C&S below is what publishes
                     // this store (and the node's initialization) to readers
-                    // that Acquire-load prev.succ.
+                    // that Acquire-load prev.succ. The stored pointer
+                    // carries next's stamp — a pin-free reader traverses
+                    // through this edge the instant the C&S lands.
                     // ord: Relaxed — LIST.node-init: pre-publication store, CAS publishes
                     (*new_node)
                         .succ
-                        .store(TaggedPtr::unmarked(*next), Ordering::Relaxed);
+                        .store(SkipNode::clean_ptr(*next), Ordering::Relaxed);
                     // The insertion C&S (type 1, Fig. 5 line 11). Release
                     // on success publishes the new node's initialization —
                     // the invariant every traversal relies on when it
                     // dereferences a pointer it loaded with Acquire.
                     // Acquire on failure: the found pointer may be
-                    // dereferenced (flagged → HelpFlagged).
+                    // dereferenced (flagged → HelpFlagged). The new value
+                    // carries new_node's stamp so pin-free readers can
+                    // validate the hop.
                     // ord: Release/Acquire — LIST.insert-cas: publish node init; inspect failure
                     let res = (**prev).succ.compare_exchange(
-                        TaggedPtr::unmarked(*next),
-                        TaggedPtr::unmarked(new_node),
+                        SkipNode::clean_ptr(*next),
+                        SkipNode::clean_ptr(new_node),
                         Ordering::Release,
                         Ordering::Acquire,
                     );
@@ -264,7 +269,7 @@ where
                     .key_ref()
                     .as_key()
                     .expect("new node has user key");
-                // ord: Release/Acquire — LIST.flag-cas: reposition after failed CAS helps deletions (wrapped C&S)
+                // ord: Release/Acquire/Relaxed — LIST.flag-cas: reposition after failed CAS helps deletions (wrapped C&S)
                 let (p, n) = self.search_right(key_ref, *prev, Mode::Le, guard);
                 *prev = p;
                 *next = n;

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use lf_reclaim::Guard;
+use lf_reclaim::{Ebr, Publish, Reclaim};
 
 use super::node::SkipNode;
 use super::{Bound, SkipListHandle};
@@ -12,25 +12,26 @@ use super::{Bound, SkipListHandle};
 ///
 /// Walks level 1 (the roots), yielding clones of pairs whose root is
 /// unmarked when visited. Pins the thread for its whole lifetime.
-pub struct SkipIter<'h, 'l, K, V> {
-    _handle: &'h SkipListHandle<'l, K, V>,
-    _guard: Guard<'h>,
-    curr: *mut SkipNode<K, V>,
+pub struct SkipIter<'h, 'l, K, V, R: Reclaim = Ebr> {
+    _handle: &'h SkipListHandle<'l, K, V, R>,
+    _guard: R::Guard<'h>,
+    curr: *mut SkipNode<K, V, R>,
 }
 
-impl<K, V> fmt::Debug for SkipIter<'_, '_, K, V> {
+impl<K, V, R: Reclaim> fmt::Debug for SkipIter<'_, '_, K, V, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("skiplist::SkipIter")
     }
 }
 
-impl<'h, 'l, K, V> SkipIter<'h, 'l, K, V>
+impl<'h, 'l, K, V, R> SkipIter<'h, 'l, K, V, R>
 where
     K: Ord + Send + Sync + 'static,
     V: Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
 {
-    pub(crate) fn new(handle: &'h SkipListHandle<'l, K, V>) -> Self {
-        let guard = handle.reclaim.pin();
+    pub(crate) fn new(handle: &'h SkipListHandle<'l, K, V, R>) -> Self {
+        let guard = R::pin(&handle.reclaim);
         SkipIter {
             curr: handle.list.heads[0],
             _handle: handle,
@@ -39,10 +40,11 @@ where
     }
 }
 
-impl<K, V> Iterator for SkipIter<'_, '_, K, V>
+impl<K, V, R> Iterator for SkipIter<'_, '_, K, V, R>
 where
     K: Ord + Clone + Send + Sync + 'static,
     V: Clone + Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
 {
     type Item = (K, V);
 

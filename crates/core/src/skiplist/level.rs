@@ -6,8 +6,8 @@
 use std::sync::atomic::Ordering;
 
 use lf_metrics::CasType;
-use lf_reclaim::Guard;
-use lf_tagged::{Backoff, TagBits, TaggedPtr};
+use lf_reclaim::{Publish, Reclaim};
+use lf_tagged::Backoff;
 
 use super::node::SkipNode;
 use super::SkipList;
@@ -24,10 +24,11 @@ pub(crate) enum FlagStatus {
     Deleted,
 }
 
-impl<K, V> SkipList<K, V>
+impl<K, V, R> SkipList<K, V, R>
 where
     K: Ord + Send + Sync + 'static,
     V: Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
 {
     /// `SearchRight(k, curr_node)` on one level, with mode selecting the
     /// `<=`/`<` comparison exactly as in the list's `SearchFrom`.
@@ -42,10 +43,10 @@ where
     pub(crate) unsafe fn search_right(
         &self,
         k: &K,
-        mut curr: *mut SkipNode<K, V>,
+        mut curr: *mut SkipNode<K, V, R>,
         mode: Mode,
-        guard: &Guard<'_>,
-    ) -> (*mut SkipNode<K, V>, *mut SkipNode<K, V>) {
+        guard: &R::Guard<'_>,
+    ) -> (*mut SkipNode<K, V, R>, *mut SkipNode<K, V, R>) {
         // SAFETY: the fn's `# Safety` contract covers the whole body.
         unsafe {
             let mut next = (*curr).right();
@@ -54,7 +55,7 @@ where
                 // all three deletion steps itself when needed, so repeated
                 // traversals of long backlink chains cannot be forced).
                 while (*next).is_superfluous() {
-                    // ord: Release/Acquire — LIST.flag-cas: wrapped flagging C&S; pred is dereferenced
+                    // ord: Release/Acquire/Relaxed — LIST.flag-cas: wrapped flagging C&S; pred is dereferenced
                     let (new_curr, status, _) = self.try_flag_node(curr, next, guard);
                     curr = new_curr;
                     if status == FlagStatus::In {
@@ -85,13 +86,16 @@ where
     /// `guard`, `prev` a last-known predecessor of `target`.
     pub(crate) unsafe fn try_flag_node(
         &self,
-        mut prev: *mut SkipNode<K, V>,
-        target: *mut SkipNode<K, V>,
-        guard: &Guard<'_>,
-    ) -> (*mut SkipNode<K, V>, FlagStatus, bool) {
+        mut prev: *mut SkipNode<K, V, R>,
+        target: *mut SkipNode<K, V, R>,
+        guard: &R::Guard<'_>,
+    ) -> (*mut SkipNode<K, V, R>, FlagStatus, bool) {
         // SAFETY: the fn's `# Safety` contract covers the whole body.
         unsafe {
-            let flagged = TaggedPtr::new(target, TagBits::Flagged);
+            // Stamp-carrying operands: `target`'s birth is constant while
+            // the guard protects it, so every helper recomputes exactly
+            // the stamp the publishing C&S stored.
+            let flagged = SkipNode::flagged_ptr(target);
             let backoff = Backoff::new();
             loop {
                 if (*prev).succ() == flagged {
@@ -105,9 +109,9 @@ where
                 // thread's prior accesses for those helpers. Acquire on
                 // failure: the found pointer may be dereferenced (flagged →
                 // HelpFlagged) or its key read after the backlink walk.
-                // ord: Release/Acquire — LIST.flag-cas: freeze edge; failure decoded
+                // ord: Release/Acquire/Relaxed — LIST.flag-cas: freeze edge; failure decoded
                 let res = (*prev).succ.compare_exchange(
-                    TaggedPtr::unmarked(target),
+                    SkipNode::clean_ptr(target),
                     flagged,
                     Ordering::Release,
                     Ordering::Acquire,
@@ -129,7 +133,7 @@ where
                             lf_metrics::record_backlink();
                         }
                         let key_ref = (*target).key_ref().as_key().expect("target has user key");
-                        // ord: Release/Acquire — LIST.flag-cas: recovery search helps deletions (wrapped C&S)
+                        // ord: Release/Acquire/Relaxed — LIST.flag-cas: recovery search helps deletions (wrapped C&S)
                         let (p, d) = self.search_right(key_ref, prev, Mode::Lt, guard);
                         if d != target {
                             return (p, FlagStatus::Deleted, false);
@@ -150,9 +154,9 @@ where
     /// `(del, 0, 1)`.
     pub(crate) unsafe fn help_flagged(
         &self,
-        prev: *mut SkipNode<K, V>,
-        del: *mut SkipNode<K, V>,
-        guard: &Guard<'_>,
+        prev: *mut SkipNode<K, V, R>,
+        del: *mut SkipNode<K, V, R>,
+        guard: &R::Guard<'_>,
     ) {
         // SAFETY: the fn's `# Safety` contract covers the whole body.
         unsafe {
@@ -177,7 +181,7 @@ where
     /// # Safety
     ///
     /// `del` protected by `guard`.
-    pub(crate) unsafe fn try_mark(&self, del: *mut SkipNode<K, V>, guard: &Guard<'_>) {
+    pub(crate) unsafe fn try_mark(&self, del: *mut SkipNode<K, V, R>, guard: &R::Guard<'_>) {
         // SAFETY: the fn's `# Safety` contract covers the whole body.
         unsafe {
             let backoff = Backoff::new();
@@ -188,11 +192,13 @@ where
                 // the frozen field and re-install its `next` into the
                 // predecessor, relying on this RMW extending next's release
                 // sequence. Acquire on failure: the found pointer is
-                // dereferenced below when flagged.
+                // dereferenced below when flagged. Both operands recompute
+                // next's stamp (stable under the guard), so marking
+                // preserves the stamp stored by the edge's publisher.
                 // ord: Release/Acquire — LIST.mark-cas: freeze succ; failure dereferenced
                 let res = (*del).succ.compare_exchange(
-                    TaggedPtr::unmarked(next),
-                    TaggedPtr::new(next, TagBits::Marked),
+                    SkipNode::clean_ptr(next),
+                    SkipNode::clean_ptr(next).with_mark(),
                     Ordering::Release,
                     Ordering::Acquire,
                 );
@@ -221,9 +227,9 @@ where
     /// `prev`/`del` protected by `guard`.
     pub(crate) unsafe fn help_marked(
         &self,
-        prev: *mut SkipNode<K, V>,
-        del: *mut SkipNode<K, V>,
-        guard: &Guard<'_>,
+        prev: *mut SkipNode<K, V, R>,
+        del: *mut SkipNode<K, V, R>,
+        guard: &R::Guard<'_>,
     ) {
         // SAFETY: the fn's `# Safety` contract covers the whole body.
         unsafe {
@@ -236,17 +242,20 @@ where
             // its initialization must be republished here. Relaxed on
             // failure: the result is discarded — some other helper
             // completed the physical deletion — and the found value is
-            // never used.
+            // never used. Both operands carry their target's birth stamp
+            // (clean_ptr / flagged_ptr), so the republished edge keeps the
+            // tenant id a pin-free reader validates against.
             // ord: Release/Relaxed — LIST.unlink-cas: republish next; failure discarded
             let res = (*prev).succ.compare_exchange(
-                TaggedPtr::new(del, TagBits::Flagged),
-                TaggedPtr::unmarked(next),
+                SkipNode::flagged_ptr(del),
+                SkipNode::clean_ptr(next),
                 Ordering::Release,
                 Ordering::Relaxed,
             );
             lf_metrics::record_cas(CasType::Unlink, res.is_ok());
             if res.is_ok() {
-                self.release_tower_ref((*del).tower_root, guard);
+                // ord: Relaxed — TOWER.layout: tenant-invariant tower geometry
+                self.release_tower_ref((*del).root(), guard);
             }
         }
     }
@@ -258,7 +267,11 @@ where
     ///
     /// `root` must be a tower root protected by `guard`; each reference
     /// (linked node or construction reference) is released exactly once.
-    pub(crate) unsafe fn release_tower_ref(&self, root: *mut SkipNode<K, V>, guard: &Guard<'_>) {
+    pub(crate) unsafe fn release_tower_ref(
+        &self,
+        root: *mut SkipNode<K, V, R>,
+        guard: &R::Guard<'_>,
+    ) {
         // AcqRel, exactly as `Arc`'s strong-count drop: Release so each
         // releasing thread's prior accesses to tower nodes
         // happen-before the final decrement (via the RMW chain on this
@@ -276,13 +289,20 @@ where
             let addr = root as usize;
             // SAFETY: as above.
             let cap = unsafe { (*root).height };
+            // SAFETY: `root` is live under the guard; its birth is fixed
+            // for the tenant's lifetime.
+            // ord: Relaxed — VBR.birth-stamp: tenant-constant value, read under protection
+            let birth = unsafe { (*root).birth.load(Ordering::Relaxed) };
             let destroy = move || {
-                let root = addr as *mut SkipNode<K, V>;
-                // SAFETY: grace elapsed, so no thread can reach any
+                let root = addr as *mut SkipNode<K, V, R>;
+                // SAFETY: grace elapsed, so no pinned thread can reach any
                 // node of the block; the zero-crossing decrement fired
                 // this closure exactly once. Key/element are dropped
                 // here; the other fields have no drop glue, so the
-                // block may be recycled as uninitialized memory.
+                // block may be recycled. (Stale pin-free readers may
+                // still snoop the shadow slots after this — sound
+                // because pin-free payloads are `Pod` and the block
+                // stays allocated in the pool.)
                 unsafe {
                     std::ptr::drop_in_place(&mut (*root).key);
                     std::ptr::drop_in_place(&mut (*root).element);
@@ -290,8 +310,8 @@ where
                 }
             };
             // SAFETY: the closure touches the block only after grace
-            // elapses, when it is unreachable.
-            unsafe { guard.defer_unchecked(destroy) };
+            // elapses, when it is unreachable to pinned threads.
+            unsafe { R::defer(guard, birth, destroy) };
         }
     }
 }

@@ -9,6 +9,13 @@
 //! Searches help by physically deleting every superfluous node they
 //! encounter, so no operation can be forced to re-traverse long
 //! backlink chains.
+//!
+//! # Pluggable reclamation
+//!
+//! Like [`FrList`](crate::FrList), the skip list is generic over a
+//! [`Reclaim`] backend (default [`Ebr`]); see DESIGN.md §13. Under a
+//! pin-free backend (VBR), [`SkipListHandle::try_read`] looks keys up
+//! without touching the reclamation domain at all.
 
 mod delete;
 mod insert;
@@ -16,6 +23,7 @@ mod iter;
 mod level;
 mod node;
 mod range;
+mod read;
 mod scan;
 mod set;
 
@@ -30,7 +38,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use lf_reclaim::{Collector, Guard, LocalHandle};
+use lf_reclaim::{Ebr, Publish, Reclaim};
 use lf_tagged::CachePadded;
 
 use crate::list::{Bound, Mode, PIN_AMORTIZE_OPS};
@@ -50,6 +58,9 @@ pub const DEFAULT_MAX_LEVEL: usize = 32;
 /// [`handle`](SkipList::handle) and operate through it; the convenience
 /// methods on `SkipList` itself register a fresh handle per call.
 ///
+/// Generic over the reclamation backend `R` (default [`Ebr`]); build
+/// over a different backend with [`with_backend`](Self::with_backend).
+///
 /// # Examples
 ///
 /// ```
@@ -63,16 +74,16 @@ pub const DEFAULT_MAX_LEVEL: usize = 32;
 /// assert_eq!(h.remove(&2), Some("two"));
 /// assert_eq!(h.get(&2), None);
 /// ```
-pub struct SkipList<K, V> {
+pub struct SkipList<K, V, R: Reclaim = Ebr> {
     /// `heads[i]`/`tails[i]` are the sentinels of level `i + 1`.
-    pub(crate) heads: Vec<*mut SkipNode<K, V>>,
-    pub(crate) tails: Vec<*mut SkipNode<K, V>>,
-    /// Declared before `pool`: the collector's drop runs the deferred
+    pub(crate) heads: Vec<*mut SkipNode<K, V, R>>,
+    pub(crate) tails: Vec<*mut SkipNode<K, V, R>>,
+    /// Declared before `pool`: the domain's drop runs the deferred
     /// tower retirements (which recycle blocks into the pool) before
     /// the pool's drop frees the blocks themselves.
-    pub(crate) collector: Collector,
+    pub(crate) domain: R::Domain,
     /// Recycles tower blocks, bucketed by height.
-    pub(crate) pool: Arc<SharedPool<SkipNode<K, V>>>,
+    pub(crate) pool: Arc<SharedPool<SkipNode<K, V, R>>>,
     /// Cache-padded: this counter is hammered by every successful
     /// update and must not share a line with the read-mostly fields.
     pub(crate) len: CachePadded<AtomicUsize>,
@@ -80,28 +91,30 @@ pub struct SkipList<K, V> {
 }
 
 // SAFETY: as for `FrList` — all shared mutation is atomic, reclamation
-// is epoch-protected and tower-scoped.
-unsafe impl<K: Send + Sync, V: Send + Sync> Send for SkipList<K, V> {}
+// is backend-protected and tower-scoped; `R::Domain: Send + Sync`.
+unsafe impl<K: Send + Sync, V: Send + Sync, R: Reclaim> Send for SkipList<K, V, R> {}
 // SAFETY: same argument as `Send` above.
-unsafe impl<K: Send + Sync, V: Send + Sync> Sync for SkipList<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync, R: Reclaim> Sync for SkipList<K, V, R> {}
 
-impl<K, V> fmt::Debug for SkipList<K, V> {
+impl<K, V, R: Reclaim> fmt::Debug for SkipList<K, V, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SkipList")
             // ord: Relaxed — STAT.len: pure statistic, no ordering role
             .field("len", &self.len.load(Ordering::Relaxed))
             .field("max_level", &self.max_level)
+            .field("reclaim", &R::NAME)
             .finish()
     }
 }
 
-impl<K, V> Default for SkipList<K, V>
+impl<K, V, R> Default for SkipList<K, V, R>
 where
     K: Ord + Send + Sync + 'static,
     V: Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
 {
     fn default() -> Self {
-        Self::new()
+        Self::with_backend()
     }
 }
 
@@ -110,23 +123,47 @@ where
     K: Ord + Send + Sync + 'static,
     V: Send + Sync + 'static,
 {
-    /// Create an empty skip list with [`DEFAULT_MAX_LEVEL`] levels.
+    /// Create an empty skip list with [`DEFAULT_MAX_LEVEL`] levels over
+    /// the default EBR backend.
     pub fn new() -> Self {
         Self::with_max_level(DEFAULT_MAX_LEVEL)
     }
 
-    /// Create an empty skip list with `max_level` levels (towers grow
-    /// to at most `max_level - 1`).
+    /// Create an empty EBR-backed skip list with `max_level` levels
+    /// (towers grow to at most `max_level - 1`).
     ///
     /// # Panics
     ///
     /// Panics if `max_level < 2`.
     pub fn with_max_level(max_level: usize) -> Self {
-        Self::build(max_level, Collector::new(), SharedPool::new())
+        Self::with_backend_max_level(max_level)
+    }
+}
+
+impl<K, V, R> SkipList<K, V, R>
+where
+    K: Ord + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
+{
+    /// Create an empty skip list over the reclamation backend `R` with
+    /// [`DEFAULT_MAX_LEVEL`] levels.
+    pub fn with_backend() -> Self {
+        Self::with_backend_max_level(DEFAULT_MAX_LEVEL)
     }
 
-    /// Create an empty skip list that **shares** this list's epoch
-    /// domain and tower-block pool (same `max_level`).
+    /// Create an empty skip list over the reclamation backend `R` with
+    /// `max_level` levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_level < 2`.
+    pub fn with_backend_max_level(max_level: usize) -> Self {
+        Self::build(max_level, R::new_domain(), SharedPool::new())
+    }
+
+    /// Create an empty skip list that **shares** this list's
+    /// reclamation domain and tower-block pool (same `max_level`).
     ///
     /// Siblings form one reclamation domain: a guard pinned through a
     /// handle of any of them protects traversals of all of them, which
@@ -134,29 +171,25 @@ where
     /// shard under a single amortized pin. Retired towers from every
     /// sibling are recycled through the one shared pool.
     pub fn new_sibling(&self) -> Self {
-        Self::build(
-            self.max_level,
-            self.collector.clone(),
-            Arc::clone(&self.pool),
-        )
+        Self::build(self.max_level, self.domain.clone(), Arc::clone(&self.pool))
     }
 
     /// Whether `self` and `other` share one reclamation domain (i.e.
     /// one was created as a [`new_sibling`](Self::new_sibling) of the
     /// other, directly or transitively).
     pub fn shares_domain_with(&self, other: &Self) -> bool {
-        self.collector.ptr_eq(&other.collector)
+        R::domain_eq(&self.domain, &other.domain)
     }
 
     fn build(
         max_level: usize,
-        collector: Collector,
-        pool: Arc<SharedPool<SkipNode<K, V>>>,
+        domain: R::Domain,
+        pool: Arc<SharedPool<SkipNode<K, V, R>>>,
     ) -> Self {
         assert!(max_level >= 2, "max_level must be at least 2");
         let mut heads = Vec::with_capacity(max_level);
         let mut tails = Vec::with_capacity(max_level);
-        let mut below: (*mut SkipNode<K, V>, *mut SkipNode<K, V>) =
+        let mut below: (*mut SkipNode<K, V, R>, *mut SkipNode<K, V, R>) =
             (std::ptr::null_mut(), std::ptr::null_mut());
         for _ in 0..max_level {
             // ord: Relaxed — TOWER.top: sentinel self-init before publication
@@ -168,7 +201,9 @@ where
             unsafe {
                 // Relaxed: the list is not yet shared; `Self` is
                 // published to other threads by whatever synchronizes
-                // the `SkipList` value itself (e.g. `Arc`).
+                // the `SkipList` value itself (e.g. `Arc`). Sentinel
+                // birth is 0, so the unmarked pointer's stamp (0) is
+                // already correct.
                 // ord: Relaxed — LIST.sentinel-init: pre-publication construction store
                 (*head)
                     .succ
@@ -181,7 +216,7 @@ where
         SkipList {
             heads,
             tails,
-            collector,
+            domain,
             pool,
             len: CachePadded::new(AtomicUsize::new(0)),
             max_level,
@@ -189,12 +224,12 @@ where
     }
 
     /// Register the calling thread and return an operation handle.
-    pub fn handle(&self) -> SkipListHandle<'_, K, V> {
-        let reclaim = self.collector.register();
-        // Amortize epoch announcements across operations; handle drop
+    pub fn handle(&self) -> SkipListHandle<'_, K, V, R> {
+        let reclaim = R::register(&self.domain);
+        // Amortize pin announcements across operations; handle drop
         // (or an explicit `flush_reclamation`) withdraws the standing
         // announcement.
-        reclaim.amortize_pins(PIN_AMORTIZE_OPS);
+        R::amortize_pins(&reclaim, PIN_AMORTIZE_OPS);
         SkipListHandle {
             list: self,
             reclaim,
@@ -256,27 +291,28 @@ where
     ///
     /// # Safety
     ///
-    /// `guard` must pin this list's collector; `1 <= target_level <
+    /// `guard` must pin this list's domain; `1 <= target_level <
     /// max_level`.
     pub(crate) unsafe fn search_to_level(
         &self,
         k: &K,
         target_level: usize,
         mode: Mode,
-        guard: &Guard<'_>,
-    ) -> (*mut SkipNode<K, V>, *mut SkipNode<K, V>) {
+        guard: &R::Guard<'_>,
+    ) -> (*mut SkipNode<K, V, R>, *mut SkipNode<K, V, R>) {
         // SAFETY: the fn's `# Safety` contract covers the whole body.
         unsafe {
             debug_assert!(target_level >= 1 && target_level < self.max_level);
             let mut level = self.start_level(target_level);
             let mut curr = self.heads[level - 1];
             loop {
-                // ord: Release/Acquire — LIST.flag-cas: per-level search helps deletions (wrapped C&S)
+                // ord: Release/Acquire/Relaxed — LIST.flag-cas: per-level search helps deletions (wrapped C&S)
                 let (n1, n2) = self.search_right(k, curr, mode, guard);
                 if level == target_level {
                     return (n1, n2);
                 }
-                curr = (*n1).down;
+                // ord: Relaxed — TOWER.layout: tenant-invariant tower geometry
+                curr = (*n1).down();
                 debug_assert!(!curr.is_null(), "descending below level 1");
                 level -= 1;
             }
@@ -287,23 +323,23 @@ where
     ///
     /// # Safety
     ///
-    /// `guard` must pin this list's collector; the returned pointer is
+    /// `guard` must pin this list's domain; the returned pointer is
     /// valid while `guard` lives.
     pub(crate) unsafe fn search_impl(
         &self,
         k: &K,
-        guard: &Guard<'_>,
-    ) -> Option<*mut SkipNode<K, V>> {
+        guard: &R::Guard<'_>,
+    ) -> Option<*mut SkipNode<K, V, R>> {
         // SAFETY: the fn's `# Safety` contract covers the whole body.
         unsafe {
-            // ord: Release/Acquire — LIST.flag-cas: descent helps flagged deletions (wrapped C&S)
+            // ord: Release/Acquire/Relaxed — LIST.flag-cas: descent helps flagged deletions (wrapped C&S)
             let (curr, _) = self.search_to_level(k, 1, Mode::Le, guard);
             ((*curr).key_ref().as_key() == Some(k)).then_some(curr)
         }
     }
 }
 
-impl<K, V> SkipList<K, V> {
+impl<K, V, R: Reclaim> SkipList<K, V, R> {
     /// Number of elements (exact when quiescent).
     pub fn len(&self) -> usize {
         // Relaxed: a pure statistic — the value is never dereferenced
@@ -322,6 +358,11 @@ impl<K, V> SkipList<K, V> {
         self.max_level
     }
 
+    /// This list's reclamation domain.
+    pub fn domain(&self) -> &R::Domain {
+        &self.domain
+    }
+
     /// Heights of every tower in the skip list (**quiescent** use
     /// only): walks level 1 and measures each root's `top` chain.
     ///
@@ -334,7 +375,8 @@ impl<K, V> SkipList<K, V> {
         unsafe {
             let mut cur = (*self.heads[0]).right();
             while cur != self.tails[0] {
-                let root = (*cur).tower_root;
+                // ord: Relaxed — TOWER.layout: tenant-invariant tower geometry
+                let root = (*cur).root();
                 let mut h = 0;
                 // Relaxed: quiescent diagnostic — `top` is final once
                 // every construction reference has been released.
@@ -342,7 +384,8 @@ impl<K, V> SkipList<K, V> {
                 let mut t = (*root).top.load(Ordering::Relaxed);
                 while !t.is_null() {
                     h += 1;
-                    t = (*t).down;
+                    // ord: Relaxed — TOWER.layout: tenant-invariant tower geometry
+                    t = (*t).down();
                 }
                 out.push(h);
                 cur = (*cur).right();
@@ -381,6 +424,13 @@ impl<K, V> SkipList<K, V> {
                         assert_eq!(cur, self.tails[level], "level {} chain broken", level + 1);
                         break;
                     }
+                    // Published stamps must match the pointee's birth.
+                    assert_eq!(
+                        succ.stamp(),
+                        SkipNode::stamp_of(next),
+                        "stale stamp at level {}",
+                        level + 1
+                    );
                     assert!(
                         (*cur).key_ref() < (*next).key_ref(),
                         "keys not strictly sorted at level {}",
@@ -390,11 +440,14 @@ impl<K, V> SkipList<K, V> {
                         if level == 0 {
                             count += 1;
                         }
-                        let root = (*next).tower_root;
+                        // ord: Relaxed — TOWER.layout: tenant-invariant tower geometry
+                        let root = (*next).root();
                         assert!(!(*root).is_marked(), "superfluous tower at quiescence");
                         let mut d = next;
-                        while !(*d).down.is_null() {
-                            d = (*d).down;
+                        // ord: Relaxed — TOWER.layout: tenant-invariant tower geometry
+                        while !(*d).down().is_null() {
+                            // ord: Relaxed — TOWER.layout: tenant-invariant tower geometry
+                            d = (*d).down();
                         }
                         assert_eq!(d, root, "down chain does not reach tower root");
                     }
@@ -406,14 +459,14 @@ impl<K, V> SkipList<K, V> {
     }
 }
 
-impl<K, V> Drop for SkipList<K, V> {
+impl<K, V, R: Reclaim> Drop for SkipList<K, V, R> {
     fn drop(&mut self) {
         // Unique access. Towers may be partially unlinked (some levels
         // already removed, others still linked), but every node of a
         // tower lives inside its root's contiguous block, so collecting
         // the distinct roots reachable from any level covers all live
         // towers. Towers whose last reference was already released are
-        // disjoint from this set and are recycled by the collector's
+        // disjoint from this set and are recycled by the domain's
         // drop (which runs before the pool's — field order).
         let mut roots = std::collections::HashSet::new();
         for level in 0..self.max_level {
@@ -422,7 +475,8 @@ impl<K, V> Drop for SkipList<K, V> {
             let mut cur = unsafe { (*self.heads[level]).right() };
             while cur != self.tails[level] {
                 // SAFETY: as above — `cur` is a live node of this level.
-                roots.insert(unsafe { (*cur).tower_root });
+                // ord: Relaxed — TOWER.layout: tenant-invariant tower geometry
+                roots.insert(unsafe { (*cur).root() });
                 // SAFETY: as above.
                 cur = unsafe { (*cur).right() };
             }
@@ -440,8 +494,8 @@ impl<K, V> Drop for SkipList<K, V> {
             }
         }
         for level in 0..self.max_level {
-            // SAFETY: sentinels were Box-allocated in `with_max_level`
-            // and never freed elsewhere.
+            // SAFETY: sentinels were Box-allocated in `build` and never
+            // freed elsewhere.
             drop(unsafe { Box::from_raw(self.heads[level]) });
             // SAFETY: as above.
             drop(unsafe { Box::from_raw(self.tails[level]) });
@@ -450,23 +504,24 @@ impl<K, V> Drop for SkipList<K, V> {
 }
 
 /// A per-thread handle to a [`SkipList`]. Not `Send`.
-pub struct SkipListHandle<'l, K, V> {
-    pub(crate) list: &'l SkipList<K, V>,
-    pub(crate) reclaim: LocalHandle,
+pub struct SkipListHandle<'l, K, V, R: Reclaim = Ebr> {
+    pub(crate) list: &'l SkipList<K, V, R>,
+    pub(crate) reclaim: R::Handle,
     /// Thread-local front for the list's tower-block pool.
-    pub(crate) pool: LocalPool<SkipNode<K, V>>,
+    pub(crate) pool: LocalPool<SkipNode<K, V, R>>,
 }
 
-impl<K, V> fmt::Debug for SkipListHandle<'_, K, V> {
+impl<K, V, R: Reclaim> fmt::Debug for SkipListHandle<'_, K, V, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("SkipListHandle")
     }
 }
 
-impl<'l, K, V> SkipListHandle<'l, K, V>
+impl<'l, K, V, R> SkipListHandle<'l, K, V, R>
 where
     K: Ord + Send + Sync + 'static,
     V: Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
 {
     /// Insert `key → value`. Linearizes when the tower's root node is
     /// linked into level 1.
@@ -476,8 +531,8 @@ where
     /// If `key` is already present, returns `Err((key, value))`.
     pub fn insert(&self, key: K, value: V) -> Result<(), (K, V)> {
         let op = lf_metrics::op_begin();
-        let guard = self.reclaim.pin();
-        // SAFETY: the guard pins this list's collector.
+        let guard = R::pin(&self.reclaim);
+        // SAFETY: the guard pins this list's domain.
         let res = unsafe { self.list.insert_impl(key, value, &self.pool, &guard) };
         drop(guard);
         lf_metrics::op_end(op);
@@ -491,8 +546,8 @@ where
         V: Clone,
     {
         let op = lf_metrics::op_begin();
-        let guard = self.reclaim.pin();
-        // SAFETY: the guard pins this list's collector.
+        let guard = R::pin(&self.reclaim);
+        // SAFETY: the guard pins this list's domain.
         let res = unsafe { self.list.delete_impl(key, &guard) };
         drop(guard);
         lf_metrics::op_end(op);
@@ -505,11 +560,11 @@ where
         V: Clone,
     {
         let op = lf_metrics::op_begin();
-        let guard = self.reclaim.pin();
-        // SAFETY: the guard pins this list's collector; the returned
+        let guard = R::pin(&self.reclaim);
+        // SAFETY: the guard pins this list's domain; the returned
         // root stays valid while the guard lives.
         let res = unsafe {
-            // ord: Release/Acquire — LIST.flag-cas: search helps flagged deletions (wrapped C&S)
+            // ord: Release/Acquire/Relaxed — LIST.flag-cas: search helps flagged deletions (wrapped C&S)
             self.list
                 .search_impl(key, &guard)
                 .map(|n| (*n).element.clone().expect("root node has element"))
@@ -522,7 +577,7 @@ where
     /// Look up `key` and apply `f` to a borrow of its value, without
     /// cloning (`None` if the key is absent).
     ///
-    /// The visitor runs under this handle's epoch pin: the borrow is
+    /// The visitor runs under this handle's pin: the borrow is
     /// valid for exactly the duration of the call, so `f` must not
     /// stash it. Keep `f` short — the pin delays reclamation
     /// domain-wide while it runs.
@@ -538,14 +593,14 @@ where
     /// assert_eq!(h.get_with(&1, |v| v.len()), Some(3));
     /// assert_eq!(h.get_with(&2, |v| v.len()), None);
     /// ```
-    pub fn get_with<R>(&self, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
+    pub fn get_with<T>(&self, key: &K, f: impl FnOnce(&V) -> T) -> Option<T> {
         let op = lf_metrics::op_begin();
-        let guard = self.reclaim.pin();
-        // SAFETY: the guard pins this list's collector; the root (and
+        let guard = R::pin(&self.reclaim);
+        // SAFETY: the guard pins this list's domain; the root (and
         // the borrow of its element handed to `f`) stays valid while
         // the guard lives, which spans the visitor call.
         let res = unsafe {
-            // ord: Release/Acquire — LIST.flag-cas: search helps flagged deletions (wrapped C&S)
+            // ord: Release/Acquire/Relaxed — LIST.flag-cas: search helps flagged deletions (wrapped C&S)
             self.list
                 .search_impl(key, &guard)
                 .map(|n| f((*n).element.as_ref().expect("root node has element")))
@@ -558,9 +613,9 @@ where
     /// Whether `key` is present.
     pub fn contains(&self, key: &K) -> bool {
         let op = lf_metrics::op_begin();
-        let guard = self.reclaim.pin();
-        // SAFETY: the guard pins this list's collector.
-        // ord: Release/Acquire — LIST.flag-cas: search helps flagged deletions (wrapped C&S)
+        let guard = R::pin(&self.reclaim);
+        // SAFETY: the guard pins this list's domain.
+        // ord: Release/Acquire/Relaxed — LIST.flag-cas: search helps flagged deletions (wrapped C&S)
         let res = unsafe { self.list.search_impl(key, &guard).is_some() };
         drop(guard);
         lf_metrics::op_end(op);
@@ -569,7 +624,7 @@ where
 
     /// Iterate over a weakly-consistent snapshot (level-1 traversal),
     /// cloning each `(key, value)` pair present when visited.
-    pub fn iter(&self) -> SkipIter<'_, 'l, K, V>
+    pub fn iter(&self) -> SkipIter<'_, 'l, K, V, R>
     where
         K: Clone,
         V: Clone,
@@ -593,11 +648,11 @@ where
     /// let window: Vec<u32> = h.range(10..15).map(|(k, _)| k).collect();
     /// assert_eq!(window, vec![10, 11, 12, 13, 14]);
     /// ```
-    pub fn range<R>(&self, range: R) -> RangeIter<'_, 'l, K, V>
+    pub fn range<B>(&self, range: B) -> RangeIter<'_, 'l, K, V, R>
     where
         K: Clone,
         V: Clone,
-        R: std::ops::RangeBounds<K>,
+        B: std::ops::RangeBounds<K>,
     {
         RangeIter::new(
             self,
@@ -658,48 +713,49 @@ where
     }
 
     /// The skip list this handle operates on.
-    pub fn list(&self) -> &'l SkipList<K, V> {
+    pub fn list(&self) -> &'l SkipList<K, V, R> {
         self.list
     }
 
     /// Opportunistically advance reclamation. Withdraws this handle's
-    /// standing epoch announcement (see `LocalHandle::quiesce`) first,
+    /// standing announcement (see `LocalHandle::quiesce`) first,
     /// so garbage blocked on it can be freed.
     pub fn flush_reclamation(&self) {
-        self.reclaim.flush();
+        R::flush(&self.reclaim);
     }
 
-    /// Withdraw this handle's standing epoch announcement without
+    /// Withdraw this handle's standing announcement without
     /// collecting (see `LocalHandle::quiesce`). An idle but registered
     /// handle otherwise delays reclamation domain-wide exactly like a
     /// held guard; call this (or drop the handle) when the thread will
     /// stop operating for a while.
     pub fn quiesce(&self) {
-        self.reclaim.quiesce();
+        R::quiesce(&self.reclaim);
     }
 
-    /// Re-tune how many consecutive operations share one standing epoch
+    /// Re-tune how many consecutive operations share one standing pin
     /// announcement (default 16; see `LocalHandle::amortize_pins`).
     ///
     /// Batch executors that drain `n` queued requests back-to-back set
     /// this to the batch size so a whole drained batch costs a single
     /// announcement, then [`quiesce`](Self::quiesce) between batches.
     pub fn amortize_pins(&self, every: u32) {
-        self.reclaim.amortize_pins(every);
+        R::amortize_pins(&self.reclaim, every);
     }
 }
 
 #[cfg(test)]
 mod tests;
 
-impl<K, V> FromIterator<(K, V)> for SkipList<K, V>
+impl<K, V, R> FromIterator<(K, V)> for SkipList<K, V, R>
 where
     K: Ord + Send + Sync + 'static,
     V: Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
 {
     /// Build a skip list from pairs; later duplicates are dropped.
     fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
-        let sl = SkipList::new();
+        let sl = SkipList::with_backend();
         {
             let h = sl.handle();
             for (k, v) in iter {
@@ -710,10 +766,11 @@ where
     }
 }
 
-impl<K, V> Extend<(K, V)> for SkipList<K, V>
+impl<K, V, R> Extend<(K, V)> for SkipList<K, V, R>
 where
     K: Ord + Send + Sync + 'static,
     V: Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
 {
     /// Insert pairs; duplicates of existing keys are dropped.
     fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {

@@ -1,8 +1,9 @@
 //! Skip list node layout: towers of per-level nodes (paper Fig. 6),
 //! allocated as one contiguous block per tower.
 
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 
+use lf_reclaim::{Publish, Reclaim, BIRTH_BUILDING};
 use lf_tagged::{AtomicTaggedPtr, TaggedPtr};
 
 pub(crate) use crate::list::Bound;
@@ -46,20 +47,45 @@ pub(crate) use crate::list::Bound;
 /// written only by the single inserting thread and is final once the
 /// construction reference is dropped; it is consulted only by
 /// quiescent diagnostics (tower census, validation).
+///
+/// # Reclamation-backend fields
+///
+/// Like the list's `Node`, every element carries a `birth` word (every
+/// element of one tower holds the *same* value — the epoch the tower
+/// was built in) and the root additionally carries shadow slots
+/// (`skey`/`sval`) that pin-free readers snoop. `down` and `tower_root`
+/// are atomic because a stale pin-free reader may load them while a
+/// re-initializer rewrites the block; their *values* are a pure
+/// function of the block's address and capacity (element `i` of a
+/// `cap`-block always points down at element `i - 1` and roots at
+/// element 0), and the pool buckets blocks by capacity, so every tenant
+/// of a block stores the same values — a Relaxed load cannot observe a
+/// wrong one. On pinned backends (`R::Slot<T> = ()`) the slots vanish
+/// and `birth` is a constant 0.
 #[repr(align(8))]
-pub(crate) struct SkipNode<K, V> {
+pub(crate) struct SkipNode<K, V, R: Reclaim> {
     pub(crate) key: Bound<K>,
     /// `None` except in root nodes of user towers.
     pub(crate) element: Option<V>,
+    /// Birth epoch of this node's tenant, low 16 bits mirrored into
+    /// every published pointer's stamp; [`BIRTH_BUILDING`] is set while
+    /// a re-initializer is rewriting the block. Constant 0 on pinned
+    /// backends and on sentinels.
+    pub(crate) birth: AtomicU64,
+    /// Shadow of the root's `key` for pin-free readers (roots only).
+    pub(crate) skey: R::Slot<K>,
+    /// Shadow of the root's `element` for pin-free readers (roots only).
+    pub(crate) sval: R::Slot<V>,
     /// The composite successor field within this node's level list.
-    pub(crate) succ: AtomicTaggedPtr<SkipNode<K, V>>,
+    pub(crate) succ: AtomicTaggedPtr<SkipNode<K, V, R>>,
     /// Set before marking; points at the flagged predecessor (INV 4).
-    pub(crate) backlink: AtomicPtr<SkipNode<K, V>>,
+    pub(crate) backlink: AtomicPtr<SkipNode<K, V, R>>,
     /// The node one level below in the same tower (null for roots and
-    /// for level-1 sentinels). Immutable after creation.
-    pub(crate) down: *mut SkipNode<K, V>,
-    /// The tower's root node (self for roots and sentinels). Immutable.
-    pub(crate) tower_root: *mut SkipNode<K, V>,
+    /// for level-1 sentinels). Tenant-invariant per block (see above).
+    pub(crate) down: AtomicPtr<SkipNode<K, V, R>>,
+    /// The tower's root node (self for roots and sentinels).
+    /// Tenant-invariant per block (see above).
+    pub(crate) tower_root: AtomicPtr<SkipNode<K, V, R>>,
     /// Root only: number of nodes in the tower's contiguous block —
     /// the capacity handed back to the pool on retirement. Immutable.
     pub(crate) height: usize,
@@ -67,13 +93,13 @@ pub(crate) struct SkipNode<K, V> {
     pub(crate) remaining: AtomicUsize,
     /// Root only: highest *linked* node of the tower. Written only by
     /// the inserting thread while it holds the construction reference.
-    pub(crate) top: AtomicPtr<SkipNode<K, V>>,
+    pub(crate) top: AtomicPtr<SkipNode<K, V, R>>,
 }
 
-impl<K, V> SkipNode<K, V> {
-    /// Initialize a whole tower of `height` nodes in place on an
-    /// uninitialized (fresh or pooled) block of `height` consecutive
-    /// `SkipNode`s.
+impl<K, V, R: Reclaim> SkipNode<K, V, R> {
+    /// Initialize a whole tower of `height` nodes in place on a fresh
+    /// or pooled block of `height` consecutive `SkipNode`s, stamping
+    /// every element with `birth`.
     ///
     /// Element 0 becomes the root (carrying `key` and `element`,
     /// `remaining = 2`: one reference for the root being linked into
@@ -84,42 +110,157 @@ impl<K, V> SkipNode<K, V> {
     /// field is a placeholder that is never consulted (and owns nothing,
     /// so retirement need not drop it).
     ///
+    /// On a pin-free backend a **recycled** block may still be snooped
+    /// by stale readers holding the previous tenant's stamp, so the
+    /// rewrite follows the seqlock protocol: every element's birth word
+    /// gets [`BIRTH_BUILDING`] first, a release fence orders those
+    /// stores before the field writes, and a final release store of the
+    /// clean `birth` opens the node to readers. Pinned-only fields
+    /// (`key`, `element`, `height`) are written plainly — no stale
+    /// reader touches them — while fields a stale reader *can* load
+    /// (`succ`, `backlink`, `down`, `tower_root`, `remaining`, `top`)
+    /// are stored atomically. A `recycled == false` block was never
+    /// published, so no stale pointer to it exists and plain
+    /// whole-struct writes suffice.
+    ///
     /// If the level-1 insertion reports a duplicate the root was never
     /// published; the caller moves `key`/`element` back out and releases
     /// the block directly.
     ///
     /// # Safety
     ///
-    /// `block` must be valid for writes of `height` `SkipNode<K, V>`s
+    /// `block` must be valid for writes of `height` `SkipNode<K, V, R>`s
     /// and must not alias live nodes; every field of every element is
-    /// overwritten. `height >= 1`.
-    pub(crate) unsafe fn init_tower_at(block: *mut Self, height: usize, key: K, element: V) {
+    /// overwritten (a `recycled` block must hold initialized atomics —
+    /// the pool guarantees this for every block it hands back).
+    /// `height >= 1`.
+    pub(crate) unsafe fn init_tower_at(
+        block: *mut Self,
+        height: usize,
+        key: K,
+        element: V,
+        birth: u64,
+        recycled: bool,
+    ) where
+        R: Publish<K> + Publish<V>,
+    {
         // SAFETY: the fn's `# Safety` contract covers the whole body.
         unsafe {
             debug_assert!(height >= 1);
-            block.write(SkipNode {
-                key: Bound::Key(key),
-                element: Some(element),
-                succ: AtomicTaggedPtr::new(TaggedPtr::null()),
-                backlink: AtomicPtr::new(std::ptr::null_mut()),
-                down: std::ptr::null_mut(),
-                tower_root: block,
-                height,
-                remaining: AtomicUsize::new(2),
-                top: AtomicPtr::new(block),
-            });
-            for i in 1..height {
-                block.add(i).write(SkipNode {
-                    key: Bound::NegInf,
-                    element: None,
+            if R::PIN_FREE_READS && recycled {
+                // Close every element to stale readers before touching
+                // any field: a reader validates against the element it
+                // *reached*, which may be any of them.
+                for i in 0..height {
+                    // ord: Relaxed — VBR.birth-building: the fence below orders these stores
+                    (*block.add(i))
+                        .birth
+                        .store(BIRTH_BUILDING | birth, Ordering::Relaxed);
+                }
+                // ord: Release — VBR.birth-building: seqlock write fence; a reader that
+                // observes any field store below also observes the builder bits above
+                fence(Ordering::Release);
+                // Pinned-only fields: plain writes (stale readers never
+                // load them; pinned threads cannot reach a recycled
+                // block). The previous tenant's key/element were dropped
+                // at retire, so these writes overwrite plain bytes.
+                std::ptr::write(std::ptr::addr_of_mut!((*block).key), Bound::Key(key));
+                std::ptr::write(std::ptr::addr_of_mut!((*block).element), Some(element));
+                std::ptr::write(std::ptr::addr_of_mut!((*block).height), height);
+                if let Bound::Key(k) = &(*block).key {
+                    // SAFETY: slot rewrite is racy by design; readers
+                    // validate via birth before trusting the bytes.
+                    <R as Publish<K>>::publish(&(*block).skey, k);
+                }
+                if let Some(v) = &(*block).element {
+                    // SAFETY: as above.
+                    <R as Publish<V>>::publish(&(*block).sval, v);
+                }
+                // Reader-visible atomics, all under the builder bit.
+                // ord: Relaxed — VBR.node-reinit: builder bit is set; readers reject the node
+                (*block).succ.store(TaggedPtr::null(), Ordering::Relaxed);
+                // ord: Relaxed — VBR.node-reinit: same seqlock guard
+                (*block)
+                    .backlink
+                    .store(std::ptr::null_mut(), Ordering::Relaxed);
+                // ord: Relaxed — TOWER.layout: tenant-invariant value (same for every tenant)
+                (*block).down.store(std::ptr::null_mut(), Ordering::Relaxed);
+                // ord: Relaxed — TOWER.layout: tenant-invariant value (same for every tenant)
+                (*block).tower_root.store(block, Ordering::Relaxed);
+                // ord: Relaxed — VBR.node-reinit: pinned-only counter, builder bit set anyway
+                (*block).remaining.store(2, Ordering::Relaxed);
+                // ord: Relaxed — TOWER.top: quiescent-only diagnostic field
+                (*block).top.store(block, Ordering::Relaxed);
+                for i in 1..height {
+                    let upper = block.add(i);
+                    std::ptr::write(std::ptr::addr_of_mut!((*upper).key), Bound::NegInf);
+                    std::ptr::write(std::ptr::addr_of_mut!((*upper).element), None);
+                    std::ptr::write(std::ptr::addr_of_mut!((*upper).height), 0);
+                    // ord: Relaxed — VBR.node-reinit: builder bit is set; readers reject the node
+                    (*upper).succ.store(TaggedPtr::null(), Ordering::Relaxed);
+                    // ord: Relaxed — VBR.node-reinit: same seqlock guard
+                    (*upper)
+                        .backlink
+                        .store(std::ptr::null_mut(), Ordering::Relaxed);
+                    // ord: Relaxed — TOWER.layout: tenant-invariant value (same for every tenant)
+                    (*upper).down.store(block.add(i - 1), Ordering::Relaxed);
+                    // ord: Relaxed — TOWER.layout: tenant-invariant value (same for every tenant)
+                    (*upper).tower_root.store(block, Ordering::Relaxed);
+                    // ord: Relaxed — VBR.node-reinit: pinned-only counter, builder bit set anyway
+                    (*upper).remaining.store(0, Ordering::Relaxed);
+                    // ord: Relaxed — TOWER.top: quiescent-only diagnostic field
+                    (*upper).top.store(std::ptr::null_mut(), Ordering::Relaxed);
+                }
+                // Open every element: publishes the field writes above to
+                // readers that Acquire-load a birth word and see `birth`.
+                for i in 0..height {
+                    // ord: Release — VBR.birth-finalize: opens the node; pairs with readers' Acquire birth loads
+                    (*block.add(i)).birth.store(birth, Ordering::Release);
+                }
+            } else {
+                // Fresh block (or pinned backend): unreachable by anyone,
+                // plain initialization; the insertion C&S publishes it.
+                block.write(SkipNode {
+                    key: Bound::Key(key),
+                    element: Some(element),
+                    birth: AtomicU64::new(birth),
+                    skey: Default::default(),
+                    sval: Default::default(),
                     succ: AtomicTaggedPtr::new(TaggedPtr::null()),
                     backlink: AtomicPtr::new(std::ptr::null_mut()),
-                    down: block.add(i - 1),
-                    tower_root: block,
-                    height: 0,
-                    remaining: AtomicUsize::new(0),
-                    top: AtomicPtr::new(std::ptr::null_mut()),
+                    down: AtomicPtr::new(std::ptr::null_mut()),
+                    tower_root: AtomicPtr::new(block),
+                    height,
+                    remaining: AtomicUsize::new(2),
+                    top: AtomicPtr::new(block),
                 });
+                for i in 1..height {
+                    block.add(i).write(SkipNode {
+                        key: Bound::NegInf,
+                        element: None,
+                        birth: AtomicU64::new(birth),
+                        skey: Default::default(),
+                        sval: Default::default(),
+                        succ: AtomicTaggedPtr::new(TaggedPtr::null()),
+                        backlink: AtomicPtr::new(std::ptr::null_mut()),
+                        down: AtomicPtr::new(block.add(i - 1)),
+                        tower_root: AtomicPtr::new(block),
+                        height: 0,
+                        remaining: AtomicUsize::new(0),
+                        top: AtomicPtr::new(std::ptr::null_mut()),
+                    });
+                }
+                if R::PIN_FREE_READS {
+                    if let Bound::Key(k) = &(*block).key {
+                        // SAFETY: the block is unpublished; this is the
+                        // first write to a Default slot.
+                        <R as Publish<K>>::publish(&(*block).skey, k);
+                    }
+                    if let Some(v) = &(*block).element {
+                        // SAFETY: as above.
+                        <R as Publish<V>>::publish(&(*block).sval, v);
+                    }
+                }
             }
         }
     }
@@ -129,25 +270,95 @@ impl<K, V> SkipNode<K, V> {
     /// Sentinels are their own tower root, are never marked, and their
     /// `remaining` is never released (they are freed by the skip list's
     /// `Drop`, as individual `Box`es — they never touch the pool).
-    pub(crate) fn alloc_sentinel(key: Bound<K>, down: *mut SkipNode<K, V>) -> *mut Self {
+    /// Sentinel birth is 0 forever, so pointers to them carry stamp 0.
+    pub(crate) fn alloc_sentinel(key: Bound<K>, down: *mut SkipNode<K, V, R>) -> *mut Self {
         let node = Box::into_raw(Box::new(SkipNode {
             key,
             element: None,
+            birth: AtomicU64::new(0),
+            skey: Default::default(),
+            sval: Default::default(),
             succ: AtomicTaggedPtr::new(TaggedPtr::null()),
             backlink: AtomicPtr::new(std::ptr::null_mut()),
-            down,
-            tower_root: std::ptr::null_mut(),
+            down: AtomicPtr::new(down),
+            tower_root: AtomicPtr::new(std::ptr::null_mut()),
             height: 1,
             remaining: AtomicUsize::new(1),
             top: AtomicPtr::new(std::ptr::null_mut()),
         }));
         // SAFETY: `node` was just allocated above and is not yet shared.
         unsafe {
-            (*node).tower_root = node;
+            // ord: Relaxed — TOWER.layout: sentinel self-init before publication
+            (*node).tower_root.store(node, Ordering::Relaxed);
             // ord: Relaxed — TOWER.top: quiescent-only diagnostic field
             (*node).top.store(node, Ordering::Relaxed);
         }
         node
+    }
+
+    /// The node one level below in the same tower (null for roots and
+    /// level-1 sentinels).
+    #[inline]
+    pub(crate) fn down(&self) -> *mut SkipNode<K, V, R> {
+        // Relaxed is enough even for pin-free readers: the value is
+        // tenant-invariant per block (see the struct docs), and pinned
+        // threads inherit the happens-before from the publishing C&S.
+        // ord: Relaxed — TOWER.layout: tenant-invariant value (same for every tenant)
+        self.down.load(Ordering::Relaxed)
+    }
+
+    /// The tower's root node (self for roots and sentinels).
+    #[inline]
+    pub(crate) fn root(&self) -> *mut SkipNode<K, V, R> {
+        // ord: Relaxed — TOWER.layout: tenant-invariant value (same for every tenant)
+        self.tower_root.load(Ordering::Relaxed)
+    }
+
+    /// The stamp a published pointer to `ptr` must carry: the low 16
+    /// bits of its birth word on pin-free backends, 0 otherwise.
+    ///
+    /// Every element of a tower holds the same birth, so any node of a
+    /// tower yields the tower's stamp. Tenant-constant while `ptr` is
+    /// protected (a guard is held, or the pointer was re-validated), so
+    /// every caller computes the same stamp the publisher stored.
+    ///
+    /// # Safety
+    ///
+    /// `ptr`, when non-null, must point at storage containing an
+    /// initialized `birth` word (any live, retired-but-pooled, or
+    /// sentinel node qualifies).
+    #[inline]
+    pub(crate) unsafe fn stamp_of(ptr: *mut SkipNode<K, V, R>) -> u16 {
+        if R::PIN_FREE_READS && !ptr.is_null() {
+            // SAFETY: the fn's `# Safety` contract covers the whole body.
+            // ord: Relaxed — VBR.birth-stamp: tenant-constant value, read under protection
+            (unsafe { (*ptr).birth.load(Ordering::Relaxed) } & 0xffff) as u16
+        } else {
+            0
+        }
+    }
+
+    /// An unmarked, unflagged pointer to `ptr` carrying its stamp — the
+    /// form every C&S publishes.
+    ///
+    /// # Safety
+    ///
+    /// As for [`Self::stamp_of`].
+    #[inline]
+    pub(crate) unsafe fn clean_ptr(ptr: *mut SkipNode<K, V, R>) -> TaggedPtr<SkipNode<K, V, R>> {
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        TaggedPtr::unmarked(ptr).with_stamp(unsafe { Self::stamp_of(ptr) })
+    }
+
+    /// A flagged pointer to `ptr` carrying its stamp.
+    ///
+    /// # Safety
+    ///
+    /// As for [`Self::stamp_of`].
+    #[inline]
+    pub(crate) unsafe fn flagged_ptr(ptr: *mut SkipNode<K, V, R>) -> TaggedPtr<SkipNode<K, V, R>> {
+        // SAFETY: the fn's `# Safety` contract covers the whole body.
+        unsafe { Self::clean_ptr(ptr) }.with_flag()
     }
 
     /// The node's key, read through the tower root (every node of a
@@ -161,7 +372,8 @@ impl<K, V> SkipNode<K, V> {
     #[inline]
     pub(crate) unsafe fn key_ref(&self) -> &Bound<K> {
         // SAFETY: the fn's `# Safety` contract covers the whole body.
-        unsafe { &(*self.tower_root).key }
+        // ord: Relaxed — TOWER.layout: tenant-invariant tower geometry
+        unsafe { &(*self.root()).key }
     }
 
     /// Load the successor field.
@@ -173,14 +385,14 @@ impl<K, V> SkipNode<K, V> {
     /// `HelpMarked`, which re-publishes its `next` operand) — see
     /// DESIGN.md §9.
     #[inline]
-    pub(crate) fn succ(&self) -> TaggedPtr<SkipNode<K, V>> {
+    pub(crate) fn succ(&self) -> TaggedPtr<SkipNode<K, V, R>> {
         // ord: Acquire — LIST.traverse: loaded pointer is the next hop
         self.succ.load(Ordering::Acquire)
     }
 
     /// The `right` pointer component of the successor field.
     #[inline]
-    pub(crate) fn right(&self) -> *mut SkipNode<K, V> {
+    pub(crate) fn right(&self) -> *mut SkipNode<K, V, R> {
         self.succ().ptr()
     }
 
@@ -199,7 +411,8 @@ impl<K, V> SkipNode<K, V> {
     #[inline]
     pub(crate) unsafe fn is_superfluous(&self) -> bool {
         // SAFETY: the fn's `# Safety` contract covers the whole body.
-        unsafe { (*self.tower_root).is_marked() }
+        // ord: Relaxed — TOWER.layout: tenant-invariant tower geometry
+        unsafe { (*self.root()).is_marked() }
     }
 
     /// Load the backlink.
@@ -208,7 +421,7 @@ impl<K, V> SkipNode<K, V> {
     /// walks; pairs with the Release store in `HelpFlagged` to carry
     /// the happens-before edge to the predecessor's initialization.
     #[inline]
-    pub(crate) fn backlink(&self) -> *mut SkipNode<K, V> {
+    pub(crate) fn backlink(&self) -> *mut SkipNode<K, V, R> {
         // ord: Acquire — LIST.backlink-walk: predecessor is dereferenced
         self.backlink.load(Ordering::Acquire)
     }
@@ -217,24 +430,25 @@ impl<K, V> SkipNode<K, V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lf_reclaim::Ebr;
     use std::alloc::{alloc, dealloc, Layout};
     use std::sync::atomic::Ordering;
 
     /// Allocate and initialize a tower block directly (tests only; the
     /// hot path goes through the node pool).
-    unsafe fn tower(height: usize, key: u32, element: u32) -> *mut SkipNode<u32, u32> {
-        let layout = Layout::array::<SkipNode<u32, u32>>(height).unwrap();
+    unsafe fn tower(height: usize, key: u32, element: u32) -> *mut SkipNode<u32, u32, Ebr> {
+        let layout = Layout::array::<SkipNode<u32, u32, Ebr>>(height).unwrap();
         // SAFETY: a fresh allocation of `height` nodes is valid for
         // `init_tower_at`'s writes.
         unsafe {
-            let block = alloc(layout) as *mut SkipNode<u32, u32>;
-            SkipNode::init_tower_at(block, height, key, element);
+            let block = alloc(layout) as *mut SkipNode<u32, u32, Ebr>;
+            SkipNode::init_tower_at(block, height, key, element, 0, false);
             block
         }
     }
 
-    unsafe fn free_tower(block: *mut SkipNode<u32, u32>, height: usize) {
-        let layout = Layout::array::<SkipNode<u32, u32>>(height).unwrap();
+    unsafe fn free_tower(block: *mut SkipNode<u32, u32, Ebr>, height: usize) {
+        let layout = Layout::array::<SkipNode<u32, u32, Ebr>>(height).unwrap();
         // SAFETY: `block` came from `tower` with the same height and is
         // freed exactly once.
         unsafe {
@@ -248,11 +462,11 @@ mod tests {
     fn root_invariants() {
         unsafe {
             let r = tower(1, 5, 50);
-            assert_eq!((*r).tower_root, r);
+            assert_eq!((*r).root(), r);
             assert_eq!((*r).top.load(Ordering::Relaxed), r);
             assert_eq!((*r).remaining.load(Ordering::Relaxed), 2);
             assert_eq!((*r).height, 1);
-            assert!((*r).down.is_null());
+            assert!((*r).down().is_null());
             assert_eq!((*r).element, Some(50));
             assert!(!(*r).is_superfluous());
             free_tower(r, 1);
@@ -265,8 +479,8 @@ mod tests {
             let r = tower(3, 5, 50);
             for i in 1..3 {
                 let u = r.add(i);
-                assert_eq!((*u).down, r.add(i - 1));
-                assert_eq!((*u).tower_root, r);
+                assert_eq!((*u).down(), r.add(i - 1));
+                assert_eq!((*u).root(), r);
                 assert_eq!((*u).element, None);
                 assert_eq!((*u).key_ref(), &Bound::Key(5));
             }
@@ -277,11 +491,22 @@ mod tests {
 
     #[test]
     fn sentinel_is_own_root() {
-        let s = SkipNode::<u32, u32>::alloc_sentinel(Bound::PosInf, std::ptr::null_mut());
+        let s = SkipNode::<u32, u32, Ebr>::alloc_sentinel(Bound::PosInf, std::ptr::null_mut());
         unsafe {
-            assert_eq!((*s).tower_root, s);
+            assert_eq!((*s).root(), s);
             assert!(!(*s).is_superfluous());
             drop(Box::from_raw(s));
+        }
+    }
+
+    #[test]
+    fn pinned_backend_stamps_are_zero() {
+        unsafe {
+            let r = tower(2, 1, 2);
+            assert_eq!(SkipNode::stamp_of(r), 0);
+            assert_eq!(SkipNode::clean_ptr(r).stamp(), 0);
+            assert!(SkipNode::flagged_ptr(r).is_flagged());
+            free_tower(r, 2);
         }
     }
 

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::ops::Bound as RangeBound;
 
-use lf_reclaim::Guard;
+use lf_reclaim::{Ebr, Publish, Reclaim};
 
 use super::node::SkipNode;
 use super::{Bound, Mode, SkipListHandle};
@@ -15,44 +15,45 @@ use super::{Bound, Mode, SkipListHandle};
 /// `O(log n)`), then walks level 1 cloning each pair whose root is
 /// unmarked when visited, until the end bound. Pins the thread for its
 /// whole lifetime.
-pub struct RangeIter<'h, 'l, K, V> {
-    _handle: &'h SkipListHandle<'l, K, V>,
-    _guard: Guard<'h>,
-    curr: *mut SkipNode<K, V>,
+pub struct RangeIter<'h, 'l, K, V, R: Reclaim = Ebr> {
+    _handle: &'h SkipListHandle<'l, K, V, R>,
+    _guard: R::Guard<'h>,
+    curr: *mut SkipNode<K, V, R>,
     end: RangeBound<K>,
 }
 
-impl<K, V> fmt::Debug for RangeIter<'_, '_, K, V> {
+impl<K, V, R: Reclaim> fmt::Debug for RangeIter<'_, '_, K, V, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("skiplist::RangeIter")
     }
 }
 
-impl<'h, 'l, K, V> RangeIter<'h, 'l, K, V>
+impl<'h, 'l, K, V, R> RangeIter<'h, 'l, K, V, R>
 where
     K: Ord + Send + Sync + 'static,
     V: Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
 {
     pub(crate) fn new(
-        handle: &'h SkipListHandle<'l, K, V>,
+        handle: &'h SkipListHandle<'l, K, V, R>,
         start: RangeBound<K>,
         end: RangeBound<K>,
     ) -> Self {
-        let guard = handle.reclaim.pin();
+        let guard = R::pin(&handle.reclaim);
         // Position `curr` at the last node *before* the range, so the
         // iterator's first advance lands on the first in-range root.
-        // SAFETY: the guard pins the list's collector for the whole
+        // SAFETY: the guard pins the list's domain for the whole
         // iterator lifetime (it is stored alongside `curr`).
         let curr = unsafe {
             match &start {
                 RangeBound::Unbounded => handle.list.heads[0],
                 RangeBound::Included(k) => {
-                    // ord: Release/Acquire — LIST.flag-cas: positioning search helps deletions (wrapped C&S)
+                    // ord: Release/Acquire/Relaxed — LIST.flag-cas: positioning search helps deletions (wrapped C&S)
                     let (n1, _) = handle.list.search_to_level(k, 1, Mode::Lt, &guard);
                     n1
                 }
                 RangeBound::Excluded(k) => {
-                    // ord: Release/Acquire — LIST.flag-cas: positioning search helps deletions (wrapped C&S)
+                    // ord: Release/Acquire/Relaxed — LIST.flag-cas: positioning search helps deletions (wrapped C&S)
                     let (n1, _) = handle.list.search_to_level(k, 1, Mode::Le, &guard);
                     n1
                 }
@@ -75,10 +76,11 @@ where
     }
 }
 
-impl<K, V> Iterator for RangeIter<'_, '_, K, V>
+impl<K, V, R> Iterator for RangeIter<'_, '_, K, V, R>
 where
     K: Ord + Clone + Send + Sync + 'static,
     V: Clone + Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
 {
     type Item = (K, V);
 

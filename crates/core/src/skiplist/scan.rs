@@ -4,7 +4,7 @@
 //! [`merged_range`] walks the level-1 lists of several skip lists that
 //! share one reclamation domain (see [`SkipList::new_sibling`]) and
 //! emits their united key space in ascending order — a k-way merge of
-//! per-shard traversals under a **single** amortized epoch pin. Each
+//! per-shard traversals under a **single** amortized pin. Each
 //! per-shard cursor honors marks and flags exactly as the paper's
 //! `SearchRight` does: superfluous towers encountered on the way are
 //! physically deleted (all three deletion steps), so a scan helps
@@ -23,20 +23,20 @@
 use std::ops::Bound as RangeBound;
 use std::ptr;
 
-use lf_reclaim::Guard;
+use lf_reclaim::{Publish, Reclaim};
 
 use super::level::FlagStatus;
 use super::node::SkipNode;
 use super::{Bound, Mode, SkipList, SkipListHandle};
 
 /// One per-list scan cursor of the k-way merge.
-struct Cursor<'a, K, V> {
-    list: &'a SkipList<K, V>,
+struct Cursor<'a, K, V, R: Reclaim> {
+    list: &'a SkipList<K, V, R>,
     /// Last node this cursor consumed (or its start position); the
     /// monotonicity anchor after helping relocates us leftwards.
-    anchor: *mut SkipNode<K, V>,
+    anchor: *mut SkipNode<K, V, R>,
     /// Next in-range unmarked root to merge, null when exhausted.
-    cand: *mut SkipNode<K, V>,
+    cand: *mut SkipNode<K, V, R>,
 }
 
 fn after_start<K: Ord>(key: &K, start: &RangeBound<&K>) -> bool {
@@ -64,16 +64,17 @@ fn within_end<K: Ord>(key: &K, end: &RangeBound<&K>) -> bool {
 /// # Safety
 ///
 /// `anchor` must be a node of `list` protected by `guard`.
-unsafe fn advance<K, V>(
-    list: &SkipList<K, V>,
-    anchor: *mut SkipNode<K, V>,
+unsafe fn advance<K, V, R>(
+    list: &SkipList<K, V, R>,
+    anchor: *mut SkipNode<K, V, R>,
     start: &RangeBound<&K>,
     end: &RangeBound<&K>,
-    guard: &Guard<'_>,
-) -> *mut SkipNode<K, V>
+    guard: &R::Guard<'_>,
+) -> *mut SkipNode<K, V, R>
 where
     K: Ord + Send + Sync + 'static,
     V: Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
 {
     // SAFETY: the fn's `# Safety` contract covers the whole body.
     unsafe {
@@ -86,7 +87,7 @@ where
             // Delete superfluous towers in our way, exactly as
             // `SearchRight` does (flag, then help with mark + unlink).
             while (*next).is_superfluous() {
-                // ord: Release/Acquire — LIST.flag-cas: wrapped flagging C&S; pred is dereferenced
+                // ord: Release/Acquire/Relaxed — LIST.flag-cas: wrapped flagging C&S; pred is dereferenced
                 let (new_curr, status, _) = list.try_flag_node(curr, next, guard);
                 curr = new_curr;
                 if status == FlagStatus::In {
@@ -126,7 +127,7 @@ where
 /// order across all lists; the visitor returns `true` to continue or
 /// `false` to stop early. Returns the number of pairs visited.
 ///
-/// The whole scan runs under one epoch pin taken from `handles[0]`,
+/// The whole scan runs under one pin taken from `handles[0]`,
 /// which is sound **only** because sibling lists share a reclamation
 /// domain — the function asserts this via
 /// [`SkipList::shares_domain_with`] and panics otherwise.
@@ -159,8 +160,8 @@ where
 /// assert_eq!(n, 5);
 /// assert_eq!(seen, vec![2, 3, 4, 5, 6]);
 /// ```
-pub fn merged_range<K, V, F>(
-    handles: &[&SkipListHandle<'_, K, V>],
+pub fn merged_range<K, V, R, F>(
+    handles: &[&SkipListHandle<'_, K, V, R>],
     start: RangeBound<&K>,
     end: RangeBound<&K>,
     mut visitor: F,
@@ -168,6 +169,7 @@ pub fn merged_range<K, V, F>(
 where
     K: Ord + Send + Sync + 'static,
     V: Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
     F: FnMut(&K, &V) -> bool,
 {
     let Some(first) = handles.first() else {
@@ -181,31 +183,31 @@ where
     }
     let op = lf_metrics::op_begin();
     // One pin covers every sibling: their nodes are retired into the
-    // shared collector, so this guard protects all traversals below.
-    let guard = first.reclaim.pin();
+    // shared domain, so this guard protects all traversals below.
+    let guard = R::pin(&first.reclaim);
 
     // Position each cursor at the last node *before* the range (the
     // `RangeIter` convention), then pre-fill its first candidate.
-    let mut cursors: Vec<Cursor<'_, K, V>> = handles
+    let mut cursors: Vec<Cursor<'_, K, V, R>> = handles
         .iter()
         .map(|h| {
-            // SAFETY: the guard pins the shared collector; positioning
+            // SAFETY: the guard pins the shared domain; positioning
             // nodes stay valid while it lives.
             let anchor = unsafe {
                 match start {
                     RangeBound::Unbounded => h.list.heads[0],
                     RangeBound::Included(k) => {
-                        // ord: Release/Acquire — LIST.flag-cas: descent may help-delete (wrapped C&S)
+                        // ord: Release/Acquire/Relaxed — LIST.flag-cas: descent may help-delete (wrapped C&S)
                         h.list.search_to_level(k, 1, Mode::Lt, &guard).0
                     }
                     RangeBound::Excluded(k) => {
-                        // ord: Release/Acquire — LIST.flag-cas: descent may help-delete (wrapped C&S)
+                        // ord: Release/Acquire/Relaxed — LIST.flag-cas: descent may help-delete (wrapped C&S)
                         h.list.search_to_level(k, 1, Mode::Le, &guard).0
                     }
                 }
             };
             // SAFETY: `anchor` is a node of `h.list` under the guard.
-            // ord: Release/Acquire — LIST.flag-cas: cursor advance helps deletions (wrapped C&S)
+            // ord: Release/Acquire/Relaxed — LIST.flag-cas: cursor advance helps deletions (wrapped C&S)
             let cand = unsafe { advance(h.list, anchor, &start, &end, &guard) };
             Cursor {
                 list: h.list,
@@ -249,7 +251,7 @@ where
                 stop = !visitor(k, v);
             }
             cursors[m].anchor = node;
-            // ord: Release/Acquire — LIST.flag-cas: cursor advance helps deletions (wrapped C&S)
+            // ord: Release/Acquire/Relaxed — LIST.flag-cas: cursor advance helps deletions (wrapped C&S)
             cursors[m].cand = advance(cursors[m].list, node, &start, &end, &guard);
         }
         if stop {

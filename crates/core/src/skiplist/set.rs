@@ -2,9 +2,14 @@
 
 use std::fmt;
 
+use lf_reclaim::{Ebr, Publish, Reclaim};
+
 use super::{SkipList, SkipListHandle};
 
 /// A lock-free sorted set of keys — [`SkipList`] with unit values.
+///
+/// Generic over the reclamation backend like the skip list itself
+/// (default EBR; see [`SkipSet::with_backend`]).
 ///
 /// # Examples
 ///
@@ -18,11 +23,11 @@ use super::{SkipList, SkipListHandle};
 /// assert!(set.remove(&10));
 /// assert!(!set.remove(&10));
 /// ```
-pub struct SkipSet<K> {
-    inner: SkipList<K, ()>,
+pub struct SkipSet<K, R: Reclaim = Ebr> {
+    inner: SkipList<K, (), R>,
 }
 
-impl<K> fmt::Debug for SkipSet<K> {
+impl<K, R: Reclaim> fmt::Debug for SkipSet<K, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SkipSet")
             .field("len", &self.inner.len())
@@ -30,12 +35,13 @@ impl<K> fmt::Debug for SkipSet<K> {
     }
 }
 
-impl<K> Default for SkipSet<K>
+impl<K, R> Default for SkipSet<K, R>
 where
     K: Ord + Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<()>,
 {
     fn default() -> Self {
-        Self::new()
+        Self::with_backend()
     }
 }
 
@@ -43,15 +49,26 @@ impl<K> SkipSet<K>
 where
     K: Ord + Send + Sync + 'static,
 {
-    /// Create an empty set.
+    /// Create an empty set over the default EBR backend.
     pub fn new() -> Self {
+        Self::with_backend()
+    }
+}
+
+impl<K, R> SkipSet<K, R>
+where
+    K: Ord + Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<()>,
+{
+    /// Create an empty set over the reclamation backend `R`.
+    pub fn with_backend() -> Self {
         SkipSet {
-            inner: SkipList::new(),
+            inner: SkipList::with_backend(),
         }
     }
 
     /// Register the calling thread and return an operation handle.
-    pub fn handle(&self) -> SkipSetHandle<'_, K> {
+    pub fn handle(&self) -> SkipSetHandle<'_, K, R> {
         SkipSetHandle {
             inner: self.inner.handle(),
         }
@@ -83,25 +100,26 @@ where
     }
 
     /// The underlying skip list.
-    pub fn as_skiplist(&self) -> &SkipList<K, ()> {
+    pub fn as_skiplist(&self) -> &SkipList<K, (), R> {
         &self.inner
     }
 }
 
 /// Per-thread handle to a [`SkipSet`].
-pub struct SkipSetHandle<'l, K> {
-    inner: SkipListHandle<'l, K, ()>,
+pub struct SkipSetHandle<'l, K, R: Reclaim = Ebr> {
+    inner: SkipListHandle<'l, K, (), R>,
 }
 
-impl<K> fmt::Debug for SkipSetHandle<'_, K> {
+impl<K, R: Reclaim> fmt::Debug for SkipSetHandle<'_, K, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("SkipSetHandle")
     }
 }
 
-impl<K> SkipSetHandle<'_, K>
+impl<K, R> SkipSetHandle<'_, K, R>
 where
     K: Ord + Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<()>,
 {
     /// Insert `key`; returns `false` if it was already present.
     pub fn insert(&self, key: K) -> bool {

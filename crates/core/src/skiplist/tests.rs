@@ -413,12 +413,12 @@ fn vertical_structure_sound_when_quiescent() {
         for level in 1..sl.max_level {
             let mut cur = (*sl.heads[level]).right();
             while cur != sl.tails[level] {
-                let root = (*cur).tower_root;
+                let root = (*cur).root();
                 assert!(!(*root).is_marked(), "superfluous node left at quiescence");
                 // Walking down from this node must reach the root.
                 let mut d = cur;
-                while !(*d).down.is_null() {
-                    d = (*d).down;
+                while !(*d).down().is_null() {
+                    d = (*d).down();
                 }
                 assert_eq!(d, root, "down chain does not reach tower root");
                 cur = (*cur).right();

@@ -1,0 +1,452 @@
+//! Era-based reclamation behind the [`Reclaim`] trait.
+//!
+//! This is the hazard-*era* flavor of the crate (Ramalhete & Correia's
+//! direction): instead of publishing each traversed pointer, a thread
+//! publishes **one era** per pin, and retirement records carry the era
+//! at which the object was retired. A scan frees a retired object once
+//! every announced era is at least `retire + GRACE` — one registry walk
+//! per batch rather than one published store per pointer hop, which is
+//! what makes the scheme usable under the FR'04 lists' whole-traversal
+//! guards.
+//!
+//! ## Why announcements gate era advance (and the honest caveat)
+//!
+//! Interval-based variants free an object when no reader's span covers
+//! its `[birth, retire]` interval, which bounds garbage under stalled
+//! readers. That rule is **unsound** for FR'04-style traversals: a
+//! marked node's frozen successor may point at a node retired long
+//! before a reader pinned, yet still be reached *through* the marked
+//! node, so an object's birth/retire interval does not bound when it is
+//! reachable. (Concretely: X is marked with frozen `succ → Y`; Y is
+//! unlinked and retired at era 10; X stays in the list until era 20; a
+//! reader pinning at era 20 walks X's frozen successor straight into
+//! Y.) We therefore keep the epoch-style consensus rule — the era
+//! cannot advance past an active announcement — and use the paper-\[9\]
+//! style *scan* only to decide which retired batch entries are old
+//! enough (`retire + GRACE ≤` every announced era). Consequence: like
+//! EBR and unlike the classic per-pointer domain in [`crate::Domain`],
+//! a stalled pinned reader stalls reclamation; the per-object `birth`
+//! stamps threaded through [`Reclaim::defer`] are recorded for
+//! diagnostics, not used for freeing. The classic domain remains the
+//! stall-bounded option (and what the Michael baseline uses).
+//!
+//! Announcements are **per pin, never amortized** —
+//! [`Reclaim::amortize_pins`] is a no-op here — so the backend's cost
+//! model is honest: every operation pays the announce store, and in
+//! exchange the retire path never walks per-pointer hazard sets.
+//!
+//! Orderings are SeqCst wholesale: `lf-hazard` is a `support`-class
+//! crate in lint-policy.toml and keeps the simplest correct model.
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use lf_metrics::UnreclaimedGauge;
+use lf_reclaim::{Publish, Reclaim};
+use lf_tagged::CachePadded;
+
+use crate::slots::{SlotList, SlotNode};
+
+/// Era generations a retired object waits before it can be freed (same
+/// two-generation argument as `lf-reclaim`'s collector).
+const GRACE: u64 = 2;
+
+/// Retired-object count that triggers an advance attempt + scan.
+const SCAN_THRESHOLD: usize = 64;
+
+/// Per-thread announcement: `(era << 1) | active`.
+#[derive(Default)]
+struct EraSlot {
+    state: AtomicU64,
+}
+
+struct RetiredRec {
+    retire_era: u64,
+    free_fn: Box<dyn FnOnce() + Send>,
+}
+
+struct HpDomainInner {
+    era: CachePadded<AtomicU64>,
+    registry: SlotList<EraSlot>,
+    /// Garbage abandoned by deregistered threads (rare path).
+    orphans: Mutex<Vec<RetiredRec>>,
+}
+
+impl HpDomainInner {
+    /// Advance the era by one if every active announcement has caught
+    /// up with it (the consensus rule from the module docs).
+    fn try_advance(&self) {
+        let era = self.era.load(Ordering::SeqCst);
+        let mut all_caught_up = true;
+        self.registry.for_each(|slot| {
+            let state = slot.state.load(Ordering::SeqCst);
+            if state & 1 == 1 && state >> 1 != era {
+                all_caught_up = false;
+            }
+        });
+        if all_caught_up {
+            // Lost races are fine: someone else advanced.
+            let _ = self
+                .era
+                .compare_exchange(era, era + 1, Ordering::SeqCst, Ordering::SeqCst);
+        }
+    }
+
+    /// The scan horizon: the smallest active announced era, or the
+    /// current era when nobody is pinned. Entries with
+    /// `retire_era + GRACE <= horizon` are free-able.
+    fn horizon(&self) -> u64 {
+        let mut min = self.era.load(Ordering::SeqCst);
+        self.registry.for_each(|slot| {
+            let state = slot.state.load(Ordering::SeqCst);
+            if state & 1 == 1 {
+                min = min.min(state >> 1);
+            }
+        });
+        min
+    }
+
+    /// Free every old-enough entry of `retired` (and of the orphan
+    /// pile); keep the remainder. Returns the number freed.
+    fn scan(&self, retired: &mut Vec<RetiredRec>) -> u64 {
+        let horizon = self.horizon();
+        let mut freed = 0u64;
+        let mut run = |recs: &mut Vec<RetiredRec>| {
+            let mut kept = Vec::new();
+            for r in recs.drain(..) {
+                if r.retire_era + GRACE <= horizon {
+                    (r.free_fn)();
+                    freed += 1;
+                } else {
+                    kept.push(r);
+                }
+            }
+            *recs = kept;
+        };
+        run(retired);
+        run(&mut self.orphans.lock().unwrap());
+        freed
+    }
+}
+
+impl Drop for HpDomainInner {
+    fn drop(&mut self) {
+        // No handles remain (they hold `Arc`s), so every orphaned
+        // retirement is past any reader.
+        for r in self.orphans.get_mut().unwrap().drain(..) {
+            (r.free_fn)();
+        }
+    }
+}
+
+/// Era-based reclamation backend ([`Reclaim`] implementor).
+pub struct Hp;
+
+/// An era-reclamation domain: the shared era, the announcement
+/// registry, and the retired/freed gauge.
+#[derive(Clone)]
+pub struct HpDomain {
+    inner: Arc<HpDomainInner>,
+    gauge: Arc<UnreclaimedGauge>,
+}
+
+impl fmt::Debug for HpDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HpDomain")
+            .field("era", &self.inner.era.load(Ordering::SeqCst))
+            .finish_non_exhaustive()
+    }
+}
+
+/// One thread's registration in an [`HpDomain`]. Not `Send`.
+pub struct HpHandle {
+    domain: HpDomain,
+    slot: *mut SlotNode<EraSlot>,
+    guard_depth: Cell<u32>,
+    retired: RefCell<Vec<RetiredRec>>,
+    _not_send: PhantomData<*mut ()>,
+}
+
+impl fmt::Debug for HpHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HpHandle")
+            .field("retired", &self.retired.borrow().len())
+            .finish()
+    }
+}
+
+impl HpHandle {
+    fn state(&self) -> &AtomicU64 {
+        // SAFETY: the slot outlives the handle (freed only when the
+        // registry inside the domain drops, and we hold an `Arc`).
+        &unsafe { &*self.slot }.payload.state
+    }
+
+    fn pin_slow(&self) {
+        // Announce the current era, then re-validate it: if the era
+        // moved between the read and the announce becoming visible, a
+        // concurrent scanner may have computed a horizon that misses
+        // us, so re-announce at the newer era before trusting the pin.
+        loop {
+            let era = self.domain.inner.era.load(Ordering::SeqCst);
+            self.state().store((era << 1) | 1, Ordering::SeqCst);
+            if self.domain.inner.era.load(Ordering::SeqCst) == era {
+                return;
+            }
+        }
+    }
+}
+
+impl Drop for HpHandle {
+    fn drop(&mut self) {
+        debug_assert_eq!(self.guard_depth.get(), 0, "handle dropped while pinned");
+        self.state().store(0, Ordering::SeqCst);
+        self.domain.inner.try_advance();
+        let freed = self.domain.inner.scan(&mut self.retired.borrow_mut());
+        self.domain.gauge.record_free(freed);
+        let mut retired = self.retired.borrow_mut();
+        if !retired.is_empty() {
+            self.domain
+                .inner
+                .orphans
+                .lock()
+                .unwrap()
+                .append(&mut retired);
+        }
+        // Payload inert (announcement cleared above): recyclable.
+        // SAFETY: our live registration on the domain's registry.
+        unsafe { self.domain.inner.registry.release(self.slot) };
+    }
+}
+
+/// RAII pin over an [`HpDomain`]. Guards nest; only the outermost
+/// announce/clear pair touches the slot.
+pub struct HpGuard<'h> {
+    handle: &'h HpHandle,
+}
+
+impl Drop for HpGuard<'_> {
+    fn drop(&mut self) {
+        let depth = self.handle.guard_depth.get() - 1;
+        self.handle.guard_depth.set(depth);
+        if depth == 0 {
+            self.handle.state().store(0, Ordering::SeqCst);
+        }
+    }
+}
+
+impl Reclaim for Hp {
+    type Domain = HpDomain;
+    type Handle = HpHandle;
+    type Guard<'h> = HpGuard<'h>;
+    type Slot<T> = ();
+
+    const PIN_FREE_READS: bool = false;
+    const NAME: &'static str = "hp";
+
+    fn new_domain() -> HpDomain {
+        HpDomain {
+            inner: Arc::new(HpDomainInner {
+                era: CachePadded::new(AtomicU64::new(0)),
+                registry: SlotList::new(),
+                orphans: Mutex::new(Vec::new()),
+            }),
+            gauge: Arc::new(UnreclaimedGauge::new()),
+        }
+    }
+
+    fn domain_eq(a: &HpDomain, b: &HpDomain) -> bool {
+        Arc::ptr_eq(&a.inner, &b.inner)
+    }
+
+    fn register(domain: &HpDomain) -> HpHandle {
+        HpHandle {
+            domain: domain.clone(),
+            slot: domain.inner.registry.register(),
+            guard_depth: Cell::new(0),
+            retired: RefCell::new(Vec::new()),
+            _not_send: PhantomData,
+        }
+    }
+
+    fn pin(handle: &HpHandle) -> HpGuard<'_> {
+        let depth = handle.guard_depth.get();
+        if depth == 0 {
+            handle.pin_slow();
+        }
+        handle.guard_depth.set(depth + 1);
+        HpGuard { handle }
+    }
+
+    // SAFETY: forwarded caller contract — the object is unreachable to
+    // new operations and retired exactly once; the era scan below only
+    // delays `f`, never duplicates it.
+    unsafe fn defer<F: FnOnce() + Send + 'static>(guard: &HpGuard<'_>, _birth: u64, f: F) {
+        let handle = guard.handle;
+        handle.domain.gauge.record_retire(1);
+        let mut retired = handle.retired.borrow_mut();
+        retired.push(RetiredRec {
+            retire_era: handle.domain.inner.era.load(Ordering::SeqCst),
+            free_fn: Box::new(f),
+        });
+        if retired.len() >= SCAN_THRESHOLD {
+            handle.domain.inner.try_advance();
+            let freed = handle.domain.inner.scan(&mut retired);
+            handle.domain.gauge.record_free(freed);
+        }
+    }
+
+    fn birth_epoch(guard: &HpGuard<'_>) -> u64 {
+        // Diagnostics only — never used for freeing (module docs).
+        guard.handle.domain.inner.era.load(Ordering::SeqCst)
+    }
+
+    fn read_epoch(domain: &HpDomain) -> u64 {
+        domain.inner.era.load(Ordering::SeqCst)
+    }
+
+    fn gauge(domain: &HpDomain) -> &UnreclaimedGauge {
+        &domain.gauge
+    }
+
+    fn amortize_pins(_handle: &HpHandle, _every: u32) {
+        // Announcement is mandatory for safety here: an unannounced
+        // traversal would let the horizon pass over its loaded
+        // pointers. Deliberate no-op.
+    }
+
+    fn quiesce(_handle: &HpHandle) {
+        // Pins never outlive guards in this backend (no amortization),
+        // so there is nothing to lay down.
+    }
+
+    fn flush(handle: &HpHandle) {
+        handle.domain.inner.try_advance();
+        let freed = handle.domain.inner.scan(&mut handle.retired.borrow_mut());
+        handle.domain.gauge.record_free(freed);
+    }
+
+    fn queued(handle: &HpHandle) -> usize {
+        handle.retired.borrow().len()
+    }
+}
+
+/// Era readers are pinned and use the nodes' plain fields, so the
+/// shadow slot is `()` and publication is a no-op.
+impl<T> Publish<T> for Hp {
+    // SAFETY: no-op — nothing is published; era readers are pinned and
+    // use the nodes' plain fields.
+    unsafe fn publish(_slot: &(), _val: &T) {}
+
+    // SAFETY: never called — `PIN_FREE_READS` is false for this
+    // backend, so no read path snoops; the uninit value backs the
+    // debug assertion only.
+    unsafe fn snoop(_slot: &()) -> std::mem::MaybeUninit<T> {
+        debug_assert!(false, "snoop on a backend without pin-free reads");
+        std::mem::MaybeUninit::uninit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn defer_runs_after_unpin_and_flushes() {
+        let domain = Hp::new_domain();
+        let handle = Hp::register(&domain);
+        let freed = Arc::new(AtomicUsize::new(0));
+        {
+            let guard = Hp::pin(&handle);
+            let f = Arc::clone(&freed);
+            // SAFETY: counter bump, retired once.
+            unsafe {
+                Hp::defer(&guard, 0, move || {
+                    f.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        // Each flush can advance the era by at most one; GRACE = 2.
+        for _ in 0..3 {
+            Hp::flush(&handle);
+        }
+        assert_eq!(freed.load(Ordering::SeqCst), 1);
+        let s = Hp::gauge(&domain).snapshot();
+        assert_eq!((s.retired, s.freed, s.unreclaimed), (1, 1, 0));
+    }
+
+    #[test]
+    fn active_pin_blocks_era_and_frees() {
+        let domain = Hp::new_domain();
+        let writer = Hp::register(&domain);
+        let reader = Hp::register(&domain);
+
+        let _read_guard = Hp::pin(&reader);
+        let freed = Arc::new(AtomicUsize::new(0));
+        {
+            let guard = Hp::pin(&writer);
+            let f = Arc::clone(&freed);
+            // SAFETY: counter bump, retired once.
+            unsafe {
+                Hp::defer(&guard, 0, move || {
+                    f.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        for _ in 0..5 {
+            Hp::flush(&writer);
+        }
+        assert_eq!(freed.load(Ordering::SeqCst), 0, "freed under an active pin");
+
+        drop(_read_guard);
+        for _ in 0..3 {
+            Hp::flush(&writer);
+        }
+        assert_eq!(freed.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn nested_guards_share_one_announcement() {
+        let domain = Hp::new_domain();
+        let handle = Hp::register(&domain);
+        let g1 = Hp::pin(&handle);
+        let announced = handle.state().load(Ordering::SeqCst);
+        assert_eq!(announced & 1, 1);
+        let g2 = Hp::pin(&handle);
+        assert_eq!(handle.state().load(Ordering::SeqCst), announced);
+        drop(g2);
+        assert_eq!(
+            handle.state().load(Ordering::SeqCst),
+            announced,
+            "inner drop must not clear the announcement"
+        );
+        drop(g1);
+        assert_eq!(handle.state().load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn scan_threshold_reclaims_in_bulk() {
+        let domain = Hp::new_domain();
+        let handle = Hp::register(&domain);
+        let freed = Arc::new(AtomicUsize::new(0));
+        for _ in 0..(SCAN_THRESHOLD * 4) {
+            let guard = Hp::pin(&handle);
+            let f = Arc::clone(&freed);
+            // SAFETY: counter bump, retired once.
+            unsafe {
+                Hp::defer(&guard, 0, move || {
+                    f.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        assert!(
+            freed.load(Ordering::SeqCst) > 0,
+            "threshold scans never freed anything"
+        );
+        assert!(Hp::gauge(&domain).peak_unreclaimed() >= SCAN_THRESHOLD as u64);
+    }
+}

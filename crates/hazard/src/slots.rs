@@ -1,0 +1,142 @@
+//! Shared per-thread slot registry.
+//!
+//! Both reclamation schemes in this crate — the classic per-pointer
+//! hazard domain ([`crate::Domain`]) and the era-based [`crate::Hp`]
+//! backend — need the same registry shape: a lock-free singly linked
+//! list of per-thread slots, where registering recycles a released slot
+//! or pushes a fresh one, and scans walk every slot ever allocated.
+//! Before this module existed the Michael baseline's hazard domain
+//! carried its own private copy of that machinery; it now lives here
+//! once, generic over the per-slot payload.
+//!
+//! Invariants:
+//!
+//! * slot nodes are never freed while the registry lives — scans may
+//!   dereference any pointer they traverse;
+//! * a released slot's payload must be *inert* (no pointer protected,
+//!   no era announced) before `in_use` is cleared, because scans visit
+//!   released slots too (they may already belong to a new owner).
+
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+
+/// One registered thread's slot: a scheme-specific payload plus the
+/// registry linkage.
+pub(crate) struct SlotNode<P> {
+    pub(crate) payload: P,
+    in_use: AtomicBool,
+    next: AtomicPtr<SlotNode<P>>,
+}
+
+/// Lock-free grow-only registry of [`SlotNode`]s with slot recycling.
+pub(crate) struct SlotList<P> {
+    head: AtomicPtr<SlotNode<P>>,
+}
+
+impl<P: Default> SlotList<P> {
+    pub(crate) fn new() -> Self {
+        SlotList {
+            head: AtomicPtr::new(std::ptr::null_mut()),
+        }
+    }
+
+    /// Claim a slot for the calling thread: recycle a released one when
+    /// possible, otherwise push a fresh node (lock-free).
+    ///
+    /// The returned pointer stays valid until the registry drops; the
+    /// caller releases it with [`SlotList::release`].
+    pub(crate) fn register(&self) -> *mut SlotNode<P> {
+        let mut cur = self.head.load(Ordering::SeqCst);
+        while !cur.is_null() {
+            // SAFETY: slot nodes are never freed while the registry
+            // lives (module invariant).
+            let slot = unsafe { &*cur };
+            if !slot.in_use.load(Ordering::SeqCst)
+                && slot
+                    .in_use
+                    .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            {
+                return cur;
+            }
+            cur = slot.next.load(Ordering::SeqCst);
+        }
+        let slot = Box::into_raw(Box::new(SlotNode {
+            payload: P::default(),
+            in_use: AtomicBool::new(true),
+            next: AtomicPtr::new(std::ptr::null_mut()),
+        }));
+        let mut head = self.head.load(Ordering::SeqCst);
+        loop {
+            // SAFETY: `slot` was just leaked from a live Box.
+            unsafe { &*slot }.next.store(head, Ordering::SeqCst);
+            match self
+                .head
+                .compare_exchange(head, slot, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => break,
+                Err(h) => head = h,
+            }
+        }
+        slot
+    }
+
+    /// Return a slot to the free pool. The caller must have made the
+    /// payload inert first (module invariant).
+    ///
+    /// # Safety
+    ///
+    /// `slot` must have been returned by [`SlotList::register`] on this
+    /// registry and not yet released.
+    pub(crate) unsafe fn release(&self, slot: *mut SlotNode<P>) {
+        // SAFETY: the caller's contract — a live registration on this
+        // registry, whose nodes outlive it.
+        unsafe { &*slot }.in_use.store(false, Ordering::SeqCst);
+    }
+
+    /// Visit every slot's payload, released ones included (a recycled
+    /// slot may already hold a new owner's state, so schemes must treat
+    /// whatever they read as live).
+    pub(crate) fn for_each(&self, mut f: impl FnMut(&P)) {
+        let mut cur = self.head.load(Ordering::SeqCst);
+        while !cur.is_null() {
+            // SAFETY: slot nodes are never freed while the registry
+            // lives (module invariant).
+            let slot = unsafe { &*cur };
+            f(&slot.payload);
+            cur = slot.next.load(Ordering::SeqCst);
+        }
+    }
+}
+
+impl<P> Drop for SlotList<P> {
+    fn drop(&mut self) {
+        let mut cur = *self.head.get_mut();
+        while !cur.is_null() {
+            // SAFETY: unique access; each node was leaked from a Box in
+            // `register` and is freed exactly once here.
+            let mut slot = unsafe { Box::from_raw(cur) };
+            cur = *slot.next.get_mut();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn register_recycles_released_slots() {
+        let list: SlotList<AtomicUsize> = SlotList::new();
+        let a = list.register();
+        // SAFETY: `a` is a live registration.
+        unsafe { list.release(a) };
+        let b = list.register();
+        assert_eq!(a, b, "released slot was not recycled");
+        let c = list.register();
+        assert_ne!(b, c, "in-use slot handed out twice");
+        let mut count = 0;
+        list.for_each(|_| count += 1);
+        assert_eq!(count, 2);
+    }
+}

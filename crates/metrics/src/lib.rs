@@ -69,10 +69,12 @@
 
 mod clock;
 pub mod export;
+pub mod gauge;
 pub mod histogram;
 #[cfg(feature = "trace")]
 pub mod trace;
 
+pub use gauge::{UnreclaimedGauge, UnreclaimedSnapshot};
 pub use histogram::{AtomicHistogram, Histogram};
 
 use std::fmt;

@@ -169,6 +169,20 @@ impl Collector {
         Arc::ptr_eq(&self.inner, &other.inner)
     }
 
+    /// The domain's current global epoch.
+    ///
+    /// Exposed for the version-based backend layered on this collector:
+    /// it stamps object *births* with the epoch current at allocation
+    /// and validates optimistic reads against those stamps. Ordering is
+    /// Acquire so a birth stamp read here happens-after the epoch
+    /// advance that made preceding retirements reclaimable — the stamp
+    /// therefore distinguishes the slot's current tenant from any
+    /// tenant already freed when the stamping thread read the epoch.
+    pub fn global_epoch(&self) -> u64 {
+        // ord: Acquire — EPOCH.global: birth stamps order after advances
+        self.inner.epoch.load(Ordering::Acquire)
+    }
+
     /// Register the current thread, returning its handle.
     ///
     /// Reuses a released slot when one exists; otherwise pushes a fresh

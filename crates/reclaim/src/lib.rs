@@ -49,9 +49,14 @@
 //! handle.flush(); // optional: hurry reclamation along
 //! ```
 
+pub mod api;
 mod collector;
 mod guard;
 
+pub use api::{
+    atomic_read_copy, atomic_write_copy, Ebr, EbrDomain, EbrGuard, EbrHandle, Pod, Publish,
+    Reclaim, BIRTH_BUILDING,
+};
 pub use collector::{Collector, LocalHandle};
 pub use guard::Guard;
 

@@ -16,6 +16,13 @@
 //! epoch pin per scan, with each per-shard cursor helping physical
 //! deletion exactly as a paper search does.
 //!
+//! Like the underlying skip list, the map is generic over the
+//! reclamation backend (`R`, default [`Ebr`]): construct with
+//! [`ShardedSkipList::with_backend`] to run all shards over hazard
+//! pointers or VBR instead. On a pin-free backend (VBR),
+//! [`ShardedHandle::try_read`] serves point lookups without touching
+//! the shared reclamation domain at all.
+//!
 //! Per-shard telemetry (`ops`, search hops, CAS retries, occupancy) is
 //! re-bucketed from the thread-sharded `lf-metrics` counters by
 //! differencing them around each routed operation; see
@@ -55,6 +62,7 @@ use std::hash::Hash;
 use std::ops::RangeBounds;
 
 use lf_core::skiplist::{merged_range, SkipList, SkipListHandle};
+use lf_reclaim::{Ebr, Pod, Publish, Reclaim};
 use lf_tagged::CachePadded;
 
 use metrics::ShardStats;
@@ -71,14 +79,19 @@ pub const DEFAULT_SHARDS: usize = 8;
 /// convenience methods on the map itself register a fresh handle per
 /// call. See the [crate docs](crate) for the partitioning rationale
 /// and the scan's consistency contract.
-pub struct ShardedSkipList<K, V>
+///
+/// `R` selects the safe-memory-reclamation backend shared by every
+/// shard (default epoch-based; see [`with_backend`]
+/// (ShardedSkipList::with_backend)).
+pub struct ShardedSkipList<K, V, R = Ebr>
 where
     K: Ord + Hash + Send + Sync + 'static,
     V: Send + Sync + 'static,
+    R: Reclaim,
 {
     /// The partitions. Each is `CachePadded` so one shard's hot head
     /// tower and length counter never share a line with its neighbor.
-    shards: Box<[CachePadded<SkipList<K, V>>]>,
+    shards: Box<[CachePadded<SkipList<K, V, R>>]>,
     /// Per-shard statistics, parallel to `shards`.
     stats: Box<[CachePadded<ShardStats>]>,
     /// Shard count − 1 (shard count is a power of two).
@@ -91,14 +104,14 @@ where
     V: Send + Sync + 'static,
 {
     /// A map with `shards` partitions (power of two) at the default
-    /// per-shard level budget.
+    /// per-shard level budget, over the default EBR backend.
     ///
     /// # Panics
     ///
     /// Panics if `shards` is zero or not a power of two.
     #[must_use]
     pub fn new(shards: usize) -> Self {
-        Self::build(shards, None)
+        Self::with_backend(shards)
     }
 
     /// A map with `shards` partitions whose skip lists use
@@ -110,6 +123,36 @@ where
     /// `max_level < 2`.
     #[must_use]
     pub fn with_max_level(shards: usize, max_level: usize) -> Self {
+        Self::with_backend_max_level(shards, max_level)
+    }
+}
+
+impl<K, V, R> ShardedSkipList<K, V, R>
+where
+    K: Ord + Hash + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
+{
+    /// A map with `shards` partitions over the reclamation backend
+    /// `R`, at the default per-shard level budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or not a power of two.
+    #[must_use]
+    pub fn with_backend(shards: usize) -> Self {
+        Self::build(shards, None)
+    }
+
+    /// A map with `shards` partitions over backend `R` whose skip
+    /// lists use `max_level` levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or not a power of two, or if
+    /// `max_level < 2`.
+    #[must_use]
+    pub fn with_backend_max_level(shards: usize, max_level: usize) -> Self {
         Self::build(shards, Some(max_level))
     }
 
@@ -119,8 +162,8 @@ where
             "shard count must be a nonzero power of two, got {shards}"
         );
         let first = match max_level {
-            Some(ml) => SkipList::with_max_level(ml),
-            None => SkipList::new(),
+            Some(ml) => SkipList::with_backend_max_level(ml),
+            None => SkipList::with_backend(),
         };
         let mut vec = Vec::with_capacity(shards);
         for _ in 1..shards {
@@ -137,53 +180,13 @@ where
         }
     }
 
-    /// Number of partitions.
-    #[must_use]
-    pub fn shard_count(&self) -> usize {
-        self.mask + 1
-    }
-
-    /// The shard index `key` routes to — stable for the map's lifetime
-    /// and across maps with the same shard count.
-    #[must_use]
-    pub fn shard_of(&self, key: &K) -> usize {
-        router::shard_of(key, self.mask)
-    }
-
     /// Register a per-thread handle (one [`SkipListHandle`] per shard,
     /// all in the shared reclamation domain).
     #[must_use]
-    pub fn handle(&self) -> ShardedHandle<'_, K, V> {
+    pub fn handle(&self) -> ShardedHandle<'_, K, V, R> {
         ShardedHandle {
             map: self,
             handles: self.shards.iter().map(|s| s.handle()).collect(),
-        }
-    }
-
-    /// Total number of keys, summed across shards (each shard's count
-    /// is maintained as in [`SkipList::len`]; the sum is racy-fresh
-    /// under concurrency).
-    #[must_use]
-    pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.len()).sum()
-    }
-
-    /// Whether every shard is empty.
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.is_empty())
-    }
-
-    /// Per-shard statistics plus occupancy; see [`ShardedSnapshot`].
-    #[must_use]
-    pub fn snapshot(&self) -> ShardedSnapshot {
-        ShardedSnapshot {
-            per_shard: self
-                .stats
-                .iter()
-                .zip(self.shards.iter())
-                .map(|(st, sh)| st.snapshot(sh.len()))
-                .collect(),
         }
     }
 
@@ -212,6 +215,59 @@ where
     pub fn contains(&self, key: &K) -> bool {
         self.handle().contains(key)
     }
+}
+
+impl<K, V, R> ShardedSkipList<K, V, R>
+where
+    K: Ord + Hash + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+    R: Reclaim,
+{
+    /// Number of partitions.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// The shard index `key` routes to — stable for the map's lifetime
+    /// and across maps with the same shard count.
+    #[must_use]
+    pub fn shard_of(&self, key: &K) -> usize {
+        router::shard_of(key, self.mask)
+    }
+
+    /// Total number of keys, summed across shards (each shard's count
+    /// is maintained as in [`SkipList::len`]; the sum is racy-fresh
+    /// under concurrency).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether every shard is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.is_empty())
+    }
+
+    /// The reclamation domain shared by every shard.
+    #[must_use]
+    pub fn domain(&self) -> &R::Domain {
+        self.shards[0].domain()
+    }
+
+    /// Per-shard statistics plus occupancy; see [`ShardedSnapshot`].
+    #[must_use]
+    pub fn snapshot(&self) -> ShardedSnapshot {
+        ShardedSnapshot {
+            per_shard: self
+                .stats
+                .iter()
+                .zip(self.shards.iter())
+                .map(|(st, sh)| st.snapshot(sh.len()))
+                .collect(),
+        }
+    }
 
     /// Validate every shard's structural invariants; quiescent only.
     ///
@@ -226,23 +282,26 @@ where
     }
 }
 
-impl<K, V> Default for ShardedSkipList<K, V>
+impl<K, V, R> Default for ShardedSkipList<K, V, R>
 where
     K: Ord + Hash + Send + Sync + 'static,
     V: Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
 {
     fn default() -> Self {
-        Self::new(DEFAULT_SHARDS)
+        Self::with_backend(DEFAULT_SHARDS)
     }
 }
 
-impl<K, V> fmt::Debug for ShardedSkipList<K, V>
+impl<K, V, R> fmt::Debug for ShardedSkipList<K, V, R>
 where
     K: Ord + Hash + Send + Sync + 'static,
     V: Send + Sync + 'static,
+    R: Reclaim,
 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ShardedSkipList")
+            .field("backend", &R::NAME)
             .field("shards", &self.shard_count())
             .field("len", &self.len())
             .finish()
@@ -255,19 +314,21 @@ where
 /// key to its shard's handle, and the step counters are differenced
 /// around the call to credit the work to that shard (see
 /// [`ShardedSkipList::snapshot`]).
-pub struct ShardedHandle<'s, K, V>
+pub struct ShardedHandle<'s, K, V, R = Ebr>
 where
     K: Ord + Hash + Send + Sync + 'static,
     V: Send + Sync + 'static,
+    R: Reclaim,
 {
-    map: &'s ShardedSkipList<K, V>,
-    handles: Box<[SkipListHandle<'s, K, V>]>,
+    map: &'s ShardedSkipList<K, V, R>,
+    handles: Box<[SkipListHandle<'s, K, V, R>]>,
 }
 
-impl<'s, K, V> ShardedHandle<'s, K, V>
+impl<'s, K, V, R> ShardedHandle<'s, K, V, R>
 where
     K: Ord + Hash + Send + Sync + 'static,
     V: Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
 {
     #[inline]
     fn route(&self, key: &K) -> usize {
@@ -314,10 +375,28 @@ where
         res
     }
 
+    /// Look up `key` in its shard without pinning the reclamation
+    /// domain, when the backend supports it; see
+    /// [`SkipListHandle::try_read`]. Falls back to the pinned
+    /// [`get`](Self::get) path on pinned backends or after repeated
+    /// validation races.
+    pub fn try_read(&self, key: &K) -> Option<V>
+    where
+        K: Pod,
+        V: Pod,
+    {
+        let i = self.route(key);
+        let _t = lf_trace::shard_scope(i as u16);
+        let before = lf_metrics::local_steps();
+        let res = self.handles[i].try_read(key);
+        self.map.stats[i].record(lf_metrics::local_steps().delta_since(before));
+        res
+    }
+
     /// Zero-copy lookup: run `f` over the value in place (under the
     /// shard's epoch pin) instead of cloning it out. See
     /// [`SkipListHandle::get_with`].
-    pub fn get_with<R>(&self, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
+    pub fn get_with<T>(&self, key: &K, f: impl FnOnce(&V) -> T) -> Option<T> {
         let i = self.route(key);
         let _t = lf_trace::shard_scope(i as u16);
         let before = lf_metrics::local_steps();
@@ -349,12 +428,12 @@ where
     /// duration appear exactly once, keys absent throughout never
     /// appear, and concurrent insertions/deletions may or may not be
     /// observed. Scan work is not attributed to per-shard statistics.
-    pub fn range<R, F>(&self, range: R, visitor: F) -> usize
+    pub fn range<B, F>(&self, range: B, visitor: F) -> usize
     where
-        R: RangeBounds<K>,
+        B: RangeBounds<K>,
         F: FnMut(&K, &V) -> bool,
     {
-        let refs: Vec<&SkipListHandle<'_, K, V>> = self.handles.iter().collect();
+        let refs: Vec<&SkipListHandle<'_, K, V, R>> = self.handles.iter().collect();
         merged_range(&refs, range.start_bound(), range.end_bound(), visitor)
     }
 
@@ -372,7 +451,7 @@ where
 
     /// The map this handle operates on.
     #[must_use]
-    pub fn map(&self) -> &'s ShardedSkipList<K, V> {
+    pub fn map(&self) -> &'s ShardedSkipList<K, V, R> {
         self.map
     }
 
@@ -404,10 +483,11 @@ where
     }
 }
 
-impl<K, V> fmt::Debug for ShardedHandle<'_, K, V>
+impl<K, V, R> fmt::Debug for ShardedHandle<'_, K, V, R>
 where
     K: Ord + Hash + Send + Sync + 'static,
     V: Send + Sync + 'static,
+    R: Reclaim,
 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ShardedHandle")
@@ -419,6 +499,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lf_vbr::Vbr;
 
     #[test]
     fn shards_share_one_domain() {
@@ -529,5 +610,31 @@ mod tests {
         assert_eq!(seen, (0..100).collect::<Vec<_>>());
         let snap = map.snapshot();
         assert_eq!(snap.per_shard[0].ops, 100);
+    }
+
+    #[test]
+    fn vbr_backend_end_to_end() {
+        let map: ShardedSkipList<u64, u64, Vbr> = ShardedSkipList::with_backend(4);
+        let h = map.handle();
+        for k in 0..300u64 {
+            assert!(h.insert(k, k * 3).is_ok());
+        }
+        for k in 0..300u64 {
+            // Pin-free read path routes like the pinned ops.
+            assert_eq!(h.try_read(&k), Some(k * 3));
+        }
+        assert_eq!(h.try_read(&1000), None);
+        let mut seen = Vec::new();
+        h.range(.., |k, _| {
+            seen.push(*k);
+            true
+        });
+        assert_eq!(seen, (0..300).collect::<Vec<_>>());
+        for k in 0..300u64 {
+            assert_eq!(h.remove(&k), Some(k * 3));
+            assert_eq!(h.try_read(&k), None);
+        }
+        assert!(map.is_empty());
+        map.validate_quiescent();
     }
 }

@@ -53,4 +53,6 @@ mod ptr;
 
 pub use backoff::Backoff;
 pub use pad::CachePadded;
-pub use ptr::{AtomicTaggedPtr, TagBits, TaggedPtr, FLAG_BIT, MARK_BIT, TAG_MASK};
+pub use ptr::{
+    AtomicTaggedPtr, TagBits, TaggedPtr, FLAG_BIT, MARK_BIT, STAMP_MASK, STAMP_SHIFT, TAG_MASK,
+};

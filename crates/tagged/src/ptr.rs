@@ -15,6 +15,24 @@ pub const FLAG_BIT: usize = 0b10;
 /// Mask covering both tag bits.
 pub const TAG_MASK: usize = MARK_BIT | FLAG_BIT;
 
+/// Bit offset of the 16-bit version stamp packed into the pointer's
+/// unused high bits (bits 48..64 — zero for any canonical user-space
+/// address on the supported 64-bit targets).
+pub const STAMP_SHIFT: u32 = 48;
+
+/// Mask covering the 16-bit version stamp.
+///
+/// The stamp carries the low 16 bits of the pointee's *birth epoch*
+/// under version-based reclamation, so a pin-free reader can check that
+/// the slot it dereferenced still holds the version the edge referred
+/// to. Backends that never recycle memory under live readers (EBR,
+/// hazard pointers) leave the stamp at 0 and the whole mechanism
+/// vanishes: every word round-trips exactly as before.
+pub const STAMP_MASK: usize = 0xffff << STAMP_SHIFT;
+
+/// Mask covering everything that is *not* the raw pointer.
+const META_MASK: usize = TAG_MASK | STAMP_MASK;
+
 /// The decoded control bits of a successor field.
 ///
 /// Invariant 5 of the paper — a field is never simultaneously marked and
@@ -99,6 +117,7 @@ impl<T> fmt::Debug for TaggedPtr<T> {
             .field("ptr", &(self.ptr()))
             .field("mark", &self.is_marked())
             .field("flag", &self.is_flagged())
+            .field("stamp", &self.stamp())
             .finish()
     }
 }
@@ -121,7 +140,11 @@ impl<T> TaggedPtr<T> {
     #[inline]
     pub fn new(ptr: *mut T, tag: TagBits) -> Self {
         let addr = ptr as usize;
-        debug_assert_eq!(addr & TAG_MASK, 0, "pointer not aligned for tagging");
+        debug_assert_eq!(
+            addr & META_MASK,
+            0,
+            "pointer not aligned for tagging or not canonical"
+        );
         TaggedPtr {
             raw: addr | tag.bits(),
             _marker: PhantomData,
@@ -159,10 +182,27 @@ impl<T> TaggedPtr<T> {
         self.raw
     }
 
-    /// The pointer with tag bits stripped.
+    /// The pointer with tag bits and version stamp stripped.
     #[inline]
     pub fn ptr(self) -> *mut T {
-        (self.raw & !TAG_MASK) as *mut T
+        (self.raw & !META_MASK) as *mut T
+    }
+
+    /// The 16-bit version stamp (0 unless the producing backend stamps
+    /// its edges — see [`STAMP_MASK`]).
+    #[inline]
+    pub fn stamp(self) -> u16 {
+        (self.raw >> STAMP_SHIFT) as u16
+    }
+
+    /// This word with its version stamp replaced, pointer and tag bits
+    /// preserved.
+    #[inline]
+    pub fn with_stamp(self, stamp: u16) -> Self {
+        TaggedPtr {
+            raw: (self.raw & !STAMP_MASK) | ((stamp as usize) << STAMP_SHIFT),
+            _marker: PhantomData,
+        }
     }
 
     /// Whether the stripped pointer is null.
@@ -195,7 +235,7 @@ impl<T> TaggedPtr<T> {
         self.raw & TAG_MASK == 0
     }
 
-    /// This pointer with both tag bits cleared.
+    /// This pointer with both tag bits cleared (stamp preserved).
     #[inline]
     pub fn with_clean(self) -> Self {
         TaggedPtr {
@@ -204,7 +244,8 @@ impl<T> TaggedPtr<T> {
         }
     }
 
-    /// This pointer with the mark bit set and the flag bit cleared.
+    /// This pointer with the mark bit set and the flag bit cleared
+    /// (stamp preserved).
     #[inline]
     pub fn with_mark(self) -> Self {
         TaggedPtr {
@@ -213,7 +254,8 @@ impl<T> TaggedPtr<T> {
         }
     }
 
-    /// This pointer with the flag bit set and the mark bit cleared.
+    /// This pointer with the flag bit set and the mark bit cleared
+    /// (stamp preserved).
     #[inline]
     pub fn with_flag(self) -> Self {
         TaggedPtr {
@@ -222,13 +264,17 @@ impl<T> TaggedPtr<T> {
         }
     }
 
-    /// This word's pointer replaced, tags preserved.
+    /// This word's pointer replaced, tags and stamp preserved.
     #[inline]
     pub fn with_ptr(self, ptr: *mut T) -> Self {
         let addr = ptr as usize;
-        debug_assert_eq!(addr & TAG_MASK, 0, "pointer not aligned for tagging");
+        debug_assert_eq!(
+            addr & META_MASK,
+            0,
+            "pointer not aligned for tagging or not canonical"
+        );
         TaggedPtr {
-            raw: addr | (self.raw & TAG_MASK),
+            raw: addr | (self.raw & META_MASK),
             _marker: PhantomData,
         }
     }
@@ -399,6 +445,49 @@ mod tests {
             free(a);
             free(b);
         }
+    }
+
+    #[test]
+    fn stamp_roundtrip_and_ptr_masking() {
+        let raw = leaked(3);
+        let p = TaggedPtr::unmarked(raw).with_stamp(0xBEEF);
+        assert_eq!(p.stamp(), 0xBEEF);
+        assert_eq!(p.ptr(), raw, "stamp must not leak into the pointer");
+        assert!(!p.is_null());
+        assert!(p.is_clean());
+        // Stamps survive every tag transition and pointer swap.
+        assert_eq!(p.with_mark().stamp(), 0xBEEF);
+        assert_eq!(p.with_flag().stamp(), 0xBEEF);
+        assert_eq!(p.with_mark().with_clean().stamp(), 0xBEEF);
+        let other = leaked(4);
+        let q = p.with_flag().with_ptr(other);
+        assert_eq!(q.stamp(), 0xBEEF);
+        assert_eq!(q.ptr(), other);
+        assert!(q.is_flagged());
+        // Restamp replaces, never accumulates.
+        assert_eq!(p.with_stamp(0x0001).stamp(), 0x0001);
+        assert_eq!(p.with_stamp(0).into_usize(), raw as usize);
+        unsafe {
+            free(raw);
+            free(other);
+        }
+    }
+
+    #[test]
+    fn stamped_words_compare_unequal() {
+        let raw = leaked(5);
+        let clean = TaggedPtr::unmarked(raw);
+        let stamped = clean.with_stamp(7);
+        assert_ne!(clean, stamped, "equality covers the stamp (CAS semantics)");
+        assert_eq!(stamped, TaggedPtr::unmarked(raw).with_stamp(7));
+        unsafe { free(raw) };
+    }
+
+    #[test]
+    fn null_with_stamp_stays_null() {
+        let p = TaggedPtr::<u32>::null().with_stamp(42);
+        assert!(p.is_null());
+        assert_eq!(p.stamp(), 42);
     }
 
     #[test]

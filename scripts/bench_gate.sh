@@ -2,14 +2,22 @@
 # bench_gate.sh — quick perf regression gate for the throughput experiments.
 #
 # Runs the short (quick-size) variants of e4 (list throughput), e6
-# (skip-list throughput), e7 (async serving), and e13 (shard
-# scaling), writes fresh
-# BENCH_<id>.json artifacts into a scratch directory, and compares the
-# fr-* rows against the committed baselines at the repo root. Fails
-# (exit 1) when the median throughput regression across comparable rows
-# exceeds the threshold. A missing committed baseline is never an
-# error: that experiment is skipped with a notice and the gate still
-# exits 0 (fresh checkouts and new experiments gate nothing).
+# (skip-list throughput), e7 (async serving), e13 (shard scaling), and
+# e14 (cross-SMR matrix), writes fresh BENCH_<id>.json artifacts into a
+# scratch directory, and compares the fr-* rows against the committed
+# baselines at the repo root. Fails (exit 1) when the median throughput
+# regression across comparable rows exceeds the threshold for a *gated*
+# experiment. e14 is advisory on its first landing: its deltas are
+# printed but never fail the gate (quick-size SMR ratios on a loaded CI
+# box are too noisy to block on yet — promote it to GATED_EXPERIMENTS
+# once a few landings of data exist). A missing committed baseline is
+# never an error: that experiment is skipped with a notice and the gate
+# still exits 0 (fresh checkouts and new experiments gate nothing).
+#
+# e4 and e6 additionally flag (warning only, never a failure) any
+# comparable row whose p99 op latency worsened by more than
+# BENCH_GATE_P99_THRESHOLD percent (default 25): tail regressions can
+# hide behind a flat throughput median.
 #
 #   ./scripts/bench_gate.sh                 # gate at the default 10%
 #   BENCH_GATE_THRESHOLD=25 ./scripts/...   # loosen the gate
@@ -24,20 +32,32 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 REPO_ROOT=$(pwd)
 THRESHOLD="${BENCH_GATE_THRESHOLD:-10}"
+P99_THRESHOLD="${BENCH_GATE_P99_THRESHOLD:-25}"
 SCRATCH=$(mktemp -d)
 trap 'rm -rf "$SCRATCH"' EXIT
 
 cargo build --release -p lf-bench --bin experiments
 
 GATED_EXPERIMENTS=(e4 e6 e7 e13)
+ADVISORY_EXPERIMENTS=(e14)
+# Experiments whose p99 op latency is flagged (warning only).
+P99_FLAGGED="e4 e6"
 
-for exp in "${GATED_EXPERIMENTS[@]}"; do
+for exp in "${GATED_EXPERIMENTS[@]}" "${ADVISORY_EXPERIMENTS[@]}"; do
     echo "== bench gate: running quick $exp =="
     (cd "$SCRATCH" && "$REPO_ROOT/target/release/experiments" "$exp" >/dev/null)
 done
 
 fail=0
-for exp in "${GATED_EXPERIMENTS[@]}"; do
+for exp in "${GATED_EXPERIMENTS[@]}" "${ADVISORY_EXPERIMENTS[@]}"; do
+    mode=gated
+    for adv in "${ADVISORY_EXPERIMENTS[@]}"; do
+        [[ "$exp" == "$adv" ]] && mode=advisory
+    done
+    p99=0
+    for flagged in $P99_FLAGGED; do
+        [[ "$exp" == "$flagged" ]] && p99=1
+    done
     baseline="$REPO_ROOT/BENCH_$exp.json"
     fresh="$SCRATCH/BENCH_$exp.json"
     if [[ ! -f "$baseline" ]]; then
@@ -48,11 +68,12 @@ for exp in "${GATED_EXPERIMENTS[@]}"; do
         echo "bench gate: quick run produced no $fresh — skipping $exp (not a failure)"
         continue
     fi
-    python3 - "$baseline" "$fresh" "$THRESHOLD" "$exp" <<'PY' || fail=1
+    python3 - "$baseline" "$fresh" "$THRESHOLD" "$exp" "$mode" "$p99" "$P99_THRESHOLD" <<'PY' || fail=1
 import json, statistics, sys
 
-baseline_path, fresh_path, threshold, exp = sys.argv[1:5]
+baseline_path, fresh_path, threshold, exp, mode, p99_flagged, p99_threshold = sys.argv[1:8]
 threshold = float(threshold)
+p99_threshold = float(p99_threshold)
 
 def rows(path):
     with open(path) as f:
@@ -61,45 +82,72 @@ def rows(path):
     # over lane workers. Either way the third key component is the
     # concurrency knob.
     return {
-        (r["impl"], r["mix"], r.get("threads", r.get("workers"))):
-            r["throughput_ops_per_s"]
+        (r["impl"], r["mix"], r.get("threads", r.get("workers"))): r
         for r in data["rows"]
         if r["impl"].startswith("fr-")
     }
 
 base, fresh = rows(baseline_path), rows(fresh_path)
-shared = sorted(set(base) & set(fresh))
+shared = sorted(
+    k for k in set(base) & set(fresh)
+    if "throughput_ops_per_s" in base[k] and "throughput_ops_per_s" in fresh[k]
+)
 if not shared:
-    print(f"{exp}: no comparable fr-* rows between baseline and fresh run")
+    print(f"{exp}: no comparable fr-* throughput rows between baseline and fresh run")
     sys.exit(0)
 
 deltas = []
 for key in shared:
-    pct = (fresh[key] / base[key] - 1.0) * 100.0
+    b = base[key]["throughput_ops_per_s"]
+    f = fresh[key]["throughput_ops_per_s"]
+    pct = (f / b - 1.0) * 100.0
     deltas.append(pct)
     impl, mix, threads = key
-    print(f"{exp} {impl:14s} {mix:12s} {threads}t: "
-          f"{base[key] / 1e3:9.0f} -> {fresh[key] / 1e3:9.0f} kops/s ({pct:+6.1f}%)")
+    print(f"{exp} {impl:16s} {mix:12s} {threads}t: "
+          f"{b / 1e3:9.0f} -> {f / 1e3:9.0f} kops/s ({pct:+6.1f}%)")
 
 median = statistics.median(deltas)
-print(f"{exp}: median delta {median:+.1f}% over {len(shared)} rows "
-      f"(gate: fail below -{threshold:.0f}%)")
-if median < -threshold:
+label = "advisory — never fails" if mode == "advisory" else f"fail below -{threshold:.0f}%"
+print(f"{exp}: median delta {median:+.1f}% over {len(shared)} rows ({label})")
+
+# p99 tail-latency flag (warning only, never an exit-1): a tail
+# regression can hide behind a flat throughput median.
+if p99_flagged == "1":
+    flagged = []
+    for key in shared:
+        bp = base[key].get("latency_p99_ns")
+        fp = fresh[key].get("latency_p99_ns")
+        if not bp or not fp:
+            continue
+        worse = (fp / bp - 1.0) * 100.0
+        if worse > p99_threshold:
+            impl, mix, threads = key
+            flagged.append(f"{exp} {impl} {mix} {threads}t: "
+                           f"p99 {bp} -> {fp} ns ({worse:+.0f}%)")
+    if flagged:
+        print(f"{exp}: WARNING p99 latency regressions beyond "
+              f"{p99_threshold:.0f}% on {len(flagged)} row(s) (advisory flag):")
+        for line in flagged:
+            print(f"  {line}")
+
+if mode == "gated" and median < -threshold:
     # Name the metric and both medians so the failure is actionable
     # straight from the CI log, without re-running anything locally.
-    base_median = statistics.median(base[k] for k in shared)
-    fresh_median = statistics.median(fresh[k] for k in shared)
+    base_median = statistics.median(base[k]["throughput_ops_per_s"] for k in shared)
+    fresh_median = statistics.median(fresh[k]["throughput_ops_per_s"] for k in shared)
     print(f"{exp}: REGRESSION beyond {threshold:.0f}% threshold")
     print(f"{exp}: offending metric: throughput_ops_per_s (fr-* rows)")
     print(f"{exp}:   baseline median: {base_median:,.0f} ops/s ({baseline_path})")
     print(f"{exp}:   fresh median:    {fresh_median:,.0f} ops/s ({fresh_path})")
     sys.exit(1)
+if mode == "advisory" and median < -threshold:
+    print(f"{exp}: advisory regression beyond {threshold:.0f}% — not failing the gate")
 PY
 done
 
 if [[ "${BENCH_GATE_UPDATE:-0}" == "1" ]]; then
     echo "bench gate: BENCH_GATE_UPDATE=1 — regenerating committed baselines (full sizes)"
-    for exp in "${GATED_EXPERIMENTS[@]}"; do
+    for exp in "${GATED_EXPERIMENTS[@]}" "${ADVISORY_EXPERIMENTS[@]}"; do
         (cd "$REPO_ROOT" && ./target/release/experiments "$exp" --full >/dev/null)
     done
 fi
