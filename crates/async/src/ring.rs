@@ -120,6 +120,8 @@ impl<T> Ring<T> {
                         // SAFETY: winning the claim CAS for position
                         // `raw` grants exclusive access to this slot's
                         // payload until the seq store below publishes it.
+                        // validate: VAL.ring-slot: slot storage is ring-owned (never
+                        // SMR-reclaimed); the claim CAS on the ticket re-validated it
                         unsafe { (*slot.val.get()).write(val) };
                         // ord: Release — ASYNC.ring: publishes the payload write to the popper's Acquire seq load
                         slot.seq.store(raw + 1, Ordering::Release);
@@ -164,6 +166,8 @@ impl<T> Ring<T> {
                         // grants exclusive access to the published
                         // payload; the Acquire seq load above ordered
                         // the producer's write before this read.
+                        // validate: VAL.ring-slot: slot storage is ring-owned (never
+                        // SMR-reclaimed); the claim CAS on the ticket re-validated it
                         let val = unsafe { (*slot.val.get()).assume_init_read() };
                         // ord: Release — ASYNC.ring: recycles the slot for the producer one lap ahead
                         slot.seq

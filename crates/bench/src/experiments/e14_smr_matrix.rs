@@ -262,6 +262,7 @@ pub fn run(quick: bool) {
 
     let mut rows: Vec<String> = Vec::new();
     let mut vbr_vs_ebr: Vec<(usize, f64)> = Vec::new();
+    let mut vbr_read_health: Vec<(String, usize, u64, u64)> = Vec::new();
     for mix in [Mix::READ_HEAVY, Mix::UPDATE_HEAVY] {
         let label = mix.label();
         let mut table = Table::new([
@@ -288,6 +289,13 @@ pub fn run(quick: bool) {
                 rows.push(super::artifact_row("e14", name, &label, t, res));
             }
             table.row(cells);
+            let vbr = &results[2].1.telemetry.counters;
+            vbr_read_health.push((
+                label.clone(),
+                t,
+                vbr.try_read_restarts,
+                vbr.try_read_fallbacks,
+            ));
         }
         println!("mix {label}:");
         print!("{table}");
@@ -325,6 +333,11 @@ pub fn run(quick: bool) {
     println!();
 
     super::write_bench_artifact("e14", quick, &rows);
+    println!("vbr pin-free read health (validation restarts / pinned fallbacks):");
+    for (label, t, restarts, fallbacks) in &vbr_read_health {
+        println!("  {label} @ {t} threads: restarts={restarts} fallbacks={fallbacks}");
+    }
+    println!();
     for (t, ratio) in &vbr_vs_ebr {
         println!("vbr/ebr read-heavy throughput at {t} threads: {ratio:.2}x");
     }

@@ -79,6 +79,13 @@ pub(crate) fn artifact_row(
     if let Some(peak) = res.peak_unreclaimed {
         obj = obj.field_u64("peak_unreclaimed", peak);
     }
+    // Pin-free read health: zero on backends without pin-free reads.
+    let c = &res.telemetry.counters;
+    if c.try_read_restarts > 0 || c.try_read_fallbacks > 0 {
+        obj = obj
+            .field_u64("try_read_restarts", c.try_read_restarts)
+            .field_u64("try_read_fallbacks", c.try_read_fallbacks);
+    }
     obj.field_u64("latency_p50_ns", lat.p50())
         .field_u64("latency_p99_ns", lat.p99())
         .field_raw("latency_ns", &histogram_json(lat))

@@ -187,6 +187,8 @@ where
     ///
     /// `prev` and `target` must be nodes of this list protected by
     /// `guard`, with `prev` a last-known predecessor of `target`.
+    // escape: ESC.node-search: the returned predecessor is protected by the
+    // caller's `guard`; the `# Safety` contract bounds its life to it
     pub(crate) unsafe fn try_flag(
         &self,
         mut prev: *mut Node<K, V, R>,

@@ -267,7 +267,10 @@ impl<K, V, R: Reclaim> FrList<K, V, R> {
                     assert_eq!(cur, self.tail, "chain ends before the tail sentinel");
                     break;
                 }
+                // validate: VAL.exclusive: quiescent caller contract — no
+                // concurrent updates or reclamation during this walk
                 assert!((*cur).key < (*next).key, "keys not strictly sorted (INV 1)");
+                // validate: VAL.exclusive: as above — quiescent walk
                 if (*next).key.as_key().is_some() {
                     count += 1;
                 }

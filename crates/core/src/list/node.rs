@@ -249,6 +249,8 @@ impl<K, V, R: Reclaim> Node<K, V, R> {
     /// line 1) to carry the happens-before edge to the predecessor's
     /// initialization.
     #[inline]
+    // escape: ESC.node-accessor: the backlink stays valid while `self` is
+    // protected by the caller's guard (backlinks point at older nodes)
     pub(crate) fn backlink(&self) -> *mut Node<K, V, R> {
         // ord: Acquire — LIST.backlink-walk: predecessor is dereferenced
         self.backlink.load(Ordering::Acquire)

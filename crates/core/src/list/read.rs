@@ -57,11 +57,15 @@ where
                     lf_metrics::op_end(op);
                     return res;
                 }
-                Err(ReadRace) => continue,
+                Err(ReadRace) => {
+                    lf_metrics::record_try_read_restart();
+                    continue;
+                }
             }
         }
         lf_metrics::op_end(op);
         // Persistent interference: take the pinned slow path.
+        lf_metrics::record_try_read_fallback();
         self.get(key)
     }
 }
@@ -127,19 +131,26 @@ where
             // tenant's publishes before our snoops.
             // SAFETY: type-stable storage, as above.
             // ord: Acquire — VBR.birth-validate: pre-snoop tenant check
+            // validate: VAL.list-read: this load opens the birth-stamp bracket
+            // that validates the optimistic `next` hop (type-stable storage)
             let b1 = unsafe { &(*next).birth }.load(Ordering::Acquire);
             if b1 & BIRTH_BUILDING != 0 || (b1 & 0xffff) != u64::from(next_stamp) {
                 return Err(ReadRace);
             }
             // SAFETY: the slots are type-stable and snoops are per-word
             // atomic copies; the bytes are validated before use.
+            // validate: VAL.list-read: snoop inside the birth-stamp bracket;
+            // bytes are discarded unless `b2 == b1` below
             let key_bytes = unsafe { <R as Publish<K>>::snoop(&(*next).skey) };
             // SAFETY: as above.
+            // validate: VAL.list-read: as above — bracketed snoop
             let val_bytes = unsafe { <R as Publish<V>>::snoop(&(*next).sval) };
             // ord: Acquire — VBR.birth-validate: seqlock read fence
             fence(Ordering::Acquire);
             // SAFETY: type-stable storage, as above.
             // ord: Relaxed — VBR.birth-validate: ordered by the fence above
+            // validate: VAL.list-read: this re-load closes the birth-stamp
+            // bracket; a mismatch discards the snooped bytes
             let b2 = unsafe { &(*next).birth }.load(Ordering::Relaxed);
             if b2 != b1 {
                 return Err(ReadRace);

@@ -41,6 +41,8 @@ where
     /// `curr` must be a node of this list protected by `guard` (i.e. it
     /// was reachable at some point while the guard was live), with
     /// `curr.key` satisfying the search precondition `curr.key <= k`.
+    // escape: ESC.node-search: returned nodes are protected by the caller's
+    // `guard`; the `# Safety` contract bounds their life to it
     pub(crate) unsafe fn search_from(
         &self,
         k: &K,
@@ -92,6 +94,8 @@ where
     ///
     /// `guard` must pin this list's domain; the returned pointer is
     /// valid while `guard` lives.
+    // escape: ESC.node-search: returned node is protected by the caller's
+    // `guard`; the `# Safety` contract bounds its life to it
     pub(crate) unsafe fn search_impl(
         &self,
         k: &K,
@@ -143,6 +147,8 @@ where
                 // Exactly one unlink C&S succeeds per node (its predecessor
                 // is unique and flagged, and a physically deleted node can
                 // never be re-linked), so this retire happens exactly once.
+                // unlink: UNLINK.list-del: the type-3 C&S above made `del`
+                // unreachable from the head before this retire
                 self.retire(del, guard);
             }
         }
@@ -180,6 +186,8 @@ where
         };
         // SAFETY: the closure touches the node only after grace elapses
         // (the fn's `# Safety` contract makes it unreachable by then).
+        // unlink: UNLINK.list-del: the fn's `# Safety` contract requires the
+        // node already physically deleted (unlink C&S fired) and retired once
         unsafe { R::defer(guard, birth, destroy) };
     }
 }

@@ -40,6 +40,8 @@ where
     ///
     /// `curr` must be a node of this skip list protected by `guard`
     /// satisfying the search precondition (`curr.key` before `k`).
+    // escape: ESC.node-search: returned nodes are protected by the caller's
+    // `guard`; the `# Safety` contract bounds their life to it
     pub(crate) unsafe fn search_right(
         &self,
         k: &K,
@@ -84,6 +86,8 @@ where
     ///
     /// `prev` and `target` must be nodes of this level protected by
     /// `guard`, `prev` a last-known predecessor of `target`.
+    // escape: ESC.node-search: the returned predecessor is protected by the
+    // caller's `guard`; the `# Safety` contract bounds its life to it
     pub(crate) unsafe fn try_flag_node(
         &self,
         mut prev: *mut SkipNode<K, V, R>,
@@ -311,6 +315,8 @@ where
             };
             // SAFETY: the closure touches the block only after grace
             // elapses, when it is unreachable to pinned threads.
+            // unlink: UNLINK.tower-del: refcount zero means every level's
+            // unlink C&S fired — the whole tower block is unreachable
             unsafe { R::defer(guard, birth, destroy) };
         }
     }

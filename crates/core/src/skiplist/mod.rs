@@ -205,6 +205,8 @@ where
                 // birth is 0, so the unmarked pointer's stamp (0) is
                 // already correct.
                 // ord: Relaxed — LIST.sentinel-init: pre-publication construction store
+                // validate: VAL.exclusive: freshly allocated, unshared
+                // sentinel — no concurrent access before publication
                 (*head)
                     .succ
                     .store(lf_tagged::TaggedPtr::unmarked(tail), Ordering::Relaxed);
@@ -293,6 +295,8 @@ where
     ///
     /// `guard` must pin this list's domain; `1 <= target_level <
     /// max_level`.
+    // escape: ESC.node-search: returned nodes are protected by the caller's
+    // `guard`; the `# Safety` contract bounds their life to it
     pub(crate) unsafe fn search_to_level(
         &self,
         k: &K,
@@ -325,6 +329,8 @@ where
     ///
     /// `guard` must pin this list's domain; the returned pointer is
     /// valid while `guard` lives.
+    // escape: ESC.node-search: returned root is protected by the caller's
+    // `guard`; the `# Safety` contract bounds its life to it
     pub(crate) unsafe fn search_impl(
         &self,
         k: &K,
@@ -381,10 +387,13 @@ impl<K, V, R: Reclaim> SkipList<K, V, R> {
                 // Relaxed: quiescent diagnostic — `top` is final once
                 // every construction reference has been released.
                 // ord: Relaxed — TOWER.top: quiescent-only diagnostic field
+                // validate: VAL.exclusive: quiescent caller contract — no
+                // concurrent updates or reclamation during this walk
                 let mut t = (*root).top.load(Ordering::Relaxed);
                 while !t.is_null() {
                     h += 1;
                     // ord: Relaxed — TOWER.layout: tenant-invariant tower geometry
+                    // validate: VAL.exclusive: as above — quiescent walk
                     t = (*t).down();
                 }
                 out.push(h);
@@ -431,22 +440,29 @@ impl<K, V, R: Reclaim> SkipList<K, V, R> {
                         "stale stamp at level {}",
                         level + 1
                     );
+                    // validate: VAL.exclusive: quiescent caller contract — no
+                    // concurrent updates or reclamation during this walk
                     assert!(
                         (*cur).key_ref() < (*next).key_ref(),
                         "keys not strictly sorted at level {}",
                         level + 1
                     );
+                    // validate: VAL.exclusive: as above — quiescent walk
                     if (*next).key_ref().as_key().is_some() {
                         if level == 0 {
                             count += 1;
                         }
                         // ord: Relaxed — TOWER.layout: tenant-invariant tower geometry
+                        // validate: VAL.exclusive: as above — quiescent walk
                         let root = (*next).root();
+                        // validate: VAL.exclusive: as above — quiescent walk
                         assert!(!(*root).is_marked(), "superfluous tower at quiescence");
                         let mut d = next;
                         // ord: Relaxed — TOWER.layout: tenant-invariant tower geometry
+                        // validate: VAL.exclusive: as above — quiescent walk
                         while !(*d).down().is_null() {
                             // ord: Relaxed — TOWER.layout: tenant-invariant tower geometry
+                            // validate: VAL.exclusive: as above — quiescent walk
                             d = (*d).down();
                         }
                         assert_eq!(d, root, "down chain does not reach tower root");

@@ -271,6 +271,8 @@ impl<K, V, R: Reclaim> SkipNode<K, V, R> {
     /// `remaining` is never released (they are freed by the skip list's
     /// `Drop`, as individual `Box`es — they never touch the pool).
     /// Sentinel birth is 0 forever, so pointers to them carry stamp 0.
+    // escape: ESC.sentinel: the returned allocation is owned by the skip
+    // list and freed only by its `Drop` — never retired through SMR
     pub(crate) fn alloc_sentinel(key: Bound<K>, down: *mut SkipNode<K, V, R>) -> *mut Self {
         let node = Box::into_raw(Box::new(SkipNode {
             key,
@@ -299,6 +301,8 @@ impl<K, V, R: Reclaim> SkipNode<K, V, R> {
     /// The node one level below in the same tower (null for roots and
     /// level-1 sentinels).
     #[inline]
+    // escape: ESC.node-accessor: the down pointer targets the same tower
+    // block as `self`, valid while `self` is protected by the caller's guard
     pub(crate) fn down(&self) -> *mut SkipNode<K, V, R> {
         // Relaxed is enough even for pin-free readers: the value is
         // tenant-invariant per block (see the struct docs), and pinned
@@ -309,6 +313,8 @@ impl<K, V, R: Reclaim> SkipNode<K, V, R> {
 
     /// The tower's root node (self for roots and sentinels).
     #[inline]
+    // escape: ESC.node-accessor: the root pointer targets the same tower
+    // block as `self`, valid while `self` is protected by the caller's guard
     pub(crate) fn root(&self) -> *mut SkipNode<K, V, R> {
         // ord: Relaxed — TOWER.layout: tenant-invariant value (same for every tenant)
         self.tower_root.load(Ordering::Relaxed)
@@ -421,6 +427,8 @@ impl<K, V, R: Reclaim> SkipNode<K, V, R> {
     /// walks; pairs with the Release store in `HelpFlagged` to carry
     /// the happens-before edge to the predecessor's initialization.
     #[inline]
+    // escape: ESC.node-accessor: the backlink stays valid while `self` is
+    // protected by the caller's guard (backlinks point at older nodes)
     pub(crate) fn backlink(&self) -> *mut SkipNode<K, V, R> {
         // ord: Acquire — LIST.backlink-walk: predecessor is dereferenced
         self.backlink.load(Ordering::Acquire)

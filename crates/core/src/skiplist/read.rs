@@ -53,11 +53,15 @@ where
                     lf_metrics::op_end(op);
                     return res;
                 }
-                Err(ReadRace) => continue,
+                Err(ReadRace) => {
+                    lf_metrics::record_try_read_restart();
+                    continue;
+                }
             }
         }
         lf_metrics::op_end(op);
         // Persistent interference: take the pinned slow path.
+        lf_metrics::record_try_read_fallback();
         self.get(key)
     }
 }
@@ -113,6 +117,8 @@ where
                 // element shares the birth the carried stamp encodes.
                 // SAFETY: type-stable storage, as above.
                 // ord: Relaxed — TOWER.layout: tenant-invariant tower geometry
+                // validate: VAL.skip-read: tenant-invariant hop on type-stable
+                // storage; the next birth-stamp bracket re-validates the path
                 curr = unsafe { (*curr).down() };
                 level -= 1;
                 continue;
@@ -129,6 +135,8 @@ where
             // shadow slots; `tower_root` is tenant-invariant.
             // SAFETY: type-stable storage, as above.
             // ord: Relaxed — TOWER.layout: tenant-invariant tower geometry
+            // validate: VAL.skip-read: tenant-invariant hop on type-stable
+            // storage; the birth-stamp bracket below re-validates it
             let root = unsafe { (*next).root() };
             // Pre-validation: the root's slots hold `next_stamp`'s
             // tenant's bytes only if that tenant is fully published (no
@@ -137,19 +145,26 @@ where
             // `next` too. Acquire pairs with the release finalize store.
             // SAFETY: type-stable storage, as above.
             // ord: Acquire — VBR.birth-validate: pre-snoop tenant check
+            // validate: VAL.skip-read: this load opens the birth-stamp
+            // bracket that validates the optimistic hop to `next`/`root`
             let b1 = unsafe { &(*root).birth }.load(Ordering::Acquire);
             if b1 & BIRTH_BUILDING != 0 || (b1 & 0xffff) != u64::from(next_stamp) {
                 return Err(ReadRace);
             }
             // SAFETY: the slots are type-stable and snoops are per-word
             // atomic copies; the bytes are validated before use.
+            // validate: VAL.skip-read: snoop inside the birth-stamp bracket;
+            // bytes are discarded unless `b2 == b1` below
             let key_bytes = unsafe { <R as Publish<K>>::snoop(&(*root).skey) };
             // SAFETY: as above.
+            // validate: VAL.skip-read: as above — bracketed snoop
             let val_bytes = unsafe { <R as Publish<V>>::snoop(&(*root).sval) };
             // ord: Acquire — VBR.birth-validate: seqlock read fence
             fence(Ordering::Acquire);
             // SAFETY: type-stable storage, as above.
             // ord: Relaxed — VBR.birth-validate: ordered by the fence above
+            // validate: VAL.skip-read: this re-load closes the birth-stamp
+            // bracket; a mismatch discards the snooped bytes
             let b2 = unsafe { &(*root).birth }.load(Ordering::Relaxed);
             if b2 != b1 {
                 return Err(ReadRace);
@@ -178,6 +193,8 @@ where
                     // Overshot: drop a level from `curr` (see above).
                     // SAFETY: type-stable storage, as above.
                     // ord: Relaxed — TOWER.layout: tenant-invariant tower geometry
+                    // validate: VAL.skip-read: tenant-invariant hop on
+                    // type-stable storage; re-validated by the next bracket
                     curr = unsafe { (*curr).down() };
                     level -= 1;
                 }

@@ -64,6 +64,8 @@ fn within_end<K: Ord>(key: &K, end: &RangeBound<&K>) -> bool {
 /// # Safety
 ///
 /// `anchor` must be a node of `list` protected by `guard`.
+// escape: ESC.node-search: the returned root is protected by the caller's
+// `guard`; the `# Safety` contract bounds its life to it
 unsafe fn advance<K, V, R>(
     list: &SkipList<K, V, R>,
     anchor: *mut SkipNode<K, V, R>,
@@ -250,8 +252,11 @@ where
                 visited += 1;
                 stop = !visitor(k, v);
             }
+            // escape: ESC.scan-cursor: the cursor set lives strictly inside
+            // this fn's `guard` scope, so stored anchors stay protected
             cursors[m].anchor = node;
             // ord: Release/Acquire/Relaxed — LIST.flag-cas: cursor advance helps deletions (wrapped C&S)
+            // escape: ESC.scan-cursor: as above — cursor outlived by the guard
             cursors[m].cand = advance(cursors[m].list, node, &start, &end, &guard);
         }
         if stop {

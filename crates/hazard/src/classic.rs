@@ -182,6 +182,8 @@ impl HazardHandle {
     /// # Panics
     ///
     /// Panics if `index >= HAZARDS_PER_THREAD`.
+    // escape: ESC.hp-protect: the published hazard slot (not a lexical
+    // guard) protects the returned pointer until clear/re-protect
     pub fn protect<T>(&self, index: usize, src: &AtomicPtr<T>) -> *mut T {
         loop {
             let p = src.load(Ordering::SeqCst);

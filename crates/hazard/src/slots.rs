@@ -44,11 +44,15 @@ impl<P: Default> SlotList<P> {
     ///
     /// The returned pointer stays valid until the registry drops; the
     /// caller releases it with [`SlotList::release`].
+    // escape: ESC.hp-slots: slot nodes are never freed while the registry
+    // lives (module invariant), so the returned pointer cannot dangle
     pub(crate) fn register(&self) -> *mut SlotNode<P> {
         let mut cur = self.head.load(Ordering::SeqCst);
         while !cur.is_null() {
             // SAFETY: slot nodes are never freed while the registry
             // lives (module invariant).
+            // validate: VAL.hp-slots: registry nodes are append-only and
+            // never freed while the registry lives — no re-check needed
             let slot = unsafe { &*cur };
             if !slot.in_use.load(Ordering::SeqCst)
                 && slot
@@ -101,6 +105,8 @@ impl<P: Default> SlotList<P> {
         while !cur.is_null() {
             // SAFETY: slot nodes are never freed while the registry
             // lives (module invariant).
+            // validate: VAL.hp-slots: registry nodes are append-only and
+            // never freed while the registry lives — no re-check needed
             let slot = unsafe { &*cur };
             f(&slot.payload);
             cur = slot.next.load(Ordering::SeqCst);

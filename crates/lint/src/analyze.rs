@@ -3,6 +3,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use crate::dataflow::SmrScan;
 use crate::lexer::{lex, Comment, Lexed, Token, TokenKind};
 
 /// Atomic methods whose `Ordering` arguments the auditor inventories.
@@ -170,6 +171,9 @@ pub struct FileScan {
     /// Submodule files declared under `#[cfg(test)] mod name;` —
     /// relative names (`name.rs`, `name/mod.rs`) to exclude.
     pub test_submodules: Vec<String>,
+    /// SMR guard-lifetime / pointer-escape dataflow results (pillar
+    /// three; see [`crate::dataflow`]).
+    pub smr: SmrScan,
 }
 
 /// Scan one file's source text.
@@ -187,18 +191,18 @@ pub fn scan_file_with(src: &str, wrapper_names: &BTreeSet<String>) -> FileScan {
     Scanner::new(&lexed, wrapper_names).run()
 }
 
-struct Scanner<'a> {
-    toks: &'a [Token],
-    comments: &'a [Comment],
+pub(crate) struct Scanner<'a> {
+    pub(crate) toks: &'a [Token],
+    pub(crate) comments: &'a [Comment],
     /// Wrapper-fn names whose call sites this scan collects.
-    wrapper_names: &'a BTreeSet<String>,
+    pub(crate) wrapper_names: &'a BTreeSet<String>,
     /// Token index of each collected site's method/fence ident
     /// (parallel to `out.sites`; used for wrapper-body membership).
-    site_tok_indices: Vec<usize>,
+    pub(crate) site_tok_indices: Vec<usize>,
     /// Token index of each collected wrapper call's callee ident
     /// (parallel to `out.wrapper_calls`; used for delegation-body
     /// membership).
-    wrapper_call_tok_indices: Vec<usize>,
+    pub(crate) wrapper_call_tok_indices: Vec<usize>,
     /// Every pointer-returning fn with a body, regardless of whether
     /// it contains atomic sites: (name, line, body `{` tok, body `}`
     /// tok). Delegation detection re-checks these against the wrapper
@@ -213,10 +217,10 @@ struct Scanner<'a> {
     /// Lines whose tokens are all within attribute spans.
     attr_lines: BTreeSet<u32>,
     /// line -> indices of comments ending on that line.
-    comments_ending: BTreeMap<u32, Vec<usize>>,
+    pub(crate) comments_ending: BTreeMap<u32, Vec<usize>>,
     /// Lines covered by any comment.
     comment_lines: BTreeSet<u32>,
-    out: FileScan,
+    pub(crate) out: FileScan,
 }
 
 impl<'a> Scanner<'a> {
@@ -249,24 +253,26 @@ impl<'a> Scanner<'a> {
         self.collect_delegating();
         self.collect_unsafe();
         self.collect_banned();
+        // Last: the SMR dataflow needs the wrapper call sites above.
+        self.collect_smr();
         self.out
     }
 
-    fn ident_at(&self, i: usize) -> Option<&str> {
+    pub(crate) fn ident_at(&self, i: usize) -> Option<&str> {
         match self.toks.get(i).map(|t| &t.kind) {
             Some(TokenKind::Ident(s)) => Some(s),
             _ => None,
         }
     }
 
-    fn punct_at(&self, i: usize) -> Option<char> {
+    pub(crate) fn punct_at(&self, i: usize) -> Option<char> {
         match self.toks.get(i).map(|t| &t.kind) {
             Some(TokenKind::Punct(c)) => Some(*c),
             _ => None,
         }
     }
 
-    fn is_excluded(&self, tok_idx: usize) -> bool {
+    pub(crate) fn is_excluded(&self, tok_idx: usize) -> bool {
         self.excluded
             .iter()
             .any(|&(a, b)| tok_idx >= a && tok_idx <= b)
@@ -442,7 +448,12 @@ impl<'a> Scanner<'a> {
     /// whose statement begins at `stmt_line`: trailing comments inside
     /// the span, plus the contiguous comment/attribute block directly
     /// above the span start and above the statement start.
-    fn visible_comment_lines(&self, stmt_line: u32, start_line: u32, end_line: u32) -> Vec<u32> {
+    pub(crate) fn visible_comment_lines(
+        &self,
+        stmt_line: u32,
+        start_line: u32,
+        end_line: u32,
+    ) -> Vec<u32> {
         let mut lines: Vec<u32> = (start_line..=end_line)
             .filter(|l| self.comment_lines.contains(l))
             .collect();
@@ -464,7 +475,7 @@ impl<'a> Scanner<'a> {
 
     /// The line where the statement containing token `idx` starts
     /// (first token after the previous `;`, `{`, or `}`).
-    fn statement_start_line(&self, idx: usize) -> u32 {
+    pub(crate) fn statement_start_line(&self, idx: usize) -> u32 {
         let mut i = idx;
         while i > 0 {
             if matches!(self.punct_at(i - 1), Some(';') | Some('{') | Some('}')) {

@@ -10,7 +10,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::analyze::{scan_file, scan_file_with, BannedKind, FileScan};
-use crate::design::parse_design;
+use crate::design::{parse_design, parse_obligations};
 use crate::policy::{CrateClass, Policy};
 
 /// One reported problem.
@@ -46,6 +46,14 @@ pub struct Audit {
     pub wrapper_fns: usize,
     /// Call sites of those wrappers, across all crate classes.
     pub wrapper_calls: usize,
+    /// Guard/pin bindings seen by the SMR pass (audited crates only).
+    pub smr_guards: usize,
+    /// Deref events of guard-derived pointers the SMR pass checked.
+    pub smr_derefs: usize,
+    /// `retire`/`defer` call sites checked for `// unlink:` pairing.
+    pub smr_defer_sites: usize,
+    /// `// escape:` / `// validate:` / `// unlink:` annotations seen.
+    pub smr_annotations: usize,
 }
 
 /// In-memory view of the workspace with optional content overrides.
@@ -104,6 +112,10 @@ pub fn run_audit(files: &WorkspaceFiles) -> Result<Audit, String> {
                     the drift check would be vacuous"
             .into());
     }
+    // §9.8 SMR-obligations table. An empty table is not a config
+    // error: any attached SMR annotation then flags obligation-drift,
+    // which is exactly the bidirectional discipline working.
+    let obligations = parse_obligations(&design_text);
 
     let crates = discover_crates(files)?;
     let mut audit = Audit::default();
@@ -215,6 +227,7 @@ pub fn run_audit(files: &WorkspaceFiles) -> Result<Audit, String> {
     audit.wrapper_fns = registry.values().map(|m| m.len()).sum();
 
     let mut attached_ids: BTreeSet<String> = BTreeSet::new();
+    let mut smr_attached_ids: BTreeSet<String> = BTreeSet::new();
     for (krate, file, scan) in &scans {
         if test_files.contains(file) {
             continue;
@@ -412,6 +425,66 @@ pub fn run_audit(files: &WorkspaceFiles) -> Result<Audit, String> {
             }
         }
 
+        // SMR guard-lifetime / pointer-escape pass (pillar three).
+        if cp.smr_audit() {
+            audit.smr_guards += scan.smr.guards;
+            audit.smr_derefs += scan.smr.derefs;
+            audit.smr_defer_sites += scan.smr.defer_sites;
+            for v in &scan.smr.violations {
+                push(&mut audit, v.rule, v.line, v.message.clone());
+            }
+            for ann in &scan.smr.annotations {
+                audit.smr_annotations += 1;
+                if ann.attached {
+                    smr_attached_ids.insert(ann.id.clone());
+                    match obligations.iter().find(|o| o.id == ann.id) {
+                        None => push(
+                            &mut audit,
+                            "obligation-drift",
+                            ann.line,
+                            format!(
+                                "annotation `// {}:` id `{}` has no row in the DESIGN.md \
+                                 §9.8 SMR-obligations table",
+                                ann.kind.as_str(),
+                                ann.id
+                            ),
+                        ),
+                        Some(row) if row.kind != ann.kind => push(
+                            &mut audit,
+                            "obligation-drift",
+                            ann.line,
+                            format!(
+                                "annotation `// {}:` id `{}` is registered in DESIGN.md \
+                                 §9.8 (line {}) as kind `{}` — kinds must match",
+                                ann.kind.as_str(),
+                                ann.id,
+                                row.line,
+                                row.kind.as_str()
+                            ),
+                        ),
+                        Some(_) => {}
+                    }
+                } else {
+                    push(
+                        &mut audit,
+                        "dangling-annotation",
+                        ann.line,
+                        format!(
+                            "`// {}:` comment (id {}) is not attached to any {} site — \
+                             stale after a refactor?",
+                            ann.kind.as_str(),
+                            ann.id,
+                            match ann.kind {
+                                crate::dataflow::SmrKind::Escape => "escape",
+                                crate::dataflow::SmrKind::Validate => "guard-free deref",
+                                crate::dataflow::SmrKind::Unlink => "retire/defer",
+                            }
+                        ),
+                    );
+                }
+            }
+        }
+
         for b in &scan.banned {
             match b.what {
                 BannedKind::Sleep if cp.class == CrateClass::Hot => push(
@@ -446,6 +519,23 @@ pub fn run_audit(files: &WorkspaceFiles) -> Result<Audit, String> {
                     "ordering-table row `{}` matches no `// ord:` annotation in the \
                      code — table and code have drifted",
                     row.id
+                ),
+            });
+        }
+    }
+    // Same discipline for the §9.8 SMR-obligations table.
+    for row in &obligations {
+        if !smr_attached_ids.contains(&row.id) {
+            audit.findings.push(Finding {
+                check: "obligation-drift",
+                krate: String::new(),
+                file: "DESIGN.md".to_string(),
+                line: row.line,
+                message: format!(
+                    "SMR-obligations row `{}` matches no attached `// {}:` annotation \
+                     in the code — table and code have drifted",
+                    row.id,
+                    row.kind.as_str()
                 ),
             });
         }

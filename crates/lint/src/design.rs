@@ -7,6 +7,7 @@
 //! directions.
 
 use crate::analyze::ORDERINGS;
+use crate::dataflow::SmrKind;
 
 /// One row of a §9 ordering table.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,18 +20,26 @@ pub struct DesignRow {
     pub line: u32,
 }
 
-/// Extract ordering rows from the §9 section of `text`.
+/// Extract ordering rows from the §9 section of `text`. Rows of the
+/// §9.8 SMR-obligations subsection are *not* ordering rows — they are
+/// parsed by [`parse_obligations`] instead.
 pub fn parse_design(text: &str) -> Vec<DesignRow> {
     let mut rows = Vec::new();
     let mut in_section = false;
+    let mut in_obligations = false;
     let mut ordering_col: Option<usize> = None;
     for (idx, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if let Some(rest) = line.strip_prefix("## ") {
             in_section = rest.starts_with("9.") || rest.starts_with("9 ");
+            in_obligations = false;
             continue;
         }
-        if !in_section || !line.starts_with('|') {
+        if let Some(rest) = line.strip_prefix("### ") {
+            in_obligations = rest.starts_with("9.8");
+            continue;
+        }
+        if !in_section || in_obligations || !line.starts_with('|') {
             continue;
         }
         let cells: Vec<String> = line
@@ -58,6 +67,65 @@ pub fn parse_design(text: &str) -> Vec<DesignRow> {
         rows.push(DesignRow {
             id: first.clone(),
             orderings,
+            line: (idx + 1) as u32,
+        });
+    }
+    rows
+}
+
+/// One row of the §9.8 SMR-obligations table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObligationRow {
+    /// Invariant id (`FAMILY.site`) from the row's first column.
+    pub id: String,
+    /// Which annotation kind discharges this obligation (the row's
+    /// second column: `escape`, `validate`, or `unlink`).
+    pub kind: SmrKind,
+    /// 1-based line in DESIGN.md.
+    pub line: u32,
+}
+
+/// Extract the SMR-obligations rows from the §9.8 subsection: table
+/// rows whose first cell is an invariant id and whose second cell is
+/// an annotation kind. The audit cross-checks these against
+/// `// escape:` / `// validate:` / `// unlink:` annotations in both
+/// directions, exactly like the ordering tables.
+pub fn parse_obligations(text: &str) -> Vec<ObligationRow> {
+    let mut rows = Vec::new();
+    let mut in_obligations = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if let Some(rest) = line.strip_prefix("### ") {
+            in_obligations = rest.starts_with("9.8");
+            continue;
+        }
+        if line.starts_with("## ") {
+            in_obligations = false;
+            continue;
+        }
+        if !in_obligations || !line.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<String> = line
+            .trim_matches('|')
+            .split('|')
+            .map(|c| c.trim().trim_matches('`').trim().to_string())
+            .collect();
+        let (Some(first), Some(second)) = (cells.first(), cells.get(1)) else {
+            continue;
+        };
+        if !is_invariant_id(first) {
+            continue; // header or separator row
+        }
+        let kind = match second.as_str() {
+            "escape" => SmrKind::Escape,
+            "validate" => SmrKind::Validate,
+            "unlink" => SmrKind::Unlink,
+            _ => continue,
+        };
+        rows.push(ObligationRow {
+            id: first.clone(),
+            kind,
             line: (idx + 1) as u32,
         });
     }
@@ -107,6 +175,14 @@ mod tests {
 |---|---|---|---|
 | `STAT.len` | counters | `Relaxed` | statistic only |
 
+### 9.8 SMR obligations
+| ID | Kind | Where | Discharged by |
+|---|---|---|---|
+| `ESC.node-right` | escape | `Node::right` | caller's guard outlives the call |
+| `VAL.list-read` | validate | `read_impl` | birth stamp re-check after Acquire fence |
+| `UNLINK.list-del` | unlink | `SearchFrom` | succ CAS marked+flagged before retire |
+| `BAD.kind` | teleport | nowhere | unknown kinds are skipped |
+
 ## 10. Something else
 | `FAKE.row` | x | `Relaxed` | outside section |
 ";
@@ -132,6 +208,30 @@ mod tests {
         // column counts.
         let rows = parse_design(SAMPLE);
         assert!(!rows[0].orderings.contains(&"Release".to_string()));
+    }
+
+    #[test]
+    fn obligations_rows_do_not_leak_into_ordering_rows() {
+        // §9.8 cells mention orderings-adjacent words and carry
+        // invariant ids, but they are not ordering rows.
+        let rows = parse_design(SAMPLE);
+        assert!(rows.iter().all(|r| !r.id.starts_with("ESC.")
+            && !r.id.starts_with("VAL.")
+            && !r.id.starts_with("UNLINK.")));
+    }
+
+    #[test]
+    fn parses_obligations_with_kinds() {
+        let rows = parse_obligations(SAMPLE);
+        let got: Vec<(&str, SmrKind)> = rows.iter().map(|r| (r.id.as_str(), r.kind)).collect();
+        assert_eq!(
+            got,
+            [
+                ("ESC.node-right", SmrKind::Escape),
+                ("VAL.list-read", SmrKind::Validate),
+                ("UNLINK.list-del", SmrKind::Unlink),
+            ]
+        );
     }
 
     #[test]

@@ -20,6 +20,15 @@
 //! 3. **Banned patterns.** `SeqCst` outside the policy allowlist,
 //!    `thread::sleep` in hot crates, and raw tag-bit arithmetic outside
 //!    `lf-tagged`.
+//! 4. **SMR lifetimes.** An intra-procedural dataflow pass (see
+//!    [`dataflow`]) tracks raw pointers derived from guarded atomic
+//!    loads and enforces the reclamation obligations of all three
+//!    `Reclaim` backends: derefs stay inside their guard's lexical
+//!    scope, escapes carry `// escape:` annotations cross-checked
+//!    bidirectionally against the DESIGN.md §9.8 obligations table,
+//!    no guard is live across an `.await`, pin-free optimistic derefs
+//!    carry `// validate:` stamp-revalidation annotations, and every
+//!    `retire`/`defer` call site carries an `// unlink:` annotation.
 //!
 //! Per-crate strictness lives in `lint-policy.toml` at the workspace
 //! root. The workspace is offline, so everything here — lexer, TOML
@@ -27,6 +36,7 @@
 
 pub mod analyze;
 pub mod audit;
+pub mod dataflow;
 pub mod design;
 pub mod lexer;
 pub mod policy;

@@ -6,7 +6,13 @@ use std::process::ExitCode;
 use lf_lint::{report, run_audit, WorkspaceFiles};
 
 const USAGE: &str = "\
-lf-lint — atomic-ordering & unsafe-hygiene auditor
+lf-lint — atomic-ordering, unsafe-hygiene & SMR-lifetime auditor
+
+Three pillars: memory-ordering annotations cross-checked against
+DESIGN.md §9, `SAFETY:` hygiene on unsafe items, and the SMR
+guard-lifetime dataflow (guard-scoped derefs, `// escape:` /
+`// validate:` / `// unlink:` obligations vs the §9.8 table,
+pin-across-await, retire-without-unlink).
 
 USAGE:
     cargo run -p lf-lint -- --check [--json] [--root PATH]

@@ -34,6 +34,11 @@ pub struct CratePolicy {
     /// Whether raw tag-bit arithmetic (`0b..` masks, MARK/FLAG/TAG
     /// constants under `&`/`|`) is allowed outside comments.
     pub tag_arith: bool,
+    /// Whether the SMR guard-lifetime dataflow pass applies. `None`
+    /// defers to the class default (on for hot crates); `Some` is an
+    /// explicit per-crate override (e.g. `lf-hazard` is support-class
+    /// but its retire paths are exactly what the pass audits).
+    pub smr: Option<bool>,
 }
 
 impl Default for CratePolicy {
@@ -43,7 +48,16 @@ impl Default for CratePolicy {
             reason: String::new(),
             seqcst_allow: Vec::new(),
             tag_arith: false,
+            smr: None,
         }
+    }
+}
+
+impl CratePolicy {
+    /// Effective SMR-audit switch: explicit `smr` key wins, otherwise
+    /// hot crates are audited and support/exempt crates are not.
+    pub fn smr_audit(&self) -> bool {
+        self.smr.unwrap_or(self.class == CrateClass::Hot)
     }
 }
 
@@ -93,6 +107,7 @@ impl Policy {
                     ("reason", Value::Str(s)) => cp.reason = s,
                     ("seqcst_allow", Value::Array(items)) => cp.seqcst_allow = items,
                     ("tag_arith", Value::Bool(b)) => cp.tag_arith = b,
+                    ("smr", Value::Bool(b)) => cp.smr = Some(b),
                     (other, _) => return Err(format!("crate {crate_name}: unknown key {other:?}")),
                 }
             }

@@ -18,6 +18,12 @@ pub fn human(audit: &Audit) -> String {
         audit.wrapper_fns,
         audit.wrapper_calls
     );
+    let _ = writeln!(
+        out,
+        "lf-lint: SMR dataflow: {} guard binding(s), {} guarded deref(s), \
+         {} retire/defer site(s), {} escape/validate/unlink annotation(s)",
+        audit.smr_guards, audit.smr_derefs, audit.smr_defer_sites, audit.smr_annotations
+    );
     if audit.findings.is_empty() {
         let _ = writeln!(out, "lf-lint: clean — no findings");
         return out;
@@ -44,12 +50,18 @@ pub fn json(audit: &Audit) -> String {
     let _ = writeln!(
         out,
         "  \"summary\": {{\"files\": {}, \"atomic_sites\": {}, \"unsafe_items\": {}, \
-         \"wrapper_fns\": {}, \"wrapper_calls\": {}, \"findings\": {}}},",
+         \"wrapper_fns\": {}, \"wrapper_calls\": {}, \"smr_guards\": {}, \
+         \"smr_derefs\": {}, \"smr_defer_sites\": {}, \"smr_annotations\": {}, \
+         \"findings\": {}}},",
         audit.files_scanned,
         audit.sites_total,
         audit.unsafe_total,
         audit.wrapper_fns,
         audit.wrapper_calls,
+        audit.smr_guards,
+        audit.smr_derefs,
+        audit.smr_defer_sites,
+        audit.smr_annotations,
         audit.findings.len()
     );
     out.push_str("  \"inventory\": {");

@@ -169,12 +169,16 @@ fn seeded_two_level_delegation_with_annotations_passes() {
     // Same chain, every hop annotated with the ordering the innermost
     // wrapper hides: audits clean, proving the delegator inherits its
     // callee's orderings (an annotation claiming Acquire satisfies the
-    // Acquire the chain bottoms out in).
+    // Acquire the chain bottoms out in). The pointer-returning hops
+    // also carry `// escape:` annotations for the SMR pass — the same
+    // obligation the real accessors discharge.
     let src = read(HOT_FILE)
-        + "\npub(crate) fn seeded_inner<K: Ord, V>(n: &Node<K, V>) -> *mut Node<K, V> {\n\
+        + "\n// escape: ESC.node-accessor: valid while `n` is protected by the caller's guard\n\
+           pub(crate) fn seeded_inner<K: Ord, V>(n: &Node<K, V>) -> *mut Node<K, V> {\n\
            // ord: Acquire — LIST.backlink-walk: predecessor is dereferenced\n\
            n.backlink.load(Ordering::Acquire)\n\
            }\n\
+           // escape: ESC.node-accessor: valid while `n` is protected by the caller's guard\n\
            pub(crate) fn seeded_mid<K: Ord, V>(n: &Node<K, V>) -> *mut Node<K, V> {\n\
            // ord: Acquire — LIST.backlink-walk: delegated walk (wrapped load)\n\
            seeded_inner(n)\n\

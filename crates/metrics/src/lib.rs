@@ -182,6 +182,8 @@ struct Shard {
     backlink_traversals: AtomicU64,
     next_updates: AtomicU64,
     curr_updates: AtomicU64,
+    try_read_restarts: AtomicU64,
+    try_read_fallbacks: AtomicU64,
     ops: AtomicU64,
     /// Owner-only baselines from the previous [`op_end`], so per-op
     /// deltas need no counter reads at [`op_begin`]. Not counts — never
@@ -202,6 +204,8 @@ impl Shard {
             backlink_traversals: AtomicU64::new(0),
             next_updates: AtomicU64::new(0),
             curr_updates: AtomicU64::new(0),
+            try_read_restarts: AtomicU64::new(0),
+            try_read_fallbacks: AtomicU64::new(0),
             ops: AtomicU64::new(0),
             last_cas_fail: AtomicU64::new(0),
             last_backlink: AtomicU64::new(0),
@@ -287,6 +291,16 @@ fn fold_into_retired(shard: &Shard) {
         Ordering::Relaxed,
     );
     // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
+    GLOBAL.try_read_restarts.fetch_add(
+        shard.try_read_restarts.swap(0, Ordering::Relaxed),
+        Ordering::Relaxed,
+    );
+    // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
+    GLOBAL.try_read_fallbacks.fetch_add(
+        shard.try_read_fallbacks.swap(0, Ordering::Relaxed),
+        Ordering::Relaxed,
+    );
+    // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
     GLOBAL
         .ops
         .fetch_add(shard.ops.swap(0, Ordering::Relaxed), Ordering::Relaxed);
@@ -334,6 +348,8 @@ struct GlobalCounters {
     backlink_traversals: AtomicU64,
     next_updates: AtomicU64,
     curr_updates: AtomicU64,
+    try_read_restarts: AtomicU64,
+    try_read_fallbacks: AtomicU64,
     ops: AtomicU64,
 }
 
@@ -353,6 +369,8 @@ static GLOBAL: GlobalCounters = GlobalCounters {
     backlink_traversals: AtomicU64::new(0),
     next_updates: AtomicU64::new(0),
     curr_updates: AtomicU64::new(0),
+    try_read_restarts: AtomicU64::new(0),
+    try_read_fallbacks: AtomicU64::new(0),
     ops: AtomicU64::new(0),
 };
 
@@ -440,6 +458,21 @@ pub fn record_curr_update() {
     #[cfg(feature = "trace")]
     trace::emit(trace::EventKind::CurrUpdate);
     with_local(|l| Shard::bump(&l.curr_updates));
+}
+
+/// Record one pin-free `try_read` restart: a birth-stamp validation
+/// failed (torn or re-tenanted observation) and the optimistic read
+/// started over.
+#[inline]
+pub fn record_try_read_restart() {
+    with_local(|l| Shard::bump(&l.try_read_restarts));
+}
+
+/// Record one pin-free `try_read` giving up and falling back to the
+/// pinned read path (restart budget exhausted).
+#[inline]
+pub fn record_try_read_fallback() {
+    with_local(|l| Shard::bump(&l.try_read_fallbacks));
 }
 
 /// Record one completed dictionary operation (for per-op averages).
@@ -673,6 +706,10 @@ pub fn reset() {
         // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         shard.curr_updates.store(0, Ordering::Relaxed);
         // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
+        shard.try_read_restarts.store(0, Ordering::Relaxed);
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
+        shard.try_read_fallbacks.store(0, Ordering::Relaxed);
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         shard.ops.store(0, Ordering::Relaxed);
         // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         shard.last_cas_fail.store(0, Ordering::Relaxed);
@@ -704,6 +741,10 @@ pub fn reset() {
     // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
     GLOBAL.curr_updates.store(0, Ordering::Relaxed);
     // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
+    GLOBAL.try_read_restarts.store(0, Ordering::Relaxed);
+    // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
+    GLOBAL.try_read_fallbacks.store(0, Ordering::Relaxed);
+    // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
     GLOBAL.ops.store(0, Ordering::Relaxed);
 }
 
@@ -721,6 +762,10 @@ pub struct Snapshot {
     pub next_updates: u64,
     /// `curr_node` updates.
     pub curr_updates: u64,
+    /// Pin-free `try_read` restarts (failed birth-stamp validations).
+    pub try_read_restarts: u64,
+    /// Pin-free `try_read` ops that fell back to the pinned path.
+    pub try_read_fallbacks: u64,
     /// Completed operations.
     pub ops: u64,
 }
@@ -771,6 +816,8 @@ impl Sub for Snapshot {
             .wrapping_sub(rhs.backlink_traversals);
         out.next_updates = self.next_updates.wrapping_sub(rhs.next_updates);
         out.curr_updates = self.curr_updates.wrapping_sub(rhs.curr_updates);
+        out.try_read_restarts = self.try_read_restarts.wrapping_sub(rhs.try_read_restarts);
+        out.try_read_fallbacks = self.try_read_fallbacks.wrapping_sub(rhs.try_read_fallbacks);
         out.ops = self.ops.wrapping_sub(rhs.ops);
         out
     }
@@ -792,10 +839,15 @@ impl fmt::Display for Snapshot {
                 ty, self.cas_ok[ty as usize], self.cas_fail[ty as usize]
             )?;
         }
-        write!(
+        writeln!(
             f,
             "  backlinks={} next_updates={} curr_updates={}",
             self.backlink_traversals, self.next_updates, self.curr_updates
+        )?;
+        write!(
+            f,
+            "  try_read: restarts={} fallbacks={}",
+            self.try_read_restarts, self.try_read_fallbacks
         )
     }
 }
@@ -828,6 +880,10 @@ fn snapshot_locked(reg: &[Arc<Shard>]) -> Snapshot {
     // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
     s.curr_updates = GLOBAL.curr_updates.load(Ordering::Relaxed);
     // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
+    s.try_read_restarts = GLOBAL.try_read_restarts.load(Ordering::Relaxed);
+    // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
+    s.try_read_fallbacks = GLOBAL.try_read_fallbacks.load(Ordering::Relaxed);
+    // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
     s.ops = GLOBAL.ops.load(Ordering::Relaxed);
     for shard in reg {
         for i in 0..4 {
@@ -842,6 +898,10 @@ fn snapshot_locked(reg: &[Arc<Shard>]) -> Snapshot {
         s.next_updates += shard.next_updates.load(Ordering::Relaxed);
         // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         s.curr_updates += shard.curr_updates.load(Ordering::Relaxed);
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
+        s.try_read_restarts += shard.try_read_restarts.load(Ordering::Relaxed);
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
+        s.try_read_fallbacks += shard.try_read_fallbacks.load(Ordering::Relaxed);
         // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         s.ops += shard.ops.load(Ordering::Relaxed);
     }
@@ -1027,6 +1087,23 @@ mod tests {
         assert_eq!(delta.cas_failures(), 1);
         assert_eq!(delta.essential_steps(), 4 + 2 + 1 + 1);
         assert_eq!(delta.steps_per_op(), 8.0);
+    }
+
+    #[test]
+    fn try_read_counters_roundtrip() {
+        let _g = TEST_LOCK.lock().unwrap();
+        let before = snapshot();
+        record_try_read_restart();
+        record_try_read_restart();
+        record_try_read_restart();
+        record_try_read_fallback();
+        let delta = snapshot() - before;
+        assert_eq!(delta.try_read_restarts, 3);
+        assert_eq!(delta.try_read_fallbacks, 1);
+        // Restarts are not essential steps of the paper's cost model.
+        assert_eq!(delta.essential_steps(), 0);
+        let shown = delta.to_string();
+        assert!(shown.contains("try_read: restarts=3 fallbacks=1"), "{shown}");
     }
 
     #[test]

@@ -427,6 +427,8 @@ impl Reclaim for Ebr {
         // SAFETY: forwarded caller contract — object unreachable,
         // retired once.
         unsafe {
+            // unlink: UNLINK.backend-defer: backend shim — the caller's own
+            // `// unlink:` site vouches for the unlink CAS
             guard.inner.defer_unchecked(move || {
                 f();
                 gauge.record_free(1);

@@ -197,6 +197,8 @@ impl Collector {
         while !cur.is_null() {
             // SAFETY: slots are never freed while the collector lives;
             // the Acquire loads above published their initialization.
+            // validate: VAL.registry: registry slots are append-only and
+            // never freed while the collector lives — no re-check needed
             let slot = unsafe { &*cur };
             // Acquire on success: claiming the slot takes ownership of
             // its `bags` vector, so the previous owner's unsynchronized
@@ -286,6 +288,8 @@ impl CollectorInner {
         let mut cur = self.head.load(Ordering::Acquire);
         while !cur.is_null() {
             // SAFETY: slots are never freed while the collector lives.
+            // validate: VAL.registry: registry slots are append-only and
+            // never freed while the collector lives — no re-check needed
             let slot = unsafe { &*cur };
             if let Some(e) = slot.pinned_epoch() {
                 if e != epoch {

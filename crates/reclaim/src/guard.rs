@@ -36,6 +36,8 @@ impl<'a> Guard<'a> {
     /// (e.g. it was physically deleted from the list) and is retired at
     /// most once.
     pub unsafe fn defer_unchecked<F: FnOnce() + Send + 'static>(&self, f: F) {
+        // unlink: UNLINK.epoch-bag: primitive sink into the epoch bag — the
+        // `# Safety` contract forwards the unlink obligation to the caller
         self.handle.defer(Box::new(f));
     }
 
@@ -50,6 +52,8 @@ impl<'a> Guard<'a> {
         // SAFETY: the caller's contract — `ptr` came from
         // `Box::into_raw`, is unreachable, and is retired once.
         unsafe {
+            // unlink: UNLINK.epoch-bag: primitive sink — the `# Safety`
+            // contract forwards the unlink obligation to the caller
             self.defer_unchecked(move || drop(Box::from_raw(addr as *mut T)));
         }
     }

@@ -7,7 +7,15 @@
 //!                                     per-op phase well-formedness;
 //!                                     exit 1 on any violation
 //! lf-trace op <id> <dump.jsonl>       print one op's phase history
+//! lf-trace json-check <file.json>     parse a single JSON document with
+//!                                     the dump parser's JSON grammar;
+//!                                     exit 1 if it does not parse
 //! ```
+//!
+//! `json-check` exists for CI plumbing: other tools' machine reports
+//! (e.g. `lf-lint --json`) are round-tripped through the same
+//! dependency-free parser the dump reader uses, so a malformed emitter
+//! fails the build instead of a downstream consumer.
 
 use std::process::ExitCode;
 
@@ -17,6 +25,7 @@ fn usage() -> ExitCode {
     eprintln!("usage: lf-trace report <dump.jsonl>");
     eprintln!("       lf-trace check  <dump.jsonl>");
     eprintln!("       lf-trace op <id> <dump.jsonl>");
+    eprintln!("       lf-trace json-check <file.json>");
     ExitCode::from(2)
 }
 
@@ -91,6 +100,37 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("lf-trace: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("json-check") => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("lf-trace: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match lf_trace::json::parse(&text) {
+                Ok(v) => {
+                    let kind = match &v {
+                        lf_trace::json::Value::Obj(fields) => {
+                            format!("object with {} field(s)", fields.len())
+                        }
+                        lf_trace::json::Value::Arr(items) => {
+                            format!("array with {} element(s)", items.len())
+                        }
+                        _ => "scalar".to_string(),
+                    };
+                    println!("ok: {path} parses ({kind})");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("lf-trace: {path}: {e}");
                     ExitCode::FAILURE
                 }
             }

@@ -189,6 +189,8 @@ impl Reclaim for Vbr {
         // invalidate the bytes) and the slot memory is type-stable
         // pooled storage that stays allocated.
         unsafe {
+            // unlink: UNLINK.backend-defer: backend shim — the caller's own
+            // `// unlink:` site vouches for the unlink CAS
             guard.inner.defer_unchecked(move || {
                 f();
                 gauge.record_free(1);

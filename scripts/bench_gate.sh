@@ -38,6 +38,14 @@ trap 'rm -rf "$SCRATCH"' EXIT
 
 cargo build --release -p lf-bench --bin experiments
 
+# Smoke check (blocking): the lint auditor's machine report must
+# round-trip through lf-trace's dependency-free JSON parser — the same
+# grammar every downstream consumer of our artifacts uses. A malformed
+# emitter fails here, not in whatever tool reads the report next.
+echo "== bench gate: lf-lint --json round-trip =="
+cargo run --release -q -p lf-lint -- --json > "$SCRATCH/lint-report.json"
+cargo run --release -q -p lf-trace -- json-check "$SCRATCH/lint-report.json"
+
 GATED_EXPERIMENTS=(e4 e6 e7 e13)
 ADVISORY_EXPERIMENTS=(e14)
 # Experiments whose p99 op latency is flagged (warning only).
