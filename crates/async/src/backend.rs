@@ -12,8 +12,9 @@
 use std::hash::Hash;
 
 use lf_core::{FrList, SkipList};
+use lf_map::{BucketMap, BucketMapHandle};
 use lf_reclaim::{Publish, Reclaim};
-use lf_shard::{ShardedHandle, ShardedSkipList};
+use lf_shard::{ShardedHandle, ShardedMap, ShardedMapHandle, ShardedSkipList};
 
 use crate::op::{GetWithVisitor, Request, Response};
 
@@ -257,5 +258,140 @@ where
 
     fn flush_reclamation(&self) {
         ShardedHandle::flush_reclamation(self);
+    }
+}
+
+impl<K, V, R> AsyncBackend for BucketMap<K, V, R>
+where
+    K: Ord + Hash + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
+{
+    type Key = K;
+    type Value = V;
+    type Handle<'a>
+        = BucketMapHandle<'a, K, V, R>
+    where
+        Self: 'a;
+
+    fn handle(&self) -> Self::Handle<'_> {
+        BucketMap::handle(self)
+    }
+
+    fn len(&self) -> usize {
+        BucketMap::len(self)
+    }
+
+    /// Bucket affinity: every keyed request lands on the lane owning
+    /// its bucket (`bucket mod lanes`), so one worker serves each
+    /// bucket chain's CAS traffic. `Len` has no key and round-robins.
+    fn lane_for(&self, req: &Request<K, V>, lanes: usize) -> Option<usize> {
+        let key = match req {
+            Request::Get(k)
+            | Request::Contains(k)
+            | Request::Insert(k, _)
+            | Request::Remove(k)
+            | Request::GetWith(k, _) => k,
+            Request::Len => return None,
+        };
+        Some(self.bucket_of(key) % lanes)
+    }
+}
+
+impl<K, V, R> BackendHandle<K, V> for BucketMapHandle<'_, K, V, R>
+where
+    K: Ord + Hash + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
+{
+    fn apply(&self, req: Request<K, V>) -> Response<V> {
+        match req {
+            Request::Get(k) => Response::Value(self.get(&k)),
+            Request::Contains(k) => Response::Found(self.contains(&k)),
+            Request::Insert(k, v) => Response::Inserted(self.insert(k, v).is_ok()),
+            Request::Remove(k) => Response::Removed(self.remove(&k)),
+            Request::GetWith(k, f) => Response::Visited(run_get_with(f, |g| self.get_with(&k, g))),
+            Request::Len => Response::Len(self.len()),
+        }
+    }
+
+    fn amortize_pins(&self, every: u32) {
+        BucketMapHandle::amortize_pins(self, every);
+    }
+
+    fn quiesce(&self) {
+        BucketMapHandle::quiesce(self);
+    }
+
+    fn flush_reclamation(&self) {
+        BucketMapHandle::flush_reclamation(self);
+    }
+}
+
+impl<K, V, R> AsyncBackend for ShardedMap<K, V, R>
+where
+    K: Ord + Hash + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
+{
+    type Key = K;
+    type Value = V;
+    type Handle<'a>
+        = ShardedMapHandle<'a, K, V, R>
+    where
+        Self: 'a;
+
+    fn handle(&self) -> Self::Handle<'_> {
+        ShardedMap::handle(self)
+    }
+
+    fn len(&self) -> usize {
+        ShardedMap::len(self)
+    }
+
+    /// Shard affinity, as for
+    /// [`ShardedSkipList`](ShardedSkipList::lane_for): one lane's
+    /// worker owns each map shard's traffic (and with it that shard's
+    /// whole reclamation domain).
+    fn lane_for(&self, req: &Request<K, V>, lanes: usize) -> Option<usize> {
+        let key = match req {
+            Request::Get(k)
+            | Request::Contains(k)
+            | Request::Insert(k, _)
+            | Request::Remove(k)
+            | Request::GetWith(k, _) => k,
+            Request::Len => return None,
+        };
+        Some(self.shard_of(key) % lanes)
+    }
+}
+
+impl<K, V, R> BackendHandle<K, V> for ShardedMapHandle<'_, K, V, R>
+where
+    K: Ord + Hash + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
+{
+    fn apply(&self, req: Request<K, V>) -> Response<V> {
+        match req {
+            Request::Get(k) => Response::Value(self.get(&k)),
+            Request::Contains(k) => Response::Found(self.contains(&k)),
+            Request::Insert(k, v) => Response::Inserted(self.insert(k, v).is_ok()),
+            Request::Remove(k) => Response::Removed(self.remove(&k)),
+            Request::GetWith(k, f) => Response::Visited(run_get_with(f, |g| self.get_with(&k, g))),
+            Request::Len => Response::Len(self.len()),
+        }
+    }
+
+    fn amortize_pins(&self, every: u32) {
+        ShardedMapHandle::amortize_pins(self, every);
+    }
+
+    fn quiesce(&self) {
+        ShardedMapHandle::quiesce(self);
+    }
+
+    fn flush_reclamation(&self) {
+        ShardedMapHandle::flush_reclamation(self);
     }
 }

@@ -57,6 +57,7 @@ pub use backend::{AsyncBackend, BackendHandle};
 pub use metrics::{ServiceMetrics, ServiceSnapshot};
 pub use op::{Error, GetWithVisitor, Request, Response};
 pub use service::{
-    install_stall_hook, AsyncList, AsyncShardedMap, AsyncSkipList, BackpressurePolicy,
-    GetWithFuture, OpFuture, Service, ServiceBuilder, ShardedBuilder,
+    install_stall_hook, AsyncHashMap, AsyncList, AsyncShardedMap, AsyncSkipList,
+    BackpressurePolicy, GetWithFuture, HashMapBuilder, OpFuture, Service, ServiceBuilder,
+    ShardedBuilder,
 };

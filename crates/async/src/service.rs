@@ -24,6 +24,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use lf_core::{FrList, SkipList};
+use lf_map::BucketMap;
 use lf_shard::ShardedSkipList;
 use lf_tagged::Backoff;
 
@@ -571,6 +572,94 @@ impl ShardedBuilder {
     }
 }
 
+/// Builder for a service over an `lf-map` [`BucketMap`] — the hash-map
+/// serving tier behind the submission rings.
+///
+/// The backend routes every keyed request to the lane owning its
+/// bucket (`bucket mod lanes`), so one worker serves each bucket
+/// chain's CAS traffic; with the default bucket count (well above any
+/// sane lane count) every lane owns an even slice of the buckets. All
+/// [`ServiceBuilder`] knobs (backpressure policy, watchdog, flight
+/// recorder) apply unchanged, and OpId phase events flow through
+/// exactly as for the list and skip-list services.
+///
+/// ```
+/// use lf_async::HashMapBuilder;
+///
+/// let service = HashMapBuilder::new()
+///     .workers(2)
+///     .buckets(32)
+///     .build::<u64, u64>();
+/// assert_eq!(service.backend().bucket_count(), 32);
+/// service.shutdown();
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct HashMapBuilder {
+    base: ServiceBuilder,
+    buckets: Option<usize>,
+}
+
+impl HashMapBuilder {
+    /// Defaults: [`ServiceBuilder`]'s, with
+    /// [`DEFAULT_BUCKETS`](lf_map::DEFAULT_BUCKETS) buckets.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of lane workers (≥ 1). One submission lane per worker.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.base = self.base.workers(n);
+        self
+    }
+
+    /// Per-lane queue capacity (rounded up to a power of two, ≥ 2).
+    pub fn queue_capacity(mut self, cap: usize) -> Self {
+        self.base = self.base.queue_capacity(cap);
+        self
+    }
+
+    /// Maximum requests a worker executes per drained batch (≥ 1).
+    pub fn batch_max(mut self, n: usize) -> Self {
+        self.base = self.base.batch_max(n);
+        self
+    }
+
+    /// What submissions do when a lane is full.
+    pub fn policy(mut self, p: BackpressurePolicy) -> Self {
+        self.base = self.base.policy(p);
+        self
+    }
+
+    /// Enable the stall watchdog; see [`ServiceBuilder::watchdog`].
+    pub fn watchdog(mut self, deadline: Duration) -> Self {
+        self.base = self.base.watchdog(deadline);
+        self
+    }
+
+    /// Flight-recorder dump path; see [`ServiceBuilder::watchdog_dump`].
+    pub fn watchdog_dump(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.base = self.base.watchdog_dump(path);
+        self
+    }
+
+    /// Bucket count (rounded up to a power of two, ≥ 1). Defaults to
+    /// [`DEFAULT_BUCKETS`](lf_map::DEFAULT_BUCKETS).
+    pub fn buckets(mut self, n: usize) -> Self {
+        self.buckets = Some(n.max(1).next_power_of_two());
+        self
+    }
+
+    /// Build the hash-map service and start its workers.
+    pub fn build<K, V>(self) -> AsyncHashMap<K, V>
+    where
+        K: Ord + std::hash::Hash + Clone + Send + Sync + 'static,
+        V: Clone + Send + Sync + 'static,
+    {
+        let buckets = self.buckets.unwrap_or(lf_map::DEFAULT_BUCKETS);
+        self.base.build(BucketMap::new(buckets))
+    }
+}
+
 /// An async serving façade over one lock-free structure.
 ///
 /// Operations return [`OpFuture`]s that are `Send` (tasks may migrate
@@ -594,6 +683,11 @@ pub type AsyncSkipList<K, V, R = lf_reclaim::Ebr> = Service<SkipList<K, V, R>>;
 /// A [`Service`] over a [`ShardedSkipList`], lanes affine to shards;
 /// built by [`ShardedBuilder`] (backend-generic like [`AsyncList`]).
 pub type AsyncShardedMap<K, V, R = lf_reclaim::Ebr> = Service<ShardedSkipList<K, V, R>>;
+/// A [`Service`] over an `lf-map` [`BucketMap`], lanes affine to
+/// buckets; built by [`HashMapBuilder`] (backend-generic like
+/// [`AsyncList`] — construct non-default backends with
+/// [`ServiceBuilder::build`] over a pre-built map).
+pub type AsyncHashMap<K, V, R = lf_reclaim::Ebr> = Service<BucketMap<K, V, R>>;
 
 impl<B: AsyncBackend> Service<B> {
     /// Look up `key` (clone of the value).

@@ -15,7 +15,8 @@ use std::sync::atomic::{AtomicIsize, Ordering};
 use std::task::{Context, Poll};
 
 use lf_async::{
-    AsyncList, AsyncShardedMap, BackpressurePolicy, Response, ServiceBuilder, ShardedBuilder,
+    AsyncHashMap, AsyncList, AsyncShardedMap, BackpressurePolicy, HashMapBuilder, Response,
+    ServiceBuilder, ShardedBuilder,
 };
 use lf_sched::rt;
 
@@ -261,6 +262,91 @@ fn sharded_dropped_futures_leak_nothing() {
         // through their shard handles).
         let snap = service.backend().snapshot();
         assert!(snap.merged().ops > 0, "per-shard stats not recording");
+    }
+    assert_eq!(LIVE.load(Ordering::SeqCst), 0, "leaked Counted values");
+}
+
+/// The hash-map service upholds the same structural invariant as the
+/// list/skip-list/sharded services: `Send` futures, no captured guard
+/// or handle.
+#[test]
+fn hash_map_futures_are_send() {
+    fn assert_send<T: Send>(_: &T) {}
+    let service: AsyncHashMap<u64, String> = HashMapBuilder::new().workers(2).buckets(16).build();
+    let fut = service.get(1);
+    assert_send(&fut);
+    let gw = service.get_with(1, |v: &String| v.len());
+    assert_send(&gw);
+    assert_send(&service.insert(2, "x".into()));
+    drop(fut);
+    drop(gw);
+    service.shutdown();
+}
+
+/// Drop-count audit over the hash-map async path, mirroring the
+/// sharded one: point ops, zero-copy `get_with`, futures dropped
+/// unpolled and mid-flight. Bucket siblings share one reclamation
+/// domain and one node pool, so a leak on *any* bucket's retire path
+/// (or a block stranded in the shared pool holding a payload) shows up
+/// once the service is dropped.
+#[test]
+fn hash_map_dropped_futures_leak_nothing() {
+    static LIVE: AtomicIsize = AtomicIsize::new(0);
+    let keys: u64 = if cfg!(miri) { 16 } else { 200 };
+    {
+        let service: AsyncHashMap<u64, Counted> = HashMapBuilder::new()
+            .workers(2)
+            .buckets(16)
+            .queue_capacity(64)
+            .batch_max(8)
+            .policy(BackpressurePolicy::Block)
+            .build();
+
+        rt::block_on(async {
+            for k in 0..keys {
+                assert_eq!(
+                    service.insert(k, Counted::new(k, &LIVE)).await,
+                    Ok(Response::Inserted(true))
+                );
+            }
+            // Zero-copy reads hand out no clone at all.
+            let before = LIVE.load(Ordering::SeqCst);
+            for k in 0..keys {
+                let got = service.get_with(k, |v: &Counted| v.0).await.unwrap();
+                assert_eq!(got, Some(k));
+            }
+            assert_eq!(
+                LIVE.load(Ordering::SeqCst),
+                before,
+                "get_with must not clone values"
+            );
+            for k in 0..keys / 2 {
+                let gone = service.remove(k).await.unwrap().into_value();
+                assert_eq!(gone, Some(Counted::new(k, &LIVE)));
+            }
+        });
+
+        // Futures dropped unpolled, then dropped mid-flight.
+        for k in 0..keys {
+            drop(service.insert(1_000_000 + k, Counted::new(k, &LIVE)));
+            drop(service.get_with(k, |v: &Counted| v.0));
+        }
+        for k in 0..keys {
+            let mut f = service.insert(2_000_000 + k, Counted::new(k, &LIVE));
+            let _ = poll_once(&mut f);
+            drop(f);
+            let mut g = service.get_with(2_000_000 + k, |v: &Counted| v.0);
+            let _ = poll_once(&mut g);
+            drop(g);
+        }
+
+        service.shutdown();
+        let m = service.metrics();
+        assert_eq!(m.enqueued, m.completed + m.shed + m.shutdown_dropped);
+        assert_eq!(m.rejected, 0);
+        // Per-bucket attribution saw the routed ops.
+        let snap = service.backend().snapshot();
+        assert!(snap.merged().ops > 0, "per-bucket stats not recording");
     }
     assert_eq!(LIVE.load(Ordering::SeqCst), 0, "leaked Counted values");
 }

@@ -44,7 +44,7 @@ pub(crate) mod pool;
 pub mod pq;
 pub mod skiplist;
 
-pub use list::{FrList, Iter, ListHandle, ListSet, SetHandle};
+pub use list::{ChainIter, FrList, Iter, ListHandle, ListSet, SetHandle};
 pub use pq::{PqHandle, PriorityQueue};
 pub use skiplist::{
     merged_range, RangeIter, SkipIter, SkipList, SkipListHandle, SkipSet, SkipSetHandle,

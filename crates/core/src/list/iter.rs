@@ -4,7 +4,7 @@ use std::fmt;
 
 use lf_reclaim::{Ebr, Publish, Reclaim};
 
-use super::{Bound, ListHandle, Node};
+use super::{Bound, FrList, ListHandle, Node};
 
 /// Iterator over a weakly-consistent snapshot of an
 /// [`FrList`](super::FrList), produced by [`ListHandle::iter`].
@@ -61,6 +61,109 @@ where
                 self.curr = next;
                 match &(*self.curr).key {
                     Bound::PosInf => return None,
+                    Bound::NegInf => unreachable!("head is never a successor"),
+                    Bound::Key(k) => {
+                        if !(*self.curr).is_marked() {
+                            let v = (*self.curr).element.clone().expect("user node has element");
+                            return Some((k.clone(), v));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Iterator over a *chain* of sibling lists (the buckets of a
+/// composite structure such as `lf-map`), produced by
+/// [`ListHandle::iter_chain`]. Yields each list's pairs in key order,
+/// lists in the order given; across lists the result is unordered.
+///
+/// Holds **one** pin for its whole lifetime — a single iterator-scoped
+/// guard amortized over every bucket, rather than one pin per bucket.
+/// The snapshot is weakly consistent per bucket and makes no
+/// cross-bucket atomicity claim: an element moving between buckets
+/// (delete + reinsert) may be seen twice or not at all. Drop it
+/// promptly; the pin delays reclamation for the whole shared domain.
+pub struct ChainIter<'h, 'l, K, V, R: Reclaim = Ebr> {
+    _handle: &'h ListHandle<'l, K, V, R>,
+    _guard: R::Guard<'h>,
+    lists: Vec<&'l FrList<K, V, R>>,
+    idx: usize,
+    curr: *mut Node<K, V, R>,
+}
+
+impl<K, V, R: Reclaim> fmt::Debug for ChainIter<'_, '_, K, V, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("list::ChainIter")
+    }
+}
+
+impl<'h, 'l, K, V, R> ChainIter<'h, 'l, K, V, R>
+where
+    K: Ord + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
+{
+    pub(crate) fn new(
+        handle: &'h ListHandle<'l, K, V, R>,
+        lists: Vec<&'l FrList<K, V, R>>,
+    ) -> Self {
+        for list in &lists {
+            assert!(
+                handle.list.shares_domain_with(list),
+                "chain iteration over a list from a foreign reclamation domain"
+            );
+        }
+        let guard = R::pin(&handle.reclaim);
+        let curr = lists.first().map_or(std::ptr::null_mut(), |l| l.head);
+        ChainIter {
+            _handle: handle,
+            _guard: guard,
+            lists,
+            idx: 0,
+            curr,
+        }
+    }
+}
+
+impl<K, V, R> Iterator for ChainIter<'_, '_, K, V, R>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    R: Reclaim + Publish<K> + Publish<V>,
+{
+    type Item = (K, V);
+
+    fn next(&mut self) -> Option<(K, V)> {
+        // SAFETY: `curr` is a head sentinel or a node reached through
+        // successor pointers while pinned; the single guard covers the
+        // shared domain, so it protects every sibling's nodes alike.
+        unsafe {
+            loop {
+                if self.curr.is_null() {
+                    return None;
+                }
+                let next = (*self.curr).right();
+                let at_end = next.is_null() || matches!((*next).key, Bound::PosInf);
+                if at_end {
+                    // This list is exhausted; hop to the next sibling's
+                    // head under the same guard.
+                    self.idx += 1;
+                    match self.lists.get(self.idx) {
+                        Some(list) => {
+                            self.curr = list.head;
+                            continue;
+                        }
+                        None => {
+                            self.curr = std::ptr::null_mut();
+                            return None;
+                        }
+                    }
+                }
+                self.curr = next;
+                match &(*self.curr).key {
+                    Bound::PosInf => unreachable!("handled as at_end above"),
                     Bound::NegInf => unreachable!("head is never a successor"),
                     Bound::Key(k) => {
                         if !(*self.curr).is_marked() {

@@ -36,8 +36,9 @@ mod node;
 mod read;
 mod search;
 mod set;
+mod sibling;
 
-pub use iter::Iter;
+pub use iter::{ChainIter, Iter};
 pub(crate) use node::{Bound, Node};
 pub(crate) use search::key_before as search_key_before;
 pub use set::{ListSet, SetHandle};
@@ -178,6 +179,40 @@ where
             pool: SharedPool::new(),
             len: CachePadded::new(AtomicUsize::new(0)),
         }
+    }
+
+    /// Create an empty list sharing this list's reclamation domain
+    /// **and** its node pool — the bucket constructor for composite
+    /// structures (`lf-map`'s bucket array): one registration and one
+    /// guard cover every sibling, and freed blocks recycle through a
+    /// single shared store instead of per-bucket pools.
+    ///
+    /// Unlike [`with_domain`](Self::with_domain), pool sharing means a
+    /// block retired from one sibling can be re-tenanted in another;
+    /// pin-free readers stay sound because birth-stamp validation
+    /// rejects a re-tenanted block no matter which sibling's chain it
+    /// resurfaces on (the sentinels are never pooled). The sibling
+    /// operations on [`ListHandle`] (`insert_in` and friends) accept
+    /// any list created by `new_sibling` from the same family.
+    pub fn new_sibling(&self) -> Self {
+        let tail = Node::alloc(Bound::PosInf, None, std::ptr::null_mut());
+        let head = Node::alloc(Bound::NegInf, None, tail);
+        FrList {
+            head,
+            tail,
+            domain: self.domain.clone(),
+            pool: Arc::clone(&self.pool),
+            len: CachePadded::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Whether `self` and `other` retire into the same reclamation
+    /// domain — true when one was created as a
+    /// [`new_sibling`](Self::new_sibling) of the other (or both share
+    /// an ancestor), or via [`with_domain`](Self::with_domain) with the
+    /// same domain.
+    pub fn shares_domain_with(&self, other: &Self) -> bool {
+        R::domain_eq(&self.domain, &other.domain)
     }
 
     /// Register the calling thread and return an operation handle.
@@ -431,6 +466,27 @@ where
         V: Clone,
     {
         Iter::new(self)
+    }
+
+    /// Iterate over a chain of sibling lists (see
+    /// [`FrList::new_sibling`]) under **one** pin — the bucket
+    /// iteration of a composite structure such as `lf-map`. Each list
+    /// is walked in key order, lists in the order given; the overall
+    /// sequence is unordered and makes no cross-list atomicity claim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any list does not share this handle's reclamation
+    /// domain.
+    pub fn iter_chain(
+        &self,
+        lists: impl IntoIterator<Item = &'l FrList<K, V, R>>,
+    ) -> ChainIter<'_, 'l, K, V, R>
+    where
+        K: Clone,
+        V: Clone,
+    {
+        ChainIter::new(self, lists.into_iter().collect())
     }
 
     /// The smallest key and its value, if any (weakly consistent).

@@ -546,7 +546,7 @@ where
     ///
     /// If `key` is already present, returns `Err((key, value))`.
     pub fn insert(&self, key: K, value: V) -> Result<(), (K, V)> {
-        let op = lf_metrics::op_begin();
+        let op = lf_metrics::op_begin_for(lf_metrics::Structure::SkipList);
         let guard = R::pin(&self.reclaim);
         // SAFETY: the guard pins this list's domain.
         let res = unsafe { self.list.insert_impl(key, value, &self.pool, &guard) };
@@ -561,7 +561,7 @@ where
     where
         V: Clone,
     {
-        let op = lf_metrics::op_begin();
+        let op = lf_metrics::op_begin_for(lf_metrics::Structure::SkipList);
         let guard = R::pin(&self.reclaim);
         // SAFETY: the guard pins this list's domain.
         let res = unsafe { self.list.delete_impl(key, &guard) };
@@ -575,7 +575,7 @@ where
     where
         V: Clone,
     {
-        let op = lf_metrics::op_begin();
+        let op = lf_metrics::op_begin_for(lf_metrics::Structure::SkipList);
         let guard = R::pin(&self.reclaim);
         // SAFETY: the guard pins this list's domain; the returned
         // root stays valid while the guard lives.
@@ -610,7 +610,7 @@ where
     /// assert_eq!(h.get_with(&2, |v| v.len()), None);
     /// ```
     pub fn get_with<T>(&self, key: &K, f: impl FnOnce(&V) -> T) -> Option<T> {
-        let op = lf_metrics::op_begin();
+        let op = lf_metrics::op_begin_for(lf_metrics::Structure::SkipList);
         let guard = R::pin(&self.reclaim);
         // SAFETY: the guard pins this list's domain; the root (and
         // the borrow of its element handed to `f`) stays valid while
@@ -628,7 +628,7 @@ where
 
     /// Whether `key` is present.
     pub fn contains(&self, key: &K) -> bool {
-        let op = lf_metrics::op_begin();
+        let op = lf_metrics::op_begin_for(lf_metrics::Structure::SkipList);
         let guard = R::pin(&self.reclaim);
         // SAFETY: the guard pins this list's domain.
         // ord: Release/Acquire/Relaxed — LIST.flag-cas: search helps flagged deletions (wrapped C&S)

@@ -46,7 +46,7 @@ where
         if !R::PIN_FREE_READS {
             return self.get(key);
         }
-        let op = lf_metrics::op_begin();
+        let op = lf_metrics::op_begin_for(lf_metrics::Structure::SkipList);
         for _ in 0..READ_ATTEMPTS {
             match self.list.read_impl(key) {
                 Ok(res) => {

@@ -183,7 +183,7 @@ where
             "merged_range requires sibling lists sharing one reclamation domain"
         );
     }
-    let op = lf_metrics::op_begin();
+    let op = lf_metrics::op_begin_for(lf_metrics::Structure::SkipList);
     // One pin covers every sibling: their nodes are retired into the
     // shared domain, so this guard protects all traversals below.
     let guard = R::pin(&first.reclaim);

@@ -227,8 +227,16 @@ impl<'a> Scanner<'a> {
                     TokenKind::Ident(s)
                         if matches!(
                             s.as_str(),
-                            "pub" | "crate" | "super" | "self" | "in" | "const" | "async"
-                                | "extern" | "unsafe" | "default"
+                            "pub"
+                                | "crate"
+                                | "super"
+                                | "self"
+                                | "in"
+                                | "const"
+                                | "async"
+                                | "extern"
+                                | "unsafe"
+                                | "default"
                         ) =>
                     {
                         if s == "unsafe" {
@@ -470,7 +478,10 @@ impl<'a> Scanner<'a> {
             }
             if let Some(id) = self.ident_at(u) {
                 if !matches!(id, "mut" | "ref")
-                    && id.chars().next().is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+                    && id
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_ascii_lowercase() || c == '_')
                 {
                     out.push(id.to_string());
                 }
@@ -493,20 +504,17 @@ impl<'a> Scanner<'a> {
         let mut needs: Vec<(usize, usize, SmrKind, &'static str, String)> = Vec::new();
         let mut escapes_fn_level = false;
 
-        let live_guard =
-            |guards: &[GuardBind], t: usize| -> Option<usize> {
-                guards
-                    .iter()
-                    .enumerate()
-                    .rev()
-                    .find(|(_, g)| {
-                        g.param
-                            || (g.decl_tok < t
-                                && t <= g.scope_end
-                                && g.drop_tok.is_none_or(|d| d > t))
-                    })
-                    .map(|(i, _)| i)
-            };
+        let live_guard = |guards: &[GuardBind], t: usize| -> Option<usize> {
+            guards
+                .iter()
+                .enumerate()
+                .rev()
+                .find(|(_, g)| {
+                    g.param
+                        || (g.decl_tok < t && t <= g.scope_end && g.drop_tok.is_none_or(|d| d > t))
+                })
+                .map(|(i, _)| i)
+        };
 
         let mut t = f.body_open + 1;
         while t < f.body_close {
@@ -646,8 +654,8 @@ impl<'a> Scanner<'a> {
                             let line = self.toks[t].line;
                             match bind.guard.and_then(|gi| guards.get(gi)) {
                                 Some(g) if !g.param => {
-                                    let out_of_scope = t > g.scope_end
-                                        || g.drop_tok.is_some_and(|d| d < t);
+                                    let out_of_scope =
+                                        t > g.scope_end || g.drop_tok.is_some_and(|d| d < t);
                                     if out_of_scope {
                                         self.out.smr.violations.push(SmrViolation {
                                             line,

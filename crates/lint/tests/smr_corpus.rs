@@ -84,9 +84,10 @@ fn corpus_escaping_return_without_annotation() {
          }\n",
     );
     assert!(
-        audit.findings.iter().any(|f| f.check == "smr-escape"
-            && f.file == HOST
-            && f.message.contains("`leak`")),
+        audit
+            .findings
+            .iter()
+            .any(|f| f.check == "smr-escape" && f.file == HOST && f.message.contains("`leak`")),
         "unannotated pointer-returning escape must be found, got: {:#?}",
         audit.findings
     );

@@ -1,0 +1,140 @@
+//! Per-bucket telemetry: operation counts plus hop / CAS-retry
+//! histograms, attributed by differencing the thread's `lf-metrics`
+//! step counters around each routed operation — the same re-bucketing
+//! `lf-shard` does per shard, here per bucket.
+//!
+//! Occupancy is the statistic that matters most for a hash map: a
+//! bucket's expected search cost is linear in its chain length, so
+//! [`BucketMapSnapshot::max_occupancy_share`] is the direct health
+//! check for the hash spreading the keys.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lf_metrics::{AtomicHistogram, Histogram, LocalSteps};
+
+/// One bucket's shared statistics cell. Multi-writer (every handle
+/// that routes an op to the bucket records here), hence `fetch_add`
+/// and the multi-writer [`AtomicHistogram::record`] path.
+pub(crate) struct BucketStats {
+    ops: AtomicU64,
+    hops: AtomicHistogram,
+    cas_retries: AtomicHistogram,
+}
+
+impl BucketStats {
+    pub(crate) fn new() -> Self {
+        BucketStats {
+            ops: AtomicU64::new(0),
+            hops: AtomicHistogram::new(),
+            cas_retries: AtomicHistogram::new(),
+        }
+    }
+
+    /// Credit one routed operation's step delta to this bucket.
+    #[inline]
+    pub(crate) fn record(&self, delta: LocalSteps) {
+        // ord: Relaxed — SHARD.stat: per-shard statistic counter, snapshots racy-fresh
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        self.hops.record(delta.curr_updates);
+        self.cas_retries.record(delta.cas_failures);
+    }
+
+    pub(crate) fn snapshot(&self, occupancy: usize) -> BucketSnapshot {
+        BucketSnapshot {
+            // ord: Relaxed — SHARD.stat: per-shard statistic counter, snapshots racy-fresh
+            ops: self.ops.load(Ordering::Relaxed),
+            occupancy,
+            hops: self.hops.load(),
+            cas_retries: self.cas_retries.load(),
+        }
+    }
+}
+
+/// Point-in-time statistics of one bucket (or, merged, of the whole
+/// map): racy-fresh while writers run, exact once they are joined.
+#[derive(Clone)]
+pub struct BucketSnapshot {
+    /// Operations routed to this bucket since creation.
+    pub ops: u64,
+    /// Keys resident in the bucket when the snapshot was taken.
+    pub occupancy: usize,
+    /// Search hops (`curr` advances) per routed operation.
+    pub hops: Histogram,
+    /// Failed C&S attempts per routed operation.
+    pub cas_retries: Histogram,
+}
+
+impl fmt::Debug for BucketSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BucketSnapshot")
+            .field("ops", &self.ops)
+            .field("occupancy", &self.occupancy)
+            .field("hops_p50", &self.hops.p50())
+            .field("cas_retries_p99", &self.cas_retries.p99())
+            .finish()
+    }
+}
+
+/// Statistics of every bucket of a [`BucketMap`](crate::BucketMap),
+/// one entry per bucket in index order.
+#[derive(Clone, Debug)]
+pub struct BucketMapSnapshot {
+    /// Per-bucket snapshots, indexed by bucket.
+    pub per_bucket: Vec<BucketSnapshot>,
+}
+
+impl BucketMapSnapshot {
+    /// Fold all buckets into one map-wide snapshot: counts and
+    /// occupancies sum, histograms merge.
+    #[must_use]
+    pub fn merged(&self) -> BucketSnapshot {
+        let mut ops = 0u64;
+        let mut occupancy = 0usize;
+        let mut hops = Histogram::new();
+        let mut cas_retries = Histogram::new();
+        for s in &self.per_bucket {
+            ops += s.ops;
+            occupancy += s.occupancy;
+            hops.merge(&s.hops);
+            cas_retries.merge(&s.cas_retries);
+        }
+        BucketSnapshot {
+            ops,
+            occupancy,
+            hops,
+            cas_retries,
+        }
+    }
+
+    /// Largest per-bucket share of total resident keys, in
+    /// `[1/B, 1.0]` — the chain-length balance check (1/B is perfectly
+    /// even; a share near 1.0 means one chain holds most of the map
+    /// and point ops have degraded toward the single-list cost).
+    #[must_use]
+    pub fn max_occupancy_share(&self) -> f64 {
+        let total: usize = self.per_bucket.iter().map(|s| s.occupancy).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let max = self
+            .per_bucket
+            .iter()
+            .map(|s| s.occupancy)
+            .max()
+            .unwrap_or(0);
+        max as f64 / total as f64
+    }
+
+    /// Largest per-bucket share of total routed ops, in `[1/B, 1.0]`
+    /// — the contention balance check.
+    #[must_use]
+    pub fn max_ops_share(&self) -> f64 {
+        let total: u64 = self.per_bucket.iter().map(|s| s.ops).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let max = self.per_bucket.iter().map(|s| s.ops).max().unwrap_or(0);
+        max as f64 / total as f64
+    }
+}

@@ -17,7 +17,7 @@ use std::fs::OpenOptions;
 use std::io::{self, Write as _};
 use std::path::Path;
 
-use crate::{CasType, Histogram, Metric, Telemetry};
+use crate::{CasType, Histogram, Metric, Structure, Telemetry};
 
 /// Escape `s` for inclusion inside a JSON string literal.
 pub fn json_escape(s: &str) -> String {
@@ -152,6 +152,15 @@ pub fn telemetry_json(t: &Telemetry) -> String {
     for m in Metric::ALL {
         obj = obj.field_raw(m.label(), &histogram_json(t.histogram(m)));
     }
+    let mut structures = JsonObj::new();
+    for s in Structure::ALL {
+        let entry = JsonObj::new()
+            .field_u64("ops", c.ops_for(s))
+            .field_raw("op_latency_ns", &histogram_json(t.structure_latency_ns(s)))
+            .finish();
+        structures = structures.field_raw(s.label(), &entry);
+    }
+    obj = obj.field_raw("structures", &structures.finish());
     obj.finish()
 }
 
@@ -204,10 +213,57 @@ pub fn telemetry_prometheus(t: &Telemetry) -> String {
         let _ = writeln!(out, "# TYPE {name} counter");
         let _ = writeln!(out, "{name} {v}");
     }
+    let _ = writeln!(
+        out,
+        "# HELP lf_structure_ops_total Completed operations by dictionary structure"
+    );
+    let _ = writeln!(out, "# TYPE lf_structure_ops_total counter");
+    for s in Structure::ALL {
+        let _ = writeln!(
+            out,
+            "lf_structure_ops_total{{structure=\"{}\"}} {}",
+            s.label(),
+            c.ops_for(s)
+        );
+    }
     for m in Metric::ALL {
         let name = format!("lf_{}", m.label());
         let help = format!("Per-operation {} distribution", m.label());
         histogram_prometheus(&mut out, &name, &help, t.histogram(m));
+    }
+    // Per-structure latency summaries carry the structure as a label so
+    // a map and a skip list in one process scrape as distinct series.
+    let _ = writeln!(
+        out,
+        "# HELP lf_structure_op_latency_ns Per-operation latency by dictionary structure"
+    );
+    let _ = writeln!(out, "# TYPE lf_structure_op_latency_ns summary");
+    for s in Structure::ALL {
+        let h = t.structure_latency_ns(s);
+        for (q, v) in [
+            ("0.5", h.p50()),
+            ("0.9", h.p90()),
+            ("0.99", h.p99()),
+            ("0.999", h.p999()),
+        ] {
+            let _ = writeln!(
+                out,
+                "lf_structure_op_latency_ns{{structure=\"{}\",quantile=\"{q}\"}} {v}",
+                s.label()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "lf_structure_op_latency_ns_sum{{structure=\"{}\"}} {}",
+            s.label(),
+            h.sum()
+        );
+        let _ = writeln!(
+            out,
+            "lf_structure_op_latency_ns_count{{structure=\"{}\"}} {}",
+            s.label(),
+            h.count()
+        );
     }
     out
 }
@@ -300,6 +356,20 @@ mod tests {
         }
         assert!(p.contains("# TYPE lf_ops_total counter"));
         assert!(p.contains("lf_op_latency_ns{quantile=\"0.99\"}"));
+        for s in Structure::ALL {
+            assert!(
+                j.contains(&format!("\"{}\":{{\"ops\":", s.label())),
+                "json missing structure {s}: {j}"
+            );
+            assert!(p.contains(&format!(
+                "lf_structure_ops_total{{structure=\"{}\"}}",
+                s.label()
+            )));
+            assert!(p.contains(&format!(
+                "lf_structure_op_latency_ns{{structure=\"{}\",quantile=\"0.99\"}}",
+                s.label()
+            )));
+        }
     }
 
     #[test]

@@ -161,6 +161,48 @@ impl fmt::Display for Metric {
     }
 }
 
+/// Which dictionary structure an operation ran against.
+///
+/// Mixed deployments (a bucketed hash map and a skip-list map sharing
+/// one process) record into the same global telemetry; the structure
+/// label keeps their op counts and latency distributions from aliasing.
+/// [`op_begin`] is the structure-blind legacy entry point and credits
+/// [`Structure::List`]; structures that know better call
+/// [`op_begin_for`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Structure {
+    /// The FR linked list (also the default for `op_begin`).
+    List = 0,
+    /// The FR skip list (including its `lf-shard` composition).
+    SkipList = 1,
+    /// The bucketed hash map (`lf-map`).
+    Map = 2,
+}
+
+impl Structure {
+    /// All structures, in discriminant order.
+    pub const ALL: [Structure; 3] = [Structure::List, Structure::SkipList, Structure::Map];
+
+    /// Snake-case label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            Structure::List => "list",
+            Structure::SkipList => "skiplist",
+            Structure::Map => "map",
+        }
+    }
+}
+
+impl fmt::Display for Structure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Histogram slots per shard: one per [`Metric`] (aggregate), then one
+/// latency histogram per [`Structure`] (indexed `4 + structure`).
+const HIST_SLOTS: usize = Metric::ALL.len() + Structure::ALL.len();
+
 /// One thread's counter shard.
 ///
 /// The owning thread is the only writer and bumps each counter with a
@@ -185,15 +227,20 @@ struct Shard {
     try_read_restarts: AtomicU64,
     try_read_fallbacks: AtomicU64,
     ops: AtomicU64,
+    /// Completed operations attributed per [`Structure`] by
+    /// [`op_begin_for`]. Bare [`record_op`] calls are structure-blind,
+    /// so the per-structure counts sum to at most `ops`.
+    ops_by: [AtomicU64; 3],
     /// Owner-only baselines from the previous [`op_end`], so per-op
     /// deltas need no counter reads at [`op_begin`]. Not counts — never
     /// folded or summed.
     last_cas_fail: AtomicU64,
     last_backlink: AtomicU64,
     last_curr: AtomicU64,
-    /// Lazily allocated (~232 KiB once the thread records its first op
-    /// while histograms are enabled), indexed by [`Metric`].
-    hist: OnceLock<Box<[AtomicHistogram; 4]>>,
+    /// Lazily allocated once the thread records its first op while
+    /// histograms are enabled: the four [`Metric`] aggregates followed
+    /// by one latency histogram per [`Structure`] (see [`HIST_SLOTS`]).
+    hist: OnceLock<Box<[AtomicHistogram; HIST_SLOTS]>>,
 }
 
 impl Shard {
@@ -207,6 +254,7 @@ impl Shard {
             try_read_restarts: AtomicU64::new(0),
             try_read_fallbacks: AtomicU64::new(0),
             ops: AtomicU64::new(0),
+            ops_by: std::array::from_fn(|_| AtomicU64::new(0)),
             last_cas_fail: AtomicU64::new(0),
             last_backlink: AtomicU64::new(0),
             last_curr: AtomicU64::new(0),
@@ -230,15 +278,23 @@ impl Shard {
             .sum()
     }
 
-    fn hists(&self) -> &[AtomicHistogram; 4] {
+    fn hists(&self) -> &[AtomicHistogram; HIST_SLOTS] {
         self.hist
             .get_or_init(|| Box::new(std::array::from_fn(|_| AtomicHistogram::new())))
     }
 
-    fn hist_record_op(&self, latency_ns: Option<u64>, retries: u64, backlinks: u64, hops: u64) {
+    fn hist_record_op(
+        &self,
+        structure: Structure,
+        latency_ns: Option<u64>,
+        retries: u64,
+        backlinks: u64,
+        hops: u64,
+    ) {
         let h = self.hists();
         if let Some(ns) = latency_ns {
             h[Metric::OpLatencyNs as usize].record_owner(ns);
+            h[Metric::ALL.len() + structure as usize].record_owner(ns);
         }
         h[Metric::CasRetries as usize].record_owner(retries);
         h[Metric::BacklinkChain as usize].record_owner(backlinks);
@@ -304,6 +360,13 @@ fn fold_into_retired(shard: &Shard) {
     GLOBAL
         .ops
         .fetch_add(shard.ops.swap(0, Ordering::Relaxed), Ordering::Relaxed);
+    for i in 0..Structure::ALL.len() {
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
+        GLOBAL.ops_by[i].fetch_add(
+            shard.ops_by[i].swap(0, Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+    }
     // The per-op baselines track the (now zeroed) counters, not totals.
     // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
     shard.last_cas_fail.store(0, Ordering::Relaxed);
@@ -351,6 +414,7 @@ struct GlobalCounters {
     try_read_restarts: AtomicU64,
     try_read_fallbacks: AtomicU64,
     ops: AtomicU64,
+    ops_by: [AtomicU64; 3],
 }
 
 static GLOBAL: GlobalCounters = GlobalCounters {
@@ -372,6 +436,7 @@ static GLOBAL: GlobalCounters = GlobalCounters {
     try_read_restarts: AtomicU64::new(0),
     try_read_fallbacks: AtomicU64::new(0),
     ops: AtomicU64::new(0),
+    ops_by: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
 };
 
 static HIST_ENABLED: AtomicBool = AtomicBool::new(true);
@@ -389,9 +454,9 @@ pub fn histograms_enabled() -> bool {
     HIST_ENABLED.load(Ordering::Relaxed)
 }
 
-static GLOBAL_HIST: OnceLock<[AtomicHistogram; 4]> = OnceLock::new();
+static GLOBAL_HIST: OnceLock<[AtomicHistogram; HIST_SLOTS]> = OnceLock::new();
 
-fn global_hist() -> &'static [AtomicHistogram; 4] {
+fn global_hist() -> &'static [AtomicHistogram; HIST_SLOTS] {
     GLOBAL_HIST.get_or_init(|| std::array::from_fn(|_| AtomicHistogram::new()))
 }
 
@@ -576,6 +641,15 @@ thread_local! {
 #[inline]
 #[must_use = "pass the token to op_end to record the operation"]
 pub fn op_begin() -> OpToken {
+    op_begin_for(Structure::List)
+}
+
+/// [`op_begin`] with an explicit [`Structure`] attribution, so mixed
+/// deployments (map + skip list in one process) keep separate op counts
+/// and latency distributions. Same cost profile as [`op_begin`].
+#[inline]
+#[must_use = "pass the token to op_end to record the operation"]
+pub fn op_begin_for(structure: Structure) -> OpToken {
     // Causal-trace boundary: mint-or-inherit the op's id (a bare sync
     // call mints here; an op minted upstream by the async front door
     // is inherited) and mark the traversal start. Independent of the
@@ -585,6 +659,7 @@ pub fn op_begin() -> OpToken {
     if !histograms_enabled() {
         return OpToken {
             active: false,
+            structure,
             start: None,
             trace,
         };
@@ -599,6 +674,7 @@ pub fn op_begin() -> OpToken {
         .flatten();
     OpToken {
         active: true,
+        structure,
         start,
         trace,
     }
@@ -616,7 +692,10 @@ pub fn op_end(token: OpToken) {
     // minted the id (an async-minted op completes at its front door).
     token.trace.finish();
     if !token.active {
-        with_local(|l| Shard::bump(&l.ops));
+        with_local(|l| {
+            Shard::bump(&l.ops);
+            Shard::bump(&l.ops_by[token.structure as usize]);
+        });
         return;
     }
     // `saturating_sub`: cross-core TSC skew of a few ticks must not
@@ -626,6 +705,7 @@ pub fn op_end(token: OpToken) {
         .map(|start| clock::ticks_to_ns(clock::now_ticks().saturating_sub(start)));
     with_local(|l| {
         Shard::bump(&l.ops);
+        Shard::bump(&l.ops_by[token.structure as usize]);
         let cf = l.cas_failures();
         // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         let bl = l.backlink_traversals.load(Ordering::Relaxed);
@@ -646,7 +726,7 @@ pub fn op_end(token: OpToken) {
         l.last_backlink.store(bl, Ordering::Relaxed);
         // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         l.last_curr.store(cu, Ordering::Relaxed);
-        l.hist_record_op(latency_ns, retries, backlinks, hops);
+        l.hist_record_op(token.structure, latency_ns, retries, backlinks, hops);
     });
 }
 
@@ -655,6 +735,8 @@ pub fn op_end(token: OpToken) {
 pub struct OpToken {
     /// Whether histograms were enabled at `op_begin`.
     active: bool,
+    /// Which structure the op runs against ([`op_begin_for`]).
+    structure: Structure,
     /// TSC ticks at `op_begin` on latency-sampled ops, else `None`.
     start: Option<u64>,
     /// Causal-trace scope (op id lifetime); finished by [`op_end`].
@@ -711,6 +793,10 @@ pub fn reset() {
         shard.try_read_fallbacks.store(0, Ordering::Relaxed);
         // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         shard.ops.store(0, Ordering::Relaxed);
+        for cell in shard.ops_by.iter() {
+            // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
+            cell.store(0, Ordering::Relaxed);
+        }
         // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         shard.last_cas_fail.store(0, Ordering::Relaxed);
         // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
@@ -746,6 +832,10 @@ pub fn reset() {
     GLOBAL.try_read_fallbacks.store(0, Ordering::Relaxed);
     // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
     GLOBAL.ops.store(0, Ordering::Relaxed);
+    for cell in GLOBAL.ops_by.iter() {
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
+        cell.store(0, Ordering::Relaxed);
+    }
 }
 
 /// A point-in-time copy of the global aggregate. Difference two
@@ -768,9 +858,17 @@ pub struct Snapshot {
     pub try_read_fallbacks: u64,
     /// Completed operations.
     pub ops: u64,
+    /// Completed operations per [`Structure`], indexed by discriminant.
+    /// Bare [`record_op`] calls are structure-blind, so these sum to at
+    /// most `ops`.
+    pub ops_by: [u64; 3],
 }
 
 impl Snapshot {
+    /// Completed operations attributed to one [`Structure`].
+    pub fn ops_for(&self, s: Structure) -> u64 {
+        self.ops_by[s as usize]
+    }
     /// Total CAS attempts (all types, both outcomes).
     pub fn cas_attempts(&self) -> u64 {
         self.cas_ok.iter().sum::<u64>() + self.cas_fail.iter().sum::<u64>()
@@ -819,6 +917,9 @@ impl Sub for Snapshot {
         out.try_read_restarts = self.try_read_restarts.wrapping_sub(rhs.try_read_restarts);
         out.try_read_fallbacks = self.try_read_fallbacks.wrapping_sub(rhs.try_read_fallbacks);
         out.ops = self.ops.wrapping_sub(rhs.ops);
+        for i in 0..Structure::ALL.len() {
+            out.ops_by[i] = self.ops_by[i].wrapping_sub(rhs.ops_by[i]);
+        }
         out
     }
 }
@@ -844,10 +945,17 @@ impl fmt::Display for Snapshot {
             "  backlinks={} next_updates={} curr_updates={}",
             self.backlink_traversals, self.next_updates, self.curr_updates
         )?;
-        write!(
+        writeln!(
             f,
             "  try_read: restarts={} fallbacks={}",
             self.try_read_restarts, self.try_read_fallbacks
+        )?;
+        write!(
+            f,
+            "  ops[list]={} ops[skiplist]={} ops[map]={}",
+            self.ops_for(Structure::List),
+            self.ops_for(Structure::SkipList),
+            self.ops_for(Structure::Map)
         )
     }
 }
@@ -885,6 +993,10 @@ fn snapshot_locked(reg: &[Arc<Shard>]) -> Snapshot {
     s.try_read_fallbacks = GLOBAL.try_read_fallbacks.load(Ordering::Relaxed);
     // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
     s.ops = GLOBAL.ops.load(Ordering::Relaxed);
+    for i in 0..Structure::ALL.len() {
+        // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
+        s.ops_by[i] = GLOBAL.ops_by[i].load(Ordering::Relaxed);
+    }
     for shard in reg {
         for i in 0..4 {
             // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
@@ -904,6 +1016,10 @@ fn snapshot_locked(reg: &[Arc<Shard>]) -> Snapshot {
         s.try_read_fallbacks += shard.try_read_fallbacks.load(Ordering::Relaxed);
         // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
         s.ops += shard.ops.load(Ordering::Relaxed);
+        for i in 0..Structure::ALL.len() {
+            // ord: Relaxed — MET.shard: single-writer counter, snapshots racy-fresh
+            s.ops_by[i] += shard.ops_by[i].load(Ordering::Relaxed);
+        }
     }
     s
 }
@@ -914,7 +1030,7 @@ fn snapshot_locked(reg: &[Arc<Shard>]) -> Snapshot {
 pub struct Telemetry {
     /// The essential-step scalar totals.
     pub counters: Snapshot,
-    hists: [Histogram; 4],
+    hists: [Histogram; HIST_SLOTS],
 }
 
 impl Default for Telemetry {
@@ -930,6 +1046,16 @@ impl Telemetry {
     /// The distribution for one [`Metric`].
     pub fn histogram(&self, m: Metric) -> &Histogram {
         &self.hists[m as usize]
+    }
+
+    /// Per-op latency distribution for one [`Structure`], nanoseconds.
+    ///
+    /// The aggregate [`Telemetry::op_latency_ns`] sums every structure;
+    /// this view is what keeps a map's ~O(1) point ops from being
+    /// averaged into a skip list's O(log n) latencies in mixed
+    /// deployments.
+    pub fn structure_latency_ns(&self, s: Structure) -> &Histogram {
+        &self.hists[Metric::ALL.len() + s as usize]
     }
 
     /// Per-op latency distribution, nanoseconds.
@@ -961,7 +1087,7 @@ impl Sub for Telemetry {
         let mut rhs_hists = rhs.hists.into_iter();
         for h in hists.iter_mut() {
             let taken = std::mem::take(h);
-            *h = taken - rhs_hists.next().expect("four metrics");
+            *h = taken - rhs_hists.next().expect("matching histogram slots");
         }
         Telemetry {
             counters: self.counters - rhs.counters,
@@ -975,6 +1101,14 @@ impl fmt::Display for Telemetry {
         writeln!(f, "{}", self.counters)?;
         for m in Metric::ALL {
             writeln!(f, "  {}: {}", m, self.histogram(m))?;
+        }
+        for s in Structure::ALL {
+            writeln!(
+                f,
+                "  op_latency_ns[{}]: {}",
+                s,
+                self.structure_latency_ns(s)
+            )?;
         }
         Ok(())
     }
@@ -990,7 +1124,7 @@ pub fn telemetry() -> Telemetry {
     let reg = shards();
     let counters = snapshot_locked(&reg);
     let g = global_hist();
-    let mut hists: [Histogram; 4] = std::array::from_fn(|i| g[i].load());
+    let mut hists: [Histogram; HIST_SLOTS] = std::array::from_fn(|i| g[i].load());
     for shard in reg.iter() {
         if let Some(h) = shard.hist.get() {
             for (dst, src) in hists.iter_mut().zip(h.iter()) {
@@ -1103,7 +1237,47 @@ mod tests {
         // Restarts are not essential steps of the paper's cost model.
         assert_eq!(delta.essential_steps(), 0);
         let shown = delta.to_string();
-        assert!(shown.contains("try_read: restarts=3 fallbacks=1"), "{shown}");
+        assert!(
+            shown.contains("try_read: restarts=3 fallbacks=1"),
+            "{shown}"
+        );
+    }
+
+    #[test]
+    fn structure_attribution_separates_ops() {
+        let _g = TEST_LOCK.lock().unwrap();
+        let before = snapshot();
+        op_end(op_begin_for(Structure::Map));
+        op_end(op_begin_for(Structure::Map));
+        op_end(op_begin_for(Structure::SkipList));
+        op_end(op_begin()); // structure-blind default credits List
+        let delta = snapshot() - before;
+        assert_eq!(delta.ops, 4);
+        assert_eq!(delta.ops_for(Structure::Map), 2);
+        assert_eq!(delta.ops_for(Structure::SkipList), 1);
+        assert_eq!(delta.ops_for(Structure::List), 1);
+        let shown = delta.to_string();
+        assert!(shown.contains("ops[map]=2"), "{shown}");
+    }
+
+    #[test]
+    fn structure_latency_histograms_do_not_alias() {
+        let _g = TEST_LOCK.lock().unwrap();
+        let before = telemetry();
+        // Latency is sampled 1-in-16 per thread; run enough ops that
+        // every structure lands samples regardless of sequence phase.
+        for _ in 0..64 {
+            op_end(op_begin_for(Structure::Map));
+        }
+        let delta = telemetry() - before;
+        assert_eq!(delta.counters.ops_for(Structure::Map), 64);
+        assert!(delta.structure_latency_ns(Structure::Map).count() >= 1);
+        assert_eq!(delta.structure_latency_ns(Structure::SkipList).count(), 0);
+        // The aggregate histogram still sees the map's samples.
+        assert_eq!(
+            delta.op_latency_ns().count(),
+            delta.structure_latency_ns(Structure::Map).count()
+        );
     }
 
     #[test]

@@ -28,6 +28,13 @@
 //! differencing them around each routed operation; see
 //! [`ShardedSkipList::snapshot`].
 //!
+//! For pure key-value traffic with no ordered scans there is also the
+//! bucketed-map flavor, [`ShardedMap`]: shards that are whole `lf-map`
+//! [`BucketMap`](lf_map::BucketMap)s (O(1) expected point ops), each
+//! with its own reclamation domain and node pool so retire and epoch
+//! bookkeeping partition along with the keys. See
+//! [`map_flavor`](ShardedMap) for the trade-offs.
+//!
 //! # Examples
 //!
 //! ```
@@ -52,9 +59,11 @@
 //! assert_eq!(map.len(), 1);
 //! ```
 
+mod map_flavor;
 mod metrics;
 mod router;
 
+pub use map_flavor::{ShardedMap, ShardedMapHandle, ShardedMapIter};
 pub use metrics::{ShardSnapshot, ShardedSnapshot};
 
 use std::fmt;

@@ -29,6 +29,22 @@ pub(crate) fn shard_of<K: Hash + ?Sized>(key: &K, mask: usize) -> usize {
     ((x ^ (x >> 32)) as usize) & mask
 }
 
+/// Route `key` to a shard index for the bucketed-map flavor
+/// ([`ShardedMap`](crate::ShardedMap)).
+///
+/// Deliberately **not** [`shard_of`]: the inner `lf-map` shards route
+/// keys to buckets from the *folded low* bits of the same SipHash, so
+/// masking the fold here too would fix those bits within a shard and
+/// leave every shard populating only `B/P` of its buckets. Taking the
+/// raw high half instead keeps the two levels' bits independent (the
+/// fold XORs the uniform low half on top of whatever this selects).
+#[inline]
+pub(crate) fn map_shard_of<K: Hash + ?Sized>(key: &K, mask: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    ((h.finish() >> 32) as usize) & mask
+}
+
 #[cfg(test)]
 mod tests {
     use super::shard_of;
@@ -46,6 +62,31 @@ mod tests {
             assert!(shard_of(&k, 3) < 4);
             assert_eq!(shard_of(&k, 0), 0);
         }
+    }
+
+    #[test]
+    fn map_routing_is_independent_of_bucket_bits() {
+        use super::map_shard_of;
+        // Keys confined to one map-flavor shard must still spread over
+        // the inner buckets' bit positions (the aliasing this router
+        // exists to avoid). Reimplement the bucket fold locally.
+        let bucket_of = |k: &u64, mask: usize| {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            k.hash(&mut h);
+            let x = h.finish();
+            ((x ^ (x >> 32)) as usize) & mask
+        };
+        let mut buckets_seen = [false; 16];
+        for k in 0u64..4000 {
+            if map_shard_of(&k, 3) == 0 {
+                buckets_seen[bucket_of(&k, 15)] = true;
+            }
+        }
+        assert!(
+            buckets_seen.iter().all(|&b| b),
+            "shard 0's keys collapsed onto a bucket subset: {buckets_seen:?}"
+        );
     }
 
     #[test]

@@ -265,7 +265,7 @@ mod tests {
 
     #[test]
     fn pin_free_reads_flag_is_set() {
-        assert!(Vbr::PIN_FREE_READS);
+        const { assert!(Vbr::PIN_FREE_READS) };
         assert_eq!(Vbr::NAME, "vbr");
     }
 

@@ -6,6 +6,7 @@
 
 use std::sync::Arc;
 
+use lockfree_lists::map::BucketMap;
 use lockfree_lists::{FrList, SkipList, SkipSet};
 
 fn main() {
@@ -47,6 +48,24 @@ fn main() {
 
     let h = map.handle();
     assert_eq!(h.get(&2_500), Some(500));
+
+    // --- BucketMap: hashed buckets of FR lists, point ops only ------
+    // No ordering: lookups hash to one short chain instead of walking
+    // a sorted structure, and `iter` yields entries in arbitrary order
+    // under a single pin.
+    let index: BucketMap<u64, &str> = BucketMap::new(16);
+    let ih = index.handle();
+    ih.insert(7, "seven").unwrap();
+    ih.insert(1_000_007, "a prime").unwrap();
+    assert_eq!(ih.get_with(&7, |v| v.len()), Some(5));
+    assert_eq!(ih.remove(&1_000_007), Some("a prime"));
+    let mut entries: Vec<(u64, &str)> = ih.iter().collect();
+    entries.sort_unstable(); // arbitrary iteration order: sort to assert
+    assert_eq!(entries, vec![(7, "seven")]);
+    println!(
+        "bucket map across {} buckets: {entries:?}",
+        index.bucket_count()
+    );
 
     // --- SkipSet: set façade ----------------------------------------
     // Grab one handle and reuse it: the facade methods on `SkipSet`

@@ -2,14 +2,16 @@
 # bench_gate.sh — quick perf regression gate for the throughput experiments.
 #
 # Runs the short (quick-size) variants of e4 (list throughput), e6
-# (skip-list throughput), e7 (async serving), e13 (shard scaling), and
-# e14 (cross-SMR matrix), writes fresh BENCH_<id>.json artifacts into a
+# (skip-list throughput), e7 (async serving), e13 (shard scaling), e14
+# (cross-SMR matrix), and e15 (hash map vs sharded skip list), writes
+# fresh BENCH_<id>.json artifacts into a
 # scratch directory, and compares the fr-* rows against the committed
 # baselines at the repo root. Fails (exit 1) when the median throughput
 # regression across comparable rows exceeds the threshold for a *gated*
-# experiment. e14 is advisory on its first landing: its deltas are
-# printed but never fail the gate (quick-size SMR ratios on a loaded CI
-# box are too noisy to block on yet — promote it to GATED_EXPERIMENTS
+# experiment. e14 and e15 are advisory on their first landings: their
+# deltas are printed but never fail the gate (quick-size cross-backend
+# and cross-structure ratios on a loaded CI box are too noisy to block
+# on yet — promote them to GATED_EXPERIMENTS
 # once a few landings of data exist). A missing committed baseline is
 # never an error: that experiment is skipped with a notice and the gate
 # still exits 0 (fresh checkouts and new experiments gate nothing).
@@ -47,7 +49,7 @@ cargo run --release -q -p lf-lint -- --json > "$SCRATCH/lint-report.json"
 cargo run --release -q -p lf-trace -- json-check "$SCRATCH/lint-report.json"
 
 GATED_EXPERIMENTS=(e4 e6 e7 e13)
-ADVISORY_EXPERIMENTS=(e14)
+ADVISORY_EXPERIMENTS=(e14 e15)
 # Experiments whose p99 op latency is flagged (warning only).
 P99_FLAGGED="e4 e6"
 

@@ -12,6 +12,7 @@
 //!   lock-based lists and skip lists, restart-based skip list);
 //! * [`reclaim`] — epoch-based memory reclamation;
 //! * [`hazard`] — hazard-pointer reclamation (used by the Michael baseline);
+//! * [`map`] — Michael-style bucketed hash map over FR-list buckets;
 //! * [`metrics`] — essential-step accounting;
 //! * [`sched`] — the deterministic step-machine scheduler used to
 //!   replay the paper's adversarial executions;
@@ -36,6 +37,7 @@ pub mod thread_safety_contracts {}
 pub use lf_baselines as baselines;
 pub use lf_core::*;
 pub use lf_hazard as hazard;
+pub use lf_map as map;
 pub use lf_metrics as metrics;
 pub use lf_reclaim as reclaim;
 pub use lf_sched as sched;
