@@ -10,13 +10,14 @@
 //! the futures `Send` without weakening the handle contract.
 
 use std::hash::Hash;
+use std::ops::Bound;
 
 use lf_core::{FrList, SkipList};
 use lf_map::{BucketMap, BucketMapHandle};
 use lf_reclaim::{Publish, Reclaim};
 use lf_shard::{ShardedHandle, ShardedMap, ShardedMapHandle, ShardedSkipList};
 
-use crate::op::{GetWithVisitor, Request, Response};
+use crate::op::{GetWithVisitor, Request, Response, ScanSlot};
 
 /// Drive a structure's zero-copy `get_with` with the boxed visitor a
 /// [`Request::GetWith`] carries.
@@ -42,6 +43,33 @@ fn run_get_with<V>(
     found
 }
 
+/// Drain up to `limit` pairs from an ordered iterator into a
+/// [`Request::Scan`]'s slot, returning how many were written. The
+/// iterator is consumed *inside* the worker's pin (the structure's
+/// iterators pin internally); only the cloned pairs cross into the
+/// shared slot.
+fn fill_scan<K, V>(
+    out: &ScanSlot<K, V>,
+    limit: usize,
+    pairs: impl Iterator<Item = (K, V)>,
+) -> usize {
+    let mut dst = out
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    dst.clear();
+    dst.extend(pairs.take(limit));
+    dst.len()
+}
+
+/// The half-open key range a scan cursor denotes: everything strictly
+/// after `after`, or the whole keyspace when starting out.
+fn scan_bounds<K: Clone>(after: &Option<K>) -> (Bound<K>, Bound<K>) {
+    match after {
+        Some(k) => (Bound::Excluded(k.clone()), Bound::Unbounded),
+        None => (Bound::Unbounded, Bound::Unbounded),
+    }
+}
+
 /// A map structure the async service can front.
 pub trait AsyncBackend: Send + Sync + 'static {
     /// Key type.
@@ -63,6 +91,15 @@ pub trait AsyncBackend: Send + Sync + 'static {
     /// Whether the structure is empty (racy-fresh).
     fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Whether this backend can serve ordered [`Request::Scan`]s.
+    /// Hash tiers (`BucketMap`, `ShardedMap`) cannot — their iteration
+    /// order is bucket order, not key order — so callers (the wire
+    /// server) refuse SCAN up front instead of enqueueing a request
+    /// the worker would answer with zero pairs.
+    fn supports_scan(&self) -> bool {
+        false
     }
 
     /// Preferred submission lane for `req` among `lanes` lanes, or
@@ -109,6 +146,10 @@ where
     fn len(&self) -> usize {
         FrList::len(self)
     }
+
+    fn supports_scan(&self) -> bool {
+        true
+    }
 }
 
 impl<K, V, R> BackendHandle<K, V> for lf_core::ListHandle<'_, K, V, R>
@@ -124,6 +165,14 @@ where
             Request::Insert(k, v) => Response::Inserted(self.insert(k, v).is_ok()),
             Request::Remove(k) => Response::Removed(self.remove(&k)),
             Request::GetWith(k, f) => Response::Visited(run_get_with(f, |g| self.get_with(&k, g))),
+            Request::Scan(after, limit, out) => Response::Scanned(fill_scan(
+                &out,
+                limit,
+                // The list iterates in key order; skip to strictly
+                // after the cursor (no positioned descent on a list).
+                self.iter()
+                    .skip_while(|(k, _)| matches!(&after, Some(a) if k <= a)),
+            )),
             Request::Len => Response::Len(self.list().len()),
         }
     }
@@ -161,6 +210,10 @@ where
     fn len(&self) -> usize {
         SkipList::len(self)
     }
+
+    fn supports_scan(&self) -> bool {
+        true
+    }
 }
 
 impl<K, V, R> BackendHandle<K, V> for lf_core::SkipListHandle<'_, K, V, R>
@@ -176,6 +229,9 @@ where
             Request::Insert(k, v) => Response::Inserted(self.insert(k, v).is_ok()),
             Request::Remove(k) => Response::Removed(self.remove(&k)),
             Request::GetWith(k, f) => Response::Visited(run_get_with(f, |g| self.get_with(&k, g))),
+            Request::Scan(after, limit, out) => {
+                Response::Scanned(fill_scan(&out, limit, self.range(scan_bounds(&after))))
+            }
             Request::Len => Response::Len(self.list().len()),
         }
     }
@@ -214,6 +270,10 @@ where
         ShardedSkipList::len(self)
     }
 
+    fn supports_scan(&self) -> bool {
+        true
+    }
+
     /// Shard affinity: every keyed request lands on the lane owning
     /// its shard (`shard mod lanes`), so one worker serves each
     /// shard's CAS traffic and submission rings stay cross-lane-free.
@@ -225,7 +285,9 @@ where
             | Request::Insert(k, _)
             | Request::Remove(k)
             | Request::GetWith(k, _) => k,
-            Request::Len => return None,
+            // Scans cross every partition (merged range) and `Len`
+            // has no key: both round-robin.
+            Request::Scan(..) | Request::Len => return None,
         };
         Some(self.shard_of(key) % lanes)
     }
@@ -244,6 +306,22 @@ where
             Request::Insert(k, v) => Response::Inserted(self.insert(k, v).is_ok()),
             Request::Remove(k) => Response::Removed(self.remove(&k)),
             Request::GetWith(k, f) => Response::Visited(run_get_with(f, |g| self.get_with(&k, g))),
+            Request::Scan(after, limit, out) => {
+                let mut dst = out
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                dst.clear();
+                // k-way merged range across shards; the visitor stops
+                // the merge once the page is full.
+                self.range(scan_bounds(&after), |k, v| {
+                    dst.push((k.clone(), v.clone()));
+                    dst.len() < limit
+                });
+                if limit == 0 {
+                    dst.clear();
+                }
+                Response::Scanned(dst.len())
+            }
             Request::Len => Response::Len(self.len()),
         }
     }
@@ -292,7 +370,9 @@ where
             | Request::Insert(k, _)
             | Request::Remove(k)
             | Request::GetWith(k, _) => k,
-            Request::Len => return None,
+            // Scans cross every partition (merged range) and `Len`
+            // has no key: both round-robin.
+            Request::Scan(..) | Request::Len => return None,
         };
         Some(self.bucket_of(key) % lanes)
     }
@@ -311,6 +391,10 @@ where
             Request::Insert(k, v) => Response::Inserted(self.insert(k, v).is_ok()),
             Request::Remove(k) => Response::Removed(self.remove(&k)),
             Request::GetWith(k, f) => Response::Visited(run_get_with(f, |g| self.get_with(&k, g))),
+            // Hash tier: no ordered scan (`supports_scan()` is false);
+            // answer with an empty page rather than panic so a caller
+            // that skipped the capability check still completes.
+            Request::Scan(_, _, out) => Response::Scanned(fill_scan(&out, 0, std::iter::empty())),
             Request::Len => Response::Len(self.len()),
         }
     }
@@ -360,7 +444,9 @@ where
             | Request::Insert(k, _)
             | Request::Remove(k)
             | Request::GetWith(k, _) => k,
-            Request::Len => return None,
+            // Scans cross every partition (merged range) and `Len`
+            // has no key: both round-robin.
+            Request::Scan(..) | Request::Len => return None,
         };
         Some(self.shard_of(key) % lanes)
     }
@@ -379,6 +465,9 @@ where
             Request::Insert(k, v) => Response::Inserted(self.insert(k, v).is_ok()),
             Request::Remove(k) => Response::Removed(self.remove(&k)),
             Request::GetWith(k, f) => Response::Visited(run_get_with(f, |g| self.get_with(&k, g))),
+            // Hash tier: no ordered scan (`supports_scan()` is false);
+            // see the `BucketMapHandle` arm.
+            Request::Scan(_, _, out) => Response::Scanned(fill_scan(&out, 0, std::iter::empty())),
             Request::Len => Response::Len(self.len()),
         }
     }

@@ -55,9 +55,9 @@ mod service;
 
 pub use backend::{AsyncBackend, BackendHandle};
 pub use metrics::{ServiceMetrics, ServiceSnapshot};
-pub use op::{Error, GetWithVisitor, Request, Response};
+pub use op::{Error, GetWithVisitor, Request, Response, ScanSlot};
 pub use service::{
     install_stall_hook, AsyncHashMap, AsyncList, AsyncShardedMap, AsyncSkipList,
-    BackpressurePolicy, GetWithFuture, HashMapBuilder, OpFuture, Service, ServiceBuilder,
-    ShardedBuilder,
+    BackpressurePolicy, GetWithFuture, HashMapBuilder, OpFuture, ScanFuture, Service,
+    ServiceBuilder, ShardedBuilder,
 };

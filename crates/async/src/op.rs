@@ -25,6 +25,13 @@ use std::time::Instant;
 /// (shutdown/shed), in which case the future resolves with the error.
 pub type GetWithVisitor<V> = Box<dyn FnOnce(Option<&V>) + Send>;
 
+/// The shared slot a [`Request::Scan`] fills on the lane worker: up to
+/// `limit` cloned `(key, value)` pairs in ascending key order, starting
+/// strictly after the cursor key. The worker writes it before the
+/// completion cell's Release edge, so the awaiting future reads it
+/// race-free (and the mutex makes it race-free besides).
+pub type ScanSlot<K, V> = std::sync::Arc<Mutex<Vec<(K, V)>>>;
+
 /// A dictionary operation submitted to the service.
 pub enum Request<K, V> {
     /// Look up `key`, returning a clone of its value.
@@ -39,6 +46,12 @@ pub enum Request<K, V> {
     /// (zero-copy): no clone crosses the queue, only the visitor's own
     /// result (parked in the future's slot).
     GetWith(K, GetWithVisitor<V>),
+    /// Ordered scan: clone up to `.1` pairs with keys strictly greater
+    /// than `.0` (`None` = from the start) into the slot, executed on
+    /// the lane worker under its batch-amortized pin. Only ordered
+    /// backends serve it — see
+    /// [`AsyncBackend::supports_scan`](crate::AsyncBackend::supports_scan).
+    Scan(Option<K>, usize, ScanSlot<K, V>),
     /// Number of live keys.
     Len,
 }
@@ -55,6 +68,9 @@ impl<K: fmt::Debug, V> fmt::Debug for Request<K, V> {
                 .field(k)
                 .field(&"<visitor>")
                 .finish(),
+            Request::Scan(after, limit, _) => {
+                f.debug_tuple("Scan").field(after).field(limit).finish()
+            }
             Request::Len => f.write_str("Len"),
         }
     }
@@ -70,6 +86,7 @@ impl<K: PartialEq, V: PartialEq> PartialEq for Request<K, V> {
             (Request::Insert(a, av), Request::Insert(b, bv)) => a == b && av == bv,
             (Request::Remove(a), Request::Remove(b)) => a == b,
             (Request::GetWith(a, _), Request::GetWith(b, _)) => a == b,
+            (Request::Scan(a, al, _), Request::Scan(b, bl, _)) => a == b && al == bl,
             (Request::Len, Request::Len) => true,
             _ => false,
         }
@@ -92,6 +109,9 @@ pub enum Response<V> {
     /// `GetWith`: whether the key was present (the visitor's result
     /// travels through the future's slot, not the response).
     Visited(bool),
+    /// `Scan`: how many pairs were written to the request's
+    /// [`ScanSlot`] (the pairs themselves travel through the slot).
+    Scanned(usize),
     /// `Len`: the size estimate.
     Len(usize),
 }

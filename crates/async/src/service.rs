@@ -30,7 +30,7 @@ use lf_tagged::Backoff;
 
 use crate::backend::{AsyncBackend, BackendHandle};
 use crate::metrics::{ServiceMetrics, ServiceSnapshot};
-use crate::op::{Error, GetWithVisitor, OpCell, Request, Response};
+use crate::op::{Error, GetWithVisitor, OpCell, Request, Response, ScanSlot};
 use crate::ring::{Pop, PushError, Ring};
 
 /// What a submission does when its lane's queue is full.
@@ -58,6 +58,12 @@ const IDLE_PARK: Duration = Duration::from_millis(1);
 /// the producers blocked on a full ring under [`BackpressurePolicy::Block`].
 struct Lane<K, V> {
     ring: Ring<Arc<OpCell<K, V>>>,
+    /// Maximum requests the worker drains per batch. Runtime-tunable:
+    /// an admission controller (e.g. `lf-server`'s) grows it under
+    /// sustained ring occupancy and shrinks it when the
+    /// enqueue-to-complete tail drifts, while the worker re-reads it at
+    /// every drain.
+    batch_max: AtomicUsize,
     /// Worker is (about to be) parked; producers that see this take the
     /// parker lock and notify.
     sleeping: AtomicBool,
@@ -68,9 +74,10 @@ struct Lane<K, V> {
 }
 
 impl<K, V> Lane<K, V> {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, batch_max: usize) -> Self {
         Lane {
             ring: Ring::with_capacity(capacity),
+            batch_max: AtomicUsize::new(batch_max.max(1)),
             sleeping: AtomicBool::new(false),
             parker: Mutex::new(()),
             wake: Condvar::new(),
@@ -118,7 +125,9 @@ struct Shared<B: AsyncBackend> {
     backend: B,
     lanes: Box<[Lane<B::Key, B::Value>]>,
     policy: BackpressurePolicy,
-    batch_max: usize,
+    /// Per-lane queue capacity (after power-of-two rounding), for
+    /// occupancy math in admission controllers.
+    queue_capacity: usize,
     metrics: ServiceMetrics,
     next_lane: AtomicUsize,
     /// One heartbeat per lane when the stall watchdog is enabled
@@ -253,16 +262,25 @@ fn worker_loop<B: AsyncBackend>(shared: &Shared<B>, lane_idx: usize) {
     let handle = shared.backend.handle();
     // One epoch announcement covers a whole drained batch (§10 of
     // DESIGN.md: the pin-per-poll invariant lives with the worker, not
-    // the futures).
-    handle.amortize_pins(shared.batch_max.max(1) as u32);
-    let mut batch: Vec<Arc<OpCell<B::Key, B::Value>>> = Vec::with_capacity(shared.batch_max);
+    // the futures). `batch_max` is runtime-tunable, so the amortization
+    // window follows it batch by batch.
+    // ord: Relaxed — ASYNC.batch: tuning knob; any observed value ≥ 1 is correct, staleness only sizes one drain
+    let mut bmax = shared.lanes[lane_idx].batch_max.load(Ordering::Relaxed);
+    handle.amortize_pins(bmax.max(1) as u32);
+    let mut batch: Vec<Arc<OpCell<B::Key, B::Value>>> = Vec::with_capacity(bmax);
     loop {
         if lane.ring.is_closed() {
             shutdown_drain(shared, lane_idx);
             break;
         }
+        // ord: Relaxed — ASYNC.batch: tuning knob; any observed value ≥ 1 is correct, staleness only sizes one drain
+        let cur = lane.batch_max.load(Ordering::Relaxed).max(1);
+        if cur != bmax {
+            bmax = cur;
+            handle.amortize_pins(bmax as u32);
+        }
         batch.clear();
-        while batch.len() < shared.batch_max {
+        while batch.len() < bmax {
             match lane.ring.pop() {
                 Pop::Item(cell) => batch.push(cell),
                 Pop::Empty | Pop::Pending => break,
@@ -422,8 +440,9 @@ impl ServiceBuilder {
 
     /// Build a service fronting `backend` and start its workers.
     pub fn build<B: AsyncBackend>(self, backend: B) -> Service<B> {
+        let queue_capacity = self.queue_capacity.max(2).next_power_of_two();
         let lanes: Vec<Lane<B::Key, B::Value>> = (0..self.workers)
-            .map(|_| Lane::new(self.queue_capacity))
+            .map(|_| Lane::new(queue_capacity, self.batch_max))
             .collect();
         let (watchdog, hearts) = match self.watchdog_deadline {
             Some(deadline) => {
@@ -444,7 +463,7 @@ impl ServiceBuilder {
             backend,
             lanes: lanes.into_boxed_slice(),
             policy: self.policy,
-            batch_max: self.batch_max,
+            queue_capacity,
             metrics: ServiceMetrics::new(),
             next_lane: AtomicUsize::new(0),
             hearts,
@@ -736,6 +755,27 @@ impl<B: AsyncBackend> Service<B> {
         }
     }
 
+    /// Ordered scan: resolve to up to `limit` `(key, value)` pairs with
+    /// keys strictly greater than `after` (`None` = from the smallest
+    /// key), in ascending key order. The page is collected on a lane
+    /// worker under its batch-amortized pin — the caller never touches
+    /// a guard — and cloned into the future's slot. Only meaningful
+    /// when [`supports_scan`](Service::supports_scan) is true; hash
+    /// tiers resolve to an empty page.
+    pub fn scan(&self, after: Option<B::Key>, limit: usize) -> ScanFuture<B> {
+        let slot: ScanSlot<B::Key, B::Value> = Arc::new(Mutex::new(Vec::new()));
+        ScanFuture {
+            inner: self.op(Request::Scan(after, limit, Arc::clone(&slot))),
+            slot,
+        }
+    }
+
+    /// Whether the backend serves ordered scans; see
+    /// [`AsyncBackend::supports_scan`].
+    pub fn supports_scan(&self) -> bool {
+        self.shared.backend.supports_scan()
+    }
+
     /// Submit any [`Request`].
     pub fn op(&self, req: Request<B::Key, B::Value>) -> OpFuture<B> {
         OpFuture {
@@ -758,6 +798,55 @@ impl<B: AsyncBackend> Service<B> {
     /// Current service metrics.
     pub fn metrics(&self) -> ServiceSnapshot {
         self.shared.metrics.snapshot()
+    }
+
+    /// Number of submission lanes (== workers).
+    pub fn lane_count(&self) -> usize {
+        self.shared.lanes.len()
+    }
+
+    /// Per-lane queue capacity (after power-of-two rounding): the
+    /// denominator for ring-occupancy math in admission controllers.
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.queue_capacity
+    }
+
+    /// Racy-fresh depth of `lane`'s submission ring.
+    ///
+    /// # Panics
+    ///
+    /// If `lane >= lane_count()`.
+    pub fn lane_depth(&self, lane: usize) -> usize {
+        self.shared.lanes[lane].ring.len() as usize
+    }
+
+    /// Current `batch_max` of `lane` (runtime-tunable; see
+    /// [`set_batch_max`](Service::set_batch_max)).
+    ///
+    /// # Panics
+    ///
+    /// If `lane >= lane_count()`.
+    pub fn batch_max(&self, lane: usize) -> usize {
+        // ord: Relaxed — ASYNC.batch: tuning knob; any observed value ≥ 1 is correct, staleness only sizes one drain
+        self.shared.lanes[lane].batch_max.load(Ordering::Relaxed)
+    }
+
+    /// Retune `lane`'s `batch_max` at runtime — the admission
+    /// controller's knob. Clamped to `1 ..= queue_capacity()`; the lane
+    /// worker re-reads it at every drain (and re-amortizes its epoch
+    /// pin window to match), so the change takes effect within one
+    /// batch. Returns the clamped value installed.
+    ///
+    /// # Panics
+    ///
+    /// If `lane >= lane_count()`.
+    pub fn set_batch_max(&self, lane: usize, n: usize) -> usize {
+        let n = n.clamp(1, self.shared.queue_capacity);
+        // ord: Relaxed — ASYNC.batch: tuning knob; any observed value ≥ 1 is correct, staleness only sizes one drain
+        self.shared.lanes[lane]
+            .batch_max
+            .store(n, Ordering::Relaxed);
+        n
     }
 
     /// The backend structure this service fronts (e.g. for a
@@ -807,7 +896,12 @@ impl<B: AsyncBackend> std::fmt::Debug for Service<B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Service")
             .field("lanes", &self.shared.lanes.len())
-            .field("batch_max", &self.shared.batch_max)
+            .field(
+                "batch_max",
+                &(0..self.shared.lanes.len())
+                    .map(|i| self.batch_max(i))
+                    .collect::<Vec<_>>(),
+            )
             .field("policy", &self.shared.policy)
             .finish()
     }
@@ -905,6 +999,37 @@ impl<B: AsyncBackend, R> Future for GetWithFuture<B, R> {
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .take())),
+            Poll::Ready(Err(e)) => Poll::Ready(Err(e)),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+/// An ordered scan in flight; see [`Service::scan`].
+///
+/// Wraps an [`OpFuture`] plus the slot the lane worker fills with the
+/// page of cloned pairs. Resolves to the pairs in ascending key order.
+/// `Send` for the same reason `OpFuture` is: no guard, no handle, no
+/// borrow — only the cell and the slot.
+pub struct ScanFuture<B: AsyncBackend> {
+    inner: OpFuture<B>,
+    slot: ScanSlot<B::Key, B::Value>,
+}
+
+// No self-references — pinning is structural only, as for `OpFuture`.
+impl<B: AsyncBackend> Unpin for ScanFuture<B> {}
+
+impl<B: AsyncBackend> Future for ScanFuture<B> {
+    type Output = Result<Vec<(B::Key, B::Value)>, Error>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        match Pin::new(&mut this.inner).poll(cx) {
+            // Same publication argument as `GetWithFuture`: the worker
+            // filled the slot before the cell's Release store.
+            Poll::Ready(Ok(_)) => Poll::Ready(Ok(std::mem::take(
+                &mut *this.slot.lock().unwrap_or_else(|e| e.into_inner()),
+            ))),
             Poll::Ready(Err(e)) => Poll::Ready(Err(e)),
             Poll::Pending => Poll::Pending,
         }

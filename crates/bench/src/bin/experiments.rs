@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments <id> [--full]
-//!     id: e1 | e2 | ... | e15 | all
+//!     id: e1 | e2 | ... | e16 | all
 //!     --full: full problem sizes (default: quick sizes)
 //! ```
 
@@ -24,7 +24,7 @@ fn main() -> ExitCode {
     if lf_bench::experiments::dispatch(id, quick) {
         ExitCode::SUCCESS
     } else {
-        eprintln!("unknown experiment id '{id}' (use e1..e15 or all)");
+        eprintln!("unknown experiment id '{id}' (use e1..e16 or all)");
         ExitCode::FAILURE
     }
 }

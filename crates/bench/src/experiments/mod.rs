@@ -14,6 +14,7 @@ pub mod e12_tower_census;
 pub mod e13_shard_scaling;
 pub mod e14_smr_matrix;
 pub mod e15_map_vs_shard;
+pub mod e16_server_loopback;
 pub mod e1_deletion_trace;
 pub mod e2_adversarial;
 pub mod e3_amortized;
@@ -24,7 +25,7 @@ pub mod e7_async_service;
 pub mod e8_flag_ablation;
 pub mod e9_cas_breakdown;
 
-/// Run one experiment by id (`"e1"` … `"e15"` or `"all"`).
+/// Run one experiment by id (`"e1"` … `"e16"` or `"all"`).
 ///
 /// Returns `false` if the id is unknown.
 pub fn dispatch(id: &str, quick: bool) -> bool {
@@ -44,10 +45,11 @@ pub fn dispatch(id: &str, quick: bool) -> bool {
         "e13" => e13_shard_scaling::run(quick),
         "e14" => e14_smr_matrix::run(quick),
         "e15" => e15_map_vs_shard::run(quick),
+        "e16" => e16_server_loopback::run(quick),
         "all" => {
             for id in [
                 "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-                "e14", "e15",
+                "e14", "e15", "e16",
             ] {
                 assert!(dispatch(id, quick));
                 println!();

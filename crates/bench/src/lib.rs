@@ -9,6 +9,7 @@
 
 pub mod adapters;
 pub mod experiments;
+pub mod resp_client;
 pub mod runner;
 pub mod table;
 

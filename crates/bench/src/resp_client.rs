@@ -1,0 +1,264 @@
+//! A real TCP RESP client for driving `lf-server` over loopback — the
+//! promotion of E7's in-process open-loop generator onto an actual
+//! socket, sharing the server's own codec (`lf_server::resp`) so the
+//! two sides can never skew.
+//!
+//! Two shapes:
+//!
+//! * [`RespClient`] — a synchronous one-command-at-a-time client for
+//!   setup, probes, and control commands (`INFO`, `SHUTDOWN`).
+//! * [`run_open_loop`] — a paced, pipelined generator: a writer paces
+//!   command bursts onto the socket at a fixed offered rate (or flat
+//!   out, for capacity probes) while a reader thread drains replies,
+//!   classifies every one of them (ok / `-BUSY shed` / `-BUSY
+//!   rejected` / other error), and records *socket-to-socket* latency
+//!   for the admitted ones. Pacing is deadline-based, so a slow server
+//!   does not slow the offered rate — the definition of an open loop —
+//!   and the returned [`RunTally`] accounts for every command sent.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use lf_metrics::Histogram;
+use lf_server::resp::{self, Reply};
+
+/// Protocol-level classification of one reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// Any non-error reply: the command was admitted and served.
+    Ok,
+    /// `-BUSY shed` — admitted, then evicted by a later arrival.
+    Shed,
+    /// `-BUSY rejected` — refused at the ring.
+    Rejected,
+    /// Any other `-…` error (bad command, retry-budget exhaustion…).
+    Error,
+}
+
+/// Classify a reply the way the accounting contract reads: every
+/// command resolves as exactly one of ok / shed / rejected / error.
+pub fn classify(reply: &Reply) -> Class {
+    match reply {
+        Reply::Error(msg) if msg.as_slice() == b"BUSY shed" => Class::Shed,
+        Reply::Error(msg) if msg.as_slice() == b"BUSY rejected" => Class::Rejected,
+        Reply::Error(_) => Class::Error,
+        _ => Class::Ok,
+    }
+}
+
+/// Synchronous RESP client: one command, one reply, in order.
+#[derive(Debug)]
+pub struct RespClient {
+    stream: TcpStream,
+    acc: Vec<u8>,
+}
+
+impl RespClient {
+    /// Connect with a generous read timeout (probes and control
+    /// commands should never hang a harness).
+    pub fn connect(addr: SocketAddr) -> io::Result<RespClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(RespClient {
+            stream,
+            acc: Vec::new(),
+        })
+    }
+
+    /// Send one command and block for its reply.
+    pub fn roundtrip(&mut self, args: &[&[u8]]) -> io::Result<Reply> {
+        let mut buf = Vec::new();
+        resp::write_command(&mut buf, args);
+        self.stream.write_all(&buf)?;
+        self.read_reply()
+    }
+
+    /// Read the next in-order reply off the socket.
+    pub fn read_reply(&mut self) -> io::Result<Reply> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match resp::parse_reply(&self.acc)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+            {
+                Some((reply, used)) => {
+                    self.acc.drain(..used);
+                    return Ok(reply);
+                }
+                None => {
+                    let n = self.stream.read(&mut chunk)?;
+                    if n == 0 {
+                        return Err(io::ErrorKind::UnexpectedEof.into());
+                    }
+                    self.acc.extend_from_slice(&chunk[..n]);
+                }
+            }
+        }
+    }
+}
+
+/// One open-loop run's shape.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Total commands to send.
+    pub ops: u64,
+    /// Offered rate in commands/s; `None` sends flat out (capacity
+    /// probe / closed-pipe smoke).
+    pub rate: Option<f64>,
+    /// Commands per pipelined burst (and per write syscall).
+    pub burst: usize,
+}
+
+/// Everything one open-loop run measured. `sent` always equals
+/// `ok + shed + rejected + errors` by construction — the caller's
+/// assertion is against the *server's* counters, not this one.
+#[derive(Debug, Clone)]
+pub struct RunTally {
+    /// Commands written to the socket.
+    pub sent: u64,
+    /// Non-error replies.
+    pub ok: u64,
+    /// `-BUSY shed` replies.
+    pub shed: u64,
+    /// `-BUSY rejected` replies.
+    pub rejected: u64,
+    /// Other error replies (zero in a healthy run).
+    pub errors: u64,
+    /// Submit-phase wall clock (first write to last write) — verifies
+    /// the offered rate, but overstates throughput: writes land in
+    /// socket buffers long before the server answers.
+    pub elapsed: Duration,
+    /// End-to-end wall clock: first write until the last reply was
+    /// parsed. Delivered-throughput denominators belong here.
+    pub wall: Duration,
+    /// Socket-to-socket latency of the *admitted* commands: burst
+    /// write time to reply parse time, in nanoseconds.
+    pub socket_ns: Histogram,
+}
+
+impl RunTally {
+    /// Fraction of sent commands the server refused (`shed+rejected`).
+    pub fn shed_rate(&self) -> f64 {
+        if self.sent == 0 {
+            return 0.0;
+        }
+        (self.shed + self.rejected) as f64 / self.sent as f64
+    }
+}
+
+/// Drive one paced, pipelined open-loop run. `gen` encodes command
+/// number `i` into the supplied buffer (append-only; the generator owns
+/// framing via [`resp::write_command`]).
+///
+/// The writer thread (this thread) paces bursts; a reader thread drains
+/// replies concurrently so the socket's receive window never backs up
+/// into the server. Classification and latency land in the returned
+/// [`RunTally`].
+pub fn run_open_loop(
+    cfg: &OpenLoopConfig,
+    mut gen: impl FnMut(u64, &mut Vec<u8>),
+) -> io::Result<RunTally> {
+    let stream = TcpStream::connect(cfg.addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let reader_stream = stream.try_clone()?;
+    let (tx, rx) = mpsc::channel::<(Instant, u32)>();
+
+    let reader = std::thread::Builder::new()
+        .name("resp-client-reader".into())
+        .spawn(move || read_loop(reader_stream, &rx))
+        .expect("spawn reader");
+
+    let mut stream = stream;
+    let burst = cfg.burst.max(1);
+    let interval = cfg
+        .rate
+        .map(|r| Duration::from_secs_f64(burst as f64 / r.max(1.0)));
+    let started = Instant::now();
+    let mut next = started;
+    let mut wbuf = Vec::with_capacity(64 * burst);
+    let mut sent = 0u64;
+    while sent < cfg.ops {
+        if let Some(interval) = interval {
+            // Deadline pacing, as in E7's in-process open loop: the
+            // slot owns the time whether or not the server keeps up.
+            // Yield rather than spin while waiting — on small machines
+            // the server shares these cores, and a spinning pacer
+            // steals the capacity it is trying to measure.
+            while Instant::now() < next {
+                std::thread::yield_now();
+            }
+            next += interval;
+        }
+        wbuf.clear();
+        let n = (burst as u64).min(cfg.ops - sent) as u32;
+        for i in 0..n {
+            gen(sent + u64::from(i), &mut wbuf);
+        }
+        let stamp = Instant::now();
+        stream.write_all(&wbuf)?;
+        tx.send((stamp, n)).expect("reader alive");
+        sent += u64::from(n);
+    }
+    let elapsed = started.elapsed();
+    drop(tx); // reader drains what's in flight, then returns
+    let (ok, shed, rejected, errors, socket_ns) = reader.join().expect("reader join")?;
+    let wall = started.elapsed();
+    Ok(RunTally {
+        sent,
+        ok,
+        shed,
+        rejected,
+        errors,
+        elapsed,
+        wall,
+        socket_ns,
+    })
+}
+
+type ReadOutcome = io::Result<(u64, u64, u64, u64, Histogram)>;
+
+/// Reply-drain loop: one classification per command, latency for the
+/// admitted. Burst stamps arrive over the channel in send order, and
+/// RESP replies are strictly ordered, so matching is positional.
+fn read_loop(mut stream: TcpStream, rx: &mpsc::Receiver<(Instant, u32)>) -> ReadOutcome {
+    let (mut ok, mut shed, mut rejected, mut errors) = (0u64, 0u64, 0u64, 0u64);
+    let mut lat = Histogram::new();
+    let mut acc: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 64 * 1024];
+    while let Ok((stamp, n)) = rx.recv() {
+        for _ in 0..n {
+            let reply = loop {
+                match resp::parse_reply(&acc)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+                {
+                    Some((reply, used)) => {
+                        acc.drain(..used);
+                        break reply;
+                    }
+                    None => {
+                        let got = stream.read(&mut chunk)?;
+                        if got == 0 {
+                            return Err(io::ErrorKind::UnexpectedEof.into());
+                        }
+                        acc.extend_from_slice(&chunk[..got]);
+                    }
+                }
+            };
+            match classify(&reply) {
+                Class::Ok => {
+                    ok += 1;
+                    lat.record(stamp.elapsed().as_nanos() as u64);
+                }
+                Class::Shed => shed += 1,
+                Class::Rejected => rejected += 1,
+                Class::Error => errors += 1,
+            }
+        }
+    }
+    Ok((ok, shed, rejected, errors, lat))
+}

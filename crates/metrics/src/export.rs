@@ -288,6 +288,69 @@ pub fn histogram_prometheus(out: &mut String, name: &str, help: &str, h: &Histog
     let _ = writeln!(out, "{name}_count {}", h.count());
 }
 
+/// Render a Prometheus label set (`{k="v",…}`), empty for no labels.
+/// Values are JSON-escaped, which covers Prometheus' `\\`/`"`/`\n`
+/// requirements.
+pub fn prometheus_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", json_escape(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Append one labeled counter in Prometheus text exposition format.
+/// Subsystems outside the fixed [`Telemetry`] set (e.g. `lf-server`'s
+/// connection counters, labeled `subsystem="server"`) export through
+/// this so every series in a process shares one formatter.
+pub fn counter_prometheus(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    labels: &[(&str, &str)],
+    v: u64,
+) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    let _ = writeln!(out, "{name}{} {v}", prometheus_labels(labels));
+}
+
+/// Append one labeled gauge in Prometheus text exposition format.
+pub fn gauge_prometheus(out: &mut String, name: &str, help: &str, labels: &[(&str, &str)], v: u64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name}{} {v}", prometheus_labels(labels));
+}
+
+/// Labeled variant of [`histogram_prometheus`]: the label set rides on
+/// every quantile series plus `_sum`/`_count`.
+pub fn histogram_prometheus_labeled(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    labels: &[(&str, &str)],
+    h: &Histogram,
+) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} summary");
+    let base = prometheus_labels(labels);
+    for (q, v) in [
+        ("0.5", h.p50()),
+        ("0.9", h.p90()),
+        ("0.99", h.p99()),
+        ("0.999", h.p999()),
+    ] {
+        let mut with_q: Vec<(&str, &str)> = labels.to_vec();
+        with_q.push(("quantile", q));
+        let _ = writeln!(out, "{name}{} {v}", prometheus_labels(&with_q));
+    }
+    let _ = writeln!(out, "{name}_sum{base} {}", h.sum());
+    let _ = writeln!(out, "{name}_count{base} {}", h.count());
+}
+
 /// Append one JSON line to `path`, creating the file if needed.
 pub fn append_json_line(path: &Path, line: &str) -> io::Result<()> {
     let mut f = OpenOptions::new().create(true).append(true).open(path)?;

@@ -1,0 +1,486 @@
+//! One connection's lifecycle: read → parse a pipeline → enqueue every
+//! request → await and write replies in arrival order.
+//!
+//! Pipelining leans on `lf-async`'s *lazy submission*: an `OpFuture`
+//! enqueues on its first poll. The parse phase therefore polls each
+//! future once (through [`Eager`]) as soon as its command is parsed, so
+//! N pipelined commands are all in their lane rings before the render
+//! phase awaits the first reply — the rings overlap the work while the
+//! wire stays strictly ordered, which is exactly RESP's contract.
+//!
+//! Backpressure is protocol-visible: a request the service sheds or
+//! rejects resolves this side as `-BUSY shed` / `-BUSY rejected`, one
+//! error per *command* (a multi-key command reports its first busy
+//! sub-op and drops the rest — dropping an `OpFuture` detaches it
+//! without leaking its ring slot or its cell).
+//!
+//! No epoch guard ever exists on this thread: connection code touches
+//! sockets and completion cells only, and every structure access
+//! happens on a lane worker. The `pin_hygiene` integration test pins
+//! this down with the unreclaimed-gauge audit.
+
+use std::future::Future;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
+use std::time::Duration;
+
+use lf_async::{Error, OpFuture, Response, ScanFuture, Service};
+use lf_sched::rt;
+
+use crate::metrics::ServerMetrics;
+use crate::resp::{self, Command};
+use crate::server::{trigger_stop, ByteBackend, Bytes, StopSignal};
+
+/// How many remove/insert rounds a `SET` retries when racing other
+/// writers of the same key before giving up with `-ERR`.
+const SET_RETRY_BUDGET: usize = 8;
+
+fn noop_waker() -> Waker {
+    fn clone(_: *const ()) -> RawWaker {
+        RawWaker::new(std::ptr::null(), &VTABLE)
+    }
+    fn noop(_: *const ()) {}
+    static VTABLE: RawWakerVTable = RawWakerVTable::new(clone, noop, noop, noop);
+    // SAFETY: every vtable entry is a no-op over a null data pointer;
+    // nothing is dereferenced.
+    unsafe { Waker::from_raw(RawWaker::new(std::ptr::null(), &VTABLE)) }
+}
+
+/// A future polled once at construction (the poll that *enqueues*, by
+/// lazy submission) and awaited later, preserving an early `Ready`
+/// (e.g. an immediate `Rejected`) so the future is never polled after
+/// completion.
+struct Eager<F: Future + Unpin> {
+    fut: Option<F>,
+    out: Option<F::Output>,
+}
+
+impl<F: Future + Unpin> Eager<F> {
+    fn new(mut f: F) -> Self {
+        let waker = noop_waker();
+        let mut cx = Context::from_waker(&waker);
+        match Pin::new(&mut f).poll(&mut cx) {
+            Poll::Ready(v) => Eager {
+                fut: None,
+                out: Some(v),
+            },
+            Poll::Pending => Eager {
+                fut: Some(f),
+                out: None,
+            },
+        }
+    }
+
+    fn wait(self) -> F::Output {
+        match self.out {
+            Some(v) => v,
+            None => rt::block_on(self.fut.expect("pending future present")),
+        }
+    }
+}
+
+/// Whether this pre-rendered reply counts as a successful command.
+enum ReadyKind {
+    Ok,
+    CommandError,
+}
+
+/// One parsed command, already submitted where it maps to ring
+/// requests, waiting for the render phase.
+enum Pending<B: ByteBackend> {
+    /// Rendered at dispatch time (PING, INFO, command errors).
+    Ready(Vec<u8>, ReadyKind),
+    /// GET — bulk value or null.
+    Get(Eager<OpFuture<B>>),
+    /// SET — upsert; retries remove+insert on a duplicate key.
+    Set {
+        key: Bytes,
+        value: Bytes,
+        first: Eager<OpFuture<B>>,
+    },
+    /// DEL / EXISTS — integer count of hits across the keyed sub-ops.
+    Count(Vec<Eager<OpFuture<B>>>),
+    /// MGET — array of bulk-or-null in key order.
+    MGet(Vec<Eager<OpFuture<B>>>),
+    /// SCAN — a page of keys plus the continuation cursor.
+    Scan {
+        fut: Eager<ScanFuture<B>>,
+        count: usize,
+    },
+    /// QUIT — `+OK`, then close.
+    Quit,
+    /// SHUTDOWN — `+OK`, then stop the whole server.
+    Shutdown,
+}
+
+/// Serve one accepted connection until EOF, error, QUIT, a protocol
+/// error, or server stop.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run<B: ByteBackend>(
+    service: &Arc<Service<B>>,
+    metrics: &Arc<ServerMetrics>,
+    stop: &Arc<StopSignal>,
+    local_addr: SocketAddr,
+    mut stream: TcpStream,
+    id: u64,
+    read_timeout: Duration,
+    allow_shutdown: bool,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let hb = service
+        .watchdog()
+        .map(|wd| wd.register(&format!("conn-{id}")));
+    let mut inbuf: Vec<u8> = Vec::with_capacity(16 * 1024);
+    let mut chunk = [0u8; 16 * 1024];
+    let mut out: Vec<u8> = Vec::with_capacity(16 * 1024);
+    loop {
+        if stop.is_set() {
+            break;
+        }
+        if let Some(h) = &hb {
+            h.idle();
+        }
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue
+            }
+            Err(_) => break,
+        };
+        if let Some(h) = &hb {
+            h.busy();
+        }
+        inbuf.extend_from_slice(&chunk[..n]);
+        // Parse phase: every complete frame becomes a pending reply,
+        // and every ring-mapped request enters its lane *now*.
+        let mut pending: Vec<Pending<B>> = Vec::new();
+        let mut consumed = 0;
+        let parse_err = loop {
+            match resp::parse_command(&inbuf[consumed..]) {
+                Ok(Some((args, used))) => {
+                    consumed += used;
+                    if args.is_empty() {
+                        continue;
+                    }
+                    pending.push(dispatch(service, metrics, args, allow_shutdown));
+                }
+                Ok(None) => break None,
+                Err(e) => break Some(e),
+            }
+        };
+        inbuf.drain(..consumed);
+        if !pending.is_empty() {
+            metrics.record_pipeline(pending.len() as u64);
+        }
+        // Render phase: await and serialize strictly in arrival order.
+        out.clear();
+        let mut close = false;
+        for p in pending {
+            render(service, metrics, stop, local_addr, p, &mut out, &mut close);
+            if let Some(h) = &hb {
+                h.beat();
+            }
+            if close {
+                break;
+            }
+        }
+        if let Some(e) = parse_err {
+            metrics.record_protocol_error();
+            resp::write_error(&mut out, &format!("ERR {e}"));
+            close = true;
+        }
+        if !out.is_empty() && stream.write_all(&out).is_err() {
+            break;
+        }
+        if close {
+            break;
+        }
+    }
+    if let Some(h) = &hb {
+        h.idle();
+    }
+}
+
+/// Turn one argument vector into a [`Pending`] reply, submitting its
+/// ring requests (first poll = enqueue) as a side effect.
+fn dispatch<B: ByteBackend>(
+    service: &Service<B>,
+    metrics: &ServerMetrics,
+    args: Vec<Bytes>,
+    allow_shutdown: bool,
+) -> Pending<B> {
+    let cmd = match Command::parse(args) {
+        Ok(c) => c,
+        Err(msg) => {
+            let mut buf = Vec::new();
+            resp::write_error(&mut buf, &msg);
+            return Pending::Ready(buf, ReadyKind::CommandError);
+        }
+    };
+    match cmd {
+        Command::Ping(msg) => {
+            let mut buf = Vec::new();
+            match msg {
+                Some(m) => resp::write_bulk(&mut buf, &m),
+                None => resp::write_simple(&mut buf, "PONG"),
+            }
+            Pending::Ready(buf, ReadyKind::Ok)
+        }
+        Command::Get(k) => Pending::Get(Eager::new(service.get(k))),
+        Command::Set(key, value) => Pending::Set {
+            first: Eager::new(service.insert(key.clone(), value.clone())),
+            key,
+            value,
+        },
+        Command::Del(keys) => Pending::Count(
+            keys.into_iter()
+                .map(|k| Eager::new(service.remove(k)))
+                .collect(),
+        ),
+        Command::Exists(keys) => Pending::Count(
+            keys.into_iter()
+                .map(|k| Eager::new(service.contains(k)))
+                .collect(),
+        ),
+        Command::MGet(keys) => Pending::MGet(
+            keys.into_iter()
+                .map(|k| Eager::new(service.get(k)))
+                .collect(),
+        ),
+        Command::Scan { after, count } => {
+            if !service.supports_scan() {
+                let mut buf = Vec::new();
+                resp::write_error(
+                    &mut buf,
+                    "ERR SCAN requires the ordered (skip-list) tier; this server fronts a hash tier",
+                );
+                return Pending::Ready(buf, ReadyKind::CommandError);
+            }
+            Pending::Scan {
+                fut: Eager::new(service.scan(after, count)),
+                count,
+            }
+        }
+        Command::Info => {
+            let mut buf = Vec::new();
+            resp::write_bulk(&mut buf, info_text(service, metrics).as_bytes());
+            Pending::Ready(buf, ReadyKind::Ok)
+        }
+        Command::Quit => Pending::Quit,
+        Command::Shutdown => {
+            if allow_shutdown {
+                Pending::Shutdown
+            } else {
+                let mut buf = Vec::new();
+                resp::write_error(&mut buf, "ERR SHUTDOWN disabled on this server");
+                Pending::Ready(buf, ReadyKind::CommandError)
+            }
+        }
+    }
+}
+
+/// Serialize a service-layer error as its protocol form, bumping the
+/// matching counter. `-BUSY` is the admission controller speaking: the
+/// command was refused (Reject) or evicted (Shed), never silently
+/// dropped.
+fn write_busy(out: &mut Vec<u8>, e: Error, metrics: &ServerMetrics, close: &mut bool) {
+    match e {
+        Error::Shed => {
+            metrics.record_shed();
+            resp::write_error(out, "BUSY shed");
+        }
+        Error::Rejected => {
+            metrics.record_rejected();
+            resp::write_error(out, "BUSY rejected");
+        }
+        Error::Shutdown => {
+            resp::write_error(out, "ERR server shutting down");
+            *close = true;
+        }
+    }
+}
+
+/// Await one pending reply and append its wire form to `out`.
+fn render<B: ByteBackend>(
+    service: &Service<B>,
+    metrics: &ServerMetrics,
+    stop: &StopSignal,
+    local_addr: SocketAddr,
+    pending: Pending<B>,
+    out: &mut Vec<u8>,
+    close: &mut bool,
+) {
+    match pending {
+        Pending::Ready(bytes, kind) => {
+            out.extend_from_slice(&bytes);
+            if matches!(kind, ReadyKind::Ok) {
+                metrics.record_ok();
+            }
+        }
+        Pending::Get(e) => match e.wait() {
+            Ok(Response::Value(v)) => {
+                match v {
+                    Some(v) => resp::write_bulk(out, &v),
+                    None => resp::write_null(out),
+                }
+                metrics.record_ok();
+            }
+            Ok(_) => resp::write_error(out, "ERR internal response mismatch"),
+            Err(e) => write_busy(out, e, metrics, close),
+        },
+        Pending::Set { key, value, first } => match upsert(service, key, value, first) {
+            Ok(true) => {
+                resp::write_simple(out, "OK");
+                metrics.record_ok();
+            }
+            Ok(false) => resp::write_error(out, "ERR SET retry budget exhausted"),
+            Err(e) => write_busy(out, e, metrics, close),
+        },
+        Pending::Count(futs) => {
+            let mut hits: i64 = 0;
+            for f in futs {
+                match f.wait() {
+                    Ok(r) => hits += i64::from(response_hit(&r)),
+                    Err(e) => {
+                        // First busy sub-op fails the whole command;
+                        // the remaining futures are dropped (detached,
+                        // nothing leaks).
+                        write_busy(out, e, metrics, close);
+                        return;
+                    }
+                }
+            }
+            resp::write_int(out, hits);
+            metrics.record_ok();
+        }
+        Pending::MGet(futs) => {
+            let mut values: Vec<Option<Bytes>> = Vec::with_capacity(futs.len());
+            for f in futs {
+                match f.wait() {
+                    Ok(Response::Value(v)) => values.push(v),
+                    Ok(_) => values.push(None),
+                    Err(e) => {
+                        write_busy(out, e, metrics, close);
+                        return;
+                    }
+                }
+            }
+            resp::write_array_header(out, values.len());
+            for v in values {
+                match v {
+                    Some(v) => resp::write_bulk(out, &v),
+                    None => resp::write_null(out),
+                }
+            }
+            metrics.record_ok();
+        }
+        Pending::Scan { fut, count } => match fut.wait() {
+            Ok(pairs) => {
+                // A short page means the keyspace is exhausted: cursor
+                // wraps to "0" exactly as Redis' SCAN contract reads.
+                let cursor = match pairs.last() {
+                    Some((last, _)) if pairs.len() == count => resp::hex_encode(last),
+                    _ => "0".to_string(),
+                };
+                resp::write_array_header(out, 2);
+                resp::write_bulk(out, cursor.as_bytes());
+                resp::write_array_header(out, pairs.len());
+                for (k, _) in &pairs {
+                    resp::write_bulk(out, k);
+                }
+                metrics.record_ok();
+            }
+            Err(e) => write_busy(out, e, metrics, close),
+        },
+        Pending::Quit => {
+            resp::write_simple(out, "OK");
+            metrics.record_ok();
+            *close = true;
+        }
+        Pending::Shutdown => {
+            resp::write_simple(out, "OK");
+            metrics.record_ok();
+            trigger_stop(stop, local_addr);
+            *close = true;
+        }
+    }
+}
+
+/// Upsert semantics over insert/remove primitives: try the optimistic
+/// insert; on a duplicate key, remove-then-insert until one round wins
+/// or the budget runs out (`Ok(false)`). Not atomic — a concurrent GET
+/// may observe the gap — which matches the weakly-consistent read
+/// story of every other multi-step wire command here.
+fn upsert<B: ByteBackend>(
+    service: &Service<B>,
+    key: Bytes,
+    value: Bytes,
+    first: Eager<OpFuture<B>>,
+) -> Result<bool, Error> {
+    let mut resp = first.wait()?;
+    for _ in 0..SET_RETRY_BUDGET {
+        if matches!(resp, Response::Inserted(true)) {
+            return Ok(true);
+        }
+        rt::block_on(service.remove(key.clone()))?;
+        resp = rt::block_on(service.insert(key.clone(), value.clone()))?;
+    }
+    Ok(matches!(resp, Response::Inserted(true)))
+}
+
+/// 1 when the response counts as a hit for DEL/EXISTS accounting.
+fn response_hit(resp: &Response<Bytes>) -> bool {
+    match resp {
+        Response::Removed(v) => v.is_some(),
+        Response::Found(b) | Response::Inserted(b) | Response::Visited(b) => *b,
+        Response::Value(v) => v.is_some(),
+        Response::Scanned(n) | Response::Len(n) => *n > 0,
+    }
+}
+
+/// The `INFO` payload: server counters, service counters, controller
+/// state, and per-lane batch sizes, in Redis' `key:value` line style.
+fn info_text<B: ByteBackend>(service: &Service<B>, metrics: &ServerMetrics) -> String {
+    use std::fmt::Write as _;
+    let s = metrics.snapshot();
+    let svc = service.metrics();
+    let mut out = String::new();
+    let _ = writeln!(out, "# Server");
+    let _ = writeln!(out, "connections_accepted:{}", s.accepted);
+    let _ = writeln!(out, "connections_active:{}", s.active);
+    let _ = writeln!(out, "commands:{}", s.commands);
+    let _ = writeln!(out, "commands_ok:{}", s.ok);
+    let _ = writeln!(out, "commands_shed:{}", s.shed);
+    let _ = writeln!(out, "commands_rejected:{}", s.rejected);
+    let _ = writeln!(out, "protocol_errors:{}", s.protocol_errors);
+    let _ = writeln!(out, "pipeline_depth_p99:{}", s.pipeline_depth.p99());
+    let _ = writeln!(out, "# Service");
+    let _ = writeln!(out, "keys:{}", service.len());
+    let _ = writeln!(out, "enqueued:{}", svc.enqueued);
+    let _ = writeln!(out, "completed:{}", svc.completed);
+    let _ = writeln!(out, "rejected:{}", svc.rejected);
+    let _ = writeln!(out, "shed:{}", svc.shed);
+    let _ = writeln!(out, "e2c_p99_ns:{}", svc.enqueue_to_complete_ns.p99());
+    let _ = writeln!(out, "# Controller");
+    let batches: Vec<String> = (0..service.lane_count())
+        .map(|l| service.batch_max(l).to_string())
+        .collect();
+    let _ = writeln!(out, "lane_batch_max:{}", batches.join(","));
+    let _ = writeln!(out, "queue_capacity:{}", service.queue_capacity());
+    let _ = writeln!(out, "ctl_grows:{}", s.ctl_grows);
+    let _ = writeln!(out, "ctl_shrinks:{}", s.ctl_shrinks);
+    let _ = writeln!(out, "ctl_last_p99_ns:{}", s.ctl_last_p99_ns);
+    out
+}

@@ -1,0 +1,41 @@
+//! `lf-server`: a RESP wire-protocol front door over `lf-async`.
+//!
+//! The last layer between the in-process serving façade and an actual
+//! network: a TCP server speaking a RESP2 subset
+//! (`GET`/`SET`/`DEL`/`EXISTS`/`MGET`/`SCAN`/`PING`/`INFO`, plus
+//! `QUIT` and an opt-in `SHUTDOWN`) that multiplexes connections into
+//! the existing `lf-async` submission rings. `redis-cli` speaks to it
+//! out of the box.
+//!
+//! Three design commitments (DESIGN.md §15):
+//!
+//! * **Pipelining without reordering** — each connection parses every
+//!   complete command out of a socket read and submits all of them to
+//!   the rings before awaiting the first reply (lazy submission: the
+//!   first poll enqueues), then writes replies strictly in arrival
+//!   order.
+//! * **Backpressure as protocol errors** — the service's Shed/Reject
+//!   outcomes surface as `-BUSY shed` / `-BUSY rejected`, so overload
+//!   is *observable and accountable* on the wire: every command sent
+//!   resolves as exactly one of ok / shed / rejected.
+//! * **Adaptive batch admission** — an optional controller retunes
+//!   each lane's `batch_max` at runtime (grow under sustained ring
+//!   occupancy, shrink when the windowed admitted e2c p99 exceeds a
+//!   target), making batch amortization — the paper-side lever — the
+//!   admission policy.
+//!
+//! Connection and acceptor threads heartbeat into the service's
+//! `lf-trace` watchdog (when enabled), counters export through
+//! `lf-metrics` under a `subsystem="server"` label, and no epoch guard
+//! ever exists on a connection thread.
+
+pub mod resp;
+
+mod conn;
+mod controller;
+mod metrics;
+mod server;
+
+pub use controller::ControllerConfig;
+pub use metrics::{ServerMetrics, ServerSnapshot, SERVER_LABEL};
+pub use server::{ByteBackend, Bytes, Server, ServerBuilder, StopSignal};

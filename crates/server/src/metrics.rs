@@ -1,0 +1,309 @@
+//! Connection- and protocol-level counters for the wire server,
+//! exported through `lf-metrics`' JSON and Prometheus formatters under
+//! a `subsystem="server"` label.
+//!
+//! These sit one layer above `lf-async`'s [`ServiceMetrics`]: the
+//! service layer counts ring traffic (enqueued/completed/shed), this
+//! layer counts *sockets and commands* — connections accepted and
+//! live, commands by outcome (ok / shed / rejected / error), parse
+//! failures, and how deep clients pipeline. The admission controller
+//! also parks its state here so `INFO` and the exporters see one
+//! consistent surface.
+//!
+//! [`ServiceMetrics`]: lf_async::ServiceMetrics
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lf_metrics::export::{
+    counter_prometheus, gauge_prometheus, histogram_json, histogram_prometheus_labeled, JsonObj,
+};
+use lf_metrics::{AtomicHistogram, Histogram};
+
+/// The label every server series carries in the Prometheus exporter
+/// (and the key its JSON object nests under).
+pub const SERVER_LABEL: (&str, &str) = ("subsystem", "server");
+
+/// Live wire-server counters. One per server; shared by the acceptor,
+/// every connection thread, and the admission controller.
+#[derive(Default)]
+pub struct ServerMetrics {
+    accepted: AtomicU64,
+    active: AtomicU64,
+    commands: AtomicU64,
+    ok: AtomicU64,
+    shed: AtomicU64,
+    rejected: AtomicU64,
+    protocol_errors: AtomicU64,
+    pipeline_depth: AtomicHistogram,
+    ctl_grows: AtomicU64,
+    ctl_shrinks: AtomicU64,
+    ctl_last_p99_ns: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A connection was accepted (bumps the active gauge too).
+    pub(crate) fn conn_opened(&self) {
+        // ord: Relaxed — SRV.stat: statistic counter, snapshots racy-fresh
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        // ord: Relaxed — SRV.stat: statistic counter, snapshots racy-fresh
+        self.active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection closed (any reason).
+    pub(crate) fn conn_closed(&self) {
+        // ord: Relaxed — SRV.stat: statistic counter, snapshots racy-fresh
+        self.active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// `n` complete commands were parsed out of one socket read — the
+    /// client's observed pipeline depth.
+    pub(crate) fn record_pipeline(&self, n: u64) {
+        // ord: Relaxed — SRV.stat: statistic counter, snapshots racy-fresh
+        self.commands.fetch_add(n, Ordering::Relaxed);
+        self.pipeline_depth.record(n);
+    }
+
+    /// A command resolved successfully.
+    pub(crate) fn record_ok(&self) {
+        // ord: Relaxed — SRV.stat: statistic counter, snapshots racy-fresh
+        self.ok.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A command resolved `-BUSY shed`.
+    pub(crate) fn record_shed(&self) {
+        // ord: Relaxed — SRV.stat: statistic counter, snapshots racy-fresh
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A command resolved `-BUSY rejected`.
+    pub(crate) fn record_rejected(&self) {
+        // ord: Relaxed — SRV.stat: statistic counter, snapshots racy-fresh
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A frame failed to parse (the connection is then closed).
+    pub(crate) fn record_protocol_error(&self) {
+        // ord: Relaxed — SRV.stat: statistic counter, snapshots racy-fresh
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The controller grew some lane's `batch_max`.
+    pub(crate) fn record_ctl_grow(&self) {
+        // ord: Relaxed — SRV.stat: statistic counter, snapshots racy-fresh
+        self.ctl_grows.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The controller shrank the lanes' `batch_max`.
+    pub(crate) fn record_ctl_shrink(&self) {
+        // ord: Relaxed — SRV.stat: statistic counter, snapshots racy-fresh
+        self.ctl_shrinks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The controller measured a fresh windowed admitted p99.
+    pub(crate) fn record_ctl_p99(&self, p99_ns: u64) {
+        // ord: Relaxed — SRV.stat: statistic counter, snapshots racy-fresh
+        self.ctl_last_p99_ns.store(p99_ns, Ordering::Relaxed);
+    }
+
+    /// A racy-fresh copy of every series (exact once the server has
+    /// stopped and its threads are joined).
+    pub fn snapshot(&self) -> ServerSnapshot {
+        ServerSnapshot {
+            // ord: Relaxed — SRV.stat: statistic counter, snapshots racy-fresh
+            accepted: self.accepted.load(Ordering::Relaxed),
+            // ord: Relaxed — SRV.stat: statistic counter, snapshots racy-fresh
+            active: self.active.load(Ordering::Relaxed),
+            // ord: Relaxed — SRV.stat: statistic counter, snapshots racy-fresh
+            commands: self.commands.load(Ordering::Relaxed),
+            // ord: Relaxed — SRV.stat: statistic counter, snapshots racy-fresh
+            ok: self.ok.load(Ordering::Relaxed),
+            // ord: Relaxed — SRV.stat: statistic counter, snapshots racy-fresh
+            shed: self.shed.load(Ordering::Relaxed),
+            // ord: Relaxed — SRV.stat: statistic counter, snapshots racy-fresh
+            rejected: self.rejected.load(Ordering::Relaxed),
+            // ord: Relaxed — SRV.stat: statistic counter, snapshots racy-fresh
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            pipeline_depth: self.pipeline_depth.load(),
+            // ord: Relaxed — SRV.stat: statistic counter, snapshots racy-fresh
+            ctl_grows: self.ctl_grows.load(Ordering::Relaxed),
+            // ord: Relaxed — SRV.stat: statistic counter, snapshots racy-fresh
+            ctl_shrinks: self.ctl_shrinks.load(Ordering::Relaxed),
+            // ord: Relaxed — SRV.stat: statistic counter, snapshots racy-fresh
+            ctl_last_p99_ns: self.ctl_last_p99_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the server metrics.
+#[derive(Debug, Clone)]
+pub struct ServerSnapshot {
+    /// Connections accepted since start.
+    pub accepted: u64,
+    /// Connections currently open (gauge).
+    pub active: u64,
+    /// Commands parsed off sockets (including those later refused).
+    pub commands: u64,
+    /// Commands that resolved successfully.
+    pub ok: u64,
+    /// Commands resolved `-BUSY shed`.
+    pub shed: u64,
+    /// Commands resolved `-BUSY rejected`.
+    pub rejected: u64,
+    /// Connections dropped for unparseable frames.
+    pub protocol_errors: u64,
+    /// Complete commands parsed per socket read.
+    pub pipeline_depth: Histogram,
+    /// Controller `batch_max` grow decisions.
+    pub ctl_grows: u64,
+    /// Controller `batch_max` shrink decisions.
+    pub ctl_shrinks: u64,
+    /// Last windowed admitted enqueue-to-complete p99 the controller
+    /// measured, in nanoseconds (0 before the first window fills).
+    pub ctl_last_p99_ns: u64,
+}
+
+impl ServerSnapshot {
+    /// One JSON object, nested under a `"server"` key so it composes
+    /// with other subsystem snapshots on the same line.
+    pub fn to_json(&self) -> String {
+        let inner = JsonObj::new()
+            .field_u64("accepted", self.accepted)
+            .field_u64("active", self.active)
+            .field_u64("commands", self.commands)
+            .field_u64("ok", self.ok)
+            .field_u64("shed", self.shed)
+            .field_u64("rejected", self.rejected)
+            .field_u64("protocol_errors", self.protocol_errors)
+            .field_raw("pipeline_depth", &histogram_json(&self.pipeline_depth))
+            .field_u64("ctl_grows", self.ctl_grows)
+            .field_u64("ctl_shrinks", self.ctl_shrinks)
+            .field_u64("ctl_last_p99_ns", self.ctl_last_p99_ns)
+            .finish();
+        JsonObj::new().field_raw("server", &inner).finish()
+    }
+
+    /// Prometheus text exposition: `lf_server_*` series, each labeled
+    /// `subsystem="server"`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let labels = &[SERVER_LABEL];
+        for (name, help, v) in [
+            (
+                "lf_server_connections_accepted_total",
+                "TCP connections accepted since start",
+                self.accepted,
+            ),
+            (
+                "lf_server_commands_total",
+                "Commands parsed off sockets",
+                self.commands,
+            ),
+            (
+                "lf_server_commands_ok_total",
+                "Commands resolved successfully",
+                self.ok,
+            ),
+            (
+                "lf_server_commands_shed_total",
+                "Commands resolved -BUSY shed",
+                self.shed,
+            ),
+            (
+                "lf_server_commands_rejected_total",
+                "Commands resolved -BUSY rejected",
+                self.rejected,
+            ),
+            (
+                "lf_server_protocol_errors_total",
+                "Connections dropped for unparseable frames",
+                self.protocol_errors,
+            ),
+            (
+                "lf_server_controller_grows_total",
+                "Admission controller batch_max grow decisions",
+                self.ctl_grows,
+            ),
+            (
+                "lf_server_controller_shrinks_total",
+                "Admission controller batch_max shrink decisions",
+                self.ctl_shrinks,
+            ),
+        ] {
+            counter_prometheus(&mut out, name, help, labels, v);
+        }
+        gauge_prometheus(
+            &mut out,
+            "lf_server_connections_active",
+            "TCP connections currently open",
+            labels,
+            self.active,
+        );
+        gauge_prometheus(
+            &mut out,
+            "lf_server_controller_last_p99_ns",
+            "Last windowed admitted enqueue-to-complete p99 (ns)",
+            labels,
+            self.ctl_last_p99_ns,
+        );
+        histogram_prometheus_labeled(
+            &mut out,
+            "lf_server_pipeline_depth",
+            "Complete commands parsed per socket read",
+            labels,
+            &self.pipeline_depth,
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_records() {
+        let m = ServerMetrics::new();
+        m.conn_opened();
+        m.conn_opened();
+        m.conn_closed();
+        m.record_pipeline(4);
+        m.record_ok();
+        m.record_shed();
+        m.record_rejected();
+        m.record_protocol_error();
+        m.record_ctl_grow();
+        m.record_ctl_shrink();
+        m.record_ctl_p99(1234);
+        let s = m.snapshot();
+        assert_eq!(s.accepted, 2);
+        assert_eq!(s.active, 1);
+        assert_eq!(s.commands, 4);
+        assert_eq!((s.ok, s.shed, s.rejected), (1, 1, 1));
+        assert_eq!(s.protocol_errors, 1);
+        assert_eq!(s.pipeline_depth.count(), 1);
+        assert_eq!(
+            (s.ctl_grows, s.ctl_shrinks, s.ctl_last_p99_ns),
+            (1, 1, 1234)
+        );
+    }
+
+    #[test]
+    fn exports_carry_server_label() {
+        let m = ServerMetrics::new();
+        m.conn_opened();
+        m.record_pipeline(2);
+        let s = m.snapshot();
+        let j = s.to_json();
+        assert!(j.starts_with("{\"server\":{"), "{j}");
+        assert!(j.contains("\"pipeline_depth\""));
+        let p = s.to_prometheus();
+        assert!(p.contains("lf_server_connections_accepted_total{subsystem=\"server\"} 1"));
+        assert!(p.contains("lf_server_connections_active{subsystem=\"server\"} 1"));
+        assert!(p.contains("lf_server_pipeline_depth{subsystem=\"server\",quantile=\"0.99\"}"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Property tests for the RESP codec: roundtrips survive arbitrary
+//! read-boundary splits, pipelined frames parse independently, and
+//! malformed or oversized input errors without panicking.
+//!
+//! The split-read properties are the load-bearing ones: TCP gives the
+//! connection loop arbitrary prefixes of a frame, and the parser's
+//! contract is that *every* prefix of a well-formed frame yields
+//! `Ok(None)` (keep reading) — never an error, never a short parse.
+
+use lf_server::resp::{self, Reply};
+use proptest::prelude::*;
+
+/// A generated command: 1..=6 args of 0..=32 arbitrary bytes each.
+fn arg_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..32)
+}
+
+fn args_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(arg_strategy(), 1..6)
+}
+
+fn encode(args: &[Vec<u8>]) -> Vec<u8> {
+    let refs: Vec<&[u8]> = args.iter().map(Vec::as_slice).collect();
+    let mut buf = Vec::new();
+    resp::write_command(&mut buf, &refs);
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Encoding then parsing returns the same args and consumes the
+    /// whole buffer, and every proper prefix asks for more input.
+    #[test]
+    fn command_roundtrip_and_every_prefix_is_incomplete(
+        args in args_strategy(),
+        cut in 0usize..10_000,
+    ) {
+        let buf = encode(&args);
+        let (parsed, used) = resp::parse_command(&buf)
+            .expect("well-formed frame")
+            .expect("complete frame");
+        prop_assert_eq!(&parsed, &args);
+        prop_assert_eq!(used, buf.len());
+
+        let cut = cut % buf.len(); // proper prefix: 0..len
+        match resp::parse_command(&buf[..cut]) {
+            Ok(None) => {}
+            other => prop_assert!(false, "prefix len {cut} gave {other:?}"),
+        }
+    }
+
+    /// Two pipelined frames in one buffer parse back-to-back, each
+    /// reporting its own consumed length.
+    #[test]
+    fn pipelined_frames_parse_in_sequence(
+        a in args_strategy(),
+        b in args_strategy(),
+    ) {
+        let mut buf = encode(&a);
+        let first_len = buf.len();
+        buf.extend_from_slice(&encode(&b));
+        let (pa, ua) = resp::parse_command(&buf).unwrap().unwrap();
+        prop_assert_eq!(&pa, &a);
+        prop_assert_eq!(ua, first_len);
+        let (pb, ub) = resp::parse_command(&buf[ua..]).unwrap().unwrap();
+        prop_assert_eq!(&pb, &b);
+        prop_assert_eq!(ua + ub, buf.len());
+    }
+
+    /// Arbitrary bytes never panic either parser — every outcome is a
+    /// clean `Ok(None)`, `Ok(Some(..))`, or `Err(..)`.
+    #[test]
+    fn garbage_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let _ = resp::parse_command(&bytes);
+        let _ = resp::parse_reply(&bytes);
+    }
+
+    /// Server-side writers and the client-side reply parser agree, at
+    /// every split point.
+    #[test]
+    fn reply_roundtrip_any_split(
+        kind in 0u64..5,
+        payload in proptest::collection::vec(any::<u8>(), 0..32),
+        n in 0i64..1_000_000,
+        cut in 0usize..10_000,
+    ) {
+        let mut buf = Vec::new();
+        let want = match kind {
+            0 => {
+                resp::write_simple(&mut buf, "OK");
+                Reply::Simple(b"OK".to_vec())
+            }
+            1 => {
+                resp::write_error(&mut buf, "BUSY shed");
+                Reply::Error(b"BUSY shed".to_vec())
+            }
+            2 => {
+                resp::write_int(&mut buf, n);
+                Reply::Int(n)
+            }
+            3 => {
+                resp::write_bulk(&mut buf, &payload);
+                Reply::Bulk(Some(payload.clone()))
+            }
+            _ => {
+                resp::write_array_header(&mut buf, 2);
+                resp::write_bulk(&mut buf, &payload);
+                resp::write_null(&mut buf);
+                Reply::Array(vec![Reply::Bulk(Some(payload.clone())), Reply::Bulk(None)])
+            }
+        };
+        let (got, used) = resp::parse_reply(&buf).unwrap().unwrap();
+        prop_assert_eq!(&got, &want);
+        prop_assert_eq!(used, buf.len());
+
+        let cut = cut % buf.len();
+        match resp::parse_reply(&buf[..cut]) {
+            Ok(None) => {}
+            other => prop_assert!(false, "prefix len {cut} gave {other:?}"),
+        }
+    }
+}
+
+/// Known-bad frames: each must produce a protocol error — not a panic,
+/// not a silent `None` that would wedge the connection forever.
+#[test]
+fn malformed_frames_error_cleanly() {
+    let cases: &[&[u8]] = &[
+        b"*abc\r\n",                             // non-numeric array header
+        b"*-2\r\n",                              // negative array length
+        b"*1\r\nX3\r\nfoo\r\n",                  // arg is not a bulk string
+        b"*1\r\n$abc\r\n",                       // non-numeric bulk length
+        b"*1\r\n$-5\r\n",                        // negative bulk length
+        b"*1\r\n$999999999999\r\n",              // bulk length over MAX_BULK
+        b"*999999999\r\n",                       // array length over MAX_ARGS
+        b"*1\r\n$3\r\nabcXY",                    // bulk body missing CRLF
+        b"*11111111111111111111111111111111111", // unterminated oversized header
+    ];
+    for case in cases {
+        match resp::parse_command(case) {
+            Err(_) => {}
+            ok => panic!("{:?} parsed as {ok:?}", String::from_utf8_lossy(case)),
+        }
+    }
+}
+
+/// Oversized inline commands error instead of buffering unboundedly.
+#[test]
+fn oversized_inline_command_errors() {
+    let big = vec![b'a'; resp::MAX_INLINE + 1];
+    assert!(resp::parse_command(&big).is_err());
+}
+
+/// Malformed replies error cleanly on the client side too.
+#[test]
+fn malformed_replies_error_cleanly() {
+    let cases: &[&[u8]] = &[
+        b"?\r\n",                                      // unknown type byte
+        b":abc\r\n",                                   // non-numeric integer
+        b"$-5\r\n",                                    // negative (non-null) bulk length
+        b"*1\r\n*1\r\n*1\r\n*1\r\n*1\r\n*1\r\n:1\r\n", // nesting over MAX_REPLY_DEPTH
+    ];
+    for case in cases {
+        match resp::parse_reply(case) {
+            Err(_) => {}
+            ok => panic!("{:?} parsed as {ok:?}", String::from_utf8_lossy(case)),
+        }
+    }
+}

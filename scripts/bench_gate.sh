@@ -3,16 +3,19 @@
 #
 # Runs the short (quick-size) variants of e4 (list throughput), e6
 # (skip-list throughput), e7 (async serving), e13 (shard scaling), e14
-# (cross-SMR matrix), and e15 (hash map vs sharded skip list), writes
-# fresh BENCH_<id>.json artifacts into a
-# scratch directory, and compares the fr-* rows against the committed
-# baselines at the repo root. Fails (exit 1) when the median throughput
-# regression across comparable rows exceeds the threshold for a *gated*
-# experiment. e14 and e15 are advisory on their first landings: their
-# deltas are printed but never fail the gate (quick-size cross-backend
-# and cross-structure ratios on a loaded CI box are too noisy to block
-# on yet — promote them to GATED_EXPERIMENTS
-# once a few landings of data exist). A missing committed baseline is
+# (cross-SMR matrix), e15 (hash map vs sharded skip list), and e16
+# (loopback TCP serving), writes fresh BENCH_<id>.json artifacts into a
+# scratch directory, and compares the fr-*/lf-server-* rows against the
+# committed baselines at the repo root. Fails (exit 1) when the median
+# throughput regression across comparable rows exceeds the threshold for
+# a *gated* experiment. e14, e15, and e16 are advisory on their first
+# landings: their deltas are printed but never fail the gate (quick-size
+# cross-backend ratios and loopback TCP on a loaded CI box are too noisy
+# to block on yet — promote them to GATED_EXPERIMENTS
+# once a few landings of data exist). e16 rows carry a shed-rate, which
+# is printed next to every throughput delta: a throughput drop at equal
+# shed-rate is a serving regression, one with a higher shed-rate is the
+# admission controller refusing more. A missing committed baseline is
 # never an error: that experiment is skipped with a notice and the gate
 # still exits 0 (fresh checkouts and new experiments gate nothing).
 #
@@ -49,7 +52,7 @@ cargo run --release -q -p lf-lint -- --json > "$SCRATCH/lint-report.json"
 cargo run --release -q -p lf-trace -- json-check "$SCRATCH/lint-report.json"
 
 GATED_EXPERIMENTS=(e4 e6 e7 e13)
-ADVISORY_EXPERIMENTS=(e14 e15)
+ADVISORY_EXPERIMENTS=(e14 e15 e16)
 # Experiments whose p99 op latency is flagged (warning only).
 P99_FLAGGED="e4 e6"
 
@@ -88,13 +91,13 @@ p99_threshold = float(p99_threshold)
 def rows(path):
     with open(path) as f:
         data = json.load(f)
-    # e4/e6 rows vary over driver threads; e7 (async service) rows vary
-    # over lane workers. Either way the third key component is the
-    # concurrency knob.
+    # e4/e6 rows vary over driver threads; e7 (async service) and e16
+    # (wire serving) rows vary over lane workers. Either way the third
+    # key component is the concurrency knob.
     return {
         (r["impl"], r["mix"], r.get("threads", r.get("workers"))): r
         for r in data["rows"]
-        if r["impl"].startswith("fr-")
+        if r["impl"].startswith("fr-") or r["impl"].startswith("lf-server")
     }
 
 base, fresh = rows(baseline_path), rows(fresh_path)
@@ -113,8 +116,14 @@ for key in shared:
     pct = (f / b - 1.0) * 100.0
     deltas.append(pct)
     impl, mix, threads = key
+    # Wire-serving rows: a throughput delta is only interpretable next
+    # to its shed-rate delta (refusing more IS serving less).
+    shed = ""
+    if "shed_rate" in base[key] and "shed_rate" in fresh[key]:
+        shed = (f"  shed {base[key]['shed_rate'] * 100.0:5.1f}%"
+                f" -> {fresh[key]['shed_rate'] * 100.0:5.1f}%")
     print(f"{exp} {impl:16s} {mix:12s} {threads}t: "
-          f"{b / 1e3:9.0f} -> {f / 1e3:9.0f} kops/s ({pct:+6.1f}%)")
+          f"{b / 1e3:9.0f} -> {f / 1e3:9.0f} kops/s ({pct:+6.1f}%){shed}")
 
 median = statistics.median(deltas)
 label = "advisory — never fails" if mode == "advisory" else f"fail below -{threshold:.0f}%"
@@ -152,6 +161,14 @@ if mode == "gated" and median < -threshold:
     sys.exit(1)
 if mode == "advisory" and median < -threshold:
     print(f"{exp}: advisory regression beyond {threshold:.0f}% — not failing the gate")
+    shed_keys = [k for k in shared
+                 if "shed_rate" in base[k] and "shed_rate" in fresh[k]]
+    if shed_keys:
+        bs = statistics.median(base[k]["shed_rate"] for k in shed_keys)
+        fs = statistics.median(fresh[k]["shed_rate"] for k in shed_keys)
+        print(f"{exp}: median shed-rate {bs * 100.0:.1f}% -> {fs * 100.0:.1f}% "
+              f"({(fs - bs) * 100.0:+.1f} pp) — higher means the regression is "
+              f"admission refusing more, not the data path slowing")
 PY
 done
 
