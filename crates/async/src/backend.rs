@@ -61,6 +61,28 @@ fn fill_scan<K, V>(
     dst.len()
 }
 
+/// How many remove+insert rounds a [`Request::Upsert`] retries when
+/// racing other writers of the same key before reporting
+/// `Inserted(false)`. On partition-affine backends the owning lane
+/// worker is the only ring-side writer of the key, so round two always
+/// wins; the budget only matters against direct synchronous-handle
+/// writers.
+const UPSERT_RETRY_BUDGET: usize = 8;
+
+/// Worker-side upsert over insert-if-absent/remove primitives: retry
+/// until one insert round wins or the budget runs out. Runs entirely
+/// inside one `apply` call, so the upsert occupies a single slot in
+/// its lane's FIFO.
+fn run_upsert(mut insert: impl FnMut() -> bool, mut remove: impl FnMut()) -> bool {
+    for _ in 0..UPSERT_RETRY_BUDGET {
+        if insert() {
+            return true;
+        }
+        remove();
+    }
+    false
+}
+
 /// The half-open key range a scan cursor denotes: everything strictly
 /// after `after`, or the whole keyspace when starting out.
 fn scan_bounds<K: Clone>(after: &Option<K>) -> (Bound<K>, Bound<K>) {
@@ -163,6 +185,12 @@ where
             Request::Get(k) => Response::Value(self.get(&k)),
             Request::Contains(k) => Response::Found(self.contains(&k)),
             Request::Insert(k, v) => Response::Inserted(self.insert(k, v).is_ok()),
+            Request::Upsert(k, v) => Response::Inserted(run_upsert(
+                || self.insert(k.clone(), v.clone()).is_ok(),
+                || {
+                    let _ = self.remove(&k);
+                },
+            )),
             Request::Remove(k) => Response::Removed(self.remove(&k)),
             Request::GetWith(k, f) => Response::Visited(run_get_with(f, |g| self.get_with(&k, g))),
             Request::Scan(after, limit, out) => Response::Scanned(fill_scan(
@@ -227,6 +255,12 @@ where
             Request::Get(k) => Response::Value(self.get(&k)),
             Request::Contains(k) => Response::Found(self.contains(&k)),
             Request::Insert(k, v) => Response::Inserted(self.insert(k, v).is_ok()),
+            Request::Upsert(k, v) => Response::Inserted(run_upsert(
+                || self.insert(k.clone(), v.clone()).is_ok(),
+                || {
+                    let _ = self.remove(&k);
+                },
+            )),
             Request::Remove(k) => Response::Removed(self.remove(&k)),
             Request::GetWith(k, f) => Response::Visited(run_get_with(f, |g| self.get_with(&k, g))),
             Request::Scan(after, limit, out) => {
@@ -283,6 +317,7 @@ where
             Request::Get(k)
             | Request::Contains(k)
             | Request::Insert(k, _)
+            | Request::Upsert(k, _)
             | Request::Remove(k)
             | Request::GetWith(k, _) => k,
             // Scans cross every partition (merged range) and `Len`
@@ -304,6 +339,12 @@ where
             Request::Get(k) => Response::Value(self.get(&k)),
             Request::Contains(k) => Response::Found(self.contains(&k)),
             Request::Insert(k, v) => Response::Inserted(self.insert(k, v).is_ok()),
+            Request::Upsert(k, v) => Response::Inserted(run_upsert(
+                || self.insert(k.clone(), v.clone()).is_ok(),
+                || {
+                    let _ = self.remove(&k);
+                },
+            )),
             Request::Remove(k) => Response::Removed(self.remove(&k)),
             Request::GetWith(k, f) => Response::Visited(run_get_with(f, |g| self.get_with(&k, g))),
             Request::Scan(after, limit, out) => {
@@ -368,6 +409,7 @@ where
             Request::Get(k)
             | Request::Contains(k)
             | Request::Insert(k, _)
+            | Request::Upsert(k, _)
             | Request::Remove(k)
             | Request::GetWith(k, _) => k,
             // Scans cross every partition (merged range) and `Len`
@@ -389,6 +431,12 @@ where
             Request::Get(k) => Response::Value(self.get(&k)),
             Request::Contains(k) => Response::Found(self.contains(&k)),
             Request::Insert(k, v) => Response::Inserted(self.insert(k, v).is_ok()),
+            Request::Upsert(k, v) => Response::Inserted(run_upsert(
+                || self.insert(k.clone(), v.clone()).is_ok(),
+                || {
+                    let _ = self.remove(&k);
+                },
+            )),
             Request::Remove(k) => Response::Removed(self.remove(&k)),
             Request::GetWith(k, f) => Response::Visited(run_get_with(f, |g| self.get_with(&k, g))),
             // Hash tier: no ordered scan (`supports_scan()` is false);
@@ -442,6 +490,7 @@ where
             Request::Get(k)
             | Request::Contains(k)
             | Request::Insert(k, _)
+            | Request::Upsert(k, _)
             | Request::Remove(k)
             | Request::GetWith(k, _) => k,
             // Scans cross every partition (merged range) and `Len`
@@ -463,6 +512,12 @@ where
             Request::Get(k) => Response::Value(self.get(&k)),
             Request::Contains(k) => Response::Found(self.contains(&k)),
             Request::Insert(k, v) => Response::Inserted(self.insert(k, v).is_ok()),
+            Request::Upsert(k, v) => Response::Inserted(run_upsert(
+                || self.insert(k.clone(), v.clone()).is_ok(),
+                || {
+                    let _ = self.remove(&k);
+                },
+            )),
             Request::Remove(k) => Response::Removed(self.remove(&k)),
             Request::GetWith(k, f) => Response::Visited(run_get_with(f, |g| self.get_with(&k, g))),
             // Hash tier: no ordered scan (`supports_scan()` is false);

@@ -58,6 +58,6 @@ pub use metrics::{ServiceMetrics, ServiceSnapshot};
 pub use op::{Error, GetWithVisitor, Request, Response, ScanSlot};
 pub use service::{
     install_stall_hook, AsyncHashMap, AsyncList, AsyncShardedMap, AsyncSkipList,
-    BackpressurePolicy, GetWithFuture, HashMapBuilder, OpFuture, ScanFuture, Service,
+    BackpressurePolicy, GetWithFuture, HashMapBuilder, LaneFuture, OpFuture, ScanFuture, Service,
     ServiceBuilder, ShardedBuilder,
 };

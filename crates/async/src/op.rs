@@ -40,6 +40,13 @@ pub enum Request<K, V> {
     Contains(K),
     /// Insert `key → value`.
     Insert(K, V),
+    /// Insert `key → value`, replacing an existing binding: the lane
+    /// worker retries remove+insert (bounded) until its insert wins.
+    /// One ring request — unlike a caller-side remove/insert loop, the
+    /// whole upsert occupies a single FIFO slot, so a later same-lane
+    /// request observes either the old binding or the new one, never
+    /// an interleaving of the retry loop.
+    Upsert(K, V),
     /// Remove `key`, returning its value.
     Remove(K),
     /// Look up `key` and run the visitor over the value **in place**
@@ -62,6 +69,7 @@ impl<K: fmt::Debug, V> fmt::Debug for Request<K, V> {
             Request::Get(k) => f.debug_tuple("Get").field(k).finish(),
             Request::Contains(k) => f.debug_tuple("Contains").field(k).finish(),
             Request::Insert(k, _) => f.debug_tuple("Insert").field(k).field(&"..").finish(),
+            Request::Upsert(k, _) => f.debug_tuple("Upsert").field(k).field(&"..").finish(),
             Request::Remove(k) => f.debug_tuple("Remove").field(k).finish(),
             Request::GetWith(k, _) => f
                 .debug_tuple("GetWith")
@@ -84,6 +92,7 @@ impl<K: PartialEq, V: PartialEq> PartialEq for Request<K, V> {
             (Request::Get(a), Request::Get(b)) => a == b,
             (Request::Contains(a), Request::Contains(b)) => a == b,
             (Request::Insert(a, av), Request::Insert(b, bv)) => a == b && av == bv,
+            (Request::Upsert(a, av), Request::Upsert(b, bv)) => a == b && av == bv,
             (Request::Remove(a), Request::Remove(b)) => a == b,
             (Request::GetWith(a, _), Request::GetWith(b, _)) => a == b,
             (Request::Scan(a, al, _), Request::Scan(b, bl, _)) => a == b && al == bl,
@@ -103,6 +112,8 @@ pub enum Response<V> {
     /// `Contains`: whether the key was present.
     Found(bool),
     /// `Insert`: `true` if inserted, `false` on duplicate key.
+    /// `Upsert`: `true` once an insert round won, `false` if the retry
+    /// budget ran out racing other writers of the key.
     Inserted(bool),
     /// `Remove`: the removed value, if the key was present.
     Removed(Option<V>),

@@ -164,15 +164,21 @@ impl<B: AsyncBackend> Shared<B> {
     fn submit(
         &self,
         req: Request<B::Key, B::Value>,
+        lane_hint: Option<usize>,
         cx: &mut Context<'_>,
     ) -> Submit<B::Key, B::Value> {
         // Affinity first: a partitioned backend pins each key's
-        // requests to the lane owning its shard; everything else
-        // round-robins.
+        // requests to the lane owning its shard. Then the caller's
+        // hint ([`OpFuture::pin_lane`]) — a front end that needs FIFO
+        // between its own requests routes them through one lane.
+        // Everything else round-robins.
         let lane_idx = match self.backend.lane_for(&req, self.lanes.len()) {
             Some(i) => i % self.lanes.len(),
-            // ord: Relaxed — ASYNC.stat: round-robin ticket, no ordering needed
-            None => self.next_lane.fetch_add(1, Ordering::Relaxed) % self.lanes.len(),
+            None => match lane_hint {
+                Some(i) => i % self.lanes.len(),
+                // ord: Relaxed — ASYNC.stat: round-robin ticket, no ordering needed
+                None => self.next_lane.fetch_add(1, Ordering::Relaxed) % self.lanes.len(),
+            },
         };
         let lane = &self.lanes[lane_idx];
         let cell = Arc::new(OpCell::new(req));
@@ -725,6 +731,18 @@ impl<B: AsyncBackend> Service<B> {
         self.op(Request::Insert(key, value))
     }
 
+    /// Insert `key → value`, replacing an existing binding. The lane
+    /// worker retries remove+insert inside **one** ring request, so
+    /// the upsert holds a single slot in its lane's FIFO: a later
+    /// same-lane request sees either the old binding or the new one,
+    /// never the retry loop's gap. Resolves to
+    /// `Response::Inserted(true)` once an insert round won, or
+    /// `Inserted(false)` if the bounded budget ran out racing direct
+    /// synchronous-handle writers of the same key.
+    pub fn upsert(&self, key: B::Key, value: B::Value) -> OpFuture<B> {
+        self.op(Request::Upsert(key, value))
+    }
+
     /// Remove `key`, resolving to the removed value.
     pub fn remove(&self, key: B::Key) -> OpFuture<B> {
         self.op(Request::Remove(key))
@@ -781,6 +799,7 @@ impl<B: AsyncBackend> Service<B> {
         OpFuture {
             shared: Arc::clone(&self.shared),
             state: FutState::Unsubmitted(Some(req)),
+            lane_hint: None,
         }
     }
 
@@ -929,10 +948,53 @@ enum FutState<K, V> {
 pub struct OpFuture<B: AsyncBackend> {
     shared: Arc<Shared<B>>,
     state: FutState<B::Key, B::Value>,
+    /// Preferred lane when the backend expresses no affinity of its
+    /// own; see [`LaneFuture::pin_lane`].
+    lane_hint: Option<usize>,
 }
 
 // The future holds no self-references — pinning is structural only.
 impl<B: AsyncBackend> Unpin for OpFuture<B> {}
+
+/// The shared submission surface of the service's future types: route
+/// a request to a chosen lane before it enqueues, and observe whether
+/// it has entered its ring yet.
+///
+/// Both exist for pipelining front ends (the `lf-server` wire tier)
+/// that need *effect order* to follow dispatch order: requests that
+/// must stay FIFO relative to each other (e.g. every command touching
+/// one key on one connection) are pinned to one lane, and each future
+/// is polled until [`is_enqueued`](LaneFuture::is_enqueued) before the
+/// next is dispatched — so ring order equals dispatch order even when
+/// a full ring bounces a poll under [`BackpressurePolicy::Block`].
+pub trait LaneFuture: Future {
+    /// Prefer `lane` (modulo the lane count) for this request whenever
+    /// the backend expresses no affinity of its own
+    /// ([`AsyncBackend::lane_for`] returning `None`). Backend affinity
+    /// always wins: on partitioned backends the hint is ignored for
+    /// keyed requests, so pinning is safe to apply unconditionally.
+    /// No effect once the request has enqueued.
+    fn pin_lane(self, lane: usize) -> Self
+    where
+        Self: Sized;
+
+    /// Whether the request has entered its lane ring (or already
+    /// resolved). `false` only before the first poll, or after a poll
+    /// that bounced off a full ring under
+    /// [`BackpressurePolicy::Block`].
+    fn is_enqueued(&self) -> bool;
+}
+
+impl<B: AsyncBackend> LaneFuture for OpFuture<B> {
+    fn pin_lane(mut self, lane: usize) -> Self {
+        self.lane_hint = Some(lane);
+        self
+    }
+
+    fn is_enqueued(&self) -> bool {
+        !matches!(self.state, FutState::Unsubmitted(_))
+    }
+}
 
 impl<B: AsyncBackend> Future for OpFuture<B> {
     type Output = Result<Response<B::Value>, Error>;
@@ -943,7 +1005,7 @@ impl<B: AsyncBackend> Future for OpFuture<B> {
             match &mut this.state {
                 FutState::Unsubmitted(req) => {
                     let req = req.take().expect("request present while unsubmitted");
-                    match this.shared.submit(req, cx) {
+                    match this.shared.submit(req, this.lane_hint, cx) {
                         Submit::Queued(cell) => {
                             this.state = FutState::Waiting(cell);
                         }
@@ -985,6 +1047,17 @@ pub struct GetWithFuture<B: AsyncBackend, R> {
 // No self-references — pinning is structural only, as for `OpFuture`.
 impl<B: AsyncBackend, R> Unpin for GetWithFuture<B, R> {}
 
+impl<B: AsyncBackend, R> LaneFuture for GetWithFuture<B, R> {
+    fn pin_lane(mut self, lane: usize) -> Self {
+        self.inner = self.inner.pin_lane(lane);
+        self
+    }
+
+    fn is_enqueued(&self) -> bool {
+        self.inner.is_enqueued()
+    }
+}
+
 impl<B: AsyncBackend, R> Future for GetWithFuture<B, R> {
     type Output = Result<Option<R>, Error>;
 
@@ -1018,6 +1091,17 @@ pub struct ScanFuture<B: AsyncBackend> {
 
 // No self-references — pinning is structural only, as for `OpFuture`.
 impl<B: AsyncBackend> Unpin for ScanFuture<B> {}
+
+impl<B: AsyncBackend> LaneFuture for ScanFuture<B> {
+    fn pin_lane(mut self, lane: usize) -> Self {
+        self.inner = self.inner.pin_lane(lane);
+        self
+    }
+
+    fn is_enqueued(&self) -> bool {
+        self.inner.is_enqueued()
+    }
+}
 
 impl<B: AsyncBackend> Future for ScanFuture<B> {
     type Output = Result<Vec<(B::Key, B::Value)>, Error>;

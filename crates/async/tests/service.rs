@@ -143,6 +143,71 @@ fn basic_ops_round_trip() {
 }
 
 #[test]
+fn upsert_overwrites_in_one_request() {
+    let service = ServiceBuilder::new().workers(2).build_list::<u64, u64>();
+    rt::block_on(async {
+        // Fresh key and overwrite both report Inserted(true): the
+        // worker-side remove+insert loop won an insert round.
+        assert_eq!(service.upsert(1, 10).await, Ok(Response::Inserted(true)));
+        assert_eq!(service.get(1).await, Ok(Response::Value(Some(10))));
+        assert_eq!(service.upsert(1, 11).await, Ok(Response::Inserted(true)));
+        assert_eq!(service.get(1).await, Ok(Response::Value(Some(11))));
+    });
+    let m = service.metrics();
+    // One ring request per upsert — it must not cost extra FIFO slots.
+    assert_eq!(m.enqueued, 4);
+    service.shutdown();
+}
+
+#[test]
+fn pin_lane_orders_a_pipelined_same_key_sequence() {
+    use lf_async::LaneFuture;
+    let service = ServiceBuilder::new()
+        .workers(4)
+        .build_skiplist::<u64, u64>();
+    // Pipeline shape: enqueue the whole interleaved SET/GET sequence
+    // on one key (first poll submits, by lazy submission) before
+    // awaiting anything. The skip-list backend has no lane affinity,
+    // so with 4 workers only the shared pin keeps every GET reading
+    // the SET enqueued just before it.
+    enum Slot<F: Future + Unpin> {
+        Pending(F),
+        Done(F::Output),
+    }
+    fn eager<F: Future + Unpin>(mut f: F) -> Slot<F> {
+        match poll_once(&mut f) {
+            Poll::Ready(v) => Slot::Done(v),
+            Poll::Pending => Slot::Pending(f),
+        }
+    }
+    fn finish<F: Future + Unpin>(s: Slot<F>) -> F::Output {
+        match s {
+            Slot::Done(v) => v,
+            Slot::Pending(f) => rt::block_on(f),
+        }
+    }
+    const N: u64 = 100;
+    let mut ops = Vec::new();
+    for i in 0..N {
+        ops.push(eager(service.upsert(7, i).pin_lane(2)));
+        ops.push(eager(service.get(7).pin_lane(2)));
+    }
+    let mut i = 0u64;
+    let mut it = ops.into_iter();
+    while let (Some(set), Some(get)) = (it.next(), it.next()) {
+        assert_eq!(finish(set), Ok(Response::Inserted(true)), "SET #{i}");
+        assert_eq!(
+            finish(get),
+            Ok(Response::Value(Some(i))),
+            "GET #{i} read a stale SET"
+        );
+        i += 1;
+    }
+    assert_eq!(i, N);
+    service.shutdown();
+}
+
+#[test]
 fn skiplist_backend_round_trips() {
     let service = ServiceBuilder::new()
         .workers(2)

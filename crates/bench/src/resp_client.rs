@@ -39,10 +39,12 @@ pub enum Class {
 
 /// Classify a reply the way the accounting contract reads: every
 /// command resolves as exactly one of ok / shed / rejected / error.
+/// Prefix-matched, because a busy multi-key `DEL` may carry a
+/// `; partial: …` suffix disclosing sub-ops that still applied.
 pub fn classify(reply: &Reply) -> Class {
     match reply {
-        Reply::Error(msg) if msg.as_slice() == b"BUSY shed" => Class::Shed,
-        Reply::Error(msg) if msg.as_slice() == b"BUSY rejected" => Class::Rejected,
+        Reply::Error(msg) if msg.starts_with(b"BUSY shed") => Class::Shed,
+        Reply::Error(msg) if msg.starts_with(b"BUSY rejected") => Class::Rejected,
         Reply::Error(_) => Class::Error,
         _ => Class::Ok,
     }

@@ -74,6 +74,40 @@ pub fn block_on<F: Future>(fut: F) -> F::Output {
     }
 }
 
+/// Drive `fut` until it resolves *or* `progressed` reports true after
+/// a `Pending` poll, parking between polls exactly as [`block_on`]
+/// does. Returns `Some(output)` on completion, `None` once the
+/// predicate holds (the future stays live in the caller's hands and
+/// can be awaited later with a fresh waker).
+///
+/// This is the submission primitive a pipelining front end needs over
+/// lazily-submitted operations: poll each one until its request has
+/// *entered its queue* (the predicate), without waiting for the
+/// result — so requests enqueue in dispatch order even when a full
+/// queue bounces some polls.
+pub fn block_on_until<F: Future + Unpin>(
+    fut: &mut F,
+    mut progressed: impl FnMut(&F) -> bool,
+) -> Option<F::Output> {
+    let waker_impl = ThreadWaker::new();
+    let waker = Waker::from(Arc::clone(&waker_impl));
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        if waker_impl.take_ready() {
+            match Pin::new(&mut *fut).poll(&mut cx) {
+                Poll::Ready(out) => return Some(out),
+                Poll::Pending => {
+                    if progressed(fut) {
+                        return None;
+                    }
+                }
+            }
+        } else {
+            std::thread::park();
+        }
+    }
+}
+
 /// Drive a set of boxed futures to completion concurrently on the
 /// calling thread, returning their outputs in submission order.
 ///

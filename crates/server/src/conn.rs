@@ -2,17 +2,40 @@
 //! request → await and write replies in arrival order.
 //!
 //! Pipelining leans on `lf-async`'s *lazy submission*: an `OpFuture`
-//! enqueues on its first poll. The parse phase therefore polls each
-//! future once (through [`Eager`]) as soon as its command is parsed, so
-//! N pipelined commands are all in their lane rings before the render
-//! phase awaits the first reply — the rings overlap the work while the
-//! wire stays strictly ordered, which is exactly RESP's contract.
+//! enqueues on its first poll. The parse phase therefore drives each
+//! future (through [`Eager`]) until its request is **in its ring** as
+//! soon as its command is parsed, so N pipelined commands are all in
+//! their lanes before the render phase awaits the first reply — the
+//! rings overlap the work while the wire stays strictly ordered.
+//!
+//! Reply order alone is not RESP's whole contract: effects must be
+//! ordered too, at least per key ("SET k; GET k" pipelined must read
+//! the write). Two mechanisms make that hold:
+//!
+//! * **Lane affinity for every keyed request.** Partitioned backends
+//!   already route a key's requests to one lane; for backends with no
+//!   affinity of their own (plain list/skip-list tiers) the connection
+//!   pins each request to `hash(key) % lanes`
+//!   ([`LaneFuture::pin_lane`]), so every request touching one key
+//!   shares one FIFO ring whichever tier serves it.
+//! * **Enqueue before the next dispatch.** [`Eager::new`] does not
+//!   return until the request is enqueued (or already resolved):
+//!   under `Block` a poll bounced off a full ring is re-driven *now*,
+//!   not at render time, so ring order always equals parse order.
+//!
+//! Together: same-key commands execute in pipeline order; cross-key
+//! effect order between lanes stays unspecified (SCAN in particular
+//! reads weakly consistently against in-flight writes). `SET` is a
+//! single worker-side upsert request, so it also occupies exactly one
+//! FIFO slot (no caller-side retry loop to interleave).
 //!
 //! Backpressure is protocol-visible: a request the service sheds or
 //! rejects resolves this side as `-BUSY shed` / `-BUSY rejected`, one
-//! error per *command* (a multi-key command reports its first busy
-//! sub-op and drops the rest — dropping an `OpFuture` detaches it
-//! without leaking its ring slot or its cell).
+//! reply per *command*. A multi-key command awaits **all** its sub-ops
+//! (none are left detached in the rings) and reports its first busy
+//! sub-op; a busy `DEL` whose other sub-ops already removed keys says
+//! so in the reply (`-BUSY shed; partial: …`) rather than pretending
+//! the whole command was refused.
 //!
 //! No epoch guard ever exists on this thread: connection code touches
 //! sockets and completion cells only, and every structure access
@@ -20,54 +43,53 @@
 //! this down with the unreclaimed-gauge audit.
 
 use std::future::Future;
+use std::hash::{Hash, Hasher};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::pin::Pin;
 use std::sync::Arc;
-use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
 use std::time::Duration;
 
-use lf_async::{Error, OpFuture, Response, ScanFuture, Service};
+use lf_async::{Error, LaneFuture, OpFuture, Response, ScanFuture, Service};
 use lf_sched::rt;
 
 use crate::metrics::ServerMetrics;
 use crate::resp::{self, Command};
 use crate::server::{trigger_stop, ByteBackend, Bytes, StopSignal};
 
-/// How many remove/insert rounds a `SET` retries when racing other
-/// writers of the same key before giving up with `-ERR`.
-const SET_RETRY_BUDGET: usize = 8;
-
-fn noop_waker() -> Waker {
-    fn clone(_: *const ()) -> RawWaker {
-        RawWaker::new(std::ptr::null(), &VTABLE)
-    }
-    fn noop(_: *const ()) {}
-    static VTABLE: RawWakerVTable = RawWakerVTable::new(clone, noop, noop, noop);
-    // SAFETY: every vtable entry is a no-op over a null data pointer;
-    // nothing is dereferenced.
-    unsafe { Waker::from_raw(RawWaker::new(std::ptr::null(), &VTABLE)) }
+/// Lane for a keyed request on backends with no affinity of their own:
+/// a stable per-key hash, so every request touching one key shares one
+/// ring and per-key effect order equals pipeline order. Ignored (by
+/// [`LaneFuture::pin_lane`]'s contract) wherever the backend already
+/// routes the key itself.
+fn lane_of(key: &[u8], lanes: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % lanes.max(1)
 }
 
-/// A future polled once at construction (the poll that *enqueues*, by
-/// lazy submission) and awaited later, preserving an early `Ready`
-/// (e.g. an immediate `Rejected`) so the future is never polled after
-/// completion.
-struct Eager<F: Future + Unpin> {
+/// A future driven at construction until its request is enqueued (the
+/// polls that *submit*, by lazy submission) and awaited later,
+/// preserving an early `Ready` (e.g. an immediate `Rejected`) so the
+/// future is never polled after completion.
+struct Eager<F: Future + LaneFuture + Unpin> {
     fut: Option<F>,
     out: Option<F::Output>,
 }
 
-impl<F: Future + Unpin> Eager<F> {
+impl<F: Future + LaneFuture + Unpin> Eager<F> {
+    /// Drive `f` until its request is in its lane ring (or it already
+    /// resolved). Blocks — parking, not spinning — while a full ring
+    /// bounces the submission under `BackpressurePolicy::Block`: the
+    /// pipeline's ordering contract needs requests entering the rings
+    /// in parse order, so the next command must not be dispatched
+    /// before this one is enqueued.
     fn new(mut f: F) -> Self {
-        let waker = noop_waker();
-        let mut cx = Context::from_waker(&waker);
-        match Pin::new(&mut f).poll(&mut cx) {
-            Poll::Ready(v) => Eager {
+        match rt::block_on_until(&mut f, LaneFuture::is_enqueued) {
+            Some(v) => Eager {
                 fut: None,
                 out: Some(v),
             },
-            Poll::Pending => Eager {
+            None => Eager {
                 fut: Some(f),
                 out: None,
             },
@@ -95,14 +117,15 @@ enum Pending<B: ByteBackend> {
     Ready(Vec<u8>, ReadyKind),
     /// GET — bulk value or null.
     Get(Eager<OpFuture<B>>),
-    /// SET — upsert; retries remove+insert on a duplicate key.
-    Set {
-        key: Bytes,
-        value: Bytes,
-        first: Eager<OpFuture<B>>,
-    },
+    /// SET — one worker-side upsert request.
+    Set(Eager<OpFuture<B>>),
     /// DEL / EXISTS — integer count of hits across the keyed sub-ops.
-    Count(Vec<Eager<OpFuture<B>>>),
+    /// `write` marks DEL: its busy reply must disclose partial
+    /// application.
+    Count {
+        futs: Vec<Eager<OpFuture<B>>>,
+        write: bool,
+    },
     /// MGET — array of bulk-or-null in key order.
     MGet(Vec<Eager<OpFuture<B>>>),
     /// SCAN — a page of keys plus the continuation cursor.
@@ -164,7 +187,8 @@ pub(crate) fn run<B: ByteBackend>(
         }
         inbuf.extend_from_slice(&chunk[..n]);
         // Parse phase: every complete frame becomes a pending reply,
-        // and every ring-mapped request enters its lane *now*.
+        // and every ring-mapped request enters its lane *now*, in
+        // parse order.
         let mut pending: Vec<Pending<B>> = Vec::new();
         let mut consumed = 0;
         let parse_err = loop {
@@ -188,7 +212,7 @@ pub(crate) fn run<B: ByteBackend>(
         out.clear();
         let mut close = false;
         for p in pending {
-            render(service, metrics, stop, local_addr, p, &mut out, &mut close);
+            render(metrics, stop, local_addr, p, &mut out, &mut close);
             if let Some(h) = &hb {
                 h.beat();
             }
@@ -214,7 +238,7 @@ pub(crate) fn run<B: ByteBackend>(
 }
 
 /// Turn one argument vector into a [`Pending`] reply, submitting its
-/// ring requests (first poll = enqueue) as a side effect.
+/// ring requests (driven to enqueue) as a side effect.
 fn dispatch<B: ByteBackend>(
     service: &Service<B>,
     metrics: &ServerMetrics,
@@ -229,6 +253,7 @@ fn dispatch<B: ByteBackend>(
             return Pending::Ready(buf, ReadyKind::CommandError);
         }
     };
+    let lanes = service.lane_count();
     match cmd {
         Command::Ping(msg) => {
             let mut buf = Vec::new();
@@ -238,25 +263,40 @@ fn dispatch<B: ByteBackend>(
             }
             Pending::Ready(buf, ReadyKind::Ok)
         }
-        Command::Get(k) => Pending::Get(Eager::new(service.get(k))),
-        Command::Set(key, value) => Pending::Set {
-            first: Eager::new(service.insert(key.clone(), value.clone())),
-            key,
-            value,
+        Command::Get(k) => {
+            let lane = lane_of(&k, lanes);
+            Pending::Get(Eager::new(service.get(k).pin_lane(lane)))
+        }
+        Command::Set(key, value) => {
+            let lane = lane_of(&key, lanes);
+            Pending::Set(Eager::new(service.upsert(key, value).pin_lane(lane)))
+        }
+        Command::Del(keys) => Pending::Count {
+            futs: keys
+                .into_iter()
+                .map(|k| {
+                    let lane = lane_of(&k, lanes);
+                    Eager::new(service.remove(k).pin_lane(lane))
+                })
+                .collect(),
+            write: true,
         },
-        Command::Del(keys) => Pending::Count(
-            keys.into_iter()
-                .map(|k| Eager::new(service.remove(k)))
+        Command::Exists(keys) => Pending::Count {
+            futs: keys
+                .into_iter()
+                .map(|k| {
+                    let lane = lane_of(&k, lanes);
+                    Eager::new(service.contains(k).pin_lane(lane))
+                })
                 .collect(),
-        ),
-        Command::Exists(keys) => Pending::Count(
-            keys.into_iter()
-                .map(|k| Eager::new(service.contains(k)))
-                .collect(),
-        ),
+            write: false,
+        },
         Command::MGet(keys) => Pending::MGet(
             keys.into_iter()
-                .map(|k| Eager::new(service.get(k)))
+                .map(|k| {
+                    let lane = lane_of(&k, lanes);
+                    Eager::new(service.get(k).pin_lane(lane))
+                })
                 .collect(),
         ),
         Command::Scan { after, count } => {
@@ -268,6 +308,8 @@ fn dispatch<B: ByteBackend>(
                 );
                 return Pending::Ready(buf, ReadyKind::CommandError);
             }
+            // No key, no lane: a scan crosses every partition and
+            // reads weakly consistently against in-flight writes.
             Pending::Scan {
                 fut: Eager::new(service.scan(after, count)),
                 count,
@@ -294,27 +336,43 @@ fn dispatch<B: ByteBackend>(
 /// Serialize a service-layer error as its protocol form, bumping the
 /// matching counter. `-BUSY` is the admission controller speaking: the
 /// command was refused (Reject) or evicted (Shed), never silently
-/// dropped.
-fn write_busy(out: &mut Vec<u8>, e: Error, metrics: &ServerMetrics, close: &mut bool) {
+/// dropped. `detail` (a `; …` suffix) lets multi-key commands disclose
+/// partial application; the `BUSY shed` / `BUSY rejected` prefix stays
+/// machine-matchable either way.
+fn write_busy_detail(
+    out: &mut Vec<u8>,
+    e: Error,
+    detail: Option<&str>,
+    metrics: &ServerMetrics,
+    close: &mut bool,
+) {
+    let detail = detail.unwrap_or("");
     match e {
         Error::Shed => {
             metrics.record_shed();
-            resp::write_error(out, "BUSY shed");
+            resp::write_error(out, &format!("BUSY shed{detail}"));
         }
         Error::Rejected => {
             metrics.record_rejected();
-            resp::write_error(out, "BUSY rejected");
+            resp::write_error(out, &format!("BUSY rejected{detail}"));
         }
         Error::Shutdown => {
+            metrics.record_error();
             resp::write_error(out, "ERR server shutting down");
             *close = true;
         }
     }
 }
 
-/// Await one pending reply and append its wire form to `out`.
+fn write_busy(out: &mut Vec<u8>, e: Error, metrics: &ServerMetrics, close: &mut bool) {
+    write_busy_detail(out, e, None, metrics, close);
+}
+
+/// Await one pending reply and append its wire form to `out`. Exactly
+/// one of ok / shed / rejected / errors is recorded per command — the
+/// accounting identity (`commands == ok + shed + rejected + errors`,
+/// DESIGN.md §9.9) is structural, not reconciled.
 fn render<B: ByteBackend>(
-    service: &Service<B>,
     metrics: &ServerMetrics,
     stop: &StopSignal,
     local_addr: SocketAddr,
@@ -325,8 +383,9 @@ fn render<B: ByteBackend>(
     match pending {
         Pending::Ready(bytes, kind) => {
             out.extend_from_slice(&bytes);
-            if matches!(kind, ReadyKind::Ok) {
-                metrics.record_ok();
+            match kind {
+                ReadyKind::Ok => metrics.record_ok(),
+                ReadyKind::CommandError => metrics.record_error(),
             }
         }
         Pending::Get(e) => match e.wait() {
@@ -337,45 +396,70 @@ fn render<B: ByteBackend>(
                 }
                 metrics.record_ok();
             }
-            Ok(_) => resp::write_error(out, "ERR internal response mismatch"),
+            Ok(_) => {
+                metrics.record_error();
+                resp::write_error(out, "ERR internal response mismatch");
+            }
             Err(e) => write_busy(out, e, metrics, close),
         },
-        Pending::Set { key, value, first } => match upsert(service, key, value, first) {
-            Ok(true) => {
+        Pending::Set(e) => match e.wait() {
+            Ok(Response::Inserted(true)) => {
                 resp::write_simple(out, "OK");
                 metrics.record_ok();
             }
-            Ok(false) => resp::write_error(out, "ERR SET retry budget exhausted"),
+            Ok(Response::Inserted(false)) => {
+                metrics.record_error();
+                resp::write_error(out, "ERR SET retry budget exhausted");
+            }
+            Ok(_) => {
+                metrics.record_error();
+                resp::write_error(out, "ERR internal response mismatch");
+            }
             Err(e) => write_busy(out, e, metrics, close),
         },
-        Pending::Count(futs) => {
+        Pending::Count { futs, write } => {
+            // Await *every* sub-op: none stay detached in the rings,
+            // so the reply below describes what actually happened.
+            let total = futs.len();
             let mut hits: i64 = 0;
+            let mut first_err: Option<Error> = None;
             for f in futs {
                 match f.wait() {
                     Ok(r) => hits += i64::from(response_hit(&r)),
-                    Err(e) => {
-                        // First busy sub-op fails the whole command;
-                        // the remaining futures are dropped (detached,
-                        // nothing leaks).
-                        write_busy(out, e, metrics, close);
-                        return;
-                    }
+                    Err(e) => first_err = first_err.or(Some(e)),
                 }
             }
-            resp::write_int(out, hits);
-            metrics.record_ok();
+            match first_err {
+                None => {
+                    resp::write_int(out, hits);
+                    metrics.record_ok();
+                }
+                Some(e) => {
+                    // A busy DEL may have removed some keys before a
+                    // later sub-op was refused: say so, instead of
+                    // implying the command had no effect.
+                    let detail = (write && hits > 0)
+                        .then(|| format!("; partial: {hits} of {total} keys removed"));
+                    write_busy_detail(out, e, detail.as_deref(), metrics, close);
+                }
+            }
         }
         Pending::MGet(futs) => {
+            // Await every sub-op (as for Count) even though reads have
+            // no effects to disclose: detached reads would still hold
+            // ring slots and skew the service-side accounting.
             let mut values: Vec<Option<Bytes>> = Vec::with_capacity(futs.len());
+            let mut first_err: Option<Error> = None;
             for f in futs {
                 match f.wait() {
                     Ok(Response::Value(v)) => values.push(v),
                     Ok(_) => values.push(None),
-                    Err(e) => {
-                        write_busy(out, e, metrics, close);
-                        return;
-                    }
+                    Err(e) => first_err = first_err.or(Some(e)),
                 }
+            }
+            if let Some(e) = first_err {
+                write_busy(out, e, metrics, close);
+                return;
             }
             resp::write_array_header(out, values.len());
             for v in values {
@@ -418,28 +502,6 @@ fn render<B: ByteBackend>(
     }
 }
 
-/// Upsert semantics over insert/remove primitives: try the optimistic
-/// insert; on a duplicate key, remove-then-insert until one round wins
-/// or the budget runs out (`Ok(false)`). Not atomic — a concurrent GET
-/// may observe the gap — which matches the weakly-consistent read
-/// story of every other multi-step wire command here.
-fn upsert<B: ByteBackend>(
-    service: &Service<B>,
-    key: Bytes,
-    value: Bytes,
-    first: Eager<OpFuture<B>>,
-) -> Result<bool, Error> {
-    let mut resp = first.wait()?;
-    for _ in 0..SET_RETRY_BUDGET {
-        if matches!(resp, Response::Inserted(true)) {
-            return Ok(true);
-        }
-        rt::block_on(service.remove(key.clone()))?;
-        resp = rt::block_on(service.insert(key.clone(), value.clone()))?;
-    }
-    Ok(matches!(resp, Response::Inserted(true)))
-}
-
 /// 1 when the response counts as a hit for DEL/EXISTS accounting.
 fn response_hit(resp: &Response<Bytes>) -> bool {
     match resp {
@@ -464,6 +526,7 @@ fn info_text<B: ByteBackend>(service: &Service<B>, metrics: &ServerMetrics) -> S
     let _ = writeln!(out, "commands_ok:{}", s.ok);
     let _ = writeln!(out, "commands_shed:{}", s.shed);
     let _ = writeln!(out, "commands_rejected:{}", s.rejected);
+    let _ = writeln!(out, "commands_errors:{}", s.errors);
     let _ = writeln!(out, "protocol_errors:{}", s.protocol_errors);
     let _ = writeln!(out, "pipeline_depth_p99:{}", s.pipeline_depth.p99());
     let _ = writeln!(out, "# Service");

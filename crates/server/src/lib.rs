@@ -9,15 +9,20 @@
 //!
 //! Three design commitments (DESIGN.md §15):
 //!
-//! * **Pipelining without reordering** — each connection parses every
-//!   complete command out of a socket read and submits all of them to
-//!   the rings before awaiting the first reply (lazy submission: the
-//!   first poll enqueues), then writes replies strictly in arrival
-//!   order.
+//! * **Pipelining without reordering** — each connection enqueues
+//!   every parsed command into the rings before awaiting the first
+//!   reply (lazy submission: the first poll enqueues, and dispatch
+//!   waits for the enqueue), then writes replies strictly in arrival
+//!   order. Effects are ordered too: every keyed request is pinned to
+//!   one lane per key, so a pipelined `SET k; GET k` reads its own
+//!   write on every tier; only cross-key order between lanes (and
+//!   `SCAN`'s view of in-flight writes) is left unspecified.
 //! * **Backpressure as protocol errors** — the service's Shed/Reject
 //!   outcomes surface as `-BUSY shed` / `-BUSY rejected`, so overload
 //!   is *observable and accountable* on the wire: every command sent
-//!   resolves as exactly one of ok / shed / rejected.
+//!   resolves as exactly one of ok / shed / rejected / errors, and a
+//!   busy multi-key `DEL` that already removed some keys discloses it
+//!   in the reply instead of implying a clean refusal.
 //! * **Adaptive batch admission** — an optional controller retunes
 //!   each lane's `batch_max` at runtime (grow under sustained ring
 //!   occupancy, shrink when the windowed admitted e2c p99 exceeds a

@@ -33,6 +33,7 @@ pub struct ServerMetrics {
     ok: AtomicU64,
     shed: AtomicU64,
     rejected: AtomicU64,
+    errors: AtomicU64,
     protocol_errors: AtomicU64,
     pipeline_depth: AtomicHistogram,
     ctl_grows: AtomicU64,
@@ -61,15 +62,18 @@ impl ServerMetrics {
     }
 
     /// `n` complete commands were parsed out of one socket read — the
-    /// client's observed pipeline depth.
+    /// client's observed pipeline depth. Only the histogram lives
+    /// here: `commands` is bumped by the per-outcome recorders so the
+    /// identity `commands == ok + shed + rejected + errors` (DESIGN.md
+    /// §9.9) holds by construction.
     pub(crate) fn record_pipeline(&self, n: u64) {
-        // ord: Relaxed — SRV.stat: statistic counter, snapshots racy-fresh
-        self.commands.fetch_add(n, Ordering::Relaxed);
         self.pipeline_depth.record(n);
     }
 
     /// A command resolved successfully.
     pub(crate) fn record_ok(&self) {
+        // ord: Relaxed — SRV.stat: statistic counter, snapshots racy-fresh
+        self.commands.fetch_add(1, Ordering::Relaxed);
         // ord: Relaxed — SRV.stat: statistic counter, snapshots racy-fresh
         self.ok.fetch_add(1, Ordering::Relaxed);
     }
@@ -77,13 +81,26 @@ impl ServerMetrics {
     /// A command resolved `-BUSY shed`.
     pub(crate) fn record_shed(&self) {
         // ord: Relaxed — SRV.stat: statistic counter, snapshots racy-fresh
+        self.commands.fetch_add(1, Ordering::Relaxed);
+        // ord: Relaxed — SRV.stat: statistic counter, snapshots racy-fresh
         self.shed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// A command resolved `-BUSY rejected`.
     pub(crate) fn record_rejected(&self) {
         // ord: Relaxed — SRV.stat: statistic counter, snapshots racy-fresh
+        self.commands.fetch_add(1, Ordering::Relaxed);
+        // ord: Relaxed — SRV.stat: statistic counter, snapshots racy-fresh
         self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A command resolved with an `-ERR` reply (bad arguments, retry
+    /// budget exhausted, shutdown race, internal mismatch).
+    pub(crate) fn record_error(&self) {
+        // ord: Relaxed — SRV.stat: statistic counter, snapshots racy-fresh
+        self.commands.fetch_add(1, Ordering::Relaxed);
+        // ord: Relaxed — SRV.stat: statistic counter, snapshots racy-fresh
+        self.errors.fetch_add(1, Ordering::Relaxed);
     }
 
     /// A frame failed to parse (the connection is then closed).
@@ -127,6 +144,8 @@ impl ServerMetrics {
             // ord: Relaxed — SRV.stat: statistic counter, snapshots racy-fresh
             rejected: self.rejected.load(Ordering::Relaxed),
             // ord: Relaxed — SRV.stat: statistic counter, snapshots racy-fresh
+            errors: self.errors.load(Ordering::Relaxed),
+            // ord: Relaxed — SRV.stat: statistic counter, snapshots racy-fresh
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             pipeline_depth: self.pipeline_depth.load(),
             // ord: Relaxed — SRV.stat: statistic counter, snapshots racy-fresh
@@ -146,7 +165,8 @@ pub struct ServerSnapshot {
     pub accepted: u64,
     /// Connections currently open (gauge).
     pub active: u64,
-    /// Commands parsed off sockets (including those later refused).
+    /// Commands replied to, whatever the outcome: always exactly
+    /// `ok + shed + rejected + errors`.
     pub commands: u64,
     /// Commands that resolved successfully.
     pub ok: u64,
@@ -154,6 +174,8 @@ pub struct ServerSnapshot {
     pub shed: u64,
     /// Commands resolved `-BUSY rejected`.
     pub rejected: u64,
+    /// Commands resolved with an `-ERR` reply.
+    pub errors: u64,
     /// Connections dropped for unparseable frames.
     pub protocol_errors: u64,
     /// Complete commands parsed per socket read.
@@ -178,6 +200,7 @@ impl ServerSnapshot {
             .field_u64("ok", self.ok)
             .field_u64("shed", self.shed)
             .field_u64("rejected", self.rejected)
+            .field_u64("errors", self.errors)
             .field_u64("protocol_errors", self.protocol_errors)
             .field_raw("pipeline_depth", &histogram_json(&self.pipeline_depth))
             .field_u64("ctl_grows", self.ctl_grows)
@@ -200,7 +223,7 @@ impl ServerSnapshot {
             ),
             (
                 "lf_server_commands_total",
-                "Commands parsed off sockets",
+                "Commands replied to (ok + shed + rejected + errors)",
                 self.commands,
             ),
             (
@@ -217,6 +240,11 @@ impl ServerSnapshot {
                 "lf_server_commands_rejected_total",
                 "Commands resolved -BUSY rejected",
                 self.rejected,
+            ),
+            (
+                "lf_server_commands_error_total",
+                "Commands resolved with an -ERR reply",
+                self.errors,
             ),
             (
                 "lf_server_protocol_errors_total",
@@ -275,6 +303,7 @@ mod tests {
         m.record_ok();
         m.record_shed();
         m.record_rejected();
+        m.record_error();
         m.record_protocol_error();
         m.record_ctl_grow();
         m.record_ctl_shrink();
@@ -282,8 +311,11 @@ mod tests {
         let s = m.snapshot();
         assert_eq!(s.accepted, 2);
         assert_eq!(s.active, 1);
+        // `commands` is bumped per outcome, so the §9.9 identity holds
+        // by construction.
         assert_eq!(s.commands, 4);
-        assert_eq!((s.ok, s.shed, s.rejected), (1, 1, 1));
+        assert_eq!((s.ok, s.shed, s.rejected, s.errors), (1, 1, 1, 1));
+        assert_eq!(s.commands, s.ok + s.shed + s.rejected + s.errors);
         assert_eq!(s.protocol_errors, 1);
         assert_eq!(s.pipeline_depth.count(), 1);
         assert_eq!(

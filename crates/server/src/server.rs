@@ -312,6 +312,12 @@ fn accept_loop<B: ByteBackend>(
                 if stop.is_set() {
                     break;
                 }
+                // A persistent accept error (EMFILE when the fd table
+                // is full, ENOBUFS, …) would otherwise busy-spin this
+                // thread. Back off on the stop condvar so the loop
+                // retries at a bounded rate and still wakes instantly
+                // on shutdown.
+                stop.wait_timeout(Duration::from_millis(50));
                 continue;
             }
         };

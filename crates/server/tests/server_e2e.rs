@@ -333,6 +333,121 @@ fn shed_policy_surfaces_busy_with_exact_accounting() {
     service.shutdown();
 }
 
+/// Read-your-writes through one pipeline: interleaved `SET k i; GET k`
+/// pairs on one hot key, where every GET must observe exactly the SET
+/// dispatched right before it. The skip-list tier has no lane affinity
+/// of its own, so with several workers this only holds if the server
+/// pins same-key requests to one lane *and* enqueues them in parse
+/// order — the two halves of the pipelining ordering contract.
+fn assert_same_key_pipeline_ordered(service: Arc<lf_async::AsyncSkipList<Bytes, Bytes>>, rounds: usize) {
+    let server = ServerBuilder::new().serve(Arc::clone(&service)).unwrap();
+    let mut c = Client::connect(server.local_addr());
+
+    for i in 0..rounds {
+        let v = format!("v{i:04}");
+        c.push(&[b"SET", b"ctr", v.as_bytes()]);
+        c.push(&[b"GET", b"ctr"]);
+    }
+    c.flush();
+    let replies = c.read_replies(2 * rounds);
+    for (i, pair) in replies.chunks(2).enumerate() {
+        assert_eq!(pair[0], simple("OK"), "SET #{i}");
+        let want = format!("v{i:04}");
+        assert_eq!(pair[1], bulk(want.as_bytes()), "GET #{i} read a stale SET");
+    }
+
+    server.stop();
+    service.shutdown();
+}
+
+#[test]
+fn pipelined_same_key_ops_read_their_writes() {
+    // Plenty of workers, roomy rings: catches round-robin lane
+    // placement splitting a key's ops across lanes.
+    let service = Arc::new(
+        ServiceBuilder::new()
+            .workers(4)
+            .build_skiplist::<Bytes, Bytes>(),
+    );
+    assert_same_key_pipeline_ordered(service, 200);
+}
+
+#[test]
+fn pipelined_same_key_ops_read_their_writes_under_block() {
+    // A 2-deep ring with Block policy forces submissions to bounce off
+    // full rings constantly: catches a bounced op being re-submitted
+    // *after* younger pipelined ops already enqueued.
+    let service = Arc::new(
+        ServiceBuilder::new()
+            .workers(2)
+            .queue_capacity(2)
+            .batch_max(1)
+            .policy(BackpressurePolicy::Block)
+            .build_skiplist::<Bytes, Bytes>(),
+    );
+    assert_same_key_pipeline_ordered(service, 400);
+}
+
+#[test]
+fn busy_multi_key_commands_keep_exact_accounting() {
+    let service = Arc::new(
+        HashMapBuilder::new()
+            .workers(1)
+            .queue_capacity(2)
+            .batch_max(1)
+            .policy(BackpressurePolicy::Reject)
+            .build::<Bytes, Bytes>(),
+    );
+    let server = ServerBuilder::new().serve(Arc::clone(&service)).unwrap();
+    let mut c = Client::connect(server.local_addr());
+
+    for i in 0..8 {
+        let k = format!("mk{i}");
+        assert!(matches!(
+            c.roundtrip(&[b"SET", k.as_bytes(), b"v"]),
+            Reply::Simple(_) | Reply::Error(_)
+        ));
+    }
+
+    // Deep pipelines of multi-key commands into a 2-deep ring: some
+    // commands go busy, every one gets exactly one reply, and the
+    // connection always survives.
+    const ROUNDS: usize = 64;
+    let mut busy = 0u64;
+    for _ in 0..ROUNDS {
+        c.push(&[b"DEL", b"mk0", b"mk1", b"mk2", b"mk3"]);
+        c.push(&[b"EXISTS", b"mk4", b"mk5", b"mk6", b"mk7"]);
+        c.push(&[b"MGET", b"mk4", b"mk5", b"mk6", b"mk7"]);
+        c.push(&[b"SET", b"mk0", b"v"]);
+        c.flush();
+        for reply in c.read_replies(4) {
+            if let Reply::Error(msg) = reply {
+                // Prefix, not equality: a busy DEL that still removed
+                // some keys discloses it with a `; partial:` suffix.
+                assert!(msg.starts_with(b"BUSY rejected"), "{msg:?}");
+                busy += 1;
+            }
+        }
+    }
+    assert!(busy > 0, "2-deep ring never refused a 13-sub-op pipeline");
+    // The connection is still fully usable after busy multi-key
+    // replies (no sub-op left a stale reply queued).
+    assert_eq!(c.roundtrip(&[b"PING"]), simple("PONG"));
+
+    // DESIGN.md §9.9: every reply bumps exactly one outcome class.
+    let snap = server.metrics().snapshot();
+    assert_eq!(
+        snap.commands,
+        snap.ok + snap.shed + snap.rejected + snap.errors,
+        "accounting identity broken"
+    );
+    assert_eq!(snap.commands, 8 + 4 * ROUNDS as u64 + 1);
+    assert_eq!(snap.errors, 0);
+
+    server.stop();
+    service.shutdown();
+}
+
 #[test]
 fn protocol_error_closes_the_connection() {
     let service = Arc::new(HashMapBuilder::new().workers(1).build::<Bytes, Bytes>());
